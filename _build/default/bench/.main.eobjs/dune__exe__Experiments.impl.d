@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Bytes Eric Eric_cc Eric_hw Eric_puf Eric_rv Eric_sim Eric_workloads Format Gc Int64 Lazy List Printf Report Unix

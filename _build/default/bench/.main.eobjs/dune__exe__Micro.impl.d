@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Char Eric Eric_cc Eric_crypto Eric_puf Eric_rv Eric_workloads Hashtbl Instance Lazy List Measure Printf Report Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/report.ml: Int64 List Printf String

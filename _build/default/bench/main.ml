@@ -1,0 +1,31 @@
+(* Benchmark harness entry point: regenerates every table and figure of
+   the paper's evaluation (see DESIGN.md's experiment index), the ablation
+   studies, and the bechamel microbenchmarks.
+
+   Usage: main.exe [table1|table2|fig5|fig6|fig7|ablations|micro|all]... *)
+
+let experiments =
+  [ ("table1", Experiments.table1);
+    ("table2", Experiments.table2);
+    ("fig5", Experiments.fig5);
+    ("fig6", Experiments.fig6);
+    ("fig7", Experiments.fig7);
+    ("ablations", Experiments.ablations);
+    ("micro", Micro.run) ]
+
+let run_all () = List.iter (fun (_, f) -> f ()) experiments
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] | [ _; "all" ] -> run_all ()
+  | _ :: picks ->
+    List.iter
+      (fun pick ->
+        match List.assoc_opt pick experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; known: %s all\n" pick
+            (String.concat " " (List.map fst experiments));
+          exit 2)
+      picks
+  | [] -> run_all ()

@@ -1,0 +1,80 @@
+(* Bechamel micro-benchmarks: the primitive operations behind each table
+   and figure.  One Test.make per experiment family:
+   - Table II's units: SHA-256 core, keystream, XOR cipher, PUF response;
+   - Fig 5/6's compiler path: full compilation and encrypting build;
+   - Fig 7's load path: package decrypt+validate and SoC execution. *)
+
+open Bechamel
+open Toolkit
+
+let buf_4k = Bytes.init 4096 (fun i -> Char.chr (i land 0xFF))
+let key = Bytes.of_string "0123456789abcdef0123456789abcdef"
+
+let quick_source = (List.nth Eric_workloads.Workloads.all 4).Eric_workloads.Workloads.source
+(* crc32 *)
+
+let quick_image = lazy (Eric_cc.Driver.compile_exn quick_source)
+
+let quick_package =
+  lazy (fst (Eric.Encrypt.encrypt ~key ~mode:Eric.Config.Full (Lazy.force quick_image)))
+
+let puf_device = lazy (Eric_puf.Device.manufacture 99L)
+
+let word = Eric_rv.Encode.encode (Eric_rv.Inst.I (Addi, Eric_rv.Reg.a 0, Eric_rv.Reg.a 1, 42))
+
+let tests =
+  Test.make_grouped ~name:"eric"
+    [ Test.make ~name:"sha256-4KiB" (Staged.stage (fun () -> Eric_crypto.Sha256.digest buf_4k));
+      Test.make ~name:"keystream-4KiB"
+        (Staged.stage (fun () ->
+             Eric_crypto.Keystream.take (Eric_crypto.Keystream.create ~key) 4096));
+      Test.make ~name:"xor-cipher-4KiB"
+        (Staged.stage (fun () -> Eric_crypto.Xor_cipher.apply_bytes ~key buf_4k));
+      Test.make ~name:"hmac-derive" (Staged.stage (fun () ->
+          Eric.Kmu.derive ~puf_key:key Eric.Kmu.default_context));
+      Test.make ~name:"decode-word" (Staged.stage (fun () -> Eric_rv.Decode.decode word));
+      Test.make ~name:"rvc-expand" (Staged.stage (fun () -> Eric_rv.Rvc.expand 0x4505));
+      Test.make ~name:"puf-response"
+        (Staged.stage (fun () ->
+             let d = Lazy.force puf_device in
+             Eric_puf.Device.respond d (Eric_puf.Device.challenge_set d)));
+      Test.make ~name:"compile-crc32"
+        (Staged.stage (fun () ->
+             match Eric_cc.Driver.compile quick_source with
+             | Ok _ -> ()
+             | Error e -> failwith e));
+      Test.make ~name:"eric-build-crc32"
+        (Staged.stage (fun () ->
+             match Eric.Source.build ~mode:Eric.Config.Full ~key quick_source with
+             | Ok _ -> ()
+             | Error e -> failwith e));
+      Test.make ~name:"package-decrypt-validate"
+        (Staged.stage (fun () ->
+             match Eric.Encrypt.decrypt ~key (Lazy.force quick_package) with
+             | Ok _ -> ()
+             | Error _ -> failwith "decrypt failed")) ]
+
+let run () =
+  Report.heading "Microbenchmarks (bechamel, monotonic clock, ns/run)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> Printf.sprintf "%.1f" est
+        | Some [] | None -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "n/a"
+      in
+      rows := [ name; ns; r2 ] :: !rows)
+    results;
+  Report.table ~header:[ "benchmark"; "ns/run"; "r^2" ]
+    (List.sort compare !rows)

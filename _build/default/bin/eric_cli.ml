@@ -1,0 +1,282 @@
+(* eric: command-line front end to the framework.
+
+   Subcommands mirror the paper's workflow:
+     compile   MiniC -> plain RV64 image (the baseline toolchain)
+     build     MiniC -> encrypted package for one device (compiler + ERIC)
+     inspect   describe a plain image or an encrypted package
+     disasm    disassemble a plain image (what a static attacker does)
+     analyze   static-analysis metrics of an image or package text
+     run       execute a plain image, or a package on its device
+     puf       show a device's PUF identity and derived key *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc data)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let source_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE.mc" ~doc:"MiniC source file.")
+
+let output_arg ~default =
+  Arg.(value & opt string default & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+
+let device_id_arg =
+  Arg.(
+    value
+    & opt int64 1L
+    & info [ "device-id" ] ~docv:"ID" ~doc:"Target device identity (simulated silicon seed).")
+
+let no_compress_arg =
+  Arg.(value & flag & info [ "no-compress" ] ~doc:"Disable RVC compression.")
+
+let no_optimize_arg =
+  Arg.(value & flag & info [ "no-optimize" ] ~doc:"Disable IR optimisation passes.")
+
+let mode_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "full" ] -> Ok Eric.Config.Full
+    | [ "partial" ] -> Ok (Eric.Config.Partial Eric.Config.Select_all)
+    | [ "partial"; frac ] -> (
+      match float_of_string_opt frac with
+      | Some fraction when fraction >= 0.0 && fraction <= 1.0 ->
+        Ok (Eric.Config.Partial (Eric.Config.Select_fraction { fraction; seed = 0x5EEDL }))
+      | _ -> Error (`Msg "partial:<fraction in 0..1>"))
+    | [ "field-imm" ] -> Ok (Eric.Config.Field (Eric.Config.Imm_fields, Eric.Config.Select_all))
+    | [ "field-all" ] ->
+      Ok (Eric.Config.Field (Eric.Config.All_but_opcode, Eric.Config.Select_all))
+    | _ -> Error (`Msg "expected full | partial[:frac] | field-imm | field-all")
+  in
+  Arg.conv (parse, fun fmt m -> Eric.Config.pp_mode fmt m)
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Eric.Config.Full
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Encryption mode: full, partial[:frac], field-imm, field-all.")
+
+let options_of ~no_compress ~no_optimize =
+  { Eric_cc.Driver.default_options with
+    Eric_cc.Driver.compress = not no_compress;
+    optimize = not no_optimize }
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let run source output no_compress no_optimize =
+    let options = options_of ~no_compress ~no_optimize in
+    let image = or_die (Eric_cc.Driver.compile ~options (read_file source)) in
+    write_file output (Eric_rv.Program.to_binary ~with_symbols:true image);
+    Format.printf "%s: %a@." output Eric_rv.Program.pp_summary image
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile MiniC to a plain RV64 image (with symbols; see disasm).")
+    Term.(const run $ source_arg $ output_arg ~default:"a.rexe" $ no_compress_arg $ no_optimize_arg)
+
+let build_cmd =
+  let run source output device_id mode no_compress no_optimize =
+    let options = options_of ~no_compress ~no_optimize in
+    let target = Eric.Target.of_id device_id in
+    let key = Eric.Protocol.provision target in
+    let build = or_die (Eric.Source.build ~options ~mode ~key (read_file source)) in
+    write_file output (Eric.Package.serialize build.Eric.Source.package);
+    Format.printf "%s: %a@." output Eric.Package.pp_summary build.Eric.Source.package;
+    Format.printf "plain %d B -> package %d B (%+.2f%%), %d/%d parcels encrypted@."
+      build.Eric.Source.plain_size build.Eric.Source.package_size
+      (100.0
+      *. float_of_int (build.Eric.Source.package_size - build.Eric.Source.plain_size)
+      /. float_of_int build.Eric.Source.plain_size)
+      build.Eric.Source.stats.Eric.Encrypt.encrypted_parcels
+      build.Eric.Source.stats.Eric.Encrypt.parcels
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Compile and encrypt a package for one device.")
+    Term.(
+      const run $ source_arg $ output_arg ~default:"a.epkg" $ device_id_arg $ mode_arg
+      $ no_compress_arg $ no_optimize_arg)
+
+let emit_asm_cmd =
+  let run source output no_compress no_optimize =
+    let options = options_of ~no_compress ~no_optimize in
+    let text = or_die (Eric_cc.Driver.compile_to_assembly ~options (read_file source)) in
+    if output = "-" then print_string text
+    else begin
+      write_file output (Bytes.of_string text);
+      Printf.printf "%s: %d lines of assembly\n" output
+        (List.length (String.split_on_char '\n' text))
+    end
+  in
+  Cmd.v
+    (Cmd.info "emit-asm" ~doc:"Compile MiniC to assembly text (-S mode; '-o -' for stdout).")
+    Term.(const run $ source_arg $ output_arg ~default:"a.s" $ no_compress_arg $ no_optimize_arg)
+
+let asm_cmd =
+  let run source output no_compress entry =
+    let image =
+      or_die (Eric_rv.Asm.assemble ?entry ~compress:(not no_compress) (read_file source))
+    in
+    write_file output (Eric_rv.Program.to_binary ~with_symbols:true image);
+    Format.printf "%s: %a@." output Eric_rv.Program.pp_summary image
+  in
+  let entry_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "entry" ] ~docv:"LABEL" ~doc:"Entry label (default _start or first label).")
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble RISC-V assembly text to a plain image.")
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE.s" ~doc:"Assembly file.")
+      $ output_arg ~default:"a.rexe" $ no_compress_arg $ entry_arg)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Image (.rexe) or package (.epkg).")
+
+let inspect_cmd =
+  let run path =
+    let data = Bytes.of_string (read_file path) in
+    match Eric.Package.parse data with
+    | Ok pkg -> Format.printf "%a@." Eric.Package.pp_summary pkg
+    | Error _ ->
+      let image = or_die (Eric_rv.Program.of_binary data) in
+      Format.printf "%a@." Eric_rv.Program.pp_summary image
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"Describe an image or package.") Term.(const run $ file_arg)
+
+let disasm_cmd =
+  let run path =
+    let image = or_die (Eric_rv.Program.of_binary (Bytes.of_string (read_file path))) in
+    let lines = Eric_rv.Disasm.disassemble_stream (Eric_rv.Program.text_bytes image) in
+    match image.Eric_rv.Program.symbols with
+    | [] -> Format.printf "%a" Eric_rv.Disasm.pp_listing lines
+    | symbols -> Format.printf "%a" (Eric_rv.Disasm.pp_listing_symbols ~symbols) lines
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a plain image (symbolised when the image carries symbols).")
+    Term.(const run $ file_arg)
+
+let analyze_cmd =
+  let run path =
+    let data = Bytes.of_string (read_file path) in
+    let text =
+      match Eric.Package.parse data with
+      | Ok pkg -> pkg.Eric.Package.enc_text
+      | Error _ ->
+        let image = or_die (Eric_rv.Program.of_binary data) in
+        Eric_rv.Program.text_bytes image
+    in
+    Format.printf "%a@." Eric.Analysis.pp_static_report (Eric.Analysis.static_analysis text);
+    Format.printf "byte entropy: %.2f bits/byte@." (Eric.Analysis.byte_entropy text)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Static-analysis metrics of a text section.")
+    Term.(const run $ file_arg)
+
+let run_cmd =
+  let run path device_id fuel trace =
+    let data = Bytes.of_string (read_file path) in
+    let with_trace image memory load_cycles =
+      let cpu = Eric_sim.Soc.boot image memory in
+      if trace > 0 then begin
+        let remaining = ref trace in
+        Eric_sim.Cpu.set_trace cpu
+          (Some
+             (fun ~pc inst ->
+               if !remaining > 0 then begin
+                 decr remaining;
+                 Printf.eprintf "%8x:  %s\n" pc (Eric_rv.Disasm.inst_to_string inst)
+               end))
+      end;
+      ignore (Eric_sim.Cpu.run ~fuel cpu);
+      { Eric_sim.Soc.status = Eric_sim.Cpu.status cpu;
+        output = Eric_sim.Cpu.output cpu;
+        exec_cycles = Eric_sim.Cpu.cycles cpu;
+        load_cycles;
+        instructions = Eric_sim.Cpu.instructions cpu;
+        icache_hit_rate = Eric_sim.Cache.hit_rate (Eric_sim.Cpu.icache cpu);
+        dcache_hit_rate = Eric_sim.Cache.hit_rate (Eric_sim.Cpu.dcache cpu) }
+    in
+    let result =
+      match Eric.Package.parse data with
+      | Ok pkg -> (
+        let target = Eric.Target.of_id device_id in
+        match Eric.Target.receive target pkg with
+        | Error e ->
+          Printf.eprintf "error: %s\n" (Format.asprintf "%a" Eric.Target.pp_load_error e);
+          exit 1
+        | Ok loaded ->
+          let image = loaded.Eric.Target.image in
+          with_trace image (Eric_sim.Soc.load image)
+            loaded.Eric.Target.load.Eric_hw.Hde.total_cycles)
+      | Error _ ->
+        let image = or_die (Eric_rv.Program.of_binary data) in
+        with_trace image (Eric_sim.Soc.load image) (Eric_sim.Soc.plain_load_cycles image)
+    in
+    print_string result.Eric_sim.Soc.output;
+    Format.eprintf "load %Ld + exec %Ld = %Ld cycles, %Ld instructions@."
+      result.Eric_sim.Soc.load_cycles result.Eric_sim.Soc.exec_cycles
+      (Eric_sim.Soc.total_cycles result)
+      result.Eric_sim.Soc.instructions;
+    match result.Eric_sim.Soc.status with
+    | Eric_sim.Cpu.Exited code -> exit code
+    | Eric_sim.Cpu.Faulted msg ->
+      Printf.eprintf "fault: %s\n" msg;
+      exit 124
+    | Eric_sim.Cpu.Running -> exit 125
+  in
+  let fuel_arg =
+    Arg.(
+      value & opt int 200_000_000
+      & info [ "fuel" ] ~docv:"N" ~doc:"Maximum instructions to execute.")
+  in
+  let trace_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "trace" ] ~docv:"N" ~doc:"Print the first N executed instructions to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an image, or a package on its device.")
+    Term.(const run $ file_arg $ device_id_arg $ fuel_arg $ trace_arg)
+
+let puf_cmd =
+  let run device_id =
+    let device = Eric_puf.Device.manufacture device_id in
+    let target = Eric.Target.create device in
+    Printf.printf "device id     : %Ld\n" device_id;
+    Printf.printf "chains        : %d x %d-stage arbiter\n" (Eric_puf.Device.chains device)
+      (Eric_puf.Arbiter.default_params.Eric_puf.Arbiter.stages);
+    Printf.printf "puf key       : %s\n"
+      (Eric_util.Bytesx.to_hex (Eric_puf.Device.puf_key device));
+    Printf.printf "derived key   : %s\n"
+      (Eric_util.Bytesx.to_hex (Eric.Target.derived_key target));
+    Printf.printf "challenge set : %s\n"
+      (String.concat " "
+         (Array.to_list (Array.map string_of_int (Eric_puf.Device.challenge_set device))))
+  in
+  Cmd.v
+    (Cmd.info "puf" ~doc:"Show a device's PUF identity and derived key.")
+    Term.(const run $ device_id_arg)
+
+let () =
+  let doc = "ERIC: PUF-keyed software obfuscation and trusted execution" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "eric" ~doc) [ compile_cmd; emit_asm_cmd; asm_cmd; build_cmd; inspect_cmd; disasm_cmd; analyze_cmd; run_cmd; puf_cmd ]))

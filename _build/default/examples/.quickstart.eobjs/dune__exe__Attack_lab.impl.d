@@ -1,0 +1,1 @@
+examples/attack_lab.ml: Bytes Eric Eric_rv Eric_sim Format List Printf

@@ -1,0 +1,1 @@
+examples/fleet_provisioning.ml: Eric Eric_sim List Printf

@@ -1,0 +1,1 @@
+examples/partial_encryption.ml: Bytes Eric Eric_cc Eric_rv Eric_sim Format List Printf String

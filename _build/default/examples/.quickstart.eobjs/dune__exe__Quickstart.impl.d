@@ -1,0 +1,1 @@
+examples/quickstart.ml: Eric Eric_rv Eric_sim Eric_util Format Printf

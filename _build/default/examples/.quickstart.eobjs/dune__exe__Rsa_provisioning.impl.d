@@ -1,0 +1,1 @@
+examples/rsa_provisioning.ml: Bytes Eric Eric_crypto Eric_sim Eric_util Format Printf String

@@ -1,0 +1,1 @@
+examples/timelock.ml: Eric Eric_cc Eric_puf Eric_sim Format

@@ -1,0 +1,1 @@
+examples/toolchain_tour.ml: Eric_cc Eric_rv Eric_sim Format List Printf String

@@ -1,0 +1,69 @@
+(* Quickstart: the whole ERIC workflow on one page.
+
+   A software source compiles a MiniC program, encrypts it for one specific
+   target device (using the device's PUF-derived key), ships it over a
+   network, and the device's Hardware Decryption Engine decrypts, validates
+   and runs it.
+
+     dune exec examples/quickstart.exe *)
+
+let program =
+  {|
+// A toy "proprietary" workload: checksum a generated message.
+char message[64] = "ERIC: encrypted on the way, plaintext only inside.";
+
+int checksum(char *s) {
+  int h = 5381;
+  int i = 0;
+  while (s[i] != 0) {
+    h = (h * 33 + s[i]) % 1000000007;
+    i = i + 1;
+  }
+  return h;
+}
+
+int main() {
+  print_str("message: ");
+  println_str(message);
+  print_str("djb2 checksum: ");
+  println_int(checksum(message));
+  return 0;
+}
+|}
+
+let () =
+  (* 1. The target hardware: a device whose Arbiter PUF gives it an
+        identity.  The PUF key never leaves the silicon; provisioning hands
+        out a derived key. *)
+  let target = Eric.Target.of_id 0xD341CEL in
+  let key = Eric.Protocol.provision target in
+  Printf.printf "[device] PUF-based key (derived, safe to give to the source): %s\n"
+    (Eric_util.Bytesx.to_hex key);
+
+  (* 2. The software source compiles + signs + encrypts in one step. *)
+  let build =
+    match Eric.Source.build ~mode:Eric.Config.Full ~key program with
+    | Ok b -> b
+    | Error e -> failwith e
+  in
+  Printf.printf "[source] compiled: %s\n"
+    (Format.asprintf "%a" Eric_rv.Program.pp_summary build.Eric.Source.image);
+  Printf.printf "[source] packaged: %s\n"
+    (Format.asprintf "%a" Eric.Package.pp_summary build.Eric.Source.package);
+
+  (* 3. Ship it over the (untrusted) network and let the device run it. *)
+  match Eric.Protocol.transmit ~source:build ~target () with
+  | Eric.Protocol.Executed result ->
+    Printf.printf "[device] HDE load: %Ld cycles, execution: %Ld cycles\n"
+      result.Eric_sim.Soc.load_cycles result.Eric_sim.Soc.exec_cycles;
+    print_string "[device] program output:\n";
+    print_string result.Eric_sim.Soc.output;
+    (* 4. And confirm nobody else can run it. *)
+    let imposter = Eric.Target.of_id 0xBAD_DEL in
+    (match Eric.Protocol.transmit ~source:build ~target:imposter () with
+    | Eric.Protocol.Refused reason ->
+      Format.printf "[imposter] refused, as intended: %a@." Eric.Target.pp_load_error reason
+    | Eric.Protocol.Executed _ -> failwith "imposter executed the package!")
+  | Eric.Protocol.Refused reason ->
+    Format.printf "unexpected refusal: %a@." Eric.Target.pp_load_error reason;
+    exit 1

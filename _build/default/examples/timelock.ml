@@ -1,0 +1,55 @@
+(* Environment-bound packages: the paper's configurable Key Management
+   Unit.  The same firmware is packaged so it only decrypts (a) during one
+   maintenance window and (b) while the device is at a sane temperature —
+   outside either condition the derived key differs and the Validation
+   Unit refuses the program without any explicit policy check.
+
+     dune exec examples/timelock.exe *)
+
+let firmware =
+  {|
+int main() {
+  println_str("maintenance firmware running");
+  return 0;
+}
+|}
+
+let window_hours = 4
+
+let () =
+  let device = Eric_puf.Device.manufacture 4242L in
+  let puf_key = Eric_puf.Device.puf_key device in
+  let context = Eric.Kmu.default_context in
+
+  (* The source binds the package to the maintenance window starting at
+     hour 490000 since the epoch, and to the 20-29 degree band. *)
+  let wanted =
+    { Eric.Envbind.hour_slot = Some (Eric.Envbind.window_of ~window_hours ~unix_hours:490000);
+      temperature_band = Some 2;
+      frequency_mhz = Some 25 }
+  in
+  let bound_key = Eric.Envbind.derive ~puf_key ~context wanted in
+  Format.printf "package bound to: %a@." Eric.Envbind.pp_conditions wanted;
+  let image = Eric_cc.Driver.compile_exn firmware in
+  let pkg, _ = Eric.Encrypt.encrypt ~key:bound_key ~mode:Eric.Config.Full image in
+
+  (* The device derives its key from what its sensors *actually* read. *)
+  let attempt name env =
+    let observed = Eric.Envbind.observe ~window_hours env wanted in
+    let device_key = Eric.Envbind.derive ~puf_key ~context observed in
+    match Eric.Encrypt.decrypt ~key:device_key pkg with
+    | Ok (image, _) ->
+      let r = Eric_sim.Soc.run_program image in
+      Format.printf "%-34s -> runs: %s" name r.Eric_sim.Soc.output
+    | Error e -> Format.printf "%-34s -> %a@." name Eric.Encrypt.pp_error e
+  in
+  attempt "in window, 24C"
+    { Eric.Envbind.unix_hours = 490001; temperature_c = 24; clock_mhz = 25 };
+  attempt "same window, 21C (same band)"
+    { Eric.Envbind.unix_hours = 490003; temperature_c = 21; clock_mhz = 25 };
+  attempt "six hours later"
+    { Eric.Envbind.unix_hours = 490006; temperature_c = 24; clock_mhz = 25 };
+  attempt "in window but overheating (41C)"
+    { Eric.Envbind.unix_hours = 490001; temperature_c = 41; clock_mhz = 25 };
+  attempt "in window, overclocked to 50MHz"
+    { Eric.Envbind.unix_hours = 490001; temperature_c = 24; clock_mhz = 50 }

@@ -1,0 +1,69 @@
+(* Toolchain tour: every stage of the compiler/assembler pipeline on one
+   small program, ending with a self-timing run that reads the hardware
+   counters ERIC's dynamic-analysis threat model talks about.
+
+     dune exec examples/toolchain_tour.exe *)
+
+let source =
+  {|
+int hot_loop(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) { acc += i * i; }
+  return acc;
+}
+
+int main() {
+  int c0 = __cycles();
+  int r = hot_loop(500);
+  int c1 = __cycles();
+  print_str("result: ");
+  println_int(r);
+  print_str("cycles in hot_loop (rdcycle): ");
+  println_int(c1 - c0);
+  return 0;
+}
+|}
+
+let () =
+  (* 1. MiniC -> IR (what the optimiser sees) *)
+  let ir =
+    match Eric_cc.Driver.compile_to_ir source with Ok ir -> ir | Error e -> failwith e
+  in
+  let hot = List.find (fun f -> f.Eric_cc.Ir.f_name = "hot_loop") ir.Eric_cc.Ir.p_funcs in
+  print_endline "=== IR of hot_loop after optimisation ===";
+  Format.printf "%a@." Eric_cc.Ir.pp_func hot;
+
+  (* 2. IR -> assembly text (the compiler's -S mode) *)
+  let asm_text =
+    match Eric_cc.Driver.compile_to_assembly source with Ok t -> t | Error e -> failwith e
+  in
+  print_endline "=== assembly (first 18 lines) ===";
+  String.split_on_char '\n' asm_text
+  |> List.filteri (fun i _ -> i < 18)
+  |> List.iter print_endline;
+
+  (* 3. assembly text -> image, via the textual assembler *)
+  let image =
+    match Eric_rv.Asm.assemble asm_text with Ok img -> img | Error e -> failwith e
+  in
+  Format.printf "=== assembled: %a ===@." Eric_rv.Program.pp_summary image;
+
+  (* 4. disassemble it back, symbolised *)
+  print_endline "=== disassembly of hot_loop ===";
+  let lines = Eric_rv.Disasm.disassemble_stream (Eric_rv.Program.text_bytes image) in
+  let hot_off = List.assoc "hot_loop" image.Eric_rv.Program.symbols in
+  let listing =
+    Format.asprintf "%a"
+      (Eric_rv.Disasm.pp_listing_symbols ~symbols:image.Eric_rv.Program.symbols)
+      (List.filter
+         (fun (l : Eric_rv.Disasm.line) -> l.offset >= hot_off && l.offset < hot_off + 40)
+         lines)
+  in
+  print_string listing;
+
+  (* 5. run it on the SoC — the program times itself with rdcycle *)
+  print_endline "=== execution ===";
+  let r = Eric_sim.Soc.run_program image in
+  print_string r.Eric_sim.Soc.output;
+  Printf.printf "(SoC totals: %Ld instructions, %Ld cycles)\n" r.Eric_sim.Soc.instructions
+    r.Eric_sim.Soc.exec_cycles

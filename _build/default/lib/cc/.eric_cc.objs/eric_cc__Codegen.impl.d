@@ -1,0 +1,1 @@
+lib/cc/codegen.ml: Array Assemble Buffer Bytes Eric_rv Hashtbl Inst Int64 Ir List Option Printf Reg Regalloc

@@ -1,0 +1,1 @@
+lib/cc/driver.ml: Codegen Eric_rv Format Ir List Lower Opt Parser Result Typecheck

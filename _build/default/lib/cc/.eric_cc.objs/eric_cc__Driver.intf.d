@@ -1,0 +1,1 @@
+lib/cc/driver.mli: Eric_rv Ir

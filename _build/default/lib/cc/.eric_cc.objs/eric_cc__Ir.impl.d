@@ -1,0 +1,1 @@
+lib/cc/ir.ml: Format List

@@ -1,0 +1,1 @@
+lib/cc/ir_interp.ml: Array Buffer Bytes Char Eric_util Format Hashtbl Int64 Ir List

@@ -1,0 +1,1 @@
+lib/cc/ir_interp.mli: Ir

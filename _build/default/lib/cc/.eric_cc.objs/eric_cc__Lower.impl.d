@@ -1,0 +1,1 @@
+lib/cc/lower.ml: Ast Bytes Char Eric_util Hashtbl Int64 Ir List Option Printf String Tast

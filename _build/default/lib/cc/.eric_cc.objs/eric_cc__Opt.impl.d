@@ -1,0 +1,1 @@
+lib/cc/opt.ml: Hashtbl Int Int64 Ir List Set

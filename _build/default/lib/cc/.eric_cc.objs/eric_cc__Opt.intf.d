@@ -1,0 +1,1 @@
+lib/cc/opt.mli: Ir

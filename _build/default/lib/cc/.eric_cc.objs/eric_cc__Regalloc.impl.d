@@ -1,0 +1,1 @@
+lib/cc/regalloc.ml: Array Eric_rv Hashtbl Int Ir List Reg Set

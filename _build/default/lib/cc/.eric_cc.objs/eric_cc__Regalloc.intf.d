@@ -1,0 +1,1 @@
+lib/cc/regalloc.mli: Eric_rv Hashtbl Ir

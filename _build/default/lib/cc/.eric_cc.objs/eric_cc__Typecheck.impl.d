@@ -1,0 +1,1 @@
+lib/cc/typecheck.ml: Ast Format Hashtbl Int64 List Option String Tast

@@ -1,0 +1,89 @@
+(** Abstract syntax of MiniC, the C subset the framework's compiler accepts.
+
+    MiniC covers what the MiBench-style evaluation workloads need: 64-bit
+    [int], unsigned byte [char], pointers with [&]/[*] (address-taken
+    locals live in the frame), fixed-size arrays (global and local), string
+    literals, the usual expression operators with C semantics (including
+    short-circuit [&&]/[||], compound assignment, [++]/[--], the ternary
+    conditional and [sizeof]), [if]/[while]/[do-while]/[for] control flow
+    with [break]/[continue], and functions with up to eight arguments. *)
+
+type pos = { line : int; col : int }
+
+let pp_pos fmt p = Format.fprintf fmt "%d:%d" p.line p.col
+
+type ty = T_int | T_char | T_void | T_ptr of ty
+
+let rec pp_ty fmt = function
+  | T_int -> Format.pp_print_string fmt "int"
+  | T_char -> Format.pp_print_string fmt "char"
+  | T_void -> Format.pp_print_string fmt "void"
+  | T_ptr t -> Format.fprintf fmt "%a*" pp_ty t
+
+let rec ty_equal a b =
+  match (a, b) with
+  | T_int, T_int | T_char, T_char | T_void, T_void -> true
+  | T_ptr a, T_ptr b -> ty_equal a b
+  | (T_int | T_char | T_void | T_ptr _), _ -> false
+
+type unop = Neg | Lognot | Bitnot | Deref | Addrof
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Shl | Shr
+  | Band | Bor | Bxor
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor
+
+type expr = { e : expr_kind; epos : pos }
+
+and expr_kind =
+  | Int_lit of int64
+  | Str_lit of string
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr  (** lvalue, value *)
+  | Compound of binop * expr * expr  (** lvalue op= value; lvalue evaluated once *)
+  | Incr of { pre : bool; up : bool; lvalue : expr }  (** ++x / x++ / --x / x-- *)
+  | Ternary of expr * expr * expr
+  | Sizeof of ty
+  | Call of string * expr list
+  | Index of expr * expr
+
+type stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | S_expr of expr
+  | S_decl of ty * string * int option * expr option
+      (** type, name, array length (None = scalar), initialiser *)
+  | S_if of expr * stmt * stmt option
+  | S_while of expr * stmt
+  | S_dowhile of stmt * expr
+  | S_for of stmt option * expr option * stmt option * stmt
+  | S_return of expr option
+  | S_break
+  | S_continue
+  | S_block of stmt list
+
+type ginit = G_scalar of int64 | G_array of int64 list | G_string of string
+
+type global = {
+  g_ty : ty;
+  g_name : string;
+  g_array : int option;
+  g_init : ginit option;
+  g_pos : pos;
+}
+
+type func = {
+  f_ret : ty;
+  f_name : string;
+  f_params : (ty * string) list;
+  f_body : stmt list;
+  f_pos : pos;
+}
+
+type decl = D_global of global | D_func of func
+
+type program = decl list

@@ -1,0 +1,349 @@
+open Eric_rv
+
+(* Reserved scratch registers, excluded from the allocator's pools:
+   t4/t5 hold reloaded spills and immediate operands, t6 addresses. *)
+let scratch_a = Reg.t_ 4
+let scratch_b = Reg.t_ 5
+let scratch_addr = Reg.t_ 6
+
+type ctx = {
+  f : Ir.func;
+  alloc : Regalloc.allocation;
+  frame : int;
+  slot_offsets : (int * int) list;  (** local array slot id -> sp offset *)
+  spill_base : int;  (** sp offset of spill slot 0 *)
+  mutable items : Assemble.item list;  (** reversed *)
+}
+
+let assignment ctx t =
+  match Hashtbl.find_opt ctx.alloc.assign t with
+  | Some a -> a
+  | None -> Regalloc.Spill 0 (* unreferenced temp; any location works *)
+
+let emit ctx item = ctx.items <- item :: ctx.items
+let ins ctx i = emit ctx (Assemble.Ins i)
+
+let fits12 v = v >= -2048 && v <= 2047
+
+(* sp-relative access that tolerates frames larger than the 12-bit
+   immediate (big local arrays). *)
+let frame_addr ctx off k =
+  if fits12 off then k Reg.sp off
+  else begin
+    emit ctx (Assemble.Li (scratch_addr, Int64.of_int off));
+    ins ctx (Inst.R (Add, scratch_addr, Reg.sp, scratch_addr));
+    k scratch_addr 0
+  end
+
+let load_spill ctx slot dst =
+  frame_addr ctx (ctx.spill_base + (8 * slot)) (fun base off ->
+      ins ctx (Inst.Load (Ld, dst, base, off)))
+
+let store_spill ctx slot src =
+  frame_addr ctx (ctx.spill_base + (8 * slot)) (fun base off ->
+      ins ctx (Inst.Store (Sd, src, base, off)))
+
+(* Bring a value into a register; [scratch] is used when the value is not
+   already register-resident. *)
+let use_value ctx v scratch =
+  match v with
+  | Ir.Imm 0L -> Reg.x0
+  | Ir.Imm n ->
+    emit ctx (Assemble.Li (scratch, n));
+    scratch
+  | Ir.Temp t -> (
+    match assignment ctx t with
+    | Regalloc.Reg r -> r
+    | Regalloc.Spill slot ->
+      load_spill ctx slot scratch;
+      scratch)
+
+(* Destination handling: run [k] with the register to compute into, then
+   flush if the temp lives in a spill slot. *)
+let def_temp ctx t k =
+  match assignment ctx t with
+  | Regalloc.Reg r -> k r
+  | Regalloc.Spill slot ->
+    k scratch_a;
+    store_spill ctx slot scratch_a
+
+let mv ctx dst src = if not (Reg.equal dst src) then ins ctx (Inst.I (Addi, dst, src, 0))
+
+(* ------------------------------------------------------------------ *)
+(* Binary operations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let imm_op : Ir.binop -> Inst.i_op option = function
+  | Ir.Add -> Some Inst.Addi
+  | Ir.And -> Some Inst.Andi
+  | Ir.Or -> Some Inst.Ori
+  | Ir.Xor -> Some Inst.Xori
+  | Ir.Slt -> Some Inst.Slti
+  | _ -> None
+
+let reg_op : Ir.binop -> Inst.r_op option = function
+  | Ir.Add -> Some Inst.Add
+  | Ir.Sub -> Some Inst.Sub
+  | Ir.Mul -> Some Inst.Mul
+  | Ir.Div -> Some Inst.Div
+  | Ir.Rem -> Some Inst.Rem
+  | Ir.And -> Some Inst.And
+  | Ir.Or -> Some Inst.Or
+  | Ir.Xor -> Some Inst.Xor
+  | Ir.Shl -> Some Inst.Sll
+  | Ir.Shr -> Some Inst.Sra
+  | Ir.Slt -> Some Inst.Slt
+  | _ -> None
+
+let gen_bin ctx op dst a b =
+  let simple rop =
+    let ra = use_value ctx a scratch_a in
+    let rb = use_value ctx b scratch_b in
+    ins ctx (Inst.R (rop, dst, ra, rb))
+  in
+  match op with
+  | Ir.Add | Ir.And | Ir.Or | Ir.Xor | Ir.Slt -> (
+    match (b, imm_op op) with
+    | Ir.Imm n, Some iop when fits12 (Int64.to_int n) && Int64.equal (Int64.of_int (Int64.to_int n)) n ->
+      let ra = use_value ctx a scratch_a in
+      ins ctx (Inst.I (iop, dst, ra, Int64.to_int n))
+    | _ -> simple (Option.get (reg_op op)))
+  | Ir.Sub -> (
+    match b with
+    | Ir.Imm n when fits12 (Int64.to_int (Int64.neg n)) && Int64.equal (Int64.of_int (Int64.to_int n)) n ->
+      let ra = use_value ctx a scratch_a in
+      ins ctx (Inst.I (Addi, dst, ra, -(Int64.to_int n)))
+    | _ -> simple Inst.Sub)
+  | Ir.Shl | Ir.Shr -> (
+    let shift_i : Inst.shift_op = if op = Ir.Shl then Slli else Srai in
+    match b with
+    | Ir.Imm n when Int64.compare n 0L >= 0 && Int64.compare n 63L <= 0 ->
+      let ra = use_value ctx a scratch_a in
+      ins ctx (Inst.Shift (shift_i, dst, ra, Int64.to_int n))
+    | _ -> simple (if op = Ir.Shl then Inst.Sll else Inst.Sra))
+  | Ir.Mul | Ir.Div | Ir.Rem -> simple (Option.get (reg_op op))
+  | Ir.Sle ->
+    (* a <= b  ==  !(b < a) *)
+    let ra = use_value ctx a scratch_a in
+    let rb = use_value ctx b scratch_b in
+    ins ctx (Inst.R (Slt, dst, rb, ra));
+    ins ctx (Inst.I (Xori, dst, dst, 1))
+  | Ir.Sgt ->
+    let ra = use_value ctx a scratch_a in
+    let rb = use_value ctx b scratch_b in
+    ins ctx (Inst.R (Slt, dst, rb, ra))
+  | Ir.Sge ->
+    let ra = use_value ctx a scratch_a in
+    let rb = use_value ctx b scratch_b in
+    ins ctx (Inst.R (Slt, dst, ra, rb));
+    ins ctx (Inst.I (Xori, dst, dst, 1))
+  | Ir.Seq ->
+    let ra = use_value ctx a scratch_a in
+    let rb = use_value ctx b scratch_b in
+    if Reg.equal rb Reg.x0 then ins ctx (Inst.I (Sltiu, dst, ra, 1))
+    else begin
+      ins ctx (Inst.R (Xor, dst, ra, rb));
+      ins ctx (Inst.I (Sltiu, dst, dst, 1))
+    end
+  | Ir.Sne ->
+    let ra = use_value ctx a scratch_a in
+    let rb = use_value ctx b scratch_b in
+    if Reg.equal rb Reg.x0 then ins ctx (Inst.R (Sltu, dst, Reg.x0, ra))
+    else begin
+      ins ctx (Inst.R (Xor, dst, ra, rb));
+      ins ctx (Inst.R (Sltu, dst, Reg.x0, dst))
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Instructions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let block_label fname l = Printf.sprintf ".L_%s_%d" fname l
+let ret_label fname = Printf.sprintf ".L_%s_ret" fname
+
+let gen_instr ctx (instr : Ir.instr) =
+  match instr with
+  | Ir.Move (d, v) ->
+    def_temp ctx d (fun dst ->
+        match v with
+        | Ir.Imm n -> emit ctx (Assemble.Li (dst, n))
+        | Ir.Temp _ ->
+          let src = use_value ctx v scratch_a in
+          mv ctx dst src)
+  | Ir.Bin (op, d, a, b) -> def_temp ctx d (fun dst -> gen_bin ctx op dst a b)
+  | Ir.Load (w, d, addr) ->
+    def_temp ctx d (fun dst ->
+        let ra = use_value ctx addr scratch_addr in
+        ins ctx (Inst.Load ((match w with Ir.W8 -> Lbu | Ir.W64 -> Ld), dst, ra, 0)))
+  | Ir.Store (w, addr, src) ->
+    let rs = use_value ctx src scratch_a in
+    let ra = use_value ctx addr scratch_addr in
+    ins ctx (Inst.Store ((match w with Ir.W8 -> Sb | Ir.W64 -> Sd), rs, ra, 0))
+  | Ir.Addr_global (d, sym) -> def_temp ctx d (fun dst -> emit ctx (Assemble.La (dst, sym)))
+  | Ir.Addr_local (d, slot) ->
+    def_temp ctx d (fun dst ->
+        let off = List.assoc slot ctx.slot_offsets in
+        if fits12 off then ins ctx (Inst.I (Addi, dst, Reg.sp, off))
+        else begin
+          emit ctx (Assemble.Li (dst, Int64.of_int off));
+          ins ctx (Inst.R (Add, dst, Reg.sp, dst))
+        end)
+  | Ir.Call (dest, fname, args) ->
+    List.iteri
+      (fun i arg ->
+        let dst = Reg.a i in
+        match arg with
+        | Ir.Imm n -> emit ctx (Assemble.Li (dst, n))
+        | Ir.Temp _ ->
+          let src = use_value ctx arg scratch_a in
+          mv ctx dst src)
+      args;
+    emit ctx (Assemble.Jump (Reg.ra, fname));
+    (match dest with
+    | Some d ->
+      def_temp ctx d (fun dst -> mv ctx dst (Reg.a 0))
+    | None -> ())
+  | Ir.Write (buf, len) ->
+    (match buf with
+    | Ir.Imm n -> emit ctx (Assemble.Li (Reg.a 1, n))
+    | Ir.Temp _ -> mv ctx (Reg.a 1) (use_value ctx buf scratch_a));
+    (match len with
+    | Ir.Imm n -> emit ctx (Assemble.Li (Reg.a 2, n))
+    | Ir.Temp _ -> mv ctx (Reg.a 2) (use_value ctx len scratch_b));
+    emit ctx (Assemble.Li (Reg.a 0, 1L));
+    emit ctx (Assemble.Li (Reg.a 7, 64L));
+    ins ctx Inst.Ecall
+  | Ir.Counter (d, kind) ->
+    def_temp ctx d (fun dst ->
+        ins ctx (Inst.Csrr (dst, match kind with Ir.C_cycles -> 0xC00 | Ir.C_instret -> 0xC02)))
+  | Ir.Exit v ->
+    (match v with
+    | Ir.Imm n -> emit ctx (Assemble.Li (Reg.a 0, n))
+    | Ir.Temp _ -> mv ctx (Reg.a 0) (use_value ctx v scratch_a));
+    emit ctx (Assemble.Li (Reg.a 7, 93L));
+    ins ctx Inst.Ecall
+
+let gen_term ctx ~next_label (term : Ir.term) =
+  let fname = ctx.f.Ir.f_name in
+  match term with
+  | Ir.Ret v ->
+    (match v with
+    | Some (Ir.Imm n) -> emit ctx (Assemble.Li (Reg.a 0, n))
+    | Some (Ir.Temp _ as tv) -> mv ctx (Reg.a 0) (use_value ctx tv scratch_a)
+    | None -> ());
+    emit ctx (Assemble.Jump (Reg.x0, ret_label fname))
+  | Ir.Jmp l ->
+    if Some l <> next_label then emit ctx (Assemble.Jump (Reg.x0, block_label fname l))
+  | Ir.Br (v, l1, l2) ->
+    let r = use_value ctx v scratch_a in
+    if Some l2 = next_label then
+      emit ctx (Assemble.Branch (Bne, r, Reg.x0, block_label fname l1))
+    else if Some l1 = next_label then
+      emit ctx (Assemble.Branch (Beq, r, Reg.x0, block_label fname l2))
+    else begin
+      emit ctx (Assemble.Branch (Bne, r, Reg.x0, block_label fname l1));
+      emit ctx (Assemble.Jump (Reg.x0, block_label fname l2))
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Frame layout and function emission                                  *)
+(* ------------------------------------------------------------------ *)
+
+let round16 v = (v + 15) / 16 * 16
+
+let layout_frame (f : Ir.func) (alloc : Regalloc.allocation) =
+  (* From sp upward: local array slots, spill slots, saved s-regs, ra. *)
+  let slot_offsets = ref [] in
+  let off = ref 0 in
+  List.iter
+    (fun (slot, size) ->
+      slot_offsets := (slot, !off) :: !slot_offsets;
+      off := !off + size)
+    f.f_slots;
+  let spill_base = !off in
+  let save_area = 8 * (1 + List.length alloc.used_callee_saved) in
+  let frame = round16 (spill_base + (8 * alloc.spill_slots) + save_area) in
+  (frame, List.rev !slot_offsets, spill_base)
+
+let frame_size f alloc =
+  let frame, _, _ = layout_frame f alloc in
+  frame
+
+let adjust_sp ctx delta =
+  if fits12 delta then ins ctx (Inst.I (Addi, Reg.sp, Reg.sp, delta))
+  else begin
+    emit ctx (Assemble.Li (scratch_addr, Int64.of_int delta));
+    ins ctx (Inst.R (Add, Reg.sp, Reg.sp, scratch_addr))
+  end
+
+let save_restore ctx ~save =
+  let frame = ctx.frame in
+  let at i = frame - 8 - (8 * i) in
+  let regs = Reg.ra :: ctx.alloc.used_callee_saved in
+  List.iteri
+    (fun i r ->
+      frame_addr ctx (at i) (fun base off ->
+          if save then ins ctx (Inst.Store (Sd, r, base, off))
+          else ins ctx (Inst.Load (Ld, r, base, off))))
+    regs
+
+let gen_func (f : Ir.func) =
+  let alloc = Regalloc.allocate f in
+  let frame, slot_offsets, spill_base = layout_frame f alloc in
+  let ctx = { f; alloc; frame; slot_offsets; spill_base; items = [] } in
+  emit ctx (Assemble.Label f.f_name);
+  adjust_sp ctx (-frame);
+  save_restore ctx ~save:true;
+  (* Move incoming arguments into their allocated homes. *)
+  List.iteri
+    (fun i p ->
+      match assignment ctx p with
+      | Regalloc.Reg r -> mv ctx r (Reg.a i)
+      | Regalloc.Spill slot -> store_spill ctx slot (Reg.a i))
+    f.f_params;
+  let blocks = Array.of_list f.f_blocks in
+  Array.iteri
+    (fun i b ->
+      emit ctx (Assemble.Label (block_label f.f_name b.Ir.b_label));
+      List.iter (gen_instr ctx) b.Ir.body;
+      let next_label =
+        if i + 1 < Array.length blocks then Some blocks.(i + 1).Ir.b_label else None
+      in
+      gen_term ctx ~next_label b.Ir.term)
+    blocks;
+  emit ctx (Assemble.Label (ret_label f.f_name));
+  save_restore ctx ~save:false;
+  adjust_sp ctx frame;
+  ins ctx (Inst.Jalr (Reg.x0, Reg.ra, 0));
+  List.rev ctx.items
+
+(* ------------------------------------------------------------------ *)
+(* Whole program                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let start_stub =
+  [ Assemble.Label "_start";
+    Assemble.Jump (Reg.ra, "main");
+    (* exit(main()) *)
+    Assemble.Li (Reg.a 7, 93L);
+    Assemble.Ins Inst.Ecall ]
+
+let pack_data entries =
+  let buf = Buffer.create 256 in
+  let symbols = ref [] in
+  List.iter
+    (fun (name, bytes) ->
+      (* 8-byte alignment between entries keeps int globals naturally
+         aligned regardless of neighbours. *)
+      while Buffer.length buf mod 8 <> 0 do
+        Buffer.add_char buf '\000'
+      done;
+      symbols := (name, Buffer.length buf) :: !symbols;
+      Buffer.add_bytes buf bytes)
+    entries;
+  (Bytes.of_string (Buffer.contents buf), List.rev !symbols)
+
+let gen_program (p : Ir.program) =
+  let text = start_stub @ List.concat_map gen_func p.p_funcs in
+  let data, data_symbols = pack_data p.p_data in
+  { Assemble.text; data; data_symbols; bss_symbols = p.p_bss; entry = "_start" }

@@ -1,0 +1,20 @@
+(** RV64 code generation: allocated IR functions -> {!Eric_rv.Assemble}
+    items, plus the [_start] stub and data/BSS packing.
+
+    Calling convention is the standard RISC-V integer ABI restricted to
+    MiniC: up to eight arguments in a0-a7, result in a0, ra plus used
+    callee-saved registers preserved in the frame, sp 16-byte aligned.
+    The [__write]/[__exit] intrinsics become Linux-convention [ecall]s
+    (write=64, exit=93), which is what the simulated SoC implements. *)
+
+val frame_size : Ir.func -> Regalloc.allocation -> int
+(** Bytes of stack frame the function will use (16-byte aligned). *)
+
+val gen_func : Ir.func -> Eric_rv.Assemble.item list
+(** Allocate registers and emit one function's items (leading label =
+    function name). *)
+
+val gen_program : Ir.program -> Eric_rv.Assemble.input
+(** Emit every function plus [_start] (which calls [main] and exits with
+    its return value), and pack initialised globals into the data image
+    with 8-byte alignment. *)

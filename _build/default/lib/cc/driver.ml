@@ -1,0 +1,124 @@
+type options = { optimize : bool; compress : bool; include_prelude : bool }
+
+let default_options = { optimize = true; compress = true; include_prelude = true }
+
+let prelude =
+  {|
+// MiniC runtime: console output over the __write intrinsic.
+
+void print_char(int c) {
+  char b[1];
+  b[0] = c;
+  __write(b, 1);
+}
+
+void print_str(char *s) {
+  int n = 0;
+  while (s[n] != 0) { n = n + 1; }
+  __write(s, n);
+}
+
+void print_int(int x) {
+  char buf[24];
+  int i = 24;
+  int neg = 0;
+  int v = x;
+  if (v < 0) { neg = 1; } else { v = 0 - v; }
+  if (v == 0) { i = i - 1; buf[i] = '0'; }
+  while (v != 0) {
+    i = i - 1;
+    buf[i] = '0' - (v % 10);
+    v = v / 10;
+  }
+  if (neg) { i = i - 1; buf[i] = '-'; }
+  __write(buf + i, 24 - i);
+}
+
+void println_int(int x) {
+  print_int(x);
+  print_char(10);
+}
+
+void println_str(char *s) {
+  print_str(s);
+  print_char(10);
+}
+
+void exit(int code) {
+  __exit(code);
+}
+
+// String and memory helpers (linker GC drops whatever a program never
+// calls, so carrying them costs nothing).
+
+int strlen(char *s) {
+  int n = 0;
+  while (s[n] != 0) { n++; }
+  return n;
+}
+
+int strcmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] != 0 && a[i] == b[i]) { i++; }
+  return a[i] - b[i];
+}
+
+void strcpy(char *dst, char *src) {
+  int i = 0;
+  while (src[i] != 0) {
+    dst[i] = src[i];
+    i++;
+  }
+  dst[i] = 0;
+}
+
+void memcpy(char *dst, char *src, int n) {
+  for (int i = 0; i < n; i++) { dst[i] = src[i]; }
+}
+
+void memset(char *dst, int value, int n) {
+  for (int i = 0; i < n; i++) { dst[i] = value; }
+}
+
+int memcmp(char *a, char *b, int n) {
+  for (int i = 0; i < n; i++) {
+    if (a[i] != b[i]) { return a[i] - b[i]; }
+  }
+  return 0;
+}
+|}
+
+let compile_to_ir ?(options = default_options) source =
+  let full = if options.include_prelude then prelude ^ source else source in
+  let ( let* ) = Result.bind in
+  let* ast = Parser.parse full in
+  let* tast = Typecheck.check ast in
+  let ir = Lower.lower tast in
+  if options.optimize then Opt.run ir;
+  Ok ir
+
+let gen_input ir =
+  let ir = { ir with Ir.p_funcs = Opt.reachable_functions ir ~entry:"main" } in
+  Codegen.gen_program ir
+
+let compile_to_assembly ?(options = default_options) source =
+  let ( let* ) = Result.bind in
+  let* ir = compile_to_ir ~options source in
+  if not (List.exists (fun f -> f.Ir.f_name = "main") ir.Ir.p_funcs) then
+    Error "program has no main function"
+  else Ok (Format.asprintf "%a" Eric_rv.Assemble.pp_input (gen_input ir))
+
+let compile ?(options = default_options) source =
+  let ( let* ) = Result.bind in
+  let* ir = compile_to_ir ~options source in
+  if not (List.exists (fun f -> f.Ir.f_name = "main") ir.Ir.p_funcs) then
+    Error "program has no main function"
+  else
+    (* Linker-style GC happens in gen_input: functions main never reaches
+       (e.g. unused runtime-prelude helpers) are dropped. *)
+    Eric_rv.Assemble.assemble ~compress:options.compress (gen_input ir)
+
+let compile_exn ?options source =
+  match compile ?options source with
+  | Ok image -> image
+  | Error msg -> failwith ("compile error: " ^ msg)

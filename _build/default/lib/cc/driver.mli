@@ -1,0 +1,31 @@
+(** The compiler driver: MiniC source -> executable {!Eric_rv.Program.t}
+    image (the role Clang plays in the paper's toolchain).
+
+    Every compilation prepends the runtime prelude — [print_int],
+    [print_char], [print_str], [println_int], [println_str] and [exit],
+    written in MiniC over the [__write]/[__exit] intrinsics — so workloads
+    can produce checkable output. *)
+
+type options = {
+  optimize : bool;  (** run the IR pass pipeline (default true) *)
+  compress : bool;  (** RVC compression (default true, as RV64GC implies) *)
+  include_prelude : bool;  (** default true *)
+}
+
+val default_options : options
+
+val prelude : string
+(** The runtime's MiniC source. *)
+
+val compile : ?options:options -> string -> (Eric_rv.Program.t, string) result
+(** Source to image; errors are "line:col: message" diagnostics from the
+    lexer/parser/typechecker, or assembler errors. *)
+
+val compile_exn : ?options:options -> string -> Eric_rv.Program.t
+
+val compile_to_ir : ?options:options -> string -> (Ir.program, string) result
+(** Stop after lowering + optimisation; used by IR-level tests. *)
+
+val compile_to_assembly : ?options:options -> string -> (string, string) result
+(** The compiler's -S mode: assembly text that {!Eric_rv.Asm.assemble}
+    turns into the same program [compile] would have produced. *)

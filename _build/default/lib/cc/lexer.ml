@@ -1,0 +1,267 @@
+type token =
+  | INT_LIT of int64
+  | STR_LIT of string
+  | IDENT of string
+  | KW_INT | KW_CHAR | KW_VOID
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_SIZEOF
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ | PERCENTEQ
+  | AMPEQ | PIPEEQ | CARETEQ | SHLEQ | SHREQ
+  | PLUSPLUS | MINUSMINUS
+  | QUESTION | COLON
+  | AMP | PIPE | CARET | TILDE | BANG
+  | SHL | SHR
+  | LT | LE | GT | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | ASSIGN
+  | EOF
+
+let token_name = function
+  | INT_LIT _ -> "integer literal"
+  | STR_LIT _ -> "string literal"
+  | IDENT s -> "identifier '" ^ s ^ "'"
+  | KW_INT -> "'int'" | KW_CHAR -> "'char'" | KW_VOID -> "'void'"
+  | KW_IF -> "'if'" | KW_ELSE -> "'else'" | KW_WHILE -> "'while'" | KW_DO -> "'do'"
+  | KW_FOR -> "'for'" | KW_SIZEOF -> "'sizeof'"
+  | KW_RETURN -> "'return'" | KW_BREAK -> "'break'" | KW_CONTINUE -> "'continue'"
+  | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'"
+  | SEMI -> "';'" | COMMA -> "','"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'" | PERCENT -> "'%'"
+  | PLUSEQ -> "'+='" | MINUSEQ -> "'-='" | STAREQ -> "'*='" | SLASHEQ -> "'/='"
+  | PERCENTEQ -> "'%='" | AMPEQ -> "'&='" | PIPEEQ -> "'|='" | CARETEQ -> "'^='"
+  | SHLEQ -> "'<<='" | SHREQ -> "'>>='" | PLUSPLUS -> "'++'" | MINUSMINUS -> "'--'"
+  | QUESTION -> "'?'" | COLON -> "':'"
+  | AMP -> "'&'" | PIPE -> "'|'" | CARET -> "'^'" | TILDE -> "'~'" | BANG -> "'!'"
+  | SHL -> "'<<'" | SHR -> "'>>'"
+  | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='" | EQEQ -> "'=='" | NEQ -> "'!='"
+  | ANDAND -> "'&&'" | OROR -> "'||'"
+  | ASSIGN -> "'='"
+  | EOF -> "end of input"
+
+type loc_token = { tok : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+let keywords =
+  [ ("int", KW_INT); ("char", KW_CHAR); ("void", KW_VOID); ("if", KW_IF); ("else", KW_ELSE);
+    ("while", KW_WHILE); ("do", KW_DO); ("for", KW_FOR); ("return", KW_RETURN);
+    ("break", KW_BREAK); ("continue", KW_CONTINUE); ("sizeof", KW_SIZEOF) ]
+
+type state = { src : string; mutable idx : int; mutable line : int; mutable col : int }
+
+let pos st = { Ast.line = st.line; col = st.col }
+let error st msg = raise (Lex_error (msg, pos st))
+let peek st = if st.idx < String.length st.src then Some st.src.[st.idx] else None
+let peek2 st = if st.idx + 1 < String.length st.src then Some st.src.[st.idx + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.idx <- st.idx + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let rec skip_space st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_space st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_space st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let rec eat () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | Some _, _ ->
+        advance st;
+        eat ()
+      | None, _ -> error st "unterminated block comment"
+    in
+    eat ();
+    skip_space st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.idx in
+  let hex = peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') in
+  if hex then begin
+    advance st;
+    advance st;
+    while (match peek st with Some c -> is_hex c | None -> false) do
+      advance st
+    done;
+    if st.idx = start + 2 then error st "hex literal needs digits";
+    Int64.of_string ("0x" ^ String.sub st.src (start + 2) (st.idx - start - 2))
+  end
+  else begin
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    Int64.of_string (String.sub st.src start (st.idx - start))
+  end
+
+let lex_escape st =
+  match peek st with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some '0' -> advance st; '\000'
+  | Some '\\' -> advance st; '\\'
+  | Some '\'' -> advance st; '\''
+  | Some '"' -> advance st; '"'
+  | Some c -> error st (Printf.sprintf "unknown escape '\\%c'" c)
+  | None -> error st "unterminated escape"
+
+let lex_char st =
+  advance st;
+  (* opening quote *)
+  let c =
+    match peek st with
+    | Some '\\' ->
+      advance st;
+      lex_escape st
+    | Some '\'' -> error st "empty character literal"
+    | Some c ->
+      advance st;
+      c
+    | None -> error st "unterminated character literal"
+  in
+  (match peek st with
+  | Some '\'' -> advance st
+  | Some _ | None -> error st "character literal must contain exactly one character");
+  Int64.of_int (Char.code c)
+
+let lex_string st =
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      Buffer.add_char buf (lex_escape st);
+      go ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+    | None -> error st "unterminated string literal"
+  in
+  go ();
+  Buffer.contents buf
+
+(* Lex a one-character token [t1] that becomes [t2] when followed by [b]. *)
+let two st b t1 t2 =
+  advance st;
+  if peek st = Some b then begin
+    advance st;
+    t2
+  end
+  else t1
+
+let tokenize src =
+  let st = { src; idx = 0; line = 1; col = 1 } in
+  let toks = ref [] in
+  let emit p t = toks := { tok = t; pos = p } :: !toks in
+  let rec loop () =
+    skip_space st;
+    let p = pos st in
+    match peek st with
+    | None -> emit p EOF
+    | Some c ->
+      (match c with
+      | c when is_digit c -> emit p (INT_LIT (lex_number st))
+      | c when is_ident_start c ->
+        let start = st.idx in
+        while (match peek st with Some c -> is_ident c | None -> false) do
+          advance st
+        done;
+        let word = String.sub src start (st.idx - start) in
+        emit p (match List.assoc_opt word keywords with Some kw -> kw | None -> IDENT word)
+      | '\'' -> emit p (INT_LIT (lex_char st))
+      | '"' -> emit p (STR_LIT (lex_string st))
+      | '(' -> advance st; emit p LPAREN
+      | ')' -> advance st; emit p RPAREN
+      | '{' -> advance st; emit p LBRACE
+      | '}' -> advance st; emit p RBRACE
+      | '[' -> advance st; emit p LBRACKET
+      | ']' -> advance st; emit p RBRACKET
+      | ';' -> advance st; emit p SEMI
+      | ',' -> advance st; emit p COMMA
+      | '+' ->
+        advance st;
+        (match peek st with
+        | Some '+' -> advance st; emit p PLUSPLUS
+        | Some '=' -> advance st; emit p PLUSEQ
+        | Some _ | None -> emit p PLUS)
+      | '-' ->
+        advance st;
+        (match peek st with
+        | Some '-' -> advance st; emit p MINUSMINUS
+        | Some '=' -> advance st; emit p MINUSEQ
+        | Some _ | None -> emit p MINUS)
+      | '*' -> emit p (two st '=' STAR STAREQ)
+      | '/' -> emit p (two st '=' SLASH SLASHEQ)
+      | '%' -> emit p (two st '=' PERCENT PERCENTEQ)
+      | '^' -> emit p (two st '=' CARET CARETEQ)
+      | '~' -> advance st; emit p TILDE
+      | '?' -> advance st; emit p QUESTION
+      | ':' -> advance st; emit p COLON
+      | '&' ->
+        advance st;
+        (match peek st with
+        | Some '&' -> advance st; emit p ANDAND
+        | Some '=' -> advance st; emit p AMPEQ
+        | Some _ | None -> emit p AMP)
+      | '|' ->
+        advance st;
+        (match peek st with
+        | Some '|' -> advance st; emit p OROR
+        | Some '=' -> advance st; emit p PIPEEQ
+        | Some _ | None -> emit p PIPE)
+      | '!' -> emit p (two st '=' BANG NEQ)
+      | '=' -> emit p (two st '=' ASSIGN EQEQ)
+      | '<' ->
+        advance st;
+        (match peek st with
+        | Some '<' ->
+          advance st;
+          (match peek st with
+          | Some '=' -> advance st; emit p SHLEQ
+          | Some _ | None -> emit p SHL)
+        | Some '=' -> advance st; emit p LE
+        | Some _ | None -> emit p LT)
+      | '>' ->
+        advance st;
+        (match peek st with
+        | Some '>' ->
+          advance st;
+          (match peek st with
+          | Some '=' -> advance st; emit p SHREQ
+          | Some _ | None -> emit p SHR)
+        | Some '=' -> advance st; emit p GE
+        | Some _ | None -> emit p GT)
+      | c -> error st (Printf.sprintf "unexpected character '%c'" c));
+      if (match !toks with { tok = EOF; _ } :: _ -> false | _ -> true) then loop ()
+  in
+  loop ();
+  List.rev !toks

@@ -1,0 +1,33 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_LIT of int64
+  | STR_LIT of string
+  | IDENT of string
+  | KW_INT | KW_CHAR | KW_VOID
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_SIZEOF
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ | PERCENTEQ
+  | AMPEQ | PIPEEQ | CARETEQ | SHLEQ | SHREQ
+  | PLUSPLUS | MINUSMINUS
+  | QUESTION | COLON
+  | AMP | PIPE | CARET | TILDE | BANG
+  | SHL | SHR
+  | LT | LE | GT | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | ASSIGN
+  | EOF
+
+val token_name : token -> string
+
+type loc_token = { tok : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+val tokenize : string -> loc_token list
+(** Raises {!Lex_error} on malformed input (bad escapes, unterminated
+    strings or comments, stray characters).  Character literals lex as
+    [INT_LIT] of their byte value; [//] and [/* */] comments are skipped. *)

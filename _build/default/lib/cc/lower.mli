@@ -1,0 +1,8 @@
+(** Lowering: {!Tast.tprogram} -> {!Ir.program}.
+
+    Scalars live in temporaries; local arrays get frame slots; globals and
+    string literals become data/BSS symbols.  Pointer arithmetic is scaled
+    here (element size from the static type), short-circuit [&&]/[||] become
+    control flow, and char narrowing becomes an explicit [and 0xff]. *)
+
+val lower : Tast.tprogram -> Ir.program

@@ -1,0 +1,348 @@
+open Ir
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let eval_binop op a b =
+  let open Int64 in
+  let bool_ c = if c then 1L else 0L in
+  match op with
+  | Add -> Some (add a b)
+  | Sub -> Some (sub a b)
+  | Mul -> Some (mul a b)
+  | Div -> if b = 0L then None else Some (div a b)
+  | Rem -> if b = 0L then None else Some (rem a b)
+  | And -> Some (logand a b)
+  | Or -> Some (logor a b)
+  | Xor -> Some (logxor a b)
+  | Shl -> Some (shift_left a (to_int (logand b 63L)))
+  | Shr -> Some (shift_right a (to_int (logand b 63L)))
+  | Slt -> Some (bool_ (compare a b < 0))
+  | Sle -> Some (bool_ (compare a b <= 0))
+  | Sgt -> Some (bool_ (compare a b > 0))
+  | Sge -> Some (bool_ (compare a b >= 0))
+  | Seq -> Some (bool_ (equal a b))
+  | Sne -> Some (bool_ (not (equal a b)))
+
+(* Algebraic identities that rewrite a Bin into a Move. *)
+let identity op x y =
+  match (op, x, y) with
+  | Add, v, Imm 0L | Add, Imm 0L, v -> Some v
+  | Sub, v, Imm 0L -> Some v
+  | Mul, v, Imm 1L | Mul, Imm 1L, v -> Some v
+  | Mul, _, Imm 0L | Mul, Imm 0L, _ -> Some (Imm 0L)
+  | Div, v, Imm 1L -> Some v
+  | And, v, Imm -1L | And, Imm -1L, v -> Some v
+  | And, _, Imm 0L | And, Imm 0L, _ -> Some (Imm 0L)
+  | Or, v, Imm 0L | Or, Imm 0L, v -> Some v
+  | Xor, v, Imm 0L | Xor, Imm 0L, v -> Some v
+  | (Shl | Shr), v, Imm 0L -> Some v
+  | _ -> None
+
+let power_of_two v =
+  if Int64.compare v 1L > 0 && Int64.logand v (Int64.sub v 1L) = 0L then begin
+    let rec log2 v acc = if v = 1L then acc else log2 (Int64.shift_right_logical v 1) (acc + 1) in
+    Some (log2 v 0)
+  end
+  else None
+
+(* Strength reduction: multiplication by a power of two becomes a shift
+   (the in-order core's shifter is single-cycle; its multiplier is not). *)
+let strength_reduce instr =
+  match instr with
+  | Bin (Mul, d, v, Imm c) | Bin (Mul, d, Imm c, v) -> (
+    match power_of_two c with
+    | Some k -> Some (Bin (Shl, d, v, Imm (Int64.of_int k)))
+    | None -> None)
+  | _ -> None
+
+let const_fold (f : func) =
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      b.body <-
+        List.map
+          (fun i ->
+            match i with
+            | Bin (op, d, Imm a, Imm bv) -> (
+              match eval_binop op a bv with
+              | Some r ->
+                changed := true;
+                Move (d, Imm r)
+              | None -> i)
+            | Bin (op, d, x, y) -> (
+              match identity op x y with
+              | Some v ->
+                changed := true;
+                Move (d, v)
+              | None -> (
+                match strength_reduce i with
+                | Some i' ->
+                  changed := true;
+                  i'
+                | None -> i))
+            | _ -> i)
+          b.body)
+    f.f_blocks;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Block-local copy propagation                                        *)
+(* ------------------------------------------------------------------ *)
+
+let copy_prop (f : func) =
+  let changed = ref false in
+  let prop_block b =
+    let env : (temp, value) Hashtbl.t = Hashtbl.create 16 in
+    let resolve v =
+      match v with
+      | Temp t -> (
+        match Hashtbl.find_opt env t with
+        | Some v' ->
+          changed := true;
+          v'
+        | None -> v)
+      | Imm _ -> v
+    in
+    let kill d =
+      Hashtbl.remove env d;
+      (* Any mapping whose value is the redefined temp is now stale. *)
+      let stale =
+        Hashtbl.fold (fun k v acc -> if v = Temp d then k :: acc else acc) env []
+      in
+      List.iter (Hashtbl.remove env) stale
+    in
+    b.body <-
+      List.map
+        (fun i ->
+          let i' =
+            match i with
+            | Move (d, v) -> Move (d, resolve v)
+            | Bin (op, d, a, bv) -> Bin (op, d, resolve a, resolve bv)
+            | Load (w, d, a) -> Load (w, d, resolve a)
+            | Store (w, a, s) -> Store (w, resolve a, resolve s)
+            | Call (d, name, args) -> Call (d, name, List.map resolve args)
+            | Write (a, n) -> Write (resolve a, resolve n)
+            | Exit v -> Exit (resolve v)
+            | Addr_global _ | Addr_local _ | Counter _ -> i
+          in
+          (match def_of i' with
+          | Some d ->
+            kill d;
+            (match i' with Move (d, v) when v <> Temp d -> Hashtbl.replace env d v | _ -> ())
+          | None -> ());
+          i')
+        b.body;
+    b.term <-
+      (match b.term with
+      | Ret (Some v) -> Ret (Some (resolve v))
+      | Br (v, a, bl) -> Br (resolve v, a, bl)
+      | (Ret None | Jmp _) as t -> t)
+  in
+  List.iter prop_block f.f_blocks;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Block-local common-subexpression elimination                        *)
+(* ------------------------------------------------------------------ *)
+
+type cse_key =
+  | K_bin of binop * value * value
+  | K_addr_global of string
+  | K_addr_local of int
+
+let commutative = function
+  | Add | Mul | And | Or | Xor | Seq | Sne -> true
+  | Sub | Div | Rem | Shl | Shr | Slt | Sle | Sgt | Sge -> false
+
+let cse_key_of = function
+  | Bin (op, _, a, b) ->
+    let a, b = if commutative op && compare a b > 0 then (b, a) else (a, b) in
+    Some (K_bin (op, a, b))
+  | Addr_global (_, sym) -> Some (K_addr_global sym)
+  | Addr_local (_, slot) -> Some (K_addr_local slot)
+  | Move _ | Load _ | Store _ | Call _ | Write _ | Exit _ | Counter _ -> None
+
+let key_mentions t = function
+  | K_bin (_, a, b) -> a = Temp t || b = Temp t
+  | K_addr_global _ | K_addr_local _ -> false
+
+let cse (f : func) =
+  let changed = ref false in
+  let run_block b =
+    let available : (cse_key, temp) Hashtbl.t = Hashtbl.create 16 in
+    let kill d =
+      let stale =
+        Hashtbl.fold
+          (fun k v acc -> if v = d || key_mentions d k then k :: acc else acc)
+          available []
+      in
+      List.iter (Hashtbl.remove available) stale
+    in
+    b.body <-
+      List.map
+        (fun i ->
+          let i' =
+            match cse_key_of i with
+            | Some key -> (
+              match (Hashtbl.find_opt available key, def_of i) with
+              | Some prev, Some d ->
+                changed := true;
+                Move (d, Temp prev)
+              | _ -> i)
+            | None -> i
+          in
+          (match def_of i' with
+          | Some d -> (
+            kill d;
+            (* Register the original computation (not the rewritten Move) —
+               unless it reads its own destination (d = d + 1): that key
+               names the *old* d and must not satisfy later lookups. *)
+            match (i', cse_key_of i) with
+            | Move _, _ -> ()
+            | _, Some key when not (key_mentions d key) -> Hashtbl.replace available key d
+            | _, Some _ | _, None -> ())
+          | None -> ());
+          i')
+        b.body
+  in
+  List.iter run_block f.f_blocks;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Dead code elimination                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Iset = Set.Make (Int)
+
+let dce (f : func) =
+  let changed = ref false in
+  let rec sweep () =
+    let used = ref Iset.empty in
+    List.iter
+      (fun b ->
+        List.iter (fun i -> List.iter (fun t -> used := Iset.add t !used) (uses_of i)) b.body;
+        List.iter (fun t -> used := Iset.add t !used) (term_uses b.term))
+      f.f_blocks;
+    let removed = ref false in
+    List.iter
+      (fun b ->
+        let keep i =
+          if has_side_effect i then true
+          else
+            match def_of i with
+            | Some d when not (Iset.mem d !used) ->
+              removed := true;
+              false
+            | Some _ | None -> true
+        in
+        b.body <- List.filter keep b.body)
+      f.f_blocks;
+    if !removed then begin
+      changed := true;
+      sweep ()
+    end
+  in
+  sweep ();
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* CFG simplification                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let simplify_cfg (f : func) =
+  let changed = ref false in
+  (* Fold constant branches. *)
+  List.iter
+    (fun b ->
+      match b.term with
+      | Br (Imm v, l1, l2) ->
+        changed := true;
+        b.term <- Jmp (if v <> 0L then l1 else l2)
+      | Br (_, l1, l2) when l1 = l2 ->
+        changed := true;
+        b.term <- Jmp l1
+      | _ -> ())
+    f.f_blocks;
+  (* Thread jumps through empty forwarding blocks (never the entry). *)
+  let entry_label = match f.f_blocks with b :: _ -> b.b_label | [] -> -1 in
+  let forward = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      match (b.body, b.term) with
+      | [], Jmp target when b.b_label <> entry_label && target <> b.b_label ->
+        Hashtbl.replace forward b.b_label target
+      | _ -> ())
+    f.f_blocks;
+  let rec chase seen l =
+    match Hashtbl.find_opt forward l with
+    | Some next when not (List.mem next seen) -> chase (l :: seen) next
+    | _ -> l
+  in
+  let redirect l =
+    let l' = chase [] l in
+    if l' <> l then changed := true;
+    l'
+  in
+  List.iter
+    (fun b ->
+      b.term <-
+        (match b.term with
+        | Jmp l -> Jmp (redirect l)
+        | Br (v, a, bl) -> Br (v, redirect a, redirect bl)
+        | Ret _ as t -> t))
+    f.f_blocks;
+  (* Drop unreachable blocks. *)
+  let by_label = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace by_label b.b_label b) f.f_blocks;
+  let reachable = Hashtbl.create 16 in
+  let rec visit l =
+    if not (Hashtbl.mem reachable l) then begin
+      Hashtbl.replace reachable l ();
+      match Hashtbl.find_opt by_label l with
+      | Some b -> List.iter visit (successors b.term)
+      | None -> ()
+    end
+  in
+  visit entry_label;
+  let before = List.length f.f_blocks in
+  f.f_blocks <- List.filter (fun b -> Hashtbl.mem reachable b.b_label) f.f_blocks;
+  if List.length f.f_blocks <> before then changed := true;
+  !changed
+
+let reachable_functions (p : program) ~entry =
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace by_name f.f_name f) p.p_funcs;
+  let seen = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      match Hashtbl.find_opt by_name name with
+      | None -> () (* intrinsic *)
+      | Some f ->
+        List.iter
+          (fun b ->
+            List.iter (function Call (_, callee, _) -> visit callee | _ -> ()) b.body)
+          f.f_blocks
+    end
+  in
+  visit entry;
+  List.filter (fun f -> Hashtbl.mem seen f.f_name) p.p_funcs
+
+let run (p : program) =
+  let pass_pipeline f =
+    let c1 = const_fold f in
+    let c2 = copy_prop f in
+    let c3 = cse f in
+    let c4 = dce f in
+    let c5 = simplify_cfg f in
+    c1 || c2 || c3 || c4 || c5
+  in
+  List.iter
+    (fun f ->
+      let budget = ref 10 in
+      while pass_pipeline f && !budget > 0 do
+        decr budget
+      done)
+    p.p_funcs

@@ -1,0 +1,415 @@
+open Lexer
+
+exception Parse_error of string * Ast.pos
+
+type state = { mutable toks : loc_token list }
+
+let current st = match st.toks with t :: _ -> t | [] -> assert false
+
+let error st msg = raise (Parse_error (msg, (current st).pos))
+
+let advance st = match st.toks with _ :: rest when rest <> [] -> st.toks <- rest | _ -> ()
+
+let accept st tok =
+  if (current st).tok = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect st tok =
+  if not (accept st tok) then
+    error st (Printf.sprintf "expected %s, found %s" (token_name tok) (token_name (current st).tok))
+
+let expect_ident st =
+  match (current st).tok with
+  | IDENT name ->
+    advance st;
+    name
+  | t -> error st (Printf.sprintf "expected identifier, found %s" (token_name t))
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_base_type st =
+  match (current st).tok with
+  | KW_INT -> advance st; Some Ast.T_int
+  | KW_CHAR -> advance st; Some Ast.T_char
+  | KW_VOID -> advance st; Some Ast.T_void
+  | _ -> None
+
+let parse_type st =
+  match parse_base_type st with
+  | None -> None
+  | Some base ->
+    let ty = ref base in
+    while accept st STAR do
+      ty := Ast.T_ptr !ty
+    done;
+    Some !ty
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_token = function
+  | PLUS -> Some Ast.Add | MINUS -> Some Ast.Sub | STAR -> Some Ast.Mul | SLASH -> Some Ast.Div
+  | PERCENT -> Some Ast.Rem | SHL -> Some Ast.Shl | SHR -> Some Ast.Shr
+  | AMP -> Some Ast.Band | PIPE -> Some Ast.Bor | CARET -> Some Ast.Bxor
+  | LT -> Some Ast.Lt | LE -> Some Ast.Le | GT -> Some Ast.Gt | GE -> Some Ast.Ge
+  | EQEQ -> Some Ast.Eq | NEQ -> Some Ast.Ne | ANDAND -> Some Ast.Land | OROR -> Some Ast.Lor
+  | _ -> None
+
+let precedence = function
+  | Ast.Lor -> 1
+  | Ast.Land -> 2
+  | Ast.Bor -> 3
+  | Ast.Bxor -> 4
+  | Ast.Band -> 5
+  | Ast.Eq | Ast.Ne -> 6
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 7
+  | Ast.Shl | Ast.Shr -> 8
+  | Ast.Add | Ast.Sub -> 9
+  | Ast.Mul | Ast.Div | Ast.Rem -> 10
+
+let compound_ops =
+  [ (PLUSEQ, Ast.Add); (MINUSEQ, Ast.Sub); (STAREQ, Ast.Mul); (SLASHEQ, Ast.Div);
+    (PERCENTEQ, Ast.Rem); (AMPEQ, Ast.Band); (PIPEEQ, Ast.Bor); (CARETEQ, Ast.Bxor);
+    (SHLEQ, Ast.Shl); (SHREQ, Ast.Shr) ]
+
+let check_lvalue (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Var _ | Ast.Index _ | Ast.Unop (Ast.Deref, _) -> ()
+  | _ -> raise (Parse_error ("left side is not assignable", e.Ast.epos))
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_ternary st in
+  if accept st ASSIGN then begin
+    let rhs = parse_assign st in
+    check_lvalue lhs;
+    { Ast.e = Ast.Assign (lhs, rhs); epos = lhs.Ast.epos }
+  end
+  else
+    match List.assoc_opt (current st).tok compound_ops with
+    | Some op ->
+      advance st;
+      let rhs = parse_assign st in
+      check_lvalue lhs;
+      { Ast.e = Ast.Compound (op, lhs, rhs); epos = lhs.Ast.epos }
+    | None -> lhs
+
+and parse_ternary st =
+  let cond = parse_binary st 1 in
+  if accept st QUESTION then begin
+    let then_ = parse_expr st in
+    expect st COLON;
+    let else_ = parse_assign st in
+    { Ast.e = Ast.Ternary (cond, then_, else_); epos = cond.Ast.epos }
+  end
+  else cond
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (current st).tok with
+    | Some op when precedence op >= min_prec ->
+      advance st;
+      let rhs = parse_binary st (precedence op + 1) in
+      lhs := { Ast.e = Ast.Binop (op, !lhs, rhs); epos = (!lhs).Ast.epos }
+    | Some _ | None -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let pos = (current st).pos in
+  match (current st).tok with
+  | MINUS ->
+    advance st;
+    { Ast.e = Ast.Unop (Ast.Neg, parse_unary st); epos = pos }
+  | BANG ->
+    advance st;
+    { Ast.e = Ast.Unop (Ast.Lognot, parse_unary st); epos = pos }
+  | TILDE ->
+    advance st;
+    { Ast.e = Ast.Unop (Ast.Bitnot, parse_unary st); epos = pos }
+  | STAR ->
+    advance st;
+    { Ast.e = Ast.Unop (Ast.Deref, parse_unary st); epos = pos }
+  | AMP ->
+    advance st;
+    { Ast.e = Ast.Unop (Ast.Addrof, parse_unary st); epos = pos }
+  | PLUSPLUS ->
+    advance st;
+    let lv = parse_unary st in
+    check_lvalue lv;
+    { Ast.e = Ast.Incr { pre = true; up = true; lvalue = lv }; epos = pos }
+  | MINUSMINUS ->
+    advance st;
+    let lv = parse_unary st in
+    check_lvalue lv;
+    { Ast.e = Ast.Incr { pre = true; up = false; lvalue = lv }; epos = pos }
+  | KW_SIZEOF -> (
+    advance st;
+    expect st LPAREN;
+    match parse_type st with
+    | Some ty ->
+      expect st RPAREN;
+      { Ast.e = Ast.Sizeof ty; epos = pos }
+    | None -> error st "sizeof expects a type")
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let base = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept st LBRACKET then begin
+      let idx = parse_expr st in
+      expect st RBRACKET;
+      base := { Ast.e = Ast.Index (!base, idx); epos = (!base).Ast.epos }
+    end
+    else if accept st PLUSPLUS then begin
+      check_lvalue !base;
+      base := { Ast.e = Ast.Incr { pre = false; up = true; lvalue = !base }; epos = (!base).Ast.epos }
+    end
+    else if accept st MINUSMINUS then begin
+      check_lvalue !base;
+      base := { Ast.e = Ast.Incr { pre = false; up = false; lvalue = !base }; epos = (!base).Ast.epos }
+    end
+    else continue_ := false
+  done;
+  !base
+
+and parse_primary st =
+  let pos = (current st).pos in
+  match (current st).tok with
+  | INT_LIT v ->
+    advance st;
+    { Ast.e = Ast.Int_lit v; epos = pos }
+  | STR_LIT s ->
+    advance st;
+    { Ast.e = Ast.Str_lit s; epos = pos }
+  | IDENT name ->
+    advance st;
+    if accept st LPAREN then begin
+      let args = ref [] in
+      if not (accept st RPAREN) then begin
+        let rec args_loop () =
+          args := parse_expr st :: !args;
+          if accept st COMMA then args_loop () else expect st RPAREN
+        in
+        args_loop ()
+      end;
+      { Ast.e = Ast.Call (name, List.rev !args); epos = pos }
+    end
+    else { Ast.e = Ast.Var name; epos = pos }
+  | LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st RPAREN;
+    e
+  | t -> error st (Printf.sprintf "expected expression, found %s" (token_name t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt st : Ast.stmt =
+  let pos = (current st).pos in
+  match (current st).tok with
+  | LBRACE ->
+    advance st;
+    let body = ref [] in
+    while not (accept st RBRACE) do
+      body := parse_stmt st :: !body
+    done;
+    { Ast.s = Ast.S_block (List.rev !body); spos = pos }
+  | KW_IF ->
+    advance st;
+    expect st LPAREN;
+    let cond = parse_expr st in
+    expect st RPAREN;
+    let then_ = parse_stmt st in
+    let else_ = if accept st KW_ELSE then Some (parse_stmt st) else None in
+    { Ast.s = Ast.S_if (cond, then_, else_); spos = pos }
+  | KW_WHILE ->
+    advance st;
+    expect st LPAREN;
+    let cond = parse_expr st in
+    expect st RPAREN;
+    { Ast.s = Ast.S_while (cond, parse_stmt st); spos = pos }
+  | KW_DO ->
+    advance st;
+    let body = parse_stmt st in
+    expect st KW_WHILE;
+    expect st LPAREN;
+    let cond = parse_expr st in
+    expect st RPAREN;
+    expect st SEMI;
+    { Ast.s = Ast.S_dowhile (body, cond); spos = pos }
+  | KW_FOR ->
+    advance st;
+    expect st LPAREN;
+    let init =
+      if (current st).tok = SEMI then None
+      else Some (parse_decl_or_expr_stmt st ~consume_semi:false)
+    in
+    expect st SEMI;
+    let cond = if (current st).tok = SEMI then None else Some (parse_expr st) in
+    expect st SEMI;
+    let incr =
+      if (current st).tok = RPAREN then None
+      else Some { Ast.s = Ast.S_expr (parse_expr st); spos = (current st).pos }
+    in
+    expect st RPAREN;
+    { Ast.s = Ast.S_for (init, cond, incr, parse_stmt st); spos = pos }
+  | KW_RETURN ->
+    advance st;
+    let v = if (current st).tok = SEMI then None else Some (parse_expr st) in
+    expect st SEMI;
+    { Ast.s = Ast.S_return v; spos = pos }
+  | KW_BREAK ->
+    advance st;
+    expect st SEMI;
+    { Ast.s = Ast.S_break; spos = pos }
+  | KW_CONTINUE ->
+    advance st;
+    expect st SEMI;
+    { Ast.s = Ast.S_continue; spos = pos }
+  | _ -> parse_decl_or_expr_stmt st ~consume_semi:true
+
+and parse_decl_or_expr_stmt st ~consume_semi : Ast.stmt =
+  let pos = (current st).pos in
+  match parse_type st with
+  | Some ty ->
+    let name = expect_ident st in
+    let array =
+      if accept st LBRACKET then begin
+        match (current st).tok with
+        | INT_LIT n ->
+          advance st;
+          expect st RBRACKET;
+          Some (Int64.to_int n)
+        | t -> error st (Printf.sprintf "expected array length, found %s" (token_name t))
+      end
+      else None
+    in
+    let init = if accept st ASSIGN then Some (parse_expr st) else None in
+    if consume_semi then expect st SEMI;
+    { Ast.s = Ast.S_decl (ty, name, array, init); spos = pos }
+  | None ->
+    let e = parse_expr st in
+    if consume_semi then expect st SEMI;
+    { Ast.s = Ast.S_expr e; spos = pos }
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_global_init st =
+  if accept st ASSIGN then begin
+    match (current st).tok with
+    | STR_LIT s ->
+      advance st;
+      Some (Ast.G_string s)
+    | LBRACE ->
+      advance st;
+      let items = ref [] in
+      let rec items_loop () =
+        match (current st).tok with
+        | INT_LIT v ->
+          advance st;
+          items := v :: !items;
+          if accept st COMMA then items_loop () else expect st RBRACE
+        | MINUS ->
+          advance st;
+          (match (current st).tok with
+          | INT_LIT v ->
+            advance st;
+            items := Int64.neg v :: !items;
+            if accept st COMMA then items_loop () else expect st RBRACE
+          | t -> error st (Printf.sprintf "expected integer, found %s" (token_name t)))
+        | t -> error st (Printf.sprintf "expected integer, found %s" (token_name t))
+      in
+      items_loop ();
+      Some (Ast.G_array (List.rev !items))
+    | INT_LIT v ->
+      advance st;
+      Some (Ast.G_scalar v)
+    | MINUS ->
+      advance st;
+      (match (current st).tok with
+      | INT_LIT v ->
+        advance st;
+        Some (Ast.G_scalar (Int64.neg v))
+      | t -> error st (Printf.sprintf "expected integer, found %s" (token_name t)))
+    | t -> error st (Printf.sprintf "expected global initialiser, found %s" (token_name t))
+  end
+  else None
+
+let parse_decl st : Ast.decl =
+  let pos = (current st).pos in
+  match parse_type st with
+  | None ->
+    error st (Printf.sprintf "expected declaration, found %s" (token_name (current st).tok))
+  | Some ty ->
+    let name = expect_ident st in
+    if accept st LPAREN then begin
+      (* function *)
+      let params = ref [] in
+      if not (accept st RPAREN) then begin
+        let rec params_loop () =
+          match parse_type st with
+          | None -> error st "expected parameter type"
+          | Some pty ->
+            let pname = expect_ident st in
+            params := (pty, pname) :: !params;
+            if accept st COMMA then params_loop () else expect st RPAREN
+        in
+        params_loop ()
+      end;
+      expect st LBRACE;
+      let body = ref [] in
+      while not (accept st RBRACE) do
+        body := parse_stmt st :: !body
+      done;
+      Ast.D_func
+        { f_ret = ty; f_name = name; f_params = List.rev !params; f_body = List.rev !body; f_pos = pos }
+    end
+    else begin
+      let array =
+        if accept st LBRACKET then begin
+          match (current st).tok with
+          | INT_LIT n ->
+            advance st;
+            expect st RBRACKET;
+            Some (Int64.to_int n)
+          | t -> error st (Printf.sprintf "expected array length, found %s" (token_name t))
+        end
+        else None
+      in
+      let init = parse_global_init st in
+      expect st SEMI;
+      Ast.D_global { g_ty = ty; g_name = name; g_array = array; g_init = init; g_pos = pos }
+    end
+
+let parse_program st =
+  let decls = ref [] in
+  while (current st).tok <> EOF do
+    decls := parse_decl st :: !decls
+  done;
+  List.rev !decls
+
+let parse_exn src =
+  let st = { toks = Lexer.tokenize src } in
+  parse_program st
+
+let parse src =
+  match parse_exn src with
+  | prog -> Ok prog
+  | exception Lexer.Lex_error (msg, pos) ->
+    Error (Format.asprintf "%a: %s" Ast.pp_pos pos msg)
+  | exception Parse_error (msg, pos) -> Error (Format.asprintf "%a: %s" Ast.pp_pos pos msg)

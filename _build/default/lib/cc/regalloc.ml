@@ -1,0 +1,200 @@
+open Eric_rv
+
+type assignment = Reg of Reg.t | Spill of int
+
+type allocation = {
+  assign : (Ir.temp, assignment) Hashtbl.t;
+  spill_slots : int;
+  used_callee_saved : Reg.t list;
+}
+
+let caller_pool = [ Reg.t_ 0; Reg.t_ 1; Reg.t_ 2; Reg.t_ 3 ]
+let callee_pool = List.init 12 Reg.s
+
+module Iset = Set.Make (Int)
+
+type interval = { temp : int; lo : int; hi : int; crosses_call : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let block_liveness (f : Ir.func) =
+  (* Gen/kill per block, then the usual backwards fixpoint. *)
+  let blocks = Array.of_list f.f_blocks in
+  let index_of = Hashtbl.create 16 in
+  Array.iteri (fun i b -> Hashtbl.replace index_of b.Ir.b_label i) blocks;
+  let n = Array.length blocks in
+  let gen = Array.make n Iset.empty and kill = Array.make n Iset.empty in
+  Array.iteri
+    (fun i b ->
+      List.iter
+        (fun instr ->
+          List.iter
+            (fun t -> if not (Iset.mem t kill.(i)) then gen.(i) <- Iset.add t gen.(i))
+            (Ir.uses_of instr);
+          match Ir.def_of instr with
+          | Some d -> kill.(i) <- Iset.add d kill.(i)
+          | None -> ())
+        b.Ir.body;
+      List.iter
+        (fun t -> if not (Iset.mem t kill.(i)) then gen.(i) <- Iset.add t gen.(i))
+        (Ir.term_uses b.Ir.term))
+    blocks;
+  let live_in = Array.make n Iset.empty and live_out = Array.make n Iset.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc l ->
+            match Hashtbl.find_opt index_of l with
+            | Some j -> Iset.union acc live_in.(j)
+            | None -> acc)
+          Iset.empty
+          (Ir.successors blocks.(i).Ir.term)
+      in
+      let inn = Iset.union gen.(i) (Iset.diff out kill.(i)) in
+      if not (Iset.equal out live_out.(i)) || not (Iset.equal inn live_in.(i)) then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (blocks, live_in, live_out)
+
+(* ------------------------------------------------------------------ *)
+(* Intervals                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let build_intervals (f : Ir.func) =
+  let blocks, live_in, live_out = block_liveness f in
+  let lo = Hashtbl.create 64 and hi = Hashtbl.create 64 in
+  let touch t pos =
+    (match Hashtbl.find_opt lo t with
+    | Some v when v <= pos -> ()
+    | _ -> Hashtbl.replace lo t pos);
+    match Hashtbl.find_opt hi t with
+    | Some v when v >= pos -> ()
+    | _ -> Hashtbl.replace hi t pos
+  in
+  let call_sites = ref [] in
+  let pos = ref 0 in
+  (* Parameters are defined by the prologue. *)
+  List.iter (fun p -> touch p 0) f.f_params;
+  Array.iteri
+    (fun i b ->
+      let block_start = !pos in
+      List.iter
+        (fun instr ->
+          incr pos;
+          List.iter (fun t -> touch t !pos) (Ir.uses_of instr);
+          (match Ir.def_of instr with Some d -> touch d !pos | None -> ());
+          match instr with Ir.Call _ -> call_sites := !pos :: !call_sites | _ -> ())
+        b.Ir.body;
+      incr pos;
+      List.iter (fun t -> touch t !pos) (Ir.term_uses b.Ir.term);
+      let block_end = !pos in
+      Iset.iter (fun t -> touch t block_start) live_in.(i);
+      Iset.iter
+        (fun t ->
+          touch t block_end;
+          (* Live-out temps must cover the whole block tail. *)
+          touch t block_start)
+        live_out.(i);
+      (* Live-in temps that are also live-out span everything between;
+         linear scan over a linearised order handles loop-carried temps by
+         the conservative [block_start, block_end] extension above applied
+         to every block where the temp is live. *)
+      ())
+    blocks;
+  let intervals =
+    Hashtbl.fold
+      (fun t l acc ->
+        let h = Hashtbl.find hi t in
+        let crosses = List.exists (fun c -> l < c && c < h) !call_sites in
+        { temp = t; lo = l; hi = h; crosses_call = crosses } :: acc)
+      lo []
+  in
+  List.sort (fun a b -> compare (a.lo, a.hi) (b.lo, b.hi)) intervals
+
+(* ------------------------------------------------------------------ *)
+(* Linear scan                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let allocate (f : Ir.func) =
+  let intervals = build_intervals f in
+  let assign = Hashtbl.create 64 in
+  let free_caller = ref caller_pool and free_callee = ref callee_pool in
+  let active = ref [] in
+  (* (interval, reg) sorted by increasing hi *)
+  let spill_count = ref 0 in
+  let used_callee = ref [] in
+  let release reg =
+    if List.exists (Reg.equal reg) caller_pool then free_caller := reg :: !free_caller
+    else free_callee := reg :: !free_callee
+  in
+  let expire current_lo =
+    let expired, still = List.partition (fun (iv, _) -> iv.hi < current_lo) !active in
+    List.iter (fun (_, r) -> release r) expired;
+    active := still
+  in
+  let take_reg iv =
+    if iv.crosses_call then
+      match !free_callee with
+      | r :: rest ->
+        free_callee := rest;
+        if not (List.exists (Reg.equal r) !used_callee) then used_callee := r :: !used_callee;
+        Some r
+      | [] -> None
+    else
+      match !free_caller with
+      | r :: rest ->
+        free_caller := rest;
+        Some r
+      | [] -> (
+        match !free_callee with
+        | r :: rest ->
+          free_callee := rest;
+          if not (List.exists (Reg.equal r) !used_callee) then used_callee := r :: !used_callee;
+          Some r
+        | [] -> None)
+  in
+  let insert_active entry =
+    let rec ins = function
+      | [] -> [ entry ]
+      | ((iv, _) as hd) :: tl -> if (fst entry).hi <= iv.hi then entry :: hd :: tl else hd :: ins tl
+    in
+    active := ins !active
+  in
+  let spill_slot () =
+    let s = !spill_count in
+    incr spill_count;
+    s
+  in
+  List.iter
+    (fun iv ->
+      expire iv.lo;
+      match take_reg iv with
+      | Some r ->
+        Hashtbl.replace assign iv.temp (Reg r);
+        insert_active (iv, r)
+      | None -> (
+        (* Standard heuristic: spill whichever of {current, furthest-ending
+           active with a compatible register} ends last. *)
+        let compatible (aiv, r) =
+          ignore aiv;
+          if iv.crosses_call then List.exists (Reg.equal r) callee_pool else true
+        in
+        let candidates = List.filter compatible !active in
+        match List.rev candidates with
+        | (victim, vreg) :: _ when victim.hi > iv.hi ->
+          Hashtbl.replace assign victim.temp (Spill (spill_slot ()));
+          active := List.filter (fun (a, _) -> a.temp <> victim.temp) !active;
+          Hashtbl.replace assign iv.temp (Reg vreg);
+          insert_active (iv, vreg)
+        | _ -> Hashtbl.replace assign iv.temp (Spill (spill_slot ()))))
+    intervals;
+  { assign; spill_slots = !spill_count; used_callee_saved = List.rev !used_callee }

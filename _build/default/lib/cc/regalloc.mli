@@ -1,0 +1,21 @@
+(** Linear-scan register allocation over IR temporaries.
+
+    Temporaries whose live interval crosses a call site compete for
+    callee-saved registers (s0-s11); the rest prefer caller-saved
+    temporaries (t0-t3).  a-registers are never allocated (they carry
+    arguments/results and syscall operands), and t4/t5/t6 are reserved as
+    code-generation scratch.  Temporaries that do not receive a register
+    are spilled to 8-byte frame slots. *)
+
+type assignment = Reg of Eric_rv.Reg.t | Spill of int  (** spill slot index *)
+
+type allocation = {
+  assign : (Ir.temp, assignment) Hashtbl.t;
+  spill_slots : int;  (** number of 8-byte spill slots used *)
+  used_callee_saved : Eric_rv.Reg.t list;  (** to save/restore in the prologue *)
+}
+
+val caller_pool : Eric_rv.Reg.t list
+val callee_pool : Eric_rv.Reg.t list
+
+val allocate : Ir.func -> allocation

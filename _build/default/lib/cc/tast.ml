@@ -1,0 +1,75 @@
+(** Typed abstract syntax: the typechecker's output and the lowering pass's
+    input.  Name resolution has happened (locals carry unique ids, scoping
+    is gone), array-to-pointer decay is explicit, and every expression
+    carries its type. *)
+
+type texpr = { te : tkind; tty : Ast.ty }
+
+and tkind =
+  | TE_int of int64
+  | TE_str of string  (** string literal; interned into .data by lowering *)
+  | TE_local of int  (** scalar local/param read *)
+  | TE_global of string  (** scalar global read *)
+  | TE_addr_local of int  (** decayed local array: its address *)
+  | TE_addr_global of string  (** decayed global array: its address *)
+  | TE_unop of Ast.unop * texpr
+  | TE_binop of Ast.binop * texpr * texpr
+  | TE_index of texpr * texpr  (** load elem: pointer-typed base, int index *)
+  | TE_assign_local of int * texpr
+  | TE_assign_global of string * texpr
+  | TE_assign_index of texpr * texpr * texpr  (** base, index, value *)
+  | TE_call of string * texpr list
+  | TE_compound_local of int * Ast.binop * texpr  (** x op= v *)
+  | TE_compound_global of string * Ast.binop * texpr
+  | TE_compound_index of texpr * texpr * Ast.binop * texpr  (** base, idx, op, v *)
+  | TE_incr_local of int * bool * int  (** pre?, signed delta (already ptr-scaled) *)
+  | TE_incr_global of string * bool * int
+  | TE_incr_index of texpr * texpr * bool * int
+  | TE_ternary of texpr * texpr * texpr
+  | TE_cast_char of texpr
+      (** explicit int -> char narrowing, inserted by the typechecker at
+          every int-to-char assignment/argument/return boundary so the
+          "char values are always 0..255" invariant is visible in the IR *)
+
+type tstmt =
+  | TS_expr of texpr
+  | TS_init of int * texpr  (** scalar local initialisation *)
+  | TS_if of texpr * tstmt list * tstmt list
+  | TS_while of texpr * tstmt list
+  | TS_dowhile of tstmt list * texpr
+  | TS_for of tstmt list * texpr option * tstmt list * tstmt list
+  | TS_return of texpr option
+  | TS_break
+  | TS_continue
+
+type local = {
+  l_id : int;
+  l_name : string;
+  l_ty : Ast.ty;  (** element type for arrays *)
+  l_array : int option;  (** Some n = array of n elements (stack slot) *)
+}
+
+type tfunc = {
+  tf_name : string;
+  tf_ret : Ast.ty;
+  tf_params : local list;  (** always scalars *)
+  tf_locals : local list;  (** every local in the function, params excluded *)
+  tf_addressed : int list;
+      (** scalar locals (or params) whose address is taken with [&]; they
+          must live in memory rather than a register *)
+  tf_body : tstmt list;
+}
+
+type tglobal = {
+  tg_name : string;
+  tg_ty : Ast.ty;  (** element type for arrays *)
+  tg_array : int option;
+  tg_init : Ast.ginit option;
+}
+
+type tprogram = { tglobals : tglobal list; tfuncs : tfunc list }
+
+let size_of_ty = function
+  | Ast.T_char -> 1
+  | Ast.T_int | Ast.T_ptr _ -> 8
+  | Ast.T_void -> invalid_arg "size_of_ty: void has no size"

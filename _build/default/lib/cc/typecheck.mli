@@ -1,0 +1,15 @@
+(** Name resolution and type checking: {!Ast.program} -> {!Tast.tprogram}.
+
+    MiniC's rules, briefly: [char] promotes to [int] in arithmetic and
+    comparisons and truncates on assignment; pointer [+]/[-] integer scales
+    by element size (done in lowering; recorded here via types); pointer
+    difference and pointer comparisons require identical pointer types;
+    conditions accept any scalar; arrays decay to pointers on use; functions
+    take at most eight arguments.  The intrinsics [__write(char*, int)] and
+    [__exit(int)] are predeclared. *)
+
+exception Type_error of string * Ast.pos
+
+val check : Ast.program -> (Tast.tprogram, string) result
+
+val check_exn : Ast.program -> Tast.tprogram

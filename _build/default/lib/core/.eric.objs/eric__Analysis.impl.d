@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Bytes Char Encrypt Eric_rv Format Hashtbl List Option

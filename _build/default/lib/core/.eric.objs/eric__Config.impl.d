@@ -1,0 +1,1 @@
+lib/core/config.ml: Array Eric_rv Eric_util Format Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/core/config.mli: Eric_rv Eric_util Format

@@ -1,0 +1,1 @@
+lib/core/encrypt.ml: Array Bytes Char Config Eric_crypto Eric_rv Eric_util Format Int32 Package Program Siggen

@@ -1,0 +1,1 @@
+lib/core/encrypt.mli: Config Eric_rv Format Package

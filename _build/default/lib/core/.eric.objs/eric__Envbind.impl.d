@@ -1,0 +1,1 @@
+lib/core/envbind.ml: Eric_crypto Format Kmu Option Printf String

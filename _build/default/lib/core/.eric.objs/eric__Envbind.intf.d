@@ -1,0 +1,1 @@
+lib/core/envbind.mli: Format Kmu

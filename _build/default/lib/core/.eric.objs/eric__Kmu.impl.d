@@ -1,0 +1,1 @@
+lib/core/kmu.ml: Eric_crypto Eric_puf Format Printf

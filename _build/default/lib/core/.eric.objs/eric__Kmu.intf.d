@@ -1,0 +1,1 @@
+lib/core/kmu.mli: Eric_puf Format

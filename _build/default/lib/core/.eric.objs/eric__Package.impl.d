@@ -1,0 +1,1 @@
+lib/core/package.ml: Bytes Char Config Eric_util Format Int32 Printf Result Siggen

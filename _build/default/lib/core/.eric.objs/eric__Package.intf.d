@@ -1,0 +1,1 @@
+lib/core/package.mli: Config Eric_util Format

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Bytes Char Eric_crypto Eric_sim Eric_util Format List Package Source Target

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Eric_crypto Eric_sim Eric_util Format Source Target

@@ -1,0 +1,1 @@
+lib/core/siggen.ml: Eric_crypto List

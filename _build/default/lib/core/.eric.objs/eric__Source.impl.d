@@ -1,0 +1,1 @@
+lib/core/source.ml: Bytes Encrypt Eric_cc Eric_rv List Package Result

@@ -1,0 +1,1 @@
+lib/core/source.mli: Config Encrypt Eric_cc Eric_rv Package

@@ -1,0 +1,1 @@
+lib/core/target.mli: Encrypt Eric_hw Eric_puf Eric_rv Eric_sim Format Kmu Package

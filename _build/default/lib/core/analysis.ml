@@ -1,0 +1,99 @@
+type static_report = {
+  parcels_scanned : int;
+  valid_fraction : float;
+  opcode_entropy_bits : float;
+  distinct_mnemonics : int;
+  call_edges : int;
+  branch_sites : int;
+  prologue_candidates : int;
+  printable_runs : int;
+}
+
+let shannon counts total =
+  if total = 0 then 0.0
+  else
+    Hashtbl.fold
+      (fun _ c acc ->
+        let p = float_of_int c /. float_of_int total in
+        acc -. (p *. (log p /. log 2.0)))
+      counts 0.0
+
+let printable_runs_of text =
+  let printable c = c >= ' ' && c <= '~' in
+  let runs = ref 0 and current = ref 0 in
+  Bytes.iter
+    (fun c ->
+      if printable c then incr current
+      else begin
+        if !current >= 4 then incr runs;
+        current := 0
+      end)
+    text;
+  if !current >= 4 then incr runs;
+  !runs
+
+let static_analysis text =
+  let lines = Eric_rv.Disasm.disassemble_stream text in
+  let total = List.length lines in
+  let histogram = Hashtbl.create 64 in
+  let valid = ref 0 and calls = ref 0 and branches = ref 0 and prologues = ref 0 in
+  List.iter
+    (fun (l : Eric_rv.Disasm.line) ->
+      match l.decoded with
+      | None -> ()
+      | Some inst ->
+        incr valid;
+        let m = Eric_rv.Inst.mnemonic inst in
+        Hashtbl.replace histogram m (1 + Option.value (Hashtbl.find_opt histogram m) ~default:0);
+        (match inst with
+        | Eric_rv.Inst.Jal (rd, _) when Eric_rv.Reg.equal rd Eric_rv.Reg.ra -> incr calls
+        | Eric_rv.Inst.Branch _ -> incr branches
+        | Eric_rv.Inst.I (Eric_rv.Inst.Addi, rd, rs1, imm)
+          when Eric_rv.Reg.equal rd Eric_rv.Reg.sp
+               && Eric_rv.Reg.equal rs1 Eric_rv.Reg.sp
+               && imm < 0 ->
+          incr prologues
+        | _ -> ()))
+    lines;
+  {
+    parcels_scanned = total;
+    valid_fraction = (if total = 0 then 0.0 else float_of_int !valid /. float_of_int total);
+    opcode_entropy_bits = shannon histogram !valid;
+    distinct_mnemonics = Hashtbl.length histogram;
+    call_edges = !calls;
+    branch_sites = !branches;
+    prologue_candidates = !prologues;
+    printable_runs = printable_runs_of text;
+  }
+
+let pp_static_report fmt r =
+  Format.fprintf fmt
+    "%d parcels, %.1f%% decode, opcode entropy %.2f bits (%d mnemonics), %d calls, %d branches, \
+     %d prologues, %d strings"
+    r.parcels_scanned (100.0 *. r.valid_fraction) r.opcode_entropy_bits r.distinct_mnemonics
+    r.call_edges r.branch_sites r.prologue_candidates r.printable_runs
+
+let bit_difference a b =
+  let diff = ref 0 in
+  for i = 0 to Bytes.length a - 1 do
+    let x = Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i) in
+    let rec pop v acc = if v = 0 then acc else pop (v lsr 1) (acc + (v land 1)) in
+    diff := !diff + pop x 0
+  done;
+  !diff
+
+let diffusion ~key pkg =
+  let flipped = Bytes.copy key in
+  let last = Bytes.length flipped - 1 in
+  Bytes.set flipped last (Char.chr (Char.code (Bytes.get flipped last) lxor 1));
+  let a = Encrypt.decrypt_text_only ~key pkg in
+  let b = Encrypt.decrypt_text_only ~key:flipped pkg in
+  let bits = 8 * Bytes.length a in
+  if bits = 0 then 0.0 else float_of_int (bit_difference a b) /. float_of_int bits
+
+let byte_entropy data =
+  let counts = Hashtbl.create 256 in
+  Bytes.iter
+    (fun c -> Hashtbl.replace counts c (1 + Option.value (Hashtbl.find_opt counts c) ~default:0))
+    data;
+  shannon counts (Bytes.length data)

@@ -1,0 +1,42 @@
+(** Attack-model evaluation: what do the paper's two adversaries actually
+    recover from an ERIC package?
+
+    Static analysis: run a real linear-sweep disassembler over the text
+    bytes and measure how much structure survives — fraction of parcels
+    that decode at all, Shannon entropy of the recovered opcode histogram,
+    and recovered call-graph edges.  Plaintext RISC-V text decodes almost
+    completely with a heavily skewed opcode distribution and a recoverable
+    call graph; a keystream-encrypted section approaches random bytes.
+
+    Dynamic analysis: an attacker running the package on hardware they
+    control (a different device) gets a Validation-Unit rejection, which is
+    exercised in {!Protocol}; the helper here quantifies key sensitivity
+    (how many text bits change when one key bit flips). *)
+
+type static_report = {
+  parcels_scanned : int;
+  valid_fraction : float;  (** parcels that decode as instructions *)
+  opcode_entropy_bits : float;  (** Shannon entropy over decoded mnemonics *)
+  distinct_mnemonics : int;
+  call_edges : int;  (** [jal ra, _] sites recovered *)
+  branch_sites : int;
+  prologue_candidates : int;
+      (** function-boundary recovery: [addi sp, sp, -N] sites, the idiom
+          attackers key on to carve functions out of a binary *)
+  printable_runs : int;
+      (** what `strings`-style tooling finds: runs of >= 4 printable ASCII
+          bytes in the section *)
+}
+
+val static_analysis : bytes -> static_report
+(** Linear-sweep over a text section. *)
+
+val pp_static_report : Format.formatter -> static_report -> unit
+
+val diffusion : key:bytes -> Package.t -> float
+(** Fraction of text bits that change when the last key bit is flipped —
+    1 minus this is what a single-bit key guess reveals; ~0.5 means the
+    keystream behaves like a random function of the key. *)
+
+val byte_entropy : bytes -> float
+(** Shannon entropy of the byte histogram, bits/byte (8.0 = random). *)

@@ -1,0 +1,37 @@
+(** Program encryption and decryption (the compiler's Encryption Unit and
+    the HDE's Decryption Unit).
+
+    Keystream bytes are addressed by text-section byte offset; the
+    signature trailer uses the stream at offset [text_len].  Decryption is
+    *streaming*, exactly as the hardware works: the parcel framing of an
+    encrypted text section is discovered by decrypting each parcel's low
+    half first and reading its length bits — which is why a 1-bit-per-parcel
+    map suffices and no parcel-size table travels with the package. *)
+
+type stats = {
+  parcels : int;
+  encrypted_parcels : int;
+  encrypted_bytes : int;  (** bytes that needed keystream (for the HDE model) *)
+}
+
+val encrypt : key:bytes -> mode:Config.mode -> Eric_rv.Program.t -> Package.t * stats
+(** Sign (over plaintext) then encrypt per [mode]. *)
+
+type error =
+  | Framing_failure of string
+      (** the decrypted stream does not tile into parcels — wrong device,
+          corrupted map, or truncation *)
+  | Signature_mismatch
+      (** decryption succeeded structurally but the recomputed signature
+          disagrees: tampering, soft error, or wrong device *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val decrypt : key:bytes -> Package.t -> (Eric_rv.Program.t * stats, error) result
+(** Decrypt, recompute the signature over the decrypted content and
+    validate it against the package's (decrypted) signature. *)
+
+val decrypt_text_only : key:bytes -> Package.t -> bytes
+(** Just run the keystream over the text section without framing or
+    validation — what a naive attacker with a guessed key obtains; used by
+    the analysis module. *)

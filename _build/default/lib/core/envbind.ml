@@ -1,0 +1,47 @@
+type conditions = {
+  hour_slot : int option;
+  temperature_band : int option;
+  frequency_mhz : int option;
+}
+
+let unconstrained = { hour_slot = None; temperature_band = None; frequency_mhz = None }
+
+let pp_opt fmt name = function
+  | None -> Format.fprintf fmt "%s=*" name
+  | Some v -> Format.fprintf fmt "%s=%d" name v
+
+let pp_conditions fmt c =
+  Format.fprintf fmt "%a %a %a" (fun f -> pp_opt f "slot") c.hour_slot (fun f -> pp_opt f "temp")
+    c.temperature_band
+    (fun f -> pp_opt f "mhz")
+    c.frequency_mhz
+
+type environment = { unix_hours : int; temperature_c : int; clock_mhz : int }
+
+let window_of ~window_hours ~unix_hours =
+  if window_hours <= 0 then invalid_arg "Envbind.window_of: window must be positive";
+  unix_hours / window_hours
+
+(* Floor division so negative temperatures band consistently. *)
+let band t = if t >= 0 then t / 10 else ((t - 9) / 10)
+
+let observe ~window_hours env wanted =
+  {
+    hour_slot =
+      Option.map (fun _ -> window_of ~window_hours ~unix_hours:env.unix_hours) wanted.hour_slot;
+    temperature_band = Option.map (fun _ -> band env.temperature_c) wanted.temperature_band;
+    frequency_mhz = Option.map (fun _ -> env.clock_mhz) wanted.frequency_mhz;
+  }
+
+let derive ~puf_key ~context conditions =
+  if conditions = unconstrained then Kmu.derive ~puf_key context
+  else begin
+    let part name = function None -> name ^ "=*" | Some v -> Printf.sprintf "%s=%d" name v in
+    let env_string =
+      String.concat "|"
+        [ part "slot" conditions.hour_slot; part "temp" conditions.temperature_band;
+          part "mhz" conditions.frequency_mhz ]
+    in
+    let base = Kmu.derive ~puf_key context in
+    Eric_crypto.Hmac_sha256.mac_string ~key:base ("ERIC-ENV|" ^ env_string)
+  end

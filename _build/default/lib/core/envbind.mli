@@ -1,0 +1,48 @@
+(** Environment-bound key derivation — the paper's suggested KMU
+    configuration: "if the necessary variables in the hardware are given as
+    input to the PUF-based key generation function[,] a program that can
+    only be decrypted and run at a specific time range or a program that
+    can only be decrypted at a specific temperature, frequency, or
+    altitude, etc. can be obtained".
+
+    The mechanism is pure key derivation: the KMU folds *quantised* sensor
+    readings into the derivation context.  The software source derives with
+    the conditions it intends; the device derives with what its sensors say
+    at load time.  If any bound condition falls in a different quantisation
+    bucket, the keys differ, decryption produces garbage and the Validation
+    Unit refuses the program — no policy check, nothing to patch out.
+
+    Quantisation makes the binding practical: a time window is a range of
+    hour-slots, a temperature bound is a 10-degree band, a frequency bound
+    is the exact configured MHz. *)
+
+type conditions = {
+  hour_slot : int option;  (** hours since epoch / window length *)
+  temperature_band : int option;  (** degrees C / 10, rounded toward -inf *)
+  frequency_mhz : int option;  (** exact configured core clock *)
+}
+
+val unconstrained : conditions
+(** All [None]: derivation ignores the environment entirely (the paper's
+    base configuration, and this library's default everywhere else). *)
+
+val pp_conditions : Format.formatter -> conditions -> unit
+
+(** What the device's sensors report. *)
+type environment = {
+  unix_hours : int;  (** wall-clock hours since the epoch *)
+  temperature_c : int;
+  clock_mhz : int;
+}
+
+val observe : window_hours:int -> environment -> conditions -> conditions
+(** [observe ~window_hours env wanted] quantises [env] into the same shape
+    as [wanted], reading only the sensors that [wanted] actually binds
+    (unbound sensors stay [None] so they do not perturb the key). *)
+
+val window_of : window_hours:int -> unix_hours:int -> int
+(** The hour-slot a timestamp falls into. *)
+
+val derive : puf_key:bytes -> context:Kmu.context -> conditions -> bytes
+(** PUF-based key bound to [conditions]; with {!unconstrained} this equals
+    [Kmu.derive ~puf_key context]. *)

@@ -1,0 +1,13 @@
+type context = { epoch : int; label : string }
+
+let default_context = { epoch = 1; label = "eric" }
+
+let derive ~puf_key context =
+  if context.epoch < 0 then invalid_arg "Kmu.derive: negative epoch";
+  let msg = Printf.sprintf "ERIC-KDF|epoch=%d|label=%s" context.epoch context.label in
+  Eric_crypto.Hmac_sha256.mac_string ~key:puf_key msg
+
+let device_key ?(context = default_context) device =
+  derive ~puf_key:(Eric_puf.Device.puf_key device) context
+
+let pp_context fmt c = Format.fprintf fmt "epoch %d, label %S" c.epoch c.label

@@ -1,0 +1,24 @@
+(** Key Management Unit: derives working "PUF-based keys" from the raw PUF
+    key, the abstraction layer the paper insists on — the PUF key itself is
+    immutable silicon and must never be handed to software sources, while
+    derived keys can be rotated (epochs) and scoped (labels), and the same
+    derivation runs inside the HDE and at the software source.
+
+    Derivation is HMAC-SHA-256 with a context string, so distinct contexts
+    yield independent keys and the software source learns nothing about
+    the PUF key from the derived key it is given. *)
+
+type context = {
+  epoch : int;  (** rotating this revokes every previously issued key *)
+  label : string;  (** deployment scope, e.g. "firmware-v2" *)
+}
+
+val default_context : context
+
+val derive : puf_key:bytes -> context -> bytes
+(** 32-byte PUF-based key. *)
+
+val device_key : ?context:context -> Eric_puf.Device.t -> bytes
+(** Convenience: read the device's PUF key (majority-voted) and derive. *)
+
+val pp_context : Format.formatter -> context -> unit

@@ -1,0 +1,129 @@
+type mode_kind = M_full | M_partial | M_field of Config.field_scope
+
+let kind_of_mode : Config.mode -> mode_kind = function
+  | Config.Full -> M_full
+  | Config.Partial _ -> M_partial
+  | Config.Field (scope, _) -> M_field scope
+
+let tag_of_kind = function
+  | M_full -> 0
+  | M_partial -> 1
+  | M_field Config.Imm_fields -> 2
+  | M_field Config.All_but_opcode -> 3
+
+let kind_of_tag = function
+  | 0 -> Ok M_full
+  | 1 -> Ok M_partial
+  | 2 -> Ok (M_field Config.Imm_fields)
+  | 3 -> Ok (M_field Config.All_but_opcode)
+  | t -> Error (Printf.sprintf "unknown mode tag %d" t)
+
+type t = {
+  kind : mode_kind;
+  entry_offset : int;
+  bss_size : int;
+  parcel_count : int;
+  map : Eric_util.Bitvec.t option;
+  enc_text : bytes;
+  data : bytes;
+  enc_signature : bytes;
+}
+
+let magic = "EPKG"
+let version = 1
+let header_size = 32
+
+let map_bytes t = match t.map with None -> Bytes.empty | Some m -> Eric_util.Bitvec.to_bytes m
+
+let size t =
+  header_size + Bytes.length (map_bytes t) + Bytes.length t.enc_text + Bytes.length t.data
+  + Siggen.signature_size
+
+let header_bytes t =
+  let h = Bytes.create header_size in
+  Bytes.blit_string magic 0 h 0 4;
+  Eric_util.Bytesx.set_u16 h 4 version;
+  Bytes.set h 6 (Char.chr (tag_of_kind t.kind));
+  Bytes.set h 7 '\000';
+  Eric_util.Bytesx.set_u32 h 8 (Int32.of_int t.entry_offset);
+  Eric_util.Bytesx.set_u32 h 12 (Int32.of_int (Bytes.length t.enc_text));
+  Eric_util.Bytesx.set_u32 h 16 (Int32.of_int (Bytes.length t.data));
+  Eric_util.Bytesx.set_u32 h 20 (Int32.of_int t.bss_size);
+  Eric_util.Bytesx.set_u32 h 24 (Int32.of_int t.parcel_count);
+  Eric_util.Bytesx.set_u32 h 28 (Int32.of_int (Bytes.length (map_bytes t)));
+  h
+
+let authenticated_header t = Eric_util.Bytesx.append (header_bytes t) (map_bytes t)
+
+let serialize t =
+  Eric_util.Bytesx.concat [ header_bytes t; map_bytes t; t.enc_text; t.data; t.enc_signature ]
+
+let parse b =
+  let ( let* ) = Result.bind in
+  let* () = if Bytes.length b >= header_size then Ok () else Error "package too short" in
+  let* () = if Bytes.sub_string b 0 4 = magic then Ok () else Error "bad magic (not an EPKG)" in
+  let* () =
+    if Eric_util.Bytesx.get_u16 b 4 = version then Ok () else Error "unsupported package version"
+  in
+  let* kind = kind_of_tag (Char.code (Bytes.get b 6)) in
+  (* Strict parsing: bytes the decoder would otherwise ignore (reserved
+     flags, map padding bits) must be zero, so that every wire bit is
+     either interpreted or rejected — a flipped "don't care" bit cannot
+     silently pass validation. *)
+  let* () = if Char.code (Bytes.get b 7) = 0 then Ok () else Error "reserved flags set" in
+  let entry_offset = Int32.to_int (Eric_util.Bytesx.get_u32 b 8) in
+  let text_len = Int32.to_int (Eric_util.Bytesx.get_u32 b 12) in
+  let data_len = Int32.to_int (Eric_util.Bytesx.get_u32 b 16) in
+  let bss_size = Int32.to_int (Eric_util.Bytesx.get_u32 b 20) in
+  let parcel_count = Int32.to_int (Eric_util.Bytesx.get_u32 b 24) in
+  let map_len = Int32.to_int (Eric_util.Bytesx.get_u32 b 28) in
+  let* () =
+    if text_len >= 0 && data_len >= 0 && bss_size >= 0 && parcel_count >= 0 && map_len >= 0 then
+      Ok ()
+    else Error "negative section length"
+  in
+  let expected = header_size + map_len + text_len + data_len + Siggen.signature_size in
+  let* () =
+    if Bytes.length b = expected then Ok ()
+    else Error (Printf.sprintf "package length %d does not match header (%d)" (Bytes.length b) expected)
+  in
+  let* map =
+    match kind with
+    | M_full -> if map_len = 0 then Ok None else Error "full-encryption package carries a map"
+    | M_partial | M_field _ ->
+      if map_len < (parcel_count + 7) / 8 then Error "encryption map shorter than parcel count"
+      else begin
+        let raw = Bytes.sub b header_size map_len in
+        let map = Eric_util.Bitvec.of_bytes ~len:parcel_count raw in
+        if not (Bytes.equal (Eric_util.Bitvec.to_bytes map) raw) then
+          Error "encryption map has padding bits set"
+        else Ok (Some map)
+      end
+  in
+  let off = header_size + map_len in
+  let* () =
+    if entry_offset >= 0 && entry_offset <= text_len then Ok () else Error "entry out of range"
+  in
+  Ok
+    {
+      kind;
+      entry_offset;
+      bss_size;
+      parcel_count;
+      map;
+      enc_text = Bytes.sub b off text_len;
+      data = Bytes.sub b (off + text_len) data_len;
+      enc_signature = Bytes.sub b (off + text_len + data_len) Siggen.signature_size;
+    }
+
+let pp_kind fmt = function
+  | M_full -> Format.pp_print_string fmt "full"
+  | M_partial -> Format.pp_print_string fmt "partial"
+  | M_field Config.Imm_fields -> Format.pp_print_string fmt "field(imm)"
+  | M_field Config.All_but_opcode -> Format.pp_print_string fmt "field(all-but-opcode)"
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%a package: %d B total (text %d B, %d parcels, map %d B, data %d B)" pp_kind
+    t.kind (size t) (Bytes.length t.enc_text) t.parcel_count
+    (Bytes.length (map_bytes t))
+    (Bytes.length t.data)

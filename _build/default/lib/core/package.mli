@@ -1,0 +1,55 @@
+(** The encrypted program package: what actually travels over the
+    untrusted network.
+
+    Wire layout (little-endian):
+    {v
+    off  size  field
+    0    4     magic "EPKG"
+    4    2     version
+    6    1     mode tag (0=full, 1=partial, 2=field/imm, 3=field/all-but-opcode)
+    7    1     flags (reserved)
+    8    4     entry offset (bytes into text)
+    12   4     text length (bytes)
+    16   4     data length (bytes)
+    20   4     BSS size (bytes)
+    24   4     parcel count
+    28   4     encryption-map length (bytes; 0 for full encryption)
+    32   map   encryption map (1 bit per parcel, LSB-first)
+    ..   text  encrypted text section
+    ..   data  data section (plaintext)
+    ..   32    encrypted signature
+    v}
+
+    Matching the paper's size accounting (Fig 5): full encryption adds only
+    the 256-bit signature over a plain image; partial/field encryption adds
+    the signature plus one map bit per parcel. *)
+
+type mode_kind = M_full | M_partial | M_field of Config.field_scope
+
+val kind_of_mode : Config.mode -> mode_kind
+
+type t = {
+  kind : mode_kind;
+  entry_offset : int;
+  bss_size : int;
+  parcel_count : int;
+  map : Eric_util.Bitvec.t option;  (** [None] iff [kind = M_full] *)
+  enc_text : bytes;
+  data : bytes;
+  enc_signature : bytes;  (** 32 bytes, XORed with keystream at offset [text_len] *)
+}
+
+val header_size : int
+
+val size : t -> int
+(** Total wire size in bytes — the Fig-5 "program package size". *)
+
+val authenticated_header : t -> bytes
+(** The header bytes covered by the signature (everything up to and
+    including the map, with the signature region excluded by
+    construction). *)
+
+val serialize : t -> bytes
+val parse : bytes -> (t, string) result
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+(** Two-way authentication over an untrusted network (the paper's Fig 2
+    and threat model).
+
+    One direction: only the intended device can decrypt and run the
+    program (dynamic-analysis protection).  Other direction: the device
+    only runs programs built by a holder of its provisioned PUF-based key —
+    any modification, soft error, replacement or replay of a package built
+    for different hardware is rejected by the Validation Unit.
+
+    This module simulates the transport with pluggable adversaries so the
+    threat-model claims are executable. *)
+
+type attack =
+  | No_attack
+  | Bit_flips of { count : int; seed : int64 }  (** tampering or soft errors in transit *)
+  | Truncate of int  (** drop the last [n] bytes *)
+  | Splice of { payload : bytes; at : int }  (** overwrite bytes (malicious add-on) *)
+  | Replay of bytes  (** substitute a package captured earlier *)
+
+val apply_attack : attack -> bytes -> bytes
+
+type outcome =
+  | Executed of Eric_sim.Soc.result  (** validated and ran *)
+  | Refused of Target.load_error
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val provision : Target.t -> bytes
+(** The out-of-band handshake: the device hands its current PUF-based key
+    to a trusted software source.  (The PUF key itself never leaves the
+    device.) *)
+
+val provision_over_network :
+  ?attack:attack ->
+  rng:Eric_util.Prng.t ->
+  source_key:Eric_crypto.Rsa.private_key ->
+  Target.t ->
+  (bytes, string) result
+(** In-band provisioning — the paper's RSA future work: the device encrypts
+    its PUF-based key under the software source's RSA public key and sends
+    it over the same untrusted channel as everything else.  Returns the key
+    the source recovers; a tampered transmission fails padding validation
+    (and even an undetected corruption would only yield a key that no
+    subsequent package validates against).  The eavesdropper sees only the
+    RSA ciphertext. *)
+
+val transmit :
+  ?attack:attack -> ?fuel:int -> source:Source.build -> target:Target.t -> unit -> outcome
+(** Serialise the package, push it through the (possibly hostile) channel,
+    and let the target authenticate + execute it. *)
+
+val cross_check : builds:(string * Source.build) list -> targets:(string * Target.t) list ->
+  (string * string * bool) list
+(** Run every build against every target and report which pairs execute —
+    the diagonal should be [true] and everything else [false] unless two
+    devices were deliberately provisioned with the same key. *)

@@ -1,0 +1,12 @@
+let signature_size = Eric_crypto.Sha256.digest_size
+
+type ctx = Eric_crypto.Sha256.ctx
+
+let init () = Eric_crypto.Sha256.init ()
+let absorb = Eric_crypto.Sha256.feed
+let finish = Eric_crypto.Sha256.finalize
+
+let signature ~authenticated =
+  let ctx = init () in
+  List.iter (absorb ctx) authenticated;
+  finish ctx

@@ -1,0 +1,22 @@
+(** Signature generation (the paper's Signature Generator, both sides).
+
+    The signature is SHA-256 over the package's authenticated content *in
+    plaintext*: the header fields, the encryption map, the text section
+    before encryption, and the data section.  It is computed by the
+    compiler before encryption and recomputed inside the HDE from the
+    decrypted stream; because it travels encrypted, it is "useless for
+    those who cannot decrypt the program". *)
+
+val signature_size : int
+(** 32 bytes (SHA-256). *)
+
+val signature : authenticated:bytes list -> bytes
+(** Hash the concatenation of the authenticated sections, in order. *)
+
+type ctx
+(** Streaming form, mirroring the hardware unit absorbing decrypted words
+    as they emerge from the Decryption Unit. *)
+
+val init : unit -> ctx
+val absorb : ctx -> bytes -> unit
+val finish : ctx -> bytes

@@ -1,0 +1,25 @@
+type build = {
+  image : Eric_rv.Program.t;
+  package : Package.t;
+  stats : Encrypt.stats;
+  plain_size : int;
+  package_size : int;
+}
+
+let package_image ~mode ~key image =
+  let package, stats = Encrypt.encrypt ~key ~mode image in
+  {
+    image;
+    package;
+    stats;
+    plain_size = Bytes.length (Eric_rv.Program.to_binary image);
+    package_size = Package.size package;
+  }
+
+let build ?options ~mode ~key source =
+  Result.map (package_image ~mode ~key) (Eric_cc.Driver.compile ?options source)
+
+let build_multi ?options ~mode ~keys source =
+  Result.map
+    (fun image -> List.map (fun (name, key) -> (name, package_image ~mode ~key image)) keys)
+    (Eric_cc.Driver.compile ?options source)

@@ -1,0 +1,37 @@
+(** The software-source side of ERIC: compile, sign, encrypt, package —
+    steps 2-3 of the paper's workflow.
+
+    The source never sees the target's PUF key, only a PUF-based key
+    derived by the device's Key Management Unit and delivered during
+    provisioning (the paper's "handshake is already done" assumption,
+    realised by {!Protocol.provision}). *)
+
+type build = {
+  image : Eric_rv.Program.t;  (** the plaintext image (stays at the source) *)
+  package : Package.t;  (** what ships *)
+  stats : Encrypt.stats;
+  plain_size : int;  (** plain binary bytes — Fig 5's baseline *)
+  package_size : int;  (** encrypted package bytes — Fig 5's numerator *)
+}
+
+val build :
+  ?options:Eric_cc.Driver.options ->
+  mode:Config.mode ->
+  key:bytes ->
+  string ->
+  (build, string) result
+(** Compile MiniC [source] and package it for the holder of [key]. *)
+
+val package_image :
+  mode:Config.mode -> key:bytes -> Eric_rv.Program.t -> build
+(** Packaging only, for a pre-compiled image. *)
+
+val build_multi :
+  ?options:Eric_cc.Driver.options ->
+  mode:Config.mode ->
+  keys:(string * bytes) list ->
+  string ->
+  ((string * build) list, string) result
+(** One compile, many targets — the paper's "compiling from a single
+    software source for multiple target hardware" (each device gets its own
+    encryption of the same image). *)

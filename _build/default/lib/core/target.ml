@@ -1,0 +1,54 @@
+type t = {
+  device_ : Eric_puf.Device.t;
+  context : Kmu.context;
+  hde : Eric_hw.Hde.config;
+  key : bytes;  (** cached derived key; the silicon recomputes it at boot *)
+}
+
+let create ?(context = Kmu.default_context) ?(hde = Eric_hw.Hde.default_config) device_ =
+  { device_; context; hde; key = Kmu.device_key ~context device_ }
+
+let of_id ?context ?hde id = create ?context ?hde (Eric_puf.Device.manufacture id)
+
+let device t = t.device_
+let derived_key t = t.key
+
+type load_error = Malformed of string | Rejected of Encrypt.error
+
+let pp_load_error fmt = function
+  | Malformed msg -> Format.fprintf fmt "malformed package: %s" msg
+  | Rejected e -> Format.fprintf fmt "validation failed: %a" Encrypt.pp_error e
+
+type loaded = {
+  image : Eric_rv.Program.t;
+  stats : Encrypt.stats;
+  load : Eric_hw.Hde.breakdown;
+}
+
+let receive t pkg =
+  match Encrypt.decrypt ~key:t.key pkg with
+  | Error e -> Error (Rejected e)
+  | Ok (image, stats) ->
+    let image_bytes = Package.size pkg in
+    let hashed_bytes =
+      Bytes.length (Package.authenticated_header pkg)
+      + Bytes.length pkg.Package.enc_text + Bytes.length pkg.Package.data
+    in
+    (* The travelling signature needs keystream too. *)
+    let encrypted_bytes = stats.Encrypt.encrypted_bytes + Siggen.signature_size in
+    let load = Eric_hw.Hde.load_encrypted t.hde ~image_bytes ~hashed_bytes ~encrypted_bytes in
+    Ok { image; stats; load }
+
+let receive_bytes t bytes =
+  match Package.parse bytes with
+  | Error msg -> Error (Malformed msg)
+  | Ok pkg -> receive t pkg
+
+let execute ?timing ?fuel t pkg =
+  match receive t pkg with
+  | Error e -> Error e
+  | Ok { image; load; _ } ->
+    let memory = Eric_sim.Soc.load image in
+    Ok
+      (Eric_sim.Soc.run_loaded ?timing ?fuel ~load_cycles:load.Eric_hw.Hde.total_cycles image
+         memory)

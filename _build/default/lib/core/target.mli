@@ -1,0 +1,47 @@
+(** The target-hardware side of ERIC: a device with a PUF, a Key Management
+    Unit and an HDE in front of its Rocket-class core — steps 5-6 of the
+    paper's workflow.
+
+    [receive*] runs the whole HDE path (streaming decrypt, signature
+    regeneration, validation) and accounts its load-time cycles with the
+    {!Eric_hw.Hde} model; [execute] then runs the validated program on the
+    simulated SoC, so [Eric_sim.Soc.total_cycles] is the end-to-end time
+    Fig 7 compares against a plain load of the same program. *)
+
+type t
+
+val create :
+  ?context:Kmu.context -> ?hde:Eric_hw.Hde.config -> Eric_puf.Device.t -> t
+
+val of_id : ?context:Kmu.context -> ?hde:Eric_hw.Hde.config -> Eric_puf.Device.id -> t
+(** Manufacture the device on the fly. *)
+
+val device : t -> Eric_puf.Device.t
+
+val derived_key : t -> bytes
+(** The device's PUF-based key for its current KMU context (what
+    provisioning would hand to a trusted software source). *)
+
+type load_error =
+  | Malformed of string  (** the bytes are not a well-formed package *)
+  | Rejected of Encrypt.error  (** the Validation Unit said no *)
+
+val pp_load_error : Format.formatter -> load_error -> unit
+
+type loaded = {
+  image : Eric_rv.Program.t;
+  stats : Encrypt.stats;
+  load : Eric_hw.Hde.breakdown;  (** HDE ingest cycle accounting *)
+}
+
+val receive : t -> Package.t -> (loaded, load_error) result
+val receive_bytes : t -> bytes -> (loaded, load_error) result
+
+val execute :
+  ?timing:Eric_sim.Cpu.timing ->
+  ?fuel:int ->
+  t ->
+  Package.t ->
+  (Eric_sim.Soc.result, load_error) result
+(** Receive, load into SoC memory and run to completion; the result's
+    [load_cycles] is the HDE total. *)

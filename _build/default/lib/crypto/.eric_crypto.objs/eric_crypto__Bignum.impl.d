@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Buffer Bytes Char Eric_util Format List Stdlib String

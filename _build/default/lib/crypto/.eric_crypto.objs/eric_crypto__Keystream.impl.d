@@ -1,0 +1,1 @@
+lib/crypto/keystream.ml: Bytes Eric_util Int64 Sha256

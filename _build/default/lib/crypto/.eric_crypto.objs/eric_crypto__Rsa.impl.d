@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Bytes Char Ct Eric_util Printf Sha256

@@ -1,0 +1,1 @@
+lib/crypto/xor_cipher.ml: Eric_util Int32 Keystream

@@ -1,0 +1,1 @@
+lib/crypto/xor_cipher.mli:

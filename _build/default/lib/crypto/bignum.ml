@@ -1,0 +1,368 @@
+(* Little-endian 24-bit limbs, normalised (no trailing zero limbs); the
+   empty array is zero.  24-bit limbs keep schoolbook products and carry
+   accumulation comfortably inside OCaml's 63-bit native int. *)
+
+type t = int array
+
+let limb_bits = 24
+let limb_mask = (1 lsl limb_bits) - 1
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int v =
+  if v < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec go v acc = if v = 0 then acc else go (v lsr limb_bits) ((v land limb_mask) :: acc) in
+  normalize (Array.of_list (List.rev (go v [])))
+
+let to_int_opt (a : t) =
+  if Array.length a * limb_bits > 62 && Array.length a > 3 then None
+  else begin
+    let v = ref 0 and overflow = ref false in
+    for i = Array.length a - 1 downto 0 do
+      if !v > max_int lsr limb_bits then overflow := true
+      else v := (!v lsl limb_bits) lor a.(i)
+    done;
+    if !overflow then None else Some !v
+  end
+
+let is_zero (a : t) = Array.length a = 0
+let is_even (a : t) = Array.length a = 0 || a.(0) land 1 = 0
+
+let num_bits (a : t) =
+  if is_zero a then 0
+  else begin
+    let top = a.(Array.length a - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((Array.length a - 1) * limb_bits) + width top 0
+  end
+
+let bit (a : t) i =
+  let limb = i / limb_bits in
+  if limb >= Array.length a then false else a.(limb) land (1 lsl (i mod limb_bits)) <> 0
+
+let compare (a : t) (b : t) =
+  if Array.length a <> Array.length b then Stdlib.compare (Array.length a) (Array.length b)
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (Array.length a - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add (a : t) (b : t) : t =
+  let n = max (Array.length a) (Array.length b) in
+  let out = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let av = if i < Array.length a then a.(i) else 0 in
+    let bv = if i < Array.length b then b.(i) else 0 in
+    let s = av + bv + !carry in
+    out.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  out.(n) <- !carry;
+  normalize out
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Bignum.sub: negative result";
+  let out = Array.make (Array.length a) 0 in
+  let borrow = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    let bv = if i < Array.length b then b.(i) else 0 in
+    let d = a.(i) - bv - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + limb_mask + 1;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize out
+
+let mul (a : t) (b : t) : t =
+  if is_zero a || is_zero b then zero
+  else begin
+    let out = Array.make (Array.length a + Array.length b) 0 in
+    for i = 0 to Array.length a - 1 do
+      let carry = ref 0 in
+      for j = 0 to Array.length b - 1 do
+        let acc = out.(i + j) + (a.(i) * b.(j)) + !carry in
+        out.(i + j) <- acc land limb_mask;
+        carry := acc lsr limb_bits
+      done;
+      let k = ref (i + Array.length b) in
+      while !carry <> 0 do
+        let acc = out.(!k) + !carry in
+        out.(!k) <- acc land limb_mask;
+        carry := acc lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize out
+  end
+
+let shift_left (a : t) bits =
+  if bits < 0 then invalid_arg "Bignum.shift_left: negative";
+  if is_zero a || bits = 0 then a
+  else begin
+    let limbs = bits / limb_bits and rem = bits mod limb_bits in
+    let out = Array.make (Array.length a + limbs + 1) 0 in
+    for i = 0 to Array.length a - 1 do
+      let v = a.(i) lsl rem in
+      out.(i + limbs) <- out.(i + limbs) lor (v land limb_mask);
+      out.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    normalize out
+  end
+
+let shift_right (a : t) bits =
+  if bits < 0 then invalid_arg "Bignum.shift_right: negative";
+  if is_zero a || bits = 0 then a
+  else begin
+    let limbs = bits / limb_bits and rem = bits mod limb_bits in
+    if limbs >= Array.length a then zero
+    else begin
+      let n = Array.length a - limbs in
+      let out = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limbs) lsr rem in
+        let hi = if rem > 0 && i + limbs + 1 < Array.length a then a.(i + limbs + 1) lsl (limb_bits - rem) else 0 in
+        out.(i) <- (lo lor hi) land limb_mask
+      done;
+      normalize out
+    end
+  end
+
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    (* Binary long division over a mutable remainder window. *)
+    let shift = num_bits a - num_bits b in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref a and d = ref (shift_left b shift) in
+    for i = shift downto 0 do
+      if compare !r !d >= 0 then begin
+        r := sub !r !d;
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end;
+      d := shift_right !d 1
+    done;
+    (normalize q, !r)
+  end
+
+let rem a b = snd (divmod a b)
+
+(* Interleaved modular multiplication: scans [a]'s bits high to low,
+   doubling and conditionally adding [b], reducing by at most two
+   subtractions per step.  Both inputs must already be < m. *)
+let modmul (a : t) (b : t) ~m =
+  if is_zero m then raise Division_by_zero;
+  let a = if compare a m >= 0 then rem a m else a in
+  let b = if compare b m >= 0 then rem b m else b in
+  let result = ref zero in
+  for i = num_bits a - 1 downto 0 do
+    result := add !result !result;
+    if compare !result m >= 0 then result := sub !result m;
+    if bit a i then begin
+      result := add !result b;
+      if compare !result m >= 0 then result := sub !result m
+    end
+  done;
+  !result
+
+let modexp base exp ~m =
+  if is_zero m then raise Division_by_zero;
+  if equal m one then zero
+  else begin
+    let result = ref one and b = ref (rem base m) in
+    for i = 0 to num_bits exp - 1 do
+      if bit exp i then result := modmul !result !b ~m;
+      b := modmul !b !b ~m
+    done;
+    !result
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+let modinv a ~m =
+  (* Extended Euclid with signed coefficients tracked as (sign, magnitude). *)
+  let rec go r0 r1 (s0_sign, s0) (s1_sign, s1) =
+    if is_zero r1 then if equal r0 one then Some (s0_sign, s0) else None
+    else begin
+      let q, r2 = divmod r0 r1 in
+      (* s2 = s0 - q*s1 *)
+      let qs1 = mul q s1 in
+      let s2 =
+        match (s0_sign, s1_sign) with
+        | true, true -> if compare s0 qs1 >= 0 then (true, sub s0 qs1) else (false, sub qs1 s0)
+        | true, false -> (true, add s0 qs1)
+        | false, true -> (false, add s0 qs1)
+        | false, false -> if compare s0 qs1 >= 0 then (false, sub s0 qs1) else (true, sub qs1 s0)
+      in
+      go r1 r2 (s1_sign, s1) s2
+    end
+  in
+  match go m (rem a m) (true, zero) (true, one) with
+  | None -> None
+  | Some (sign, v) ->
+    let v = rem v m in
+    Some (if sign || is_zero v then v else sub m v)
+
+(* 24-bit limbs are exactly three bytes, so byte conversion indexes limbs
+   directly instead of dividing. *)
+let of_bytes_be b =
+  let nbytes = Bytes.length b in
+  let limbs = Array.make ((nbytes + 2) / 3) 0 in
+  for i = 0 to nbytes - 1 do
+    (* i-th byte from the end is little-endian byte index *)
+    let le = nbytes - 1 - i in
+    limbs.(le / 3) <- limbs.(le / 3) lor (Char.code (Bytes.get b i) lsl (8 * (le mod 3)))
+  done;
+  normalize limbs
+
+let to_bytes_be ?len (a : t) =
+  let needed = (num_bits a + 7) / 8 in
+  let len = match len with None -> max needed 1 | Some l -> l in
+  if needed > len then invalid_arg "Bignum.to_bytes_be: value too large for len";
+  let out = Bytes.make len '\000' in
+  for le = 0 to needed - 1 do
+    let v = (a.(le / 3) lsr (8 * (le mod 3))) land 0xFF in
+    Bytes.set out (len - 1 - le) (Char.chr v)
+  done;
+  out
+
+let hex_digits = "0123456789abcdef"
+
+let to_hex (a : t) =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let started = ref false in
+    for i = (num_bits a + 3) / 4 - 1 downto 0 do
+      let nibble =
+        (if bit a ((4 * i) + 3) then 8 else 0)
+        + (if bit a ((4 * i) + 2) then 4 else 0)
+        + (if bit a ((4 * i) + 1) then 2 else 0)
+        + if bit a (4 * i) then 1 else 0
+      in
+      if nibble <> 0 || !started then begin
+        started := true;
+        Buffer.add_char buf hex_digits.[nibble]
+      end
+    done;
+    if Buffer.length buf = 0 then "0" else Buffer.contents buf
+  end
+
+let of_hex s =
+  let v = ref zero in
+  String.iter
+    (fun c ->
+      let d =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> invalid_arg "Bignum.of_hex: non-hex character"
+      in
+      v := add (shift_left !v 4) (of_int d))
+    s;
+  !v
+
+let pp fmt a = Format.fprintf fmt "0x%s" (to_hex a)
+
+(* ------------------------------------------------------------------ *)
+(* Randomness and primality                                            *)
+(* ------------------------------------------------------------------ *)
+
+let random_bits rng ~bits =
+  if bits <= 0 then invalid_arg "Bignum.random_bits: bits must be positive";
+  let bytes = Eric_util.Prng.bytes rng ~len:((bits + 7) / 8) in
+  let v = ref (of_bytes_be bytes) in
+  (* trim to width, then force the top bit *)
+  v := rem !v (shift_left one bits);
+  v := add (rem !v (shift_left one (bits - 1))) (shift_left one (bits - 1));
+  !v
+
+let random_below rng bound =
+  if is_zero bound then invalid_arg "Bignum.random_below: zero bound";
+  let bits = num_bits bound in
+  let rec draw attempts =
+    if attempts > 1000 then rem (of_bytes_be (Eric_util.Prng.bytes rng ~len:((bits + 7) / 8))) bound
+    else begin
+      let v = rem (of_bytes_be (Eric_util.Prng.bytes rng ~len:((bits + 7) / 8))) (shift_left one bits) in
+      if compare v bound < 0 then v else draw (attempts + 1)
+    end
+  in
+  draw 0
+
+let small_primes =
+  [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67; 71; 73; 79; 83; 89;
+    97; 101; 103; 107; 109; 113; 127; 131; 137; 139; 149; 151; 157; 163; 167; 173; 179; 181;
+    191; 193; 197; 199; 211; 223; 227; 229; 233; 239; 241; 251 ]
+
+let is_probable_prime ?(rounds = 20) rng n =
+  if compare n (of_int 2) < 0 then false
+  else if List.exists (fun p -> equal n (of_int p)) small_primes then true
+  else if is_even n then false
+  else if
+    List.exists (fun p -> compare n (of_int p) > 0 && is_zero (rem n (of_int p))) small_primes
+  then false
+  else begin
+    (* n - 1 = d * 2^s with d odd *)
+    let n1 = sub n one in
+    let s = ref 0 and d = ref n1 in
+    while is_even !d do
+      d := shift_right !d 1;
+      incr s
+    done;
+    let witness a =
+      let x = ref (modexp a !d ~m:n) in
+      if equal !x one || equal !x n1 then false
+      else begin
+        let composite = ref true in
+        (try
+           for _ = 1 to !s - 1 do
+             x := modmul !x !x ~m:n;
+             if equal !x n1 then begin
+               composite := false;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !composite
+      end
+    in
+    let rec rounds_loop k =
+      if k = 0 then true
+      else begin
+        let a = add (of_int 2) (random_below rng (sub n (of_int 3))) in
+        if witness a then false else rounds_loop (k - 1)
+      end
+    in
+    rounds_loop rounds
+  end
+
+let random_prime rng ~bits =
+  if bits < 8 then invalid_arg "Bignum.random_prime: need at least 8 bits";
+  let rec search () =
+    let candidate = random_bits rng ~bits in
+    let candidate = if is_even candidate then add candidate one else candidate in
+    if num_bits candidate = bits && is_probable_prime rng candidate then candidate
+    else search ()
+  in
+  search ()

@@ -1,0 +1,10 @@
+(** Constant-time byte comparison.
+
+    The Validation Unit compares the recomputed signature with the decrypted
+    signature that travelled with the program; a data-dependent early-exit
+    compare would leak match prefixes through timing, the very side channel
+    class the paper's dynamic-analysis threat model worries about. *)
+
+val equal : bytes -> bytes -> bool
+(** Length mismatch returns [false] immediately (lengths are public); byte
+    comparison itself runs in time independent of the contents. *)

@@ -1,0 +1,22 @@
+let block_size = Sha256.block_size
+
+let normalize_key key =
+  let key = if Bytes.length key > block_size then Sha256.digest key else key in
+  let out = Bytes.make block_size '\000' in
+  Bytes.blit key 0 out 0 (Bytes.length key);
+  out
+
+let xor_pad key pad = Bytes.map (fun c -> Char.chr (Char.code c lxor pad)) key
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.feed inner (xor_pad key 0x36);
+  Sha256.feed inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.feed outer (xor_pad key 0x5C);
+  Sha256.feed outer inner_digest;
+  Sha256.finalize outer
+
+let mac_string ~key s = mac ~key (Bytes.of_string s)

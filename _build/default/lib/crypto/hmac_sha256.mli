@@ -1,0 +1,12 @@
+(** HMAC-SHA-256 (RFC 2104).
+
+    The paper's Key Management Unit derives PUF-based keys by "passing the
+    PUF key through a function (e.g., secure hash algorithm)".  We use HMAC
+    as that keyed derivation primitive so the derivation context (epoch,
+    target label, environmental binding) keys the hash rather than being
+    plain concatenation. *)
+
+val mac : key:bytes -> bytes -> bytes
+(** 32-byte tag. *)
+
+val mac_string : key:bytes -> string -> bytes

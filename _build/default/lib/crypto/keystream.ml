@@ -1,0 +1,43 @@
+type t = {
+  key : bytes;
+  mutable pos : int; (* absolute byte offset in the stream *)
+  mutable block_index : int; (* index of the block cached in [block], or -1 *)
+  block : Bytes.t;
+}
+
+let block_size = Sha256.digest_size
+
+let create ~key = { key = Bytes.copy key; pos = 0; block_index = -1; block = Bytes.create block_size }
+let at ~key ~offset =
+  if offset < 0 then invalid_arg "Keystream.at: negative offset";
+  { key = Bytes.copy key; pos = offset; block_index = -1; block = Bytes.create block_size }
+
+let offset t = t.pos
+
+let fill_block t index =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx t.key;
+  let ctr = Bytes.create 8 in
+  Eric_util.Bytesx.set_u64 ctr 0 (Int64.of_int index);
+  Sha256.feed ctx ctr;
+  Bytes.blit (Sha256.finalize ctx) 0 t.block 0 block_size;
+  t.block_index <- index
+
+let take t n =
+  if n < 0 then invalid_arg "Keystream.take: negative length";
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    let abs = t.pos + i in
+    let index = abs / block_size in
+    if index <> t.block_index then fill_block t index;
+    Bytes.set out i (Bytes.get t.block (abs mod block_size))
+  done;
+  t.pos <- t.pos + n;
+  out
+
+let xor ~key ?(offset = 0) data =
+  let t = at ~key ~offset in
+  let ks = take t (Bytes.length data) in
+  let out = Bytes.create (Bytes.length data) in
+  Eric_util.Bytesx.xor_into ~src:data ~key:ks ~dst:out;
+  out

@@ -1,0 +1,28 @@
+(** Deterministic keystream expansion for the XOR cipher.
+
+    The paper's Key Management Unit turns a single PUF-based key into "keys
+    in the appropriate formats for the Encryption Unit", so that "multiple
+    encryption iterations continue with a single PUF-based key".  We realise
+    this as SHA-256 in counter mode: block [i] of the stream is
+    [SHA-256(key || le64 i)].  The same stream is regenerated independently
+    on the software source and inside the HDE. *)
+
+type t
+(** A positioned stream reader. *)
+
+val create : key:bytes -> t
+(** Stream positioned at offset 0. *)
+
+val at : key:bytes -> offset:int -> t
+(** Stream positioned at an absolute byte [offset]; used to decrypt package
+    sections (e.g., the signature trailer) independently. *)
+
+val take : t -> int -> bytes
+(** [take t n] returns the next [n] keystream bytes, advancing the stream. *)
+
+val offset : t -> int
+(** Current absolute position in bytes. *)
+
+val xor : key:bytes -> ?offset:int -> bytes -> bytes
+(** One-shot: XOR a buffer against the stream starting at [offset]
+    (default 0).  Symmetric, so it both encrypts and decrypts. *)

@@ -1,0 +1,95 @@
+type public_key = { n : Bignum.t; e : Bignum.t }
+type private_key = { pub : public_key; d : Bignum.t; p : Bignum.t; q : Bignum.t }
+
+let e_value = Bignum.of_int 65537
+
+let generate ?(bits = 512) rng =
+  if bits < 128 then invalid_arg "Rsa.generate: modulus below 128 bits";
+  let half = bits / 2 in
+  let rec attempt () =
+    let p = Bignum.random_prime rng ~bits:half in
+    let q = Bignum.random_prime rng ~bits:(bits - half) in
+    if Bignum.equal p q then attempt ()
+    else begin
+      let n = Bignum.mul p q in
+      let phi = Bignum.mul (Bignum.sub p Bignum.one) (Bignum.sub q Bignum.one) in
+      match Bignum.modinv e_value ~m:phi with
+      | None -> attempt () (* gcd(e, phi) <> 1; rare *)
+      | Some d -> { pub = { n; e = e_value }; d; p; q }
+    end
+  in
+  attempt ()
+
+let public_of key = key.pub
+let modulus_bytes pub = (Bignum.num_bits pub.n + 7) / 8
+let max_message_bytes pub = modulus_bytes pub - 11
+
+let encrypt pub rng msg =
+  let k = modulus_bytes pub in
+  if Bytes.length msg > max_message_bytes pub then
+    Error
+      (Printf.sprintf "message too long: %d bytes, capacity %d" (Bytes.length msg)
+         (max_message_bytes pub))
+  else begin
+    let pad_len = k - 3 - Bytes.length msg in
+    let eb = Bytes.create k in
+    Bytes.set eb 0 '\000';
+    Bytes.set eb 1 '\002';
+    for i = 0 to pad_len - 1 do
+      (* nonzero random padding *)
+      let b = 1 + Eric_util.Prng.int rng ~bound:255 in
+      Bytes.set eb (2 + i) (Char.chr b)
+    done;
+    Bytes.set eb (2 + pad_len) '\000';
+    Bytes.blit msg 0 eb (3 + pad_len) (Bytes.length msg);
+    let m = Bignum.of_bytes_be eb in
+    let c = Bignum.modexp m pub.e ~m:pub.n in
+    Ok (Bignum.to_bytes_be ~len:k c)
+  end
+
+let decrypt key cipher =
+  let k = modulus_bytes key.pub in
+  if Bytes.length cipher <> k then Error "ciphertext length does not match the modulus"
+  else begin
+    let c = Bignum.of_bytes_be cipher in
+    if Bignum.compare c key.pub.n >= 0 then Error "ciphertext out of range"
+    else begin
+      let m = Bignum.modexp c key.d ~m:key.pub.n in
+      let eb = Bignum.to_bytes_be ~len:k m in
+      if Bytes.get eb 0 <> '\000' || Bytes.get eb 1 <> '\002' then Error "bad padding header"
+      else begin
+        (* find the 00 separator after at least 8 padding bytes *)
+        let rec find i =
+          if i >= k then None else if Bytes.get eb i = '\000' then Some i else find (i + 1)
+        in
+        match find 2 with
+        | Some sep when sep >= 10 -> Ok (Bytes.sub eb (sep + 1) (k - sep - 1))
+        | Some _ -> Error "padding too short"
+        | None -> Error "missing padding separator"
+      end
+    end
+  end
+
+let digest_eb pub msg =
+  let k = modulus_bytes pub in
+  let digest = Sha256.digest msg in
+  let eb = Bytes.make k '\xff' in
+  Bytes.set eb 0 '\000';
+  Bytes.set eb 1 '\001';
+  Bytes.set eb (k - Sha256.digest_size - 1) '\000';
+  Bytes.blit digest 0 eb (k - Sha256.digest_size) Sha256.digest_size;
+  eb
+
+let sign key msg =
+  let eb = digest_eb key.pub msg in
+  Bignum.to_bytes_be ~len:(modulus_bytes key.pub)
+    (Bignum.modexp (Bignum.of_bytes_be eb) key.d ~m:key.pub.n)
+
+let verify pub ~message ~signature =
+  Bytes.length signature = modulus_bytes pub
+  &&
+  let s = Bignum.of_bytes_be signature in
+  Bignum.compare s pub.n < 0
+  &&
+  let eb = Bignum.to_bytes_be ~len:(modulus_bytes pub) (Bignum.modexp s pub.e ~m:pub.n) in
+  Ct.equal eb (digest_eb pub message)

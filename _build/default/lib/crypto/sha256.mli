@@ -1,0 +1,31 @@
+(** SHA-256 (FIPS 180-2), implemented from scratch.
+
+    This is the paper's signature function: the ERIC compiler hashes the
+    plaintext program to produce a 256-bit signature, and the Signature
+    Generator unit in the HDE recomputes it on the decrypted instruction
+    stream.  The incremental interface below mirrors the hardware unit, which
+    absorbs instruction words as they leave the Decryption Unit. *)
+
+val digest_size : int
+(** 32 bytes. *)
+
+val block_size : int
+(** 64 bytes (one 512-bit block). *)
+
+type ctx
+(** Streaming hash state. *)
+
+val init : unit -> ctx
+val feed : ctx -> bytes -> unit
+val feed_sub : ctx -> bytes -> pos:int -> len:int -> unit
+val finalize : ctx -> bytes
+(** [finalize] pads, produces the 32-byte digest, and invalidates the context
+    (further [feed] raises). *)
+
+val digest : bytes -> bytes
+(** One-shot hash. *)
+
+val digest_string : string -> bytes
+
+val hex : bytes -> string
+(** Convenience: hash and render lowercase hex. *)

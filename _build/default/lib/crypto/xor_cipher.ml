@@ -1,0 +1,18 @@
+let apply_bytes ~key ?(offset = 0) data = Keystream.xor ~key ~offset data
+
+let key_word32 ~key ~offset =
+  let ks = Keystream.at ~key ~offset in
+  Eric_util.Bytesx.get_u32 (Keystream.take ks 4) 0
+
+let key_word16 ~key ~offset =
+  let ks = Keystream.at ~key ~offset in
+  Eric_util.Bytesx.get_u16 (Keystream.take ks 2) 0
+
+let apply_word32 ~key ~offset w = Int32.logxor w (key_word32 ~key ~offset)
+let apply_word16 ~key ~offset w = (w lxor key_word16 ~key ~offset) land 0xFFFF
+
+let apply_field32 ~key ~offset ~mask w =
+  Int32.logxor w (Int32.logand (key_word32 ~key ~offset) mask)
+
+let apply_field16 ~key ~offset ~mask w =
+  (w lxor (key_word16 ~key ~offset land mask)) land 0xFFFF

@@ -1,0 +1,27 @@
+(** The paper's encryption function: an XOR cipher over instruction parcels.
+
+    Encryption and decryption are the same operation (XOR against the
+    keystream), matching the paper: "the encrypted message is accessed back
+    in symmetrical steps".  Keystream bytes are addressed by the parcel's
+    byte offset inside the text section, so a partially encrypted program can
+    be decrypted parcel-by-parcel without regenerating the whole stream.
+
+    Field-masked variants XOR only the bits selected by a mask — the paper's
+    third encryption method ("partial encryption of a select few instructions
+    ... by specifying the target bits in the instruction encoding"), e.g.
+    encrypting only load/store immediates to hide memory traces while leaving
+    opcodes legible. *)
+
+val apply_bytes : key:bytes -> ?offset:int -> bytes -> bytes
+(** Whole-buffer XOR against the stream starting at [offset]. *)
+
+val apply_word32 : key:bytes -> offset:int -> int32 -> int32
+(** XOR a 32-bit instruction word with its 4 keystream bytes. *)
+
+val apply_word16 : key:bytes -> offset:int -> int -> int
+(** XOR a 16-bit compressed parcel (low 16 bits of the int are used). *)
+
+val apply_field32 : key:bytes -> offset:int -> mask:int32 -> int32 -> int32
+(** XOR only the bits of the word selected by [mask]. *)
+
+val apply_field16 : key:bytes -> offset:int -> mask:int -> int -> int

@@ -1,0 +1,1 @@
+lib/hw/area.mli: Format Rtl

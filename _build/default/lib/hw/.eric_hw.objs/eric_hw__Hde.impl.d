@@ -1,0 +1,1 @@
+lib/hw/hde.ml: Format Int64

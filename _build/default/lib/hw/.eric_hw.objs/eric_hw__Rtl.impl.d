@@ -1,0 +1,1 @@
+lib/hw/rtl.ml: Format List

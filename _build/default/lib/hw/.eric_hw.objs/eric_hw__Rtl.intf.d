@@ -1,0 +1,1 @@
+lib/hw/rtl.mli: Format

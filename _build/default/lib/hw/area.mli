@@ -1,0 +1,20 @@
+(** The Table-II experiment: FPGA area of the Rocket Chip baseline versus
+    Rocket Chip + HDE.
+
+    The Rocket baseline is an externally calibrated macro (its subsystem
+    split follows published Rocket/ZedBoard utilisation reports and sums to
+    the paper's baseline: 33894 LUTs, 19093 FFs at 25 MHz).  The HDE units
+    are composed from {!Rtl} primitives — compact SHA-256 core, 32-bit XOR
+    decrypt datapath, key management, 32x8 arbiter-switch PUF array,
+    streaming validation compare. *)
+
+val rocket_baseline : Rtl.t
+val hde : Rtl.t
+val rocket_with_hde : Rtl.t
+
+type row = { resource : string; baseline : int; with_hde : int; change_pct : float }
+
+val table2 : unit -> row list
+(** Rows: Total Slice LUTs, Total Flip-Flops, Frequency (MHz, unchanged). *)
+
+val pp_table2 : Format.formatter -> unit -> unit

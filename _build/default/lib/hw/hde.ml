@@ -1,0 +1,64 @@
+type config = {
+  dma_bytes_per_cycle : int;
+  sha_block_cycles : int;
+  keystream_block_cycles : int;
+  xor_bytes_per_cycle : int;
+  key_setup_cycles : int;
+  validation_cycles : int;
+  pipelined : bool;
+}
+
+let default_config =
+  {
+    dma_bytes_per_cycle = 8;
+    sha_block_cycles = 65;
+    keystream_block_cycles = 65;
+    xor_bytes_per_cycle = 4;
+    key_setup_cycles = 600;
+    (* 32 chains x 15 majority votes takes ~500 cycles of challenge
+       sequencing, plus one SHA block for the derivation *)
+    validation_cycles = 40;
+    pipelined = false;
+  }
+
+type breakdown = {
+  dma_cycles : int64;
+  hash_cycles : int64;
+  keystream_cycles : int64;
+  xor_cycles : int64;
+  fixed_cycles : int64;
+  total_cycles : int64;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let load_encrypted cfg ~image_bytes ~hashed_bytes ~encrypted_bytes =
+  if image_bytes < 0 || hashed_bytes < 0 || encrypted_bytes < 0 then
+    invalid_arg "Hde.load_encrypted: negative byte count";
+  let dma = ceil_div image_bytes cfg.dma_bytes_per_cycle in
+  (* SHA-256 pads to whole blocks; one extra block covers the padding. *)
+  let hash = (ceil_div hashed_bytes 64 + 1) * cfg.sha_block_cycles in
+  let keystream = ceil_div encrypted_bytes 32 * cfg.keystream_block_cycles in
+  let xor = ceil_div encrypted_bytes cfg.xor_bytes_per_cycle in
+  let fixed = cfg.key_setup_cycles + cfg.validation_cycles in
+  let stage_cycles =
+    if cfg.pipelined then max (max dma hash) (max keystream xor)
+    else dma + hash + keystream + xor
+  in
+  {
+    dma_cycles = Int64.of_int dma;
+    hash_cycles = Int64.of_int hash;
+    keystream_cycles = Int64.of_int keystream;
+    xor_cycles = Int64.of_int xor;
+    fixed_cycles = Int64.of_int fixed;
+    total_cycles = Int64.of_int (stage_cycles + fixed);
+  }
+
+let load_plain cfg ~image_bytes =
+  if image_bytes < 0 then invalid_arg "Hde.load_plain: negative byte count";
+  Int64.of_int (ceil_div image_bytes cfg.dma_bytes_per_cycle)
+
+let pp_breakdown fmt b =
+  Format.fprintf fmt
+    "total %Ld cycles (dma %Ld, hash %Ld, keystream %Ld, xor %Ld, fixed %Ld)" b.total_cycles
+    b.dma_cycles b.hash_cycles b.keystream_cycles b.xor_cycles b.fixed_cycles

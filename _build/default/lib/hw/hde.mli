@@ -1,0 +1,63 @@
+(** Cycle model of the Hardware Decryption Engine's load path.
+
+    The HDE sits between the program source and main memory (outside the
+    Rocket core, as the paper stresses): incoming encrypted words stream
+    through the Decryption Unit (XOR against the Key Management Unit's
+    keystream) and the Signature Generator (SHA-256 over the decrypted
+    stream) before the Validation Unit authorises execution.  In the
+    default configuration — matched to the Table-II area budget, which has
+    a single compact SHA-256 core shared by the Signature Generator and
+    the keystream generation — the stages serialise, so load time is the
+    sum of the per-stage costs plus small fixed latencies:
+
+    - DMA into memory: 8 B/cycle;
+    - Signature SHA-256 core: one 64-byte block per ~65 cycles (1
+      round/cycle + scheduling) — every byte of the image is hashed;
+    - keystream generation (SHA-256-CTR in the KMU): one 32-byte block per
+      ~65 cycles — only bytes that are actually encrypted need stream;
+    - XOR datapath: 4 B/cycle (also only for encrypted bytes);
+    - fixed costs: PUF key readout + key derivation at boot, validation
+      compare at the end.
+
+    A plain (baseline) load is just the DMA term.  The model is what makes
+    the Fig-7 shape emerge: overhead scales with the static image size and
+    the encrypted fraction, independent of how long the program then runs. *)
+
+type config = {
+  dma_bytes_per_cycle : int;
+  sha_block_cycles : int;  (** cycles per 64-byte signature block *)
+  keystream_block_cycles : int;  (** cycles per 32-byte keystream block *)
+  xor_bytes_per_cycle : int;
+  key_setup_cycles : int;  (** PUF readout + majority voting + derivation *)
+  validation_cycles : int;  (** final signature compare + authorisation *)
+  pipelined : bool;
+      (** [false] (the default, matching the Table-II area budget): the HDE
+          has a *single* SHA-256 core shared by the Signature Generator and
+          the Key Management Unit's keystream generation, so the hash and
+          keystream stages serialise and the load time is the *sum* of the
+          stages.  [true] models a larger HDE with independent cores, where
+          load time is bounded by the slowest stage. *)
+}
+
+val default_config : config
+
+type breakdown = {
+  dma_cycles : int64;
+  hash_cycles : int64;
+  keystream_cycles : int64;
+  xor_cycles : int64;
+  fixed_cycles : int64;
+  total_cycles : int64;  (** max of the pipelined stages + fixed *)
+}
+
+val load_encrypted :
+  config -> image_bytes:int -> hashed_bytes:int -> encrypted_bytes:int -> breakdown
+(** Cycles to ingest an encrypted package.  [image_bytes] covers everything
+    DMA'd (header + text + map + data + signature); [hashed_bytes] is what
+    the Signature Generator digests; [encrypted_bytes] is what needs
+    keystream + XOR. *)
+
+val load_plain : config -> image_bytes:int -> int64
+(** Baseline: DMA only. *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

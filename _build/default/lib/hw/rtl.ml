@@ -1,0 +1,38 @@
+type t = Leaf of string * int * int | Block of string * t list
+
+let leaf name ~luts ~ffs =
+  if luts < 0 || ffs < 0 then invalid_arg "Rtl.leaf: negative cost";
+  Leaf (name, luts, ffs)
+
+let block name children = Block (name, children)
+
+let register name ~bits = leaf name ~luts:0 ~ffs:bits
+let adder name ~bits = leaf name ~luts:bits ~ffs:0
+let xor_gates name ~bits = leaf name ~luts:((bits + 1) / 2) ~ffs:0
+let mux2 name ~bits = leaf name ~luts:((bits + 1) / 2) ~ffs:0
+let comparator name ~bits = leaf name ~luts:((bits + 3) / 4 + 2) ~ffs:0
+
+let counter name ~bits = block name [ register (name ^ ".reg") ~bits; adder (name ^ ".inc") ~bits ]
+
+let fsm name ~states =
+  block name [ register (name ^ ".state") ~bits:states; leaf (name ^ ".next") ~luts:(2 * states) ~ffs:0 ]
+
+let name = function Leaf (n, _, _) | Block (n, _) -> n
+
+let rec luts = function
+  | Leaf (_, l, _) -> l
+  | Block (_, children) -> List.fold_left (fun acc c -> acc + luts c) 0 children
+
+let rec ffs = function
+  | Leaf (_, _, f) -> f
+  | Block (_, children) -> List.fold_left (fun acc c -> acc + ffs c) 0 children
+
+let pp fmt t =
+  let rec go indent node =
+    let padded = indent ^ name node in
+    Format.fprintf fmt "%-44s %6d LUT %6d FF@." padded (luts node) (ffs node);
+    match node with
+    | Leaf _ -> ()
+    | Block (_, children) -> List.iter (go (indent ^ "  ")) children
+  in
+  go "" t

@@ -1,0 +1,45 @@
+(** Structural FPGA-resource cost model.
+
+    Stands in for Vivado synthesis in the Table-II experiment: hardware is
+    described as a tree of primitive blocks with LUT/flip-flop costs, and
+    area reports sum the tree.  Primitive costs reflect 6-input-LUT Xilinx
+    7-series fabric (the paper's ZedBoard): a register bit is one FF; an
+    adder/comparator bit is about one LUT (carry chains); a 2:1 mux bit or
+    2-input gate packs two to a LUT. *)
+
+type t
+
+val leaf : string -> luts:int -> ffs:int -> t
+(** An opaque block with explicit costs (used for externally calibrated
+    macros, e.g. the Rocket core). *)
+
+val block : string -> t list -> t
+(** A named composition; its cost is the sum of its children. *)
+
+val register : string -> bits:int -> t
+(** [bits] flip-flops. *)
+
+val adder : string -> bits:int -> t
+(** Ripple/carry-chain adder: ~1 LUT per bit. *)
+
+val xor_gates : string -> bits:int -> t
+(** 2-input XOR array: 2 bits per LUT. *)
+
+val mux2 : string -> bits:int -> t
+(** 2:1 mux: 2 bits per LUT. *)
+
+val comparator : string -> bits:int -> t
+(** Equality comparator: ~1 LUT per 4 bits plus a reduction tree. *)
+
+val counter : string -> bits:int -> t
+(** Register plus increment logic. *)
+
+val fsm : string -> states:int -> t
+(** Small one-hot controller. *)
+
+val name : t -> string
+val luts : t -> int
+val ffs : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Indented tree with per-node totals. *)

@@ -1,0 +1,1 @@
+lib/puf/arbiter.ml: Array Eric_util

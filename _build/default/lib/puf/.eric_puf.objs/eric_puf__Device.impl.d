@@ -1,0 +1,1 @@
+lib/puf/device.ml: Arbiter Array Eric_util Float Int64

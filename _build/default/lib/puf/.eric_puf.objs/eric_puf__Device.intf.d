@@ -1,0 +1,1 @@
+lib/puf/device.mli: Arbiter Eric_util

@@ -1,0 +1,1 @@
+lib/puf/metrics.ml: Arbiter Array Bytes Device Eric_util Format Int64

@@ -1,0 +1,1 @@
+lib/puf/metrics.mli: Format

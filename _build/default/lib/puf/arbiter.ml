@@ -1,0 +1,58 @@
+type stage = {
+  straight_top : float;
+  straight_bot : float;
+  cross_top : float; (* bottom input -> top output *)
+  cross_bot : float; (* top input -> bottom output *)
+}
+
+type t = { stages_ : stage array; arbiter_skew : float; noise_sigma : float }
+
+type params = {
+  stages : int;
+  nominal_delay_ps : float;
+  variation_sigma_ps : float;
+  noise_sigma_ps : float;
+}
+
+let default_params =
+  { stages = 8; nominal_delay_ps = 100.0; variation_sigma_ps = 3.0; noise_sigma_ps = 0.12 }
+
+let manufacture p rng =
+  if p.stages <= 0 then invalid_arg "Arbiter.manufacture: stages must be positive";
+  let draw () = Eric_util.Prng.gaussian rng ~mu:p.nominal_delay_ps ~sigma:p.variation_sigma_ps in
+  let make_stage _ =
+    { straight_top = draw (); straight_bot = draw (); cross_top = draw (); cross_bot = draw () }
+  in
+  {
+    stages_ = Array.init p.stages make_stage;
+    arbiter_skew = Eric_util.Prng.gaussian rng ~mu:0.0 ~sigma:(p.variation_sigma_ps /. 4.0);
+    noise_sigma = p.noise_sigma_ps;
+  }
+
+let stages t = Array.length t.stages_
+
+let race ?noise t ~challenge =
+  let perturb d =
+    match noise with
+    | None -> d
+    | Some rng -> d +. Eric_util.Prng.gaussian rng ~mu:0.0 ~sigma:t.noise_sigma
+  in
+  let top = ref 0.0 and bot = ref 0.0 in
+  Array.iteri
+    (fun i st ->
+      if (challenge lsr i) land 1 = 0 then begin
+        top := !top +. perturb st.straight_top;
+        bot := !bot +. perturb st.straight_bot
+      end
+      else begin
+        let new_top = !bot +. perturb st.cross_top in
+        let new_bot = !top +. perturb st.cross_bot in
+        top := new_top;
+        bot := new_bot
+      end)
+    t.stages_;
+  !top -. !bot +. t.arbiter_skew
+
+let noise_sigma t = t.noise_sigma
+let eval ?noise t ~challenge = race ?noise t ~challenge < 0.0
+let delay_difference t ~challenge = race t ~challenge

@@ -1,0 +1,45 @@
+(** Behavioural model of a delay-based Arbiter PUF chain.
+
+    The paper's PUF Key Generator uses Arbiter PUFs: two nominally identical
+    delay paths race through a chain of challenge-controlled switch stages,
+    and an arbiter at the end emits '0' or '1' depending on which edge wins.
+    Manufacturing process variation makes the per-stage delays
+    device-unique; we model them as Gaussian perturbations around a nominal
+    stage delay, drawn once per device from a seed (the stand-in for
+    silicon), plus a smaller per-evaluation Gaussian noise term (thermal /
+    supply noise) that makes marginal challenges flip occasionally — the
+    behaviour real Arbiter PUFs exhibit and the reason the key generator
+    applies majority voting. *)
+
+type t
+(** One manufactured chain: fixed per-stage delays plus an arbiter skew. *)
+
+type params = {
+  stages : int;  (** challenge bits per chain; the paper uses 8 *)
+  nominal_delay_ps : float;  (** mean per-stage propagation delay *)
+  variation_sigma_ps : float;  (** process-variation std-dev, per delay *)
+  noise_sigma_ps : float;  (** per-evaluation noise std-dev, per delay *)
+}
+
+val default_params : params
+(** 8 stages, 100 ps nominal, 3 ps variation, 0.12 ps noise — small enough
+    variation to keep responses balanced, noise two orders below variation
+    (typical silicon Arbiter-PUF regime: a few % unstable bits). *)
+
+val manufacture : params -> Eric_util.Prng.t -> t
+(** Draw one chain's delays from the process-variation distribution. *)
+
+val stages : t -> int
+
+val eval : ?noise:Eric_util.Prng.t -> t -> challenge:int -> bool
+(** [eval t ~challenge] races the two edges for the given challenge (low
+    [stages t] bits used) and returns the arbiter decision.  Without [noise]
+    the evaluation is the chain's noiseless ideal response; with [noise],
+    each delay is perturbed for this evaluation only. *)
+
+val noise_sigma : t -> float
+(** Per-delay evaluation-noise std-dev this chain was manufactured with. *)
+
+val delay_difference : t -> challenge:int -> float
+(** Signed top-minus-bottom arrival-time difference in ps for a noiseless
+    evaluation; exposes how marginal a challenge is (near 0 = unstable). *)

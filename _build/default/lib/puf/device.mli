@@ -1,0 +1,39 @@
+(** A PUF device: the paper's PUF Key Generator (PKG) configuration of
+    32 Arbiter chains, each answering an 8-bit challenge with 1 response
+    bit, yielding a 32-bit device-unique PUF key.
+
+    Devices are "manufactured" deterministically from a [device_id]: two
+    devices with different ids get independent process-variation draws (so
+    their keys differ), and re-creating the same id reproduces the same
+    silicon — the property ERIC relies on for two-way authentication. *)
+
+type t
+
+type id = int64
+(** Manufacturing identity (wafer position stand-in).  Not a secret; the
+    secret is the delay pattern it seeds. *)
+
+val manufacture : ?params:Arbiter.params -> ?chains:int -> id -> t
+(** Default 32 chains of [Arbiter.default_params]. *)
+
+val id : t -> id
+val chains : t -> int
+
+val challenge_set : t -> int array
+(** The enrolled challenge vector (one challenge per chain), derived from a
+    public per-device enrolment seed.  Every element fits the chain's
+    challenge width. *)
+
+val respond : ?noisy:bool -> t -> int array -> Eric_util.Bitvec.t
+(** Raw single-shot responses, one bit per chain.  [noisy] (default true)
+    applies per-evaluation delay noise; pass [false] for the ideal
+    response. *)
+
+val puf_key : ?votes:int -> t -> bytes
+(** The device's PUF key: majority vote over [votes] (default 15, forced
+    odd) noisy evaluations of the enrolled challenge set, packed LSB-first
+    into bytes (4 bytes for the default 32 chains).  This is the immutable
+    hardware identity the Key Management Unit derives working keys from. *)
+
+val key_bits : t -> int
+(** Number of key bits = number of chains. *)

@@ -1,0 +1,81 @@
+type report = {
+  uniformity_pct : float;
+  uniqueness_pct : float;
+  reliability_pct : float;
+  key_failure_rate : float;
+}
+
+let hamming a b =
+  let n = Eric_util.Bitvec.length a in
+  let d = ref 0 in
+  for i = 0 to n - 1 do
+    if Eric_util.Bitvec.get a i <> Eric_util.Bitvec.get b i then incr d
+  done;
+  !d
+
+let evaluate ?(devices = 32) ?(challenges_per_device = 128) ?(reeval = 32) ~seed () =
+  if devices < 2 then invalid_arg "Metrics.evaluate: need at least two devices";
+  let rng = Eric_util.Prng.create ~seed in
+  let population = Array.init devices (fun i -> Device.manufacture (Int64.of_int (i + 1001))) in
+  let chains = Device.chains population.(0) in
+  let width = Arbiter.default_params.Arbiter.stages in
+  (* One shared random challenge vector per trial so inter-device distances
+     are measured on identical inputs. *)
+  let trials =
+    Array.init challenges_per_device (fun _ ->
+        Array.init chains (fun _ -> Eric_util.Prng.int rng ~bound:(1 lsl width)))
+  in
+  let ideal = Array.map (fun d -> Array.map (fun c -> Device.respond ~noisy:false d c) trials) population in
+  (* Uniformity: fraction of ones in ideal responses. *)
+  let ones = ref 0 and total = ref 0 in
+  Array.iter
+    (Array.iter (fun r ->
+         total := !total + Eric_util.Bitvec.length r;
+         ones := !ones + Eric_util.Bitvec.popcount r))
+    ideal;
+  let uniformity = 100.0 *. float_of_int !ones /. float_of_int !total in
+  (* Uniqueness: mean pairwise HD between devices on the same challenges. *)
+  let inter = ref 0.0 and pairs = ref 0 in
+  for i = 0 to devices - 1 do
+    for j = i + 1 to devices - 1 do
+      for t = 0 to challenges_per_device - 1 do
+        inter := !inter +. (float_of_int (hamming ideal.(i).(t) ideal.(j).(t)) /. float_of_int chains);
+        incr pairs
+      done
+    done
+  done;
+  let uniqueness = 100.0 *. !inter /. float_of_int !pairs in
+  (* Reliability: noisy re-evaluations vs the ideal response. *)
+  let intra = ref 0.0 and samples = ref 0 in
+  Array.iteri
+    (fun i d ->
+      Array.iteri
+        (fun t c ->
+          for _ = 1 to reeval do
+            let r = Device.respond ~noisy:true d c in
+            intra := !intra +. (float_of_int (hamming ideal.(i).(t) r) /. float_of_int chains);
+            incr samples
+          done)
+        trials)
+    population;
+  let reliability = 100.0 -. (100.0 *. !intra /. float_of_int !samples) in
+  (* Key stability: regenerate the majority-voted key and compare. *)
+  let failures = ref 0 and regens = 20 in
+  Array.iter
+    (fun d ->
+      let enrolled = Device.puf_key d in
+      for _ = 1 to regens do
+        if not (Bytes.equal (Device.puf_key d) enrolled) then incr failures
+      done)
+    population;
+  {
+    uniformity_pct = uniformity;
+    uniqueness_pct = uniqueness;
+    reliability_pct = reliability;
+    key_failure_rate = float_of_int !failures /. float_of_int (regens * devices);
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "uniformity %.2f%% | uniqueness %.2f%% | reliability %.2f%% | key failure rate %.4f"
+    r.uniformity_pct r.uniqueness_pct r.reliability_pct r.key_failure_rate

@@ -1,0 +1,24 @@
+(** Standard PUF quality metrics over a population of simulated devices.
+
+    The paper takes the Arbiter PUF's fitness for purpose as given; these
+    metrics validate that our silicon model behaves like one, and feed the
+    ablation bench: uniformity should sit near 50 %, uniqueness (inter-device
+    Hamming distance) near 50 %, and reliability (response stability under
+    evaluation noise) in the high 90s — the regime where 15-vote majority
+    key generation is essentially error-free. *)
+
+type report = {
+  uniformity_pct : float;  (** mean fraction of '1' responses per device, % *)
+  uniqueness_pct : float;  (** mean pairwise inter-device Hamming distance, % *)
+  reliability_pct : float;  (** 100 − mean intra-device noisy HD, % *)
+  key_failure_rate : float;  (** fraction of majority-voted key regenerations
+                                 that differ from the enrolled key *)
+}
+
+val evaluate :
+  ?devices:int -> ?challenges_per_device:int -> ?reeval:int -> seed:int64 -> unit -> report
+(** Monte-Carlo evaluation over a fresh population ([devices] default 32,
+    [challenges_per_device] default 128 random challenges, [reeval] default
+    32 noisy re-evaluations per challenge). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/rv/asm.ml: Assemble Buffer Bytes Char Disasm Eric_util Format Inst Int64 List Printf Reg String

@@ -1,0 +1,1 @@
+lib/rv/asm.mli: Assemble Inst Program

@@ -1,0 +1,1 @@
+lib/rv/assemble.ml: Array Bytes Char Disasm Encode Format Hashtbl Inst Int64 List Program Reg Rvc String

@@ -1,0 +1,1 @@
+lib/rv/assemble.mli: Format Inst Program Reg

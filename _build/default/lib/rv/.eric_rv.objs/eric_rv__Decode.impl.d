@@ -1,0 +1,1 @@
+lib/rv/decode.ml: Inst Int32 Option Reg

@@ -1,0 +1,1 @@
+lib/rv/decode.mli: Inst

@@ -1,0 +1,1 @@
+lib/rv/disasm.ml: Bytes Char Decode Eric_util Format Hashtbl Inst Int Int32 List Printf Reg Rvc

@@ -1,0 +1,1 @@
+lib/rv/disasm.mli: Format Inst

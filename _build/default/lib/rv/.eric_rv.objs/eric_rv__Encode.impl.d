@@ -1,0 +1,1 @@
+lib/rv/encode.ml: Inst Int32 Reg

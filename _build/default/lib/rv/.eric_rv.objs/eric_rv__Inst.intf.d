@@ -1,0 +1,1 @@
+lib/rv/inst.mli: Reg

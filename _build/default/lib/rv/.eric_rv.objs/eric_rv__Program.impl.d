@@ -1,0 +1,1 @@
+lib/rv/program.ml: Array Buffer Bytes Decode Eric_util Format Int32 List Option Result Rvc String

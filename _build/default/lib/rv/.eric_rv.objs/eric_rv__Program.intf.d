@@ -1,0 +1,1 @@
+lib/rv/program.mli: Format Inst

@@ -1,0 +1,1 @@
+lib/rv/reg.ml: Array Format Int String

@@ -1,0 +1,1 @@
+lib/rv/reg.mli: Format

@@ -1,0 +1,1 @@
+lib/rv/rvc.ml: Inst Option Reg

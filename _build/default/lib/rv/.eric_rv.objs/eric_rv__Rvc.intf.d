@@ -1,0 +1,1 @@
+lib/rv/rvc.mli: Inst

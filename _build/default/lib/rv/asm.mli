@@ -1,0 +1,35 @@
+(** Textual RISC-V assembler.
+
+    Parses standard-looking assembly (the same syntax {!Disasm} prints,
+    plus labels, sections, data directives and the usual pseudo
+    instructions) into an {!Assemble.input}, and on to a {!Program.t}.
+    This completes the toolchain triangle: compiler -> assembly text ->
+    image, and disassembly output can be re-assembled.
+
+    Supported:
+    - instructions: every {!Inst.t} mnemonic, with operands written as in
+      {!Disasm} output ([addi a0, sp, 16], [ld a0, 8(sp)],
+      [beq a0, a1, label_or_offset], [jal ra, label_or_offset],
+      [lui a0, 0x12345]);
+    - pseudo instructions: [nop], [li rd, imm], [la rd, sym], [mv rd, rs],
+      [not rd, rs], [neg rd, rs], [seqz rd, rs], [snez rd, rs],
+      [j target], [jr rs], [ret], [call target], [beqz rs, target],
+      [bnez rs, target], [bltz rs, target], [bgez rs, target];
+    - sections: [.text] (default), [.data], [.bss];
+    - data directives: [.byte e,...], [.word e,...] (4 bytes),
+      [.dword e,...] (8 bytes), [.ascii "s"], [.asciz "s"],
+      [.zero n] / [.space n] (zero-filled in [.data], size-only in
+      [.bss]);
+    - [.globl]/[.global] (accepted, ignored); comments with [#] or [;];
+      labels as [name:]. *)
+
+val parse : ?entry:string -> string -> (Assemble.input, string) result
+(** [entry] defaults to ["_start"] if such a label exists, otherwise the
+    first text label.  Errors carry a line number. *)
+
+val assemble : ?entry:string -> ?compress:bool -> string -> (Program.t, string) result
+(** [parse] then {!Assemble.assemble}. *)
+
+val print_inst : Inst.t -> string
+(** Canonical text for one instruction — identical to {!Disasm}, re-exported
+    so asm round-trip tests read naturally. *)

@@ -1,0 +1,157 @@
+let bits w ~lo ~width = (w lsr lo) land ((1 lsl width) - 1)
+
+let sign_extend ~bits:n v = if v land (1 lsl (n - 1)) <> 0 then v - (1 lsl n) else v
+
+let reg w ~lo = Reg.of_int (bits w ~lo ~width:5)
+
+let decode_r w =
+  let f3 = bits w ~lo:12 ~width:3 and f7 = bits w ~lo:25 ~width:7 in
+  let op32 = bits w ~lo:0 ~width:7 = 0b0111011 in
+  let op : Inst.r_op option =
+    match (op32, f7, f3) with
+    | false, 0b0000000, 0b000 -> Some Add
+    | false, 0b0100000, 0b000 -> Some Sub
+    | false, 0b0000000, 0b001 -> Some Sll
+    | false, 0b0000000, 0b010 -> Some Slt
+    | false, 0b0000000, 0b011 -> Some Sltu
+    | false, 0b0000000, 0b100 -> Some Xor
+    | false, 0b0000000, 0b101 -> Some Srl
+    | false, 0b0100000, 0b101 -> Some Sra
+    | false, 0b0000000, 0b110 -> Some Or
+    | false, 0b0000000, 0b111 -> Some And
+    | false, 0b0000001, 0b000 -> Some Mul
+    | false, 0b0000001, 0b001 -> Some Mulh
+    | false, 0b0000001, 0b010 -> Some Mulhsu
+    | false, 0b0000001, 0b011 -> Some Mulhu
+    | false, 0b0000001, 0b100 -> Some Div
+    | false, 0b0000001, 0b101 -> Some Divu
+    | false, 0b0000001, 0b110 -> Some Rem
+    | false, 0b0000001, 0b111 -> Some Remu
+    | true, 0b0000000, 0b000 -> Some Addw
+    | true, 0b0100000, 0b000 -> Some Subw
+    | true, 0b0000000, 0b001 -> Some Sllw
+    | true, 0b0000000, 0b101 -> Some Srlw
+    | true, 0b0100000, 0b101 -> Some Sraw
+    | true, 0b0000001, 0b000 -> Some Mulw
+    | true, 0b0000001, 0b100 -> Some Divw
+    | true, 0b0000001, 0b101 -> Some Divuw
+    | true, 0b0000001, 0b110 -> Some Remw
+    | true, 0b0000001, 0b111 -> Some Remuw
+    | _ -> None
+  in
+  Option.map (fun op -> Inst.R (op, reg w ~lo:7, reg w ~lo:15, reg w ~lo:20)) op
+
+let decode_op_imm w =
+  let f3 = bits w ~lo:12 ~width:3 in
+  let imm = sign_extend ~bits:12 (bits w ~lo:20 ~width:12) in
+  let rd = reg w ~lo:7 and rs1 = reg w ~lo:15 in
+  let funct6 = bits w ~lo:26 ~width:6 in
+  let shamt = bits w ~lo:20 ~width:6 in
+  match f3 with
+  | 0b000 -> Some (Inst.I (Addi, rd, rs1, imm))
+  | 0b010 -> Some (Inst.I (Slti, rd, rs1, imm))
+  | 0b011 -> Some (Inst.I (Sltiu, rd, rs1, imm))
+  | 0b100 -> Some (Inst.I (Xori, rd, rs1, imm))
+  | 0b110 -> Some (Inst.I (Ori, rd, rs1, imm))
+  | 0b111 -> Some (Inst.I (Andi, rd, rs1, imm))
+  | 0b001 -> if funct6 = 0 then Some (Inst.Shift (Slli, rd, rs1, shamt)) else None
+  | 0b101 ->
+    if funct6 = 0b000000 then Some (Inst.Shift (Srli, rd, rs1, shamt))
+    else if funct6 = 0b010000 then Some (Inst.Shift (Srai, rd, rs1, shamt))
+    else None
+  | _ -> None
+
+let decode_op_imm32 w =
+  let f3 = bits w ~lo:12 ~width:3 in
+  let imm = sign_extend ~bits:12 (bits w ~lo:20 ~width:12) in
+  let rd = reg w ~lo:7 and rs1 = reg w ~lo:15 in
+  let funct7 = bits w ~lo:25 ~width:7 in
+  let shamt = bits w ~lo:20 ~width:5 in
+  match f3 with
+  | 0b000 -> Some (Inst.I (Addiw, rd, rs1, imm))
+  | 0b001 -> if funct7 = 0 then Some (Inst.Shift (Slliw, rd, rs1, shamt)) else None
+  | 0b101 ->
+    if funct7 = 0b0000000 then Some (Inst.Shift (Srliw, rd, rs1, shamt))
+    else if funct7 = 0b0100000 then Some (Inst.Shift (Sraiw, rd, rs1, shamt))
+    else None
+  | _ -> None
+
+let decode_load w =
+  let op : Inst.load_op option =
+    match bits w ~lo:12 ~width:3 with
+    | 0b000 -> Some Lb | 0b001 -> Some Lh | 0b010 -> Some Lw | 0b011 -> Some Ld
+    | 0b100 -> Some Lbu | 0b101 -> Some Lhu | 0b110 -> Some Lwu
+    | _ -> None
+  in
+  let off = sign_extend ~bits:12 (bits w ~lo:20 ~width:12) in
+  Option.map (fun op -> Inst.Load (op, reg w ~lo:7, reg w ~lo:15, off)) op
+
+let decode_store w =
+  let op : Inst.store_op option =
+    match bits w ~lo:12 ~width:3 with
+    | 0b000 -> Some Sb | 0b001 -> Some Sh | 0b010 -> Some Sw | 0b011 -> Some Sd
+    | _ -> None
+  in
+  let off = sign_extend ~bits:12 ((bits w ~lo:25 ~width:7 lsl 5) lor bits w ~lo:7 ~width:5) in
+  Option.map (fun op -> Inst.Store (op, reg w ~lo:20, reg w ~lo:15, off)) op
+
+let decode_branch w =
+  let op : Inst.branch_op option =
+    match bits w ~lo:12 ~width:3 with
+    | 0b000 -> Some Beq | 0b001 -> Some Bne | 0b100 -> Some Blt | 0b101 -> Some Bge
+    | 0b110 -> Some Bltu | 0b111 -> Some Bgeu
+    | _ -> None
+  in
+  let off =
+    (bits w ~lo:31 ~width:1 lsl 12)
+    lor (bits w ~lo:7 ~width:1 lsl 11)
+    lor (bits w ~lo:25 ~width:6 lsl 5)
+    lor (bits w ~lo:8 ~width:4 lsl 1)
+  in
+  let off = sign_extend ~bits:13 off in
+  Option.map (fun op -> Inst.Branch (op, reg w ~lo:15, reg w ~lo:20, off)) op
+
+let decode_jal w =
+  let off =
+    (bits w ~lo:31 ~width:1 lsl 20)
+    lor (bits w ~lo:12 ~width:8 lsl 12)
+    lor (bits w ~lo:20 ~width:1 lsl 11)
+    lor (bits w ~lo:21 ~width:10 lsl 1)
+  in
+  Some (Inst.Jal (reg w ~lo:7, sign_extend ~bits:21 off))
+
+let decode_system w =
+  match bits w ~lo:7 ~width:25 with
+  | 0 -> Some Inst.Ecall
+  | v when v = 1 lsl 13 -> Some Inst.Ebreak
+  | _ ->
+    (* csrrs rd, csr, x0 with a supported read-only counter *)
+    let f3 = bits w ~lo:12 ~width:3 and rs1 = bits w ~lo:15 ~width:5 in
+    let csr = bits w ~lo:20 ~width:12 in
+    if f3 = 0b010 && rs1 = 0 && (csr = 0xC00 || csr = 0xC01 || csr = 0xC02) then
+      Some (Inst.Csrr (reg w ~lo:7, csr))
+    else None
+
+let decode w32 =
+  let w = Int32.to_int w32 land 0xFFFFFFFF in
+  if w land 0b11 <> 0b11 then None (* 16-bit parcel, not a 32-bit encoding *)
+  else
+    match bits w ~lo:0 ~width:7 with
+    | 0b0110011 | 0b0111011 -> decode_r w
+    | 0b0010011 -> decode_op_imm w
+    | 0b0011011 -> decode_op_imm32 w
+    | 0b0000011 -> decode_load w
+    | 0b0100011 -> decode_store w
+    | 0b1100011 -> decode_branch w
+    | 0b1101111 -> decode_jal w
+    | 0b1100111 ->
+      if bits w ~lo:12 ~width:3 = 0 then
+        Some (Inst.Jalr (reg w ~lo:7, reg w ~lo:15, sign_extend ~bits:12 (bits w ~lo:20 ~width:12)))
+      else None
+    | 0b0110111 -> Some (Inst.U (Lui, reg w ~lo:7, sign_extend ~bits:20 (bits w ~lo:12 ~width:20)))
+    | 0b0010111 -> Some (Inst.U (Auipc, reg w ~lo:7, sign_extend ~bits:20 (bits w ~lo:12 ~width:20)))
+    | 0b1110011 -> decode_system w
+    | 0b0001111 -> if w = 0x0ff0000f then Some Inst.Fence else None
+    | _ -> None
+
+let is_valid w = Option.is_some (decode w)

@@ -1,0 +1,11 @@
+(** 32-bit instruction decoder.
+
+    [decode] is the inverse of {!Encode.encode} on its image and returns
+    [None] for any word that is not a valid encoding of the supported
+    RV64IM subset — exactly the predicate the static-analysis attack model
+    uses to tell plausible instruction words from ciphertext. *)
+
+val decode : int32 -> Inst.t option
+
+val is_valid : int32 -> bool
+(** [is_valid w = Option.is_some (decode w)]. *)

@@ -1,0 +1,66 @@
+(** Executable program images.
+
+    An image is what the compiler hands to ERIC's packaging stage and what
+    the target SoC loads: a text section of instruction parcels (16-bit
+    compressed or 32-bit), an initialised data section, a BSS size, and an
+    entry offset.  [to_binary]/[of_binary] define the *plain* (unencrypted)
+    on-the-wire format whose size is the Fig-5 baseline. *)
+
+type parcel =
+  | P16 of int  (** compressed instruction, low 16 bits significant *)
+  | P32 of int32
+
+type t = {
+  text : parcel array;
+  data : bytes;
+  bss_size : int;
+  entry_offset : int;  (** byte offset of the entry point within text *)
+  symbols : (string * int) list;  (** label -> text byte offset (serialised on request) *)
+}
+
+val parcel_size : parcel -> int
+(** 2 or 4 bytes. *)
+
+val text_size : t -> int
+(** Text section length in bytes. *)
+
+val total_size : t -> int
+(** Text + data bytes (BSS occupies no image bytes). *)
+
+val parcel_offsets : t -> int array
+(** Byte offset of each parcel within the text section. *)
+
+val text_bytes : t -> bytes
+(** Little-endian serialisation of the parcel stream. *)
+
+val frame_text : bytes -> parcel array option
+(** Reconstruct the parcel structure of *plaintext* text bytes using the
+    ISA's length encoding (low two bits [11] = 32-bit).  [None] when the
+    byte count does not tile (e.g. a 32-bit marker with only 2 bytes
+    left). *)
+
+val decode_parcel : parcel -> Inst.t option
+val decode_all : t -> Inst.t array option
+
+(** Memory layout shared by the linker and the SoC loader. *)
+module Layout : sig
+  val text_base : int
+  val data_base : t -> int
+  (** Text base plus text size, rounded up to a 4 KiB boundary. *)
+
+  val bss_base : t -> int
+  val stack_top : int
+  val memory_size : int
+  val entry_address : t -> int
+end
+
+val to_binary : ?with_symbols:bool -> t -> bytes
+(** Plain binary: 24-byte header (magic "REXE", version, flags, entry,
+    section sizes) followed by text then data.  [with_symbols] (default
+    false, so evaluation baselines stay lean) appends a symbol table —
+    [u32 count] then per symbol [u16 name length, name, u32 text offset] —
+    and sets a header flag; {!of_binary} restores it. *)
+
+val of_binary : bytes -> (t, string) result
+
+val pp_summary : Format.formatter -> t -> unit

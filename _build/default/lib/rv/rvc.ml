@@ -1,0 +1,348 @@
+let bits v ~lo ~width = (v lsr lo) land ((1 lsl width) - 1)
+let sign_extend ~bits:n v = if v land (1 lsl (n - 1)) <> 0 then v - (1 lsl n) else v
+let fits_simm = Inst.fits_simm
+
+(* 3-bit register fields address x8..x15. *)
+let creg_of_field f = Reg.of_int (8 + f)
+let field_of_creg r = Reg.to_int r - 8
+let compressible r = Reg.is_compressible r
+
+let q0 = 0b00
+let q1 = 0b01
+let q2 = 0b10
+
+let make ~quadrant ~funct3 body = (funct3 lsl 13) lor body lor quadrant
+
+(* ------------------------------------------------------------------ *)
+(* Compression                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compress_addi rd rs1 imm =
+  let zero = Reg.x0 and sp = Reg.sp in
+  if Reg.equal rd zero && Reg.equal rs1 zero && imm = 0 then Some (make ~quadrant:q1 ~funct3:0 0)
+    (* c.nop *)
+  else if Reg.equal rd rs1 && not (Reg.equal rd zero) && imm <> 0 && fits_simm ~bits:6 imm then
+    Some
+      (make ~quadrant:q1 ~funct3:0b000
+         ((bits imm ~lo:5 ~width:1 lsl 12) lor (Reg.to_int rd lsl 7) lor (bits imm ~lo:0 ~width:5 lsl 2)))
+  else if Reg.equal rs1 zero && not (Reg.equal rd zero) && fits_simm ~bits:6 imm then
+    Some
+      (make ~quadrant:q1 ~funct3:0b010
+         ((bits imm ~lo:5 ~width:1 lsl 12) lor (Reg.to_int rd lsl 7) lor (bits imm ~lo:0 ~width:5 lsl 2)))
+  else if
+    Reg.equal rd sp && Reg.equal rs1 sp && imm <> 0 && imm mod 16 = 0 && fits_simm ~bits:10 imm
+  then
+    Some
+      (make ~quadrant:q1 ~funct3:0b011
+         ((bits imm ~lo:9 ~width:1 lsl 12) lor (2 lsl 7)
+         lor (bits imm ~lo:4 ~width:1 lsl 6)
+         lor (bits imm ~lo:6 ~width:1 lsl 5)
+         lor (bits imm ~lo:7 ~width:2 lsl 3)
+         lor (bits imm ~lo:5 ~width:1 lsl 2)))
+  else if Reg.equal rs1 sp && compressible rd && imm > 0 && imm mod 4 = 0 && imm < 1024 then
+    Some
+      (make ~quadrant:q0 ~funct3:0b000
+         ((bits imm ~lo:4 ~width:2 lsl 11) lor (bits imm ~lo:6 ~width:4 lsl 7)
+         lor (bits imm ~lo:2 ~width:1 lsl 6)
+         lor (bits imm ~lo:3 ~width:1 lsl 5)
+         lor (field_of_creg rd lsl 2)))
+  else None
+
+let compress_load_store ~funct3_q0 ~funct3_q2 ~word_size ~value ~base ~off ~is_load =
+  (* [value] is rd for loads, rs2 for stores. *)
+  let scale = word_size and sp = Reg.sp in
+  let q0_form () =
+    if compressible value && compressible base && off >= 0 && off mod scale = 0 && off < 256
+       && (scale = 8 || off < 128)
+    then
+      let imm_bits =
+        if scale = 4 then
+          (bits off ~lo:3 ~width:3 lsl 10) lor (bits off ~lo:2 ~width:1 lsl 6)
+          lor (bits off ~lo:6 ~width:1 lsl 5)
+        else (bits off ~lo:3 ~width:3 lsl 10) lor (bits off ~lo:6 ~width:2 lsl 5)
+      in
+      Some
+        (make ~quadrant:q0 ~funct3:funct3_q0
+           (imm_bits lor (field_of_creg base lsl 7) lor (field_of_creg value lsl 2)))
+    else None
+  in
+  let q2_form () =
+    let max_off = if scale = 4 then 256 else 512 in
+    if Reg.equal base sp && off >= 0 && off mod scale = 0 && off < max_off
+       && ((not is_load) || not (Reg.equal value Reg.x0))
+    then
+      if is_load then
+        let imm_bits =
+          if scale = 4 then
+            (bits off ~lo:5 ~width:1 lsl 12) lor (bits off ~lo:2 ~width:3 lsl 4)
+            lor (bits off ~lo:6 ~width:2 lsl 2)
+          else
+            (bits off ~lo:5 ~width:1 lsl 12) lor (bits off ~lo:3 ~width:2 lsl 5)
+            lor (bits off ~lo:6 ~width:3 lsl 2)
+        in
+        Some (make ~quadrant:q2 ~funct3:funct3_q2 (imm_bits lor (Reg.to_int value lsl 7)))
+      else
+        let imm_bits =
+          if scale = 4 then (bits off ~lo:2 ~width:4 lsl 9) lor (bits off ~lo:6 ~width:2 lsl 7)
+          else (bits off ~lo:3 ~width:3 lsl 10) lor (bits off ~lo:6 ~width:3 lsl 7)
+        in
+        Some (make ~quadrant:q2 ~funct3:funct3_q2 (imm_bits lor (Reg.to_int value lsl 2)))
+    else None
+  in
+  match q0_form () with Some e -> Some e | None -> q2_form ()
+
+let compress_j off =
+  if fits_simm ~bits:12 off && off land 1 = 0 then
+    Some
+      (make ~quadrant:q1 ~funct3:0b101
+         ((bits off ~lo:11 ~width:1 lsl 12) lor (bits off ~lo:4 ~width:1 lsl 11)
+         lor (bits off ~lo:8 ~width:2 lsl 9)
+         lor (bits off ~lo:10 ~width:1 lsl 8)
+         lor (bits off ~lo:6 ~width:1 lsl 7)
+         lor (bits off ~lo:7 ~width:1 lsl 6)
+         lor (bits off ~lo:1 ~width:3 lsl 3)
+         lor (bits off ~lo:5 ~width:1 lsl 2)))
+  else None
+
+let compress_branch ~funct3 rs1 off =
+  if compressible rs1 && fits_simm ~bits:9 off && off land 1 = 0 then
+    Some
+      (make ~quadrant:q1 ~funct3
+         ((bits off ~lo:8 ~width:1 lsl 12) lor (bits off ~lo:3 ~width:2 lsl 10)
+         lor (field_of_creg rs1 lsl 7)
+         lor (bits off ~lo:6 ~width:2 lsl 5)
+         lor (bits off ~lo:1 ~width:2 lsl 3)
+         lor (bits off ~lo:5 ~width:1 lsl 2)))
+  else None
+
+let ca_funct2 : Inst.r_op -> (int * int) option = function
+  | Sub -> Some (0, 0b00)
+  | Xor -> Some (0, 0b01)
+  | Or -> Some (0, 0b10)
+  | And -> Some (0, 0b11)
+  | Subw -> Some (1, 0b00)
+  | Addw -> Some (1, 0b01)
+  | Add | Sll | Slt | Sltu | Srl | Sra | Sllw | Srlw | Sraw | Mul | Mulh | Mulhsu | Mulhu | Div
+  | Divu | Rem | Remu | Mulw | Divw | Divuw | Remw | Remuw ->
+    None
+
+let compress inst =
+  let zero = Reg.x0 in
+  match inst with
+  | Inst.I (Addi, rd, rs1, imm) -> compress_addi rd rs1 imm
+  | Inst.I (Addiw, rd, rs1, imm)
+    when Reg.equal rd rs1 && (not (Reg.equal rd zero)) && fits_simm ~bits:6 imm ->
+    Some
+      (make ~quadrant:q1 ~funct3:0b001
+         ((bits imm ~lo:5 ~width:1 lsl 12) lor (Reg.to_int rd lsl 7) lor (bits imm ~lo:0 ~width:5 lsl 2)))
+  | Inst.I (Andi, rd, rs1, imm) when Reg.equal rd rs1 && compressible rd && fits_simm ~bits:6 imm ->
+    Some
+      (make ~quadrant:q1 ~funct3:0b100
+         ((bits imm ~lo:5 ~width:1 lsl 12) lor (0b10 lsl 10) lor (field_of_creg rd lsl 7)
+         lor (bits imm ~lo:0 ~width:5 lsl 2)))
+  | Inst.U (Lui, rd, imm)
+    when (not (Reg.equal rd zero)) && (not (Reg.equal rd Reg.sp)) && imm <> 0
+         && fits_simm ~bits:6 imm ->
+    Some
+      (make ~quadrant:q1 ~funct3:0b011
+         ((bits imm ~lo:5 ~width:1 lsl 12) lor (Reg.to_int rd lsl 7) lor (bits imm ~lo:0 ~width:5 lsl 2)))
+  | Inst.R (Add, rd, rs1, rs2) when Reg.equal rs1 zero && (not (Reg.equal rd zero)) && not (Reg.equal rs2 zero)
+    ->
+    Some (make ~quadrant:q2 ~funct3:0b100 ((Reg.to_int rd lsl 7) lor (Reg.to_int rs2 lsl 2)))
+  | Inst.R (Add, rd, rs1, rs2)
+    when Reg.equal rd rs1 && (not (Reg.equal rd zero)) && not (Reg.equal rs2 zero) ->
+    Some
+      (make ~quadrant:q2 ~funct3:0b100
+         ((1 lsl 12) lor (Reg.to_int rd lsl 7) lor (Reg.to_int rs2 lsl 2)))
+  | Inst.R (op, rd, rs1, rs2) when Reg.equal rd rs1 && compressible rd && compressible rs2 -> (
+    match ca_funct2 op with
+    | Some (w, f2) ->
+      Some
+        (make ~quadrant:q1 ~funct3:0b100
+           ((w lsl 12) lor (0b11 lsl 10) lor (field_of_creg rd lsl 7) lor (f2 lsl 5)
+           lor (field_of_creg rs2 lsl 2)))
+    | None -> None)
+  | Inst.Shift (Slli, rd, rs1, sh) when Reg.equal rd rs1 && (not (Reg.equal rd zero)) && sh > 0 ->
+    Some
+      (make ~quadrant:q2 ~funct3:0b000
+         ((bits sh ~lo:5 ~width:1 lsl 12) lor (Reg.to_int rd lsl 7) lor (bits sh ~lo:0 ~width:5 lsl 2)))
+  | Inst.Shift (((Srli | Srai) as op), rd, rs1, sh)
+    when Reg.equal rd rs1 && compressible rd && sh > 0 ->
+    let f2 = match op with Srli -> 0b00 | _ -> 0b01 in
+    Some
+      (make ~quadrant:q1 ~funct3:0b100
+         ((bits sh ~lo:5 ~width:1 lsl 12) lor (f2 lsl 10) lor (field_of_creg rd lsl 7)
+         lor (bits sh ~lo:0 ~width:5 lsl 2)))
+  | Inst.Load (Lw, rd, base, off) ->
+    compress_load_store ~funct3_q0:0b010 ~funct3_q2:0b010 ~word_size:4 ~value:rd ~base ~off
+      ~is_load:true
+  | Inst.Load (Ld, rd, base, off) ->
+    compress_load_store ~funct3_q0:0b011 ~funct3_q2:0b011 ~word_size:8 ~value:rd ~base ~off
+      ~is_load:true
+  | Inst.Store (Sw, src, base, off) ->
+    compress_load_store ~funct3_q0:0b110 ~funct3_q2:0b110 ~word_size:4 ~value:src ~base ~off
+      ~is_load:false
+  | Inst.Store (Sd, src, base, off) ->
+    compress_load_store ~funct3_q0:0b111 ~funct3_q2:0b111 ~word_size:8 ~value:src ~base ~off
+      ~is_load:false
+  | Inst.Jal (rd, off) when Reg.equal rd zero -> compress_j off
+  | Inst.Branch (Beq, rs1, rs2, off) when Reg.equal rs2 zero -> compress_branch ~funct3:0b110 rs1 off
+  | Inst.Branch (Bne, rs1, rs2, off) when Reg.equal rs2 zero -> compress_branch ~funct3:0b111 rs1 off
+  | Inst.Jalr (rd, rs1, 0) when Reg.equal rd zero && not (Reg.equal rs1 zero) ->
+    Some (make ~quadrant:q2 ~funct3:0b100 (Reg.to_int rs1 lsl 7))
+  | Inst.Jalr (rd, rs1, 0) when Reg.equal rd Reg.ra && not (Reg.equal rs1 zero) ->
+    Some (make ~quadrant:q2 ~funct3:0b100 ((1 lsl 12) lor (Reg.to_int rs1 lsl 7)))
+  | Inst.Ebreak -> Some (make ~quadrant:q2 ~funct3:0b100 (1 lsl 12))
+  | Inst.I _ | Inst.U _ | Inst.R _ | Inst.Shift _ | Inst.Load _ | Inst.Store _ | Inst.Branch _
+  | Inst.Jal _ | Inst.Jalr _ | Inst.Ecall | Inst.Fence | Inst.Csrr _ ->
+    None
+
+(* ------------------------------------------------------------------ *)
+(* Expansion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let expand_q0 p =
+  let rd' = creg_of_field (bits p ~lo:2 ~width:3) in
+  let rs1' = creg_of_field (bits p ~lo:7 ~width:3) in
+  match bits p ~lo:13 ~width:3 with
+  | 0b000 ->
+    let imm =
+      (bits p ~lo:11 ~width:2 lsl 4) lor (bits p ~lo:7 ~width:4 lsl 6)
+      lor (bits p ~lo:6 ~width:1 lsl 2)
+      lor (bits p ~lo:5 ~width:1 lsl 3)
+    in
+    if imm = 0 then None (* includes the all-zero illegal parcel *)
+    else Some (Inst.I (Addi, rd', Reg.sp, imm))
+  | 0b010 ->
+    let off =
+      (bits p ~lo:10 ~width:3 lsl 3) lor (bits p ~lo:6 ~width:1 lsl 2)
+      lor (bits p ~lo:5 ~width:1 lsl 6)
+    in
+    Some (Inst.Load (Lw, rd', rs1', off))
+  | 0b011 ->
+    let off = (bits p ~lo:10 ~width:3 lsl 3) lor (bits p ~lo:5 ~width:2 lsl 6) in
+    Some (Inst.Load (Ld, rd', rs1', off))
+  | 0b110 ->
+    let off =
+      (bits p ~lo:10 ~width:3 lsl 3) lor (bits p ~lo:6 ~width:1 lsl 2)
+      lor (bits p ~lo:5 ~width:1 lsl 6)
+    in
+    Some (Inst.Store (Sw, rd', rs1', off))
+  | 0b111 ->
+    let off = (bits p ~lo:10 ~width:3 lsl 3) lor (bits p ~lo:5 ~width:2 lsl 6) in
+    Some (Inst.Store (Sd, rd', rs1', off))
+  | _ -> None
+
+let expand_q1 p =
+  let rd = Reg.of_int (bits p ~lo:7 ~width:5) in
+  let imm6 = sign_extend ~bits:6 ((bits p ~lo:12 ~width:1 lsl 5) lor bits p ~lo:2 ~width:5) in
+  match bits p ~lo:13 ~width:3 with
+  | 0b000 ->
+    if Reg.equal rd Reg.x0 then if imm6 = 0 then Some (Inst.I (Addi, Reg.x0, Reg.x0, 0)) else None
+    else if imm6 = 0 then None (* HINT *)
+    else Some (Inst.I (Addi, rd, rd, imm6))
+  | 0b001 -> if Reg.equal rd Reg.x0 then None else Some (Inst.I (Addiw, rd, rd, imm6))
+  | 0b010 -> if Reg.equal rd Reg.x0 then None else Some (Inst.I (Addi, rd, Reg.x0, imm6))
+  | 0b011 ->
+    if Reg.to_int rd = 2 then begin
+      let imm =
+        (bits p ~lo:12 ~width:1 lsl 9) lor (bits p ~lo:6 ~width:1 lsl 4)
+        lor (bits p ~lo:5 ~width:1 lsl 6)
+        lor (bits p ~lo:3 ~width:2 lsl 7)
+        lor (bits p ~lo:2 ~width:1 lsl 5)
+      in
+      let imm = sign_extend ~bits:10 imm in
+      if imm = 0 then None else Some (Inst.I (Addi, Reg.sp, Reg.sp, imm))
+    end
+    else if Reg.equal rd Reg.x0 || imm6 = 0 then None
+    else Some (Inst.U (Lui, rd, imm6))
+  | 0b100 -> (
+    let rd' = creg_of_field (bits p ~lo:7 ~width:3) in
+    match bits p ~lo:10 ~width:2 with
+    | 0b00 | 0b01 ->
+      let sh = (bits p ~lo:12 ~width:1 lsl 5) lor bits p ~lo:2 ~width:5 in
+      if sh = 0 then None
+      else
+        let op : Inst.shift_op = if bits p ~lo:10 ~width:2 = 0 then Srli else Srai in
+        Some (Inst.Shift (op, rd', rd', sh))
+    | 0b10 -> Some (Inst.I (Andi, rd', rd', imm6))
+    | _ -> (
+      let rs2' = creg_of_field (bits p ~lo:2 ~width:3) in
+      let w = bits p ~lo:12 ~width:1 in
+      match (w, bits p ~lo:5 ~width:2) with
+      | 0, 0b00 -> Some (Inst.R (Sub, rd', rd', rs2'))
+      | 0, 0b01 -> Some (Inst.R (Xor, rd', rd', rs2'))
+      | 0, 0b10 -> Some (Inst.R (Or, rd', rd', rs2'))
+      | 0, 0b11 -> Some (Inst.R (And, rd', rd', rs2'))
+      | 1, 0b00 -> Some (Inst.R (Subw, rd', rd', rs2'))
+      | 1, 0b01 -> Some (Inst.R (Addw, rd', rd', rs2'))
+      | _ -> None))
+  | 0b101 ->
+    let off =
+      (bits p ~lo:12 ~width:1 lsl 11) lor (bits p ~lo:11 ~width:1 lsl 4)
+      lor (bits p ~lo:9 ~width:2 lsl 8)
+      lor (bits p ~lo:8 ~width:1 lsl 10)
+      lor (bits p ~lo:7 ~width:1 lsl 6)
+      lor (bits p ~lo:6 ~width:1 lsl 7)
+      lor (bits p ~lo:3 ~width:3 lsl 1)
+      lor (bits p ~lo:2 ~width:1 lsl 5)
+    in
+    Some (Inst.Jal (Reg.x0, sign_extend ~bits:12 off))
+  | 0b110 | 0b111 ->
+    let rs1' = creg_of_field (bits p ~lo:7 ~width:3) in
+    let off =
+      (bits p ~lo:12 ~width:1 lsl 8) lor (bits p ~lo:10 ~width:2 lsl 3)
+      lor (bits p ~lo:5 ~width:2 lsl 6)
+      lor (bits p ~lo:3 ~width:2 lsl 1)
+      lor (bits p ~lo:2 ~width:1 lsl 5)
+    in
+    let off = sign_extend ~bits:9 off in
+    let op : Inst.branch_op = if bits p ~lo:13 ~width:3 = 0b110 then Beq else Bne in
+    Some (Inst.Branch (op, rs1', Reg.x0, off))
+  | _ -> None
+
+let expand_q2 p =
+  let rd = Reg.of_int (bits p ~lo:7 ~width:5) in
+  let rs2 = Reg.of_int (bits p ~lo:2 ~width:5) in
+  let zero = Reg.x0 in
+  match bits p ~lo:13 ~width:3 with
+  | 0b000 ->
+    let sh = (bits p ~lo:12 ~width:1 lsl 5) lor bits p ~lo:2 ~width:5 in
+    if Reg.equal rd zero || sh = 0 then None else Some (Inst.Shift (Slli, rd, rd, sh))
+  | 0b010 ->
+    let off =
+      (bits p ~lo:12 ~width:1 lsl 5) lor (bits p ~lo:4 ~width:3 lsl 2)
+      lor (bits p ~lo:2 ~width:2 lsl 6)
+    in
+    if Reg.equal rd zero then None else Some (Inst.Load (Lw, rd, Reg.sp, off))
+  | 0b011 ->
+    let off =
+      (bits p ~lo:12 ~width:1 lsl 5) lor (bits p ~lo:5 ~width:2 lsl 3)
+      lor (bits p ~lo:2 ~width:3 lsl 6)
+    in
+    if Reg.equal rd zero then None else Some (Inst.Load (Ld, rd, Reg.sp, off))
+  | 0b100 -> (
+    match (bits p ~lo:12 ~width:1, Reg.equal rd zero, Reg.equal rs2 zero) with
+    | 0, false, true -> Some (Inst.Jalr (zero, rd, 0)) (* c.jr *)
+    | 0, false, false -> Some (Inst.R (Add, rd, zero, rs2)) (* c.mv *)
+    | 1, true, true -> Some Inst.Ebreak
+    | 1, false, true -> Some (Inst.Jalr (Reg.ra, rd, 0)) (* c.jalr *)
+    | 1, false, false -> Some (Inst.R (Add, rd, rd, rs2)) (* c.add *)
+    | _ -> None)
+  | 0b110 ->
+    let off = (bits p ~lo:9 ~width:4 lsl 2) lor (bits p ~lo:7 ~width:2 lsl 6) in
+    Some (Inst.Store (Sw, rs2, Reg.sp, off))
+  | 0b111 ->
+    let off = (bits p ~lo:10 ~width:3 lsl 3) lor (bits p ~lo:7 ~width:3 lsl 6) in
+    Some (Inst.Store (Sd, rs2, Reg.sp, off))
+  | _ -> None
+
+let expand parcel =
+  let p = parcel land 0xFFFF in
+  match p land 0b11 with
+  | 0b00 -> expand_q0 p
+  | 0b01 -> expand_q1 p
+  | 0b10 -> expand_q2 p
+  | _ -> None (* 32-bit instruction marker *)
+
+let is_valid p = Option.is_some (expand p)

@@ -1,0 +1,28 @@
+(** The "C" standard compressed extension (RVC), integer subset.
+
+    The paper targets RV64GC and notes that partial encryption's map costs
+    "1 bit of extra information ... for 16 bits if the compressed
+    instructions ... are included", so faithful parcel accounting needs real
+    RVC support.  Compressed forms are an encoding-level concern only: the
+    compiler and simulator speak {!Inst.t}; [compress] opportunistically
+    shrinks an instruction to 16 bits when a compressed form expresses it,
+    and [expand] maps a 16-bit parcel back to the base instruction it is an
+    alias of.
+
+    Supported forms: C.ADDI4SPN, C.LW, C.LD, C.SW, C.SD, C.NOP, C.ADDI,
+    C.ADDIW, C.LI, C.ADDI16SP, C.LUI, C.SRLI, C.SRAI, C.ANDI, C.SUB, C.XOR,
+    C.OR, C.AND, C.SUBW, C.ADDW, C.J, C.BEQZ, C.BNEZ, C.SLLI, C.LWSP,
+    C.LDSP, C.JR, C.MV, C.EBREAK, C.JALR, C.ADD, C.SWSP, C.SDSP. *)
+
+val compress : Inst.t -> int option
+(** A 16-bit encoding of the instruction, when one exists.  Round-trip
+    guarantee: [expand (compress i) = Some i'] with [i'] semantically equal
+    to [i] (the expansion is the ISA manual's canonical base alias, e.g.
+    C.MV expands to [add rd, x0, rs2]). *)
+
+val expand : int -> Inst.t option
+(** Decode a 16-bit parcel (low 16 bits used).  [None] for reserved or
+    unsupported encodings, and for any parcel whose low two bits are [11]
+    (those mark 32-bit instructions). *)
+
+val is_valid : int -> bool

@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Array Buffer Cache Decode Eric_rv Hashtbl Inst Int32 Int64 List Memory Printf Reg Rvc

@@ -1,0 +1,1 @@
+lib/sim/soc.ml: Bytes Cache Cpu Eric_rv Int64 Memory Program

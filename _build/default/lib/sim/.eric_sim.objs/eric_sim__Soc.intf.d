@@ -1,0 +1,1 @@
+lib/sim/soc.mli: Cpu Eric_rv Memory

@@ -1,0 +1,86 @@
+type config = { size_bytes : int; ways : int; line_bytes : int }
+
+let table1_config = { size_bytes = 16 * 1024; ways = 4; line_bytes = 64 }
+
+type stats = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+type way_state = { mutable tag : int; mutable valid : bool; mutable dirty : bool; mutable age : int }
+
+type t = {
+  cfg : config;
+  sets : way_state array array;
+  stats_ : stats;
+  mutable clock : int; (* monotonically increasing LRU timestamp *)
+}
+
+let is_power_of_two v = v > 0 && v land (v - 1) = 0
+
+let create cfg =
+  if not (is_power_of_two cfg.line_bytes) then invalid_arg "Cache.create: line size not a power of two";
+  if cfg.ways <= 0 then invalid_arg "Cache.create: ways must be positive";
+  let lines = cfg.size_bytes / cfg.line_bytes in
+  if lines mod cfg.ways <> 0 then invalid_arg "Cache.create: geometry does not divide";
+  let nsets = lines / cfg.ways in
+  if not (is_power_of_two nsets) then invalid_arg "Cache.create: set count not a power of two";
+  {
+    cfg;
+    sets =
+      Array.init nsets (fun _ ->
+          Array.init cfg.ways (fun _ -> { tag = 0; valid = false; dirty = false; age = 0 }));
+    stats_ = { accesses = 0; hits = 0; misses = 0; writebacks = 0 };
+    clock = 0;
+  }
+
+let config t = t.cfg
+let stats t = t.stats_
+
+type outcome = Hit | Miss of { writeback : bool }
+
+let access t ~addr ~write =
+  let s = t.stats_ in
+  s.accesses <- s.accesses + 1;
+  t.clock <- t.clock + 1;
+  let line = addr / t.cfg.line_bytes in
+  let nsets = Array.length t.sets in
+  let set = t.sets.(line land (nsets - 1)) in
+  let tag = line / nsets in
+  let found = ref None in
+  Array.iter (fun w -> if w.valid && w.tag = tag then found := Some w) set;
+  match !found with
+  | Some w ->
+    s.hits <- s.hits + 1;
+    w.age <- t.clock;
+    if write then w.dirty <- true;
+    Hit
+  | None ->
+    s.misses <- s.misses + 1;
+    (* Evict an invalid way if one exists, otherwise the least recently
+       used one. *)
+    let victim =
+      match Array.to_list set |> List.find_opt (fun w -> not w.valid) with
+      | Some w -> w
+      | None -> Array.fold_left (fun best w -> if w.age < best.age then w else best) set.(0) set
+    in
+    let writeback = victim.valid && victim.dirty in
+    if writeback then s.writebacks <- s.writebacks + 1;
+    victim.tag <- tag;
+    victim.valid <- true;
+    victim.dirty <- write;
+    victim.age <- t.clock;
+    Miss { writeback }
+
+let flush t =
+  Array.iter
+    (Array.iter (fun w ->
+         w.valid <- false;
+         w.dirty <- false;
+         w.age <- 0))
+    t.sets
+
+let hit_rate t =
+  if t.stats_.accesses = 0 then 0.0 else float_of_int t.stats_.hits /. float_of_int t.stats_.accesses

@@ -1,0 +1,40 @@
+(** Set-associative cache timing model with true-LRU replacement and
+    write-back/write-allocate policy.
+
+    Only timing is modelled (data lives in {!Memory}); the model tracks
+    tags, valid and dirty bits per way, which is all the Fig-7 execution
+    experiment needs.  Defaults match the paper's Table I: 16 KiB, 4-way. *)
+
+type config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+}
+
+val table1_config : config
+(** 16 KiB, 4-way, 64-byte lines — both L1I and L1D in the paper. *)
+
+type stats = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;  (** dirty evictions *)
+}
+
+type t
+
+val create : config -> t
+val config : t -> config
+val stats : t -> stats
+
+type outcome = Hit | Miss of { writeback : bool }
+
+val access : t -> addr:int -> write:bool -> outcome
+(** Look up the line containing [addr]; on miss, allocate it, evicting the
+    LRU way (reporting whether the victim was dirty).  Writes mark the line
+    dirty. *)
+
+val flush : t -> unit
+(** Invalidate every line (keeps cumulative stats). *)
+
+val hit_rate : t -> float

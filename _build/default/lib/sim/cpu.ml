@@ -1,0 +1,381 @@
+open Eric_rv
+
+type timing = {
+  icache_miss_penalty : int;
+  dcache_miss_penalty : int;
+  writeback_penalty : int;
+  load_use_stall : int;
+  taken_branch_penalty : int;
+  jump_penalty : int;
+  jalr_penalty : int;
+  mul_extra : int;
+  div_extra : int;
+}
+
+let default_timing =
+  {
+    icache_miss_penalty = 20;
+    dcache_miss_penalty = 20;
+    writeback_penalty = 4;
+    load_use_stall = 1;
+    taken_branch_penalty = 2;
+    jump_penalty = 1;
+    jalr_penalty = 2;
+    mul_extra = 3;
+    div_extra = 31;
+  }
+
+type syscall_result = Sys_continue | Sys_exit of int
+
+type status = Running | Exited of int | Faulted of string
+
+type t = {
+  regs : int64 array;
+  mutable pc_ : int;
+  memory : Memory.t;
+  icache_ : Cache.t;
+  dcache_ : Cache.t;
+  timing : timing;
+  mutable cycles_ : int64;
+  mutable instret : int64;
+  mutable status_ : status;
+  mutable last_load_dest : Reg.t option;
+  mutable trace : (pc:int -> Inst.t -> unit) option;
+  predictor : int array option;  (** bimodal 2-bit counters, pc-indexed *)
+  out : Buffer.t;
+  decode_cache : (int, Inst.t * int) Hashtbl.t;
+}
+
+let create ?(timing = default_timing) ?(icache = Cache.table1_config)
+    ?(dcache = Cache.table1_config) ?(branch_predictor = false) ~memory ~pc ~sp () =
+  let t =
+    {
+      regs = Array.make 32 0L;
+      pc_ = pc;
+      memory;
+      icache_ = Cache.create icache;
+      dcache_ = Cache.create dcache;
+      timing;
+      cycles_ = 0L;
+      instret = 0L;
+      status_ = Running;
+      last_load_dest = None;
+      trace = None;
+      predictor = (if branch_predictor then Some (Array.make 512 1) else None);
+      out = Buffer.create 256;
+      decode_cache = Hashtbl.create 1024;
+    }
+  in
+  t.regs.(Reg.to_int Reg.sp) <- Int64.of_int sp;
+  t
+
+let reg t r = t.regs.(Reg.to_int r)
+
+let set_reg t r v = if Reg.to_int r <> 0 then t.regs.(Reg.to_int r) <- v
+
+let pc t = t.pc_
+let set_pc t pc = t.pc_ <- pc
+let cycles t = t.cycles_
+let instructions t = t.instret
+let icache t = t.icache_
+let dcache t = t.dcache_
+let output t = Buffer.contents t.out
+let status t = t.status_
+
+let set_trace t hook = t.trace <- hook
+
+let add_cycles t n = t.cycles_ <- Int64.add t.cycles_ (Int64.of_int n)
+
+let charge_cache t cache ~addr ~write =
+  match Cache.access cache ~addr ~write with
+  | Cache.Hit -> ()
+  | Cache.Miss { writeback } ->
+    let penalty =
+      (if cache == t.icache_ then t.timing.icache_miss_penalty else t.timing.dcache_miss_penalty)
+      + if writeback then t.timing.writeback_penalty else 0
+    in
+    add_cycles t penalty
+
+(* ------------------------------------------------------------------ *)
+(* 64-bit arithmetic helpers                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sext32 v = Int64.of_int32 (Int64.to_int32 v)
+let low32_mask = 0xFFFFFFFFL
+
+let mulhu a b =
+  let open Int64 in
+  let al = logand a low32_mask and ah = shift_right_logical a 32 in
+  let bl = logand b low32_mask and bh = shift_right_logical b 32 in
+  let ll = mul al bl in
+  let lh = mul al bh in
+  let hl = mul ah bl in
+  let hh = mul ah bh in
+  let mid = add (add lh (shift_right_logical ll 32)) (logand hl low32_mask) in
+  add (add hh (shift_right_logical hl 32)) (shift_right_logical mid 32)
+
+let mulh a b =
+  let open Int64 in
+  let r = mulhu a b in
+  let r = if compare a 0L < 0 then sub r b else r in
+  if compare b 0L < 0 then sub r a else r
+
+let mulhsu a b =
+  let open Int64 in
+  let r = mulhu a b in
+  if compare a 0L < 0 then sub r b else r
+
+let div_signed a b =
+  if b = 0L then -1L
+  else if a = Int64.min_int && b = -1L then Int64.min_int
+  else Int64.div a b
+
+let rem_signed a b =
+  if b = 0L then a else if a = Int64.min_int && b = -1L then 0L else Int64.rem a b
+
+let div_unsigned a b = if b = 0L then -1L else Int64.unsigned_div a b
+let rem_unsigned a b = if b = 0L then a else Int64.unsigned_rem a b
+
+let bool_to_i64 c = if c then 1L else 0L
+
+let exec_r (op : Inst.r_op) a b =
+  let open Int64 in
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Sll -> shift_left a (to_int (logand b 63L))
+  | Slt -> bool_to_i64 (compare a b < 0)
+  | Sltu -> bool_to_i64 (unsigned_compare a b < 0)
+  | Xor -> logxor a b
+  | Srl -> shift_right_logical a (to_int (logand b 63L))
+  | Sra -> shift_right a (to_int (logand b 63L))
+  | Or -> logor a b
+  | And -> logand a b
+  | Addw -> sext32 (add a b)
+  | Subw -> sext32 (sub a b)
+  | Sllw -> sext32 (shift_left a (to_int (logand b 31L)))
+  | Srlw -> sext32 (shift_right_logical (logand a low32_mask) (to_int (logand b 31L)))
+  | Sraw -> sext32 (shift_right (sext32 a) (to_int (logand b 31L)))
+  | Mul -> mul a b
+  | Mulh -> mulh a b
+  | Mulhsu -> mulhsu a b
+  | Mulhu -> mulhu a b
+  | Div -> div_signed a b
+  | Divu -> div_unsigned a b
+  | Rem -> rem_signed a b
+  | Remu -> rem_unsigned a b
+  | Mulw -> sext32 (mul a b)
+  | Divw ->
+    let a32 = sext32 a and b32 = sext32 b in
+    if b32 = 0L then -1L
+    else if a32 = Int64.of_int32 Int32.min_int && b32 = -1L then sext32 a32
+    else sext32 (div a32 b32)
+  | Divuw ->
+    let a32 = logand a low32_mask and b32 = logand b low32_mask in
+    if b32 = 0L then -1L else sext32 (Int64.unsigned_div a32 b32)
+  | Remw ->
+    let a32 = sext32 a and b32 = sext32 b in
+    if b32 = 0L then a32
+    else if a32 = Int64.of_int32 Int32.min_int && b32 = -1L then 0L
+    else sext32 (rem a32 b32)
+  | Remuw ->
+    let a32 = logand a low32_mask and b32 = logand b low32_mask in
+    if b32 = 0L then sext32 a32 else sext32 (Int64.unsigned_rem a32 b32)
+
+let exec_i (op : Inst.i_op) a imm =
+  let open Int64 in
+  let b = of_int imm in
+  match op with
+  | Addi -> add a b
+  | Slti -> bool_to_i64 (compare a b < 0)
+  | Sltiu -> bool_to_i64 (unsigned_compare a b < 0)
+  | Xori -> logxor a b
+  | Ori -> logor a b
+  | Andi -> logand a b
+  | Addiw -> sext32 (add a b)
+
+let exec_shift (op : Inst.shift_op) a sh =
+  let open Int64 in
+  match op with
+  | Slli -> shift_left a sh
+  | Srli -> shift_right_logical a sh
+  | Srai -> shift_right a sh
+  | Slliw -> sext32 (shift_left a sh)
+  | Srliw -> sext32 (shift_right_logical (logand a low32_mask) sh)
+  | Sraiw -> sext32 (shift_right (sext32 a) sh)
+
+let branch_taken (op : Inst.branch_op) a b =
+  match op with
+  | Beq -> Int64.equal a b
+  | Bne -> not (Int64.equal a b)
+  | Blt -> Int64.compare a b < 0
+  | Bge -> Int64.compare a b >= 0
+  | Bltu -> Int64.unsigned_compare a b < 0
+  | Bgeu -> Int64.unsigned_compare a b >= 0
+
+(* ------------------------------------------------------------------ *)
+(* Fetch / decode                                                      *)
+(* ------------------------------------------------------------------ *)
+
+exception Fault of string
+
+let fetch_decode t =
+  match Hashtbl.find_opt t.decode_cache t.pc_ with
+  | Some entry -> entry
+  | None ->
+    let half = Memory.read_u16 t.memory t.pc_ in
+    let entry =
+      if half land 0b11 = 0b11 then begin
+        let word = Memory.read_u32 t.memory t.pc_ in
+        match Decode.decode word with
+        | Some inst -> (inst, 4)
+        | None -> raise (Fault (Printf.sprintf "invalid instruction 0x%08lx at pc 0x%x" word t.pc_))
+      end
+      else
+        match Rvc.expand half with
+        | Some inst -> (inst, 2)
+        | None -> raise (Fault (Printf.sprintf "invalid compressed parcel 0x%04x at pc 0x%x" half t.pc_))
+    in
+    Hashtbl.add t.decode_cache t.pc_ entry;
+    entry
+
+let load_value t (op : Inst.load_op) addr =
+  let open Int64 in
+  match op with
+  | Lb ->
+    let v = Memory.read_u8 t.memory addr in
+    of_int (if v land 0x80 <> 0 then v - 0x100 else v)
+  | Lbu -> of_int (Memory.read_u8 t.memory addr)
+  | Lh ->
+    let v = Memory.read_u16 t.memory addr in
+    of_int (if v land 0x8000 <> 0 then v - 0x10000 else v)
+  | Lhu -> of_int (Memory.read_u16 t.memory addr)
+  | Lw -> of_int32 (Memory.read_u32 t.memory addr)
+  | Lwu -> logand (of_int32 (Memory.read_u32 t.memory addr)) low32_mask
+  | Ld -> Memory.read_u64 t.memory addr
+
+let store_value t (op : Inst.store_op) addr v =
+  match op with
+  | Sb -> Memory.write_u8 t.memory addr (Int64.to_int (Int64.logand v 0xFFL))
+  | Sh -> Memory.write_u16 t.memory addr (Int64.to_int (Int64.logand v 0xFFFFL))
+  | Sw -> Memory.write_u32 t.memory addr (Int64.to_int32 v)
+  | Sd -> Memory.write_u64 t.memory addr v
+
+let alignment (op : Inst.load_op) =
+  match op with Lb | Lbu -> 1 | Lh | Lhu -> 2 | Lw | Lwu -> 4 | Ld -> 8
+
+let store_alignment (op : Inst.store_op) = match op with Sb -> 1 | Sh -> 2 | Sw -> 4 | Sd -> 8
+
+let is_mul (op : Inst.r_op) = match op with Mul | Mulh | Mulhsu | Mulhu | Mulw -> true | _ -> false
+
+let is_div (op : Inst.r_op) =
+  match op with Div | Divu | Rem | Remu | Divw | Divuw | Remw | Remuw -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Syscalls                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let syscall t =
+  let a n = t.regs.(Reg.to_int (Reg.a n)) in
+  match Int64.to_int (a 7) with
+  | 64 ->
+    let addr = Int64.to_int (a 1) and len = Int64.to_int (a 2) in
+    Buffer.add_bytes t.out (Memory.read_bytes t.memory ~addr ~len);
+    set_reg t (Reg.a 0) (Int64.of_int len);
+    Sys_continue
+  | 93 -> Sys_exit (Int64.to_int (a 0))
+  | n -> raise (Fault (Printf.sprintf "unsupported syscall %d at pc 0x%x" n t.pc_))
+
+(* ------------------------------------------------------------------ *)
+(* Step                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let step t =
+  match t.status_ with
+  | Exited _ | Faulted _ -> ()
+  | Running -> (
+    try
+      let inst, size = fetch_decode t in
+      (match t.trace with Some hook -> hook ~pc:t.pc_ inst | None -> ());
+      charge_cache t t.icache_ ~addr:t.pc_ ~write:false;
+      add_cycles t 1;
+      (* Load-use hazard: stalls when an instruction consumes the result of
+         the immediately preceding load. *)
+      (match t.last_load_dest with
+      | Some dest when List.exists (Reg.equal dest) (Inst.uses inst) ->
+        add_cycles t t.timing.load_use_stall
+      | Some _ | None -> ());
+      t.last_load_dest <- None;
+      let next_pc = ref (t.pc_ + size) in
+      (match inst with
+      | Inst.R (op, rd, rs1, rs2) ->
+        if is_mul op then add_cycles t t.timing.mul_extra;
+        if is_div op then add_cycles t t.timing.div_extra;
+        set_reg t rd (exec_r op (reg t rs1) (reg t rs2))
+      | Inst.I (op, rd, rs1, imm) -> set_reg t rd (exec_i op (reg t rs1) imm)
+      | Inst.Shift (op, rd, rs1, sh) -> set_reg t rd (exec_shift op (reg t rs1) sh)
+      | Inst.U (Lui, rd, imm) -> set_reg t rd (Int64.of_int (imm lsl 12))
+      | Inst.U (Auipc, rd, imm) -> set_reg t rd (Int64.of_int (t.pc_ + (imm lsl 12)))
+      | Inst.Load (op, rd, base, off) ->
+        let addr = Int64.to_int (reg t base) + off in
+        if addr mod alignment op <> 0 then
+          raise (Fault (Printf.sprintf "misaligned load at 0x%x (pc 0x%x)" addr t.pc_));
+        charge_cache t t.dcache_ ~addr ~write:false;
+        set_reg t rd (load_value t op addr);
+        t.last_load_dest <- Some rd
+      | Inst.Store (op, src, base, off) ->
+        let addr = Int64.to_int (reg t base) + off in
+        if addr mod store_alignment op <> 0 then
+          raise (Fault (Printf.sprintf "misaligned store at 0x%x (pc 0x%x)" addr t.pc_));
+        charge_cache t t.dcache_ ~addr ~write:true;
+        store_value t op addr (reg t src)
+      | Inst.Branch (op, rs1, rs2, off) ->
+        let taken = branch_taken op (reg t rs1) (reg t rs2) in
+        if taken then next_pc := t.pc_ + off;
+        (match t.predictor with
+        | None -> if taken then add_cycles t t.timing.taken_branch_penalty
+        | Some counters ->
+          (* Bimodal 2-bit saturating counters: penalty on mispredict only. *)
+          let slot = (t.pc_ lsr 1) land (Array.length counters - 1) in
+          let predicted_taken = counters.(slot) >= 2 in
+          if predicted_taken <> taken then add_cycles t t.timing.taken_branch_penalty;
+          counters.(slot) <-
+            (if taken then min 3 (counters.(slot) + 1) else max 0 (counters.(slot) - 1)))
+      | Inst.Jal (rd, off) ->
+        set_reg t rd (Int64.of_int (t.pc_ + size));
+        next_pc := t.pc_ + off;
+        add_cycles t t.timing.jump_penalty
+      | Inst.Jalr (rd, rs1, imm) ->
+        let target = (Int64.to_int (reg t rs1) + imm) land lnot 1 in
+        set_reg t rd (Int64.of_int (t.pc_ + size));
+        next_pc := target;
+        add_cycles t t.timing.jalr_penalty
+      | Inst.Ecall -> (
+        match syscall t with
+        | Sys_continue -> ()
+        | Sys_exit code -> t.status_ <- Exited code)
+      | Inst.Ebreak -> raise (Fault (Printf.sprintf "ebreak at pc 0x%x" t.pc_))
+      | Inst.Fence -> ()
+      | Inst.Csrr (rd, csr) ->
+        let v =
+          match csr with
+          | 0xC00 -> t.cycles_
+          | 0xC01 -> Int64.div t.cycles_ 25L (* microseconds at the 25 MHz clock *)
+          | 0xC02 -> t.instret
+          | _ -> raise (Fault (Printf.sprintf "unsupported CSR 0x%x at pc 0x%x" csr t.pc_))
+        in
+        set_reg t rd v);
+      t.instret <- Int64.add t.instret 1L;
+      if t.status_ = Running then t.pc_ <- !next_pc
+    with
+    | Fault msg -> t.status_ <- Faulted msg
+    | Memory.Trap msg -> t.status_ <- Faulted (msg ^ Printf.sprintf " (pc 0x%x)" t.pc_))
+
+let run ?(fuel = 50_000_000) t =
+  let remaining = ref fuel in
+  while t.status_ = Running && !remaining > 0 do
+    step t;
+    decr remaining
+  done;
+  if t.status_ = Running then t.status_ <- Faulted "out of fuel";
+  t.status_

@@ -1,0 +1,80 @@
+(** Cycle-approximate model of the paper's target core: an in-order 6-stage
+    RV64 pipeline (Rocket-class) with L1 instruction and data caches.
+
+    Architectural execution is exact (every supported instruction's RV64
+    semantics, including the M extension's division corner cases).  Timing
+    is approximate but shaped like the real pipeline: one instruction per
+    cycle, plus stalls for load-use hazards, taken control flow, long-latency
+    multiply/divide, and cache misses.  Fig 7 only needs relative execution
+    times, for which this class of model is standard. *)
+
+type timing = {
+  icache_miss_penalty : int;
+  dcache_miss_penalty : int;
+  writeback_penalty : int;
+  load_use_stall : int;
+  taken_branch_penalty : int;
+  jump_penalty : int;  (** jal: target known at decode *)
+  jalr_penalty : int;  (** indirect: target known at execute *)
+  mul_extra : int;
+  div_extra : int;
+}
+
+val default_timing : timing
+
+type syscall_result =
+  | Sys_continue
+  | Sys_exit of int
+
+type t
+
+val create :
+  ?timing:timing ->
+  ?icache:Cache.config ->
+  ?dcache:Cache.config ->
+  ?branch_predictor:bool ->
+  memory:Memory.t ->
+  pc:int ->
+  sp:int ->
+  unit ->
+  t
+(** [branch_predictor] (default false, matching the fixed-penalty model the
+    evaluation uses) enables a bimodal 2-bit predictor: conditional
+    branches pay [taken_branch_penalty] only on a misprediction. *)
+
+val reg : t -> Eric_rv.Reg.t -> int64
+val set_reg : t -> Eric_rv.Reg.t -> int64 -> unit
+val pc : t -> int
+val set_pc : t -> int -> unit
+
+val cycles : t -> int64
+val instructions : t -> int64
+val icache : t -> Cache.t
+val dcache : t -> Cache.t
+val output : t -> string
+(** Everything the program wrote to stdout via the write syscall. *)
+
+type status =
+  | Running
+  | Exited of int
+  | Faulted of string  (** invalid instruction, bus error, ... *)
+
+val status : t -> status
+
+val set_trace : t -> (pc:int -> Eric_rv.Inst.t -> unit) option -> unit
+(** Install (or clear) a per-instruction hook, called after fetch/decode
+    and before execution — the basis of the CLI's [--trace] mode and of
+    instruction-level debugging. *)
+
+val step : t -> unit
+(** Execute one instruction (no-op once not [Running]).
+
+    Syscall ABI (a7 selects, as in the Linux RV64 convention):
+    - 64 (write): a0=fd (ignored), a1=buffer address, a2=length; appends the
+      bytes to {!output}; returns a2 in a0.
+    - 93 (exit): terminates with code a0. *)
+
+val run : ?fuel:int -> t -> status
+(** Step until no longer [Running] or [fuel] instructions (default 50M) have
+    retired; returns the final status ([Running] means fuel ran out, and the
+    status is set to [Faulted "out of fuel"]). *)

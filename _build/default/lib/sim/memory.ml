@@ -1,0 +1,57 @@
+type t = { data : Bytes.t }
+
+exception Trap of string
+
+let create ~size =
+  if size <= 0 then invalid_arg "Memory.create: size must be positive";
+  { data = Bytes.make size '\000' }
+
+let size t = Bytes.length t.data
+
+let check t addr len =
+  if addr < 0 || len < 0 || addr + len > Bytes.length t.data then
+    raise (Trap (Printf.sprintf "memory access out of bounds: 0x%x (+%d)" addr len))
+
+let read_u8 t addr =
+  check t addr 1;
+  Char.code (Bytes.get t.data addr)
+
+let read_u16 t addr =
+  check t addr 2;
+  Eric_util.Bytesx.get_u16 t.data addr
+
+let read_u32 t addr =
+  check t addr 4;
+  Eric_util.Bytesx.get_u32 t.data addr
+
+let read_u64 t addr =
+  check t addr 8;
+  Eric_util.Bytesx.get_u64 t.data addr
+
+let write_u8 t addr v =
+  check t addr 1;
+  Bytes.set t.data addr (Char.chr (v land 0xFF))
+
+let write_u16 t addr v =
+  check t addr 2;
+  Eric_util.Bytesx.set_u16 t.data addr v
+
+let write_u32 t addr v =
+  check t addr 4;
+  Eric_util.Bytesx.set_u32 t.data addr v
+
+let write_u64 t addr v =
+  check t addr 8;
+  Eric_util.Bytesx.set_u64 t.data addr v
+
+let blit_bytes t ~addr b =
+  check t addr (Bytes.length b);
+  Bytes.blit b 0 t.data addr (Bytes.length b)
+
+let read_bytes t ~addr ~len =
+  check t addr len;
+  Bytes.sub t.data addr len
+
+let fill t ~addr ~len c =
+  check t addr len;
+  Bytes.fill t.data addr len c

@@ -1,0 +1,29 @@
+(** Flat little-endian byte-addressable main memory.
+
+    All accesses are bounds-checked; an out-of-range access raises
+    {!Trap}, which the CPU surfaces as an execution fault (the moral
+    equivalent of a bus error on the real SoC). *)
+
+type t
+
+exception Trap of string
+
+val create : size:int -> t
+val size : t -> int
+
+val read_u8 : t -> int -> int
+val read_u16 : t -> int -> int
+val read_u32 : t -> int -> int32
+val read_u64 : t -> int -> int64
+
+val write_u8 : t -> int -> int -> unit
+val write_u16 : t -> int -> int -> unit
+val write_u32 : t -> int -> int32 -> unit
+val write_u64 : t -> int -> int64 -> unit
+
+val blit_bytes : t -> addr:int -> bytes -> unit
+(** Bulk copy into memory (the loader's DMA path). *)
+
+val read_bytes : t -> addr:int -> len:int -> bytes
+
+val fill : t -> addr:int -> len:int -> char -> unit

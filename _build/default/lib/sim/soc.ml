@@ -1,0 +1,52 @@
+open Eric_rv
+
+type result = {
+  status : Cpu.status;
+  output : string;
+  exec_cycles : int64;
+  load_cycles : int64;
+  instructions : int64;
+  icache_hit_rate : float;
+  dcache_hit_rate : float;
+}
+
+let total_cycles r = Int64.add r.exec_cycles r.load_cycles
+
+let dma_bytes_per_cycle = 8
+
+let plain_load_cycles image =
+  let bytes = Bytes.length (Program.to_binary image) in
+  Int64.of_int ((bytes + dma_bytes_per_cycle - 1) / dma_bytes_per_cycle)
+
+let load image =
+  let memory = Memory.create ~size:Program.Layout.memory_size in
+  Memory.blit_bytes memory ~addr:Program.Layout.text_base (Program.text_bytes image);
+  Memory.blit_bytes memory ~addr:(Program.Layout.data_base image) image.Program.data;
+  if image.Program.bss_size > 0 then
+    Memory.fill memory ~addr:(Program.Layout.bss_base image) ~len:image.Program.bss_size '\000';
+  memory
+
+let boot ?timing ?branch_predictor image memory =
+  Cpu.create ?timing ?branch_predictor ~memory ~pc:(Program.Layout.entry_address image)
+    ~sp:Program.Layout.stack_top ()
+
+let finish ~load_cycles cpu status =
+  {
+    status;
+    output = Cpu.output cpu;
+    exec_cycles = Cpu.cycles cpu;
+    load_cycles;
+    instructions = Cpu.instructions cpu;
+    icache_hit_rate = Cache.hit_rate (Cpu.icache cpu);
+    dcache_hit_rate = Cache.hit_rate (Cpu.dcache cpu);
+  }
+
+let run_loaded ?timing ?fuel ~load_cycles image memory =
+  let cpu = boot ?timing image memory in
+  let status = Cpu.run ?fuel cpu in
+  finish ~load_cycles cpu status
+
+let run_program ?timing ?branch_predictor ?fuel image =
+  let cpu = boot ?timing ?branch_predictor image (load image) in
+  let status = Cpu.run ?fuel cpu in
+  finish ~load_cycles:(plain_load_cycles image) cpu status

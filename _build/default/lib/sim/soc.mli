@@ -1,0 +1,44 @@
+(** The target SoC: memory + Rocket-class core, plus the plain program
+    loader.
+
+    [run_program] is the baseline execution path of the Fig-7 experiment:
+    load a *plaintext* image into main memory over the DMA path and execute
+    it to completion.  ERIC's encrypted path (decrypt + hash + validate
+    while loading) lives in the [eric] core library and reuses this SoC for
+    the execution half. *)
+
+type result = {
+  status : Cpu.status;
+  output : string;
+  exec_cycles : int64;  (** core cycles from entry to exit *)
+  load_cycles : int64;  (** cycles spent loading the image into memory *)
+  instructions : int64;
+  icache_hit_rate : float;
+  dcache_hit_rate : float;
+}
+
+val total_cycles : result -> int64
+(** Load + execute: the end-to-end time Fig 7 compares. *)
+
+val dma_bytes_per_cycle : int
+(** Throughput of the plain loader's memory port (8 B/cycle). *)
+
+val plain_load_cycles : Eric_rv.Program.t -> int64
+(** Cycles to DMA the plain image (header + text + data) into memory. *)
+
+val load : Eric_rv.Program.t -> Memory.t
+(** Fresh memory with text, data and zeroed BSS placed per
+    {!Eric_rv.Program.Layout}. *)
+
+val boot :
+  ?timing:Cpu.timing -> ?branch_predictor:bool -> Eric_rv.Program.t -> Memory.t -> Cpu.t
+(** A CPU with pc at the image entry and sp at the top of the stack. *)
+
+val run_program :
+  ?timing:Cpu.timing -> ?branch_predictor:bool -> ?fuel:int -> Eric_rv.Program.t -> result
+(** Load and run a plaintext image end-to-end. *)
+
+val run_loaded :
+  ?timing:Cpu.timing -> ?fuel:int -> load_cycles:int64 -> Eric_rv.Program.t -> Memory.t -> result
+(** Run an image that something else (e.g. the HDE) already placed in
+    memory, accounting its loading cost as [load_cycles]. *)

@@ -1,0 +1,67 @@
+type t = { len : int; data : Bytes.t }
+
+let bytes_for_bits n = (n + 7) / 8
+
+let create n =
+  if n < 0 then invalid_arg "Bitvec.create: negative length";
+  { len = n; data = Bytes.make (bytes_for_bits n) '\000' }
+
+let length t = t.len
+
+let check t i name = if i < 0 || i >= t.len then invalid_arg ("Bitvec." ^ name ^ ": index out of bounds")
+
+let get t i =
+  check t i "get";
+  let byte = Char.code (Bytes.get t.data (i / 8)) in
+  byte land (1 lsl (i mod 8)) <> 0
+
+let set t i v =
+  check t i "set";
+  let pos = i / 8 in
+  let mask = 1 lsl (i mod 8) in
+  let byte = Char.code (Bytes.get t.data pos) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.set t.data pos (Char.chr (byte land 0xFF))
+
+let append t v =
+  let t' = { len = t.len + 1; data = Bytes.make (bytes_for_bits (t.len + 1)) '\000' } in
+  Bytes.blit t.data 0 t'.data 0 (Bytes.length t.data);
+  set t' t.len v;
+  t'
+
+let of_bool_array a =
+  let t = create (Array.length a) in
+  Array.iteri (fun i v -> if v then set t i true) a;
+  t
+
+let to_bool_array t = Array.init t.len (get t)
+
+let popcount t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if get t i then incr n
+  done;
+  !n
+
+let to_bytes t = Bytes.copy t.data
+
+let of_bytes ~len b =
+  if len < 0 then invalid_arg "Bitvec.of_bytes: negative length";
+  if Bytes.length b < bytes_for_bits len then invalid_arg "Bitvec.of_bytes: buffer too short";
+  let t = create len in
+  Bytes.blit b 0 t.data 0 (bytes_for_bits len);
+  (* Clear padding bits so equality is structural. *)
+  let rem = len mod 8 in
+  if rem > 0 then begin
+    let last = bytes_for_bits len - 1 in
+    let byte = Char.code (Bytes.get t.data last) in
+    Bytes.set t.data last (Char.chr (byte land ((1 lsl rem) - 1)))
+  end;
+  t
+
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+
+let pp fmt t =
+  for i = 0 to t.len - 1 do
+    Format.pp_print_char fmt (if get t i then '1' else '0')
+  done

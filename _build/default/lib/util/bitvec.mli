@@ -1,0 +1,36 @@
+(** Growable bit vectors.
+
+    Used for ERIC's encryption maps (one bit per instruction parcel, per the
+    paper's partial-encryption packaging) and for PUF response streams. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero bit vector of length [n]. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val set : t -> int -> bool -> unit
+
+val append : t -> bool -> t
+(** Functional append (copies); handy for building maps incrementally. *)
+
+val of_bool_array : bool array -> t
+val to_bool_array : t -> bool array
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val to_bytes : t -> bytes
+(** Little-endian bit packing: bit [i] lives in byte [i/8], bit position
+    [i mod 8].  The final partial byte is zero-padded. *)
+
+val of_bytes : len:int -> bytes -> t
+(** Inverse of [to_bytes] given the original bit [len].  Raises
+    [Invalid_argument] if [bytes] is too short for [len]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    ERIC's evaluation must be reproducible run-to-run: PUF devices are
+    "manufactured" from a seed, workload inputs are generated from seeds, and
+    partial-encryption selections are seeded.  This module provides a small,
+    fast, splittable PRNG (SplitMix64 seeding a xoshiro256** state) together
+    with the distributions the PUF model needs. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] builds a generator whose whole stream is a pure function
+    of [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both copies then produce the same
+    stream. *)
+
+val bits64 : t -> int64
+(** Next 64 uniformly random bits. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normally distributed sample (Box-Muller). *)
+
+val bytes : t -> len:int -> bytes
+(** [len] uniformly random bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose_subset : t -> n:int -> k:int -> bool array
+(** [choose_subset t ~n ~k] marks exactly [min k n] of [n] positions true,
+    uniformly at random. *)

@@ -1,0 +1,1 @@
+lib/workloads/subst.ml: Buffer List String

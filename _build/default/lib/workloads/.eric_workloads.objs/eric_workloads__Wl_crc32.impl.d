@@ -1,0 +1,1 @@
+lib/workloads/wl_crc32.ml: Subst

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: List Wl_adpcm Wl_basicmath Wl_bitcount Wl_crc32 Wl_dijkstra Wl_fft Wl_qsort Wl_rijndael Wl_sha Wl_stringsearch

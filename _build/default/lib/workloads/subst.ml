@@ -1,0 +1,37 @@
+(* Token substitution for workload source templates: "@NAME@" -> value.
+   MiniC sources contain '%' (the modulo operator), so Printf-style
+   templates are unusable; this replaces explicit tokens instead and
+   raises on any token left unresolved, which catches typos in templates
+   at workload-construction time. *)
+
+let apply template bindings =
+  let out =
+    List.fold_left
+      (fun acc (name, value) ->
+        let token = "@" ^ name ^ "@" in
+        let buf = Buffer.create (String.length acc) in
+        let tlen = String.length token in
+        let rec go from =
+          match String.index_from_opt acc from '@' with
+          | Some at when at + tlen <= String.length acc && String.sub acc at tlen = token ->
+            Buffer.add_substring buf acc from (at - from);
+            Buffer.add_string buf value;
+            go (at + tlen)
+          | Some at ->
+            Buffer.add_substring buf acc from (at - from + 1);
+            go (at + 1)
+          | None ->
+            Buffer.add_substring buf acc from (String.length acc - from)
+        in
+        go 0;
+        Buffer.contents buf)
+      template bindings
+  in
+  (match String.index_opt out '@' with
+  | Some i ->
+    let stop = min (String.length out) (i + 20) in
+    invalid_arg ("Subst.apply: unresolved token near: " ^ String.sub out i (stop - i))
+  | None -> ());
+  out
+
+let int_bindings bindings = List.map (fun (n, v) -> (n, string_of_int v)) bindings

@@ -1,0 +1,129 @@
+(* MiBench telecomm/adpcm: IMA ADPCM codec.  Encodes a synthesised
+   waveform to 4-bit deltas, decodes it back, and checks the
+   reconstruction error stays within the codec's step bound. *)
+
+let template =
+  {|
+// adpcm: IMA ADPCM encode/decode round trip
+
+int step_table[89] = {
+  7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31,
+  34, 37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143,
+  157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544,
+  598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707,
+  1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871,
+  5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635,
+  13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+int index_table[16] = {-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8};
+
+int samples[@N@];
+int deltas[@N@];
+int decoded[@N@];
+
+int clamp(int v, int lo, int hi) {
+  if (v < lo) { return lo; }
+  if (v > hi) { return hi; }
+  return v;
+}
+
+void encode(int n) {
+  int valpred = 0;
+  int index = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    int step = step_table[index];
+    int diff = samples[i] - valpred;
+    int sign = 0;
+    if (diff < 0) {
+      sign = 8;
+      diff = 0 - diff;
+    }
+    int delta = 0;
+    int vpdiff = step >> 3;
+    if (diff >= step) {
+      delta = 4;
+      diff = diff - step;
+      vpdiff = vpdiff + step;
+    }
+    step = step >> 1;
+    if (diff >= step) {
+      delta = delta | 2;
+      diff = diff - step;
+      vpdiff = vpdiff + step;
+    }
+    step = step >> 1;
+    if (diff >= step) {
+      delta = delta | 1;
+      vpdiff = vpdiff + step;
+    }
+    if (sign) {
+      valpred = valpred - vpdiff;
+    } else {
+      valpred = valpred + vpdiff;
+    }
+    valpred = clamp(valpred, -32768, 32767);
+    delta = delta | sign;
+    deltas[i] = delta;
+    index = clamp(index + index_table[delta], 0, 88);
+  }
+}
+
+void decode(int n) {
+  int valpred = 0;
+  int index = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    int delta = deltas[i];
+    int step = step_table[index];
+    int vpdiff = step >> 3;
+    if (delta & 4) { vpdiff = vpdiff + step; }
+    if (delta & 2) { vpdiff = vpdiff + (step >> 1); }
+    if (delta & 1) { vpdiff = vpdiff + (step >> 2); }
+    if (delta & 8) {
+      valpred = valpred - vpdiff;
+    } else {
+      valpred = valpred + vpdiff;
+    }
+    valpred = clamp(valpred, -32768, 32767);
+    decoded[i] = valpred;
+    index = clamp(index + index_table[delta], 0, 88);
+  }
+}
+
+int main() {
+  int n = @N@;
+  // Synthesised waveform: ramps with pseudo-random jitter.
+  int seed = 5;
+  int phase = 0;
+  int dir = 37;
+  for (int i = 0; i < n; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    phase = phase + dir;
+    if (phase > 12000) { dir = 0 - 41; }
+    if (phase < -12000) { dir = 53; }
+    samples[i] = clamp(phase + seed % 257 - 128, -32768, 32767);
+  }
+  encode(n);
+  decode(n);
+  int checksum = 0;
+  int worst = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    checksum = (checksum * 31 + deltas[i]) % 1000000007;
+    int err = samples[i] - decoded[i];
+    if (err < 0) { err = 0 - err; }
+    if (err > worst) { worst = err; }
+  }
+  println_int(checksum);
+  println_int(worst);
+  // Reconstruction error must stay within the largest quantiser step.
+  if (worst > 40000) {
+    println_str("DIVERGED");
+    return 1;
+  }
+  return 0;
+}
+|}
+
+let make ~n = Subst.apply template (Subst.int_bindings [ ("N", n) ])
+
+let source = make ~n:4096
+let source_small = make ~n:384

@@ -1,0 +1,68 @@
+(* MiBench automotive/basicmath, integer edition: integer square roots,
+   GCD grid, and a prime sieve.  Prints three checksums. *)
+
+let template =
+  {|
+// basicmath: integer square root, gcd grid, prime sieve
+
+int isqrt(int x) {
+  if (x < 2) { return x; }
+  int r = x;
+  int y = (r + 1) / 2;
+  while (y < r) {
+    r = y;
+    y = (r + x / r) / 2;
+  }
+  return r;
+}
+
+int gcd(int a, int b) {
+  while (b != 0) {
+    int t = b;
+    b = a % b;
+    a = t;
+  }
+  return a;
+}
+
+char sieve[@SIEVE@];
+
+int main() {
+  int sum = 0;
+  for (int i = 0; i < @ISQRT@; i = i + 1) {
+    sum = sum + isqrt(i);
+  }
+  println_int(sum);
+
+  int g = 0;
+  for (int i = 1; i <= @GCD@; i = i + 1) {
+    for (int j = 1; j <= @GCD@; j = j + 1) {
+      g = g + gcd(i, j);
+    }
+  }
+  println_int(g);
+
+  int n = @SIEVE@;
+  for (int i = 0; i < n; i = i + 1) { sieve[i] = 1; }
+  sieve[0] = 0;
+  sieve[1] = 0;
+  for (int i = 2; i * i < n; i = i + 1) {
+    if (sieve[i]) {
+      for (int j = i * i; j < n; j = j + i) { sieve[j] = 0; }
+    }
+  }
+  int primes = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    if (sieve[i]) { primes = primes + 1; }
+  }
+  println_int(primes);
+  return 0;
+}
+|}
+
+let make ~isqrt_n ~gcd_n ~sieve_n =
+  Subst.apply template
+    (Subst.int_bindings [ ("ISQRT", isqrt_n); ("GCD", gcd_n); ("SIEVE", sieve_n) ])
+
+let source = make ~isqrt_n:30000 ~gcd_n:120 ~sieve_n:20000
+let source_small = make ~isqrt_n:70 ~gcd_n:16 ~sieve_n:1200

@@ -1,0 +1,73 @@
+(* MiBench automotive/bitcount: four population-count implementations over
+   the same pseudo-random stream; all four totals must agree, so the
+   printed lines double as a self-check. *)
+
+let template =
+  {|
+// bitcount: four popcount strategies over an LCG stream
+
+int nibble_table[16] = {0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4};
+int byte_table[256];
+
+int count_naive(int v) {
+  int n = 0;
+  for (int i = 0; i < 32; i = i + 1) {
+    n = n + ((v >> i) & 1);
+  }
+  return n;
+}
+
+int count_kernighan(int v) {
+  int n = 0;
+  while (v != 0) {
+    v = v & (v - 1);
+    n = n + 1;
+  }
+  return n;
+}
+
+int count_nibbles(int v) {
+  int n = 0;
+  for (int i = 0; i < 8; i = i + 1) {
+    n = n + nibble_table[(v >> (4 * i)) & 15];
+  }
+  return n;
+}
+
+int count_bytes(int v) {
+  return byte_table[v & 255] + byte_table[(v >> 8) & 255]
+       + byte_table[(v >> 16) & 255] + byte_table[(v >> 24) & 255];
+}
+
+int main() {
+  for (int i = 0; i < 256; i = i + 1) {
+    byte_table[i] = nibble_table[i & 15] + nibble_table[(i >> 4) & 15];
+  }
+  int seed = 1;
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  int d = 0;
+  for (int i = 0; i < @ITER@; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    int v = seed & 0xffffffff;
+    a = a + count_naive(v);
+    b = b + count_kernighan(v);
+    c = c + count_nibbles(v);
+    d = d + count_bytes(v);
+  }
+  println_int(a);
+  println_int(b);
+  println_int(c);
+  println_int(d);
+  if (a != b) { println_str("MISMATCH"); return 1; }
+  if (a != c) { println_str("MISMATCH"); return 1; }
+  if (a != d) { println_str("MISMATCH"); return 1; }
+  return 0;
+}
+|}
+
+let make ~iterations = Subst.apply template (Subst.int_bindings [ ("ITER", iterations) ])
+
+let source = make ~iterations:20000
+let source_small = make ~iterations:140

@@ -1,0 +1,73 @@
+(* MiBench telecomm/crc32: table-driven CRC-32 (reflected, polynomial
+   0xEDB88320) over a pseudo-random buffer, cross-checked against a
+   bitwise implementation on a prefix. *)
+
+let template =
+  {|
+// crc32: table-driven CRC-32 over 16 KiB, with a bitwise cross-check
+
+int crc_table[256];
+char buffer[@LEN@];
+
+void build_table() {
+  for (int i = 0; i < 256; i = i + 1) {
+    int c = i;
+    for (int k = 0; k < 8; k = k + 1) {
+      if (c & 1) {
+        c = 0xedb88320 ^ ((c & 0xffffffff) >> 1);
+      } else {
+        c = (c & 0xffffffff) >> 1;
+      }
+    }
+    crc_table[i] = c;
+  }
+}
+
+int crc32_table(char *p, int len) {
+  int c = 0xffffffff;
+  for (int i = 0; i < len; i = i + 1) {
+    c = crc_table[(c ^ p[i]) & 255] ^ ((c & 0xffffffff) >> 8);
+  }
+  return (c ^ 0xffffffff) & 0xffffffff;
+}
+
+int crc32_bitwise(char *p, int len) {
+  int c = 0xffffffff;
+  for (int i = 0; i < len; i = i + 1) {
+    c = c ^ p[i];
+    for (int k = 0; k < 8; k = k + 1) {
+      if (c & 1) {
+        c = 0xedb88320 ^ ((c & 0xffffffff) >> 1);
+      } else {
+        c = (c & 0xffffffff) >> 1;
+      }
+    }
+  }
+  return (c ^ 0xffffffff) & 0xffffffff;
+}
+
+int main() {
+  build_table();
+  int seed = 123;
+  for (int i = 0; i < @LEN@; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    buffer[i] = seed >> 16;
+  }
+  int full = crc32_table(buffer, @LEN@);
+  int prefix_fast = crc32_table(buffer, @PREFIX@);
+  int prefix_slow = crc32_bitwise(buffer, @PREFIX@);
+  println_int(full);
+  println_int(prefix_fast);
+  if (prefix_fast != prefix_slow) {
+    println_str("MISMATCH");
+    return 1;
+  }
+  return 0;
+}
+|}
+
+let make ~len ~prefix =
+  Subst.apply template (Subst.int_bindings [ ("LEN", len); ("PREFIX", prefix) ])
+
+let source = make ~len:16384 ~prefix:512
+let source_small = make ~len:768 ~prefix:192

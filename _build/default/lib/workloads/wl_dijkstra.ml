@@ -1,0 +1,73 @@
+(* MiBench network/dijkstra: single-source shortest paths on a dense
+   pseudo-random 96-node graph (adjacency matrix, O(N^2) selection),
+   repeated from several sources. *)
+
+let template =
+  {|
+// dijkstra: shortest paths over a dense random digraph
+
+int adj[@NN@];     // @N@ x @N@ weights
+int dist[@N@];
+int visited[@N@];
+
+int main() {
+  int n = @N@;
+  int inf = 1000000000;
+  int seed = 7;
+  for (int i = 0; i < n; i = i + 1) {
+    for (int j = 0; j < n; j = j + 1) {
+      seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+      int w = seed % 1000;
+      if (w < 700) {
+        adj[i * n + j] = w + 1;
+      } else {
+        adj[i * n + j] = inf;   // no edge
+      }
+    }
+  }
+  int total = 0;
+  int unreachable = 0;
+  for (int src = 0; src < @SRC@; src = src + 1) {
+    for (int i = 0; i < n; i = i + 1) {
+      dist[i] = inf;
+      visited[i] = 0;
+    }
+    dist[src * 11 % n] = 0;
+    for (int round = 0; round < n; round = round + 1) {
+      int best = -1;
+      int best_d = inf;
+      for (int i = 0; i < n; i = i + 1) {
+        if (!visited[i] && dist[i] < best_d) {
+          best = i;
+          best_d = dist[i];
+        }
+      }
+      if (best < 0) { break; }
+      visited[best] = 1;
+      for (int j = 0; j < n; j = j + 1) {
+        int w = adj[best * n + j];
+        if (w < inf && dist[best] + w < dist[j]) {
+          dist[j] = dist[best] + w;
+        }
+      }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+      if (dist[i] == inf) {
+        unreachable = unreachable + 1;
+      } else {
+        total = total + dist[i];
+      }
+    }
+  }
+  println_int(total);
+  println_int(unreachable);
+  return 0;
+}
+|}
+
+let make ~n ~sources =
+  Subst.apply template
+    (Subst.int_bindings [ ("N", n); ("NN", n * n); ("SRC", sources) ])
+
+let source = make ~n:96 ~sources:8
+let source_small = make ~n:40 ~sources:1

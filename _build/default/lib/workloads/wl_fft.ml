@@ -1,0 +1,134 @@
+(* MiBench telecomm/fft: 256-point radix-2 fixed-point FFT (Q14 twiddles,
+   64-bit accumulators), fed a pure tone plus jitter.  Self-checks: the
+   dominant output bin must be the tone frequency, and the inverse
+   transform must reconstruct the input within a small fixed-point error
+   bound. *)
+
+let template =
+  {|
+// fft: 256-point radix-2 DIT, Q14 twiddle factors
+
+// sin(2*pi*k/256) in Q14 for k = 0..64 (quarter wave + endpoint)
+int sine_q14[65] = {
+  0, 402, 804, 1205, 1606, 2006, 2404, 2801, 3196, 3590,
+  3981, 4370, 4756, 5139, 5520, 5897, 6270, 6639, 7005, 7366,
+  7723, 8076, 8423, 8765, 9102, 9434, 9760, 10080, 10394, 10702,
+  11003, 11297, 11585, 11866, 12140, 12406, 12665, 12916, 13160, 13395,
+  13623, 13842, 14053, 14256, 14449, 14635, 14811, 14978, 15137, 15286,
+  15426, 15557, 15679, 15791, 15893, 15986, 16069, 16143, 16207, 16261,
+  16305, 16340, 16364, 16379, 16384};
+
+int re[256];
+int im[256];
+int orig[256];
+
+// sin(2*pi*k/256) for any k, via quarter-wave symmetry
+int sin256(int k) {
+  k = k % 256;
+  if (k < 0) { k += 256; }
+  if (k <= 64) { return sine_q14[k]; }
+  if (k <= 128) { return sine_q14[128 - k]; }
+  if (k <= 192) { return 0 - sine_q14[k - 128]; }
+  return 0 - sine_q14[256 - k];
+}
+
+int cos256(int k) { return sin256(k + 64); }
+
+void bit_reverse(int n) {
+  int j = 0;
+  for (int i = 0; i < n - 1; i++) {
+    if (i < j) {
+      int tr = re[i]; re[i] = re[j]; re[j] = tr;
+      int ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+    int m = n >> 1;
+    while (m >= 1 && j >= m) {
+      j -= m;
+      m >>= 1;
+    }
+    j += m;
+  }
+}
+
+// inverse=0: W = exp(-2*pi*i*k/n); inverse=1: conjugate twiddles
+void fft(int n, int inverse) {
+  bit_reverse(n);
+  int len = 2;
+  while (len <= n) {
+    int half = len / 2;
+    int step = 256 / len;
+    for (int i = 0; i < n; i += len) {
+      for (int k = 0; k < half; k++) {
+        int tw = k * step;
+        int wr = cos256(tw);
+        int wi = inverse ? sin256(tw) : 0 - sin256(tw);
+        int ur = re[i + k];
+        int ui = im[i + k];
+        int vr = (re[i + k + half] * wr - im[i + k + half] * wi) >> 14;
+        int vi = (re[i + k + half] * wi + im[i + k + half] * wr) >> 14;
+        re[i + k] = ur + vr;
+        im[i + k] = ui + vi;
+        re[i + k + half] = ur - vr;
+        im[i + k + half] = ui - vi;
+      }
+    }
+    len <<= 1;
+  }
+}
+
+int iabs(int v) { return v < 0 ? 0 - v : v; }
+
+int main() {
+  int n = 256;
+  int tone = @TONE@;
+  int seed = 31;
+  for (int i = 0; i < n; i++) {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    re[i] = (8192 * sin256(tone * i)) >> 14;   // amplitude 8192 tone
+    re[i] += seed % 65 - 32;                   // small jitter
+    im[i] = 0;
+    orig[i] = re[i];
+  }
+
+  for (int pass = 0; pass < @PASSES@; pass++) {
+    // forward
+    for (int i = 0; i < n; i++) { re[i] = orig[i]; im[i] = 0; }
+    fft(n, 0);
+
+    if (pass == 0) {
+      // dominant bin: scan positive-frequency half
+      int best = 0;
+      int best_mag = 0;
+      for (int k = 1; k < n / 2; k++) {
+        int mag = re[k] * re[k] + im[k] * im[k];
+        if (mag > best_mag) {
+          best_mag = mag;
+          best = k;
+        }
+      }
+      println_int(best);                       // must equal the tone bin
+
+      // inverse and reconstruction error (inverse needs the 1/n scale)
+      fft(n, 1);
+      int maxerr = 0;
+      for (int i = 0; i < n; i++) {
+        int err = iabs(re[i] / n - orig[i]);
+        if (err > maxerr) { maxerr = err; }
+      }
+      println_int(maxerr < 24 ? 1 : 0);        // Q14 round-off stays small
+      int checksum = 0;
+      for (int i = 0; i < n; i++) {
+        checksum = (checksum * 31 + iabs(re[i] / n)) % 1000000007;
+      }
+      println_int(checksum);
+    }
+  }
+  return 0;
+}
+|}
+
+let make ~tone ~passes =
+  Subst.apply template (Subst.int_bindings [ ("TONE", tone); ("PASSES", passes) ])
+
+let source = make ~tone:10 ~passes:12
+let source_small = make ~tone:10 ~passes:1

@@ -1,0 +1,71 @@
+(* MiBench automotive/qsort: recursive quicksort (median-of-three pivot)
+   over an LCG-filled array, followed by an is-sorted sweep and a
+   position-weighted checksum. *)
+
+let template =
+  {|
+// qsort: in-place quicksort of 3000 pseudo-random values
+
+int data[@N@];
+
+void swap(int *xs, int i, int j) {
+  int t = xs[i];
+  xs[i] = xs[j];
+  xs[j] = t;
+}
+
+int median3(int *xs, int lo, int hi) {
+  int mid = lo + (hi - lo) / 2;
+  if (xs[mid] < xs[lo]) { swap(xs, mid, lo); }
+  if (xs[hi] < xs[lo]) { swap(xs, hi, lo); }
+  if (xs[hi] < xs[mid]) { swap(xs, hi, mid); }
+  return xs[mid];
+}
+
+void quicksort(int *xs, int lo, int hi) {
+  if (lo >= hi) { return; }
+  int pivot = median3(xs, lo, hi);
+  int i = lo;
+  int j = hi;
+  while (i <= j) {
+    while (xs[i] < pivot) { i = i + 1; }
+    while (xs[j] > pivot) { j = j - 1; }
+    if (i <= j) {
+      swap(xs, i, j);
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  quicksort(xs, lo, j);
+  quicksort(xs, i, hi);
+}
+
+int main() {
+  int n = @N@;
+  int seed = 42;
+  for (int i = 0; i < n; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    data[i] = seed % 100000;
+  }
+  quicksort(data, 0, n - 1);
+  for (int i = 1; i < n; i = i + 1) {
+    if (data[i - 1] > data[i]) {
+      println_str("UNSORTED");
+      return 1;
+    }
+  }
+  int checksum = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    checksum = (checksum + (i + 1) * (data[i] % 1000)) % 1000000007;
+  }
+  println_int(data[0]);
+  println_int(data[n - 1]);
+  println_int(checksum);
+  return 0;
+}
+|}
+
+let make ~n = Subst.apply template (Subst.int_bindings [ ("N", n) ])
+
+let source = make ~n:3000
+let source_small = make ~n:220

@@ -1,0 +1,148 @@
+(* MiBench security/rijndael: AES-128 encryption.  The S-box is derived at
+   runtime from GF(2^8) log/antilog tables (generator 3) plus the affine
+   transform; the FIPS-197 appendix-B vector is encrypted first so the
+   printed words are externally checkable, then an LCG-filled buffer is
+   encrypted in ECB and checksummed. *)
+
+let template =
+  {|
+// rijndael: AES-128, FIPS-197 vector self-check + ECB over a buffer
+
+char sbox[256];
+char logt[256];
+char alog[256];
+char roundkeys[176];
+char state[16];
+char buffer[@LEN@];
+
+int xtime(int a) {
+  int r = (a << 1) & 0xff;
+  if (a & 0x80) { r ^= 0x1b; }
+  return r;
+}
+
+int rotl8(int v, int n) {
+  return ((v << n) | (v >> (8 - n))) & 0xff;
+}
+
+void build_tables() {
+  // log/antilog over generator 3: alog[i] = 3^i in GF(2^8)
+  int t = 1;
+  for (int i = 0; i < 255; i++) {
+    alog[i] = t;
+    logt[t] = i;
+    t = t ^ xtime(t);        // multiply by 3
+  }
+  sbox[0] = 0x63;
+  for (int x = 1; x < 256; x++) {
+    int inv = alog[(255 - logt[x]) % 255];
+    sbox[x] = inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^ rotl8(inv, 3) ^ rotl8(inv, 4) ^ 0x63;
+  }
+}
+
+void expand_key(char *key) {
+  for (int i = 0; i < 16; i++) { roundkeys[i] = key[i]; }
+  int rcon = 1;
+  for (int w = 4; w < 44; w++) {
+    int base = 4 * w;
+    int prev = base - 4;
+    if (w % 4 == 0) {
+      // rotate previous word, substitute, xor rcon
+      roundkeys[base]     = roundkeys[16 * (w / 4 - 1)]     ^ sbox[roundkeys[prev + 1]] ^ rcon;
+      roundkeys[base + 1] = roundkeys[16 * (w / 4 - 1) + 1] ^ sbox[roundkeys[prev + 2]];
+      roundkeys[base + 2] = roundkeys[16 * (w / 4 - 1) + 2] ^ sbox[roundkeys[prev + 3]];
+      roundkeys[base + 3] = roundkeys[16 * (w / 4 - 1) + 3] ^ sbox[roundkeys[prev]];
+      rcon = xtime(rcon);
+    } else {
+      for (int b = 0; b < 4; b++) {
+        roundkeys[base + b] = roundkeys[base - 16 + b] ^ roundkeys[prev + b];
+      }
+    }
+  }
+}
+
+void add_round_key(int round) {
+  for (int i = 0; i < 16; i++) { state[i] ^= roundkeys[16 * round + i]; }
+}
+
+void sub_bytes() {
+  for (int i = 0; i < 16; i++) { state[i] = sbox[state[i]]; }
+}
+
+void shift_rows() {
+  char tmp[16];
+  for (int c = 0; c < 4; c++) {
+    for (int r = 0; r < 4; r++) {
+      tmp[4 * c + r] = state[4 * ((c + r) % 4) + r];
+    }
+  }
+  for (int i = 0; i < 16; i++) { state[i] = tmp[i]; }
+}
+
+void mix_columns() {
+  for (int c = 0; c < 4; c++) {
+    int s0 = state[4 * c];
+    int s1 = state[4 * c + 1];
+    int s2 = state[4 * c + 2];
+    int s3 = state[4 * c + 3];
+    int all = s0 ^ s1 ^ s2 ^ s3;
+    state[4 * c]     = s0 ^ all ^ xtime(s0 ^ s1);
+    state[4 * c + 1] = s1 ^ all ^ xtime(s1 ^ s2);
+    state[4 * c + 2] = s2 ^ all ^ xtime(s2 ^ s3);
+    state[4 * c + 3] = s3 ^ all ^ xtime(s3 ^ s0);
+  }
+}
+
+void encrypt_block(char *inout) {
+  for (int i = 0; i < 16; i++) { state[i] = inout[i]; }
+  add_round_key(0);
+  for (int round = 1; round < 10; round++) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+  for (int i = 0; i < 16; i++) { inout[i] = state[i]; }
+}
+
+int main() {
+  build_tables();
+  // FIPS-197 appendix B: key 000102...0f, plaintext 00112233...eeff
+  char key[16];
+  char block[16];
+  for (int i = 0; i < 16; i++) {
+    key[i] = i;
+    block[i] = i * 17;   // 0x00, 0x11, 0x22, ..., 0xff
+  }
+  expand_key(key);
+  encrypt_block(block);
+  // expected: 69 c4 e0 d8 6a 7b 04 30 d8 cd b7 80 70 b4 c5 5a
+  for (int i = 0; i < 16; i += 4) {
+    println_int((block[i] << 24) | (block[i + 1] << 16) | (block[i + 2] << 8) | block[i + 3]);
+  }
+
+  // ECB over a pseudo-random buffer
+  int seed = 77;
+  for (int i = 0; i < @LEN@; i++) {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    buffer[i] = seed >> 11;
+  }
+  for (int off = 0; off + 16 <= @LEN@; off += 16) {
+    encrypt_block(buffer + off);
+  }
+  int checksum = 0;
+  for (int i = 0; i < @LEN@; i++) {
+    checksum = (checksum * 131 + buffer[i]) % 1000000007;
+  }
+  println_int(checksum);
+  return 0;
+}
+|}
+
+let make ~len = Subst.apply template (Subst.int_bindings [ ("LEN", len) ])
+
+let source = make ~len:2048
+let source_small = make ~len:64

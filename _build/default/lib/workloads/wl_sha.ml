@@ -1,0 +1,131 @@
+(* MiBench security/sha: SHA-1 in MiniC (32-bit modular arithmetic built
+   from 64-bit ints).  Hashes the FIPS "abc" vector first — the five
+   printed words are checkable against the standard — then a 4 KiB
+   pseudo-random buffer. *)
+
+let template =
+  {|
+// sha: SHA-1 with proper padding
+
+int h[5];
+int w[80];
+char data[@LEN@];
+
+int rotl(int x, int n) {
+  return ((x << n) | ((x & 0xffffffff) >> (32 - n))) & 0xffffffff;
+}
+
+void sha1_init() {
+  h[0] = 0x67452301;
+  h[1] = 0xefcdab89;
+  h[2] = 0x98badcfe;
+  h[3] = 0x10325476;
+  h[4] = 0xc3d2e1f0;
+}
+
+void sha1_block(char *p) {
+  for (int t = 0; t < 16; t = t + 1) {
+    w[t] = (p[4 * t] << 24) | (p[4 * t + 1] << 16) | (p[4 * t + 2] << 8) | p[4 * t + 3];
+  }
+  for (int t = 16; t < 80; t = t + 1) {
+    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+  int a = h[0];
+  int b = h[1];
+  int c = h[2];
+  int d = h[3];
+  int e = h[4];
+  for (int t = 0; t < 80; t = t + 1) {
+    int f = 0;
+    int k = 0;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5a827999;
+    } else {
+      if (t < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ed9eba1;
+      } else {
+        if (t < 60) {
+          f = (b & c) | (b & d) | (c & d);
+          k = 0x8f1bbcdc;
+        } else {
+          f = b ^ c ^ d;
+          k = 0xca62c1d6;
+        }
+      }
+    }
+    int temp = (rotl(a, 5) + f + e + k + w[t]) & 0xffffffff;
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  h[0] = (h[0] + a) & 0xffffffff;
+  h[1] = (h[1] + b) & 0xffffffff;
+  h[2] = (h[2] + c) & 0xffffffff;
+  h[3] = (h[3] + d) & 0xffffffff;
+  h[4] = (h[4] + e) & 0xffffffff;
+}
+
+void sha1(char *p, int len) {
+  sha1_init();
+  int nblocks = len / 64;
+  for (int i = 0; i < nblocks; i = i + 1) {
+    sha1_block(p + i * 64);
+  }
+  char tail[128];
+  int rem = len % 64;
+  int t = 0;
+  while (t < rem) {
+    tail[t] = p[nblocks * 64 + t];
+    t = t + 1;
+  }
+  tail[t] = 0x80;
+  t = t + 1;
+  int tail_len = 64;
+  if (rem >= 56) { tail_len = 128; }
+  while (t < tail_len - 8) {
+    tail[t] = 0;
+    t = t + 1;
+  }
+  int bits = len * 8;
+  for (int i = 0; i < 8; i = i + 1) {
+    tail[tail_len - 1 - i] = (bits >> (8 * i)) & 255;
+  }
+  sha1_block(tail);
+  if (tail_len == 128) {
+    sha1_block(tail + 64);
+  }
+}
+
+void print_digest() {
+  for (int i = 0; i < 5; i = i + 1) {
+    println_int(h[i]);
+  }
+}
+
+int main() {
+  char abc[3];
+  abc[0] = 'a';
+  abc[1] = 'b';
+  abc[2] = 'c';
+  sha1(abc, 3);
+  print_digest();   // a9993e36 4706816a ba3e2571 7850c26c 9cd0d89d
+
+  int seed = 2021;
+  for (int i = 0; i < @LEN@; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    data[i] = seed >> 8;
+  }
+  sha1(data, @LEN@);
+  print_digest();
+  return 0;
+}
+|}
+
+let make ~len = Subst.apply template (Subst.int_bindings [ ("LEN", len) ])
+
+let source = make ~len:4096
+let source_small = make ~len:384

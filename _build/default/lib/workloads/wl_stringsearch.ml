@@ -1,0 +1,94 @@
+(* MiBench office/stringsearch: Boyer-Moore-Horspool over a generated
+   corpus with planted needles, plus a naive scan cross-check. *)
+
+let template =
+  {|
+// stringsearch: Horspool matcher over an 8 KiB corpus
+
+char corpus[@LEN@];
+int skip[256];
+
+int strlen_(char *s) {
+  int n = 0;
+  while (s[n] != 0) { n = n + 1; }
+  return n;
+}
+
+int horspool_count(char *text, int n, char *pat) {
+  int m = strlen_(pat);
+  if (m == 0 || m > n) { return 0; }
+  for (int i = 0; i < 256; i = i + 1) { skip[i] = m; }
+  for (int i = 0; i < m - 1; i = i + 1) { skip[pat[i]] = m - 1 - i; }
+  int count = 0;
+  int pos = 0;
+  while (pos <= n - m) {
+    int j = m - 1;
+    while (j >= 0 && text[pos + j] == pat[j]) { j = j - 1; }
+    if (j < 0) {
+      count = count + 1;
+      pos = pos + 1;
+    } else {
+      pos = pos + skip[text[pos + m - 1]];
+    }
+  }
+  return count;
+}
+
+int naive_count(char *text, int n, char *pat) {
+  int m = strlen_(pat);
+  int count = 0;
+  for (int pos = 0; pos + m <= n; pos = pos + 1) {
+    int j = 0;
+    while (j < m && text[pos + j] == pat[j]) { j = j + 1; }
+    if (j == m) { count = count + 1; }
+  }
+  return count;
+}
+
+void plant(char *text, int at, char *pat) {
+  int m = strlen_(pat);
+  for (int i = 0; i < m; i = i + 1) { text[at + i] = pat[i]; }
+}
+
+int main() {
+  int n = @LEN@;
+  int seed = 99;
+  for (int i = 0; i < n; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    corpus[i] = 'a' + seed % 26;
+  }
+  plant(corpus, @P1@, "obfuscation");
+  plant(corpus, @P2@, "hardware");
+  plant(corpus, @P3@, "obfuscation");
+  plant(corpus, @P4@, "signature");
+
+  int total = 0;
+  total = total + horspool_count(corpus, n, "obfuscation");
+  total = total + horspool_count(corpus, n, "hardware");
+  total = total + horspool_count(corpus, n, "signature");
+  total = total + horspool_count(corpus, n, "decrypt");
+  total = total + horspool_count(corpus, n, "the");
+  println_int(total);
+
+  int check = 0;
+  check = check + naive_count(corpus, n, "obfuscation");
+  check = check + naive_count(corpus, n, "hardware");
+  check = check + naive_count(corpus, n, "signature");
+  check = check + naive_count(corpus, n, "decrypt");
+  check = check + naive_count(corpus, n, "the");
+  if (total != check) {
+    println_str("MISMATCH");
+    return 1;
+  }
+  println_int(check);
+  return 0;
+}
+|}
+
+let make ~len =
+  Subst.apply template
+    (Subst.int_bindings
+       [ ("LEN", len); ("P1", len / 80); ("P2", len / 4); ("P3", len / 2); ("P4", len - 192) ])
+
+let source = make ~len:8192
+let source_small = make ~len:768

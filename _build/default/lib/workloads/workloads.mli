@@ -1,0 +1,29 @@
+(** The evaluation workload suite: eight MiBench-style programs written in
+    MiniC, mirroring the benchmark categories the paper selected from
+    MiBench ("programs of different sizes", automotive / network /
+    security / telecomm / office).
+
+    Each workload prints checksums on stdout and exits 0; several embed
+    cross-implementation self-checks (bitcount's four popcounts must
+    agree, crc32's table-driven vs bitwise, stringsearch's Horspool vs
+    naive, sha's FIPS "abc" vector), so a wrong compilation or a corrupted
+    decryption cannot silently pass. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** MiniC source, reference ("large") dataset *)
+  source_small : string;
+      (** same program with a reduced ("small") dataset — MiBench ships
+          small/large input sets, and the Fig-7 experiment uses the small
+          one so load-time costs are visible against the run length, as on
+          the paper's 25 MHz FPGA *)
+}
+
+val all : t list
+(** In a stable order: basicmath, bitcount, qsort, dijkstra, crc32,
+    stringsearch, sha, adpcm, rijndael, fft. *)
+
+val by_name : string -> t option
+
+val names : string list

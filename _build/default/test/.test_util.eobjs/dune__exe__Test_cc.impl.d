@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Array Ast Driver Eric_cc Eric_rv Eric_sim Eric_workloads Format Hashtbl Int64 Ir Ir_interp Lexer List Opt Option Parser Printf QCheck QCheck_alcotest Regalloc Result String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Char Eric Eric_cc Eric_crypto Eric_hw Eric_puf Eric_rv Eric_sim Eric_util Format Int64 Lazy List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bignum Bytes Char Ct Eric_crypto Eric_util Hmac_sha256 Int32 Keystream Lazy List Printf QCheck QCheck_alcotest Result Rsa Sha256 Xor_cipher

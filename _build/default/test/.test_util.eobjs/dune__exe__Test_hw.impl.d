@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Area Eric_hw Hde Int64 List QCheck QCheck_alcotest Rtl

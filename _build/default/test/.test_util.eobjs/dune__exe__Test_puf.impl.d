@@ -1,0 +1,1 @@
+test/test_puf.ml: Alcotest Arbiter Array Bytes Device Eric_puf Eric_util Int64 List Metrics Printf

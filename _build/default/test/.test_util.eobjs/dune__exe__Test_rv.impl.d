@@ -1,0 +1,1 @@
+test/test_rv.ml: Alcotest Array Asm Assemble Bytes Decode Disasm Encode Eric_rv Eric_sim Eric_util Format Inst Int32 Int64 List Option Printf Program QCheck QCheck_alcotest Reg Result Rvc String

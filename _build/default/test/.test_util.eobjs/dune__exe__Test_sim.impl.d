@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bytes Cache Cpu Encode Eric_rv Eric_sim Inst Int32 Int64 List Memory Program QCheck QCheck_alcotest Reg Soc String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitvec Bytes Bytesx Char Eric_util Fun List Prng QCheck QCheck_alcotest String

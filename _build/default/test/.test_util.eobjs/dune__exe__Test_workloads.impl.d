@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bytes Char Eric Eric_cc Eric_rv Eric_sim Eric_util Eric_workloads Float Hashtbl Int64 List Option String

@@ -1,0 +1,1161 @@
+(* Tests for the MiniC compiler: front-end diagnostics, IR passes,
+   end-to-end golden programs, and a differential property test pitting
+   compiled code (run on the simulated SoC) against an independent OCaml
+   evaluator with RV64 semantics. *)
+
+open Eric_cc
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let compile_run ?options src =
+  match Driver.compile ?options src with
+  | Error e -> Alcotest.failf "compile error: %s" e
+  | Ok image -> (
+    let r = Eric_sim.Soc.run_program image in
+    match r.Eric_sim.Soc.status with
+    | Eric_sim.Cpu.Exited code -> (code, r.Eric_sim.Soc.output)
+    | Eric_sim.Cpu.Faulted m -> Alcotest.failf "runtime fault: %s (output %S)" m r.Eric_sim.Soc.output
+    | Eric_sim.Cpu.Running -> Alcotest.fail "still running")
+
+let expect_output ?options src expected =
+  let _, out = compile_run ?options src in
+  check Alcotest.string "output" expected out
+
+let expect_exit ?options src expected =
+  let code, _ = compile_run ?options src in
+  check Alcotest.int "exit code" expected code
+
+let compile_fails src =
+  match Driver.compile src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "expected a compile error for: %s" src
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "int x = 0x1F + 'a'; // comment\n" in
+  let kinds = List.map (fun t -> t.Lexer.tok) toks in
+  check Alcotest.bool "shape" true
+    (kinds
+    = [ Lexer.KW_INT; Lexer.IDENT "x"; Lexer.ASSIGN; Lexer.INT_LIT 0x1FL; Lexer.PLUS;
+        Lexer.INT_LIT 97L; Lexer.SEMI; Lexer.EOF ])
+
+let test_lexer_operators () =
+  let toks = Lexer.tokenize "<= >= == != << >> && || < >" in
+  let kinds = List.map (fun t -> t.Lexer.tok) toks in
+  check Alcotest.bool "operators" true
+    (kinds
+    = [ Lexer.LE; Lexer.GE; Lexer.EQEQ; Lexer.NEQ; Lexer.SHL; Lexer.SHR; Lexer.ANDAND;
+        Lexer.OROR; Lexer.LT; Lexer.GT; Lexer.EOF ])
+
+let test_lexer_string_escapes () =
+  match (Lexer.tokenize {|"a\n\t\\\""|} : Lexer.loc_token list) with
+  | [ { tok = Lexer.STR_LIT s; _ }; _ ] -> check Alcotest.string "escapes" "a\n\t\\\"" s
+  | _ -> Alcotest.fail "bad token stream"
+
+let test_lexer_errors () =
+  let fails s = try ignore (Lexer.tokenize s); false with Lexer.Lex_error _ -> true in
+  check Alcotest.bool "unterminated string" true (fails {|"abc|});
+  check Alcotest.bool "unterminated comment" true (fails "/* abc");
+  check Alcotest.bool "bad escape" true (fails {|"\q"|});
+  check Alcotest.bool "stray char" true (fails "int $x;")
+
+let test_lexer_comments_positions () =
+  let toks = Lexer.tokenize "/* multi\nline */ int\nx" in
+  match toks with
+  | [ { tok = Lexer.KW_INT; pos = p1 }; { tok = Lexer.IDENT "x"; pos = p2 }; _ ] ->
+    check Alcotest.int "int line" 2 p1.Ast.line;
+    check Alcotest.int "x line" 3 p2.Ast.line
+  | _ -> Alcotest.fail "bad stream"
+
+(* ------------------------------------------------------------------ *)
+(* Parser / typechecker diagnostics                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_errors () =
+  List.iter
+    (fun src -> check Alcotest.bool src true (Result.is_error (Parser.parse src)))
+    [ "int main( { return 0; }"; "int main() { return 0 }"; "int main() { if return; }";
+      "int main() { int x = ; }"; "int 3x;"; "int main() { x = = 2; }" ]
+
+let test_type_errors () =
+  List.iter compile_fails
+    [ "int main() { return y; }" (* undefined variable *);
+      "int main() { foo(); return 0; }" (* undefined function *);
+      "int main() { print_int(1, 2); return 0; }" (* arity *);
+      "int main() { int x; x[0] = 1; return 0; }" (* indexing a scalar *);
+      "int main() { int xs[4]; xs = 0; return 0; }" (* assigning an array *);
+      "int main() { break; }" (* break outside loop *);
+      "void f() { return 1; } int main() { return 0; }" (* void returns value *);
+      "int main() { int *p; p = 5; return 0; }" (* int to pointer *);
+      "int main() { char *c; int *i; c = i; return 0; }" (* pointer mismatch *);
+      "int x; int x; int main() { return 0; }" (* duplicate global *);
+      "int f() { return 0; } int f() { return 0; } int main() { return 0; }"
+      (* duplicate function *);
+      "int main(int a, int b, int c, int d, int e, int f, int g, int h, int i) { return 0; }"
+      (* too many params *);
+      "int main() { return 0; } void v; int g = v;" (* garbage *) ]
+
+let test_no_main () =
+  match Driver.compile "int f() { return 1; }" with
+  | Error e -> check Alcotest.bool "mentions main" true (e = "program has no main function")
+  | Ok _ -> Alcotest.fail "accepted program without main"
+
+(* ------------------------------------------------------------------ *)
+(* Golden end-to-end programs                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_arith () =
+  expect_output
+    {|int main() { println_int(2 + 3 * 4); println_int((2 + 3) * 4); println_int(10 / 3);
+       println_int(10 % 3); println_int(-10 / 3); println_int(-10 % 3); return 0; }|}
+    "14\n20\n3\n1\n-3\n-1\n"
+
+let test_comparisons () =
+  expect_output
+    {|int main() {
+        println_int(1 < 2); println_int(2 < 1); println_int(2 <= 2);
+        println_int(3 > 2); println_int(2 >= 3); println_int(5 == 5); println_int(5 != 5);
+        return 0; }|}
+    "1\n0\n1\n1\n0\n1\n0\n"
+
+let test_bitwise () =
+  expect_output
+    {|int main() {
+        println_int(12 & 10); println_int(12 | 10); println_int(12 ^ 10);
+        println_int(~0); println_int(1 << 10); println_int(-16 >> 2);
+        return 0; }|}
+    "8\n14\n6\n-1\n1024\n-4\n"
+
+let test_short_circuit_effects () =
+  (* The right operand must not run when the left decides. *)
+  expect_output
+    {|int calls = 0;
+      int bump() { calls = calls + 1; return 1; }
+      int main() {
+        int r1 = 0 && bump();
+        int r2 = 1 || bump();
+        int r3 = 1 && bump();
+        println_int(calls);   // only r3 evaluated bump()
+        println_int(r1); println_int(r2); println_int(r3);
+        return 0; }|}
+    "1\n0\n1\n1\n"
+
+let test_while_break_continue () =
+  expect_output
+    {|int main() {
+        int s = 0;
+        int i = 0;
+        while (1) {
+          i = i + 1;
+          if (i > 10) { break; }
+          if (i % 2 == 0) { continue; }
+          s = s + i;
+        }
+        println_int(s);  // 1+3+5+7+9 = 25
+        return 0; }|}
+    "25\n"
+
+let test_for_scoping () =
+  expect_output
+    {|int main() {
+        int i = 99;
+        int s = 0;
+        for (int i = 0; i < 5; i = i + 1) { s = s + i; }
+        println_int(s);
+        println_int(i);  // outer i untouched
+        return 0; }|}
+    "10\n99\n"
+
+let test_nested_loops () =
+  expect_output
+    {|int main() {
+        int s = 0;
+        for (int i = 0; i < 10; i = i + 1) {
+          for (int j = 0; j < 10; j = j + 1) {
+            if (j > i) { break; }
+            s = s + 1;
+          }
+        }
+        println_int(s);  // 1+2+...+10 = 55
+        return 0; }|}
+    "55\n"
+
+let test_recursion_ackermann () =
+  expect_output
+    {|int ack(int m, int n) {
+        if (m == 0) { return n + 1; }
+        if (n == 0) { return ack(m - 1, 1); }
+        return ack(m - 1, ack(m, n - 1));
+      }
+      int main() { println_int(ack(2, 3)); println_int(ack(3, 3)); return 0; }|}
+    "9\n61\n"
+
+(* Mutual recursion works without forward declarations because the
+   typechecker collects every signature before checking bodies. *)
+let test_mutual_recursion_two_pass () =
+  expect_output
+    {|int is_odd(int n) {
+        if (n == 0) { return 0; }
+        return is_even(n - 1);
+      }
+      int is_even(int n) {
+        if (n == 0) { return 1; }
+        return is_odd(n - 1);
+      }
+      int main() { println_int(is_even(10)); println_int(is_odd(7)); return 0; }|}
+    "1\n1\n"
+
+let test_global_arrays_and_strings () =
+  expect_output
+    {|int fib_cache[32] = {0, 1};
+      char label[8] = "fib:";
+      int fib(int n) {
+        if (n < 2) { return fib_cache[n]; }
+        if (fib_cache[n] != 0) { return fib_cache[n]; }
+        int v = fib(n - 1) + fib(n - 2);
+        fib_cache[n] = v;
+        return v;
+      }
+      int main() {
+        print_str(label);
+        print_char(' ');
+        println_int(fib(30));
+        return 0; }|}
+    "fib: 832040\n"
+
+let test_char_semantics () =
+  expect_output
+    {|int main() {
+        char c = 255;
+        c = c + 1;        // wraps to 0
+        println_int(c);
+        char d = 'A';
+        d = d + 32;
+        print_char(d);    // 'a'
+        print_char(10);
+        char s[4];
+        s[0] = 'o'; s[1] = 'k'; s[2] = 0;
+        println_str(s);
+        return 0; }|}
+    "0\na\nok\n"
+
+let test_pointers_and_args () =
+  expect_output
+    {|void fill(int *xs, int n, int base) {
+        for (int i = 0; i < n; i = i + 1) { xs[i] = base + i; }
+      }
+      int sum(int *xs, int n) {
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) { s = s + xs[i]; }
+        return s;
+      }
+      int main() {
+        int data[10];
+        fill(data, 10, 5);
+        println_int(sum(data, 10));  // 5+6+...+14 = 95
+        int *p = data;
+        println_int(p[3]);           // 8
+        println_int(sum(data + 2, 3)); // 7+8+9 = 24
+        return 0; }|}
+    "95\n8\n24\n"
+
+let test_pointer_difference () =
+  expect_output
+    {|int main() {
+        int xs[10];
+        int *a = xs;
+        int *b = xs + 7;
+        println_int(b - a);
+        char cs[10];
+        char *c = cs;
+        char *d = cs + 7;
+        println_int(d - c);
+        return 0; }|}
+    "7\n7\n"
+
+let test_eight_args () =
+  expect_output
+    {|int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+        return a + b + c + d + e + f + g + h;
+      }
+      int main() { println_int(sum8(1, 2, 3, 4, 5, 6, 7, 8)); return 0; }|}
+    "36\n"
+
+let test_big_frame () =
+  (* Local array larger than the 12-bit immediate range forces the
+     big-offset frame paths in codegen. *)
+  expect_output
+    {|int main() {
+        int big[1000];
+        for (int i = 0; i < 1000; i = i + 1) { big[i] = i; }
+        int s = 0;
+        for (int i = 0; i < 1000; i = i + 1) { s = s + big[i]; }
+        println_int(s);
+        return 0; }|}
+    "499500\n"
+
+let test_register_pressure () =
+  (* More simultaneously live values than the allocator has registers. *)
+  expect_output
+    {|int main() {
+        int a = 1; int b = 2; int c = 3; int d = 4; int e = 5; int f = 6;
+        int g = 7; int h = 8; int i = 9; int j = 10; int k = 11; int l = 12;
+        int m = 13; int n = 14; int o = 15; int p = 16; int q = 17; int r = 18;
+        int s = a + b * c + d * e + f * g + h * i + j * k + l * m + n * o + p * q + r;
+        println_int(s);
+        println_int(a + b + c + d + e + f + g + h + i + j + k + l + m + n + o + p + q + r);
+        return 0; }|}
+    (let s = 1 + (2 * 3) + (4 * 5) + (6 * 7) + (8 * 9) + (10 * 11) + (12 * 13) + (14 * 15)
+             + (16 * 17) + 18
+     in
+     Printf.sprintf "%d\n%d\n" s 171)
+
+let test_exit_code () = expect_exit "int main() { return 41; }" 41
+
+let test_exit_builtin () =
+  expect_output
+    {|int main() {
+        println_int(1);
+        exit(3);
+        println_int(2);  // unreachable
+        return 0; }|}
+    "1\n";
+  expect_exit {|int main() { exit(7); return 0; }|} 7
+
+let test_print_int_extremes () =
+  expect_output
+    {|int main() {
+        println_int(9223372036854775807);
+        println_int(-9223372036854775807 - 1);
+        println_int(0);
+        return 0; }|}
+    "9223372036854775807\n-9223372036854775808\n0\n"
+
+
+(* ------------------------------------------------------------------ *)
+(* Extended language features                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_compound_assignment () =
+  expect_output
+    {|int g = 10;
+      int main() {
+        int x = 5;
+        x += 3; println_int(x);
+        x <<= 2; println_int(x);
+        x -= 1; x *= 2; println_int(x);
+        x /= 4; println_int(x);
+        x %= 4; println_int(x);
+        x |= 8; x &= 12; x ^= 5; println_int(x);
+        g += 5; println_int(g);
+        return 0; }|}
+    "8\n32\n62\n15\n3\n13\n15\n"
+
+let test_incr_decr () =
+  expect_output
+    {|int main() {
+        int x = 13;
+        println_int(x++);
+        println_int(x);
+        println_int(++x);
+        println_int(--x);
+        println_int(x--);
+        println_int(x);
+        int arr[4];
+        for (int i = 0; i < 4; ++i) { arr[i] = i * i; }
+        arr[2]++;
+        println_int(arr[2]);
+        return 0; }|}
+    "13\n14\n15\n14\n14\n13\n5\n"
+
+let test_address_of_and_deref () =
+  expect_output
+    {|void bump(int *p, int by) { *p += by; }
+      int swap_min(int *a, int *b) {
+        if (*a > *b) { int t = *a; *a = *b; *b = t; }
+        return *a;
+      }
+      int main() {
+        int x = 5;
+        int *p = &x;
+        *p = 100;
+        println_int(x);
+        bump(&x, 23);
+        println_int(*p);
+        int lo = 9; int hi = 2;
+        println_int(swap_min(&lo, &hi));
+        println_int(lo); println_int(hi);
+        return 0; }|}
+    "100\n123\n2\n2\n9\n"
+
+let test_pointer_incr_scaling () =
+  expect_output
+    {|int main() {
+        int arr[5];
+        for (int i = 0; i < 5; i++) { arr[i] = 10 * i; }
+        int *q = arr;
+        q++;
+        println_int(*q);
+        q += 3;
+        println_int(*q);
+        q--;
+        println_int(*q);
+        println_int(q - arr);
+        char cs[4];
+        cs[0] = 'a'; cs[1] = 'b';
+        char *c = cs;
+        c++;
+        println_int(*c);
+        return 0; }|}
+    "10\n40\n30\n3\n98\n"
+
+let test_ternary () =
+  expect_output
+    {|int sign(int v) { return v > 0 ? 1 : (v < 0 ? 0 - 1 : 0); }
+      int main() {
+        println_int(sign(42)); println_int(sign(-3)); println_int(sign(0));
+        int a = 5;
+        int b = a > 3 ? a * 2 : a / 2;
+        println_int(b);
+        // ternary as a call argument and with side effects only in the
+        // taken branch
+        int hits = 0;
+        int r = 1 ? (hits = hits + 1) : (hits = hits + 100);
+        println_int(r); println_int(hits);
+        return 0; }|}
+    "1\n-1\n0\n10\n1\n1\n"
+
+let test_sizeof () =
+  expect_output
+    {|int main() {
+        println_int(sizeof(int));
+        println_int(sizeof(char));
+        println_int(sizeof(int*));
+        println_int(sizeof(char*));
+        int xs[8];
+        xs[sizeof(int) - 1] = 3;
+        println_int(xs[7]);
+        return 0; }|}
+    "8\n1\n8\n8\n3\n"
+
+let test_do_while () =
+  expect_output
+    {|int main() {
+        int n = 0;
+        do { n += 5; } while (n < 12);
+        println_int(n);        // body runs until 15
+        int m = 100;
+        do { m = m + 1; } while (0);
+        println_int(m);        // body runs exactly once
+        int k = 0;
+        int rounds = 0;
+        do {
+          rounds++;
+          if (rounds == 3) { break; }
+          k = k + 10;
+        } while (1);
+        println_int(k); println_int(rounds);
+        return 0; }|}
+    "15\n101\n20\n3\n"
+
+let test_char_compound_wraps () =
+  expect_output
+    {|int main() {
+        char c = 250;
+        c += 10;
+        println_int(c);   // 4
+        c++;
+        println_int(c);   // 5
+        c -= 10;
+        println_int(c);   // 251
+        return 0; }|}
+    "4\n5\n251\n"
+
+let test_addressed_param () =
+  (* Taking the address of a parameter forces it into the frame. *)
+  expect_output
+    {|int twice_via_self(int v) {
+        int *p = &v;
+        *p = *p * 2;
+        return v;
+      }
+      int main() { println_int(twice_via_self(21)); return 0; }|}
+    "42\n"
+
+let test_extended_type_errors () =
+  List.iter compile_fails
+    [ "int main() { int x; &x = 0; return 0; }" (* & is not an lvalue *);
+      "int main() { int x; *x = 1; return 0; }" (* deref of int *);
+      "int main() { 5++; return 0; }" (* ++ on rvalue *);
+      "int main() { int xs[3]; xs += 1; return 0; }" (* compound on array *);
+      "int main() { int *p; p *= 2; return 0; }" (* * on pointer *);
+      "int main() { int x = 1 ? 2 : (int*)0; return 0; }" (* parse error: cast *) ;
+      "int main() { return sizeof(void); }" (* sizeof void *) ]
+
+(* ------------------------------------------------------------------ *)
+(* Pass pipeline invariants                                            *)
+(* ------------------------------------------------------------------ *)
+
+let golden_sources =
+  [ "int main() { int s = 0; for (int i = 0; i < 50; i = i + 1) { s = s + i * i; } println_int(s); return s % 256; }";
+    "int f(int n) { if (n < 2) { return n; } return f(n - 1) + f(n - 2); } int main() { println_int(f(15)); return 0; }";
+    "char buf[64]; int main() { for (int i = 0; i < 26; i = i + 1) { buf[i] = 'a' + i; } buf[26] = 0; println_str(buf); return 0; }" ]
+
+let test_optimize_preserves_semantics () =
+  List.iter
+    (fun src ->
+      let opt = { Driver.default_options with Driver.optimize = true } in
+      let raw = { Driver.default_options with Driver.optimize = false } in
+      let c1, o1 = compile_run ~options:opt src in
+      let c2, o2 = compile_run ~options:raw src in
+      check Alcotest.int "exit codes agree" c1 c2;
+      check Alcotest.string "outputs agree" o1 o2)
+    golden_sources
+
+let test_compress_preserves_semantics () =
+  List.iter
+    (fun src ->
+      let on = { Driver.default_options with Driver.compress = true } in
+      let off = { Driver.default_options with Driver.compress = false } in
+      let c1, o1 = compile_run ~options:on src in
+      let c2, o2 = compile_run ~options:off src in
+      check Alcotest.int "exit codes agree" c1 c2;
+      check Alcotest.string "outputs agree" o1 o2)
+    golden_sources
+
+let test_optimizer_shrinks_ir () =
+  let src =
+    "int main() { int x = 2 + 3; int dead = 100 * 100; int y = x * 1 + 0; println_int(y); return 0; }"
+  in
+  let count options =
+    match Driver.compile_to_ir ~options src with
+    | Ok ir ->
+      List.fold_left (fun acc f -> acc + Ir.instruction_count f) 0 ir.Ir.p_funcs
+    | Error e -> Alcotest.fail e
+  in
+  let optimised = count { Driver.default_options with Driver.optimize = true } in
+  let plain = count { Driver.default_options with Driver.optimize = false } in
+  check Alcotest.bool "fewer instructions" true (optimised < plain)
+
+let test_const_fold_unit () =
+  (* div by zero must not fold (runtime semantics), algebra must. *)
+  let block = { Ir.b_label = 0; body = [ Ir.Bin (Ir.Div, 0, Ir.Imm 1L, Ir.Imm 0L);
+                                         Ir.Bin (Ir.Add, 1, Ir.Temp 0, Ir.Imm 0L) ];
+                term = Ir.Ret (Some (Ir.Temp 1)) }
+  in
+  let f = { Ir.f_name = "t"; f_params = []; f_blocks = [ block ]; f_slots = []; f_temp_count = 2 } in
+  ignore (Opt.const_fold f);
+  (match (List.hd f.Ir.f_blocks).Ir.body with
+  | [ Ir.Bin (Ir.Div, _, _, _); Ir.Move (1, Ir.Temp 0) ] -> ()
+  | _ -> Alcotest.fail "unexpected fold result")
+
+
+let simple_func blocks temp_count =
+  { Ir.f_name = "t"; f_params = []; f_blocks = blocks; f_slots = []; f_temp_count = temp_count }
+
+let test_copy_prop_unit () =
+  (* t1 = t0; t2 = t1 + 1  ==>  t2 = t0 + 1 *)
+  let b =
+    { Ir.b_label = 0;
+      body = [ Ir.Move (1, Ir.Temp 0); Ir.Bin (Ir.Add, 2, Ir.Temp 1, Ir.Imm 1L) ];
+      term = Ir.Ret (Some (Ir.Temp 2)) }
+  in
+  let f = simple_func [ b ] 3 in
+  check Alcotest.bool "changed" true (Opt.copy_prop f);
+  (match (List.hd f.Ir.f_blocks).Ir.body with
+  | [ Ir.Move _; Ir.Bin (Ir.Add, 2, Ir.Temp 0, Ir.Imm 1L) ] -> ()
+  | _ -> Alcotest.fail "copy not propagated");
+  (* redefinition kills the mapping: t1 = t0; t0 = 5; t2 = t1 must still
+     read the OLD t0 - so t1 must NOT be replaced by t0 after the kill *)
+  let b2 =
+    { Ir.b_label = 0;
+      body = [ Ir.Move (1, Ir.Temp 0); Ir.Move (0, Ir.Imm 5L); Ir.Move (2, Ir.Temp 1) ];
+      term = Ir.Ret (Some (Ir.Temp 2)) }
+  in
+  let f2 = simple_func [ b2 ] 3 in
+  ignore (Opt.copy_prop f2);
+  (match (List.hd f2.Ir.f_blocks).Ir.body with
+  | [ _; _; Ir.Move (2, Ir.Temp 1) ] -> ()
+  | [ _; _; Ir.Move (2, v) ] ->
+    Alcotest.failf "stale propagation to %s" (Format.asprintf "%a" Ir.pp_value v)
+  | _ -> Alcotest.fail "unexpected shape")
+
+let test_dce_unit () =
+  (* dead pure instruction removed; side-effecting kept *)
+  let b =
+    { Ir.b_label = 0;
+      body =
+        [ Ir.Bin (Ir.Mul, 0, Ir.Imm 100L, Ir.Imm 100L) (* dead *);
+          Ir.Store (Ir.W64, Ir.Imm 0x11000L, Ir.Imm 1L) (* kept: side effect *);
+          Ir.Bin (Ir.Add, 1, Ir.Imm 1L, Ir.Imm 2L) (* live via ret *) ];
+      term = Ir.Ret (Some (Ir.Temp 1)) }
+  in
+  let f = simple_func [ b ] 2 in
+  check Alcotest.bool "changed" true (Opt.dce f);
+  (match (List.hd f.Ir.f_blocks).Ir.body with
+  | [ Ir.Store _; Ir.Bin (Ir.Add, 1, _, _) ] -> ()
+  | body -> Alcotest.failf "unexpected %d instrs" (List.length body))
+
+let test_dce_transitive () =
+  (* chain of dead temps collapses entirely *)
+  let b =
+    { Ir.b_label = 0;
+      body =
+        [ Ir.Bin (Ir.Add, 0, Ir.Imm 1L, Ir.Imm 2L); Ir.Bin (Ir.Add, 1, Ir.Temp 0, Ir.Imm 3L);
+          Ir.Bin (Ir.Add, 2, Ir.Temp 1, Ir.Imm 4L) ];
+      term = Ir.Ret None }
+  in
+  let f = simple_func [ b ] 3 in
+  ignore (Opt.dce f);
+  check Alcotest.int "all dead removed" 0 (List.length (List.hd f.Ir.f_blocks).Ir.body)
+
+let test_simplify_cfg_unit () =
+  (* constant branch folds, unreachable block drops, empty block threads *)
+  let entry = { Ir.b_label = 0; body = []; term = Ir.Br (Ir.Imm 1L, 1, 2) } in
+  let fwd = { Ir.b_label = 1; body = []; term = Ir.Jmp 3 } in
+  let dead = { Ir.b_label = 2; body = []; term = Ir.Ret None } in
+  let final = { Ir.b_label = 3; body = []; term = Ir.Ret (Some (Ir.Imm 7L)) } in
+  let f = simple_func [ entry; fwd; dead; final ] 0 in
+  check Alcotest.bool "changed" true (Opt.simplify_cfg f);
+  let labels = List.map (fun b -> b.Ir.b_label) f.Ir.f_blocks in
+  check Alcotest.bool "dead block gone" false (List.mem 2 labels);
+  (match (List.hd f.Ir.f_blocks).Ir.term with
+  | Ir.Jmp target -> check Alcotest.bool "threads through the empty block" true (target = 3 || target = 1)
+  | _ -> Alcotest.fail "branch did not fold")
+
+let test_regalloc_assigns_everything () =
+  (* every temp referenced by the IR ends up with a register or a slot *)
+  let src =
+    "int f(int a, int b) { int c = a * b; int d = c + a; return d - b; }\n\
+     int main() { println_int(f(6, 7)); return 0; }"
+  in
+  match Driver.compile_to_ir src with
+  | Error e -> Alcotest.fail e
+  | Ok ir ->
+    List.iter
+      (fun f ->
+        let alloc = Regalloc.allocate f in
+        List.iter
+          (fun b ->
+            List.iter
+              (fun i ->
+                List.iter
+                  (fun t ->
+                    match Hashtbl.find_opt alloc.Regalloc.assign t with
+                    | Some _ -> ()
+                    | None -> Alcotest.failf "%s: t%d unassigned" f.Ir.f_name t)
+                  (Ir.uses_of i @ Option.to_list (Ir.def_of i)))
+              b.Ir.body)
+          f.Ir.f_blocks)
+      ir.Ir.p_funcs
+
+let test_regalloc_call_crossing_callee_saved () =
+  (* temps live across a call must not sit in caller-saved registers *)
+  let src =
+    "int g(int x) { return x + 1; }\n\
+     int main() { int keep = 41; int r = g(1); println_int(keep + r); return 0; }"
+  in
+  (* without optimisation so the constant is not propagated past the call *)
+  match Driver.compile_to_ir ~options:{ Driver.default_options with Driver.optimize = false } src with
+  | Error e -> Alcotest.fail e
+  | Ok ir ->
+    let f = List.find (fun f -> f.Ir.f_name = "main") ir.Ir.p_funcs in
+    let alloc = Regalloc.allocate f in
+    (* just assert the compiled program is right - the golden check - and
+       that at least one callee-saved register or spill was used *)
+    check Alcotest.bool "uses callee-saved or spill" true
+      (alloc.Regalloc.used_callee_saved <> [] || alloc.Regalloc.spill_slots > 0);
+    expect_output src "43\n"
+
+
+let test_runtime_string_helpers () =
+  expect_output
+    {|char buf[32];
+      char other[32];
+      int main() {
+        strcpy(buf, "hello");
+        println_int(strlen(buf));                 // 5
+        println_int(strcmp(buf, "hello"));        // 0
+        println_int(strcmp(buf, "help") < 0);     // 'l' < 'p' -> 1
+        println_int(strcmp("b", "a"));            // 1
+        strcpy(other, buf);
+        memset(other, 'x', 2);
+        println_str(other);                       // xxllo
+        memcpy(buf + 1, other, 3);
+        println_str(buf);                         // hxxlo
+        println_int(memcmp(buf, buf, 5));         // 0
+        println_int(memcmp("abc", "abd", 3) != 0);// 1
+        return 0; }|}
+    "5\n0\n1\n1\nxxllo\nhxxlo\n0\n1\n"
+
+let test_linker_gc_drops_unused_prelude () =
+  (* A program that calls nothing from the runtime must be much smaller
+     than one that uses print_int (which drags in the decimal printer). *)
+  let bare = "int main() { __exit(7); return 0; }" in
+  let printing = "int main() { println_int(7); return 0; }" in
+  let size src =
+    match Driver.compile src with
+    | Ok img -> Eric_rv.Program.text_size img
+    | Error e -> Alcotest.fail e
+  in
+  check Alcotest.bool "unused runtime dropped" true (size bare * 2 < size printing);
+  expect_exit bare 7
+
+let test_linker_gc_keeps_recursion () =
+  (* mutual recursion must survive the reachability walk *)
+  expect_output
+    {|int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+      int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+      int main() { println_int(even(8)); return 0; }|}
+    "1\n"
+
+
+let test_strength_reduction () =
+  let b =
+    { Ir.b_label = 0;
+      body = [ Ir.Bin (Ir.Mul, 1, Ir.Temp 0, Ir.Imm 8L); Ir.Bin (Ir.Mul, 2, Ir.Imm 16L, Ir.Temp 1);
+               Ir.Bin (Ir.Mul, 3, Ir.Temp 2, Ir.Imm 6L) (* not a power of two *) ];
+      term = Ir.Ret (Some (Ir.Temp 3)) }
+  in
+  let f = simple_func [ b ] 4 in
+  ignore (Opt.const_fold f);
+  (match (List.hd f.Ir.f_blocks).Ir.body with
+  | [ Ir.Bin (Ir.Shl, 1, Ir.Temp 0, Ir.Imm 3L); Ir.Bin (Ir.Shl, 2, Ir.Temp 1, Ir.Imm 4L);
+      Ir.Bin (Ir.Mul, 3, _, _) ] -> ()
+  | _ -> Alcotest.fail "strength reduction mismatch");
+  (* semantics preserved end to end, including negatives and wraparound *)
+  expect_output
+    "int main() { int x = -7; println_int(x * 8); println_int(x * 1024); int y = 3; println_int(y * 4 * 4); return 0; }"
+    "-56\n-7168\n48\n"
+
+
+let test_emit_assembly_roundtrip () =
+  (* -S output re-assembled must behave identically to direct compilation,
+     for a program covering data, bss, strings, calls and loops. *)
+  let src =
+    {|int table[6] = {5, 4, 3, 2, 1, 0};
+      int counters[4];
+      char tag[8] = "sum";
+      int main() {
+        int s = 0;
+        for (int i = 0; i < 6; i++) { s += table[i] * i; counters[i % 4]++; }
+        print_str(tag); print_char(61); println_int(s);
+        println_int(counters[0] + 10 * counters[1]);
+        return s % 7;
+      }|}
+  in
+  let asm_text =
+    match Driver.compile_to_assembly src with Ok t -> t | Error e -> Alcotest.fail e
+  in
+  check Alcotest.bool "mentions main" true
+    (let contains hay needle =
+       let n = String.length needle in
+       let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+       go 0
+     in
+     contains asm_text "main:" && contains asm_text ".data" && contains asm_text ".bss");
+  let direct = compile_run src in
+  let via_asm =
+    match Eric_rv.Asm.assemble asm_text with
+    | Error e -> Alcotest.failf "reassembly failed: %s" e
+    | Ok image -> (
+      let r = Eric_sim.Soc.run_program image in
+      match r.Eric_sim.Soc.status with
+      | Eric_sim.Cpu.Exited code -> (code, r.Eric_sim.Soc.output)
+      | _ -> Alcotest.fail "asm build did not exit")
+  in
+  check Alcotest.int "same exit" (fst direct) (fst via_asm);
+  check Alcotest.string "same output" (snd direct) (snd via_asm)
+
+let test_emit_assembly_workloads () =
+  (* the -S roundtrip holds for real workloads too *)
+  List.iter
+    (fun name ->
+      let w = Option.get (Eric_workloads.Workloads.by_name name) in
+      let src = w.Eric_workloads.Workloads.source_small in
+      let asm_text =
+        match Driver.compile_to_assembly src with Ok t -> t | Error e -> Alcotest.fail e
+      in
+      let direct = compile_run src in
+      match Eric_rv.Asm.assemble asm_text with
+      | Error e -> Alcotest.failf "%s: reassembly failed: %s" name e
+      | Ok image ->
+        let r = Eric_sim.Soc.run_program image in
+        check Alcotest.string (name ^ " output") (snd direct) r.Eric_sim.Soc.output)
+    [ "crc32"; "adpcm" ]
+
+
+let test_cse_unit () =
+  (* identical pure computations collapse; commutativity is normalised *)
+  let b =
+    { Ir.b_label = 0;
+      body =
+        [ Ir.Bin (Ir.Add, 1, Ir.Temp 0, Ir.Imm 8L); Ir.Bin (Ir.Add, 2, Ir.Imm 8L, Ir.Temp 0);
+          Ir.Bin (Ir.Add, 3, Ir.Temp 1, Ir.Temp 2) ];
+      term = Ir.Ret (Some (Ir.Temp 3)) }
+  in
+  let f = simple_func [ b ] 4 in
+  check Alcotest.bool "changed" true (Opt.cse f);
+  (match (List.hd f.Ir.f_blocks).Ir.body with
+  | [ Ir.Bin _; Ir.Move (2, Ir.Temp 1); Ir.Bin _ ] -> ()
+  | _ -> Alcotest.fail "commuted duplicate not eliminated")
+
+let test_cse_redefinition_safe () =
+  (* d = d + 1 twice must NOT collapse: the second reads the new d *)
+  let b =
+    { Ir.b_label = 0;
+      body = [ Ir.Bin (Ir.Add, 0, Ir.Temp 0, Ir.Imm 1L); Ir.Bin (Ir.Add, 0, Ir.Temp 0, Ir.Imm 1L) ];
+      term = Ir.Ret (Some (Ir.Temp 0)) }
+  in
+  let f = simple_func [ b ] 1 in
+  ignore (Opt.cse f);
+  (match (List.hd f.Ir.f_blocks).Ir.body with
+  | [ Ir.Bin _; Ir.Bin _ ] -> ()
+  | _ -> Alcotest.fail "self-referential increment was wrongly eliminated");
+  (* and operand redefinition invalidates the cached expression *)
+  let b2 =
+    { Ir.b_label = 0;
+      body =
+        [ Ir.Bin (Ir.Add, 1, Ir.Temp 0, Ir.Imm 8L); Ir.Move (0, Ir.Imm 5L);
+          Ir.Bin (Ir.Add, 2, Ir.Temp 0, Ir.Imm 8L) ];
+      term = Ir.Ret (Some (Ir.Temp 2)) }
+  in
+  let f2 = simple_func [ b2 ] 3 in
+  ignore (Opt.cse f2);
+  (match (List.hd f2.Ir.f_blocks).Ir.body with
+  | [ Ir.Bin _; Ir.Move _; Ir.Bin _ ] -> ()
+  | _ -> Alcotest.fail "stale expression survived an operand redefinition")
+
+let test_cse_shrinks_array_loops () =
+  (* array writes + reads at the same index share address computations *)
+  let src =
+    "int xs[8];\n\
+     int main() { int s = 0; for (int i = 0; i < 8; i++) { xs[i] = i; s += xs[i]; } println_int(s); return 0; }"
+  in
+  let count options =
+    match Driver.compile_to_ir ~options src with
+    | Ok ir -> List.fold_left (fun acc f -> acc + Ir.instruction_count f) 0 ir.Ir.p_funcs
+    | Error e -> Alcotest.fail e
+  in
+  check Alcotest.bool "optimised smaller" true
+    (count Driver.default_options
+    < count { Driver.default_options with Driver.optimize = false });
+  expect_output src "28\n"
+
+
+let test_counter_intrinsics () =
+  expect_output
+    {|int main() {
+        int c0 = __cycles();
+        int i0 = __instret();
+        int s = 0;
+        for (int i = 0; i < 100; i++) { s += i; }
+        int c1 = __cycles();
+        int i1 = __instret();
+        println_int(s);
+        println_int(c1 > c0);        // time moved forward
+        println_int(i1 - i0 > 300);  // the loop retired > 300 instructions
+        println_int(i1 - i0 < 2000); // ... but not thousands
+        return 0; }|}
+    "4950\n1\n1\n1\n"
+
+(* ------------------------------------------------------------------ *)
+(* Differential testing: random expressions                            *)
+(* ------------------------------------------------------------------ *)
+
+type expr =
+  | Lit of int64
+  | Var of int (* index into the fixed variable set *)
+  | Un of string * expr
+  | Bin of string * expr * expr
+
+let var_values = [| 7L; -3L; 1000L; -123456789L; 0x0F0F0F0FL |]
+
+let rec gen_expr depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof [ map (fun v -> Lit (Int64.of_int v)) (int_range (-1000) 1000);
+            map (fun i -> Var i) (int_bound (Array.length var_values - 1)) ]
+  else
+    let sub = gen_expr (depth - 1) in
+    frequency
+      [ (1, map (fun v -> Lit (Int64.of_int v)) (int_range (-1000) 1000));
+        (1, map (fun i -> Var i) (int_bound (Array.length var_values - 1)));
+        (2, map2 (fun op e -> Un (op, e)) (oneofl [ "-"; "~"; "!" ]) sub);
+        (6, map3 (fun op a b -> Bin (op, a, b))
+             (oneofl [ "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "<"; "<="; ">"; ">="; "=="; "!=" ])
+             sub sub);
+        (1, map2 (fun a sh -> Bin ("<<", a, Lit (Int64.of_int sh))) sub (int_bound 20));
+        (1, map2 (fun a sh -> Bin (">>", a, Lit (Int64.of_int sh))) sub (int_bound 20)) ]
+
+let rec print_expr = function
+  | Lit v -> if Int64.compare v 0L < 0 then Printf.sprintf "(0 - %Ld)" (Int64.neg v) else Int64.to_string v
+  | Var i -> Printf.sprintf "v%d" i
+  | Un (op, e) -> Printf.sprintf "(%s%s)" op (print_expr e)
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (print_expr a) op (print_expr b)
+
+(* RV64 semantics reference evaluator. *)
+let rec eval = function
+  | Lit v -> v
+  | Var i -> var_values.(i)
+  | Un ("-", e) -> Int64.neg (eval e)
+  | Un ("~", e) -> Int64.lognot (eval e)
+  | Un ("!", e) -> if eval e = 0L then 1L else 0L
+  | Un (op, _) -> failwith ("bad unop " ^ op)
+  | Bin (op, a, b) -> (
+    let x = eval a and y = eval b in
+    let bool_ c = if c then 1L else 0L in
+    match op with
+    | "+" -> Int64.add x y
+    | "-" -> Int64.sub x y
+    | "*" -> Int64.mul x y
+    | "/" -> if y = 0L then -1L else if x = Int64.min_int && y = -1L then Int64.min_int else Int64.div x y
+    | "%" -> if y = 0L then x else if x = Int64.min_int && y = -1L then 0L else Int64.rem x y
+    | "&" -> Int64.logand x y
+    | "|" -> Int64.logor x y
+    | "^" -> Int64.logxor x y
+    | "<<" -> Int64.shift_left x (Int64.to_int (Int64.logand y 63L))
+    | ">>" -> Int64.shift_right x (Int64.to_int (Int64.logand y 63L))
+    | "<" -> bool_ (Int64.compare x y < 0)
+    | "<=" -> bool_ (Int64.compare x y <= 0)
+    | ">" -> bool_ (Int64.compare x y > 0)
+    | ">=" -> bool_ (Int64.compare x y >= 0)
+    | "==" -> bool_ (Int64.equal x y)
+    | "!=" -> bool_ (not (Int64.equal x y))
+    | _ -> failwith ("bad binop " ^ op))
+
+let arb_expr = QCheck.make ~print:print_expr (gen_expr 4)
+
+let differential_expressions =
+  qtest ~count:150 "compiled expression = reference evaluation" arb_expr (fun e ->
+      let expected = eval e in
+      let decls =
+        String.concat "\n"
+          (List.mapi (fun i v -> Printf.sprintf "int v%d = %Ld;" i v)
+             (Array.to_list var_values))
+      in
+      (* variables as globals so the compiler cannot constant-fold them
+         away (their initialisers are runtime data in .data) *)
+      let src =
+        Printf.sprintf "%s\nint main() { println_int(%s); return 0; }" decls (print_expr e)
+      in
+      let _, out = compile_run src in
+      out = Printf.sprintf "%Ld\n" expected)
+
+let differential_unoptimised =
+  qtest ~count:60 "unoptimised compiled expression = reference" arb_expr (fun e ->
+      let expected = eval e in
+      let decls =
+        String.concat "\n"
+          (List.mapi (fun i v -> Printf.sprintf "int v%d = %Ld;" i v)
+             (Array.to_list var_values))
+      in
+      let src =
+        Printf.sprintf "%s\nint main() { println_int(%s); return 0; }" decls (print_expr e)
+      in
+      let _, out =
+        compile_run ~options:{ Driver.default_options with Driver.optimize = false } src
+      in
+      out = Printf.sprintf "%Ld\n" expected)
+
+
+(* ------------------------------------------------------------------ *)
+(* Differential testing: random statement-level programs               *)
+(* ------------------------------------------------------------------ *)
+
+type rstmt =
+  | R_assign of int * expr
+  | R_compound of string * int * expr
+  | R_incr of int * bool
+  | R_if of expr * rstmt list * rstmt list
+  | R_for of int * rstmt list  (** literal iteration count; fresh counter *)
+
+let num_vars = Array.length var_values
+
+let rec gen_rstmt depth =
+  let open QCheck.Gen in
+  let var = int_bound (num_vars - 1) in
+  let expr = gen_expr 2 in
+  if depth = 0 then
+    frequency
+      [ (4, map2 (fun v e -> R_assign (v, e)) var expr);
+        (3, map3 (fun op v e -> R_compound (op, v, e))
+             (oneofl [ "+="; "-="; "*="; "&="; "|="; "^=" ]) var expr);
+        (2, map2 (fun v up -> R_incr (v, up)) var bool) ]
+  else
+    frequency
+      [ (4, map2 (fun v e -> R_assign (v, e)) var expr);
+        (3, map3 (fun op v e -> R_compound (op, v, e))
+             (oneofl [ "+="; "-="; "*="; "&="; "|="; "^=" ]) var expr);
+        (2, map2 (fun v up -> R_incr (v, up)) var bool);
+        (2, map3 (fun c t e -> R_if (c, t, e)) expr
+             (list_size (int_bound 3) (gen_rstmt (depth - 1)))
+             (list_size (int_bound 2) (gen_rstmt (depth - 1))));
+        (2, map2 (fun n body -> R_for (1 + n, body)) (int_bound 5)
+             (list_size (int_bound 3) (gen_rstmt (depth - 1)))) ]
+
+let rec print_rstmt ~indent counter stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | R_assign (v, e) -> Printf.sprintf "%sv%d = %s;" pad v (print_expr e)
+  | R_compound (op, v, e) -> Printf.sprintf "%sv%d %s %s;" pad v op (print_expr e)
+  | R_incr (v, true) -> Printf.sprintf "%sv%d++;" pad v
+  | R_incr (v, false) -> Printf.sprintf "%sv%d--;" pad v
+  | R_if (c, t, e) ->
+    Printf.sprintf "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" pad (print_expr c)
+      (print_rstmts ~indent:(indent + 2) counter t)
+      pad
+      (print_rstmts ~indent:(indent + 2) counter e)
+      pad
+  | R_for (n, body) ->
+    let c = !counter in
+    incr counter;
+    Printf.sprintf "%sfor (int it%d = 0; it%d < %d; it%d++) {\n%s\n%s}" pad c c n c
+      (print_rstmts ~indent:(indent + 2) counter body)
+      pad
+
+and print_rstmts ~indent counter stmts =
+  String.concat "\n" (List.map (print_rstmt ~indent counter) stmts)
+
+(* Reference interpreter with RV64 semantics over a mutable environment. *)
+let rec exec_rstmt env stmt =
+  let eval_with e =
+    (* reuse the expression evaluator, reading vars from env *)
+    let rec ev = function
+      | Lit v -> v
+      | Var i -> env.(i)
+      | Un (op, e) -> eval (Un (op, Lit (ev e)))
+      | Bin (op, a, b) -> eval (Bin (op, Lit (ev a), Lit (ev b)))
+    in
+    ev e
+  in
+  match stmt with
+  | R_assign (v, e) -> env.(v) <- eval_with e
+  | R_compound (op, v, e) ->
+    let rhs = eval_with e in
+    let binop = String.sub op 0 (String.length op - 1) in
+    env.(v) <- eval (Bin (binop, Lit env.(v), Lit rhs))
+  | R_incr (v, up) -> env.(v) <- Int64.add env.(v) (if up then 1L else -1L)
+  | R_if (c, t, e) -> if eval_with c <> 0L then List.iter (exec_rstmt env) t else List.iter (exec_rstmt env) e
+  | R_for (n, body) ->
+    for _ = 1 to n do
+      List.iter (exec_rstmt env) body
+    done
+
+let rec rstmt_print_ast stmt =
+  match stmt with
+  | R_assign (v, e) -> Printf.sprintf "v%d = %s" v (print_expr e)
+  | R_compound (op, v, e) -> Printf.sprintf "v%d %s %s" v op (print_expr e)
+  | R_incr (v, up) -> Printf.sprintf "v%d%s" v (if up then "++" else "--")
+  | R_if (c, t, e) ->
+    Printf.sprintf "if(%s){%s}else{%s}" (print_expr c)
+      (String.concat "; " (List.map rstmt_print_ast t))
+      (String.concat "; " (List.map rstmt_print_ast e))
+  | R_for (n, body) ->
+    Printf.sprintf "for(%d){%s}" n (String.concat "; " (List.map rstmt_print_ast body))
+
+let arb_program =
+  QCheck.make
+    ~print:(fun stmts -> String.concat "\n" (List.map rstmt_print_ast stmts))
+    QCheck.Gen.(list_size (int_bound 6) (gen_rstmt 2))
+
+let differential_programs =
+  qtest ~count:60 "compiled random program = reference interpreter" arb_program (fun stmts ->
+      (* initial values exercise negatives and large magnitudes *)
+      let init = [| 3L; -17L; 123456789L; -2L; 0x0F0F0F0FL |] in
+      let env = Array.copy init in
+      List.iter (exec_rstmt env) stmts;
+      let counter = ref 0 in
+      let body = print_rstmts ~indent:2 counter stmts in
+      let decls =
+        String.concat "\n"
+          (List.mapi (fun i v -> Printf.sprintf "  int v%d = %Ld;" i v) (Array.to_list init))
+      in
+      let prints =
+        String.concat "\n"
+          (List.init num_vars (fun i -> Printf.sprintf "  println_int(v%d);" i))
+      in
+      let src = Printf.sprintf "int main() {\n%s\n%s\n%s\n  return 0;\n}" decls body prints in
+      let _, out = compile_run src in
+      let expected =
+        String.concat "" (List.map (Printf.sprintf "%Ld\n") (Array.to_list env))
+      in
+      (* three-way: the IR interpreter must agree with both the reference
+         evaluator and the compiled program on the SoC *)
+      let interp_out =
+        match Driver.compile_to_ir src with
+        | Ok ir -> (Ir_interp.run ir).Ir_interp.output
+        | Error e -> Alcotest.fail e
+      in
+      out = expected && interp_out = expected)
+
+let () =
+  Alcotest.run "eric_cc"
+    [ ( "lexer",
+        [ Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "string escapes" `Quick test_lexer_string_escapes;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+          Alcotest.test_case "comments and positions" `Quick test_lexer_comments_positions ] );
+      ( "diagnostics",
+        [ Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "type errors" `Quick test_type_errors;
+          Alcotest.test_case "no main" `Quick test_no_main ] );
+      ( "golden",
+        [ Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "bitwise" `Quick test_bitwise;
+          Alcotest.test_case "short circuit" `Quick test_short_circuit_effects;
+          Alcotest.test_case "while/break/continue" `Quick test_while_break_continue;
+          Alcotest.test_case "for scoping" `Quick test_for_scoping;
+          Alcotest.test_case "nested loops" `Quick test_nested_loops;
+          Alcotest.test_case "ackermann" `Quick test_recursion_ackermann;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion_two_pass;
+          Alcotest.test_case "global arrays and strings" `Quick test_global_arrays_and_strings;
+          Alcotest.test_case "char semantics" `Quick test_char_semantics;
+          Alcotest.test_case "pointers and args" `Quick test_pointers_and_args;
+          Alcotest.test_case "pointer difference" `Quick test_pointer_difference;
+          Alcotest.test_case "eight args" `Quick test_eight_args;
+          Alcotest.test_case "big frame" `Quick test_big_frame;
+          Alcotest.test_case "register pressure" `Quick test_register_pressure;
+          Alcotest.test_case "exit code" `Quick test_exit_code;
+          Alcotest.test_case "exit builtin" `Quick test_exit_builtin;
+          Alcotest.test_case "print_int extremes" `Quick test_print_int_extremes ] );
+      ( "extended-language",
+        [ Alcotest.test_case "compound assignment" `Quick test_compound_assignment;
+          Alcotest.test_case "incr/decr" `Quick test_incr_decr;
+          Alcotest.test_case "address-of and deref" `Quick test_address_of_and_deref;
+          Alcotest.test_case "pointer incr scaling" `Quick test_pointer_incr_scaling;
+          Alcotest.test_case "ternary" `Quick test_ternary;
+          Alcotest.test_case "sizeof" `Quick test_sizeof;
+          Alcotest.test_case "do-while" `Quick test_do_while;
+          Alcotest.test_case "char compound wraps" `Quick test_char_compound_wraps;
+          Alcotest.test_case "addressed parameter" `Quick test_addressed_param;
+          Alcotest.test_case "type errors" `Quick test_extended_type_errors;
+          Alcotest.test_case "runtime string helpers" `Quick test_runtime_string_helpers;
+          Alcotest.test_case "linker GC drops unused" `Quick test_linker_gc_drops_unused_prelude;
+          Alcotest.test_case "linker GC keeps recursion" `Quick test_linker_gc_keeps_recursion;
+          Alcotest.test_case "counter intrinsics" `Quick test_counter_intrinsics ] );
+      ( "passes",
+        [ Alcotest.test_case "optimize preserves semantics" `Quick test_optimize_preserves_semantics;
+          Alcotest.test_case "compress preserves semantics" `Quick test_compress_preserves_semantics;
+          Alcotest.test_case "optimizer shrinks IR" `Quick test_optimizer_shrinks_ir;
+          Alcotest.test_case "const fold unit" `Quick test_const_fold_unit;
+          Alcotest.test_case "copy prop unit" `Quick test_copy_prop_unit;
+          Alcotest.test_case "dce unit" `Quick test_dce_unit;
+          Alcotest.test_case "dce transitive" `Quick test_dce_transitive;
+          Alcotest.test_case "simplify cfg unit" `Quick test_simplify_cfg_unit;
+          Alcotest.test_case "regalloc coverage" `Quick test_regalloc_assigns_everything;
+          Alcotest.test_case "regalloc call crossing" `Quick test_regalloc_call_crossing_callee_saved;
+          Alcotest.test_case "strength reduction" `Quick test_strength_reduction;
+          Alcotest.test_case "emit-asm roundtrip" `Quick test_emit_assembly_roundtrip;
+          Alcotest.test_case "emit-asm workloads" `Slow test_emit_assembly_workloads;
+          Alcotest.test_case "cse unit" `Quick test_cse_unit;
+          Alcotest.test_case "cse redefinition safety" `Quick test_cse_redefinition_safe;
+          Alcotest.test_case "cse shrinks loops" `Quick test_cse_shrinks_array_loops ] );
+      ( "differential",
+        [ differential_expressions; differential_unoptimised; differential_programs ] ) ]

@@ -1,0 +1,604 @@
+(* Tests for the eric core library: key management, package wire format,
+   encryption/decryption in every mode, the Validation Unit's rejection of
+   every tampering scenario from the threat model, the two-way
+   authentication protocol, and the attack-analysis metrics. *)
+
+let check = Alcotest.check
+let qtest ?(count = 100) name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let test_source =
+  {|
+int main() {
+  int s = 0;
+  for (int i = 1; i <= 64; i = i + 1) { s = s + i * i; }
+  println_int(s);
+  return 0;
+}
+|}
+
+let expected_output = "89440\n" (* sum of squares 1..64 *)
+
+let image = lazy (Eric_cc.Driver.compile_exn test_source)
+
+let device_key = Bytes.of_string "0123456789abcdef0123456789abcdef"
+let other_key = Bytes.of_string "0123456789abcdef0123456789abcdeg"
+
+let modes =
+  [ ("full", Eric.Config.Full);
+    ("partial-half", Eric.Config.Partial (Eric.Config.Select_fraction { fraction = 0.5; seed = 11L }));
+    ("partial-all", Eric.Config.Partial Eric.Config.Select_all);
+    ("field-imm", Eric.Config.Field (Eric.Config.Imm_fields, Eric.Config.Select_all));
+    ("field-abo", Eric.Config.Field (Eric.Config.All_but_opcode, Eric.Config.Select_all)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Kmu                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_kmu_deterministic () =
+  let k1 = Eric.Kmu.derive ~puf_key:(Bytes.of_string "puf!") Eric.Kmu.default_context in
+  let k2 = Eric.Kmu.derive ~puf_key:(Bytes.of_string "puf!") Eric.Kmu.default_context in
+  check Alcotest.string "same" (Eric_util.Bytesx.to_hex k1) (Eric_util.Bytesx.to_hex k2);
+  check Alcotest.int "32 bytes" 32 (Bytes.length k1)
+
+let test_kmu_context_separation () =
+  let puf_key = Bytes.of_string "puf!" in
+  let base = Eric.Kmu.derive ~puf_key Eric.Kmu.default_context in
+  let epoch2 = Eric.Kmu.derive ~puf_key { Eric.Kmu.epoch = 2; label = "eric" } in
+  let label2 = Eric.Kmu.derive ~puf_key { Eric.Kmu.epoch = 1; label = "other" } in
+  check Alcotest.bool "epoch rotates key" false (Bytes.equal base epoch2);
+  check Alcotest.bool "label scopes key" false (Bytes.equal base label2)
+
+let test_kmu_device_key_matches_target () =
+  let device = Eric_puf.Device.manufacture 5L in
+  let target = Eric.Target.create device in
+  check Alcotest.string "target caches the derived key"
+    (Eric_util.Bytesx.to_hex (Eric.Kmu.device_key device))
+    (Eric_util.Bytesx.to_hex (Eric.Target.derived_key target))
+
+(* ------------------------------------------------------------------ *)
+(* Package wire format                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let build mode = fst (Eric.Encrypt.encrypt ~key:device_key ~mode (Lazy.force image))
+
+let test_package_roundtrip_all_modes () =
+  List.iter
+    (fun (name, mode) ->
+      let pkg = build mode in
+      match Eric.Package.parse (Eric.Package.serialize pkg) with
+      | Error e -> Alcotest.failf "%s: parse failed: %s" name e
+      | Ok pkg' ->
+        check Alcotest.bool (name ^ " kind") true (pkg'.Eric.Package.kind = pkg.Eric.Package.kind);
+        check Alcotest.int (name ^ " entry") pkg.Eric.Package.entry_offset pkg'.Eric.Package.entry_offset;
+        check Alcotest.int (name ^ " parcels") pkg.Eric.Package.parcel_count pkg'.Eric.Package.parcel_count;
+        check Alcotest.bool (name ^ " map") true
+          (match (pkg.Eric.Package.map, pkg'.Eric.Package.map) with
+          | None, None -> true
+          | Some a, Some b -> Eric_util.Bitvec.equal a b
+          | _ -> false);
+        check Alcotest.string (name ^ " text")
+          (Eric_util.Bytesx.to_hex pkg.Eric.Package.enc_text)
+          (Eric_util.Bytesx.to_hex pkg'.Eric.Package.enc_text);
+        check Alcotest.int (name ^ " size") (Eric.Package.size pkg)
+          (Bytes.length (Eric.Package.serialize pkg)))
+    modes
+
+let test_package_parse_rejects () =
+  let pkg = build Eric.Config.Full in
+  let wire = Eric.Package.serialize pkg in
+  let is_err b = Result.is_error (Eric.Package.parse b) in
+  check Alcotest.bool "truncated" true (is_err (Bytes.sub wire 0 (Bytes.length wire - 1)));
+  check Alcotest.bool "extended" true (is_err (Eric_util.Bytesx.append wire (Bytes.make 1 'x')));
+  let bad_magic = Bytes.copy wire in
+  Bytes.set bad_magic 0 'X';
+  check Alcotest.bool "magic" true (is_err bad_magic);
+  let bad_version = Bytes.copy wire in
+  Bytes.set bad_version 4 '\x09';
+  check Alcotest.bool "version" true (is_err bad_version);
+  let bad_mode = Bytes.copy wire in
+  Bytes.set bad_mode 6 '\x07';
+  check Alcotest.bool "mode tag" true (is_err bad_mode);
+  check Alcotest.bool "empty" true (is_err Bytes.empty)
+
+let test_package_sizes_match_paper_accounting () =
+  let img = Lazy.force image in
+  let plain = Bytes.length (Eric_rv.Program.to_binary img) in
+  let full = Eric.Package.size (build Eric.Config.Full) in
+  let partial = Eric.Package.size (build (Eric.Config.Partial Eric.Config.Select_all)) in
+  let parcels = Array.length img.Eric_rv.Program.text in
+  (* Full: header grows by 8 bytes vs the plain header, plus the 32-byte
+     signature.  Partial: the same plus 1 bit per parcel. *)
+  check Alcotest.int "full overhead" (plain + 8 + 32) full;
+  check Alcotest.int "partial overhead" (full + ((parcels + 7) / 8)) partial
+
+
+let package_parser_fuzz =
+  qtest ~count:300 "parser never crashes on junk" QCheck.string (fun junk ->
+      match Eric.Package.parse (Bytes.of_string junk) with
+      | Ok _ | Error _ -> true)
+
+let package_parser_fuzz_mutated =
+  qtest ~count:300 "parser survives arbitrary mutations of a real package"
+    QCheck.(pair small_nat (small_list (pair small_nat small_nat)))
+    (fun (drop, edits) ->
+      let wire = Eric.Package.serialize (build Eric.Config.Full) in
+      let wire = Bytes.sub wire 0 (max 0 (Bytes.length wire - (drop mod Bytes.length wire))) in
+      List.iter
+        (fun (pos, value) ->
+          if Bytes.length wire > 0 then
+            Bytes.set wire (pos mod Bytes.length wire) (Char.chr (value land 0xFF)))
+        edits;
+      match Eric.Package.parse wire with
+      | Ok pkg -> (
+        (* structurally valid mutants must still never validate unless the
+           mutation was a no-op *)
+        match Eric.Encrypt.decrypt ~key:device_key pkg with
+        | Ok _ -> Bytes.equal wire (Eric.Package.serialize (build Eric.Config.Full))
+        | Error _ -> true)
+      | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Encrypt / decrypt                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_all_modes () =
+  let img = Lazy.force image in
+  List.iter
+    (fun (name, mode) ->
+      let pkg, stats = Eric.Encrypt.encrypt ~key:device_key ~mode img in
+      match Eric.Encrypt.decrypt ~key:device_key pkg with
+      | Error e -> Alcotest.failf "%s: %s" name (Format.asprintf "%a" Eric.Encrypt.pp_error e)
+      | Ok (img', stats') ->
+        check Alcotest.string (name ^ " text restored")
+          (Eric_util.Bytesx.to_hex (Eric_rv.Program.text_bytes img))
+          (Eric_util.Bytesx.to_hex (Eric_rv.Program.text_bytes img'));
+        check Alcotest.int (name ^ " entry") img.Eric_rv.Program.entry_offset
+          img'.Eric_rv.Program.entry_offset;
+        check Alcotest.int (name ^ " bss") img.Eric_rv.Program.bss_size img'.Eric_rv.Program.bss_size;
+        check Alcotest.int (name ^ " enc parcels agree") stats.Eric.Encrypt.encrypted_parcels
+          stats'.Eric.Encrypt.encrypted_parcels)
+    modes
+
+let test_full_encrypts_everything () =
+  let img = Lazy.force image in
+  let _, stats = Eric.Encrypt.encrypt ~key:device_key ~mode:Eric.Config.Full img in
+  check Alcotest.int "all parcels" stats.Eric.Encrypt.parcels stats.Eric.Encrypt.encrypted_parcels;
+  check Alcotest.int "all bytes" (Eric_rv.Program.text_size img) stats.Eric.Encrypt.encrypted_bytes
+
+let test_partial_fraction_plausible () =
+  let img = Lazy.force image in
+  let _, stats =
+    Eric.Encrypt.encrypt ~key:device_key
+      ~mode:(Eric.Config.Partial (Eric.Config.Select_fraction { fraction = 0.5; seed = 1L }))
+      img
+  in
+  let f = float_of_int stats.Eric.Encrypt.encrypted_parcels /. float_of_int stats.Eric.Encrypt.parcels in
+  check Alcotest.bool "about half" true (f > 0.35 && f < 0.65)
+
+let test_partial_ranges () =
+  let img = Lazy.force image in
+  let text_size = Eric_rv.Program.text_size img in
+  let pkg, stats =
+    Eric.Encrypt.encrypt ~key:device_key
+      ~mode:(Eric.Config.Partial (Eric.Config.Select_ranges [ (0, 64) ]))
+      img
+  in
+  check Alcotest.bool "only the range" true
+    (stats.Eric.Encrypt.encrypted_bytes <= 68 && stats.Eric.Encrypt.encrypted_bytes >= 60);
+  (* bytes outside the range are untouched ciphertext = plaintext *)
+  let plain = Eric_rv.Program.text_bytes img in
+  check Alcotest.string "tail untouched"
+    (Eric_util.Bytesx.to_hex (Bytes.sub plain 128 (text_size - 128)))
+    (Eric_util.Bytesx.to_hex (Bytes.sub pkg.Eric.Package.enc_text 128 (text_size - 128)));
+  match Eric.Encrypt.decrypt ~key:device_key pkg with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "range mode roundtrip"
+
+let test_field_mode_keeps_opcodes () =
+  let img = Lazy.force image in
+  let plain = Eric_rv.Program.text_bytes img in
+  List.iter
+    (fun scope ->
+      let pkg, _ =
+        Eric.Encrypt.encrypt ~key:device_key ~mode:(Eric.Config.Field (scope, Eric.Config.Select_all))
+          img
+      in
+      let enc = pkg.Eric.Package.enc_text in
+      (* Walk parcels of the plaintext and verify the opcode bits match in
+         the ciphertext. *)
+      let offsets = Eric_rv.Program.parcel_offsets img in
+      Array.iteri
+        (fun i parcel ->
+          let pos = offsets.(i) in
+          match parcel with
+          | Eric_rv.Program.P32 _ ->
+            let op_plain = Char.code (Bytes.get plain pos) land 0x7F in
+            let op_enc = Char.code (Bytes.get enc pos) land 0x7F in
+            check Alcotest.int "32-bit opcode preserved" op_plain op_enc
+          | Eric_rv.Program.P16 _ ->
+            let p = Eric_util.Bytesx.get_u16 plain pos and e = Eric_util.Bytesx.get_u16 enc pos in
+            check Alcotest.int "16-bit opcode bits preserved" (p land 0xE003) (e land 0xE003))
+        img.Eric_rv.Program.text)
+    [ Eric.Config.Imm_fields; Eric.Config.All_but_opcode ]
+
+let test_wrong_key_rejected () =
+  List.iter
+    (fun (name, mode) ->
+      let pkg = build mode in
+      match Eric.Encrypt.decrypt ~key:other_key pkg with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: wrong key accepted" name)
+    modes
+
+let test_every_bit_flip_detected () =
+  (* Soft-error coverage: flip each byte of the serialised full package (a
+     superset test of single bit flips at byte granularity) and require
+     rejection or parse failure. *)
+  let pkg = build Eric.Config.Full in
+  let wire = Eric.Package.serialize pkg in
+  let survived = ref 0 in
+  for i = 0 to Bytes.length wire - 1 do
+    let mutated = Bytes.copy wire in
+    Bytes.set mutated i (Char.chr (Char.code (Bytes.get mutated i) lxor 0x40));
+    match Eric.Package.parse mutated with
+    | Error _ -> ()
+    | Ok pkg' -> (
+      match Eric.Encrypt.decrypt ~key:device_key pkg' with
+      | Error _ -> ()
+      | Ok _ -> incr survived)
+  done;
+  check Alcotest.int "no corruption survives" 0 !survived
+
+let test_single_bit_flips_sampled () =
+  let pkg = build (Eric.Config.Partial (Eric.Config.Select_fraction { fraction = 0.5; seed = 3L })) in
+  let wire = Eric.Package.serialize pkg in
+  let rng = Eric_util.Prng.create ~seed:99L in
+  for _ = 1 to 200 do
+    let bit = Eric_util.Prng.int rng ~bound:(8 * Bytes.length wire) in
+    let mutated = Bytes.copy wire in
+    let pos = bit / 8 in
+    Bytes.set mutated pos (Char.chr (Char.code (Bytes.get mutated pos) lxor (1 lsl (bit mod 8))));
+    match Eric.Package.parse mutated with
+    | Error _ -> ()
+    | Ok pkg' -> (
+      match Eric.Encrypt.decrypt ~key:device_key pkg' with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "bit flip at %d survived validation" bit)
+  done
+
+let decrypt_roundtrip_random_keys =
+  qtest ~count:50 "roundtrip under random keys" QCheck.(string_of_size (QCheck.Gen.return 16))
+    (fun key_str ->
+      let key = Bytes.of_string key_str in
+      let img = Lazy.force image in
+      let pkg, _ = Eric.Encrypt.encrypt ~key ~mode:Eric.Config.Full img in
+      match Eric.Encrypt.decrypt ~key pkg with
+      | Ok (img', _) ->
+        Bytes.equal (Eric_rv.Program.text_bytes img) (Eric_rv.Program.text_bytes img')
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Target / end-to-end execution                                       *)
+(* ------------------------------------------------------------------ *)
+
+let target = lazy (Eric.Target.of_id 1001L)
+
+let test_execute_all_modes () =
+  let t = Lazy.force target in
+  let key = Eric.Target.derived_key t in
+  List.iter
+    (fun (name, mode) ->
+      match Eric.Source.build ~mode ~key test_source with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok b -> (
+        match Eric.Target.execute t b.Eric.Source.package with
+        | Error e -> Alcotest.failf "%s: %s" name (Format.asprintf "%a" Eric.Target.pp_load_error e)
+        | Ok result ->
+          check Alcotest.string (name ^ " output") expected_output result.Eric_sim.Soc.output;
+          check Alcotest.bool (name ^ " exited 0") true
+            (result.Eric_sim.Soc.status = Eric_sim.Cpu.Exited 0);
+          check Alcotest.bool (name ^ " load cycles positive") true
+            (Int64.compare result.Eric_sim.Soc.load_cycles 0L > 0)))
+    modes
+
+let test_encrypted_load_slower_than_plain () =
+  let t = Lazy.force target in
+  let key = Eric.Target.derived_key t in
+  match Eric.Source.build ~mode:Eric.Config.Full ~key test_source with
+  | Error e -> Alcotest.fail e
+  | Ok b -> (
+    match Eric.Target.execute t b.Eric.Source.package with
+    | Error _ -> Alcotest.fail "execution failed"
+    | Ok enc_result ->
+      let plain_result = Eric_sim.Soc.run_program b.Eric.Source.image in
+      check Alcotest.bool "hde load slower" true
+        (Int64.compare enc_result.Eric_sim.Soc.load_cycles plain_result.Eric_sim.Soc.load_cycles
+        > 0);
+      check Alcotest.int64 "same exec cycles" plain_result.Eric_sim.Soc.exec_cycles
+        enc_result.Eric_sim.Soc.exec_cycles)
+
+let test_receive_reports_hde_breakdown () =
+  let t = Lazy.force target in
+  let key = Eric.Target.derived_key t in
+  match Eric.Source.build ~mode:Eric.Config.Full ~key test_source with
+  | Error e -> Alcotest.fail e
+  | Ok b -> (
+    match Eric.Target.receive t b.Eric.Source.package with
+    | Error _ -> Alcotest.fail "receive failed"
+    | Ok loaded ->
+      let bd = loaded.Eric.Target.load in
+      check Alcotest.bool "keystream dominates for full encryption" true
+        (Int64.compare bd.Eric_hw.Hde.keystream_cycles bd.Eric_hw.Hde.dma_cycles > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: two-way authentication                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_happy_path () =
+  let t = Lazy.force target in
+  let key = Eric.Protocol.provision t in
+  match Eric.Source.build ~mode:Eric.Config.Full ~key test_source with
+  | Error e -> Alcotest.fail e
+  | Ok b -> (
+    match Eric.Protocol.transmit ~source:b ~target:t () with
+    | Eric.Protocol.Executed r -> check Alcotest.string "output" expected_output r.Eric_sim.Soc.output
+    | Eric.Protocol.Refused _ -> Alcotest.fail "refused legit package")
+
+let test_protocol_attacks_refused () =
+  let t = Lazy.force target in
+  let key = Eric.Protocol.provision t in
+  match Eric.Source.build ~mode:Eric.Config.Full ~key test_source with
+  | Error e -> Alcotest.fail e
+  | Ok b ->
+    let refused attack =
+      match Eric.Protocol.transmit ~attack ~source:b ~target:t () with
+      | Eric.Protocol.Refused _ -> true
+      | Eric.Protocol.Executed _ -> false
+    in
+    check Alcotest.bool "bit flips" true (refused (Eric.Protocol.Bit_flips { count = 3; seed = 5L }));
+    check Alcotest.bool "truncate" true (refused (Eric.Protocol.Truncate 10));
+    check Alcotest.bool "splice" true
+      (refused (Eric.Protocol.Splice { payload = Bytes.make 16 '\xAA'; at = 100 }));
+    (* replay of a package built for a different device *)
+    let other = Eric.Target.of_id 2002L in
+    (match Eric.Source.build ~mode:Eric.Config.Full ~key:(Eric.Protocol.provision other) test_source with
+    | Error e -> Alcotest.fail e
+    | Ok foreign ->
+      check Alcotest.bool "replayed foreign package" true
+        (refused (Eric.Protocol.Replay (Eric.Package.serialize foreign.Eric.Source.package))))
+
+let test_protocol_cross_check_diagonal () =
+  let targets = List.map (fun id -> (Printf.sprintf "dev%Ld" id, Eric.Target.of_id id)) [ 1L; 2L; 3L ] in
+  let keys = List.map (fun (n, t) -> (n, Eric.Protocol.provision t)) targets in
+  match Eric.Source.build_multi ~mode:Eric.Config.Full ~keys test_source with
+  | Error e -> Alcotest.fail e
+  | Ok builds ->
+    let matrix = Eric.Protocol.cross_check ~builds ~targets in
+    List.iter
+      (fun (bname, tname, ok) ->
+        check Alcotest.bool (Printf.sprintf "%s on %s" bname tname) (bname = tname) ok)
+      matrix
+
+let test_epoch_rotation_revokes () =
+  (* A package built for epoch 1 must not run after the device rotates its
+     KMU context to epoch 2. *)
+  let device = Eric_puf.Device.manufacture 77L in
+  let t1 = Eric.Target.create ~context:{ Eric.Kmu.epoch = 1; label = "eric" } device in
+  let t2 = Eric.Target.create ~context:{ Eric.Kmu.epoch = 2; label = "eric" } device in
+  match Eric.Source.build ~mode:Eric.Config.Full ~key:(Eric.Protocol.provision t1) test_source with
+  | Error e -> Alcotest.fail e
+  | Ok b ->
+    (match Eric.Protocol.transmit ~source:b ~target:t1 () with
+    | Eric.Protocol.Executed _ -> ()
+    | Eric.Protocol.Refused _ -> Alcotest.fail "epoch 1 should accept");
+    (match Eric.Protocol.transmit ~source:b ~target:t2 () with
+    | Eric.Protocol.Refused _ -> ()
+    | Eric.Protocol.Executed _ -> Alcotest.fail "epoch 2 should refuse")
+
+
+
+let test_provision_over_network () =
+  let t = Lazy.force target in
+  let rng = Eric_util.Prng.create ~seed:404L in
+  let source_key = Eric_crypto.Rsa.generate ~bits:384 rng in
+  (* happy path: the source recovers exactly the device's derived key *)
+  (match Eric.Protocol.provision_over_network ~rng ~source_key t with
+  | Ok key ->
+    check Alcotest.string "recovered key" 
+      (Eric_util.Bytesx.to_hex (Eric.Target.derived_key t))
+      (Eric_util.Bytesx.to_hex key)
+  | Error e -> Alcotest.fail e);
+  (* tampered wire: padding validation rejects (or at worst yields a key
+     that matches nothing) *)
+  (match
+     Eric.Protocol.provision_over_network
+       ~attack:(Eric.Protocol.Bit_flips { count = 2; seed = 9L })
+       ~rng ~source_key t
+   with
+  | Error _ -> ()
+  | Ok key ->
+    check Alcotest.bool "corrupted provisioning never yields the real key" false
+      (Bytes.equal key (Eric.Target.derived_key t)));
+  (* end to end: provision in band, then build + execute *)
+  match Eric.Protocol.provision_over_network ~rng ~source_key t with
+  | Error e -> Alcotest.fail e
+  | Ok key -> (
+    match Eric.Source.build ~mode:Eric.Config.Full ~key test_source with
+    | Error e -> Alcotest.fail e
+    | Ok b -> (
+      match Eric.Protocol.transmit ~source:b ~target:t () with
+      | Eric.Protocol.Executed r ->
+        check Alcotest.string "runs with network-provisioned key" expected_output
+          r.Eric_sim.Soc.output
+      | Eric.Protocol.Refused _ -> Alcotest.fail "refused"))
+
+(* ------------------------------------------------------------------ *)
+(* Environment-bound keys                                              *)
+(* ------------------------------------------------------------------ *)
+
+let puf_key = Bytes.of_string "envbind-puf-key!"
+let ctx = Eric.Kmu.default_context
+
+let test_envbind_unconstrained_is_base () =
+  check Alcotest.string "matches plain KMU derivation"
+    (Eric_util.Bytesx.to_hex (Eric.Kmu.derive ~puf_key ctx))
+    (Eric_util.Bytesx.to_hex (Eric.Envbind.derive ~puf_key ~context:ctx Eric.Envbind.unconstrained))
+
+let test_envbind_same_window_same_key () =
+  let wanted =
+    { Eric.Envbind.hour_slot = Some 100; temperature_band = Some 2; frequency_mhz = Some 25 }
+  in
+  let key_at env =
+    Eric.Envbind.derive ~puf_key ~context:ctx (Eric.Envbind.observe ~window_hours:4 env wanted)
+  in
+  let a = key_at { Eric.Envbind.unix_hours = 400; temperature_c = 20; clock_mhz = 25 } in
+  let b = key_at { Eric.Envbind.unix_hours = 403; temperature_c = 29; clock_mhz = 25 } in
+  check Alcotest.string "same window+band keys equal" (Eric_util.Bytesx.to_hex a)
+    (Eric_util.Bytesx.to_hex b);
+  let late = key_at { Eric.Envbind.unix_hours = 404; temperature_c = 20; clock_mhz = 25 } in
+  check Alcotest.bool "next window differs" false (Bytes.equal a late);
+  let hot = key_at { Eric.Envbind.unix_hours = 400; temperature_c = 31; clock_mhz = 25 } in
+  check Alcotest.bool "other band differs" false (Bytes.equal a hot);
+  let fast = key_at { Eric.Envbind.unix_hours = 400; temperature_c = 20; clock_mhz = 26 } in
+  check Alcotest.bool "other frequency differs" false (Bytes.equal a fast)
+
+let test_envbind_unbound_sensors_ignored () =
+  (* Binding only the frequency: time and temperature must not matter. *)
+  let wanted =
+    { Eric.Envbind.hour_slot = None; temperature_band = None; frequency_mhz = Some 25 }
+  in
+  let key_at env =
+    Eric.Envbind.derive ~puf_key ~context:ctx (Eric.Envbind.observe ~window_hours:4 env wanted)
+  in
+  let a = key_at { Eric.Envbind.unix_hours = 1; temperature_c = -40; clock_mhz = 25 } in
+  let b = key_at { Eric.Envbind.unix_hours = 999999; temperature_c = 85; clock_mhz = 25 } in
+  check Alcotest.string "only the bound sensor matters" (Eric_util.Bytesx.to_hex a)
+    (Eric_util.Bytesx.to_hex b)
+
+let test_envbind_negative_temperature_bands () =
+  (* Floor semantics: -1C is in band -1, not band 0 (no -0 collision). *)
+  let cold = Eric.Envbind.observe ~window_hours:1
+      { Eric.Envbind.unix_hours = 0; temperature_c = -1; clock_mhz = 25 }
+      { Eric.Envbind.hour_slot = None; temperature_band = Some 0; frequency_mhz = None }
+  in
+  let zero = Eric.Envbind.observe ~window_hours:1
+      { Eric.Envbind.unix_hours = 0; temperature_c = 1; clock_mhz = 25 }
+      { Eric.Envbind.hour_slot = None; temperature_band = Some 0; frequency_mhz = None }
+  in
+  check Alcotest.bool "bands straddle zero" false (cold = zero)
+
+let test_envbind_end_to_end () =
+  let device = Eric_puf.Device.manufacture 808L in
+  let pk = Eric_puf.Device.puf_key device in
+  let wanted =
+    { Eric.Envbind.hour_slot = Some 10; temperature_band = Some 2; frequency_mhz = None }
+  in
+  let bound = Eric.Envbind.derive ~puf_key:pk ~context:ctx wanted in
+  let pkg, _ = Eric.Encrypt.encrypt ~key:bound ~mode:Eric.Config.Full (Lazy.force image) in
+  (* right conditions decrypt *)
+  let good = Eric.Envbind.observe ~window_hours:4
+      { Eric.Envbind.unix_hours = 41; temperature_c = 25; clock_mhz = 25 } wanted
+  in
+  check Alcotest.bool "decrypts in window" true
+    (Result.is_ok (Eric.Encrypt.decrypt ~key:(Eric.Envbind.derive ~puf_key:pk ~context:ctx good) pkg));
+  (* wrong window refused *)
+  let late = Eric.Envbind.observe ~window_hours:4
+      { Eric.Envbind.unix_hours = 60; temperature_c = 25; clock_mhz = 25 } wanted
+  in
+  check Alcotest.bool "refused after the window" true
+    (Result.is_error
+       (Eric.Encrypt.decrypt ~key:(Eric.Envbind.derive ~puf_key:pk ~context:ctx late) pkg))
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_static_analysis_contrast () =
+  let img = Lazy.force image in
+  let plain = Eric_rv.Program.text_bytes img in
+  let pkg = build Eric.Config.Full in
+  let rp = Eric.Analysis.static_analysis plain in
+  let rc = Eric.Analysis.static_analysis pkg.Eric.Package.enc_text in
+  check Alcotest.bool "plaintext decodes fully" true (rp.Eric.Analysis.valid_fraction > 0.99);
+  check Alcotest.bool "plaintext has call edges" true (rp.Eric.Analysis.call_edges > 0);
+  check Alcotest.bool "plaintext reveals function boundaries" true
+    (rp.Eric.Analysis.prologue_candidates >= 2);
+  check Alcotest.bool "encryption hides most boundaries" true
+    (rc.Eric.Analysis.prologue_candidates * 2 <= rp.Eric.Analysis.prologue_candidates
+     || rc.Eric.Analysis.prologue_candidates <= 2);
+  check Alcotest.bool "ciphertext decodes worse" true
+    (rc.Eric.Analysis.valid_fraction < rp.Eric.Analysis.valid_fraction -. 0.2);
+  check Alcotest.bool "call graph destroyed" true
+    (rc.Eric.Analysis.call_edges < rp.Eric.Analysis.call_edges)
+
+let test_byte_entropy_contrast () =
+  let img = Lazy.force image in
+  let plain = Eric_rv.Program.text_bytes img in
+  let pkg = build Eric.Config.Full in
+  let ep = Eric.Analysis.byte_entropy plain in
+  let ec = Eric.Analysis.byte_entropy pkg.Eric.Package.enc_text in
+  check Alcotest.bool "ciphertext entropy higher" true (ec > ep +. 0.5);
+  check Alcotest.bool "ciphertext near random" true (ec > 7.0)
+
+let test_diffusion_near_half () =
+  let pkg = build Eric.Config.Full in
+  let d = Eric.Analysis.diffusion ~key:device_key pkg in
+  check Alcotest.bool "diffusion ~0.5" true (d > 0.45 && d < 0.55)
+
+let test_field_imm_hides_offsets_only () =
+  (* Under Imm_fields the ciphertext still decodes almost fully (opcodes
+     and registers intact) but memory-access offsets change. *)
+  let img = Lazy.force image in
+  let pkg, _ =
+    Eric.Encrypt.encrypt ~key:device_key
+      ~mode:(Eric.Config.Field (Eric.Config.Imm_fields, Eric.Config.Select_all))
+      img
+  in
+  let r = Eric.Analysis.static_analysis pkg.Eric.Package.enc_text in
+  check Alcotest.bool "still decodes (stealthy)" true (r.Eric.Analysis.valid_fraction > 0.9);
+  check Alcotest.bool "text differs from plaintext" false
+    (Bytes.equal pkg.Eric.Package.enc_text (Eric_rv.Program.text_bytes img))
+
+let () =
+  Alcotest.run "eric_core"
+    [ ( "kmu",
+        [ Alcotest.test_case "deterministic" `Quick test_kmu_deterministic;
+          Alcotest.test_case "context separation" `Quick test_kmu_context_separation;
+          Alcotest.test_case "device key" `Quick test_kmu_device_key_matches_target ] );
+      ( "package",
+        [ Alcotest.test_case "roundtrip all modes" `Quick test_package_roundtrip_all_modes;
+          Alcotest.test_case "parse rejects" `Quick test_package_parse_rejects;
+          Alcotest.test_case "size accounting" `Quick test_package_sizes_match_paper_accounting;
+          package_parser_fuzz;
+          package_parser_fuzz_mutated ] );
+      ( "encrypt",
+        [ Alcotest.test_case "roundtrip all modes" `Quick test_roundtrip_all_modes;
+          Alcotest.test_case "full covers everything" `Quick test_full_encrypts_everything;
+          Alcotest.test_case "partial fraction" `Quick test_partial_fraction_plausible;
+          Alcotest.test_case "partial ranges" `Quick test_partial_ranges;
+          Alcotest.test_case "field keeps opcodes" `Quick test_field_mode_keeps_opcodes;
+          Alcotest.test_case "wrong key rejected" `Quick test_wrong_key_rejected;
+          Alcotest.test_case "every byte corruption detected" `Slow test_every_bit_flip_detected;
+          Alcotest.test_case "single bit flips" `Quick test_single_bit_flips_sampled;
+          decrypt_roundtrip_random_keys ] );
+      ( "target",
+        [ Alcotest.test_case "execute all modes" `Quick test_execute_all_modes;
+          Alcotest.test_case "hde load slower than plain" `Quick test_encrypted_load_slower_than_plain;
+          Alcotest.test_case "hde breakdown" `Quick test_receive_reports_hde_breakdown ] );
+      ( "protocol",
+        [ Alcotest.test_case "happy path" `Quick test_protocol_happy_path;
+          Alcotest.test_case "attacks refused" `Quick test_protocol_attacks_refused;
+          Alcotest.test_case "cross-check diagonal" `Quick test_protocol_cross_check_diagonal;
+          Alcotest.test_case "epoch rotation revokes" `Quick test_epoch_rotation_revokes;
+          Alcotest.test_case "RSA in-band provisioning" `Slow test_provision_over_network ] );
+      ( "envbind",
+        [ Alcotest.test_case "unconstrained = base" `Quick test_envbind_unconstrained_is_base;
+          Alcotest.test_case "window/band/frequency" `Quick test_envbind_same_window_same_key;
+          Alcotest.test_case "unbound sensors ignored" `Quick test_envbind_unbound_sensors_ignored;
+          Alcotest.test_case "negative temperatures" `Quick test_envbind_negative_temperature_bands;
+          Alcotest.test_case "end to end" `Quick test_envbind_end_to_end ] );
+      ( "analysis",
+        [ Alcotest.test_case "static contrast" `Quick test_static_analysis_contrast;
+          Alcotest.test_case "byte entropy" `Quick test_byte_entropy_contrast;
+          Alcotest.test_case "diffusion" `Quick test_diffusion_near_half;
+          Alcotest.test_case "field imm stealth" `Quick test_field_imm_hides_offsets_only ] ) ]

@@ -1,0 +1,394 @@
+(* Tests for eric_crypto: SHA-256 against FIPS/NIST vectors, HMAC against
+   RFC 4231, keystream/XOR-cipher properties. *)
+
+open Eric_crypto
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+let hex b = Eric_util.Bytesx.to_hex b
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256: FIPS 180-2 and NIST CAVS vectors                           *)
+(* ------------------------------------------------------------------ *)
+
+let sha_vectors =
+  [ ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+    ("a", "ca978112ca1bbdcafac231b39a23dc4da786eff8147c4e72b9807785afee48bb");
+    ("message digest", "f7846f55cf23e14eebeab5b4e1550cad5b509e3348fbc4efa3a1413d393cb650") ]
+
+let test_sha256_vectors () =
+  List.iter
+    (fun (msg, expected) -> check Alcotest.string msg expected (hex (Sha256.digest_string msg)))
+    sha_vectors
+
+let test_sha256_million_a () =
+  (* FIPS long vector: one million 'a'. *)
+  let ctx = Sha256.init () in
+  let chunk = Bytes.make 10_000 'a' in
+  for _ = 1 to 100 do
+    Sha256.feed ctx chunk
+  done;
+  check Alcotest.string "1M x 'a'" "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (hex (Sha256.finalize ctx))
+
+let sha256_incremental =
+  qtest "incremental = one-shot" QCheck.(pair string (small_list small_nat)) (fun (s, cuts) ->
+      let data = Bytes.of_string s in
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      List.iter
+        (fun c ->
+          let len = min c (Bytes.length data - !pos) in
+          Sha256.feed_sub ctx data ~pos:!pos ~len;
+          pos := !pos + len)
+        cuts;
+      Sha256.feed_sub ctx data ~pos:!pos ~len:(Bytes.length data - !pos);
+      Bytes.equal (Sha256.finalize ctx) (Sha256.digest data))
+
+let test_sha256_finalize_once () =
+  let ctx = Sha256.init () in
+  ignore (Sha256.finalize ctx);
+  Alcotest.check_raises "second finalize"
+    (Invalid_argument "Sha256.finalize: context already finalized") (fun () ->
+      ignore (Sha256.finalize ctx))
+
+let test_sha256_feed_after_finalize () =
+  let ctx = Sha256.init () in
+  ignore (Sha256.finalize ctx);
+  Alcotest.check_raises "feed after finalize"
+    (Invalid_argument "Sha256.feed: context already finalized") (fun () ->
+      Sha256.feed ctx (Bytes.of_string "x"))
+
+(* ------------------------------------------------------------------ *)
+(* HMAC-SHA-256: RFC 4231 vectors                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_hmac_rfc4231_case1 () =
+  let key = Bytes.make 20 '\x0b' in
+  check Alcotest.string "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (hex (Hmac_sha256.mac_string ~key "Hi There"))
+
+let test_hmac_rfc4231_case2 () =
+  let key = Bytes.of_string "Jefe" in
+  check Alcotest.string "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (hex (Hmac_sha256.mac_string ~key "what do ya want for nothing?"))
+
+let test_hmac_rfc4231_case3 () =
+  let key = Bytes.make 20 '\xaa' in
+  let data = Bytes.make 50 '\xdd' in
+  check Alcotest.string "case 3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (hex (Hmac_sha256.mac ~key data))
+
+let test_hmac_rfc4231_long_key () =
+  (* case 6: 131-byte key, exercising the hash-the-key path *)
+  let key = Bytes.make 131 '\xaa' in
+  check Alcotest.string "case 6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (hex (Hmac_sha256.mac_string ~key "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let hmac_key_sensitivity =
+  qtest "distinct keys give distinct macs" QCheck.(pair string string) (fun (k1, k2) ->
+      QCheck.assume (k1 <> k2);
+      let m = Bytes.of_string "fixed message" in
+      not
+        (Bytes.equal
+           (Hmac_sha256.mac ~key:(Bytes.of_string k1) m)
+           (Hmac_sha256.mac ~key:(Bytes.of_string k2) m)))
+
+(* ------------------------------------------------------------------ *)
+(* Keystream                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let key = Bytes.of_string "0123456789abcdef0123456789abcdef"
+
+let test_keystream_deterministic () =
+  let a = Keystream.create ~key and b = Keystream.create ~key in
+  check Alcotest.string "same stream" (hex (Keystream.take a 100)) (hex (Keystream.take b 100))
+
+let test_keystream_offset_consistency () =
+  (* Reading at an absolute offset equals skipping to it. *)
+  let full = Keystream.take (Keystream.create ~key) 300 in
+  let tail = Keystream.take (Keystream.at ~key ~offset:113) 187 in
+  check Alcotest.string "offset view" (hex (Bytes.sub full 113 187)) (hex tail)
+
+let test_keystream_position_tracking () =
+  let t = Keystream.create ~key in
+  ignore (Keystream.take t 33);
+  check Alcotest.int "offset" 33 (Keystream.offset t);
+  ignore (Keystream.take t 0);
+  check Alcotest.int "offset unchanged by empty take" 33 (Keystream.offset t)
+
+let test_keystream_key_sensitivity () =
+  let other = Bytes.of_string "0123456789abcdef0123456789abcdeg" in
+  let a = Keystream.take (Keystream.create ~key) 64 in
+  let b = Keystream.take (Keystream.create ~key:other) 64 in
+  check Alcotest.bool "differs" false (Bytes.equal a b)
+
+let keystream_xor_involution =
+  qtest "xor twice is identity" QCheck.(pair string small_nat) (fun (s, offset) ->
+      let data = Bytes.of_string s in
+      let once = Keystream.xor ~key ~offset data in
+      Bytes.equal data (Keystream.xor ~key ~offset once))
+
+(* ------------------------------------------------------------------ *)
+(* Xor_cipher                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_word_ops_match_bytes () =
+  (* Word-level application must agree with byte-level application at the
+     same offsets. *)
+  let data = Bytes.init 64 (fun i -> Char.chr ((i * 37) land 0xFF)) in
+  let whole = Xor_cipher.apply_bytes ~key data in
+  for off = 0 to 15 do
+    let w = Eric_util.Bytesx.get_u32 data (4 * off) in
+    let expected = Eric_util.Bytesx.get_u32 whole (4 * off) in
+    check Alcotest.int32
+      (Printf.sprintf "word at %d" (4 * off))
+      expected
+      (Xor_cipher.apply_word32 ~key ~offset:(4 * off) w)
+  done;
+  for off = 0 to 31 do
+    let p = Eric_util.Bytesx.get_u16 data (2 * off) in
+    let expected = Eric_util.Bytesx.get_u16 whole (2 * off) in
+    check Alcotest.int
+      (Printf.sprintf "half at %d" (2 * off))
+      expected
+      (Xor_cipher.apply_word16 ~key ~offset:(2 * off) p)
+  done
+
+let field_mask_property =
+  qtest "field apply touches only masked bits" QCheck.(pair int32 int32) (fun (w, mask) ->
+      let enc = Xor_cipher.apply_field32 ~key ~offset:12 ~mask w in
+      Int32.logand (Int32.logxor enc w) (Int32.lognot mask) = 0l
+      && Xor_cipher.apply_field32 ~key ~offset:12 ~mask enc = w)
+
+let field16_mask_property =
+  qtest "field16 apply touches only masked bits" QCheck.(pair (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (p, mask) ->
+      let enc = Xor_cipher.apply_field16 ~key ~offset:6 ~mask p in
+      enc lxor p land lnot mask land 0xFFFF = 0
+      && Xor_cipher.apply_field16 ~key ~offset:6 ~mask enc = p)
+
+(* ------------------------------------------------------------------ *)
+(* Constant-time compare                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ct_equal () =
+  check Alcotest.bool "equal" true (Ct.equal (Bytes.of_string "abc") (Bytes.of_string "abc"));
+  check Alcotest.bool "differs" false (Ct.equal (Bytes.of_string "abc") (Bytes.of_string "abd"));
+  check Alcotest.bool "length mismatch" false (Ct.equal (Bytes.of_string "ab") (Bytes.of_string "abc"));
+  check Alcotest.bool "empty" true (Ct.equal Bytes.empty Bytes.empty)
+
+let ct_matches_structural =
+  qtest "ct.equal = Bytes.equal" QCheck.(pair string string) (fun (a, b) ->
+      Ct.equal (Bytes.of_string a) (Bytes.of_string b) = (a = b))
+
+
+(* ------------------------------------------------------------------ *)
+(* Bignum                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bn = Bignum.of_int
+let nat = QCheck.map abs QCheck.int
+
+let bignum_int_ops =
+  qtest ~count:500 "add/sub/mul/divmod agree with int" QCheck.(pair nat nat) (fun (a, b) ->
+      (* 30-bit operands keep the native-int product below 2^60 *)
+      let a = a land 0x3FFFFFFF and b = b land 0x3FFFFFFF in
+      let ok_add = Bignum.to_int_opt (Bignum.add (bn a) (bn b)) = Some (a + b) in
+      let hi = max a b and lo = min a b in
+      let ok_sub = Bignum.to_int_opt (Bignum.sub (bn hi) (bn lo)) = Some (hi - lo) in
+      let ok_mul = Bignum.to_int_opt (Bignum.mul (bn a) (bn b)) = Some (a * b) in
+      let ok_div =
+        b = 0
+        ||
+        let q, r = Bignum.divmod (bn a) (bn b) in
+        Bignum.to_int_opt q = Some (a / b) && Bignum.to_int_opt r = Some (a mod b)
+      in
+      ok_add && ok_sub && ok_mul && ok_div)
+
+let bignum_modexp_reference =
+  qtest ~count:200 "modexp agrees with int reference" QCheck.(triple nat nat nat)
+    (fun (b, e, m) ->
+      let b = b land 0xFFFF and e = e land 0xFFF and m = 2 + (m land 0xFFFF) in
+      let rec pow_mod b e acc = if e = 0 then acc else pow_mod (b * b mod m) (e / 2) (if e land 1 = 1 then acc * b mod m else acc) in
+      Bignum.to_int_opt (Bignum.modexp (bn b) (bn e) ~m:(bn m)) = Some (pow_mod (b mod m) e 1))
+
+let bignum_bytes_roundtrip =
+  qtest "bytes_be roundtrip" QCheck.string (fun s ->
+      let v = Bignum.of_bytes_be (Bytes.of_string s) in
+      Bignum.equal v (Bignum.of_bytes_be (Bignum.to_bytes_be v)))
+
+let bignum_hex_roundtrip =
+  qtest "hex roundtrip" nat (fun v ->
+      Bignum.to_int_opt (Bignum.of_hex (Bignum.to_hex (bn v))) = Some v)
+
+let bignum_shift_roundtrip =
+  qtest "shift left then right" QCheck.(pair nat (int_bound 100)) (fun (v, k) ->
+      Bignum.equal (bn v) (Bignum.shift_right (Bignum.shift_left (bn v) k) k))
+
+let bignum_modmul_vs_mul =
+  qtest ~count:200 "modmul = mul then rem" QCheck.(triple nat nat nat) (fun (a, b, m) ->
+      let m = 1 + (m land 0xFFFFFF) in
+      Bignum.equal
+        (Bignum.modmul (bn a) (bn b) ~m:(bn m))
+        (Bignum.rem (Bignum.mul (bn a) (bn b)) (bn m)))
+
+let test_bignum_modinv () =
+  let m = bn 1000000007 in
+  List.iter
+    (fun a ->
+      match Bignum.modinv (bn a) ~m with
+      | Some inv ->
+        check Alcotest.bool (Printf.sprintf "inv %d" a) true
+          (Bignum.to_int_opt (Bignum.modmul (bn a) inv ~m) = Some 1)
+      | None -> Alcotest.failf "no inverse for %d mod prime" a)
+    [ 1; 2; 12345; 999999999 ];
+  check Alcotest.bool "no inverse when not coprime" true
+    (Bignum.modinv (bn 6) ~m:(bn 9) = None)
+
+let test_bignum_primality_knowns () =
+  let rng = Eric_util.Prng.create ~seed:9L in
+  List.iter
+    (fun p -> check Alcotest.bool (string_of_int p) true (Bignum.is_probable_prime rng (bn p)))
+    [ 2; 3; 5; 97; 7919; 1000000007 ];
+  List.iter
+    (fun c ->
+      check Alcotest.bool (string_of_int c) false (Bignum.is_probable_prime rng (bn c)))
+    [ 0; 1; 4; 100; 7917; 561 (* Carmichael *); 1000000007 * 3 ];
+  (* 2^64 - 59 is prime *)
+  check Alcotest.bool "large prime" true
+    (Bignum.is_probable_prime rng (Bignum.of_hex "ffffffffffffffc5"))
+
+let test_bignum_random_prime () =
+  let rng = Eric_util.Prng.create ~seed:21L in
+  let p = Bignum.random_prime rng ~bits:96 in
+  check Alcotest.int "width" 96 (Bignum.num_bits p);
+  check Alcotest.bool "odd" false (Bignum.is_even p)
+
+let test_bignum_guards () =
+  Alcotest.check_raises "negative of_int" (Invalid_argument "Bignum.of_int: negative") (fun () ->
+      ignore (bn (-1)));
+  Alcotest.check_raises "negative sub" (Invalid_argument "Bignum.sub: negative result") (fun () ->
+      ignore (Bignum.sub (bn 1) (bn 2)));
+  check Alcotest.bool "division by zero" true
+    (try ignore (Bignum.divmod (bn 1) Bignum.zero); false with Division_by_zero -> true)
+
+(* ------------------------------------------------------------------ *)
+(* RSA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rsa_key = lazy (Rsa.generate ~bits:384 (Eric_util.Prng.create ~seed:77L))
+
+let test_rsa_roundtrip () =
+  let key = Lazy.force rsa_key in
+  let rng = Eric_util.Prng.create ~seed:1L in
+  List.iter
+    (fun msg ->
+      match Rsa.encrypt (Rsa.public_of key) rng (Bytes.of_string msg) with
+      | Error e -> Alcotest.fail e
+      | Ok cipher -> (
+        check Alcotest.bool "ciphertext differs from message" false
+          (Bytes.equal cipher (Bytes.of_string msg));
+        match Rsa.decrypt key cipher with
+        | Ok plain -> check Alcotest.string "roundtrip" msg (Bytes.to_string plain)
+        | Error e -> Alcotest.fail e))
+    [ ""; "k"; "0123456789abcdef0123456789abcdef" ]
+
+let test_rsa_wrong_key_fails () =
+  let key = Lazy.force rsa_key in
+  let other = Rsa.generate ~bits:384 (Eric_util.Prng.create ~seed:78L) in
+  let rng = Eric_util.Prng.create ~seed:2L in
+  match Rsa.encrypt (Rsa.public_of key) rng (Bytes.of_string "secret key bytes") with
+  | Error e -> Alcotest.fail e
+  | Ok cipher -> (
+    match Rsa.decrypt other cipher with
+    | Error _ -> ()
+    | Ok plain ->
+      check Alcotest.bool "wrong key never recovers plaintext" false
+        (Bytes.to_string plain = "secret key bytes"))
+
+let test_rsa_tamper_fails () =
+  let key = Lazy.force rsa_key in
+  let rng = Eric_util.Prng.create ~seed:3L in
+  match Rsa.encrypt (Rsa.public_of key) rng (Bytes.of_string "payload") with
+  | Error e -> Alcotest.fail e
+  | Ok cipher -> (
+    Bytes.set cipher 5 (Char.chr (Char.code (Bytes.get cipher 5) lxor 1));
+    match Rsa.decrypt key cipher with
+    | Error _ -> ()
+    | Ok plain ->
+      check Alcotest.bool "tampered ciphertext never matches" false
+        (Bytes.to_string plain = "payload"))
+
+let test_rsa_too_long () =
+  let key = Lazy.force rsa_key in
+  let rng = Eric_util.Prng.create ~seed:4L in
+  let big = Bytes.make (Rsa.max_message_bytes (Rsa.public_of key) + 1) 'x' in
+  check Alcotest.bool "rejected" true (Result.is_error (Rsa.encrypt (Rsa.public_of key) rng big))
+
+let test_rsa_sign_verify () =
+  let key = Lazy.force rsa_key in
+  let msg = Bytes.of_string "firmware package v7" in
+  let signature = Rsa.sign key msg in
+  check Alcotest.bool "verifies" true (Rsa.verify (Rsa.public_of key) ~message:msg ~signature);
+  check Alcotest.bool "other message fails" false
+    (Rsa.verify (Rsa.public_of key) ~message:(Bytes.of_string "firmware package v8") ~signature);
+  let bad = Bytes.copy signature in
+  Bytes.set bad 3 (Char.chr (Char.code (Bytes.get bad 3) lxor 4));
+  check Alcotest.bool "tampered signature fails" false
+    (Rsa.verify (Rsa.public_of key) ~message:msg ~signature:bad);
+  let other = Rsa.generate ~bits:384 (Eric_util.Prng.create ~seed:79L) in
+  check Alcotest.bool "other key fails" false
+    (Rsa.verify (Rsa.public_of other) ~message:msg ~signature)
+
+let () =
+  Alcotest.run "eric_crypto"
+    [ ( "sha256",
+        [ Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "million a" `Slow test_sha256_million_a;
+          sha256_incremental;
+          Alcotest.test_case "finalize once" `Quick test_sha256_finalize_once;
+          Alcotest.test_case "no feed after finalize" `Quick test_sha256_feed_after_finalize ] );
+      ( "hmac",
+        [ Alcotest.test_case "rfc4231 case1" `Quick test_hmac_rfc4231_case1;
+          Alcotest.test_case "rfc4231 case2" `Quick test_hmac_rfc4231_case2;
+          Alcotest.test_case "rfc4231 case3" `Quick test_hmac_rfc4231_case3;
+          Alcotest.test_case "rfc4231 long key" `Quick test_hmac_rfc4231_long_key;
+          hmac_key_sensitivity ] );
+      ( "keystream",
+        [ Alcotest.test_case "deterministic" `Quick test_keystream_deterministic;
+          Alcotest.test_case "offset consistency" `Quick test_keystream_offset_consistency;
+          Alcotest.test_case "position tracking" `Quick test_keystream_position_tracking;
+          Alcotest.test_case "key sensitivity" `Quick test_keystream_key_sensitivity;
+          keystream_xor_involution ] );
+      ( "xor_cipher",
+        [ Alcotest.test_case "word ops match bytes" `Quick test_word_ops_match_bytes;
+          field_mask_property;
+          field16_mask_property ] );
+      ("ct", [ Alcotest.test_case "basics" `Quick test_ct_equal; ct_matches_structural ]);
+      ( "bignum",
+        [ bignum_int_ops;
+          bignum_modexp_reference;
+          bignum_bytes_roundtrip;
+          bignum_hex_roundtrip;
+          bignum_shift_roundtrip;
+          bignum_modmul_vs_mul;
+          Alcotest.test_case "modinv" `Quick test_bignum_modinv;
+          Alcotest.test_case "primality knowns" `Quick test_bignum_primality_knowns;
+          Alcotest.test_case "random prime" `Slow test_bignum_random_prime;
+          Alcotest.test_case "guards" `Quick test_bignum_guards ] );
+      ( "rsa",
+        [ Alcotest.test_case "roundtrip" `Slow test_rsa_roundtrip;
+          Alcotest.test_case "wrong key" `Slow test_rsa_wrong_key_fails;
+          Alcotest.test_case "tamper" `Slow test_rsa_tamper_fails;
+          Alcotest.test_case "too long" `Quick test_rsa_too_long;
+          Alcotest.test_case "sign/verify" `Slow test_rsa_sign_verify ] ) ]

@@ -1,0 +1,147 @@
+(* Tests for eric_hw: RTL cost-tree arithmetic, the Table-II area model,
+   and the HDE load-path cycle model. *)
+
+open Eric_hw
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Rtl                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rtl_leaf_and_block () =
+  let l1 = Rtl.leaf "a" ~luts:10 ~ffs:4 in
+  let l2 = Rtl.register "r" ~bits:16 in
+  let b = Rtl.block "top" [ l1; l2 ] in
+  check Alcotest.int "luts sum" 10 (Rtl.luts b);
+  check Alcotest.int "ffs sum" 20 (Rtl.ffs b);
+  check Alcotest.string "name" "top" (Rtl.name b)
+
+let test_rtl_primitives () =
+  check Alcotest.int "register ffs" 64 (Rtl.ffs (Rtl.register "r" ~bits:64));
+  check Alcotest.int "register luts" 0 (Rtl.luts (Rtl.register "r" ~bits:64));
+  check Alcotest.int "adder" 32 (Rtl.luts (Rtl.adder "a" ~bits:32));
+  check Alcotest.int "xor pair packing" 16 (Rtl.luts (Rtl.xor_gates "x" ~bits:32));
+  check Alcotest.int "mux rounding" 3 (Rtl.luts (Rtl.mux2 "m" ~bits:5));
+  check Alcotest.bool "counter has both" true
+    (Rtl.luts (Rtl.counter "c" ~bits:8) > 0 && Rtl.ffs (Rtl.counter "c" ~bits:8) = 8)
+
+let test_rtl_rejects_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Rtl.leaf: negative cost") (fun () ->
+      ignore (Rtl.leaf "bad" ~luts:(-1) ~ffs:0))
+
+(* ------------------------------------------------------------------ *)
+(* Area / Table II                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_baseline_matches_paper () =
+  check Alcotest.int "baseline LUTs" 33894 (Rtl.luts Area.rocket_baseline);
+  check Alcotest.int "baseline FFs" 19093 (Rtl.ffs Area.rocket_baseline)
+
+let test_hde_delta_in_paper_band () =
+  (* Paper: +2.63% LUTs, +3.83% FFs.  The model must land in the same
+     low-single-digit band. *)
+  let lut_pct =
+    100.0
+    *. float_of_int (Rtl.luts Area.rocket_with_hde - Rtl.luts Area.rocket_baseline)
+    /. float_of_int (Rtl.luts Area.rocket_baseline)
+  in
+  let ff_pct =
+    100.0
+    *. float_of_int (Rtl.ffs Area.rocket_with_hde - Rtl.ffs Area.rocket_baseline)
+    /. float_of_int (Rtl.ffs Area.rocket_baseline)
+  in
+  check Alcotest.bool "LUT delta ~2.6%" true (lut_pct > 2.0 && lut_pct < 3.3);
+  check Alcotest.bool "FF delta ~3.8%" true (ff_pct > 3.0 && ff_pct < 4.6)
+
+let test_table2_rows () =
+  match Area.table2 () with
+  | [ luts; ffs; freq ] ->
+    check Alcotest.string "row 1" "Total Slice LUTs" luts.Area.resource;
+    check Alcotest.int "row 1 baseline" 33894 luts.Area.baseline;
+    check Alcotest.bool "row 1 grows" true (luts.Area.with_hde > luts.Area.baseline);
+    check Alcotest.bool "row 2 grows" true (ffs.Area.with_hde > ffs.Area.baseline);
+    check Alcotest.int "frequency unchanged" freq.Area.baseline freq.Area.with_hde
+  | rows -> Alcotest.failf "expected 3 rows, got %d" (List.length rows)
+
+let test_hde_composition () =
+  (* The HDE must contain all five paper units (plus bus plumbing). *)
+  check Alcotest.bool "hde is larger than any single unit" true
+    (Rtl.luts Area.hde > 600 && Rtl.ffs Area.hde > 500)
+
+(* ------------------------------------------------------------------ *)
+(* Hde cycle model                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let cfg = Hde.default_config
+
+let test_plain_load () =
+  check Alcotest.int64 "8B/cycle" 128L (Hde.load_plain cfg ~image_bytes:1024);
+  check Alcotest.int64 "rounds up" 1L (Hde.load_plain cfg ~image_bytes:3)
+
+let test_encrypted_slower_than_plain () =
+  let b = Hde.load_encrypted cfg ~image_bytes:4096 ~hashed_bytes:4096 ~encrypted_bytes:4096 in
+  check Alcotest.bool "encrypted load slower" true
+    (Int64.compare b.Hde.total_cycles (Hde.load_plain cfg ~image_bytes:4096) > 0)
+
+let test_partial_cheaper_than_full () =
+  let full = Hde.load_encrypted cfg ~image_bytes:4096 ~hashed_bytes:4096 ~encrypted_bytes:4096 in
+  let half = Hde.load_encrypted cfg ~image_bytes:4096 ~hashed_bytes:4096 ~encrypted_bytes:2048 in
+  check Alcotest.bool "less keystream, faster" true
+    (Int64.compare half.Hde.total_cycles full.Hde.total_cycles < 0)
+
+let test_breakdown_consistency () =
+  (* Default (shared SHA core): stages serialise. *)
+  let b = Hde.load_encrypted cfg ~image_bytes:1000 ~hashed_bytes:900 ~encrypted_bytes:500 in
+  let stage_sum =
+    List.fold_left Int64.add 0L
+      [ b.Hde.dma_cycles; b.Hde.hash_cycles; b.Hde.keystream_cycles; b.Hde.xor_cycles ]
+  in
+  check Alcotest.int64 "serialised total = stage sum + fixed" (Int64.add stage_sum b.Hde.fixed_cycles)
+    b.Hde.total_cycles;
+  (* Pipelined variant: bounded by the slowest stage. *)
+  let p =
+    Hde.load_encrypted { cfg with Hde.pipelined = true } ~image_bytes:1000 ~hashed_bytes:900
+      ~encrypted_bytes:500
+  in
+  let stage_max =
+    List.fold_left max 0L [ p.Hde.dma_cycles; p.Hde.hash_cycles; p.Hde.keystream_cycles; p.Hde.xor_cycles ]
+  in
+  check Alcotest.int64 "pipelined total = max stage + fixed" (Int64.add stage_max p.Hde.fixed_cycles)
+    p.Hde.total_cycles;
+  check Alcotest.bool "pipelined is no slower than serialised" true
+    (Int64.compare p.Hde.total_cycles b.Hde.total_cycles <= 0)
+
+let hde_monotonic =
+  qtest "load cycles monotonic in encrypted bytes" QCheck.(pair (int_bound 100000) (int_bound 100000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let t bytes =
+        (Hde.load_encrypted cfg ~image_bytes:100000 ~hashed_bytes:100000 ~encrypted_bytes:bytes)
+          .Hde.total_cycles
+      in
+      Int64.compare (t lo) (t hi) <= 0)
+
+let test_rejects_negative () =
+  Alcotest.check_raises "negative bytes" (Invalid_argument "Hde.load_plain: negative byte count")
+    (fun () -> ignore (Hde.load_plain cfg ~image_bytes:(-1)))
+
+let () =
+  Alcotest.run "eric_hw"
+    [ ( "rtl",
+        [ Alcotest.test_case "leaf and block" `Quick test_rtl_leaf_and_block;
+          Alcotest.test_case "primitives" `Quick test_rtl_primitives;
+          Alcotest.test_case "rejects negative" `Quick test_rtl_rejects_negative ] );
+      ( "area",
+        [ Alcotest.test_case "baseline matches paper" `Quick test_baseline_matches_paper;
+          Alcotest.test_case "HDE delta in paper band" `Quick test_hde_delta_in_paper_band;
+          Alcotest.test_case "table2 rows" `Quick test_table2_rows;
+          Alcotest.test_case "hde composition" `Quick test_hde_composition ] );
+      ( "hde",
+        [ Alcotest.test_case "plain load" `Quick test_plain_load;
+          Alcotest.test_case "encrypted slower" `Quick test_encrypted_slower_than_plain;
+          Alcotest.test_case "partial cheaper" `Quick test_partial_cheaper_than_full;
+          Alcotest.test_case "breakdown consistency" `Quick test_breakdown_consistency;
+          hde_monotonic;
+          Alcotest.test_case "rejects negative" `Quick test_rejects_negative ] ) ]

@@ -1,0 +1,123 @@
+(* Tests for eric_puf: arbiter chain physics, device determinism, key
+   generation stability, population quality metrics. *)
+
+open Eric_puf
+
+let check = Alcotest.check
+
+let test_arbiter_deterministic () =
+  let rng = Eric_util.Prng.create ~seed:1L in
+  let chain = Arbiter.manufacture Arbiter.default_params rng in
+  for challenge = 0 to 255 do
+    check Alcotest.bool
+      (Printf.sprintf "challenge %d" challenge)
+      (Arbiter.eval chain ~challenge) (Arbiter.eval chain ~challenge)
+  done
+
+let test_arbiter_sign_matches_delay () =
+  let rng = Eric_util.Prng.create ~seed:2L in
+  let chain = Arbiter.manufacture Arbiter.default_params rng in
+  for challenge = 0 to 255 do
+    let d = Arbiter.delay_difference chain ~challenge in
+    check Alcotest.bool "eval = sign of delay difference" (d < 0.0)
+      (Arbiter.eval chain ~challenge)
+  done
+
+let test_arbiter_challenge_sensitivity () =
+  (* A healthy chain should not answer every challenge identically. *)
+  let rng = Eric_util.Prng.create ~seed:3L in
+  let ones = ref 0 in
+  for _ = 1 to 8 do
+    let chain = Arbiter.manufacture Arbiter.default_params rng in
+    for challenge = 0 to 255 do
+      if Arbiter.eval chain ~challenge then incr ones
+    done
+  done;
+  check Alcotest.bool "response distribution is mixed" true (!ones > 200 && !ones < 8 * 256 - 200)
+
+let test_arbiter_stage_validation () =
+  Alcotest.check_raises "zero stages" (Invalid_argument "Arbiter.manufacture: stages must be positive")
+    (fun () ->
+      ignore
+        (Arbiter.manufacture
+           { Arbiter.default_params with Arbiter.stages = 0 }
+           (Eric_util.Prng.create ~seed:1L)))
+
+let test_device_table1_shape () =
+  (* Table I: 32 chains, 8-bit challenge, 1-bit response each. *)
+  let d = Device.manufacture 100L in
+  check Alcotest.int "32 chains" 32 (Device.chains d);
+  check Alcotest.int "key bits" 32 (Device.key_bits d);
+  check Alcotest.int "challenge set size" 32 (Array.length (Device.challenge_set d));
+  Array.iter
+    (fun c -> check Alcotest.bool "8-bit challenge" true (c >= 0 && c < 256))
+    (Device.challenge_set d);
+  check Alcotest.int "key bytes" 4 (Bytes.length (Device.puf_key d))
+
+let test_device_reproducible () =
+  let a = Device.manufacture 55L and b = Device.manufacture 55L in
+  check Alcotest.string "same silicon, same key"
+    (Eric_util.Bytesx.to_hex (Device.puf_key a))
+    (Eric_util.Bytesx.to_hex (Device.puf_key b))
+
+let test_device_unique () =
+  (* Keys across a population must not collide en masse. *)
+  let keys =
+    List.init 24 (fun i -> Eric_util.Bytesx.to_hex (Device.puf_key (Device.manufacture (Int64.of_int (i + 1)))))
+  in
+  let distinct = List.sort_uniq compare keys in
+  check Alcotest.bool "mostly distinct keys" true (List.length distinct >= 23)
+
+let test_device_key_stable_under_noise () =
+  (* Majority voting + dark-bit masking: regeneration is error-free. *)
+  let d = Device.manufacture 77L in
+  let enrolled = Device.puf_key d in
+  for _ = 1 to 50 do
+    check Alcotest.string "regenerated key" (Eric_util.Bytesx.to_hex enrolled)
+      (Eric_util.Bytesx.to_hex (Device.puf_key d))
+  done
+
+let test_device_noiseless_response_deterministic () =
+  let d = Device.manufacture 88L in
+  let ch = Device.challenge_set d in
+  let a = Device.respond ~noisy:false d ch in
+  let b = Device.respond ~noisy:false d ch in
+  check Alcotest.bool "ideal responses equal" true (Eric_util.Bitvec.equal a b)
+
+let test_device_respond_arity () =
+  let d = Device.manufacture 99L in
+  Alcotest.check_raises "arity" (Invalid_argument "Device.respond: one challenge per chain expected")
+    (fun () -> ignore (Device.respond d [| 1; 2; 3 |]))
+
+let test_metrics_quality () =
+  let r = Metrics.evaluate ~devices:12 ~challenges_per_device:48 ~reeval:8 ~seed:2024L () in
+  check Alcotest.bool "uniformity near 50%" true
+    (r.Metrics.uniformity_pct > 40.0 && r.Metrics.uniformity_pct < 60.0);
+  check Alcotest.bool "uniqueness near 50%" true
+    (r.Metrics.uniqueness_pct > 40.0 && r.Metrics.uniqueness_pct < 60.0);
+  check Alcotest.bool "reliability high" true (r.Metrics.reliability_pct > 95.0);
+  check Alcotest.bool "keys regenerate" true (r.Metrics.key_failure_rate < 0.01)
+
+let test_metrics_validation () =
+  Alcotest.check_raises "needs 2 devices"
+    (Invalid_argument "Metrics.evaluate: need at least two devices") (fun () ->
+      ignore (Metrics.evaluate ~devices:1 ~seed:1L ()))
+
+let () =
+  Alcotest.run "eric_puf"
+    [ ( "arbiter",
+        [ Alcotest.test_case "deterministic" `Quick test_arbiter_deterministic;
+          Alcotest.test_case "sign matches delay" `Quick test_arbiter_sign_matches_delay;
+          Alcotest.test_case "challenge sensitivity" `Quick test_arbiter_challenge_sensitivity;
+          Alcotest.test_case "stage validation" `Quick test_arbiter_stage_validation ] );
+      ( "device",
+        [ Alcotest.test_case "table1 shape" `Quick test_device_table1_shape;
+          Alcotest.test_case "reproducible" `Quick test_device_reproducible;
+          Alcotest.test_case "unique" `Quick test_device_unique;
+          Alcotest.test_case "key stable under noise" `Quick test_device_key_stable_under_noise;
+          Alcotest.test_case "ideal response deterministic" `Quick
+            test_device_noiseless_response_deterministic;
+          Alcotest.test_case "respond arity" `Quick test_device_respond_arity ] );
+      ( "metrics",
+        [ Alcotest.test_case "population quality" `Slow test_metrics_quality;
+          Alcotest.test_case "validation" `Quick test_metrics_validation ] ) ]

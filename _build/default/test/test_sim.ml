@@ -1,0 +1,398 @@
+(* Tests for eric_sim: memory bounds, cache geometry and LRU, CPU
+   instruction semantics (including M-extension corner cases, checked
+   against independently computed expectations), syscalls and timing. *)
+
+open Eric_rv
+open Eric_sim
+
+let check = Alcotest.check
+let qtest ?(count = 300) name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_memory_rw () =
+  let m = Memory.create ~size:4096 in
+  Memory.write_u64 m 128 0x1122334455667788L;
+  check Alcotest.int64 "u64" 0x1122334455667788L (Memory.read_u64 m 128);
+  check Alcotest.int "low byte" 0x88 (Memory.read_u8 m 128);
+  check Alcotest.int "u16" 0x7788 (Memory.read_u16 m 128);
+  check Alcotest.int32 "u32" 0x55667788l (Memory.read_u32 m 128);
+  Memory.write_u8 m 128 0xFF;
+  check Alcotest.int "byte replaced" 0xFF (Memory.read_u8 m 128)
+
+let test_memory_bounds () =
+  let m = Memory.create ~size:64 in
+  let trap f = try f (); false with Memory.Trap _ -> true in
+  check Alcotest.bool "read past end" true (trap (fun () -> ignore (Memory.read_u64 m 60)));
+  check Alcotest.bool "negative" true (trap (fun () -> ignore (Memory.read_u8 m (-1))));
+  check Alcotest.bool "blit past end" true
+    (trap (fun () -> Memory.blit_bytes m ~addr:60 (Bytes.make 8 'x')))
+
+let test_memory_blit_fill () =
+  let m = Memory.create ~size:64 in
+  Memory.blit_bytes m ~addr:8 (Bytes.of_string "abc");
+  check Alcotest.string "blit" "abc" (Bytes.to_string (Memory.read_bytes m ~addr:8 ~len:3));
+  Memory.fill m ~addr:8 ~len:2 'z';
+  check Alcotest.string "fill" "zzc" (Bytes.to_string (Memory.read_bytes m ~addr:8 ~len:3))
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let small_cache () = Cache.create { Cache.size_bytes = 512; ways = 2; line_bytes = 64 }
+(* 512/64 = 8 lines, 2-way -> 4 sets; set index = line mod 4 *)
+
+let test_cache_hit_after_fill () =
+  let c = small_cache () in
+  check Alcotest.bool "first access misses" true (Cache.access c ~addr:0 ~write:false <> Cache.Hit);
+  check Alcotest.bool "second hits" true (Cache.access c ~addr:32 ~write:false = Cache.Hit);
+  check Alcotest.int "stats" 1 (Cache.stats c).Cache.hits
+
+let test_cache_lru_eviction () =
+  let c = small_cache () in
+  (* Three lines mapping to set 0: line 0 (addr 0), line 4 (addr 256),
+     line 8 (addr 512). *)
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:256 ~write:false);
+  (* touch line 0 so line 4 is LRU *)
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:512 ~write:false);
+  (* evicts line 4 *)
+  check Alcotest.bool "line 0 still resident" true (Cache.access c ~addr:0 ~write:false = Cache.Hit);
+  check Alcotest.bool "line 4 evicted" true (Cache.access c ~addr:256 ~write:false <> Cache.Hit)
+
+let test_cache_writeback () =
+  let c = small_cache () in
+  ignore (Cache.access c ~addr:0 ~write:true);
+  (* dirty line 0 *)
+  ignore (Cache.access c ~addr:256 ~write:false);
+  match Cache.access c ~addr:512 ~write:false with
+  | Cache.Miss { writeback = true } -> ()
+  | Cache.Miss { writeback = false } -> Alcotest.fail "expected dirty eviction"
+  | Cache.Hit -> Alcotest.fail "expected miss"
+
+let test_cache_flush () =
+  let c = small_cache () in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  Cache.flush c;
+  check Alcotest.bool "miss after flush" true (Cache.access c ~addr:0 ~write:false <> Cache.Hit)
+
+let test_cache_geometry_validation () =
+  let bad geometry = try ignore (Cache.create geometry); false with Invalid_argument _ -> true in
+  check Alcotest.bool "non power of two line" true
+    (bad { Cache.size_bytes = 512; ways = 2; line_bytes = 48 });
+  check Alcotest.bool "zero ways" true (bad { Cache.size_bytes = 512; ways = 0; line_bytes = 64 })
+
+let test_cache_table1_geometry () =
+  let c = Cache.create Cache.table1_config in
+  check Alcotest.int "16 KiB" (16 * 1024) (Cache.config c).Cache.size_bytes;
+  check Alcotest.int "4-way" 4 (Cache.config c).Cache.ways
+
+(* ------------------------------------------------------------------ *)
+(* CPU semantics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a single R-type instruction with the given operand values and
+   return rd. *)
+let exec_r op a b =
+  let memory = Memory.create ~size:0x20000 in
+  Memory.write_u32 memory 0x10000 (Encode.encode (Inst.R (op, Reg.a 0, Reg.a 1, Reg.a 2)));
+  Memory.write_u32 memory 0x10004 (Encode.encode (Inst.I (Addi, Reg.x0, Reg.x0, 0)));
+  let cpu = Cpu.create ~memory ~pc:0x10000 ~sp:0x1F000 () in
+  Cpu.set_reg cpu (Reg.a 1) a;
+  Cpu.set_reg cpu (Reg.a 2) b;
+  Cpu.step cpu;
+  (match Cpu.status cpu with
+  | Cpu.Running -> ()
+  | Cpu.Exited _ | Cpu.Faulted _ -> Alcotest.fail "single step should leave CPU running");
+  Cpu.reg cpu (Reg.a 0)
+
+let test_div_corner_cases () =
+  check Alcotest.int64 "div by zero" (-1L) (exec_r Inst.Div 42L 0L);
+  check Alcotest.int64 "rem by zero" 42L (exec_r Inst.Rem 42L 0L);
+  check Alcotest.int64 "divu by zero" (-1L) (exec_r Inst.Divu 42L 0L);
+  check Alcotest.int64 "remu by zero" 42L (exec_r Inst.Remu 42L 0L);
+  check Alcotest.int64 "signed overflow div" Int64.min_int (exec_r Inst.Div Int64.min_int (-1L));
+  check Alcotest.int64 "signed overflow rem" 0L (exec_r Inst.Rem Int64.min_int (-1L));
+  check Alcotest.int64 "divw by zero" (-1L) (exec_r Inst.Divw 7L 0L);
+  check Alcotest.int64 "remw by zero" 7L (exec_r Inst.Remw 7L 0L);
+  check Alcotest.int64 "divw overflow" (Int64.of_int32 Int32.min_int)
+    (exec_r Inst.Divw (Int64.of_int32 Int32.min_int) (-1L));
+  check Alcotest.int64 "trunc toward zero" (-3L) (exec_r Inst.Div (-7L) 2L);
+  check Alcotest.int64 "rem sign follows dividend" (-1L) (exec_r Inst.Rem (-7L) 2L)
+
+let test_mulh_identities () =
+  (* mulhu/mulh cross-checked against a 32x32 split computed here,
+     independent of the CPU implementation's helper. *)
+  let samples =
+    [ (0x123456789ABCDEFL, 0x0FEDCBA987654321L); (-1L, -1L); (Int64.min_int, 2L);
+      (Int64.max_int, Int64.max_int); (0xFFFFFFFFFFFFFFFFL, 2L); (3L, -5L) ]
+  in
+  let ref_mulhu a b =
+    let lo32 = 0xFFFFFFFFL in
+    let al = Int64.logand a lo32 and ah = Int64.shift_right_logical a 32 in
+    let bl = Int64.logand b lo32 and bh = Int64.shift_right_logical b 32 in
+    let open Int64 in
+    let ll = mul al bl in
+    let lh = mul al bh and hl = mul ah bl and hh = mul ah bh in
+    let mid = add (add lh (shift_right_logical ll 32)) (logand hl lo32) in
+    add (add hh (shift_right_logical hl 32)) (shift_right_logical mid 32)
+  in
+  List.iter
+    (fun (a, b) ->
+      let hu = ref_mulhu a b in
+      check Alcotest.int64 "mulhu" hu (exec_r Inst.Mulhu a b);
+      let hs =
+        let r = hu in
+        let r = if Int64.compare a 0L < 0 then Int64.sub r b else r in
+        if Int64.compare b 0L < 0 then Int64.sub r a else r
+      in
+      check Alcotest.int64 "mulh" hs (exec_r Inst.Mulh a b);
+      let hsu = if Int64.compare a 0L < 0 then Int64.sub hu b else hu in
+      check Alcotest.int64 "mulhsu" hsu (exec_r Inst.Mulhsu a b))
+    samples
+
+let mul_small_products =
+  qtest "mul/mulh on small magnitudes" QCheck.(pair int64 int64) (fun (a, b) ->
+      let a = Int64.rem a 0x40000000L and b = Int64.rem b 0x40000000L in
+      exec_r Inst.Mul a b = Int64.mul a b
+      && exec_r Inst.Mulh a b = (if Int64.mul a b < 0L then -1L else 0L))
+
+let test_w_ops () =
+  check Alcotest.int64 "addw wraps" (Int64.of_int32 (Int32.add Int32.max_int 1l))
+    (exec_r Inst.Addw (Int64.of_int32 Int32.max_int) 1L);
+  check Alcotest.int64 "subw" (-1L) (exec_r Inst.Subw 0L 1L);
+  check Alcotest.int64 "sllw truncates high bits" 0L (exec_r Inst.Sllw 0x100000000L 0L);
+  check Alcotest.int64 "srlw on bit31" 1L (exec_r Inst.Srlw 0x80000000L 31L);
+  check Alcotest.int64 "sraw sign extends" (-1L) (exec_r Inst.Sraw 0x80000000L 31L);
+  check Alcotest.int64 "mulw" (Int64.of_int32 (Int32.mul 123456789l 987654321l))
+    (exec_r Inst.Mulw 123456789L 987654321L)
+
+let test_shifts_mask_shamt () =
+  check Alcotest.int64 "sll uses low 6 bits" (Int64.shift_left 1L 1) (exec_r Inst.Sll 1L 65L);
+  check Alcotest.int64 "srl logical" 1L (exec_r Inst.Srl Int64.min_int 63L);
+  check Alcotest.int64 "sra arithmetic" (-1L) (exec_r Inst.Sra Int64.min_int 63L)
+
+let test_slt_family () =
+  check Alcotest.int64 "slt" 1L (exec_r Inst.Slt (-1L) 0L);
+  check Alcotest.int64 "sltu unsigned" 0L (exec_r Inst.Sltu (-1L) 0L);
+  check Alcotest.int64 "sltu small" 1L (exec_r Inst.Sltu 0L 1L)
+
+(* ------------------------------------------------------------------ *)
+(* Program-level behaviour                                             *)
+(* ------------------------------------------------------------------ *)
+
+let build_program ?(data = Bytes.empty) insts =
+  let text = Array.of_list (List.map (fun i -> Program.P32 (Encode.encode i)) insts) in
+  { Program.text; data; bss_size = 0; entry_offset = 0; symbols = [] }
+
+let test_x0_hardwired () =
+  let image =
+    build_program
+      [ Inst.I (Addi, Reg.x0, Reg.x0, 55) (* attempt to write x0 *);
+        Inst.I (Addi, Reg.a 0, Reg.x0, 0) (* a0 = x0 *);
+        Inst.I (Addi, Reg.a 7, Reg.x0, 93); Inst.Ecall ]
+  in
+  match (Soc.run_program image).Soc.status with
+  | Cpu.Exited 0 -> ()
+  | Cpu.Exited n -> Alcotest.failf "x0 was written: exit %d" n
+  | _ -> Alcotest.fail "fault"
+
+let test_load_store_widths () =
+  let a n = Reg.a n in
+  let image =
+    build_program
+      [ Inst.I (Addi, a 1, Reg.x0, -128) (* 0xFF..80 *);
+        Inst.U (Lui, Reg.t_ 0, 0x12) (* scratch memory at 0x12000 *);
+        Inst.Store (Sd, a 1, Reg.t_ 0, 0);
+        Inst.Load (Lb, a 2, Reg.t_ 0, 0) (* -128 *);
+        Inst.Load (Lbu, a 3, Reg.t_ 0, 0) (* 128 *);
+        Inst.Load (Lh, a 4, Reg.t_ 0, 0) (* -128 *);
+        Inst.Load (Lhu, a 5, Reg.t_ 0, 0) (* 65408 *);
+        Inst.R (Add, a 0, a 2, a 3); Inst.R (Add, a 0, a 0, a 4); Inst.R (Add, a 0, a 0, a 5);
+        Inst.I (Addi, a 7, Reg.x0, 93); Inst.Ecall ]
+  in
+  match (Soc.run_program image).Soc.status with
+  | Cpu.Exited code -> check Alcotest.int "widths checksum" (-128 + 128 - 128 + 65408) code
+  | _ -> Alcotest.fail "did not exit"
+
+let test_misaligned_store_faults () =
+  let image =
+    build_program
+      [ Inst.U (Lui, Reg.t_ 0, 0x12); Inst.I (Addi, Reg.t_ 0, Reg.t_ 0, 1);
+        Inst.Store (Sd, Reg.x0, Reg.t_ 0, 0) ]
+  in
+  match (Soc.run_program image).Soc.status with
+  | Cpu.Faulted msg ->
+    check Alcotest.bool "mentions misaligned" true
+      (String.length msg >= 10 && String.sub msg 0 10 = "misaligned")
+  | _ -> Alcotest.fail "expected fault"
+
+let test_invalid_instruction_faults () =
+  let image =
+    { Program.text = [| Program.P32 0xFFFFFFFFl |]; data = Bytes.empty; bss_size = 0;
+      entry_offset = 0; symbols = [] }
+  in
+  match (Soc.run_program image).Soc.status with
+  | Cpu.Faulted _ -> ()
+  | _ -> Alcotest.fail "expected fault"
+
+let test_ebreak_faults () =
+  let image = build_program [ Inst.Ebreak ] in
+  match (Soc.run_program image).Soc.status with
+  | Cpu.Faulted _ -> ()
+  | _ -> Alcotest.fail "expected fault"
+
+let test_out_of_fuel () =
+  let image = build_program [ Inst.Jal (Reg.x0, 0) (* jump to self *) ] in
+  match (Soc.run_program ~fuel:1000 image).Soc.status with
+  | Cpu.Faulted "out of fuel" -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_write_syscall () =
+  let image =
+    build_program ~data:(Bytes.of_string "xyz")
+      [ Inst.U (Lui, Reg.a 1, 0x11) (* data base: text rounds up to one page *);
+        Inst.I (Addi, Reg.a 0, Reg.x0, 1); Inst.I (Addi, Reg.a 2, Reg.x0, 3);
+        Inst.I (Addi, Reg.a 7, Reg.x0, 64); Inst.Ecall;
+        Inst.I (Addi, Reg.a 7, Reg.x0, 93); Inst.I (Addi, Reg.a 0, Reg.x0, 0); Inst.Ecall ]
+  in
+  let r = Soc.run_program image in
+  check Alcotest.string "output" "xyz" r.Soc.output;
+  check Alcotest.bool "exit 0" true (r.Soc.status = Cpu.Exited 0)
+
+(* ------------------------------------------------------------------ *)
+(* Timing model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cycles_of insts =
+  let image = build_program (insts @ [ Inst.I (Addi, Reg.a 7, Reg.x0, 93); Inst.Ecall ]) in
+  let r = Soc.run_program image in
+  (match r.Soc.status with Cpu.Exited _ -> () | _ -> Alcotest.fail "did not exit");
+  r.Soc.exec_cycles
+
+let test_timing_load_use_stall () =
+  let independent =
+    cycles_of
+      [ Inst.U (Lui, Reg.t_ 0, 0x12); Inst.Load (Ld, Reg.a 1, Reg.t_ 0, 0);
+        Inst.I (Addi, Reg.t_ 1, Reg.t_ 1, 1);
+        Inst.R (Add, Reg.a 2, Reg.a 1, Reg.a 1) ]
+  in
+  let dependent =
+    cycles_of
+      [ Inst.U (Lui, Reg.t_ 0, 0x12); Inst.Load (Ld, Reg.a 1, Reg.t_ 0, 0);
+        Inst.R (Add, Reg.a 2, Reg.a 1, Reg.a 1);
+        Inst.I (Addi, Reg.t_ 1, Reg.t_ 1, 1) ]
+  in
+  check Alcotest.int64 "dependent order costs one stall" (Int64.add independent 1L) dependent
+
+let test_timing_div_slower_than_add () =
+  let adds = cycles_of (List.init 10 (fun _ -> Inst.R (Add, Reg.a 0, Reg.a 0, Reg.a 1))) in
+  let divs = cycles_of (List.init 10 (fun _ -> Inst.R (Div, Reg.a 0, Reg.a 0, Reg.a 1))) in
+  check Alcotest.bool "div expensive" true (Int64.compare divs (Int64.add adds 200L) > 0)
+
+let test_timing_taken_branch_penalty () =
+  let taken =
+    cycles_of [ Inst.Branch (Beq, Reg.x0, Reg.x0, 8); Inst.I (Addi, Reg.a 0, Reg.x0, 1) ]
+  in
+  let straight =
+    cycles_of [ Inst.I (Addi, Reg.a 0, Reg.x0, 1); Inst.I (Addi, Reg.a 1, Reg.x0, 1) ]
+  in
+  check Alcotest.bool "taken branch pays penalty" true (Int64.compare taken straight > 0)
+
+let test_icache_stats_exposed () =
+  let image = build_program [ Inst.I (Addi, Reg.a 7, Reg.x0, 93); Inst.Ecall ] in
+  let r = Soc.run_program image in
+  check Alcotest.bool "icache rate sane" true
+    (r.Soc.icache_hit_rate >= 0.0 && r.Soc.icache_hit_rate <= 1.0)
+
+let test_plain_load_cycles () =
+  let image = build_program [ Inst.Ecall ] in
+  let bytes = Bytes.length (Program.to_binary image) in
+  check Alcotest.int64 "dma cycles" (Int64.of_int ((bytes + 7) / 8)) (Soc.plain_load_cycles image)
+
+
+let test_branch_predictor () =
+  (* A hot loop: the bimodal predictor should eliminate most taken-branch
+     penalties without changing architectural results. *)
+  let a n = Reg.a n in
+  let insts =
+    [ Inst.I (Addi, a 0, Reg.x0, 0); Inst.I (Addi, Reg.t_ 0, Reg.x0, 0);
+      Inst.I (Addi, Reg.t_ 1, Reg.x0, 1000);
+      (* loop: *)
+      Inst.R (Add, a 0, a 0, Reg.t_ 0); Inst.I (Addi, Reg.t_ 0, Reg.t_ 0, 1);
+      Inst.Branch (Blt, Reg.t_ 0, Reg.t_ 1, -8);
+      Inst.I (Addi, a 7, Reg.x0, 93); Inst.Ecall ]
+  in
+  let image = build_program insts in
+  let fixed = Soc.run_program image in
+  let predicted = Soc.run_program ~branch_predictor:true image in
+  check Alcotest.bool "same status" true (fixed.Soc.status = predicted.Soc.status);
+  (match (fixed.Soc.status, predicted.Soc.status) with
+  | Cpu.Exited a, Cpu.Exited b -> check Alcotest.int "same result" a b
+  | _ -> Alcotest.fail "did not exit");
+  check Alcotest.int64 "same instruction count" fixed.Soc.instructions predicted.Soc.instructions;
+  (* ~999 taken branches at 2 cycles each should nearly all disappear *)
+  check Alcotest.bool "prediction saves cycles" true
+    (Int64.compare (Int64.add predicted.Soc.exec_cycles 1500L) fixed.Soc.exec_cycles < 0)
+
+
+let test_csr_counters () =
+  (* rdcycle twice and rdinstret once; check deltas. *)
+  let a n = Reg.a n in
+  let image =
+    build_program
+      [ Inst.Csrr (a 1, 0xC00) (* cycles #1 *); Inst.I (Addi, Reg.t_ 0, Reg.x0, 1);
+        Inst.I (Addi, Reg.t_ 0, Reg.t_ 0, 1); Inst.Csrr (a 2, 0xC00) (* cycles #2 *);
+        Inst.Csrr (a 3, 0xC02) (* instret *);
+        Inst.R (Sub, a 0, a 2, a 1) (* cycle delta -> exit code *);
+        Inst.I (Addi, a 7, Reg.x0, 93); Inst.Ecall ]
+  in
+  let memory = Soc.load image in
+  let cpu = Soc.boot image memory in
+  (match Cpu.run cpu with
+  | Cpu.Exited delta ->
+    check Alcotest.bool "cycles advance" true (delta >= 3);
+    (* rdinstret executed as the 5th instruction; it reads the count of
+       instructions retired before it *)
+    check Alcotest.int64 "instret" 4L (Cpu.reg cpu (a 3))
+  | _ -> Alcotest.fail "did not exit")
+
+let () =
+  Alcotest.run "eric_sim"
+    [ ( "memory",
+        [ Alcotest.test_case "read/write" `Quick test_memory_rw;
+          Alcotest.test_case "bounds" `Quick test_memory_bounds;
+          Alcotest.test_case "blit/fill" `Quick test_memory_blit_fill ] );
+      ( "cache",
+        [ Alcotest.test_case "hit after fill" `Quick test_cache_hit_after_fill;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "writeback" `Quick test_cache_writeback;
+          Alcotest.test_case "flush" `Quick test_cache_flush;
+          Alcotest.test_case "geometry validation" `Quick test_cache_geometry_validation;
+          Alcotest.test_case "table1 geometry" `Quick test_cache_table1_geometry ] );
+      ( "cpu-semantics",
+        [ Alcotest.test_case "div corner cases" `Quick test_div_corner_cases;
+          Alcotest.test_case "mulh identities" `Quick test_mulh_identities;
+          mul_small_products;
+          Alcotest.test_case "w ops" `Quick test_w_ops;
+          Alcotest.test_case "shift masking" `Quick test_shifts_mask_shamt;
+          Alcotest.test_case "slt family" `Quick test_slt_family;
+          Alcotest.test_case "x0 hardwired" `Quick test_x0_hardwired;
+          Alcotest.test_case "load/store widths" `Quick test_load_store_widths ] );
+      ( "faults",
+        [ Alcotest.test_case "misaligned store" `Quick test_misaligned_store_faults;
+          Alcotest.test_case "invalid instruction" `Quick test_invalid_instruction_faults;
+          Alcotest.test_case "ebreak" `Quick test_ebreak_faults;
+          Alcotest.test_case "out of fuel" `Quick test_out_of_fuel ] );
+      ("syscalls", [ Alcotest.test_case "write" `Quick test_write_syscall ]);
+      ( "timing",
+        [ Alcotest.test_case "load-use stall" `Quick test_timing_load_use_stall;
+          Alcotest.test_case "div slower" `Quick test_timing_div_slower_than_add;
+          Alcotest.test_case "taken branch penalty" `Quick test_timing_taken_branch_penalty;
+          Alcotest.test_case "icache stats" `Quick test_icache_stats_exposed;
+          Alcotest.test_case "plain load cycles" `Quick test_plain_load_cycles;
+          Alcotest.test_case "branch predictor" `Quick test_branch_predictor;
+          Alcotest.test_case "csr counters" `Quick test_csr_counters ] ) ]
