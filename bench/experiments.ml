@@ -97,7 +97,11 @@ let fig5 () =
     "\nfull encryption: avg %+.2f%%, max %+.2f%%   (paper: avg +1.59%%, max +3.73%%)\n"
     (avg full_pcts) (mx full_pcts);
   Printf.printf "partial (50%%): avg %+.2f%%, max %+.2f%% (adds 1 map bit per parcel)\n"
-    (avg part_pcts) (mx part_pcts)
+    (avg part_pcts) (mx part_pcts);
+  Report.record ~suite:"fig5" ~metric:"full_size_avg" ~unit_:"%" (avg full_pcts);
+  Report.record ~suite:"fig5" ~metric:"full_size_max" ~unit_:"%" (mx full_pcts);
+  Report.record ~suite:"fig5" ~metric:"partial_size_avg" ~unit_:"%" (avg part_pcts);
+  Report.record ~suite:"fig5" ~metric:"partial_size_max" ~unit_:"%" (mx part_pcts)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 6: compile time                                                 *)
@@ -155,8 +159,10 @@ let fig6 () =
   in
   Report.table ~header:[ "workload"; "plain ms"; "eric ms"; "overhead" ] rows;
   let avg = List.fold_left ( +. ) 0.0 pcts /. float_of_int (List.length pcts) in
-  Printf.printf "\naverage %+.2f%%, worst %+.2f%%   (paper: avg +15.22%%, worst +33.20%%)\n" avg
-    (List.fold_left max neg_infinity pcts)
+  let worst = List.fold_left max neg_infinity pcts in
+  Printf.printf "\naverage %+.2f%%, worst %+.2f%%   (paper: avg +15.22%%, worst +33.20%%)\n" avg worst;
+  Report.record ~suite:"fig6" ~metric:"compile_overhead_avg" ~unit_:"%" avg;
+  Report.record ~suite:"fig6" ~metric:"compile_overhead_worst" ~unit_:"%" worst
 
 (* ------------------------------------------------------------------ *)
 (* Fig 7: end-to-end execution time                                    *)
@@ -194,8 +200,10 @@ let fig7 () =
     ~header:[ "workload"; "plain load"; "hde load"; "exec cyc"; "eric total"; "overhead" ]
     rows;
   let avg = List.fold_left ( +. ) 0.0 pcts /. float_of_int (List.length pcts) in
-  Printf.printf "\naverage %+.2f%%, max %+.2f%%   (paper: avg +4.13%%, max +7.05%%)\n" avg
-    (List.fold_left max neg_infinity pcts);
+  let mx = List.fold_left max neg_infinity pcts in
+  Printf.printf "\naverage %+.2f%%, max %+.2f%%   (paper: avg +4.13%%, max +7.05%%)\n" avg mx;
+  Report.record ~suite:"fig7" ~metric:"e2e_overhead_avg" ~unit_:"%" avg;
+  Report.record ~suite:"fig7" ~metric:"e2e_overhead_max" ~unit_:"%" mx;
   (* companion: large datasets, where the one-off load cost amortises away
      (the flip side of the paper's size/run-length proportionality) *)
   let t = Lazy.force target in
@@ -212,9 +220,12 @@ let fig7 () =
             (Eric_sim.Soc.total_cycles plain))
       (Lazy.force compiled)
   in
-  Printf.printf "large datasets: avg %+.3f%%, max %+.3f%% (load cost amortised)\n"
-    (List.fold_left ( +. ) 0.0 large_pcts /. float_of_int (List.length large_pcts))
-    (List.fold_left max neg_infinity large_pcts)
+  let large_avg = List.fold_left ( +. ) 0.0 large_pcts /. float_of_int (List.length large_pcts) in
+  let large_max = List.fold_left max neg_infinity large_pcts in
+  Printf.printf "large datasets: avg %+.3f%%, max %+.3f%% (load cost amortised)\n" large_avg
+    large_max;
+  Report.record ~suite:"fig7" ~metric:"e2e_overhead_large_avg" ~unit_:"%" large_avg;
+  Report.record ~suite:"fig7" ~metric:"e2e_overhead_large_max" ~unit_:"%" large_max
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (beyond the paper's figures)                              *)
@@ -323,15 +334,18 @@ let ablation_soft_errors () =
     | Eric.Protocol.Refused _ -> incr detected
     | Eric.Protocol.Executed _ -> ()
   done;
-  Printf.printf "%d/%d corrupted transmissions rejected (%.1f%%)\n" !detected trials
-    (100.0 *. float_of_int !detected /. float_of_int trials)
+  let rate = 100.0 *. float_of_int !detected /. float_of_int trials in
+  Printf.printf "%d/%d corrupted transmissions rejected (%.1f%%)\n" !detected trials rate;
+  Report.record ~suite:"ablations" ~metric:"soft_error_detection" ~unit_:"%" rate
 
 let ablation_diffusion () =
   Report.subheading "Key diffusion (fraction of text bits changed by a 1-bit key change)";
   let key = device_key () in
   let _, image = List.nth (Lazy.force compiled) 0 in
   let pkg, _ = Eric.Encrypt.encrypt ~key ~mode:Eric.Config.Full image in
-  Printf.printf "diffusion = %.4f (ideal 0.5)\n" (Eric.Analysis.diffusion ~key pkg)
+  let d = Eric.Analysis.diffusion ~key pkg in
+  Printf.printf "diffusion = %.4f (ideal 0.5)\n" d;
+  Report.record ~suite:"ablations" ~metric:"key_diffusion" ~unit_:"fraction" d
 
 let ablation_compression () =
   Report.subheading "RVC compression ablation (text size and parcels per workload)";

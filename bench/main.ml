@@ -15,8 +15,38 @@ let experiments =
 
 let run_all () = List.iter (fun (_, f) -> f ()) experiments
 
+(* Dump every bench.result{suite,metric,unit} gauge the run recorded
+   (see Report.record) as machine-readable JSON, one row per metric. *)
+let results_file = "BENCH_results.json"
+
+let write_results () =
+  let snapshot = Eric_telemetry.Snapshot.capture () in
+  let rows =
+    List.filter_map
+      (fun (name, labels, value) ->
+        if name <> "bench.result" then None
+        else
+          let label key = Option.value ~default:"" (List.assoc_opt key labels) in
+          Some
+            (Eric_telemetry.Json.Obj
+               [ ("suite", Eric_telemetry.Json.Str (label "suite"));
+                 ("metric", Eric_telemetry.Json.Str (label "metric"));
+                 ("value", Eric_telemetry.Json.Num value);
+                 ("unit", Eric_telemetry.Json.Str (label "unit")) ]))
+      snapshot.Eric_telemetry.Snapshot.gauges
+  in
+  if rows <> [] then begin
+    let oc = open_out results_file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Eric_telemetry.Json.to_string (Eric_telemetry.Json.List rows));
+        output_char oc '\n');
+    Printf.printf "\n%d results -> %s\n" (List.length rows) results_file
+  end
+
 let () =
-  match Array.to_list Sys.argv with
+  (match Array.to_list Sys.argv with
   | [ _ ] | [ _; "all" ] -> run_all ()
   | _ :: picks ->
     List.iter
@@ -28,4 +58,5 @@ let () =
             (String.concat " " (List.map fst experiments));
           exit 2)
       picks
-  | [] -> run_all ()
+  | [] -> run_all ());
+  write_results ()

@@ -52,10 +52,21 @@ let tests =
         (Staged.stage (fun () ->
              match Eric.Encrypt.decrypt ~key (Lazy.force quick_package) with
              | Ok _ -> ()
-             | Error _ -> failwith "decrypt failed")) ]
+             | Error _ -> failwith "decrypt failed"));
+      (* The telemetry no-op guarantee: with recording disabled, an
+         instrumentation site must cost one branch over the bare call.
+         Compare these three rows (all should be within noise of each
+         other and a handful of ns). *)
+      Test.make ~name:"telemetry-off-baseline" (Staged.stage (fun () -> Sys.opaque_identity ()));
+      Test.make ~name:"telemetry-off-span"
+        (Staged.stage (fun () ->
+             Eric_telemetry.Span.with_ ~name:"noop" (fun () -> Sys.opaque_identity ())));
+      Test.make ~name:"telemetry-off-counter"
+        (Staged.stage (fun () -> Eric_telemetry.Registry.inc "noop")) ]
 
 let run () =
   Report.heading "Microbenchmarks (bechamel, monotonic clock, ns/run)";
+  assert (not (Eric_telemetry.Control.is_enabled ()));
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
@@ -64,16 +75,19 @@ let run () =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
-      let ns =
+      let ns, ns_value =
         match Analyze.OLS.estimates ols_result with
-        | Some (est :: _) -> Printf.sprintf "%.1f" est
-        | Some [] | None -> "n/a"
+        | Some (est :: _) -> (Printf.sprintf "%.1f" est, Some est)
+        | Some [] | None -> ("n/a", None)
       in
       let r2 =
         match Analyze.OLS.r_square ols_result with
         | Some r -> Printf.sprintf "%.4f" r
         | None -> "n/a"
       in
+      (match ns_value with
+      | Some est -> Report.record ~suite:"micro" ~metric:name ~unit_:"ns/run" est
+      | None -> ());
       rows := [ name; ns; r2 ] :: !rows)
     results;
   Report.table ~header:[ "benchmark"; "ns/run"; "r^2" ]

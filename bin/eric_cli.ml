@@ -78,6 +78,60 @@ let options_of ~no_compress ~no_optimize =
     optimize = not no_optimize }
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_format_conv =
+  let parse = function
+    | "table" -> Ok `Table
+    | "jsonl" -> Ok `Jsonl
+    | "trace" -> Ok `Trace
+    | s -> Error (`Msg (Printf.sprintf "unknown telemetry format %S (expected table, jsonl or trace)" s))
+  in
+  let print fmt f =
+    Format.pp_print_string fmt (match f with `Table -> "table" | `Jsonl -> "jsonl" | `Trace -> "trace")
+  in
+  Arg.conv (parse, print)
+
+let telemetry_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some `Table) (some telemetry_format_conv) None
+    & info [ "telemetry" ] ~docv:"FORMAT"
+        ~doc:
+          "Record pipeline telemetry (spans, counters, gauges) and report it when the command \
+           finishes.  FORMAT is table (default), jsonl, or trace (Chrome trace_event JSON for \
+           about:tracing / Perfetto).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the telemetry report to FILE instead of stderr.")
+
+(* Enable recording now and export at process exit, so even the [exit]-ing
+   run command reports.  [at_exit] fires exactly once on every exit path. *)
+let setup_telemetry format trace_out =
+  match format with
+  | None -> ()
+  | Some format ->
+    Eric_telemetry.Control.enable ();
+    at_exit (fun () ->
+        let snapshot = Eric_telemetry.Snapshot.capture () in
+        let rendered =
+          match format with
+          | `Table -> Format.asprintf "%a" Eric_telemetry.Export.pp_table snapshot
+          | `Jsonl -> Eric_telemetry.Export.to_jsonl snapshot
+          | `Trace -> Eric_telemetry.Export.to_chrome_trace snapshot
+        in
+        match trace_out with
+        | Some path -> write_file path (Bytes.of_string rendered)
+        | None ->
+          prerr_string rendered;
+          flush stderr)
+
+(* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -93,7 +147,8 @@ let compile_cmd =
     Term.(const run $ source_arg $ output_arg ~default:"a.rexe" $ no_compress_arg $ no_optimize_arg)
 
 let build_cmd =
-  let run source output device_id mode no_compress no_optimize =
+  let run source output device_id mode no_compress no_optimize telemetry trace_out =
+    setup_telemetry telemetry trace_out;
     let options = options_of ~no_compress ~no_optimize in
     let target = Eric.Target.of_id device_id in
     let key = Eric.Protocol.provision target in
@@ -112,7 +167,7 @@ let build_cmd =
     (Cmd.info "build" ~doc:"Compile and encrypt a package for one device.")
     Term.(
       const run $ source_arg $ output_arg ~default:"a.epkg" $ device_id_arg $ mode_arg
-      $ no_compress_arg $ no_optimize_arg)
+      $ no_compress_arg $ no_optimize_arg $ telemetry_arg $ trace_out_arg)
 
 let emit_asm_cmd =
   let run source output no_compress no_optimize =
@@ -176,7 +231,8 @@ let disasm_cmd =
     Term.(const run $ file_arg)
 
 let analyze_cmd =
-  let run path =
+  let run path telemetry trace_out =
+    setup_telemetry telemetry trace_out;
     let data = Bytes.of_string (read_file path) in
     let text =
       match Eric.Package.parse data with
@@ -190,10 +246,11 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Static-analysis metrics of a text section.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ telemetry_arg $ trace_out_arg)
 
 let run_cmd =
-  let run path device_id fuel trace =
+  let run path device_id fuel trace telemetry trace_out =
+    setup_telemetry telemetry trace_out;
     let data = Bytes.of_string (read_file path) in
     let with_trace image memory load_cycles =
       let cpu = Eric_sim.Soc.boot image memory in
@@ -207,14 +264,20 @@ let run_cmd =
                  Printf.eprintf "%8x:  %s\n" pc (Eric_rv.Disasm.inst_to_string inst)
                end))
       end;
-      ignore (Eric_sim.Cpu.run ~fuel cpu);
-      { Eric_sim.Soc.status = Eric_sim.Cpu.status cpu;
-        output = Eric_sim.Cpu.output cpu;
-        exec_cycles = Eric_sim.Cpu.cycles cpu;
-        load_cycles;
-        instructions = Eric_sim.Cpu.instructions cpu;
-        icache_hit_rate = Eric_sim.Cache.hit_rate (Eric_sim.Cpu.icache cpu);
-        dcache_hit_rate = Eric_sim.Cache.hit_rate (Eric_sim.Cpu.dcache cpu) }
+      ignore
+        (Eric_telemetry.Span.with_ ~cat:"sim" ~name:"sim.execute" (fun () ->
+             Eric_sim.Cpu.run ~fuel cpu));
+      let result =
+        { Eric_sim.Soc.status = Eric_sim.Cpu.status cpu;
+          output = Eric_sim.Cpu.output cpu;
+          exec_cycles = Eric_sim.Cpu.cycles cpu;
+          load_cycles;
+          instructions = Eric_sim.Cpu.instructions cpu;
+          icache_hit_rate = Eric_sim.Cache.hit_rate (Eric_sim.Cpu.icache cpu);
+          dcache_hit_rate = Eric_sim.Cache.hit_rate (Eric_sim.Cpu.dcache cpu) }
+      in
+      Eric_sim.Soc.record_result result;
+      result
     in
     let result =
       match Eric.Package.parse data with
@@ -256,7 +319,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an image, or a package on its device.")
-    Term.(const run $ file_arg $ device_id_arg $ fuel_arg $ trace_arg)
+    Term.(const run $ file_arg $ device_id_arg $ fuel_arg $ trace_arg $ telemetry_arg $ trace_out_arg)
 
 let puf_cmd =
   let run device_id =

@@ -25,6 +25,10 @@ int main() {
 |}
 
 let () =
+  (* every stage below is instrumented; collect spans and counters so the
+     tour can end with the telemetry table *)
+  Eric_telemetry.Control.enable ();
+
   (* 1. MiniC -> IR (what the optimiser sees) *)
   let ir =
     match Eric_cc.Driver.compile_to_ir source with Ok ir -> ir | Error e -> failwith e
@@ -66,4 +70,8 @@ let () =
   let r = Eric_sim.Soc.run_program image in
   print_string r.Eric_sim.Soc.output;
   Printf.printf "(SoC totals: %Ld instructions, %Ld cycles)\n" r.Eric_sim.Soc.instructions
-    r.Eric_sim.Soc.exec_cycles
+    r.Eric_sim.Soc.exec_cycles;
+
+  (* 6. what the instrumentation saw: per-stage spans and SoC gauges *)
+  print_endline "\n=== telemetry ===";
+  Format.printf "%a@." Eric_telemetry.Export.pp_table (Eric_telemetry.Snapshot.capture ())

@@ -288,7 +288,9 @@ let save_restore ctx ~save =
     regs
 
 let gen_func (f : Ir.func) =
-  let alloc = Regalloc.allocate f in
+  let alloc =
+    Eric_telemetry.Span.with_ ~cat:"cc" ~name:"cc.regalloc" (fun () -> Regalloc.allocate f)
+  in
   let frame, slot_offsets, spill_base = layout_frame f alloc in
   let ctx = { f; alloc; frame; slot_offsets; spill_base; items = [] } in
   emit ctx (Assemble.Label f.f_name);

@@ -88,18 +88,20 @@ int memcmp(char *a, char *b, int n) {
 }
 |}
 
+let span name f = Eric_telemetry.Span.with_ ~cat:"cc" ~name f
+
 let compile_to_ir ?(options = default_options) source =
   let full = if options.include_prelude then prelude ^ source else source in
   let ( let* ) = Result.bind in
   let* ast = Parser.parse full in
-  let* tast = Typecheck.check ast in
-  let ir = Lower.lower tast in
-  if options.optimize then Opt.run ir;
+  let* tast = span "cc.typecheck" (fun () -> Typecheck.check ast) in
+  let ir = span "cc.lower" (fun () -> Lower.lower tast) in
+  if options.optimize then span "cc.opt" (fun () -> Opt.run ir);
   Ok ir
 
 let gen_input ir =
   let ir = { ir with Ir.p_funcs = Opt.reachable_functions ir ~entry:"main" } in
-  Codegen.gen_program ir
+  span "cc.codegen" (fun () -> Codegen.gen_program ir)
 
 let compile_to_assembly ?(options = default_options) source =
   let ( let* ) = Result.bind in
@@ -109,14 +111,17 @@ let compile_to_assembly ?(options = default_options) source =
   else Ok (Format.asprintf "%a" Eric_rv.Assemble.pp_input (gen_input ir))
 
 let compile ?(options = default_options) source =
-  let ( let* ) = Result.bind in
-  let* ir = compile_to_ir ~options source in
-  if not (List.exists (fun f -> f.Ir.f_name = "main") ir.Ir.p_funcs) then
-    Error "program has no main function"
-  else
-    (* Linker-style GC happens in gen_input: functions main never reaches
-       (e.g. unused runtime-prelude helpers) are dropped. *)
-    Eric_rv.Assemble.assemble ~compress:options.compress (gen_input ir)
+  span "cc.compile" (fun () ->
+      let ( let* ) = Result.bind in
+      let* ir = compile_to_ir ~options source in
+      if not (List.exists (fun f -> f.Ir.f_name = "main") ir.Ir.p_funcs) then
+        Error "program has no main function"
+      else
+        (* Linker-style GC happens in gen_input: functions main never reaches
+           (e.g. unused runtime-prelude helpers) are dropped. *)
+        let input = gen_input ir in
+        span "cc.assemble" (fun () ->
+            Eric_rv.Assemble.assemble ~compress:options.compress input))
 
 let compile_exn ?options source =
   match compile ?options source with

@@ -331,12 +331,13 @@ let reachable_functions (p : program) ~entry =
   List.filter (fun f -> Hashtbl.mem seen f.f_name) p.p_funcs
 
 let run (p : program) =
+  let timed name pass f = Eric_telemetry.Span.with_ ~cat:"cc" ~name (fun () -> pass f) in
   let pass_pipeline f =
-    let c1 = const_fold f in
-    let c2 = copy_prop f in
-    let c3 = cse f in
-    let c4 = dce f in
-    let c5 = simplify_cfg f in
+    let c1 = timed "cc.opt.const_fold" const_fold f in
+    let c2 = timed "cc.opt.copy_prop" copy_prop f in
+    let c3 = timed "cc.opt.cse" cse f in
+    let c4 = timed "cc.opt.dce" dce f in
+    let c5 = timed "cc.opt.simplify_cfg" simplify_cfg f in
     c1 || c2 || c3 || c4 || c5
   in
   List.iter

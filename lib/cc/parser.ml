@@ -404,8 +404,9 @@ let parse_program st =
   List.rev !decls
 
 let parse_exn src =
-  let st = { toks = Lexer.tokenize src } in
-  parse_program st
+  let toks = Eric_telemetry.Span.with_ ~cat:"cc" ~name:"cc.lex" (fun () -> Lexer.tokenize src) in
+  let st = { toks } in
+  Eric_telemetry.Span.with_ ~cat:"cc" ~name:"cc.parse" (fun () -> parse_program st)
 
 let parse src =
   match parse_exn src with

@@ -33,6 +33,7 @@ let printable_runs_of text =
   !runs
 
 let static_analysis text =
+  Eric_telemetry.Span.with_ ~cat:"core" ~name:"core.analyze" @@ fun () ->
   let lines = Eric_rv.Disasm.disassemble_stream text in
   let total = List.length lines in
   let histogram = Hashtbl.create 64 in

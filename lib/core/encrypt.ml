@@ -34,7 +34,7 @@ let xor_field16 buf ks ~pos ~mask =
 (* Encryption (software source side)                                   *)
 (* ------------------------------------------------------------------ *)
 
-let encrypt ~key ~mode image =
+let encrypt_unmetered ~key ~mode image =
   let text = Program.text_bytes image in
   let parcels = image.Program.text in
   let offsets = Program.parcel_offsets image in
@@ -87,11 +87,25 @@ let encrypt ~key ~mode image =
       encrypted_bytes = !encrypted_bytes;
     } )
 
+let encrypt ~key ~mode image =
+  let ((_, stats) as r) =
+    Eric_telemetry.Span.with_ ~cat:"core" ~name:"core.encrypt" (fun () ->
+        encrypt_unmetered ~key ~mode image)
+  in
+  if Eric_telemetry.Control.is_enabled () then begin
+    Eric_telemetry.Registry.inc "build.encrypts_total";
+    Eric_telemetry.Registry.inc ~by:(Int64.of_int stats.parcels) "build.parcels_total";
+    Eric_telemetry.Registry.inc ~by:(Int64.of_int stats.encrypted_parcels)
+      "build.parcels_encrypted";
+    Eric_telemetry.Registry.inc ~by:(Int64.of_int stats.encrypted_bytes) "build.bytes_encrypted"
+  end;
+  r
+
 (* ------------------------------------------------------------------ *)
 (* Decryption (HDE side)                                               *)
 (* ------------------------------------------------------------------ *)
 
-let decrypt ~key (pkg : Package.t) =
+let decrypt_unmetered ~key (pkg : Package.t) =
   let text_len = Bytes.length pkg.enc_text in
   let ks = stream_for ~key ~text_len in
   let out = Bytes.copy pkg.enc_text in
@@ -176,6 +190,27 @@ let decrypt ~key (pkg : Package.t) =
               encrypted_parcels = !encrypted_parcels;
               encrypted_bytes = !encrypted_bytes;
             } ))
+
+let decrypt ~key (pkg : Package.t) =
+  let r =
+    Eric_telemetry.Span.with_ ~cat:"core" ~name:"ingest.decrypt" (fun () ->
+        decrypt_unmetered ~key pkg)
+  in
+  if Eric_telemetry.Control.is_enabled () then begin
+    match r with
+    | Ok (_, stats) ->
+      Eric_telemetry.Registry.inc ~by:(Int64.of_int stats.encrypted_parcels)
+        "ingest.parcels_decrypted";
+      Eric_telemetry.Registry.inc ~by:(Int64.of_int stats.encrypted_bytes)
+        "ingest.bytes_decrypted";
+      Eric_telemetry.Registry.inc ~labels:[ ("result", "ok") ] "ingest.signature_validations"
+    | Error Signature_mismatch ->
+      Eric_telemetry.Registry.inc
+        ~labels:[ ("result", "mismatch") ]
+        "ingest.signature_validations"
+    | Error (Framing_failure _) -> () (* the Validation Unit never ran *)
+  end;
+  r
 
 let decrypt_text_only ~key (pkg : Package.t) =
   let text_len = Bytes.length pkg.enc_text in

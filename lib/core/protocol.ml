@@ -48,13 +48,26 @@ let provision_over_network ?(attack = No_attack) ~rng ~source_key target =
   | Ok wire -> Eric_crypto.Rsa.decrypt source_key (apply_attack attack wire)
 
 let transmit ?(attack = No_attack) ?fuel ~(source : Source.build) ~target () =
-  let wire = apply_attack attack (Package.serialize source.Source.package) in
-  match Package.parse wire with
-  | Error msg -> Refused (Target.Malformed msg)
-  | Ok pkg -> (
-    match Target.execute ?fuel target pkg with
-    | Error e -> Refused e
-    | Ok result -> Executed result)
+  Eric_telemetry.Span.with_ ~cat:"core" ~name:"transit.transmit" (fun () ->
+      let serialized =
+        Eric_telemetry.Span.with_ ~cat:"core" ~name:"build.serialize" (fun () ->
+            Package.serialize source.Source.package)
+      in
+      if Eric_telemetry.Control.is_enabled () then begin
+        Eric_telemetry.Registry.inc "transit.messages_total";
+        Eric_telemetry.Registry.inc ~by:(Int64.of_int (Bytes.length serialized))
+          "transit.bytes_out"
+      end;
+      let wire = apply_attack attack serialized in
+      match Package.parse wire with
+      | Error msg ->
+        let e = Target.Malformed msg in
+        Target.count_refusal e;
+        Refused e
+      | Ok pkg -> (
+        match Target.execute ?fuel target pkg with
+        | Error e -> Refused e
+        | Ok result -> Executed result))
 
 let cross_check ~builds ~targets =
   List.concat_map

@@ -8,13 +8,20 @@ type build = {
 
 let package_image ~mode ~key image =
   let package, stats = Encrypt.encrypt ~key ~mode image in
-  {
-    image;
-    package;
-    stats;
-    plain_size = Bytes.length (Eric_rv.Program.to_binary image);
-    package_size = Package.size package;
-  }
+  let b =
+    {
+      image;
+      package;
+      stats;
+      plain_size = Bytes.length (Eric_rv.Program.to_binary image);
+      package_size = Package.size package;
+    }
+  in
+  if Eric_telemetry.Control.is_enabled () then begin
+    Eric_telemetry.Registry.inc "build.builds_total";
+    Eric_telemetry.Registry.inc ~by:(Int64.of_int b.package_size) "build.package_bytes"
+  end;
+  b
 
 let build ?options ~mode ~key source =
   Result.map (package_image ~mode ~key) (Eric_cc.Driver.compile ?options source)

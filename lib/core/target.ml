@@ -25,23 +25,41 @@ type loaded = {
   load : Eric_hw.Hde.breakdown;
 }
 
+let refusal_reason = function
+  | Malformed _ -> "malformed"
+  | Rejected (Encrypt.Framing_failure _) -> "framing"
+  | Rejected Encrypt.Signature_mismatch -> "signature"
+
+let count_refusal e =
+  if Eric_telemetry.Control.is_enabled () then
+    Eric_telemetry.Registry.inc ~labels:[ ("reason", refusal_reason e) ] "ingest.refused_total"
+
 let receive t pkg =
-  match Encrypt.decrypt ~key:t.key pkg with
-  | Error e -> Error (Rejected e)
-  | Ok (image, stats) ->
-    let image_bytes = Package.size pkg in
-    let hashed_bytes =
-      Bytes.length (Package.authenticated_header pkg)
-      + Bytes.length pkg.Package.enc_text + Bytes.length pkg.Package.data
-    in
-    (* The travelling signature needs keystream too. *)
-    let encrypted_bytes = stats.Encrypt.encrypted_bytes + Siggen.signature_size in
-    let load = Eric_hw.Hde.load_encrypted t.hde ~image_bytes ~hashed_bytes ~encrypted_bytes in
-    Ok { image; stats; load }
+  Eric_telemetry.Span.with_ ~cat:"core" ~name:"ingest.receive" (fun () ->
+      if Eric_telemetry.Control.is_enabled () then
+        Eric_telemetry.Registry.inc ~by:(Int64.of_int (Package.size pkg)) "ingest.bytes_in";
+      match Encrypt.decrypt ~key:t.key pkg with
+      | Error e ->
+        let e = Rejected e in
+        count_refusal e;
+        Error e
+      | Ok (image, stats) ->
+        let image_bytes = Package.size pkg in
+        let hashed_bytes =
+          Bytes.length (Package.authenticated_header pkg)
+          + Bytes.length pkg.Package.enc_text + Bytes.length pkg.Package.data
+        in
+        (* The travelling signature needs keystream too. *)
+        let encrypted_bytes = stats.Encrypt.encrypted_bytes + Siggen.signature_size in
+        let load = Eric_hw.Hde.load_encrypted t.hde ~image_bytes ~hashed_bytes ~encrypted_bytes in
+        Ok { image; stats; load })
 
 let receive_bytes t bytes =
   match Package.parse bytes with
-  | Error msg -> Error (Malformed msg)
+  | Error msg ->
+    let e = Malformed msg in
+    count_refusal e;
+    Error e
   | Ok pkg -> receive t pkg
 
 let execute ?timing ?fuel t pkg =

@@ -28,6 +28,16 @@ type load_error =
 
 val pp_load_error : Format.formatter -> load_error -> unit
 
+val refusal_reason : load_error -> string
+(** Stable label for the telemetry family
+    [ingest.refused_total{reason=...}]: ["malformed"], ["framing"] or
+    ["signature"]. *)
+
+val count_refusal : load_error -> unit
+(** Increment [ingest.refused_total{reason=...}] (no-op when telemetry
+    is disabled).  [receive]/[receive_bytes] call this themselves; it is
+    exposed for front ends that parse packages on their own. *)
+
 type loaded = {
   image : Eric_rv.Program.t;
   stats : Encrypt.stats;

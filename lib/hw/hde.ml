@@ -45,14 +45,28 @@ let load_encrypted cfg ~image_bytes ~hashed_bytes ~encrypted_bytes =
     if cfg.pipelined then max (max dma hash) (max keystream xor)
     else dma + hash + keystream + xor
   in
-  {
-    dma_cycles = Int64.of_int dma;
-    hash_cycles = Int64.of_int hash;
-    keystream_cycles = Int64.of_int keystream;
-    xor_cycles = Int64.of_int xor;
-    fixed_cycles = Int64.of_int fixed;
-    total_cycles = Int64.of_int (stage_cycles + fixed);
-  }
+  let b =
+    {
+      dma_cycles = Int64.of_int dma;
+      hash_cycles = Int64.of_int hash;
+      keystream_cycles = Int64.of_int keystream;
+      xor_cycles = Int64.of_int xor;
+      fixed_cycles = Int64.of_int fixed;
+      total_cycles = Int64.of_int (stage_cycles + fixed);
+    }
+  in
+  if Eric_telemetry.Control.is_enabled () then begin
+    Eric_telemetry.Registry.inc "hde.loads_total";
+    let stage name v = Eric_telemetry.Registry.set ~labels:[ ("stage", name) ] "hde.load_cycles" (Int64.to_float v) in
+    stage "dma" b.dma_cycles;
+    stage "hash" b.hash_cycles;
+    stage "keystream" b.keystream_cycles;
+    stage "xor" b.xor_cycles;
+    stage "fixed" b.fixed_cycles;
+    stage "total" b.total_cycles;
+    Eric_telemetry.Registry.observe "hde.load_cycles_hist" (Int64.to_float b.total_cycles)
+  end;
+  b
 
 let load_plain cfg ~image_bytes =
   if image_bytes < 0 then invalid_arg "Hde.load_plain: negative byte count";

@@ -30,23 +30,43 @@ let boot ?timing ?branch_predictor image memory =
   Cpu.create ?timing ?branch_predictor ~memory ~pc:(Program.Layout.entry_address image)
     ~sp:Program.Layout.stack_top ()
 
+(* Export the per-run hardware counters as gauges: the figures that the
+   bench harness reads from [result] become queryable through one metric
+   pipeline (latest run wins, as for any gauge). *)
+let record_result r =
+  if Eric_telemetry.Control.is_enabled () then begin
+    let set = Eric_telemetry.Registry.set in
+    set "sim.exec_cycles" (Int64.to_float r.exec_cycles);
+    set "sim.load_cycles" (Int64.to_float r.load_cycles);
+    set "sim.instructions" (Int64.to_float r.instructions);
+    set "sim.cpi"
+      (if r.instructions = 0L then 0.0
+       else Int64.to_float r.exec_cycles /. Int64.to_float r.instructions);
+    set "sim.icache_hit_rate" r.icache_hit_rate;
+    set "sim.dcache_hit_rate" r.dcache_hit_rate
+  end
+
 let finish ~load_cycles cpu status =
-  {
-    status;
-    output = Cpu.output cpu;
-    exec_cycles = Cpu.cycles cpu;
-    load_cycles;
-    instructions = Cpu.instructions cpu;
-    icache_hit_rate = Cache.hit_rate (Cpu.icache cpu);
-    dcache_hit_rate = Cache.hit_rate (Cpu.dcache cpu);
-  }
+  let r =
+    {
+      status;
+      output = Cpu.output cpu;
+      exec_cycles = Cpu.cycles cpu;
+      load_cycles;
+      instructions = Cpu.instructions cpu;
+      icache_hit_rate = Cache.hit_rate (Cpu.icache cpu);
+      dcache_hit_rate = Cache.hit_rate (Cpu.dcache cpu);
+    }
+  in
+  record_result r;
+  r
 
 let run_loaded ?timing ?fuel ~load_cycles image memory =
   let cpu = boot ?timing image memory in
-  let status = Cpu.run ?fuel cpu in
+  let status = Eric_telemetry.Span.with_ ~cat:"sim" ~name:"sim.execute" (fun () -> Cpu.run ?fuel cpu) in
   finish ~load_cycles cpu status
 
 let run_program ?timing ?branch_predictor ?fuel image =
   let cpu = boot ?timing ?branch_predictor image (load image) in
-  let status = Cpu.run ?fuel cpu in
+  let status = Eric_telemetry.Span.with_ ~cat:"sim" ~name:"sim.execute" (fun () -> Cpu.run ?fuel cpu) in
   finish ~load_cycles:(plain_load_cycles image) cpu status

@@ -20,6 +20,13 @@ type result = {
 val total_cycles : result -> int64
 (** Load + execute: the end-to-end time Fig 7 compares. *)
 
+val record_result : result -> unit
+(** Publish a run's hardware counters as telemetry gauges
+    ([sim.exec_cycles], [sim.instructions], [sim.cpi],
+    [sim.icache_hit_rate], ...).  Called by [run_loaded]/[run_program];
+    exposed for front ends that drive {!Cpu} directly.  No-op while
+    telemetry is disabled. *)
+
 val dma_bytes_per_cycle : int
 (** Throughput of the plain loader's memory port (8 B/cycle). *)
 

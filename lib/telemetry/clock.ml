@@ -1,0 +1,16 @@
+(* Monotonic nanosecond clock.
+
+   The stdlib has no monotonic clock, so we derive one from the wall
+   clock by clamping: time never goes backwards even if the wall clock
+   steps.  Resolution is whatever gettimeofday offers (~1us); span
+   durations below that read as 0, which the exporters handle. *)
+
+let last = ref 0L
+
+let now_ns () =
+  let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  if Int64.compare t !last > 0 then last := t;
+  !last
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+let ns_to_us ns = Int64.to_float ns /. 1e3

@@ -1,0 +1,8 @@
+(** Monotonic (never-decreasing) nanosecond clock for span timing. *)
+
+val now_ns : unit -> int64
+(** Current time in nanoseconds.  Guaranteed non-decreasing across calls
+    within a process, even if the wall clock steps backwards. *)
+
+val ns_to_ms : int64 -> float
+val ns_to_us : int64 -> float

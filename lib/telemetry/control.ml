@@ -1,0 +1,16 @@
+(* Global on/off switch for the whole telemetry subsystem.
+
+   Every recording entry point (Span.with_, Registry.inc, ...) reads this
+   one ref first and returns immediately when it is false, so a build
+   without --telemetry pays exactly one branch per instrumentation site. *)
+
+let enabled = ref false
+
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+let with_enabled f =
+  let saved = !enabled in
+  enabled := true;
+  Fun.protect ~finally:(fun () -> enabled := saved) f

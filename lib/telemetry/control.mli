@@ -1,0 +1,15 @@
+(** Global on/off switch for telemetry recording.
+
+    Disabled by default: every instrumentation site in the pipeline guards
+    on {!is_enabled} and is a single-branch no-op when the switch is off. *)
+
+val enabled : bool ref
+(** The raw switch; exposed so guards compile to one load + branch. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run a thunk with telemetry on, restoring the previous state after
+    (including on exceptions). *)

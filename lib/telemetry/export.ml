@@ -1,0 +1,182 @@
+(* The three exporters over a Snapshot:
+   - pp_table: human-readable summary for terminals;
+   - to_jsonl: one self-describing JSON object per line;
+   - to_chrome_trace: Chrome trace_event JSON for about:tracing /
+     Perfetto (one "X" complete event per span, microsecond units). *)
+
+let labels_to_string = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+    ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let pp_aligned fmt rows =
+  match rows with
+  | [] -> ()
+  | header :: _ ->
+    let columns = List.length header in
+    let width c =
+      List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 rows
+    in
+    let widths = List.init columns width in
+    List.iter
+      (fun row ->
+        List.iteri
+          (fun c cell ->
+            let w = List.nth widths c in
+            if c = 0 then Format.fprintf fmt "  %-*s" w cell
+            else Format.fprintf fmt "  %*s" w cell)
+          row;
+        Format.pp_print_newline fmt ())
+      rows
+
+let ms ns = Printf.sprintf "%.3f" (Clock.ns_to_ms ns)
+let msf v = Printf.sprintf "%.3f" (v /. 1e6)
+
+let pp_table fmt (s : Snapshot.t) =
+  Format.fprintf fmt "== telemetry ==@.";
+  (match Span.aggregate s.Snapshot.spans with
+  | [] -> ()
+  | aggs ->
+    Format.fprintf fmt "spans:@.";
+    pp_aligned fmt
+      ([ "span"; "count"; "total ms"; "p50 ms"; "p99 ms" ]
+      :: List.map
+           (fun (a : Span.agg) ->
+             [ a.Span.a_name;
+               string_of_int a.Span.a_count;
+               ms a.Span.a_total_ns;
+               msf (Histogram.quantile a.Span.a_hist 0.5);
+               msf (Histogram.quantile a.Span.a_hist 0.99) ])
+           aggs));
+  (match s.Snapshot.counters with
+  | [] -> ()
+  | counters ->
+    Format.fprintf fmt "counters:@.";
+    pp_aligned fmt
+      (List.map
+         (fun (name, labels, v) -> [ name ^ labels_to_string labels; Int64.to_string v ])
+         counters));
+  (match s.Snapshot.gauges with
+  | [] -> ()
+  | gauges ->
+    Format.fprintf fmt "gauges:@.";
+    pp_aligned fmt
+      (List.map
+         (fun (name, labels, v) -> [ name ^ labels_to_string labels; Printf.sprintf "%g" v ])
+         gauges));
+  match s.Snapshot.histograms with
+  | [] -> ()
+  | hists ->
+    Format.fprintf fmt "histograms:@.";
+    pp_aligned fmt
+      ([ "histogram"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+      :: List.map
+           (fun (name, labels, (h : Histogram.summary)) ->
+             let f v = Printf.sprintf "%g" v in
+             [ name ^ labels_to_string labels;
+               string_of_int h.Histogram.s_count;
+               f (if h.Histogram.s_count = 0 then 0.0
+                  else h.Histogram.s_sum /. float_of_int h.Histogram.s_count);
+               f h.Histogram.s_p50; f h.Histogram.s_p90; f h.Histogram.s_p99;
+               f h.Histogram.s_max ])
+           hists)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let jsonl_records (s : Snapshot.t) =
+  List.map
+    (fun (e : Span.event) ->
+      Json.Obj
+        [ ("type", Json.Str "span");
+          ("name", Json.Str e.Span.name);
+          ("cat", Json.Str e.Span.cat);
+          ("start_ns", Json.Num (Int64.to_float e.Span.start_ns));
+          ("dur_ns", Json.Num (Int64.to_float e.Span.dur_ns));
+          ("depth", Json.Num (float_of_int e.Span.depth)) ])
+    s.Snapshot.spans
+  @ List.map
+      (fun (name, labels, v) ->
+        Json.Obj
+          [ ("type", Json.Str "counter");
+            ("name", Json.Str name);
+            ("labels", labels_json labels);
+            ("value", Json.Num (Int64.to_float v)) ])
+      s.Snapshot.counters
+  @ List.map
+      (fun (name, labels, v) ->
+        Json.Obj
+          [ ("type", Json.Str "gauge");
+            ("name", Json.Str name);
+            ("labels", labels_json labels);
+            ("value", Json.Num v) ])
+      s.Snapshot.gauges
+  @ List.map
+      (fun (name, labels, (h : Histogram.summary)) ->
+        Json.Obj
+          [ ("type", Json.Str "histogram");
+            ("name", Json.Str name);
+            ("labels", labels_json labels);
+            ("count", Json.Num (float_of_int h.Histogram.s_count));
+            ("sum", Json.Num h.Histogram.s_sum);
+            ("min", Json.Num h.Histogram.s_min);
+            ("max", Json.Num h.Histogram.s_max);
+            ("p50", Json.Num h.Histogram.s_p50);
+            ("p90", Json.Num h.Histogram.s_p90);
+            ("p99", Json.Num h.Histogram.s_p99) ])
+      s.Snapshot.histograms
+
+let to_jsonl s =
+  String.concat "" (List.map (fun r -> Json.to_string r ^ "\n") (jsonl_records s))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let trace_json (s : Snapshot.t) =
+  let events =
+    List.map
+      (fun (e : Span.event) ->
+        Json.Obj
+          [ ("name", Json.Str e.Span.name);
+            ("cat", Json.Str e.Span.cat);
+            ("ph", Json.Str "X");
+            ("ts", Json.Num (Clock.ns_to_us e.Span.start_ns));
+            ("dur", Json.Num (Clock.ns_to_us e.Span.dur_ns));
+            ("pid", Json.Num 1.0);
+            ("tid", Json.Num 1.0) ])
+      s.Snapshot.spans
+  in
+  (* Counters ride along as metadata-style counter events at the end of
+     the trace so Perfetto shows final totals. *)
+  let end_ts =
+    List.fold_left
+      (fun acc (e : Span.event) ->
+        max acc (Clock.ns_to_us e.Span.start_ns +. Clock.ns_to_us e.Span.dur_ns))
+      0.0 s.Snapshot.spans
+  in
+  let counter_events =
+    List.map
+      (fun (name, labels, v) ->
+        Json.Obj
+          [ ("name", Json.Str (name ^ labels_to_string labels));
+            ("ph", Json.Str "C");
+            ("ts", Json.Num end_ts);
+            ("pid", Json.Num 1.0);
+            ("args", Json.Obj [ ("value", Json.Num (Int64.to_float v)) ]) ])
+      s.Snapshot.counters
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (events @ counter_events));
+      ("displayTimeUnit", Json.Str "ms") ]
+
+let to_chrome_trace s = Json.to_string (trace_json s)

@@ -1,0 +1,24 @@
+(** Exporters over a {!Snapshot}: human table, JSONL, and Chrome
+    [trace_event] JSON loadable in about:tracing / Perfetto / ui.perfetto.dev. *)
+
+val pp_table : Format.formatter -> Snapshot.t -> unit
+(** Aligned human-readable summary: spans (count/total/p50/p99),
+    counters, gauges, histogram quantiles. *)
+
+val to_jsonl : Snapshot.t -> string
+(** One JSON object per line.  Each has a ["type"] field:
+    ["span"] (name, cat, start_ns, dur_ns, depth) or
+    ["counter"]/["gauge"]/["histogram"] (name, labels, value(s)). *)
+
+val jsonl_records : Snapshot.t -> Json.t list
+(** The JSONL lines as JSON values (for programmatic use and tests). *)
+
+val to_chrome_trace : Snapshot.t -> string
+(** Chrome trace_event JSON: one ["ph":"X"] complete event per span
+    (microsecond timestamps) plus a final ["ph":"C"] counter event per
+    counter instance. *)
+
+val trace_json : Snapshot.t -> Json.t
+
+val labels_to_string : (string * string) list -> string
+(** [{k="v",...}] suffix used in table output; empty string for no labels. *)

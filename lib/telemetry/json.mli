@@ -1,0 +1,26 @@
+(** Minimal JSON codec backing the JSONL and Chrome trace exporters.
+
+    Covers the JSON the exporters emit (objects, arrays, strings with
+    escapes, finite numbers, booleans, null); [of_string] exists so tests
+    can round-trip exporter output without external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  NaN and infinities print as
+    [null], as JSON requires. *)
+
+val of_string : string -> (t, string) result
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] looks up a field; [None] on other constructors. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,89 @@
+(* Process-global metric registry.
+
+   A metric instance is (name, sorted labels) -> value; instances
+   sharing a name form a labelled family (e.g.
+   refused_total{reason="signature"} and refused_total{reason="framing"}).
+   All writers guard on Control.enabled first, so instrumented code
+   pays one branch when telemetry is off. *)
+
+type key = { k_name : string; k_labels : (string * string) list }
+
+type value = Counter of int64 ref | Gauge of float ref | Hist of Histogram.t
+
+let table : (key, value) Hashtbl.t = Hashtbl.create 64
+
+(* Registration order, so exporters print deterministically. *)
+let order : key list ref = ref []
+
+let key name labels = { k_name = name; k_labels = List.sort compare labels }
+
+let find_or_add k fresh =
+  match Hashtbl.find_opt table k with
+  | Some v -> v
+  | None ->
+    let v = fresh () in
+    Hashtbl.replace table k v;
+    order := k :: !order;
+    v
+
+let reset () =
+  Hashtbl.reset table;
+  order := []
+
+(* ------------------------------------------------------------------ *)
+(* Writers (no-ops when disabled)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let inc ?(labels = []) ?(by = 1L) name =
+  if !Control.enabled then begin
+    match find_or_add (key name labels) (fun () -> Counter (ref 0L)) with
+    | Counter r -> r := Int64.add !r by
+    | Gauge _ | Hist _ -> invalid_arg ("Registry.inc: " ^ name ^ " is not a counter")
+  end
+
+let set ?(labels = []) name v =
+  if !Control.enabled then begin
+    match find_or_add (key name labels) (fun () -> Gauge (ref 0.0)) with
+    | Gauge r -> r := v
+    | Counter _ | Hist _ -> invalid_arg ("Registry.set: " ^ name ^ " is not a gauge")
+  end
+
+let observe ?(labels = []) name v =
+  if !Control.enabled then begin
+    match find_or_add (key name labels) (fun () -> Hist (Histogram.create ())) with
+    | Hist h -> Histogram.observe h v
+    | Counter _ | Gauge _ -> invalid_arg ("Registry.observe: " ^ name ^ " is not a histogram")
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Readers (always live, so tests can assert after a run)              *)
+(* ------------------------------------------------------------------ *)
+
+let counter ?(labels = []) name =
+  match Hashtbl.find_opt table (key name labels) with Some (Counter r) -> !r | _ -> 0L
+
+let gauge ?(labels = []) name =
+  match Hashtbl.find_opt table (key name labels) with Some (Gauge r) -> Some !r | _ -> None
+
+let histogram ?(labels = []) name =
+  match Hashtbl.find_opt table (key name labels) with Some (Hist h) -> Some h | _ -> None
+
+(* Sum of a counter family across all label sets. *)
+let counter_family_total name =
+  Hashtbl.fold
+    (fun k v acc ->
+      match v with
+      | Counter r when k.k_name = name -> Int64.add acc !r
+      | _ -> acc)
+    table 0L
+
+type entry = {
+  e_name : string;
+  e_labels : (string * string) list;
+  e_value : value;
+}
+
+let entries () =
+  List.rev_map
+    (fun k -> { e_name = k.k_name; e_labels = k.k_labels; e_value = Hashtbl.find table k })
+    !order

@@ -1,0 +1,40 @@
+(** Process-global registry of labelled metric families.
+
+    An instance is (name, labels); instances sharing a name form a
+    family, e.g. [refused_total{reason="signature"}] and
+    [refused_total{reason="framing"}].  Writers are single-branch no-ops
+    while telemetry is disabled ({!Control}); readers always work, so
+    tests can assert on what a run recorded. *)
+
+type value = Counter of int64 ref | Gauge of float ref | Hist of Histogram.t
+
+val inc : ?labels:(string * string) list -> ?by:int64 -> string -> unit
+(** Increment a counter (creating it at 0).
+    @raise Invalid_argument if the instance exists with another type. *)
+
+val set : ?labels:(string * string) list -> string -> float -> unit
+(** Set a gauge to the latest value. *)
+
+val observe : ?labels:(string * string) list -> string -> float -> unit
+(** Record one observation into a histogram. *)
+
+val counter : ?labels:(string * string) list -> string -> int64
+(** Current counter value; 0 when absent. *)
+
+val gauge : ?labels:(string * string) list -> string -> float option
+val histogram : ?labels:(string * string) list -> string -> Histogram.t option
+
+val counter_family_total : string -> int64
+(** Sum of a counter family across every label set. *)
+
+val reset : unit -> unit
+(** Drop every metric instance (spans are reset separately). *)
+
+type entry = {
+  e_name : string;
+  e_labels : (string * string) list;
+  e_value : value;
+}
+
+val entries : unit -> entry list
+(** Every instance in registration order (for exporters). *)

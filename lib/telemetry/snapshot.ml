@@ -1,0 +1,30 @@
+(* A point-in-time copy of everything telemetry recorded, decoupling the
+   exporters from the live (mutable) registry and span buffer. *)
+
+type t = {
+  spans : Span.event list;
+  counters : (string * (string * string) list * int64) list;
+  gauges : (string * (string * string) list * float) list;
+  histograms : (string * (string * string) list * Histogram.summary) list;
+}
+
+let capture () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun (e : Registry.entry) ->
+      match e.Registry.e_value with
+      | Registry.Counter r -> counters := (e.Registry.e_name, e.Registry.e_labels, !r) :: !counters
+      | Registry.Gauge r -> gauges := (e.Registry.e_name, e.Registry.e_labels, !r) :: !gauges
+      | Registry.Hist h ->
+        histograms := (e.Registry.e_name, e.Registry.e_labels, Histogram.summarize h) :: !histograms)
+    (Registry.entries ());
+  {
+    spans = Span.completed ();
+    counters = List.rev !counters;
+    gauges = List.rev !gauges;
+    histograms = List.rev !histograms;
+  }
+
+let reset_all () =
+  Registry.reset ();
+  Span.reset ()

@@ -1,0 +1,15 @@
+(** Point-in-time copy of everything telemetry recorded: completed spans
+    plus every counter / gauge / histogram instance.  Exporters consume
+    this rather than the live registry. *)
+
+type t = {
+  spans : Span.event list;
+  counters : (string * (string * string) list * int64) list;
+  gauges : (string * (string * string) list * float) list;
+  histograms : (string * (string * string) list * Histogram.summary) list;
+}
+
+val capture : unit -> t
+
+val reset_all : unit -> unit
+(** Clear the registry and the span buffer (e.g. between runs). *)

@@ -1,0 +1,70 @@
+(* Hierarchical timed spans.
+
+   A span is opened by [with_ ~name f] and recorded when [f] returns
+   (or raises).  Nesting is tracked with an explicit stack, so the
+   exporters can rebuild the hierarchy (depth) and Chrome's trace
+   viewer nests the "X" complete events by time containment.
+
+   When telemetry is disabled [with_] is exactly [f ()] after one
+   branch. *)
+
+type event = {
+  name : string;
+  cat : string;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;  (** 0 = top level; children have depth parent+1 *)
+}
+
+(* Completed spans, most recent first. *)
+let events : event list ref = ref []
+let open_depth = ref 0
+
+let reset () =
+  events := [];
+  open_depth := 0
+
+let record ~name ~cat ~start_ns ~dur_ns ~depth =
+  events := { name; cat; start_ns; dur_ns; depth } :: !events
+
+let with_ ?(cat = "eric") ~name f =
+  if not !Control.enabled then f ()
+  else begin
+    let depth = !open_depth in
+    incr open_depth;
+    let start_ns = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur_ns = Int64.sub (Clock.now_ns ()) start_ns in
+        decr open_depth;
+        record ~name ~cat ~start_ns ~dur_ns ~depth)
+      f
+  end
+
+let completed () = List.rev !events
+
+(* ------------------------------------------------------------------ *)
+(* Per-name aggregation (what the table exporter shows)                *)
+(* ------------------------------------------------------------------ *)
+
+type agg = { a_name : string; a_count : int; a_total_ns : int64; a_hist : Histogram.t }
+
+let aggregate evs =
+  let tbl : (string, agg) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let a =
+        match Hashtbl.find_opt tbl e.name with
+        | Some a -> a
+        | None ->
+          let a = { a_name = e.name; a_count = 0; a_total_ns = 0L; a_hist = Histogram.create () } in
+          Hashtbl.replace tbl e.name a;
+          order := e.name :: !order;
+          a
+      in
+      Histogram.observe a.a_hist (Int64.to_float e.dur_ns);
+      Hashtbl.replace tbl e.name
+        { a with a_count = a.a_count + 1; a_total_ns = Int64.add a.a_total_ns e.dur_ns })
+    evs;
+  List.rev !order |> List.map (fun name -> Hashtbl.find tbl name)

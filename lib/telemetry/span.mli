@@ -1,0 +1,27 @@
+(** Hierarchical timed spans over the monotonic clock.
+
+    [with_ ~name f] times [f] and records a completed span (also on
+    exception).  Nested calls record their depth, so exporters can
+    rebuild the hierarchy.  When telemetry is disabled ({!Control}),
+    [with_] is [f ()] behind a single branch. *)
+
+type event = {
+  name : string;
+  cat : string;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;  (** 0 = top level; children have depth parent+1 *)
+}
+
+val with_ : ?cat:string -> name:string -> (unit -> 'a) -> 'a
+
+val completed : unit -> event list
+(** All completed spans in completion order. *)
+
+val reset : unit -> unit
+
+type agg = { a_name : string; a_count : int; a_total_ns : int64; a_hist : Histogram.t }
+
+val aggregate : event list -> agg list
+(** Group events by name (first-appearance order) with count, total
+    duration, and a duration histogram for quantiles. *)

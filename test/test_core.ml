@@ -367,6 +367,59 @@ let test_protocol_attacks_refused () =
       check Alcotest.bool "replayed foreign package" true
         (refused (Eric.Protocol.Replay (Eric.Package.serialize foreign.Eric.Source.package))))
 
+(* The whole pipeline is instrumented: a successful transmit must leave
+   decrypt/validation counts in the telemetry registry, and every refusal
+   must land in the refused_total family under its reason. *)
+let test_protocol_populates_telemetry () =
+  Eric_telemetry.Snapshot.reset_all ();
+  Eric_telemetry.Control.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Eric_telemetry.Control.disable ();
+      Eric_telemetry.Snapshot.reset_all ())
+    (fun () ->
+      let t = Lazy.force target in
+      let key = Eric.Protocol.provision t in
+      match Eric.Source.build ~mode:Eric.Config.Full ~key test_source with
+      | Error e -> Alcotest.fail e
+      | Ok b ->
+        (match Eric.Protocol.transmit ~source:b ~target:t () with
+        | Eric.Protocol.Executed _ -> ()
+        | Eric.Protocol.Refused _ -> Alcotest.fail "refused legit package");
+        let counter ?labels name = Int64.to_int (Eric_telemetry.Registry.counter ?labels name) in
+        check Alcotest.bool "parcels decrypted" true (counter "ingest.parcels_decrypted" > 0);
+        check Alcotest.bool "bytes in" true (counter "ingest.bytes_in" > 0);
+        check Alcotest.int "signature validated ok" 1
+          (counter ~labels:[ ("result", "ok") ] "ingest.signature_validations");
+        check Alcotest.int "no refusals yet" 0
+          (Int64.to_int (Eric_telemetry.Registry.counter_family_total "ingest.refused_total"));
+        (* a truncated transmission fails framing *)
+        (match Eric.Protocol.transmit ~attack:(Eric.Protocol.Truncate 10) ~source:b ~target:t () with
+        | Eric.Protocol.Refused _ -> ()
+        | Eric.Protocol.Executed _ -> Alcotest.fail "truncation executed");
+        check Alcotest.int "refusal reason counted" 1
+          (counter ~labels:[ ("reason", "malformed") ] "ingest.refused_total"
+          + counter ~labels:[ ("reason", "framing") ] "ingest.refused_total");
+        (* a package for another device fails its signature or framing *)
+        let other = Eric.Target.of_id 2002L in
+        (match Eric.Source.build ~mode:Eric.Config.Full ~key:(Eric.Protocol.provision other) test_source with
+        | Error e -> Alcotest.fail e
+        | Ok foreign -> (
+          match Eric.Protocol.transmit ~source:foreign ~target:t () with
+          | Eric.Protocol.Refused _ -> ()
+          | Eric.Protocol.Executed _ -> Alcotest.fail "foreign package executed"));
+        check Alcotest.int "both refusals in family" 2
+          (Int64.to_int (Eric_telemetry.Registry.counter_family_total "ingest.refused_total"));
+        (* the compiler and simulator stages left spans behind *)
+        let span_names =
+          List.map (fun (e : Eric_telemetry.Span.event) -> e.Eric_telemetry.Span.name)
+            (Eric_telemetry.Span.completed ())
+        in
+        List.iter
+          (fun needed ->
+            check Alcotest.bool ("span " ^ needed) true (List.mem needed span_names))
+          [ "cc.compile"; "core.encrypt"; "transit.transmit"; "ingest.receive"; "sim.execute" ])
+
 let test_protocol_cross_check_diagonal () =
   let targets = List.map (fun id -> (Printf.sprintf "dev%Ld" id, Eric.Target.of_id id)) [ 1L; 2L; 3L ] in
   let keys = List.map (fun (n, t) -> (n, Eric.Protocol.provision t)) targets in
@@ -588,6 +641,7 @@ let () =
       ( "protocol",
         [ Alcotest.test_case "happy path" `Quick test_protocol_happy_path;
           Alcotest.test_case "attacks refused" `Quick test_protocol_attacks_refused;
+          Alcotest.test_case "populates telemetry" `Quick test_protocol_populates_telemetry;
           Alcotest.test_case "cross-check diagonal" `Quick test_protocol_cross_check_diagonal;
           Alcotest.test_case "epoch rotation revokes" `Quick test_epoch_rotation_revokes;
           Alcotest.test_case "RSA in-band provisioning" `Slow test_provision_over_network ] );
