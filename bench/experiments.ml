@@ -485,6 +485,35 @@ let ablation_branch_predictor () =
   print_endline
     "(the Fig-7 overhead ratio is insensitive to this choice: the HDE cost is load-time only)"
 
+(* ------------------------------------------------------------------ *)
+(* Lint cost                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* How much the static verifiers cost on the largest workload image: the
+   machine-code verifier (CFG + stack + register discipline) plus the
+   leakage lint for the partial policy.  The wall time lands in
+   BENCH_results.json so PRs that touch the checkers are accountable. *)
+let lint () =
+  Report.heading "Lint cost (machine-code verifier + leakage lint)";
+  let w, image =
+    List.fold_left
+      (fun ((_, bi) as best) ((_, i) as cand) ->
+        if Eric_rv.Program.text_size i > Eric_rv.Program.text_size bi then cand else best)
+      (List.hd (Lazy.force compiled))
+      (List.tl (Lazy.force compiled))
+  in
+  let t0 = Eric_telemetry.Clock.now_ns () in
+  let mc_diags = Eric_lint.Mc_verify.verify image in
+  let _, leak_diags = Eric.Policy_lint.lint ~mode:partial_mode image in
+  let wall = Int64.sub (Eric_telemetry.Clock.now_ns ()) t0 in
+  let diags = List.length mc_diags + List.length leak_diags in
+  Printf.printf "largest workload %s: %d parcels verified, %d diagnostics, %.3f ms\n"
+    w.Eric_workloads.Workloads.name
+    (Array.length image.Eric_rv.Program.text)
+    diags (Eric_telemetry.Clock.ns_to_ms wall);
+  Report.record ~suite:"lint" ~metric:"wall_ns" ~unit_:"ns" (Int64.to_float wall);
+  Report.record ~suite:"lint" ~metric:"diagnostics" ~unit_:"count" (float_of_int diags)
+
 let ablations () =
   Report.heading "Ablations and security evaluations (beyond the paper's figures)";
   ablation_puf ();

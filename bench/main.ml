@@ -11,6 +11,7 @@ let experiments =
     ("fig6", Experiments.fig6);
     ("fig7", Experiments.fig7);
     ("ablations", Experiments.ablations);
+    ("lint", Experiments.lint);
     ("micro", Micro.run) ]
 
 let run_all () = List.iter (fun (_, f) -> f ()) experiments

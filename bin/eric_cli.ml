@@ -132,6 +132,157 @@ let setup_telemetry format trace_out =
           flush stderr)
 
 (* ------------------------------------------------------------------ *)
+(* Lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lint_format_conv =
+  let parse s =
+    match Eric_lint.Engine.format_of_string s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "unknown lint format %S (expected table or jsonl)" s))
+  in
+  Arg.conv (parse, fun fmt f -> Format.pp_print_string fmt (Eric_lint.Engine.format_name f))
+
+let lint_format_arg =
+  Arg.(
+    value
+    & opt lint_format_conv Eric_lint.Engine.Table
+    & info [ "lint-format" ] ~docv:"FORMAT" ~doc:"Diagnostics rendering: table or jsonl.")
+
+let max_leakage_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-leakage" ] ~docv:"FRACTION"
+        ~doc:
+          "Escalate a leakage metric (plaintext/opcode/branch-offset fraction, legible call \
+           edges or prologues) above FRACTION to an error.")
+
+let checks_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checks" ] ~docv:"PREFIXES"
+        ~doc:"Comma-separated check-id prefixes to keep, e.g. 'mc.,leak.cfg'.")
+
+let lint_flag_arg =
+  Arg.(value & flag & info [ "lint" ] ~doc:"Run the machine-code and leakage linters and report.")
+
+let lint_error_arg =
+  Arg.(
+    value & flag
+    & info [ "lint-error" ]
+        ~doc:"Run the linters and fail on any warning-or-error diagnostic (implies --lint).")
+
+(* Machine-code verification plus leakage prediction for one policy on one
+   plain image — what build/analyze/lint all share. *)
+let lint_image ?max_leakage ~mode image =
+  let mc = Eric_lint.Mc_verify.verify image in
+  let report, leak = Eric.Policy_lint.lint ?max_leakage ~mode image in
+  (mc @ leak, report)
+
+let lint_source ?max_leakage ~mode ~options source =
+  (* Compile without the driver's verify-abort so IR findings are listed
+     rather than turned into an internal error, then verify the image. *)
+  let ( let* ) = Result.bind in
+  let* ir =
+    Eric_cc.Driver.compile_to_ir ~options:{ options with Eric_cc.Driver.verify_ir = false } source
+  in
+  let ir_diags = Eric_cc.Ir_verify.verify ir in
+  match Eric_cc.Ir_verify.errors ir_diags with
+  | _ :: _ -> Ok (ir_diags, None)
+  | [] ->
+    let* image = Eric_cc.Driver.compile ~options source in
+    let mc_leak, report = lint_image ?max_leakage ~mode image in
+    Ok (ir_diags @ mc_leak, Some report)
+
+let pp_leakage_report fmt (r : Eric_lint.Leakage.report) =
+  Format.fprintf fmt
+    "leakage: %.0f%% parcels plaintext, %.0f%% opcodes visible, %d/%d branch offsets, %d/%d \
+     call edges, %d/%d prologues legible@."
+    (100. *. r.Eric_lint.Leakage.plaintext_fraction)
+    (100. *. r.Eric_lint.Leakage.opcode_visible_fraction)
+    r.Eric_lint.Leakage.branch_offsets_plaintext r.Eric_lint.Leakage.branch_sites
+    r.Eric_lint.Leakage.call_edges_plaintext r.Eric_lint.Leakage.call_sites
+    r.Eric_lint.Leakage.prologues_plaintext r.Eric_lint.Leakage.prologues
+
+let render_diags ~format ~checks diags =
+  let checks =
+    match checks with
+    | None -> []
+    | Some s -> List.filter (fun p -> p <> "") (String.split_on_char ',' s)
+  in
+  let diags = Eric_lint.Engine.filter ~checks diags in
+  Eric_lint.Engine.render format Format.std_formatter (Eric_lint.Diag.sort diags);
+  diags
+
+let lint_cmd =
+  let run path workloads mode max_leakage format checks lint_error no_compress no_optimize
+      telemetry trace_out =
+    setup_telemetry telemetry trace_out;
+    let options = options_of ~no_compress ~no_optimize in
+    let lint_one label (diags, report) =
+      if workloads <> [] || path = None then Format.printf "== %s ==@." label;
+      let diags = render_diags ~format ~checks diags in
+      (match (report, format) with
+      | Some r, Eric_lint.Engine.Table -> pp_leakage_report Format.std_formatter r
+      | _ -> ());
+      diags
+    in
+    let inputs =
+      match (workloads, path) with
+      | [], None ->
+        Printf.eprintf "error: give a FILE or --workloads\n";
+        exit 2
+      | [], Some path ->
+        let data = read_file path in
+        let result =
+          match Eric.Package.parse (Bytes.of_string data) with
+          | Ok _ -> Error "cannot lint an encrypted package; lint runs before packaging"
+          | Error _ -> (
+            match Eric_rv.Program.of_binary (Bytes.of_string data) with
+            | Ok image -> Ok (lint_image ?max_leakage ~mode image |> fun (d, r) -> (d, Some r))
+            | Error _ -> lint_source ?max_leakage ~mode ~options data)
+        in
+        [ (path, result) ]
+      | names, _ ->
+        List.map
+          (fun name ->
+            match Eric_workloads.Workloads.by_name name with
+            | None -> (name, Error (Printf.sprintf "unknown workload %s" name))
+            | Some w ->
+              (name, lint_source ?max_leakage ~mode ~options w.Eric_workloads.Workloads.source))
+          (if names = [ "all" ] then Eric_workloads.Workloads.names else names)
+    in
+    let all_diags =
+      List.concat_map (fun (label, result) -> lint_one label (or_die result)) inputs
+    in
+    let fail_on = if lint_error then Eric_lint.Diag.Warning else Eric_lint.Diag.Error in
+    exit (Eric_lint.Engine.exit_code ~fail_on all_diags)
+  in
+  let path_arg =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"MiniC source or plain image (.rexe).")
+  in
+  let workloads_arg =
+    Arg.(
+      value
+      & opt ~vopt:[ "all" ] (list string) []
+      & info [ "workloads" ] ~docv:"NAMES"
+          ~doc:"Lint the named built-in workloads ('all' or no value = every one).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Verify IR (for sources), machine code and encryption-policy leakage; exit 1 on \
+          errors (with --lint-error, also on warnings).")
+    Term.(
+      const run $ path_arg $ workloads_arg $ mode_arg $ max_leakage_arg $ lint_format_arg
+      $ checks_arg $ lint_error_arg $ no_compress_arg $ no_optimize_arg $ telemetry_arg
+      $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -147,12 +298,22 @@ let compile_cmd =
     Term.(const run $ source_arg $ output_arg ~default:"a.rexe" $ no_compress_arg $ no_optimize_arg)
 
 let build_cmd =
-  let run source output device_id mode no_compress no_optimize telemetry trace_out =
+  let run source output device_id mode lint lint_error max_leakage format checks no_compress
+      no_optimize telemetry trace_out =
     setup_telemetry telemetry trace_out;
     let options = options_of ~no_compress ~no_optimize in
     let target = Eric.Target.of_id device_id in
     let key = Eric.Protocol.provision target in
     let build = or_die (Eric.Source.build ~options ~mode ~key (read_file source)) in
+    if lint || lint_error then begin
+      let diags, report = lint_image ?max_leakage ~mode build.Eric.Source.image in
+      let diags = render_diags ~format ~checks diags in
+      if format = Eric_lint.Engine.Table then pp_leakage_report Format.std_formatter report;
+      if lint_error && Eric_lint.Engine.fails ~fail_on:Eric_lint.Diag.Warning diags then begin
+        Printf.eprintf "error: lint diagnostics with --lint-error\n";
+        exit 1
+      end
+    end;
     write_file output (Eric.Package.serialize build.Eric.Source.package);
     Format.printf "%s: %a@." output Eric.Package.pp_summary build.Eric.Source.package;
     Format.printf "plain %d B -> package %d B (%+.2f%%), %d/%d parcels encrypted@."
@@ -167,6 +328,7 @@ let build_cmd =
     (Cmd.info "build" ~doc:"Compile and encrypt a package for one device.")
     Term.(
       const run $ source_arg $ output_arg ~default:"a.epkg" $ device_id_arg $ mode_arg
+      $ lint_flag_arg $ lint_error_arg $ max_leakage_arg $ lint_format_arg $ checks_arg
       $ no_compress_arg $ no_optimize_arg $ telemetry_arg $ trace_out_arg)
 
 let emit_asm_cmd =
@@ -231,22 +393,36 @@ let disasm_cmd =
     Term.(const run $ file_arg)
 
 let analyze_cmd =
-  let run path telemetry trace_out =
+  let run path mode lint lint_error max_leakage format checks telemetry trace_out =
     setup_telemetry telemetry trace_out;
     let data = Bytes.of_string (read_file path) in
-    let text =
+    let text, image =
       match Eric.Package.parse data with
-      | Ok pkg -> pkg.Eric.Package.enc_text
+      | Ok pkg -> (pkg.Eric.Package.enc_text, None)
       | Error _ ->
         let image = or_die (Eric_rv.Program.of_binary data) in
-        Eric_rv.Program.text_bytes image
+        (Eric_rv.Program.text_bytes image, Some image)
     in
     Format.printf "%a@." Eric.Analysis.pp_static_report (Eric.Analysis.static_analysis text);
-    Format.printf "byte entropy: %.2f bits/byte@." (Eric.Analysis.byte_entropy text)
+    Format.printf "byte entropy: %.2f bits/byte@." (Eric.Analysis.byte_entropy text);
+    if lint || lint_error then begin
+      match image with
+      | None ->
+        Printf.eprintf "error: cannot lint an encrypted package; lint runs before packaging\n";
+        exit 1
+      | Some image ->
+        let diags, report = lint_image ?max_leakage ~mode image in
+        let diags = render_diags ~format ~checks diags in
+        if format = Eric_lint.Engine.Table then pp_leakage_report Format.std_formatter report;
+        if lint_error && Eric_lint.Engine.fails ~fail_on:Eric_lint.Diag.Warning diags then
+          exit 1
+    end
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Static-analysis metrics of a text section.")
-    Term.(const run $ file_arg $ telemetry_arg $ trace_out_arg)
+    Term.(
+      const run $ file_arg $ mode_arg $ lint_flag_arg $ lint_error_arg $ max_leakage_arg
+      $ lint_format_arg $ checks_arg $ telemetry_arg $ trace_out_arg)
 
 let run_cmd =
   let run path device_id fuel trace telemetry trace_out =
@@ -342,4 +518,4 @@ let puf_cmd =
 
 let () =
   let doc = "ERIC: PUF-keyed software obfuscation and trusted execution" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "eric" ~doc) [ compile_cmd; emit_asm_cmd; asm_cmd; build_cmd; inspect_cmd; disasm_cmd; analyze_cmd; run_cmd; puf_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "eric" ~doc) [ compile_cmd; emit_asm_cmd; asm_cmd; build_cmd; inspect_cmd; disasm_cmd; analyze_cmd; lint_cmd; run_cmd; puf_cmd ]))

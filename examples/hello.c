@@ -1,0 +1,9 @@
+// Smallest end-to-end MiniC program: builds, packages, and runs under
+// the simulator; also the smoke input for `eric_cli lint` in CI.
+
+char banner[16] = "hello, eric";
+
+int main() {
+  println_str(banner);
+  return 0;
+}

@@ -1,6 +1,12 @@
-type options = { optimize : bool; compress : bool; include_prelude : bool }
+type options = {
+  optimize : bool;
+  compress : bool;
+  include_prelude : bool;
+  verify_ir : bool;
+}
 
-let default_options = { optimize = true; compress = true; include_prelude = true }
+let default_options =
+  { optimize = true; compress = true; include_prelude = true; verify_ir = true }
 
 let prelude =
   {|
@@ -90,14 +96,39 @@ int memcmp(char *a, char *b, int n) {
 
 let span name f = Eric_telemetry.Span.with_ ~cat:"cc" ~name f
 
+(* Internal: carries error-severity verifier findings out of the pass
+   pipeline to the driver's result type. *)
+exception Ir_invalid of string * Eric_lint.Diag.t list
+
+let fail_on_errors ~stage diags =
+  match Ir_verify.errors diags with
+  | [] -> ()
+  | errs -> raise (Ir_invalid (stage, errs))
+
+let ir_invalid_message stage errs =
+  Format.asprintf "internal error: IR verification failed after %s:@\n%a" stage
+    (Format.pp_print_list ~pp_sep:Format.pp_print_newline Eric_lint.Diag.pp)
+    errs
+
 let compile_to_ir ?(options = default_options) source =
   let full = if options.include_prelude then prelude ^ source else source in
   let ( let* ) = Result.bind in
   let* ast = Parser.parse full in
   let* tast = span "cc.typecheck" (fun () -> Typecheck.check ast) in
-  let ir = span "cc.lower" (fun () -> Lower.lower tast) in
-  if options.optimize then span "cc.opt" (fun () -> Opt.run ir);
-  Ok ir
+  try
+    let ir = span "cc.lower" (fun () -> Lower.lower tast) in
+    if options.verify_ir then fail_on_errors ~stage:"lowering" (Ir_verify.verify ir);
+    if options.optimize then begin
+      let check =
+        if options.verify_ir then fun f ->
+          fail_on_errors ~stage:"optimisation" (Ir_verify.verify_func ir f)
+        else fun _ -> ()
+      in
+      span "cc.opt" (fun () -> Opt.run ~check ir);
+      if options.verify_ir then fail_on_errors ~stage:"optimisation" (Ir_verify.verify ir)
+    end;
+    Ok ir
+  with Ir_invalid (stage, errs) -> Error (ir_invalid_message stage errs)
 
 let gen_input ir =
   let ir = { ir with Ir.p_funcs = Opt.reachable_functions ir ~entry:"main" } in

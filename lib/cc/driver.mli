@@ -10,6 +10,11 @@ type options = {
   optimize : bool;  (** run the IR pass pipeline (default true) *)
   compress : bool;  (** RVC compression (default true, as RV64GC implies) *)
   include_prelude : bool;  (** default true *)
+  verify_ir : bool;
+      (** run {!Ir_verify} after lowering, after each optimisation-pass
+          iteration, and after the pipeline converges; error-severity
+          findings abort the compilation as an internal-error [Error]
+          (default true — verification is cheap relative to parsing) *)
 }
 
 val default_options : options

@@ -1,0 +1,245 @@
+open Ir
+module Diag = Eric_lint.Diag
+module Iset = Set.Make (Int)
+
+let loc ~func ~block ?index () = Diag.Ir_loc { func; block; index }
+
+(* ------------------------------------------------------------------ *)
+(* CFG integrity                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cfg_checks (f : func) =
+  let fn = f.f_name in
+  match f.f_blocks with
+  | [] -> [ Diag.errorf ~check:"ir.cfg.empty" "function %s has no basic blocks" fn ]
+  | entry :: _ ->
+    let labels = Hashtbl.create 16 in
+    let dups =
+      List.filter_map
+        (fun b ->
+          if Hashtbl.mem labels b.b_label then
+            Some
+              (Diag.errorf ~loc:(loc ~func:fn ~block:b.b_label ()) ~check:"ir.cfg.duplicate-label"
+                 "label L%d defined by more than one block" b.b_label)
+          else begin
+            Hashtbl.replace labels b.b_label b;
+            None
+          end)
+        f.f_blocks
+    in
+    let unresolved =
+      List.concat_map
+        (fun b ->
+          List.filter_map
+            (fun target ->
+              if Hashtbl.mem labels target then None
+              else
+                Some
+                  (Diag.errorf ~loc:(loc ~func:fn ~block:b.b_label ())
+                     ~check:"ir.cfg.unresolved-label" "terminator targets L%d, which no block defines"
+                     target))
+            (successors b.term))
+        f.f_blocks
+    in
+    let reachable = Hashtbl.create 16 in
+    let rec visit l =
+      if not (Hashtbl.mem reachable l) then begin
+        Hashtbl.replace reachable l ();
+        match Hashtbl.find_opt labels l with
+        | Some b -> List.iter visit (successors b.term)
+        | None -> ()
+      end
+    in
+    visit entry.b_label;
+    let unreachable =
+      List.filter_map
+        (fun b ->
+          if Hashtbl.mem reachable b.b_label then None
+          else
+            Some
+              (Diag.notef ~loc:(loc ~func:fn ~block:b.b_label ()) ~check:"ir.cfg.unreachable-block"
+                 "block L%d is unreachable from the entry" b.b_label))
+        f.f_blocks
+    in
+    dups @ unresolved @ unreachable
+
+(* ------------------------------------------------------------------ *)
+(* Temps, slots, calls                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let instr_temps i = (match def_of i with Some d -> [ d ] | None -> []) @ uses_of i
+
+let local_checks (p : program) (f : func) =
+  let fn = f.f_name in
+  let slot_ids = List.map fst f.f_slots in
+  let sig_of = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace sig_of g.f_name (List.length g.f_params)) p.p_funcs;
+  let check_temp ~loc t =
+    if t < 0 || t >= f.f_temp_count then
+      Some
+        (Diag.errorf ~loc ~check:"ir.temp.out-of-range" "t%d outside [0, %d)" t f.f_temp_count)
+    else None
+  in
+  let param_diags =
+    List.filter_map (fun t -> check_temp ~loc:(loc ~func:fn ~block:(-1) ()) t) f.f_params
+  in
+  let block_diags =
+    List.concat_map
+      (fun b ->
+        let body_diags =
+          List.concat (List.mapi
+            (fun i instr ->
+              let at = loc ~func:fn ~block:b.b_label ~index:i () in
+              let temp_diags = List.filter_map (check_temp ~loc:at) (instr_temps instr) in
+              let extra =
+                match instr with
+                | Addr_local (_, slot) when not (List.mem slot slot_ids) ->
+                  [ Diag.errorf ~loc:at ~check:"ir.slot.unresolved"
+                      "&slot%d: function declares no such frame slot" slot ]
+                | Call (_, callee, args) -> (
+                  match Hashtbl.find_opt sig_of callee with
+                  | None ->
+                    [ Diag.errorf ~loc:at ~check:"ir.call.unknown"
+                        "call to %s, which is not a function of the program" callee ]
+                  | Some arity when arity <> List.length args ->
+                    [ Diag.errorf ~loc:at ~check:"ir.call.arity"
+                        "%s takes %d argument%s, called with %d" callee arity
+                        (if arity = 1 then "" else "s")
+                        (List.length args) ]
+                  | Some _ -> [])
+                | _ -> []
+              in
+              temp_diags @ extra)
+            b.body)
+        in
+        let term_diags =
+          List.filter_map (check_temp ~loc:(loc ~func:fn ~block:b.b_label ())) (term_uses b.term)
+        in
+        body_diags @ term_diags)
+      f.f_blocks
+  in
+  param_diags @ block_diags
+
+(* ------------------------------------------------------------------ *)
+(* Def-before-use dataflow                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Forward must-define analysis: a temp is definitely assigned at a point
+   when every path from the entry writes it first.  Reads of temps that
+   are written somewhere but not on every incoming path are warnings
+   (MiniC, like C, allows reading an uninitialised local); reads of temps
+   no instruction ever writes are errors. *)
+let dataflow_checks (f : func) =
+  match f.f_blocks with
+  | [] -> []
+  | entry :: _ ->
+    let fn = f.f_name in
+    let defined_anywhere =
+      List.fold_left
+        (fun acc b ->
+          List.fold_left
+            (fun acc i -> match def_of i with Some d -> Iset.add d acc | None -> acc)
+            acc b.body)
+        (Iset.of_list f.f_params) f.f_blocks
+    in
+    let labels = Hashtbl.create 16 in
+    List.iter (fun b -> Hashtbl.replace labels b.b_label b) f.f_blocks;
+    let preds = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun s ->
+            if Hashtbl.mem labels s then
+              Hashtbl.replace preds s (b.b_label :: Option.value (Hashtbl.find_opt preds s) ~default:[]))
+          (successors b.term))
+      f.f_blocks;
+    let block_defs b =
+      List.fold_left
+        (fun acc i -> match def_of i with Some d -> Iset.add d acc | None -> acc)
+        Iset.empty b.body
+    in
+    (* out[b] per label; absent = not yet computed (top). *)
+    let out : (label, Iset.t) Hashtbl.t = Hashtbl.create 16 in
+    let in_of b =
+      if b.b_label = entry.b_label then Iset.of_list f.f_params
+      else
+        match Option.value (Hashtbl.find_opt preds b.b_label) ~default:[] with
+        | [] -> Iset.of_list f.f_params (* unreachable: no path constrains it *)
+        | ps ->
+          List.fold_left
+            (fun acc p ->
+              match (acc, Hashtbl.find_opt out p) with
+              | None, v -> v
+              | Some acc, Some v -> Some (Iset.inter acc v)
+              | Some acc, None -> Some acc (* unprocessed pred = top *))
+            None ps
+          |> Option.value ~default:(Iset.of_list f.f_params)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun b ->
+          let o = Iset.union (in_of b) (block_defs b) in
+          match Hashtbl.find_opt out b.b_label with
+          | Some prev when Iset.equal prev o -> ()
+          | _ ->
+            Hashtbl.replace out b.b_label o;
+            changed := true)
+        f.f_blocks
+    done;
+    (* Use-checks cover only reachable blocks: lowering's dead join blocks
+       (already noted by [ir.cfg.unreachable-block]) have no incoming path
+       to constrain what is defined, so checking them would be noise. *)
+    let reachable = Hashtbl.create 16 in
+    let rec visit l =
+      if not (Hashtbl.mem reachable l) then begin
+        Hashtbl.replace reachable l ();
+        match Hashtbl.find_opt labels l with
+        | Some b -> List.iter visit (successors b.term)
+        | None -> ()
+      end
+    in
+    visit entry.b_label;
+    let diags = ref [] in
+    let reported = Hashtbl.create 8 in
+    let check_use ~loc_ t defined =
+      if not (Iset.mem t defined) && not (Hashtbl.mem reported t) then begin
+        Hashtbl.replace reported t ();
+        if Iset.mem t defined_anywhere then
+          diags :=
+            Diag.warningf ~loc:loc_ ~check:"ir.temp.maybe-undef"
+              "t%d may be read before any assignment on some path" t
+            :: !diags
+        else
+          diags :=
+            Diag.errorf ~loc:loc_ ~check:"ir.temp.undef" "t%d is read but never assigned" t
+            :: !diags
+      end
+    in
+    List.iter
+      (fun b ->
+        if Hashtbl.mem reachable b.b_label then begin
+        let defined = ref (in_of b) in
+        List.iteri
+          (fun i instr ->
+            let at = loc ~func:fn ~block:b.b_label ~index:i () in
+            List.iter (fun t -> check_use ~loc_:at t !defined) (uses_of instr);
+            match def_of instr with
+            | Some d -> defined := Iset.add d !defined
+            | None -> ())
+          b.body;
+        List.iter
+          (fun t -> check_use ~loc_:(loc ~func:fn ~block:b.b_label ()) t !defined)
+          (term_uses b.term)
+        end)
+      f.f_blocks;
+    List.rev !diags
+
+let verify_func p f = Diag.sort (cfg_checks f @ local_checks p f @ dataflow_checks f)
+
+let verify (p : program) =
+  Eric_telemetry.Span.with_ ~cat:"lint" ~name:"lint.ir_verify" @@ fun () ->
+  List.concat_map (verify_func p) p.p_funcs
+
+let errors ds = List.filter (fun d -> d.Diag.severity = Diag.Error) ds

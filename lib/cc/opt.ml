@@ -330,7 +330,7 @@ let reachable_functions (p : program) ~entry =
   visit entry;
   List.filter (fun f -> Hashtbl.mem seen f.f_name) p.p_funcs
 
-let run (p : program) =
+let run ?(check = fun (_ : func) -> ()) (p : program) =
   let timed name pass f = Eric_telemetry.Span.with_ ~cat:"cc" ~name (fun () -> pass f) in
   let pass_pipeline f =
     let c1 = timed "cc.opt.const_fold" const_fold f in
@@ -343,7 +343,10 @@ let run (p : program) =
   List.iter
     (fun f ->
       let budget = ref 10 in
-      while pass_pipeline f && !budget > 0 do
+      let continue_ = ref true in
+      while !continue_ && !budget > 0 do
+        continue_ := pass_pipeline f;
+        check f;
         decr budget
       done)
     p.p_funcs

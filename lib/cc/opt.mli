@@ -16,8 +16,10 @@ val cse : Ir.func -> bool
 val dce : Ir.func -> bool
 val simplify_cfg : Ir.func -> bool
 
-val run : Ir.program -> unit
-(** Mutates the program in place. *)
+val run : ?check:(Ir.func -> unit) -> Ir.program -> unit
+(** Mutates the program in place.  [check] is invoked on each function
+    after every pass-pipeline iteration (the {!Driver} hooks the IR
+    verifier in here); it may raise to abort the compilation. *)
 
 val reachable_functions : Ir.program -> entry:string -> Ir.func list
 (** The functions transitively callable from [entry], in original order —

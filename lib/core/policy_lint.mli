@@ -1,0 +1,21 @@
+(** Adapter between a concrete encryption policy ({!Config.mode}) and the
+    policy-agnostic leakage lint ({!Eric_lint.Leakage}).
+
+    Run on the *plaintext* program before packaging, it computes exactly
+    which bits each parcel would ship in the clear under the policy —
+    {!Config.selection_bits} for parcel selection, {!Config.field_mask32}
+    / {!Config.field_mask16} for field scopes — and scores what a
+    linear-sweep attacker recovers from them. *)
+
+val coverage :
+  mode:Config.mode -> Eric_rv.Program.t -> Eric_lint.Leakage.coverage array
+(** One entry per text parcel. *)
+
+val analyze : mode:Config.mode -> Eric_rv.Program.t -> Eric_lint.Leakage.report
+
+val lint :
+  ?max_leakage:float ->
+  mode:Config.mode ->
+  Eric_rv.Program.t ->
+  Eric_lint.Leakage.report * Eric_lint.Diag.t list
+(** See {!Eric_lint.Leakage.lint} for the gate semantics. *)

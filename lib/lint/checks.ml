@@ -1,0 +1,79 @@
+type family = Ir | Machine | Leakage
+
+let family_name = function Ir -> "ir" | Machine -> "machine-code" | Leakage -> "leakage"
+
+type info = {
+  id : string;
+  family : family;
+  severity : Diag.severity;
+  summary : string;
+}
+
+let all =
+  [ (* IR verifier (Eric_cc.Ir_verify) *)
+    { id = "ir.cfg.empty"; family = Ir; severity = Diag.Error;
+      summary = "function has no basic blocks" };
+    { id = "ir.cfg.duplicate-label"; family = Ir; severity = Diag.Error;
+      summary = "two blocks in one function share a label" };
+    { id = "ir.cfg.unresolved-label"; family = Ir; severity = Diag.Error;
+      summary = "a terminator targets a label with no block" };
+    { id = "ir.cfg.unreachable-block"; family = Ir; severity = Diag.Note;
+      summary = "block unreachable from the entry (expected pre-optimisation)" };
+    { id = "ir.temp.out-of-range"; family = Ir; severity = Diag.Error;
+      summary = "temp id is negative or >= f_temp_count" };
+    { id = "ir.temp.undef"; family = Ir; severity = Diag.Error;
+      summary = "temp used but never defined anywhere in the function" };
+    { id = "ir.temp.maybe-undef"; family = Ir; severity = Diag.Warning;
+      summary = "temp used on a path where no definition dominates the use" };
+    { id = "ir.slot.unresolved"; family = Ir; severity = Diag.Error;
+      summary = "Addr_local names a frame slot the function does not declare" };
+    { id = "ir.call.unknown"; family = Ir; severity = Diag.Error;
+      summary = "call target is not a function of the program" };
+    { id = "ir.call.arity"; family = Ir; severity = Diag.Error;
+      summary = "call argument count disagrees with the callee's parameters" };
+    (* Machine-code verifier (Mc_verify) *)
+    { id = "mc.decode.invalid"; family = Machine; severity = Diag.Error;
+      summary = "text parcel is not a valid RV64GC encoding" };
+    { id = "mc.entry.misaligned"; family = Machine; severity = Diag.Error;
+      summary = "entry offset does not land on a parcel boundary" };
+    { id = "mc.cfg.target-out-of-section"; family = Machine; severity = Diag.Error;
+      summary = "branch/jump target lies outside the text section" };
+    { id = "mc.cfg.target-misaligned"; family = Machine; severity = Diag.Error;
+      summary = "branch/jump target is not a parcel boundary (mid-instruction)" };
+    { id = "mc.cfg.fallthrough-end"; family = Machine; severity = Diag.Error;
+      summary = "control can fall off the end of the text section" };
+    { id = "mc.stack.unbalanced"; family = Machine; severity = Diag.Error;
+      summary = "sp adjustment does not return to zero at a return site" };
+    { id = "mc.stack.inconsistent"; family = Machine; severity = Diag.Error;
+      summary = "two paths reach the same instruction with different sp offsets" };
+    { id = "mc.stack.untracked"; family = Machine; severity = Diag.Note;
+      summary = "sp modified by a value the verifier cannot track; stack checks skipped" };
+    { id = "mc.reg.callee-clobbered"; family = Machine; severity = Diag.Error;
+      summary = "callee-saved register written without a prologue save" };
+    { id = "mc.reg.caller-live-across-call"; family = Machine; severity = Diag.Error;
+      summary = "caller-saved register read after a call that clobbers it" };
+    { id = "mc.jalr.indirect"; family = Machine; severity = Diag.Note;
+      summary = "indirect jump: target not statically checkable" };
+    (* Encryption-policy leakage lint (Leakage / Eric.Policy_lint) *)
+    { id = "leak.policy.empty"; family = Leakage; severity = Diag.Error;
+      summary = "policy selects zero parcels: the package ships plaintext" };
+    { id = "leak.text.plaintext"; family = Leakage; severity = Diag.Warning;
+      summary = "fraction of parcels left fully plaintext exceeds threshold" };
+    { id = "leak.opcode.visible"; family = Leakage; severity = Diag.Warning;
+      summary = "opcode bits plaintext: opcode histogram recoverable by linear sweep" };
+    { id = "leak.cfg.branch-offsets"; family = Leakage; severity = Diag.Warning;
+      summary = "branch/jump offsets plaintext: CFG recoverable by linear sweep" };
+    { id = "leak.call.edges"; family = Leakage; severity = Diag.Warning;
+      summary = "jal ra sites with plaintext offsets: call graph recoverable" };
+    { id = "leak.func.prologues"; family = Leakage; severity = Diag.Warning;
+      summary = "addi sp,sp,-N prologues plaintext: function boundaries recoverable" } ]
+
+let find id = List.find_opt (fun i -> i.id = id) all
+
+let pp_catalogue fmt () =
+  let wid = List.fold_left (fun acc i -> max acc (String.length i.id)) 0 all in
+  List.iter
+    (fun i ->
+      Format.fprintf fmt "%-*s  %-12s  %-7s  %s@." wid i.id (family_name i.family)
+        (Diag.severity_name i.severity) i.summary)
+    all

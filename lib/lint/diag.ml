@@ -1,0 +1,122 @@
+type severity = Note | Warning | Error
+
+let severity_name = function Note -> "note" | Warning -> "warning" | Error -> "error"
+let severity_rank = function Note -> 0 | Warning -> 1 | Error -> 2
+
+type location =
+  | Ir_loc of { func : string; block : int; index : int option }
+  | Mc_loc of { offset : int }
+  | Parcel_loc of { index : int; offset : int }
+  | No_loc
+
+type t = {
+  severity : severity;
+  check : string;
+  loc : location;
+  message : string;
+}
+
+let make ?(loc = No_loc) severity ~check message =
+  Eric_telemetry.Registry.inc
+    ~labels:[ ("severity", severity_name severity); ("check", check) ]
+    "lint.diagnostics";
+  { severity; check; loc; message }
+
+let errorf ?loc ~check fmt = Printf.ksprintf (make ?loc Error ~check) fmt
+let warningf ?loc ~check fmt = Printf.ksprintf (make ?loc Warning ~check) fmt
+let notef ?loc ~check fmt = Printf.ksprintf (make ?loc Note ~check) fmt
+
+let pp_location fmt = function
+  | Ir_loc { func; block; index = Some i } -> Format.fprintf fmt "%s:L%d:%d" func block i
+  | Ir_loc { func; block; index = None } -> Format.fprintf fmt "%s:L%d:term" func block
+  | Mc_loc { offset } -> Format.fprintf fmt "text+0x%x" offset
+  | Parcel_loc { index; offset } -> Format.fprintf fmt "parcel %d (+0x%x)" index offset
+  | No_loc -> Format.pp_print_string fmt "-"
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s] %a: %s" (severity_name d.severity) d.check pp_location d.loc
+    d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+(* A total order on locations for stable listings: IR first (by function
+   then block then index), then machine-code/parcel positions by offset. *)
+let loc_key = function
+  | Ir_loc { func; block; index } ->
+    (0, func, block, Option.value index ~default:max_int)
+  | Mc_loc { offset } -> (1, "", offset, 0)
+  | Parcel_loc { index; offset } -> (1, "", offset, index)
+  | No_loc -> (2, "", 0, 0)
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      match compare (severity_rank b.severity) (severity_rank a.severity) with
+      | 0 -> (
+        match compare (loc_key a.loc) (loc_key b.loc) with
+        | 0 -> compare a.check b.check
+        | c -> c)
+      | c -> c)
+    ds
+
+let counts ds =
+  List.fold_left
+    (fun (e, w, n) d ->
+      match d.severity with
+      | Error -> (e + 1, w, n)
+      | Warning -> (e, w + 1, n)
+      | Note -> (e, w, n + 1))
+    (0, 0, 0) ds
+
+let max_severity = function
+  | [] -> None
+  | ds ->
+    Some
+      (List.fold_left
+         (fun acc d -> if severity_rank d.severity > severity_rank acc then d.severity else acc)
+         Note ds)
+
+let to_json d =
+  let open Eric_telemetry.Json in
+  let loc_fields =
+    match d.loc with
+    | Ir_loc { func; block; index } ->
+      [ ("func", Str func); ("block", Num (float_of_int block)) ]
+      @ (match index with Some i -> [ ("index", Num (float_of_int i)) ] | None -> [])
+    | Mc_loc { offset } -> [ ("offset", Num (float_of_int offset)) ]
+    | Parcel_loc { index; offset } ->
+      [ ("parcel", Num (float_of_int index)); ("offset", Num (float_of_int offset)) ]
+    | No_loc -> []
+  in
+  Obj
+    ([ ("severity", Str (severity_name d.severity));
+       ("check", Str d.check);
+       ("message", Str d.message) ]
+    @ loc_fields)
+
+let to_jsonl ds =
+  String.concat "" (List.map (fun d -> Eric_telemetry.Json.to_string (to_json d) ^ "\n") ds)
+
+let pp_table fmt ds =
+  let ds = sort ds in
+  let rows =
+    List.map
+      (fun d ->
+        (severity_name d.severity, d.check, Format.asprintf "%a" pp_location d.loc, d.message))
+      ds
+  in
+  let w f = List.fold_left (fun acc r -> max acc (String.length (f r))) 0 rows in
+  let w1 = w (fun (a, _, _, _) -> a)
+  and w2 = w (fun (_, b, _, _) -> b)
+  and w3 = w (fun (_, _, c, _) -> c) in
+  List.iter
+    (fun (sev, check, loc, msg) ->
+      Format.fprintf fmt "%-*s  %-*s  %-*s  %s@." w1 sev w2 check w3 loc msg)
+    rows;
+  let e, wn, n = counts ds in
+  Format.fprintf fmt "%d error%s, %d warning%s, %d note%s@." e
+    (if e = 1 then "" else "s")
+    wn
+    (if wn = 1 then "" else "s")
+    n
+    (if n = 1 then "" else "s")

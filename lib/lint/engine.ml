@@ -1,0 +1,31 @@
+type format = Table | Jsonl
+
+let format_of_string = function
+  | "table" -> Some Table
+  | "jsonl" -> Some Jsonl
+  | _ -> None
+
+let format_name = function Table -> "table" | Jsonl -> "jsonl"
+
+let filter ?(checks = []) diags =
+  match checks with
+  | [] -> diags
+  | prefixes ->
+    List.filter
+      (fun (d : Diag.t) ->
+        List.exists (fun p -> String.starts_with ~prefix:p d.Diag.check) prefixes)
+      diags
+
+let render format fmt diags =
+  match format with
+  | Table -> Diag.pp_table fmt diags
+  | Jsonl -> Format.fprintf fmt "%s" (Diag.to_jsonl diags)
+
+let worst = Diag.max_severity
+
+let fails ?(fail_on = Diag.Error) diags =
+  match worst diags with
+  | None -> false
+  | Some w -> Diag.severity_rank w >= Diag.severity_rank fail_on
+
+let exit_code ?fail_on diags = if fails ?fail_on diags then 1 else 0

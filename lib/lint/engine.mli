@@ -1,0 +1,27 @@
+(** Front end of the diagnostics engine: filtering, rendering, and the
+    pass/fail gate shared by the CLI and the driver hooks. *)
+
+type format = Table | Jsonl
+
+val format_of_string : string -> format option
+(** Accepts ["table"] and ["jsonl"]. *)
+
+val format_name : format -> string
+
+val filter : ?checks:string list -> Diag.t list -> Diag.t list
+(** Keep diagnostics whose check id starts with one of the given
+    prefixes (e.g. ["mc."] or ["ir.temp"]).  No prefixes = keep all. *)
+
+val render : format -> Format.formatter -> Diag.t list -> unit
+(** [Table] is the aligned human listing with a severity summary line;
+    [Jsonl] is one JSON object per line (the schema of
+    {!Diag.to_json}). *)
+
+val worst : Diag.t list -> Diag.severity option
+
+val fails : ?fail_on:Diag.severity -> Diag.t list -> bool
+(** True when any diagnostic reaches [fail_on] (default
+    {!Diag.Error}). *)
+
+val exit_code : ?fail_on:Diag.severity -> Diag.t list -> int
+(** [0] when {!fails} is false, [1] otherwise. *)

@@ -1,0 +1,192 @@
+open Eric_rv
+
+type coverage = Clear | Enc_all | Enc32 of int32 | Enc16 of int
+
+type report = {
+  parcels : int;
+  plaintext_parcels : int;
+  plaintext_fraction : float;
+  opcode_visible : int;
+  opcode_visible_fraction : float;
+  branch_sites : int;
+  branch_offsets_plaintext : int;
+  call_sites : int;
+  call_edges_plaintext : int;
+  prologues : int;
+  prologues_plaintext : int;
+}
+
+(* Bit masks on the plaintext encodings, from the ISA formats. *)
+let b_imm_mask32 = 0xFE000F80l (* B-type: bits 31, 30:25, 11:8, 7 *)
+let j_imm_mask32 = 0xFFFFF000l (* J-type: bits 31:12 *)
+let opcode_mask16 = 0xE003 (* quadrant [1:0] + funct3 [15:13] *)
+let cb_imm_mask16 = 0x1C7C (* c.beqz/c.bnez offset: bits 12:10, 6:2 *)
+let cj_imm_mask16 = 0x1FFC (* c.j offset: bits 12:2 *)
+let prologue_keep32 = 0x000FFFFFl (* addi sp,sp,-N minus its I-immediate *)
+let prologue_keep16 = 0xEF83 (* c.addi16sp minus its immediate bits *)
+
+let fully_plaintext = function
+  | Clear -> true
+  | Enc_all -> false
+  | Enc32 m -> m = 0l
+  | Enc16 m -> m = 0
+
+let masked32 cov field =
+  (* Does any encrypted bit intersect [field]? *)
+  match cov with
+  | Clear -> false
+  | Enc_all -> true
+  | Enc32 m -> Int32.logand m field <> 0l
+  | Enc16 _ -> true (* width mismatch: treat as hidden *)
+
+let masked16 cov field =
+  match cov with
+  | Clear -> false
+  | Enc_all -> true
+  | Enc16 m -> m land field <> 0
+  | Enc32 _ -> true
+
+let opcode_hidden parcel cov =
+  match parcel with
+  | Program.P32 _ -> masked32 cov Encode.Field.opcode
+  | Program.P16 _ -> masked16 cov opcode_mask16
+
+let offset_field parcel inst =
+  (* The bits of [parcel] that hold a control-flow displacement, if any. *)
+  match (parcel, inst) with
+  | Program.P32 _, Some (Inst.Branch _) -> Some (`M32 b_imm_mask32)
+  | Program.P32 _, Some (Inst.Jal _) -> Some (`M32 j_imm_mask32)
+  | Program.P16 _, Some (Inst.Branch _) -> Some (`M16 cb_imm_mask16)
+  | Program.P16 _, Some (Inst.Jal _) -> Some (`M16 cj_imm_mask16)
+  | _ -> None
+
+let field_hidden cov = function
+  | `M32 m -> masked32 cov m
+  | `M16 m -> masked16 cov m
+
+let is_call = function Some (Inst.Jal (rd, _)) -> Reg.equal rd Reg.ra | _ -> false
+
+let is_prologue = function
+  | Some (Inst.I (Inst.Addi, rd, rs1, imm)) ->
+    Reg.equal rd Reg.sp && Reg.equal rs1 Reg.sp && imm < 0
+  | _ -> false
+
+let prologue_hidden parcel cov =
+  match parcel with
+  | Program.P32 _ -> masked32 cov prologue_keep32
+  | Program.P16 _ -> masked16 cov prologue_keep16
+
+let frac num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let analyze (p : Program.t) coverage =
+  if Array.length coverage <> Array.length p.Program.text then
+    invalid_arg "Leakage.analyze: coverage length <> parcel count";
+  let plaintext = ref 0 and opcode = ref 0 in
+  let branches = ref 0 and branches_clear = ref 0 in
+  let calls = ref 0 and calls_clear = ref 0 in
+  let prologues = ref 0 and prologues_clear = ref 0 in
+  Array.iteri
+    (fun i parcel ->
+      let cov = coverage.(i) in
+      let inst = Program.decode_parcel parcel in
+      if fully_plaintext cov then incr plaintext;
+      let opc_visible = not (opcode_hidden parcel cov) in
+      if opc_visible then incr opcode;
+      (match offset_field parcel inst with
+      | Some field ->
+        incr branches;
+        if opc_visible && not (field_hidden cov field) then incr branches_clear
+      | None -> ());
+      if is_call inst then begin
+        incr calls;
+        match offset_field parcel inst with
+        | Some field when opc_visible && not (field_hidden cov field) -> incr calls_clear
+        | _ -> ()
+      end;
+      if is_prologue inst then begin
+        incr prologues;
+        if not (prologue_hidden parcel cov) then incr prologues_clear
+      end)
+    p.Program.text;
+  let parcels = Array.length p.Program.text in
+  { parcels;
+    plaintext_parcels = !plaintext;
+    plaintext_fraction = frac !plaintext parcels;
+    opcode_visible = !opcode;
+    opcode_visible_fraction = frac !opcode parcels;
+    branch_sites = !branches;
+    branch_offsets_plaintext = !branches_clear;
+    call_sites = !calls;
+    call_edges_plaintext = !calls_clear;
+    prologues = !prologues;
+    prologues_plaintext = !prologues_clear }
+
+let report_to_json r =
+  let module J = Eric_telemetry.Json in
+  let int v = J.Num (float_of_int v) in
+  J.Obj
+    [ ("parcels", int r.parcels);
+      ("plaintext_parcels", int r.plaintext_parcels);
+      ("plaintext_fraction", J.Num r.plaintext_fraction);
+      ("opcode_visible", int r.opcode_visible);
+      ("opcode_visible_fraction", J.Num r.opcode_visible_fraction);
+      ("branch_sites", int r.branch_sites);
+      ("branch_offsets_plaintext", int r.branch_offsets_plaintext);
+      ("call_sites", int r.call_sites);
+      ("call_edges_plaintext", int r.call_edges_plaintext);
+      ("prologues", int r.prologues);
+      ("prologues_plaintext", int r.prologues_plaintext) ]
+
+let advisory = 0.25
+
+let lint ?(max_leakage = 1.0) p coverage =
+  let r = analyze p coverage in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  if r.parcels > 0 && r.plaintext_parcels = r.parcels then
+    emit
+      (Diag.errorf ~check:"leak.policy.empty"
+         "policy encrypts nothing: all %d parcels ship plaintext" r.parcels)
+  else begin
+    let graded ~check ~what fraction detail =
+      if fraction > max_leakage then
+        emit
+          (Diag.errorf ~check "%s: %.0f%% %s exceeds --max-leakage %.0f%%" what
+             (100. *. fraction) detail (100. *. max_leakage))
+      else if fraction > advisory then
+        emit (Diag.warningf ~check "%s: %.0f%% %s" what (100. *. fraction) detail)
+    in
+    graded ~check:"leak.text.plaintext" ~what:"plaintext parcels" r.plaintext_fraction
+      "of the text section is fully legible";
+    graded ~check:"leak.opcode.visible" ~what:"opcode bits" r.opcode_visible_fraction
+      "of opcodes are legible (opcode histogram recoverable)";
+    graded ~check:"leak.cfg.branch-offsets" ~what:"branch offsets"
+      (frac r.branch_offsets_plaintext r.branch_sites)
+      "of branch/jump displacements are legible (CFG recoverable)";
+    if r.call_edges_plaintext > 0 then begin
+      let f = frac r.call_edges_plaintext r.call_sites in
+      if f > max_leakage then
+        emit
+          (Diag.errorf ~check:"leak.call.edges"
+             "%d of %d call edges legible; exceeds --max-leakage %.0f%%"
+             r.call_edges_plaintext r.call_sites (100. *. max_leakage))
+      else
+        emit
+          (Diag.warningf ~check:"leak.call.edges" "%d of %d call edges legible to a linear sweep"
+             r.call_edges_plaintext r.call_sites)
+    end;
+    if r.prologues_plaintext > 0 then begin
+      let f = frac r.prologues_plaintext r.prologues in
+      if f > max_leakage then
+        emit
+          (Diag.errorf ~check:"leak.func.prologues"
+             "%d of %d function prologues legible; exceeds --max-leakage %.0f%%"
+             r.prologues_plaintext r.prologues (100. *. max_leakage))
+      else
+        emit
+          (Diag.warningf ~check:"leak.func.prologues"
+             "%d of %d function prologues legible (function boundaries recoverable)"
+             r.prologues_plaintext r.prologues)
+    end
+  end;
+  (r, Diag.sort !diags)

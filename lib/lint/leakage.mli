@@ -1,0 +1,41 @@
+(** Encryption-policy leakage lint: predict what a linear-sweep attacker
+    recovers from the plaintext bits an encryption policy leaves behind.
+
+    The module is deliberately ignorant of [Eric.Config] — callers (the
+    [Eric.Policy_lint] adapter) translate a concrete policy into one
+    {!coverage} value per text parcel, and this module scores the result
+    against the attack model of [Eric.Analysis]: linear-sweep decoding,
+    opcode histograms, branch-offset CFG recovery, [jal ra] call-graph
+    recovery, and [addi sp, sp, -N] prologue scanning. *)
+
+type coverage =
+  | Clear  (** parcel ships fully plaintext *)
+  | Enc_all  (** every bit of the parcel is encrypted *)
+  | Enc32 of int32  (** mask of encrypted bits of a 32-bit encoding *)
+  | Enc16 of int  (** mask of encrypted bits of a 16-bit parcel *)
+
+type report = {
+  parcels : int;
+  plaintext_parcels : int;  (** parcels with no encrypted bit at all *)
+  plaintext_fraction : float;
+  opcode_visible : int;  (** parcels whose opcode/quadrant bits are plaintext *)
+  opcode_visible_fraction : float;
+  branch_sites : int;  (** branch/jump parcels in the (plaintext) program *)
+  branch_offsets_plaintext : int;  (** of those, offset field fully legible *)
+  call_sites : int;  (** [jal ra] parcels *)
+  call_edges_plaintext : int;  (** call sites an attacker reads the target of *)
+  prologues : int;  (** [addi sp, sp, -N] parcels *)
+  prologues_plaintext : int;  (** prologues recognisable despite the policy *)
+}
+
+val analyze : Eric_rv.Program.t -> coverage array -> report
+(** Score a coverage assignment.  Raises [Invalid_argument] when the
+    coverage array's length differs from the program's parcel count. *)
+
+val report_to_json : report -> Eric_telemetry.Json.t
+
+val lint : ?max_leakage:float -> Eric_rv.Program.t -> coverage array -> report * Diag.t list
+(** {!analyze} plus diagnostics: a metric above [max_leakage]
+    (default [1.0], i.e. never) escalates to an error; above the fixed
+    advisory threshold of 0.25 it warns.  A policy that encrypts nothing
+    is always [leak.policy.empty] at error severity. *)

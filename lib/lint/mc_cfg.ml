@@ -1,0 +1,64 @@
+open Eric_rv
+
+type node = {
+  n_index : int;
+  n_offset : int;
+  n_size : int;
+  n_inst : Inst.t option;
+}
+
+type t = {
+  nodes : node array;
+  index_of_offset : (int, int) Hashtbl.t;
+  text_size : int;
+}
+
+let build (p : Program.t) =
+  let offsets = Program.parcel_offsets p in
+  let index_of_offset = Hashtbl.create (Array.length p.Program.text) in
+  let nodes =
+    Array.mapi
+      (fun i parcel ->
+        Hashtbl.replace index_of_offset offsets.(i) i;
+        { n_index = i;
+          n_offset = offsets.(i);
+          n_size = Program.parcel_size parcel;
+          n_inst = Program.decode_parcel parcel })
+      p.Program.text
+  in
+  { nodes; index_of_offset; text_size = Program.text_size p }
+
+let node_at t offset =
+  match Hashtbl.find_opt t.index_of_offset offset with
+  | Some i -> Some t.nodes.(i)
+  | None -> None
+
+type flow =
+  | Next
+  | Jump of int
+  | Cond of int
+  | Call of int
+  | Return
+  | Indirect
+
+let flow_of node =
+  match node.n_inst with
+  | None -> Next
+  | Some inst -> (
+    match inst with
+    | Inst.Branch (_, _, _, disp) -> Cond (node.n_offset + disp)
+    | Inst.Jal (rd, disp) ->
+      if Reg.equal rd Reg.x0 then Jump (node.n_offset + disp) else Call (node.n_offset + disp)
+    | Inst.Jalr (rd, rs1, imm) ->
+      if Reg.equal rd Reg.x0 && Reg.equal rs1 Reg.ra && imm = 0 then Return else Indirect
+    | _ -> Next)
+
+let targets_of_flow = function
+  | Jump t | Cond t | Call t -> [ t ]
+  | Next | Return | Indirect -> []
+
+let call_sites t =
+  Array.fold_right
+    (fun node acc ->
+      match flow_of node with Call target -> (node.n_offset, target) :: acc | _ -> acc)
+    t.nodes []

@@ -1,0 +1,49 @@
+(** Control-flow reconstruction over a decoded RV64GC text section — the
+    substrate of the machine-code verifier.
+
+    The text is cut at parcel boundaries (the framing an attacker must
+    also discover); each parcel becomes a {!node} with its decoded
+    instruction, and {!flow_of} classifies how control leaves it.  Branch
+    and jump displacements are byte offsets relative to the instruction,
+    exactly as {!Eric_rv.Inst} carries them, so target arithmetic here is
+    plain [offset + displacement]. *)
+
+type node = {
+  n_index : int;  (** parcel index *)
+  n_offset : int;  (** byte offset of the parcel *)
+  n_size : int;  (** 2 or 4 *)
+  n_inst : Eric_rv.Inst.t option;  (** [None] = undecodable parcel *)
+}
+
+type t = {
+  nodes : node array;
+  index_of_offset : (int, int) Hashtbl.t;  (** parcel boundary -> index *)
+  text_size : int;
+}
+
+val build : Eric_rv.Program.t -> t
+
+val node_at : t -> int -> node option
+(** The node starting at a byte offset; [None] when the offset is not a
+    parcel boundary. *)
+
+type flow =
+  | Next  (** falls through to the next parcel *)
+  | Jump of int  (** unconditional jump to an absolute byte offset *)
+  | Cond of int  (** conditional branch: target, plus fallthrough *)
+  | Call of int  (** [jal] with a link register: target, resumes after *)
+  | Return  (** [jalr x0, ra, 0] *)
+  | Indirect  (** [jalr] whose target is not statically known *)
+
+val flow_of : node -> flow
+(** Classification of the node's instruction.  Undecodable parcels and
+    [ecall]/[ebreak] report [Next]; the verifier refines [ecall] exits with
+    its own constant tracking. *)
+
+val targets_of_flow : flow -> int list
+(** The absolute byte offsets a flow names (empty for
+    [Next]/[Return]/[Indirect]). *)
+
+val call_sites : t -> (int * int) list
+(** [(site offset, target offset)] for every [jal ra, _] — the call edges
+    a linear-sweep attacker recovers from plaintext. *)

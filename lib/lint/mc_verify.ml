@@ -1,0 +1,380 @@
+open Eric_rv
+
+let mc_loc offset = Diag.Mc_loc { offset }
+
+(* Register index sets as 32-bit masks (one bit per x-register). *)
+let bit r = 1 lsl Reg.to_int r
+let callee_saved_mask = List.fold_left (fun m i -> m lor bit (Reg.s i)) 0 [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
+
+let caller_saved_watch_mask =
+  (* Registers whose value does not survive a call and whose read after
+     one is therefore a bug: t0-t6 and a1-a7.  a0 carries the return
+     value and ra is re-defined by the call itself. *)
+  let ts = List.fold_left (fun m i -> m lor bit (Reg.t_ i)) 0 [ 0; 1; 2; 3; 4; 5; 6 ] in
+  let as_ = List.fold_left (fun m i -> m lor bit (Reg.a i)) 0 [ 1; 2; 3; 4; 5; 6; 7 ] in
+  ts lor as_
+
+(* ------------------------------------------------------------------ *)
+(* Constant tracking (enough to follow expand_li into sp adjustments    *)
+(* and a7 into ecall numbers)                                           *)
+(* ------------------------------------------------------------------ *)
+
+type state = { delta : int; consts : int64 option array (* per register *) }
+
+let fresh_state () = { delta = 0; consts = Array.make 32 None }
+let copy_state s = { s with consts = Array.copy s.consts }
+
+let const_of s r = if Reg.equal r Reg.x0 then Some 0L else s.consts.(Reg.to_int r)
+let set_const s r v = if not (Reg.equal r Reg.x0) then s.consts.(Reg.to_int r) <- v
+
+let sext32 v = Int64.of_int32 (Int64.to_int32 v)
+
+(* Apply a non-sp-writing instruction to the constant map. *)
+let apply_consts s (inst : Inst.t) =
+  match inst with
+  | Inst.I (Addi, rd, rs1, imm) ->
+    set_const s rd
+      (Option.map (fun v -> Int64.add v (Int64.of_int imm)) (const_of s rs1))
+  | Inst.I (Addiw, rd, rs1, imm) ->
+    set_const s rd
+      (Option.map (fun v -> sext32 (Int64.add v (Int64.of_int imm))) (const_of s rs1))
+  | Inst.U (Lui, rd, imm) -> set_const s rd (Some (Int64.of_int (imm lsl 12)))
+  | Inst.Shift (Slli, rd, rs1, sh) ->
+    set_const s rd (Option.map (fun v -> Int64.shift_left v sh) (const_of s rs1))
+  | Inst.R (Add, rd, rs1, rs2) -> (
+    match (const_of s rs1, const_of s rs2) with
+    | Some a, Some b -> set_const s rd (Some (Int64.add a b))
+    | _ -> set_const s rd None)
+  | Inst.Ecall -> set_const s (Reg.a 0) None
+  | _ -> (
+    match Inst.defines inst with Some rd -> set_const s rd None | None -> ())
+
+let clobber_caller_saved s =
+  set_const s Reg.ra None;
+  for i = 0 to 6 do set_const s (Reg.t_ i) None done;
+  for i = 0 to 7 do set_const s (Reg.a i) None done
+
+(* ------------------------------------------------------------------ *)
+(* Global structural checks                                             *)
+(* ------------------------------------------------------------------ *)
+
+let decode_checks (cfg : Mc_cfg.t) =
+  Array.fold_right
+    (fun (n : Mc_cfg.node) acc ->
+      match n.Mc_cfg.n_inst with
+      | Some _ -> acc
+      | None ->
+        Diag.errorf ~loc:(mc_loc n.Mc_cfg.n_offset) ~check:"mc.decode.invalid"
+          "%d-byte parcel does not decode as RV64GC" n.Mc_cfg.n_size
+        :: acc)
+    cfg.Mc_cfg.nodes []
+
+let target_checks (cfg : Mc_cfg.t) =
+  Array.fold_right
+    (fun (n : Mc_cfg.node) acc ->
+      List.fold_right
+        (fun target acc ->
+          if target < 0 || target >= cfg.Mc_cfg.text_size then
+            Diag.errorf ~loc:(mc_loc n.Mc_cfg.n_offset) ~check:"mc.cfg.target-out-of-section"
+              "target +0x%x lies outside the %d-byte text section" target cfg.Mc_cfg.text_size
+            :: acc
+          else if Mc_cfg.node_at cfg target = None then
+            Diag.errorf ~loc:(mc_loc n.Mc_cfg.n_offset) ~check:"mc.cfg.target-misaligned"
+              "target +0x%x is not a parcel boundary" target
+            :: acc
+          else acc)
+        (Mc_cfg.targets_of_flow (Mc_cfg.flow_of n))
+        acc)
+    cfg.Mc_cfg.nodes []
+
+(* ------------------------------------------------------------------ *)
+(* Per-function walk: reachability, stack discipline, saved registers   *)
+(* ------------------------------------------------------------------ *)
+
+type region = {
+  r_start : int;  (** byte offset of the function's first parcel *)
+  r_visited : (int, int) Hashtbl.t;  (** node index -> sp delta at entry *)
+  mutable r_untracked : bool;
+  mutable r_saved : int;  (** mask of callee-saved regs (and ra) stored *)
+  mutable r_callee_defs : (int * Reg.t) list;  (** offset, reg *)
+  mutable r_call_offsets : int list;
+  mutable r_diags : Diag.t list;
+}
+
+let is_exit_ecall st (inst : Inst.t) =
+  inst = Inst.Ecall && const_of st (Reg.a 7) = Some 93L
+
+let walk_region (cfg : Mc_cfg.t) ~start ~register_call =
+  let region =
+    { r_start = start; r_visited = Hashtbl.create 64; r_untracked = false; r_saved = 0;
+      r_callee_defs = []; r_call_offsets = []; r_diags = [] }
+  in
+  let emit d = region.r_diags <- d :: region.r_diags in
+  let inconsistent_reported = Hashtbl.create 4 in
+  let work = Queue.create () in
+  (match Mc_cfg.node_at cfg start with
+  | Some n ->
+    Hashtbl.replace region.r_visited n.Mc_cfg.n_index 0;
+    Queue.add (n.Mc_cfg.n_index, fresh_state ()) work
+  | None -> () (* target checks already flagged the bad region start *));
+  while not (Queue.is_empty work) do
+    let idx, st = Queue.pop work in
+    let node = cfg.Mc_cfg.nodes.(idx) in
+    let offset = node.Mc_cfg.n_offset in
+    match node.Mc_cfg.n_inst with
+    | None -> () (* decode check already flagged it; cannot follow flow *)
+    | Some inst ->
+      (* Stack-pointer effects before generic constant tracking. *)
+      let st =
+        match inst with
+        | Inst.I (Addi, rd, rs1, imm) when Reg.equal rd Reg.sp && Reg.equal rs1 Reg.sp ->
+          { st with delta = st.delta + imm }
+        | Inst.R (Add, rd, rs1, rs2) when Reg.equal rd Reg.sp -> (
+          let other =
+            if Reg.equal rs1 Reg.sp then Some rs2
+            else if Reg.equal rs2 Reg.sp then Some rs1
+            else None
+          in
+          match Option.map (const_of st) other with
+          | Some (Some v) -> { st with delta = st.delta + Int64.to_int v }
+          | _ ->
+            if not region.r_untracked then begin
+              region.r_untracked <- true;
+              emit
+                (Diag.notef ~loc:(mc_loc offset) ~check:"mc.stack.untracked"
+                   "sp modified by an untracked value; stack checks skipped for this function")
+            end;
+            st)
+        | _ when Inst.defines inst = Some Reg.sp ->
+          if not region.r_untracked then begin
+            region.r_untracked <- true;
+            emit
+              (Diag.notef ~loc:(mc_loc offset) ~check:"mc.stack.untracked"
+                 "sp modified by an untracked value; stack checks skipped for this function")
+          end;
+          st
+        | _ -> st
+      in
+      (* Saved-register bookkeeping: an sd of a callee-saved register (or
+         ra) to an sp-derived address counts as its prologue save. *)
+      (match inst with
+      | Inst.Store (Sd, src, base, _)
+        when (Reg.equal base Reg.sp || Reg.equal base (Reg.t_ 6))
+             && (bit src land callee_saved_mask <> 0 || Reg.equal src Reg.ra) ->
+        region.r_saved <- region.r_saved lor bit src
+      | _ -> ());
+      (match Inst.defines inst with
+      | Some rd when bit rd land callee_saved_mask <> 0 ->
+        region.r_callee_defs <- (offset, rd) :: region.r_callee_defs
+      | _ -> ());
+      let exit_ecall = is_exit_ecall st inst in
+      apply_consts st inst;
+      let flow = Mc_cfg.flow_of node in
+      (* Successors carry whether they are a fallthrough edge: falling
+         past the last parcel is an error, while a jump target past the
+         section was already flagged by the global target checks. *)
+      let successors =
+        match flow with
+        | Mc_cfg.Return ->
+          if (not region.r_untracked) && st.delta <> 0 then
+            emit
+              (Diag.errorf ~loc:(mc_loc offset) ~check:"mc.stack.unbalanced"
+                 "returns with sp offset %+d (prologue/epilogue adjustments do not balance)"
+                 st.delta);
+          []
+        | Mc_cfg.Indirect ->
+          emit
+            (Diag.notef ~loc:(mc_loc offset) ~check:"mc.jalr.indirect"
+               "indirect jump: target not statically checkable");
+          []
+        | Mc_cfg.Jump target -> [ (`Jump, target) ]
+        | Mc_cfg.Cond target -> [ (`Fall, offset + node.Mc_cfg.n_size); (`Jump, target) ]
+        | Mc_cfg.Call target ->
+          register_call target;
+          region.r_call_offsets <- offset :: region.r_call_offsets;
+          clobber_caller_saved st;
+          [ (`Fall, offset + node.Mc_cfg.n_size) ]
+        | Mc_cfg.Next ->
+          if exit_ecall || inst = Inst.Ebreak then []
+          else [ (`Fall, offset + node.Mc_cfg.n_size) ]
+      in
+      List.iter
+        (fun (kind, succ) ->
+          if succ >= cfg.Mc_cfg.text_size || succ < 0 then begin
+            if kind = `Fall then
+              emit
+                (Diag.errorf ~loc:(mc_loc offset) ~check:"mc.cfg.fallthrough-end"
+                   "control reaches the end of the text section without a terminator")
+            (* jump targets out of the section were flagged globally *)
+          end
+          else
+            match Mc_cfg.node_at cfg succ with
+            | None -> () (* only jump targets can miss a boundary; flagged globally *)
+            | Some next -> (
+              match Hashtbl.find_opt region.r_visited next.Mc_cfg.n_index with
+              | Some seen_delta ->
+                if
+                  (not region.r_untracked)
+                  && seen_delta <> st.delta
+                  && not (Hashtbl.mem inconsistent_reported next.Mc_cfg.n_index)
+                then begin
+                  Hashtbl.replace inconsistent_reported next.Mc_cfg.n_index ();
+                  emit
+                    (Diag.errorf ~loc:(mc_loc succ) ~check:"mc.stack.inconsistent"
+                       "reached with sp offset %+d from one path and %+d from another"
+                       seen_delta st.delta)
+                end
+              | None ->
+                Hashtbl.replace region.r_visited next.Mc_cfg.n_index st.delta;
+                Queue.add (next.Mc_cfg.n_index, copy_state st) work))
+        successors
+  done;
+  region
+
+let saved_checks ~is_entry region =
+  if is_entry then []
+  else begin
+    let clobbers =
+      List.filter_map
+        (fun (offset, r) ->
+          if bit r land region.r_saved = 0 then
+            Some
+              (Diag.errorf ~loc:(mc_loc offset) ~check:"mc.reg.callee-clobbered"
+                 "callee-saved %s written without a prologue save" (Reg.abi_name r))
+          else None)
+        (List.sort_uniq compare region.r_callee_defs)
+    in
+    let ra_check =
+      match List.rev region.r_call_offsets with
+      | first_call :: _ when bit Reg.ra land region.r_saved = 0 ->
+        [ Diag.errorf ~loc:(mc_loc first_call) ~check:"mc.reg.callee-clobbered"
+            "function makes a call but never saves ra" ]
+      | _ -> []
+    in
+    clobbers @ ra_check
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Liveness: caller-saved values read across a call                     *)
+(* ------------------------------------------------------------------ *)
+
+let liveness_checks (cfg : Mc_cfg.t) region =
+  let members = Hashtbl.fold (fun idx _ acc -> idx :: acc) region.r_visited [] in
+  let members = List.sort compare members in
+  let member idx = Hashtbl.mem region.r_visited idx in
+  let use_def idx =
+    let node = cfg.Mc_cfg.nodes.(idx) in
+    match node.Mc_cfg.n_inst with
+    | None -> (0, 0)
+    | Some inst -> (
+      match Mc_cfg.flow_of node with
+      | Mc_cfg.Call _ ->
+        (* The callee's arity is unknown, so claim no uses (arguments are
+           re-materialised before each call site anyway) and define every
+           caller-saved register: the call clobbers them all, which also
+           keeps one stale value from being flagged at several calls. *)
+        (0, caller_saved_watch_mask lor bit (Reg.a 0) lor bit Reg.ra)
+      | _ when inst = Inst.Ecall ->
+        (* Without constant a7 here we cannot tell exit from write; claim
+           only the registers every relevant syscall reads (a0, a7) so a
+           write's a1/a2 — always materialised right before the ecall —
+           are not reported live across an earlier call. *)
+        (bit (Reg.a 0) lor bit (Reg.a 7), bit (Reg.a 0))
+      | _ ->
+        ( List.fold_left (fun m r -> m lor bit r) 0 (Inst.uses inst),
+          match Inst.defines inst with Some r -> bit r | None -> 0 ))
+  in
+  let succs idx =
+    let node = cfg.Mc_cfg.nodes.(idx) in
+    let offsets =
+      match Mc_cfg.flow_of node with
+      | Mc_cfg.Return | Mc_cfg.Indirect -> []
+      | Mc_cfg.Jump t -> [ t ]
+      | Mc_cfg.Cond t -> [ node.Mc_cfg.n_offset + node.Mc_cfg.n_size; t ]
+      | Mc_cfg.Call _ | Mc_cfg.Next -> [ node.Mc_cfg.n_offset + node.Mc_cfg.n_size ]
+    in
+    List.filter_map
+      (fun o ->
+        match Mc_cfg.node_at cfg o with
+        | Some n when member n.Mc_cfg.n_index -> Some n.Mc_cfg.n_index
+        | _ -> None)
+      offsets
+  in
+  let live_out = Hashtbl.create 64 in
+  let get tbl idx = Option.value (Hashtbl.find_opt tbl idx) ~default:0 in
+  let live_in idx =
+    let uses, defs = use_def idx in
+    uses lor (get live_out idx land lnot defs)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun idx ->
+        let out = List.fold_left (fun acc s -> acc lor live_in s) 0 (succs idx) in
+        if out <> get live_out idx then begin
+          Hashtbl.replace live_out idx out;
+          changed := true
+        end)
+      (List.rev members)
+  done;
+  List.filter_map
+    (fun idx ->
+      let node = cfg.Mc_cfg.nodes.(idx) in
+      match Mc_cfg.flow_of node with
+      | Mc_cfg.Call _ ->
+        let across = get live_out idx land caller_saved_watch_mask in
+        if across <> 0 then begin
+          let regs =
+            List.filter_map
+              (fun i -> if across land (1 lsl i) <> 0 then Some (Reg.abi_name (Reg.of_int i)) else None)
+              (List.init 32 Fun.id)
+          in
+          Some
+            (Diag.errorf ~loc:(mc_loc node.Mc_cfg.n_offset)
+               ~check:"mc.reg.caller-live-across-call"
+               "caller-saved %s read after this call clobbers it" (String.concat ", " regs))
+        end
+        else None
+      | _ -> None)
+    members
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let verify (p : Program.t) =
+  Eric_telemetry.Span.with_ ~cat:"lint" ~name:"lint.mc_verify" @@ fun () ->
+  let cfg = Mc_cfg.build p in
+  Eric_telemetry.Registry.inc ~by:(Int64.of_int (Array.length cfg.Mc_cfg.nodes))
+    "lint.parcels_verified";
+  let entry = p.Program.entry_offset in
+  let entry_diag =
+    if Mc_cfg.node_at cfg entry = None then
+      [ Diag.errorf ~loc:(mc_loc entry) ~check:"mc.entry.misaligned"
+          "entry offset is not a parcel boundary" ]
+    else []
+  in
+  (* Discover function starts: the entry point plus every call target,
+     found to a fixpoint as regions are walked. *)
+  let starts = Hashtbl.create 16 in
+  let pending = Queue.create () in
+  let register_call target =
+    if target >= 0 && target < cfg.Mc_cfg.text_size && not (Hashtbl.mem starts target) then begin
+      Hashtbl.replace starts target ();
+      Queue.add target pending
+    end
+  in
+  register_call entry;
+  let region_diags = ref [] in
+  while not (Queue.is_empty pending) do
+    let start = Queue.pop pending in
+    let region = walk_region cfg ~start ~register_call in
+    let is_entry = start = entry in
+    region_diags :=
+      !region_diags
+      @ List.rev region.r_diags
+      @ saved_checks ~is_entry region
+      @ liveness_checks cfg region
+  done;
+  Diag.sort (entry_diag @ decode_checks cfg @ target_checks cfg @ !region_diags)

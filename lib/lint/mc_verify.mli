@@ -1,0 +1,31 @@
+(** Machine-code verification of a plain {!Eric_rv.Program.t} image.
+
+    Rebuilds the CFG from the decoded parcels ({!Mc_cfg}), discovers
+    function bodies by walking from the entry point and every [jal ra]
+    call target, and checks:
+
+    - every parcel decodes ([mc.decode.invalid]);
+    - the entry offset and every branch/jump target land on parcel
+      boundaries inside the section ([mc.entry.misaligned],
+      [mc.cfg.target-out-of-section], [mc.cfg.target-misaligned]);
+    - control cannot fall off the end of the section
+      ([mc.cfg.fallthrough-end]) — [ecall] exits are recognised by
+      tracking constant [a7];
+    - stack discipline: the running [sp] adjustment (prologue/epilogue
+      [addi sp, sp, ±N], including the large-frame
+      [li t6, N; add sp, sp, t6] form) is zero at every return and
+      consistent at every join ([mc.stack.unbalanced],
+      [mc.stack.inconsistent], [mc.stack.untracked]);
+    - register discipline, checked against what the register allocator
+      claims: callee-saved registers written by a function body must be
+      saved ([mc.reg.callee-clobbered]; [ra] likewise in any function
+      that makes calls), and a backward liveness pass flags caller-saved
+      registers whose value is read after a call that clobbers them
+      ([mc.reg.caller-live-across-call]).
+
+    The entry function (the [_start] stub) is exempt from the save
+    checks: it never returns. *)
+
+val verify : Eric_rv.Program.t -> Diag.t list
+(** Empty on a well-formed image.  Runs under a [lint.mc_verify]
+    telemetry span and bumps the [lint.parcels_verified] counter. *)

@@ -711,6 +711,52 @@ let test_asm_disasm_roundtrip_program () =
         original
     | None -> Alcotest.fail "decode failed")
 
+(* ------------------------------------------------------------------ *)
+(* Decode∘encode identity over real compiler output                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Every parcel of every workload's text section — including the RVC
+   parcels the compressor emitted — must survive decode-then-re-encode
+   bit-identically: the encoders are the only serialisation the
+   encryption pipeline trusts. *)
+let test_workload_text_parcel_roundtrip () =
+  List.iter
+    (fun (w : Eric_workloads.Workloads.t) ->
+      let image = Eric_cc.Driver.compile_exn w.Eric_workloads.Workloads.source in
+      let offsets = Program.parcel_offsets image in
+      Array.iteri
+        (fun i parcel ->
+          let fail fmt =
+            Printf.ksprintf
+              (fun msg ->
+                Alcotest.fail
+                  (Printf.sprintf "%s +0x%x: %s" w.Eric_workloads.Workloads.name offsets.(i) msg))
+              fmt
+          in
+          match parcel with
+          | Program.P32 word -> (
+            match Decode.decode word with
+            | None -> fail "32-bit parcel %08lx does not decode" word
+            | Some inst ->
+              let re = Encode.encode inst in
+              if re <> word then
+                fail "decode/encode drift: %08lx -> %s -> %08lx" word
+                  (Disasm.inst_to_string inst) re)
+          | Program.P16 half -> (
+            match Rvc.expand half with
+            | None -> fail "16-bit parcel %04x does not expand" half
+            | Some inst -> (
+              match Rvc.compress inst with
+              | None ->
+                fail "expanded %04x (%s) no longer compresses" half
+                  (Disasm.inst_to_string inst)
+              | Some re ->
+                if re <> half then
+                  fail "expand/compress drift: %04x -> %s -> %04x" half
+                    (Disasm.inst_to_string inst) re)))
+        image.Program.text)
+    Eric_workloads.Workloads.all
+
 let () =
   Alcotest.run "eric_rv"
     [ ( "encode/decode",
@@ -730,6 +776,9 @@ let () =
       ( "disasm",
         [ Alcotest.test_case "strings" `Quick test_disasm_strings;
           Alcotest.test_case "stream framing" `Quick test_disasm_stream_framing ] );
+      ( "parcel-roundtrip",
+        [ Alcotest.test_case "workload text sections" `Quick
+            test_workload_text_parcel_roundtrip ] );
       ( "program",
         [ Alcotest.test_case "sizes" `Quick test_program_sizes;
           Alcotest.test_case "binary roundtrip" `Quick test_program_binary_roundtrip;
