@@ -514,6 +514,107 @@ let lint () =
   Report.record ~suite:"lint" ~metric:"wall_ns" ~unit_:"ns" (Int64.to_float wall);
   Report.record ~suite:"lint" ~metric:"diagnostics" ~unit_:"count" (float_of_int diags)
 
+(* ------------------------------------------------------------------ *)
+(* Fleet deployment at scale                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The economics the fleet subsystem exists for: a naive distributor runs
+   the whole pipeline (compile + sign + layout + encrypt) once per device;
+   a campaign prepares once and only personalizes (keystream XOR) and
+   ships per device.  Per-device wall time for both, at three fleet
+   sizes, lands in BENCH_results.json. *)
+let fleet () =
+  Report.heading "Fleet deployment: naive per-device build vs campaign (compile once)";
+  let w = List.nth Eric_workloads.Workloads.all 4 (* crc32 *) in
+  let source = w.Eric_workloads.Workloads.source in
+  let enroll n =
+    let reg = Eric_fleet.Registry.create () in
+    for i = 0 to n - 1 do
+      match Eric_fleet.Registry.enroll reg (Int64.of_int (50_000 + i)) with
+      | Ok _ -> ()
+      | Error e -> failwith e
+    done;
+    reg
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let reg = enroll n in
+        (* naive: full Source.build per device, then deliver *)
+        let (), naive_ns =
+          wall (fun () ->
+              List.iter
+                (fun (e : Eric_fleet.Registry.entry) ->
+                  match Eric.Source.build ~mode:Eric.Config.Full ~key:e.Eric_fleet.Registry.key source with
+                  | Error err -> failwith err
+                  | Ok b -> (
+                    let wire = Eric.Package.serialize b.Eric.Source.package in
+                    match Eric.Target.receive_bytes (Eric_fleet.Registry.target reg e) wire with
+                    | Ok _ -> ()
+                    | Error _ -> failwith "naive delivery refused"))
+                (Eric_fleet.Registry.entries reg))
+        in
+        (* campaign: prepare once through the cache, personalize + ship per device *)
+        let cache = Eric_fleet.Artifact_cache.create () in
+        let deploy () =
+          match Eric_fleet.Campaign.deploy ~cache ~registry:reg source with
+          | Error e -> failwith e
+          | Ok r ->
+            if r.Eric_fleet.Campaign.delivered <> n then failwith "campaign left devices behind";
+            r
+        in
+        let cold, campaign_ns = wall deploy in
+        let warm, warm_ns = wall deploy in
+        assert (warm.Eric_fleet.Campaign.cache = Eric_fleet.Artifact_cache.Memory_hit);
+        let per x = x /. float_of_int n in
+        let suite = "fleet" in
+        let m fmt = Printf.sprintf fmt n in
+        Report.record ~suite ~metric:(m "naive_per_device_ns_n%d") ~unit_:"ns" (per naive_ns);
+        Report.record ~suite ~metric:(m "campaign_per_device_ns_n%d") ~unit_:"ns" (per campaign_ns);
+        Report.record ~suite ~metric:(m "campaign_warm_per_device_ns_n%d") ~unit_:"ns" (per warm_ns);
+        Report.record ~suite ~metric:(m "speedup_n%d") ~unit_:"x" (naive_ns /. campaign_ns);
+        Report.record ~suite ~metric:(m "cache_hits_n%d") ~unit_:"count"
+          (float_of_int (Eric_fleet.Artifact_cache.hits cache));
+        [ string_of_int n;
+          Printf.sprintf "%.1f" (per naive_ns /. 1e3);
+          Printf.sprintf "%.1f" (per campaign_ns /. 1e3);
+          Printf.sprintf "%.1f" (per warm_ns /. 1e3);
+          Printf.sprintf "%.1fx" (naive_ns /. campaign_ns);
+          Eric_fleet.Artifact_cache.outcome_label cold.Eric_fleet.Campaign.cache ^ "/"
+          ^ Eric_fleet.Artifact_cache.outcome_label warm.Eric_fleet.Campaign.cache ])
+      [ 10; 100; 1000 ]
+  in
+  Report.table
+    ~header:
+      [ "devices"; "naive us/dev"; "campaign us/dev"; "warm us/dev"; "speedup"; "cache c/w" ]
+    rows;
+  (* retry economics over a lossy channel: every device needs one retry,
+     recovery is deterministic, nobody is dropped *)
+  let n = 100 in
+  let reg = enroll n in
+  let cache = Eric_fleet.Artifact_cache.create () in
+  let config =
+    { Eric_fleet.Campaign.default_config with
+      Eric_fleet.Campaign.channel = Eric_fleet.Channel.drop_first 1 }
+  in
+  (match Eric_fleet.Campaign.deploy ~config ~cache ~registry:reg source with
+  | Error e -> failwith e
+  | Ok r ->
+    if not (Eric_fleet.Campaign.all_accounted r) then failwith "device unaccounted for";
+    Printf.printf
+      "\nlossy channel (drop-first:1, %d devices): %d delivered, %d after retry, %.3f ms simulated backoff\n"
+      n r.Eric_fleet.Campaign.delivered r.Eric_fleet.Campaign.retried
+      (Int64.to_float r.Eric_fleet.Campaign.backoff_ns /. 1e6);
+    Report.record ~suite:"fleet" ~metric:"retries_recovered_n100" ~unit_:"count"
+      (float_of_int r.Eric_fleet.Campaign.retried);
+    Report.record ~suite:"fleet" ~metric:"backoff_ms_n100" ~unit_:"ms"
+      (Int64.to_float r.Eric_fleet.Campaign.backoff_ns /. 1e6))
+
 let ablations () =
   Report.heading "Ablations and security evaluations (beyond the paper's figures)";
   ablation_puf ();

@@ -2,7 +2,7 @@
    the paper's evaluation (see DESIGN.md's experiment index), the ablation
    studies, and the bechamel microbenchmarks.
 
-   Usage: main.exe [table1|table2|fig5|fig6|fig7|ablations|micro|all]... *)
+   Usage: main.exe [table1|table2|fig5|fig6|fig7|ablations|lint|fleet|micro|all]... *)
 
 let experiments =
   [ ("table1", Experiments.table1);
@@ -12,6 +12,7 @@ let experiments =
     ("fig7", Experiments.fig7);
     ("ablations", Experiments.ablations);
     ("lint", Experiments.lint);
+    ("fleet", Experiments.fleet);
     ("micro", Micro.run) ]
 
 let run_all () = List.iter (fun (_, f) -> f ()) experiments

@@ -7,7 +7,8 @@
      disasm    disassemble a plain image (what a static attacker does)
      analyze   static-analysis metrics of an image or package text
      run       execute a plain image, or a package on its device
-     puf       show a device's PUF identity and derived key *)
+     puf       show a device's PUF identity and derived key
+     fleet     enroll devices, run deployment campaigns, rotate keys *)
 
 open Cmdliner
 
@@ -497,6 +498,197 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run an image, or a package on its device.")
     Term.(const run $ file_arg $ device_id_arg $ fuel_arg $ trace_arg $ telemetry_arg $ trace_out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Fleet                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let registry_arg =
+  Arg.(
+    value & opt string "fleet.efrg"
+    & info [ "registry" ] ~docv:"FILE" ~doc:"Device registry file (EFRG format).")
+
+let load_registry path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "error: registry %s does not exist (run 'eric fleet enroll' first)\n" path;
+    exit 1
+  end;
+  or_die (Eric_fleet.Registry.load path)
+
+let channel_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Eric_fleet.Channel.of_string s) in
+  Arg.conv (parse, fun fmt c -> Format.pp_print_string fmt (Eric_fleet.Channel.name c))
+
+let channel_arg =
+  Arg.(
+    value
+    & opt channel_conv Eric_fleet.Channel.clean
+    & info [ "channel" ] ~docv:"SPEC"
+        ~doc:"Delivery channel model: clean, drop-first:N, or flaky:P[:SEED].")
+
+let epoch_arg ~default =
+  Arg.(value & opt int default & info [ "epoch" ] ~docv:"N" ~doc:"KMU key epoch.")
+
+let label_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "label" ] ~docv:"LABEL" ~doc:"KMU deployment-scope label.")
+
+let fleet_enroll_cmd =
+  let run registry count start_id epoch label telemetry trace_out =
+    setup_telemetry telemetry trace_out;
+    let reg =
+      if Sys.file_exists registry then or_die (Eric_fleet.Registry.load registry)
+      else Eric_fleet.Registry.create ()
+    in
+    for i = 0 to count - 1 do
+      let id = Int64.add start_id (Int64.of_int i) in
+      let entry = or_die (Eric_fleet.Registry.enroll ~epoch ?label reg id) in
+      Format.printf "%a@." Eric_fleet.Registry.pp_entry entry
+    done;
+    Eric_fleet.Registry.save reg registry;
+    Format.printf "%s: %a@." registry Eric_fleet.Registry.pp_summary reg
+  in
+  let count_arg =
+    Arg.(value & opt int 1 & info [ "count" ] ~docv:"N" ~doc:"Number of devices to enroll.")
+  in
+  let start_id_arg =
+    Arg.(
+      value & opt int64 1L
+      & info [ "start-id" ] ~docv:"ID" ~doc:"First device id; ids are consecutive.")
+  in
+  Cmd.v
+    (Cmd.info "enroll" ~doc:"Manufacture, provision and register devices.")
+    Term.(
+      const run $ registry_arg $ count_arg $ start_id_arg $ epoch_arg ~default:0 $ label_arg
+      $ telemetry_arg $ trace_out_arg)
+
+let fleet_campaign_cmd =
+  let run source registry mode channel max_attempts execute fuel cache_dir firmware devices
+      no_compress no_optimize telemetry trace_out =
+    setup_telemetry telemetry trace_out;
+    let reg = load_registry registry in
+    let policy =
+      or_die
+        (Eric_fleet.Backoff.validate
+           { Eric_fleet.Backoff.default with Eric_fleet.Backoff.max_attempts })
+    in
+    let cache = Eric_fleet.Artifact_cache.create ?dir:cache_dir () in
+    let config =
+      { Eric_fleet.Campaign.options = options_of ~no_compress ~no_optimize;
+        mode;
+        policy;
+        channel;
+        execute;
+        fuel;
+        firmware_epoch = firmware }
+    in
+    let report =
+      or_die (Eric_fleet.Campaign.deploy ~config ~cache ~registry:reg (read_file source))
+    in
+    if devices then Format.printf "%a" Eric_fleet.Campaign.pp_devices report;
+    Format.printf "%a@." Eric_fleet.Campaign.pp_report report;
+    Eric_fleet.Registry.save reg registry;
+    if report.Eric_fleet.Campaign.delivered = List.length report.Eric_fleet.Campaign.devices
+    then exit 0
+    else exit 3
+  in
+  let max_attempts_arg =
+    Arg.(
+      value
+      & opt int Eric_fleet.Backoff.default.Eric_fleet.Backoff.max_attempts
+      & info [ "max-attempts" ] ~docv:"N" ~doc:"Delivery attempts per device.")
+  in
+  let execute_arg =
+    Arg.(value & flag & info [ "execute" ] ~doc:"Run each delivered package on its device's SoC.")
+  in
+  let fuel_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fuel" ] ~docv:"N" ~doc:"Instruction budget when --execute is given.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Persist compiled artifacts to DIR across runs.")
+  in
+  let firmware_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "firmware" ] ~docv:"N"
+          ~doc:"Firmware epoch to stamp on delivered devices (default: auto-increment).")
+  in
+  let devices_arg =
+    Arg.(value & flag & info [ "devices" ] ~doc:"Print one line per device delivery.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Deploy a workload to every active device: compile once, personalize per device, ship \
+          with retry/backoff.  Exits 3 unless every device was delivered.")
+    Term.(
+      const run $ source_arg $ registry_arg $ mode_arg $ channel_arg $ max_attempts_arg
+      $ execute_arg $ fuel_arg $ cache_dir_arg $ firmware_arg $ devices_arg $ no_compress_arg
+      $ no_optimize_arg $ telemetry_arg $ trace_out_arg)
+
+let fleet_rotate_cmd =
+  let run registry epoch label rsa_bits seed telemetry trace_out =
+    setup_telemetry telemetry trace_out;
+    let reg = load_registry registry in
+    let method_ =
+      match rsa_bits with
+      | None -> Eric_fleet.Rotation.Local
+      | Some bits -> Eric_fleet.Rotation.Rsa { bits; seed }
+    in
+    let report = Eric_fleet.Rotation.rotate ~method_ ?label ~epoch reg in
+    Format.printf "%a@." Eric_fleet.Rotation.pp_report report;
+    Eric_fleet.Registry.save reg registry;
+    if report.Eric_fleet.Rotation.failed <> [] then exit 3
+  in
+  let rsa_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 768) (some int) None
+      & info [ "rsa" ] ~docv:"BITS"
+          ~doc:"Re-provision in-band under RSA (default 768-bit) instead of out-of-band.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 0xE41CL
+      & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed for RSA key generation and padding.")
+  in
+  Cmd.v
+    (Cmd.info "rotate"
+       ~doc:
+         "Rotate every device to a new key epoch, re-provisioning keys and reactivating \
+          quarantined devices.")
+    Term.(
+      const run $ registry_arg $ epoch_arg ~default:1 $ label_arg $ rsa_arg $ seed_arg
+      $ telemetry_arg $ trace_out_arg)
+
+let fleet_status_cmd =
+  let run registry devices =
+    let reg = load_registry registry in
+    if devices then
+      List.iter
+        (fun e -> Format.printf "%a@." Eric_fleet.Registry.pp_entry e)
+        (Eric_fleet.Registry.entries reg);
+    Format.printf "%s: %a@." registry Eric_fleet.Registry.pp_summary reg
+  in
+  let devices_arg =
+    Arg.(value & flag & info [ "devices" ] ~doc:"Print one line per enrolled device.")
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Summarise a device registry.")
+    Term.(const run $ registry_arg $ devices_arg)
+
+let fleet_cmd =
+  Cmd.group
+    (Cmd.info "fleet"
+       ~doc:
+         "Fleet management: enroll devices, run deployment campaigns, rotate keys, inspect \
+          the registry.")
+    [ fleet_enroll_cmd; fleet_campaign_cmd; fleet_rotate_cmd; fleet_status_cmd ]
+
 let puf_cmd =
   let run device_id =
     let device = Eric_puf.Device.manufacture device_id in
@@ -518,4 +710,4 @@ let puf_cmd =
 
 let () =
   let doc = "ERIC: PUF-keyed software obfuscation and trusted execution" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "eric" ~doc) [ compile_cmd; emit_asm_cmd; asm_cmd; build_cmd; inspect_cmd; disasm_cmd; analyze_cmd; lint_cmd; run_cmd; puf_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "eric" ~doc) [ compile_cmd; emit_asm_cmd; asm_cmd; build_cmd; inspect_cmd; disasm_cmd; analyze_cmd; lint_cmd; run_cmd; puf_cmd; fleet_cmd ]))

@@ -72,6 +72,33 @@ let () =
   Printf.printf "(SoC totals: %Ld instructions, %Ld cycles)\n" r.Eric_sim.Soc.instructions
     r.Eric_sim.Soc.exec_cycles;
 
-  (* 6. what the instrumentation saw: per-stage spans and SoC gauges *)
+  (* 6. fleet deployment: enroll ten devices and push the program to all
+     of them over a lossy channel — compile/sign/layout run once, each
+     device gets its own keystream, retries recover the lost packets *)
+  print_endline "\n=== fleet campaign (10 devices, lossy channel) ===";
+  let registry = Eric_fleet.Registry.create () in
+  for id = 1 to 10 do
+    match Eric_fleet.Registry.enroll registry (Int64.of_int id) with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  done;
+  let cache = Eric_fleet.Artifact_cache.create () in
+  let config =
+    { Eric_fleet.Campaign.default_config with
+      Eric_fleet.Campaign.channel = Eric_fleet.Channel.flaky ~probability:0.3 ~seed:42L () }
+  in
+  (match Eric_fleet.Campaign.deploy ~config ~cache ~registry source with
+  | Error e -> failwith e
+  | Ok report ->
+    Format.printf "%a@." Eric_fleet.Campaign.pp_report report;
+    (* a second wave — say, a staged rollout — reuses the cached artifact *)
+    (match Eric_fleet.Campaign.deploy ~config ~cache ~registry source with
+    | Error e -> failwith e
+    | Ok wave2 ->
+      Format.printf "second wave: cache %s, %d delivered@."
+        (Eric_fleet.Artifact_cache.outcome_label wave2.Eric_fleet.Campaign.cache)
+        wave2.Eric_fleet.Campaign.delivered));
+
+  (* 7. what the instrumentation saw: per-stage spans and SoC gauges *)
   print_endline "\n=== telemetry ===";
   Format.printf "%a@." Eric_telemetry.Export.pp_table (Eric_telemetry.Snapshot.capture ())

@@ -34,7 +34,22 @@ let xor_field16 buf ks ~pos ~mask =
 (* Encryption (software source side)                                   *)
 (* ------------------------------------------------------------------ *)
 
-let encrypt_unmetered ~key ~mode image =
+(* Everything about a package that does not depend on the target's key:
+   parcel selection, the package skeleton (header + map + plaintext
+   sections) and the plaintext signature.  Computed once per (image, mode)
+   and shared across every device the build is personalized for. *)
+type prepared = {
+  p_skeleton : Package.t;  (* enc_text still plaintext, signature zeroed *)
+  p_signature : bytes;  (* plaintext signature over header, text, data *)
+  p_parcels : Program.parcel array;
+  p_offsets : int array;
+  p_map : Eric_util.Bitvec.t;
+  p_stats : stats;
+}
+
+let prepared_stats p = p.p_stats
+
+let prepare_unmetered ~mode image =
   let text = Program.text_bytes image in
   let parcels = image.Program.text in
   let offsets = Program.parcel_offsets image in
@@ -48,7 +63,7 @@ let encrypt_unmetered ~key ~mode image =
       parcel_count = Array.length parcels;
       map = (match kind with Package.M_full -> None | _ -> Some map);
       enc_text = text;
-      (* plaintext for now; replaced below *)
+      (* plaintext; personalization works on a copy *)
       data = image.Program.data;
       enc_signature = Bytes.make Siggen.signature_size '\000';
     }
@@ -57,35 +72,69 @@ let encrypt_unmetered ~key ~mode image =
     Siggen.signature
       ~authenticated:[ Package.authenticated_header skeleton; text; image.Program.data ]
   in
-  let ks = stream_for ~key ~text_len:(Bytes.length text) in
-  let enc_text = Bytes.copy text in
+  if Eric_telemetry.Control.is_enabled () then
+    Eric_telemetry.Registry.inc "build.signatures_total";
   let encrypted_parcels = ref 0 and encrypted_bytes = ref 0 in
   Array.iteri
     (fun i parcel ->
       if Eric_util.Bitvec.get map i then begin
-        let pos = offsets.(i) in
-        let len = Program.parcel_size parcel in
         incr encrypted_parcels;
-        encrypted_bytes := !encrypted_bytes + len;
+        encrypted_bytes := !encrypted_bytes + Program.parcel_size parcel
+      end)
+    parcels;
+  {
+    p_skeleton = skeleton;
+    p_signature = signature;
+    p_parcels = parcels;
+    p_offsets = offsets;
+    p_map = map;
+    p_stats =
+      {
+        parcels = Array.length parcels;
+        encrypted_parcels = !encrypted_parcels;
+        encrypted_bytes = !encrypted_bytes;
+      };
+  }
+
+let personalize_unmetered ~key p =
+  let text = p.p_skeleton.Package.enc_text in
+  let kind = p.p_skeleton.Package.kind in
+  let ks = stream_for ~key ~text_len:(Bytes.length text) in
+  let enc_text = Bytes.copy text in
+  Array.iteri
+    (fun i parcel ->
+      if Eric_util.Bitvec.get p.p_map i then begin
+        let pos = p.p_offsets.(i) in
+        let len = Program.parcel_size parcel in
         match kind with
         | Package.M_full | Package.M_partial -> xor_range enc_text ks ~pos ~len
         | Package.M_field scope -> (
           match parcel with
           | Program.P32 w -> xor_field32 enc_text ks ~pos ~mask:(Config.field_mask32 scope w)
-          | Program.P16 p -> xor_field16 enc_text ks ~pos ~mask:(Config.field_mask16 scope p))
+          | Program.P16 parc -> xor_field16 enc_text ks ~pos ~mask:(Config.field_mask16 scope parc))
       end)
-    parcels;
+    p.p_parcels;
   let enc_signature = Bytes.create Siggen.signature_size in
-  Eric_util.Bytesx.xor_into ~src:signature
+  Eric_util.Bytesx.xor_into ~src:p.p_signature
     ~key:(Bytes.sub ks (Bytes.length text) Siggen.signature_size)
     ~dst:enc_signature;
-  let package = { skeleton with Package.enc_text; enc_signature } in
-  ( package,
-    {
-      parcels = Array.length parcels;
-      encrypted_parcels = !encrypted_parcels;
-      encrypted_bytes = !encrypted_bytes;
-    } )
+  ({ p.p_skeleton with Package.enc_text; enc_signature }, p.p_stats)
+
+let prepare ~mode image =
+  Eric_telemetry.Span.with_ ~cat:"core" ~name:"core.prepare" (fun () ->
+      prepare_unmetered ~mode image)
+
+let personalize ~key p =
+  let r =
+    Eric_telemetry.Span.with_ ~cat:"core" ~name:"core.personalize" (fun () ->
+        personalize_unmetered ~key p)
+  in
+  if Eric_telemetry.Control.is_enabled () then
+    Eric_telemetry.Registry.inc "build.personalizations_total";
+  r
+
+let encrypt_unmetered ~key ~mode image =
+  personalize_unmetered ~key (prepare_unmetered ~mode image)
 
 let encrypt ~key ~mode image =
   let ((_, stats) as r) =

@@ -17,6 +17,25 @@ type stats = {
 val encrypt : key:bytes -> mode:Config.mode -> Eric_rv.Program.t -> Package.t * stats
 (** Sign (over plaintext) then encrypt per [mode]. *)
 
+type prepared
+(** The key-independent part of an encryption: parcel selection, package
+    skeleton and the plaintext signature.  [prepare] runs once per
+    (image, mode); [personalize] then derives a device's package with
+    nothing but keystream XOR — the fleet's compile-once/encrypt-many
+    fast path.  [encrypt ~key ~mode image] is exactly
+    [personalize ~key (prepare ~mode image)]. *)
+
+val prepare : mode:Config.mode -> Eric_rv.Program.t -> prepared
+(** Select parcels, lay the package out, and sign the plaintext (counts
+    one [build.signatures_total]). *)
+
+val personalize : key:bytes -> prepared -> Package.t * stats
+(** XOR the prepared layout against [key]'s keystream (counts one
+    [build.personalizations_total]). *)
+
+val prepared_stats : prepared -> stats
+(** Selection statistics, available before any key is seen. *)
+
 type error =
   | Framing_failure of string
       (** the decrypted stream does not tile into parcels — wrong device,

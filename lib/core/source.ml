@@ -6,9 +6,22 @@ type build = {
   package_size : int;
 }
 
+type prepared = {
+  p_image : Eric_rv.Program.t;
+  p_plain_size : int;
+  p_prep : Encrypt.prepared;
+}
+
+let count_build b =
+  if Eric_telemetry.Control.is_enabled () then begin
+    Eric_telemetry.Registry.inc "build.builds_total";
+    Eric_telemetry.Registry.inc ~by:(Int64.of_int b.package_size) "build.package_bytes"
+  end;
+  b
+
 let package_image ~mode ~key image =
   let package, stats = Encrypt.encrypt ~key ~mode image in
-  let b =
+  count_build
     {
       image;
       package;
@@ -16,17 +29,32 @@ let package_image ~mode ~key image =
       plain_size = Bytes.length (Eric_rv.Program.to_binary image);
       package_size = Package.size package;
     }
-  in
-  if Eric_telemetry.Control.is_enabled () then begin
-    Eric_telemetry.Registry.inc "build.builds_total";
-    Eric_telemetry.Registry.inc ~by:(Int64.of_int b.package_size) "build.package_bytes"
-  end;
-  b
+
+let prepare_image ~mode image =
+  {
+    p_image = image;
+    p_plain_size = Bytes.length (Eric_rv.Program.to_binary image);
+    p_prep = Encrypt.prepare ~mode image;
+  }
+
+let personalize ~key prepared =
+  let package, stats = Encrypt.personalize ~key prepared.p_prep in
+  count_build
+    {
+      image = prepared.p_image;
+      package;
+      stats;
+      plain_size = prepared.p_plain_size;
+      package_size = Package.size package;
+    }
+
+let prepare ?options ~mode source =
+  Result.map (prepare_image ~mode) (Eric_cc.Driver.compile ?options source)
 
 let build ?options ~mode ~key source =
   Result.map (package_image ~mode ~key) (Eric_cc.Driver.compile ?options source)
 
 let build_multi ?options ~mode ~keys source =
   Result.map
-    (fun image -> List.map (fun (name, key) -> (name, package_image ~mode ~key image)) keys)
-    (Eric_cc.Driver.compile ?options source)
+    (fun prepared -> List.map (fun (name, key) -> (name, personalize ~key prepared)) keys)
+    (prepare ?options ~mode source)

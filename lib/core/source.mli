@@ -26,6 +26,31 @@ val package_image :
   mode:Config.mode -> key:bytes -> Eric_rv.Program.t -> build
 (** Packaging only, for a pre-compiled image. *)
 
+type prepared = {
+  p_image : Eric_rv.Program.t;  (** the plaintext image, physically shared
+                                    by every build personalized from it *)
+  p_plain_size : int;
+  p_prep : Encrypt.prepared;
+}
+(** A build minus the device: compiled, signed, laid out — everything that
+    is independent of the target's key.  The fleet's artifact cache stores
+    these so repeated campaigns skip the compiler and signer entirely. *)
+
+val prepare :
+  ?options:Eric_cc.Driver.options ->
+  mode:Config.mode ->
+  string ->
+  (prepared, string) result
+(** Compile, sign and lay out once; personalize per device afterwards. *)
+
+val prepare_image : mode:Config.mode -> Eric_rv.Program.t -> prepared
+(** Same, for a pre-compiled image (e.g. one loaded from the artifact
+    cache's disk tier). *)
+
+val personalize : key:bytes -> prepared -> build
+(** Derive one device's build: pure keystream XOR over the prepared
+    layout, no compilation, hashing or layout work. *)
+
 val build_multi :
   ?options:Eric_cc.Driver.options ->
   mode:Config.mode ->
@@ -33,5 +58,7 @@ val build_multi :
   string ->
   ((string * build) list, string) result
 (** One compile, many targets — the paper's "compiling from a single
-    software source for multiple target hardware" (each device gets its own
-    encryption of the same image). *)
+    software source for multiple target hardware".  Implemented as
+    [prepare] + [personalize] per key, so compilation, signature hashing
+    and layout run once total and every returned build shares the same
+    plaintext image value. *)

@@ -3,34 +3,49 @@ type t = {
   mutable pos : int; (* absolute byte offset in the stream *)
   mutable block_index : int; (* index of the block cached in [block], or -1 *)
   block : Bytes.t;
+  ctr : Bytes.t; (* 8-byte counter scratch *)
+  ctx : Sha256.ctx; (* reused across blocks: one compression per block *)
 }
 
 let block_size = Sha256.digest_size
 
-let create ~key = { key = Bytes.copy key; pos = 0; block_index = -1; block = Bytes.create block_size }
+let create ~key =
+  {
+    key = Bytes.copy key;
+    pos = 0;
+    block_index = -1;
+    block = Bytes.create block_size;
+    ctr = Bytes.create 8;
+    ctx = Sha256.init ();
+  }
+
 let at ~key ~offset =
   if offset < 0 then invalid_arg "Keystream.at: negative offset";
-  { key = Bytes.copy key; pos = offset; block_index = -1; block = Bytes.create block_size }
+  let t = create ~key in
+  t.pos <- offset;
+  t
 
 let offset t = t.pos
 
 let fill_block t index =
-  let ctx = Sha256.init () in
-  Sha256.feed ctx t.key;
-  let ctr = Bytes.create 8 in
-  Eric_util.Bytesx.set_u64 ctr 0 (Int64.of_int index);
-  Sha256.feed ctx ctr;
-  Bytes.blit (Sha256.finalize ctx) 0 t.block 0 block_size;
+  Sha256.reset t.ctx;
+  Sha256.feed t.ctx t.key;
+  Eric_util.Bytesx.set_u64 t.ctr 0 (Int64.of_int index);
+  Sha256.feed t.ctx t.ctr;
+  Bytes.blit (Sha256.finalize t.ctx) 0 t.block 0 block_size;
   t.block_index <- index
 
 let take t n =
   if n < 0 then invalid_arg "Keystream.take: negative length";
   let out = Bytes.create n in
-  for i = 0 to n - 1 do
-    let abs = t.pos + i in
-    let index = abs / block_size in
+  let filled = ref 0 in
+  while !filled < n do
+    let abs = t.pos + !filled in
+    let index = abs / block_size and off = abs mod block_size in
     if index <> t.block_index then fill_block t index;
-    Bytes.set out i (Bytes.get t.block (abs mod block_size))
+    let chunk = min (n - !filled) (block_size - off) in
+    Bytes.blit t.block off out !filled chunk;
+    filled := !filled + chunk
   done;
   t.pos <- t.pos + n;
   out

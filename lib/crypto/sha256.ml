@@ -32,41 +32,74 @@ let init () =
     w = Array.make 64 0;
   }
 
-let mask32 = 0xFFFFFFFF
-let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
+let reset ctx =
+  ctx.h.(0) <- 0x6a09e667;
+  ctx.h.(1) <- 0xbb67ae85;
+  ctx.h.(2) <- 0x3c6ef372;
+  ctx.h.(3) <- 0xa54ff53a;
+  ctx.h.(4) <- 0x510e527f;
+  ctx.h.(5) <- 0x9b05688c;
+  ctx.h.(6) <- 0x1f83d9ab;
+  ctx.h.(7) <- 0x5be0cd19;
+  ctx.buf_len <- 0;
+  ctx.total <- 0L;
+  ctx.finished <- false
 
+let mask32 = 0xFFFFFFFF
+
+(* The compression function is the process-wide hot spot: every keystream
+   byte, signature and content digest funnels through it.  Rotations are
+   written out inline (no helper call without flambda) and the masking is
+   deferred across xors, which distribute over [land]. *)
 let compress ctx block pos =
   let w = ctx.w in
   for t = 0 to 15 do
     let off = pos + (4 * t) in
-    w.(t) <-
-      (Char.code (Bytes.get block off) lsl 24)
-      lor (Char.code (Bytes.get block (off + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (off + 2)) lsl 8)
-      lor Char.code (Bytes.get block (off + 3))
+    Array.unsafe_set w t
+      ((Char.code (Bytes.unsafe_get block off) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (off + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (off + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (off + 3)))
   done;
   for t = 16 to 63 do
-    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
-    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10) in
-    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask32
+    let x15 = Array.unsafe_get w (t - 15) and x2 = Array.unsafe_get w (t - 2) in
+    let s0 =
+      (((x15 lsr 7) lor (x15 lsl 25)) lxor ((x15 lsr 18) lor (x15 lsl 14)) lxor (x15 lsr 3))
+      land mask32
+    in
+    let s1 =
+      (((x2 lsr 17) lor (x2 lsl 15)) lxor ((x2 lsr 19) lor (x2 lsl 13)) lxor (x2 lsr 10))
+      land mask32
+    in
+    Array.unsafe_set w t
+      ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1) land mask32)
   done;
   let h = ctx.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for t = 0 to 63 do
-    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-    let ch = (!e land !f) lxor (lnot !e land !g) land mask32 in
-    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask32 in
-    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let ee = !e and aa = !a in
+    let s1 =
+      (((ee lsr 6) lor (ee lsl 26)) lxor ((ee lsr 11) lor (ee lsl 21))
+      lxor ((ee lsr 25) lor (ee lsl 7)))
+      land mask32
+    in
+    let ch = (ee land !f) lxor (lnot ee land !g) land mask32 in
+    let t1 = (!hh + s1 + ch + Array.unsafe_get k t + Array.unsafe_get w t) land mask32 in
+    let s0 =
+      (((aa lsr 2) lor (aa lsl 30)) lxor ((aa lsr 13) lor (aa lsl 19))
+      lxor ((aa lsr 22) lor (aa lsl 10)))
+      land mask32
+    in
+    let maj = (aa land !b) lxor (aa land !c) lxor (!b land !c) in
     let t2 = (s0 + maj) land mask32 in
     hh := !g;
     g := !f;
-    f := !e;
+    f := ee;
     e := (!d + t1) land mask32;
     d := !c;
     c := !b;
-    b := !a;
+    b := aa;
     a := (t1 + t2) land mask32
   done;
   h.(0) <- (h.(0) + !a) land mask32;

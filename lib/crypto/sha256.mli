@@ -16,6 +16,12 @@ type ctx
 (** Streaming hash state. *)
 
 val init : unit -> ctx
+
+val reset : ctx -> unit
+(** Return a context (finalized or not) to the [init] state, reusing its
+    buffers — the allocation-free path for hashing many short messages,
+    e.g. keystream blocks in counter mode. *)
+
 val feed : ctx -> bytes -> unit
 val feed_sub : ctx -> bytes -> pos:int -> len:int -> unit
 val finalize : ctx -> bytes

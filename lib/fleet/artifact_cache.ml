@@ -1,0 +1,103 @@
+type outcome = Memory_hit | Disk_hit | Miss
+
+let outcome_label = function Memory_hit -> "hit" | Disk_hit -> "disk" | Miss -> "miss"
+
+type t = {
+  dir : string option;
+  table : (string, Eric.Source.prepared) Hashtbl.t;
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+}
+
+let create ?dir () =
+  Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755) dir;
+  { dir; table = Hashtbl.create 8; hits = 0; disk_hits = 0; misses = 0 }
+
+let hits t = t.hits
+let disk_hits t = t.disk_hits
+let misses t = t.misses
+
+(* The cache key must change whenever the compiler would emit different
+   bytes (options) or the package layout/selection would differ (mode,
+   including selection seeds), so every component is spelled into the
+   digest input explicitly. *)
+let selection_fingerprint = function
+  | Eric.Config.Select_all -> "all"
+  | Eric.Config.Select_fraction { fraction; seed } -> Printf.sprintf "frac=%h,seed=%Ld" fraction seed
+  | Eric.Config.Select_ranges ranges ->
+    "ranges="
+    ^ String.concat "," (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) ranges)
+
+let mode_fingerprint = function
+  | Eric.Config.Full -> "full"
+  | Eric.Config.Partial sel -> "partial:" ^ selection_fingerprint sel
+  | Eric.Config.Field (Eric.Config.Imm_fields, sel) -> "field-imm:" ^ selection_fingerprint sel
+  | Eric.Config.Field (Eric.Config.All_but_opcode, sel) ->
+    "field-abo:" ^ selection_fingerprint sel
+
+let options_fingerprint (o : Eric_cc.Driver.options) =
+  Printf.sprintf "optimize=%b,compress=%b,prelude=%b,verify=%b" o.Eric_cc.Driver.optimize
+    o.Eric_cc.Driver.compress o.Eric_cc.Driver.include_prelude o.Eric_cc.Driver.verify_ir
+
+let digest ~options ~mode source =
+  Eric_crypto.Sha256.hex
+    (Eric_crypto.Sha256.digest_string
+       (String.concat "\x00"
+          [ "eric-artifact-v1"; options_fingerprint options; mode_fingerprint mode; source ]))
+
+let count_event t outcome =
+  (match outcome with
+  | Memory_hit -> t.hits <- t.hits + 1
+  | Disk_hit -> t.disk_hits <- t.disk_hits + 1
+  | Miss -> t.misses <- t.misses + 1);
+  if Eric_telemetry.Control.is_enabled () then
+    Eric_telemetry.Registry.inc
+      ~labels:[ ("result", outcome_label outcome) ]
+      "fleet.cache.events_total"
+
+let image_path t key = Option.map (fun dir -> Filename.concat dir (key ^ ".rexe")) t.dir
+
+let read_image path =
+  if not (Sys.file_exists path) then None
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error _ -> None
+    | data -> Result.to_option (Eric_rv.Program.of_binary (Bytes.of_string data))
+
+let write_image path image =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (Eric_rv.Program.to_binary image))
+
+let get_or_compile t ?(options = Eric_cc.Driver.default_options) ~mode source =
+  let key = digest ~options ~mode source in
+  match Hashtbl.find_opt t.table key with
+  | Some prepared ->
+    count_event t Memory_hit;
+    Ok (prepared, Memory_hit)
+  | None -> (
+    (* Disk tier: the compiled image survives across processes; only the
+       (cheap relative to compilation) prepare step reruns. *)
+    match Option.bind (image_path t key) read_image with
+    | Some image ->
+      let prepared = Eric.Source.prepare_image ~mode image in
+      Hashtbl.replace t.table key prepared;
+      count_event t Disk_hit;
+      Ok (prepared, Disk_hit)
+    | None -> (
+      match Eric.Source.prepare ~options ~mode source with
+      | Error _ as e -> e
+      | Ok prepared ->
+        Hashtbl.replace t.table key prepared;
+        Option.iter
+          (fun path -> write_image path prepared.Eric.Source.p_image)
+          (image_path t key);
+        count_event t Miss;
+        Ok (prepared, Miss)))

@@ -1,0 +1,41 @@
+type policy = {
+  max_attempts : int;
+  base_delay_ns : int64;
+  multiplier : int;
+  max_delay_ns : int64;
+  quarantine_refusals : int;
+}
+
+let default =
+  {
+    max_attempts = 5;
+    base_delay_ns = 1_000_000L;
+    (* 1 ms *)
+    multiplier = 2;
+    max_delay_ns = 1_000_000_000L;
+    (* 1 s cap *)
+    quarantine_refusals = 4;
+  }
+
+let validate p =
+  if p.max_attempts < 1 then Error "max_attempts must be at least 1"
+  else if Int64.compare p.base_delay_ns 0L < 0 then Error "base_delay_ns must be non-negative"
+  else if p.multiplier < 1 then Error "multiplier must be at least 1"
+  else if p.quarantine_refusals < 1 then Error "quarantine_refusals must be at least 1"
+  else Ok p
+
+let delay_ns p ~retry =
+  if retry < 1 then invalid_arg "Backoff.delay_ns: retry is 1-based";
+  let rec go d i =
+    (* saturate at the cap; also guards against Int64 overflow flipping sign *)
+    if i <= 1 || Int64.compare d p.max_delay_ns >= 0 || Int64.compare d 0L < 0 then d
+    else go (Int64.mul d (Int64.of_int p.multiplier)) (i - 1)
+  in
+  let d = go p.base_delay_ns retry in
+  if Int64.compare d p.max_delay_ns > 0 || Int64.compare d 0L < 0 then p.max_delay_ns else d
+
+let total_backoff_ns p ~retries =
+  let rec go acc i =
+    if i > retries then acc else go (Int64.add acc (delay_ns p ~retry:i)) (i + 1)
+  in
+  go 0L 1

@@ -1,0 +1,29 @@
+(** Retry policy for package delivery over a lossy or hostile channel.
+
+    Delays are *simulated* time: the shipper accounts them into the
+    campaign report (and telemetry) without sleeping, the same way the SoC
+    model accounts cycles without running silicon. *)
+
+type policy = {
+  max_attempts : int;  (** total tries per device, including the first *)
+  base_delay_ns : int64;  (** simulated delay before the first retry *)
+  multiplier : int;  (** exponential growth factor per further retry *)
+  max_delay_ns : int64;  (** cap on a single delay *)
+  quarantine_refusals : int;
+      (** signature refusals from one device before it is quarantined
+          (the device keeps rejecting packages signed for it — likely a
+          stale or hostile key, not transit noise) *)
+}
+
+val default : policy
+(** 5 attempts, 1 ms base, doubling, 1 s cap, quarantine after 4
+    signature refusals. *)
+
+val validate : policy -> (policy, string) result
+
+val delay_ns : policy -> retry:int -> int64
+(** Simulated delay before retry [retry] (1-based):
+    [min max_delay_ns (base_delay_ns * multiplier^(retry-1))]. *)
+
+val total_backoff_ns : policy -> retries:int -> int64
+(** Sum of [delay_ns] for retries [1..retries]. *)

@@ -1,0 +1,171 @@
+type config = {
+  options : Eric_cc.Driver.options;
+  mode : Eric.Config.mode;
+  policy : Backoff.policy;
+  channel : Channel.t;
+  execute : bool;
+  fuel : int option;
+  firmware_epoch : int option;
+}
+
+let default_config =
+  {
+    options = Eric_cc.Driver.default_options;
+    mode = Eric.Config.Full;
+    policy = Backoff.default;
+    channel = Channel.clean;
+    execute = false;
+    fuel = None;
+    firmware_epoch = None;
+  }
+
+type device_result =
+  | Shipped of Shipper.delivery
+  | Skipped of string  (** already quarantined before the campaign *)
+
+type report = {
+  digest : string;
+  cache : Artifact_cache.outcome;
+  firmware_epoch : int;
+  devices : (Registry.entry * device_result) list;
+  delivered : int;
+  retried : int;
+  quarantined : int;
+  skipped : int;
+  wire_bytes : int;
+  load_cycles : int64;
+  backoff_ns : int64;
+  personalize_ns : int64;
+  campaign_ns : int64;
+}
+
+let count ?by name =
+  if Eric_telemetry.Control.is_enabled () then Eric_telemetry.Registry.inc ?by name
+
+let next_firmware_epoch registry =
+  1 + List.fold_left (fun m e -> max m e.Registry.firmware_epoch) 0 (Registry.entries registry)
+
+let deploy ?(config = default_config) ~cache ~registry source =
+  Eric_telemetry.Span.with_ ~cat:"fleet" ~name:"fleet.campaign" (fun () ->
+      let t_start = Eric_telemetry.Clock.now_ns () in
+      match
+        Artifact_cache.get_or_compile cache ~options:config.options ~mode:config.mode source
+      with
+      | Error _ as e -> e
+      | Ok (prepared, cache_outcome) ->
+        let firmware_epoch =
+          match config.firmware_epoch with
+          | Some e -> e
+          | None -> next_firmware_epoch registry
+        in
+        count "fleet.campaign.runs_total";
+        let personalize_ns = ref 0L in
+        let devices =
+          List.map
+            (fun (entry : Registry.entry) ->
+              count "fleet.campaign.devices_total";
+              match entry.Registry.status with
+              | Registry.Quarantined reason ->
+                count "fleet.campaign.skipped_total";
+                (entry, Skipped reason)
+              | Registry.Active ->
+                let t0 = Eric_telemetry.Clock.now_ns () in
+                let build = Eric.Source.personalize ~key:entry.Registry.key prepared in
+                let dt = Int64.sub (Eric_telemetry.Clock.now_ns ()) t0 in
+                personalize_ns := Int64.add !personalize_ns dt;
+                if Eric_telemetry.Control.is_enabled () then
+                  Eric_telemetry.Registry.observe "fleet.campaign.personalize_ns"
+                    (Int64.to_float dt);
+                let delivery =
+                  Shipper.ship ~policy:config.policy ~channel:config.channel
+                    ~execute:config.execute ?fuel:config.fuel ~build
+                    ~target:(Registry.target registry entry) ()
+                in
+                (match delivery.Shipper.outcome with
+                | Shipper.Delivered _ ->
+                  Registry.update registry { entry with Registry.firmware_epoch }
+                | Shipper.Quarantined { reason } ->
+                  Registry.update registry
+                    { entry with Registry.status = Registry.Quarantined reason });
+                (entry, Shipped delivery))
+            (Registry.entries registry)
+        in
+        let fold f init = List.fold_left f init devices in
+        let delivered =
+          fold (fun n -> function _, Shipped d when Shipper.delivered d -> n + 1 | _ -> n) 0
+        in
+        let retried =
+          fold (fun n -> function _, Shipped d when Shipper.retried d -> n + 1 | _ -> n) 0
+        in
+        let quarantined =
+          fold
+            (fun n -> function
+              | _, Shipped { Shipper.outcome = Shipper.Quarantined _; _ } -> n + 1
+              | _ -> n)
+            0
+        in
+        let skipped = fold (fun n -> function _, Skipped _ -> n + 1 | _ -> n) 0 in
+        let wire_bytes =
+          fold (fun n -> function _, Shipped d -> n + d.Shipper.wire_bytes | _ -> n) 0
+        in
+        let load_cycles =
+          fold
+            (fun n -> function
+              | _, Shipped { Shipper.outcome = Shipper.Delivered { load_cycles; _ }; _ } ->
+                Int64.add n load_cycles
+              | _ -> n)
+            0L
+        in
+        let backoff_ns =
+          fold
+            (fun n -> function _, Shipped d -> Int64.add n d.Shipper.backoff_ns | _ -> n)
+            0L
+        in
+        count ~by:(Int64.of_int delivered) "fleet.campaign.delivered_total";
+        count ~by:(Int64.of_int retried) "fleet.campaign.retried_total";
+        count ~by:(Int64.of_int quarantined) "fleet.campaign.quarantined_total";
+        Ok
+          {
+            digest = Artifact_cache.digest ~options:config.options ~mode:config.mode source;
+            cache = cache_outcome;
+            firmware_epoch;
+            devices;
+            delivered;
+            retried;
+            quarantined;
+            skipped;
+            wire_bytes;
+            load_cycles;
+            backoff_ns;
+            personalize_ns = !personalize_ns;
+            campaign_ns = Int64.sub (Eric_telemetry.Clock.now_ns ()) t_start;
+          })
+
+let all_accounted report =
+  report.delivered + report.quarantined + report.skipped = List.length report.devices
+
+let pp_report fmt r =
+  let n = List.length r.devices in
+  Format.fprintf fmt
+    "campaign %s (firmware epoch %d, cache %s):@\n\
+    \  %d device(s): %d delivered (%d after retry), %d quarantined, %d skipped@\n\
+    \  %d wire bytes, %Ld HDE load cycles, %.3f ms simulated backoff@\n\
+    \  personalize %.3f ms total (%.1f us/device), campaign wall %.3f ms"
+    (String.sub r.digest 0 12) r.firmware_epoch
+    (Artifact_cache.outcome_label r.cache)
+    n r.delivered r.retried r.quarantined r.skipped r.wire_bytes r.load_cycles
+    (Int64.to_float r.backoff_ns /. 1e6)
+    (Int64.to_float r.personalize_ns /. 1e6)
+    (if n = r.skipped then 0.0
+     else Int64.to_float r.personalize_ns /. 1e3 /. float_of_int (n - r.skipped))
+    (Int64.to_float r.campaign_ns /. 1e6)
+
+let pp_devices fmt r =
+  List.iter
+    (fun ((entry : Registry.entry), result) ->
+      match result with
+      | Shipped d -> Format.fprintf fmt "%a@\n" Shipper.pp_delivery d
+      | Skipped reason ->
+        Format.fprintf fmt "device %Ld: skipped (quarantined: %s)@\n" entry.Registry.device_id
+          reason)
+    r.devices

@@ -1,0 +1,61 @@
+type t = {
+  name : string;
+  plan : device:Eric_puf.Device.id -> attempt:int -> Eric.Protocol.attack;
+}
+
+let name t = t.name
+let attack t ~device ~attempt = t.plan ~device ~attempt
+
+let clean = { name = "clean"; plan = (fun ~device:_ ~attempt:_ -> Eric.Protocol.No_attack) }
+
+(* Mix device identity and attempt number into one seed so each
+   (device, attempt) pair sees an independent — but reproducible — draw. *)
+let mix ~seed ~device ~attempt =
+  let golden = 0x9E3779B97F4A7C15L in
+  Int64.logxor seed
+    (Int64.add (Int64.mul device golden) (Int64.mul (Int64.of_int attempt) 0xBF58476D1CE4E5B9L))
+
+let drop_first ?(flips = 3) n =
+  {
+    name = Printf.sprintf "drop-first:%d" n;
+    plan =
+      (fun ~device ~attempt ->
+        if attempt <= n then
+          Eric.Protocol.Bit_flips { count = flips; seed = mix ~seed:0L ~device ~attempt }
+        else Eric.Protocol.No_attack);
+  }
+
+let flaky ?(flips = 3) ~probability ~seed () =
+  if not (probability >= 0.0 && probability <= 1.0) then
+    invalid_arg "Channel.flaky: probability must be within [0, 1]";
+  {
+    name = Printf.sprintf "flaky:%g" probability;
+    plan =
+      (fun ~device ~attempt ->
+        let s = mix ~seed ~device ~attempt in
+        let rng = Eric_util.Prng.create ~seed:s in
+        if Eric_util.Prng.float rng < probability then
+          Eric.Protocol.Bit_flips { count = flips; seed = s }
+        else Eric.Protocol.No_attack);
+  }
+
+let always attack = { name = "always"; plan = (fun ~device:_ ~attempt:_ -> attack) }
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "clean" ] -> Ok clean
+  | [ "drop-first"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 -> Ok (drop_first n)
+    | _ -> Error "drop-first:<non-negative attempt count>")
+  | "flaky" :: p :: rest -> (
+    let seed =
+      match rest with
+      | [] -> Some 1L
+      | [ s ] -> Int64.of_string_opt s
+      | _ -> None
+    in
+    match (float_of_string_opt p, seed) with
+    | Some p, Some seed when p >= 0.0 && p <= 1.0 -> Ok (flaky ~probability:p ~seed ())
+    | _ -> Error "flaky:<probability in 0..1>[:<seed>]")
+  | _ -> Error (Printf.sprintf "unknown channel %S (expected clean, flaky:p[:seed] or drop-first:n)" s)

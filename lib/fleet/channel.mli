@@ -1,0 +1,31 @@
+(** Per-attempt channel models for deployment campaigns.
+
+    {!Eric.Protocol.attack} describes what happens to one transmission;
+    a campaign channel decides, deterministically from (device, attempt),
+    which attack each delivery attempt suffers — so retry behaviour is
+    reproducible run-to-run and directly testable. *)
+
+type t
+
+val name : t -> string
+val attack : t -> device:Eric_puf.Device.id -> attempt:int -> Eric.Protocol.attack
+
+val clean : t
+(** Every attempt arrives intact. *)
+
+val drop_first : ?flips:int -> int -> t
+(** [drop_first n] corrupts ([flips] bit flips, default 3) the first [n]
+    attempts to every device; attempt [n+1] is clean.  Deterministic
+    recovery — the workhorse of retry tests. *)
+
+val flaky : ?flips:int -> probability:float -> seed:int64 -> unit -> t
+(** Each attempt is independently corrupted with [probability]; the draw
+    is a pure function of (seed, device, attempt). *)
+
+val always : Eric.Protocol.attack -> t
+(** Every attempt suffers the same attack (e.g. a persistent
+    man-in-the-middle); no retry can succeed. *)
+
+val of_string : string -> (t, string) result
+(** ["clean"], ["flaky:P[:SEED]"], or ["drop-first:N"] — the CLI's
+    [--channel] syntax. *)

@@ -1,0 +1,256 @@
+type status = Active | Quarantined of string
+
+type entry = {
+  device_id : Eric_puf.Device.id;
+  epoch : int;
+  label : string;
+  key : bytes;
+  firmware_epoch : int;
+  status : status;
+}
+
+type t = {
+  mutable items : entry list; (* newest last *)
+  devices : (Eric_puf.Device.id, Eric_puf.Device.t) Hashtbl.t;
+      (* simulated silicon is manufactured once per registry, not once per
+         shipment — the stand-in for the hardware simply existing *)
+  targets : (Eric_puf.Device.id * int * string, Eric.Target.t) Hashtbl.t;
+      (* per (device, KMU context): Target.create replays the PUF
+         majority-vote key derivation, which real silicon does once per
+         boot, not once per packet *)
+}
+
+let magic = "EFRG"
+let version = 1
+
+let create () = { items = []; devices = Hashtbl.create 64; targets = Hashtbl.create 64 }
+let entries t = t.items
+let count t = List.length t.items
+let find t id = List.find_opt (fun e -> Int64.equal e.device_id id) t.items
+let mem t id = Option.is_some (find t id)
+let active t = List.filter (fun e -> e.status = Active) t.items
+let quarantined t = List.filter (fun e -> e.status <> Active) t.items
+
+let context (e : entry) = { Eric.Kmu.epoch = e.epoch; label = e.label }
+
+let device t id =
+  match Hashtbl.find_opt t.devices id with
+  | Some d -> d
+  | None ->
+    let d = Eric_puf.Device.manufacture id in
+    Hashtbl.add t.devices id d;
+    d
+
+let target_for t ~context:(c : Eric.Kmu.context) id =
+  let k = (id, c.Eric.Kmu.epoch, c.Eric.Kmu.label) in
+  match Hashtbl.find_opt t.targets k with
+  | Some tg -> tg
+  | None ->
+    let tg = Eric.Target.create ~context:c (device t id) in
+    Hashtbl.add t.targets k tg;
+    tg
+
+let target t (e : entry) = target_for t ~context:(context e) e.device_id
+
+let add t entry =
+  if mem t entry.device_id then
+    Error (Printf.sprintf "device %Ld is already enrolled" entry.device_id)
+  else begin
+    t.items <- t.items @ [ entry ];
+    Ok entry
+  end
+
+let enroll ?(epoch = Eric.Kmu.default_context.Eric.Kmu.epoch)
+    ?(label = Eric.Kmu.default_context.Eric.Kmu.label) t device_id =
+  if epoch < 0 then Error "epoch must be non-negative"
+  else if String.length label > 0xFFFF then Error "label too long"
+  else begin
+    let context = { Eric.Kmu.epoch; label } in
+    let key = Eric.Protocol.provision (target_for t ~context device_id) in
+    let r = add t { device_id; epoch; label; key; firmware_epoch = 0; status = Active } in
+    if Result.is_ok r && Eric_telemetry.Control.is_enabled () then
+      Eric_telemetry.Registry.inc "fleet.registry.enrolled_total";
+    r
+  end
+
+let update t entry =
+  if not (mem t entry.device_id) then
+    invalid_arg (Printf.sprintf "Registry.update: device %Ld not enrolled" entry.device_id);
+  t.items <-
+    List.map (fun e -> if Int64.equal e.device_id entry.device_id then entry else e) t.items
+
+(* ------------------------------------------------------------------ *)
+(* Wire format (version 1)                                             *)
+(*                                                                     *)
+(*   off  size  field                                                  *)
+(*   0    4     magic "EFRG"                                           *)
+(*   4    2     version                                                *)
+(*   6    2     reserved (must be zero)                                *)
+(*   8    4     entry count                                            *)
+(*   12   ...   entries:                                               *)
+(*          u64 device id                                              *)
+(*          u32 KMU epoch                                              *)
+(*          u32 firmware epoch                                         *)
+(*          u16 label length, label bytes                              *)
+(*          u16 key length, key bytes                                  *)
+(*          u8  status (0 = active, 1 = quarantined)                   *)
+(*          if quarantined: u16 reason length, reason bytes            *)
+(*                                                                     *)
+(* Parsing is strict, like Package: reserved bytes must be zero, every  *)
+(* declared length must land inside the buffer, duplicate device ids   *)
+(* are rejected, and trailing bytes fail the parse — a corrupt registry *)
+(* is refused loudly rather than half-loaded.                           *)
+(* ------------------------------------------------------------------ *)
+
+let buf_add_u16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+
+let buf_add_u32 buf v =
+  let b = Bytes.create 4 in
+  Eric_util.Bytesx.set_u32 b 0 (Int32.of_int v);
+  Buffer.add_bytes buf b
+
+let buf_add_u64 buf v =
+  let b = Bytes.create 8 in
+  Eric_util.Bytesx.set_u64 b 0 v;
+  Buffer.add_bytes buf b
+
+let serialize t =
+  let buf = Buffer.create (64 * (1 + count t)) in
+  Buffer.add_string buf magic;
+  buf_add_u16 buf version;
+  buf_add_u16 buf 0;
+  buf_add_u32 buf (count t);
+  List.iter
+    (fun e ->
+      buf_add_u64 buf e.device_id;
+      buf_add_u32 buf e.epoch;
+      buf_add_u32 buf e.firmware_epoch;
+      buf_add_u16 buf (String.length e.label);
+      Buffer.add_string buf e.label;
+      buf_add_u16 buf (Bytes.length e.key);
+      Buffer.add_bytes buf e.key;
+      match e.status with
+      | Active -> Buffer.add_char buf '\000'
+      | Quarantined reason ->
+        Buffer.add_char buf '\001';
+        buf_add_u16 buf (String.length reason);
+        Buffer.add_string buf reason)
+    t.items;
+  Buffer.to_bytes buf
+
+let parse b =
+  let ( let* ) = Result.bind in
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  let need n what =
+    if !pos + n <= len then Ok ()
+    else Error (Printf.sprintf "registry truncated reading %s (at byte %d)" what !pos)
+  in
+  let u16 what =
+    let* () = need 2 what in
+    let v = Eric_util.Bytesx.get_u16 b !pos in
+    pos := !pos + 2;
+    Ok v
+  in
+  let u32 what =
+    let* () = need 4 what in
+    let v = Int32.to_int (Eric_util.Bytesx.get_u32 b !pos) in
+    pos := !pos + 4;
+    if v < 0 then Error (Printf.sprintf "negative %s" what) else Ok v
+  in
+  let u64 what =
+    let* () = need 8 what in
+    let v = Eric_util.Bytesx.get_u64 b !pos in
+    pos := !pos + 8;
+    Ok v
+  in
+  let str what =
+    let* n = u16 (what ^ " length") in
+    let* () = need n what in
+    let s = Bytes.sub_string b !pos n in
+    pos := !pos + n;
+    Ok s
+  in
+  let* () = need 4 "magic" in
+  let* () =
+    if Bytes.sub_string b 0 4 = magic then Ok () else Error "bad magic (not an ERIC registry)"
+  in
+  pos := 4;
+  let* v = u16 "version" in
+  let* () =
+    if v = version then Ok () else Error (Printf.sprintf "unsupported registry version %d" v)
+  in
+  let* reserved = u16 "reserved" in
+  let* () = if reserved = 0 then Ok () else Error "reserved bytes set" in
+  let* n = u32 "entry count" in
+  let t = create () in
+  let rec loop i =
+    if i = n then Ok ()
+    else
+      let* device_id = u64 "device id" in
+      let* epoch = u32 "epoch" in
+      let* firmware_epoch = u32 "firmware epoch" in
+      let* label = str "label" in
+      let* key = str "key" in
+      let* () = need 1 "status" in
+      let tag = Char.code (Bytes.get b !pos) in
+      pos := !pos + 1;
+      let* status =
+        match tag with
+        | 0 -> Ok Active
+        | 1 ->
+          let* reason = str "quarantine reason" in
+          Ok (Quarantined reason)
+        | _ -> Error (Printf.sprintf "unknown status tag %d" tag)
+      in
+      let* _ =
+        Result.map_error
+          (fun e -> "duplicate entry: " ^ e)
+          (add t
+             {
+               device_id;
+               epoch;
+               firmware_epoch;
+               label;
+               key = Bytes.of_string key;
+               status;
+             })
+      in
+      loop (i + 1)
+  in
+  let* () = loop 0 in
+  let* () =
+    if !pos = len then Ok ()
+    else Error (Printf.sprintf "%d trailing bytes after the last entry" (len - !pos))
+  in
+  Ok t
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc (serialize t))
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": unexpected end of file")
+  | data -> Result.map_error (fun e -> path ^ ": " ^ e) (parse (Bytes.of_string data))
+
+let pp_status fmt = function
+  | Active -> Format.pp_print_string fmt "active"
+  | Quarantined reason -> Format.fprintf fmt "quarantined (%s)" reason
+
+let pp_entry fmt e =
+  Format.fprintf fmt "device %Ld  epoch %d  label %S  firmware %d  %a" e.device_id e.epoch
+    e.label e.firmware_epoch pp_status e.status
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%d device(s), %d active, %d quarantined" (count t)
+    (List.length (active t))
+    (List.length (quarantined t))

@@ -1,0 +1,74 @@
+(** The software source's persistent view of its device population.
+
+    Each enrolled device carries the KMU context it was provisioned under,
+    the PUF-based key the provisioning handshake produced (never the PUF
+    key itself — see {!Eric.Kmu}), the firmware epoch of its last
+    successful deployment, and a quarantine flag set by the shipper when a
+    device repeatedly refuses validly signed packages.
+
+    The registry serialises to a strict, versioned binary format
+    (magic ["EFRG"], version 1) documented in [docs/fleet.md]; parsing
+    rejects truncation, reserved bytes, duplicate ids and trailing
+    garbage, so a corrupt file is refused rather than half-loaded. *)
+
+type status = Active | Quarantined of string  (** reason *)
+
+type entry = {
+  device_id : Eric_puf.Device.id;
+  epoch : int;  (** KMU key epoch the stored key was derived under *)
+  label : string;  (** KMU deployment-scope label *)
+  key : bytes;  (** provisioned PUF-based key for that context *)
+  firmware_epoch : int;  (** last campaign successfully deployed (0 = never) *)
+  status : status;
+}
+
+type t
+
+val create : unit -> t
+val entries : t -> entry list
+(** Enrolment order. *)
+
+val count : t -> int
+val find : t -> Eric_puf.Device.id -> entry option
+val mem : t -> Eric_puf.Device.id -> bool
+val active : t -> entry list
+val quarantined : t -> entry list
+
+val context : entry -> Eric.Kmu.context
+
+val device : t -> Eric_puf.Device.id -> Eric_puf.Device.t
+(** The simulated silicon, manufactured once per registry and memoized —
+    the stand-in for the hardware simply existing in the field. *)
+
+val target : t -> entry -> Eric.Target.t
+(** Address the device under its enrolled KMU context.  Memoized per
+    (device, context): the PUF key derivation happens once per boot on
+    real silicon, so the model pays it once per registry, not per packet. *)
+
+val target_for : t -> context:Eric.Kmu.context -> Eric_puf.Device.id -> Eric.Target.t
+(** Same memoized addressing under an arbitrary context (key rotation). *)
+
+val enroll :
+  ?epoch:int -> ?label:string -> t -> Eric_puf.Device.id -> (entry, string) result
+(** Manufacture the device, run the provisioning handshake
+    ({!Eric.Protocol.provision}) and record the entry.  Fails on a
+    duplicate id. *)
+
+val add : t -> entry -> (entry, string) result
+(** Record an externally provisioned entry verbatim. *)
+
+val update : t -> entry -> unit
+(** Replace the entry with the same [device_id].
+    @raise Invalid_argument if the device is not enrolled. *)
+
+val serialize : t -> bytes
+val parse : bytes -> (t, string) result
+
+val save : t -> string -> unit
+val load : string -> (t, string) result
+(** File I/O wrappers; [load] turns I/O failures into [Error] rather than
+    exceptions so front ends can exit cleanly. *)
+
+val pp_status : Format.formatter -> status -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val pp_summary : Format.formatter -> t -> unit

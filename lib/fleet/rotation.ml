@@ -1,0 +1,66 @@
+type method_ = Local | Rsa of { bits : int; seed : int64 }
+
+type report = {
+  epoch : int;
+  label : string option;
+  method_ : method_;
+  rotated : int;
+  reactivated : int;
+  failed : (Eric_puf.Device.id * string) list;
+}
+
+let count ?labels name =
+  if Eric_telemetry.Control.is_enabled () then Eric_telemetry.Registry.inc ?labels name
+
+let method_label = function Local -> "local" | Rsa _ -> "rsa"
+
+let rotate ?(method_ = Local) ?label ~epoch registry =
+  Eric_telemetry.Span.with_ ~cat:"fleet" ~name:"fleet.rotate" (fun () ->
+      count "fleet.rotate.runs_total";
+      let provision =
+        match method_ with
+        | Local -> fun target -> Ok (Eric.Protocol.provision target)
+        | Rsa { bits; seed } ->
+          let rng = Eric_util.Prng.create ~seed in
+          let source_key = Eric_crypto.Rsa.generate ~bits rng in
+          fun target -> Eric.Protocol.provision_over_network ~rng ~source_key target
+      in
+      let rotated = ref 0 and reactivated = ref 0 and failed = ref [] in
+      List.iter
+        (fun (entry : Registry.entry) ->
+          let label = match label with Some l -> l | None -> entry.Registry.label in
+          let context = { Eric.Kmu.epoch; label } in
+          let target = Registry.target_for registry ~context entry.Registry.device_id in
+          match provision target with
+          | Ok key ->
+            incr rotated;
+            count ~labels:[ ("method", method_label method_) ] "fleet.rotate.rotated_total";
+            (match entry.Registry.status with
+            | Registry.Quarantined _ ->
+              incr reactivated;
+              count "fleet.rotate.reactivated_total"
+            | Registry.Active -> ());
+            Registry.update registry
+              { entry with Registry.epoch; label; key; status = Registry.Active }
+          | Error e ->
+            count "fleet.rotate.failed_total";
+            failed := (entry.Registry.device_id, e) :: !failed)
+        (Registry.entries registry);
+      {
+        epoch;
+        label;
+        method_;
+        rotated = !rotated;
+        reactivated = !reactivated;
+        failed = List.rev !failed;
+      })
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "rotation to epoch %d (%s%s): %d device(s) re-keyed, %d reactivated, %d failed"
+    r.epoch (method_label r.method_)
+    (match r.label with None -> "" | Some l -> ", label " ^ l)
+    r.rotated r.reactivated (List.length r.failed);
+  List.iter
+    (fun (id, e) -> Format.fprintf fmt "@\n  device %Ld: %s" id e)
+    r.failed

@@ -1,0 +1,96 @@
+type outcome =
+  | Delivered of { load_cycles : int64; exec : Eric_sim.Soc.result option }
+  | Quarantined of { reason : string }
+
+type delivery = {
+  device_id : Eric_puf.Device.id;
+  attempts : int;
+  refusals : (int * string) list;
+  backoff_ns : int64;
+  wire_bytes : int;
+  outcome : outcome;
+}
+
+let delivered d = match d.outcome with Delivered _ -> true | Quarantined _ -> false
+let retried d = delivered d && d.attempts > 1
+
+let count ?labels name =
+  if Eric_telemetry.Control.is_enabled () then Eric_telemetry.Registry.inc ?labels name
+
+let ship ?(policy = Backoff.default) ?(channel = Channel.clean) ?(execute = false) ?fuel
+    ~(build : Eric.Source.build) ~target () =
+  let device = Eric_puf.Device.id (Eric.Target.device target) in
+  let wire = Eric.Package.serialize build.Eric.Source.package in
+  let wire_bytes = Bytes.length wire in
+  let finish ~attempts ~refusals ~backoff_ns outcome =
+    (match outcome with
+    | Delivered _ ->
+      count "fleet.ship.delivered_total";
+      if attempts > 1 then count "fleet.ship.retries_recovered_total"
+    | Quarantined _ -> count "fleet.ship.quarantined_total");
+    {
+      device_id = device;
+      attempts;
+      refusals = List.rev refusals;
+      backoff_ns;
+      wire_bytes;
+      outcome;
+    }
+  in
+  let rec attempt_loop attempt refusals sig_refusals backoff_ns =
+    count "fleet.ship.attempts_total";
+    if attempt > 1 then count "fleet.ship.retries_total";
+    let attacked =
+      Eric.Protocol.apply_attack (Channel.attack channel ~device ~attempt) wire
+    in
+    match Eric.Target.receive_bytes target attacked with
+    | Ok loaded ->
+      let exec =
+        if not execute then None
+        else
+          let image = loaded.Eric.Target.image in
+          Some
+            (Eric_sim.Soc.run_loaded ?fuel
+               ~load_cycles:loaded.Eric.Target.load.Eric_hw.Hde.total_cycles image
+               (Eric_sim.Soc.load image))
+      in
+      finish ~attempts:attempt ~refusals ~backoff_ns
+        (Delivered
+           { load_cycles = loaded.Eric.Target.load.Eric_hw.Hde.total_cycles; exec })
+    | Error e ->
+      let reason = Eric.Target.refusal_reason e in
+      count ~labels:[ ("reason", reason) ] "fleet.ship.refused_total";
+      let refusals = (attempt, reason) :: refusals in
+      let sig_refusals = sig_refusals + if reason = "signature" then 1 else 0 in
+      if sig_refusals >= policy.Backoff.quarantine_refusals then
+        finish ~attempts:attempt ~refusals ~backoff_ns
+          (Quarantined
+             { reason = Printf.sprintf "%d signature refusals" sig_refusals })
+      else if attempt >= policy.Backoff.max_attempts then
+        finish ~attempts:attempt ~refusals ~backoff_ns
+          (Quarantined
+             { reason = Printf.sprintf "undeliverable after %d attempts" attempt })
+      else begin
+        let delay = Backoff.delay_ns policy ~retry:attempt in
+        attempt_loop (attempt + 1) refusals sig_refusals (Int64.add backoff_ns delay)
+      end
+  in
+  let d = attempt_loop 1 [] 0 0L in
+  if Eric_telemetry.Control.is_enabled () then begin
+    Eric_telemetry.Registry.inc ~by:d.backoff_ns "fleet.ship.backoff_ns";
+    Eric_telemetry.Registry.observe "fleet.ship.attempts" (float_of_int d.attempts)
+  end;
+  d
+
+let pp_outcome fmt = function
+  | Delivered { load_cycles; exec = None } ->
+    Format.fprintf fmt "delivered (validated, %Ld load cycles)" load_cycles
+  | Delivered { load_cycles; exec = Some r } ->
+    Format.fprintf fmt "delivered (%Ld load + %Ld exec cycles)" load_cycles
+      r.Eric_sim.Soc.exec_cycles
+  | Quarantined { reason } -> Format.fprintf fmt "quarantined: %s" reason
+
+let pp_delivery fmt d =
+  Format.fprintf fmt "device %Ld: %a after %d attempt(s), %d refusal(s), %.3f ms backoff"
+    d.device_id pp_outcome d.outcome d.attempts (List.length d.refusals)
+    (Int64.to_float d.backoff_ns /. 1e6)

@@ -1,0 +1,48 @@
+(** Deliver one personalized package to one device over a lossy or
+    hostile channel, retrying with exponential (simulated-time) backoff.
+
+    Every shipment terminates in exactly one of two states — [Delivered]
+    (the Validation Unit accepted an attempt) or [Quarantined] (attempts
+    exhausted, or the device hit the policy's signature-refusal threshold)
+    — so a campaign can never silently drop a device.
+
+    Telemetry: [fleet.ship.attempts_total], [fleet.ship.retries_total],
+    [fleet.ship.refused_total{reason}], [fleet.ship.delivered_total],
+    [fleet.ship.retries_recovered_total], [fleet.ship.quarantined_total],
+    [fleet.ship.backoff_ns] and the [fleet.ship.attempts] histogram. *)
+
+type outcome =
+  | Delivered of {
+      load_cycles : int64;  (** HDE ingest cycles of the accepted attempt *)
+      exec : Eric_sim.Soc.result option;  (** when shipped with [~execute:true] *)
+    }
+  | Quarantined of { reason : string }
+
+type delivery = {
+  device_id : Eric_puf.Device.id;
+  attempts : int;  (** total tries, including the successful one *)
+  refusals : (int * string) list;  (** (attempt, {!Eric.Target.refusal_reason}) *)
+  backoff_ns : int64;  (** total simulated backoff *)
+  wire_bytes : int;  (** serialized package size per attempt *)
+  outcome : outcome;
+}
+
+val delivered : delivery -> bool
+val retried : delivery -> bool
+(** Delivered, but only after at least one refusal. *)
+
+val ship :
+  ?policy:Backoff.policy ->
+  ?channel:Channel.t ->
+  ?execute:bool ->
+  ?fuel:int ->
+  build:Eric.Source.build ->
+  target:Eric.Target.t ->
+  unit ->
+  delivery
+(** [execute] (default [false]) also runs the validated program on the
+    device's SoC; the default stops after HDE validation, which is what a
+    mass deployment campaign measures. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_delivery : Format.formatter -> delivery -> unit

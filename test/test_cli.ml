@@ -1,0 +1,125 @@
+(* End-to-end checks that eric_cli fails *cleanly* on malformed input:
+   a clear "error: ..." line on stderr and a non-zero exit code, never an
+   uncaught exception trace. Runs the real executable via Sys.command. *)
+
+let check = Alcotest.check
+
+(* Under `dune runtest` the cwd is _build/default/test; under a direct
+   `dune exec test/test_cli.exe` it is the workspace root. *)
+let cli =
+  let candidates =
+    [ Filename.concat (Filename.dirname (Sys.getcwd ())) "bin/eric_cli.exe";
+      "_build/default/bin/eric_cli.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> Alcotest.fail "eric_cli.exe not built"
+
+let with_tmp f =
+  let path = Filename.temp_file "eric_cli_test" ".bin" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let write path (bytes : bytes) =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc bytes)
+
+(* Run the CLI, returning (exit_code, stderr). Quoting is fine here: every
+   argument we pass is a temp-file path or a plain flag. *)
+let run_cli args =
+  with_tmp (fun err_file ->
+      let cmd =
+        Printf.sprintf "%s %s 2> %s" (Filename.quote cli)
+          (String.concat " " (List.map Filename.quote args))
+          (Filename.quote err_file)
+      in
+      let code = Sys.command cmd in
+      let ic = open_in_bin err_file in
+      let err =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (code, err))
+
+let expect_clean_failure what (code, err) =
+  check Alcotest.bool (what ^ ": non-zero exit") true (code <> 0);
+  let starts_with prefix s =
+    String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+  in
+  check Alcotest.bool (what ^ ": stderr starts with 'error:'") true (starts_with "error:" err);
+  check Alcotest.bool (what ^ ": no exception trace") false
+    (List.exists
+       (fun marker ->
+         let rec contains i =
+           i + String.length marker <= String.length err
+           && (String.sub err i (String.length marker) = marker || contains (i + 1))
+         in
+         contains 0)
+       [ "Fatal error"; "Raised at"; "Backtrace" ])
+
+let make_registry path n =
+  let reg = Eric_fleet.Registry.create () in
+  for i = 1 to n do
+    match Eric_fleet.Registry.enroll reg (Int64.of_int (7_000 + i)) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  Eric_fleet.Registry.save reg path;
+  reg
+
+let test_truncated_registry () =
+  with_tmp (fun path ->
+      ignore (make_registry path 3);
+      let full = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+      (* cut mid-record, the shape a crashed writer or bad copy leaves *)
+      write path (Bytes.sub full 0 (Bytes.length full - 7));
+      expect_clean_failure "truncated registry"
+        (run_cli [ "fleet"; "status"; "--registry"; path ]))
+
+let test_corrupt_registry_magic () =
+  with_tmp (fun path ->
+      ignore (make_registry path 1);
+      let full = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+      Bytes.set full 0 'X';
+      write path full;
+      expect_clean_failure "bad registry magic"
+        (run_cli [ "fleet"; "status"; "--registry"; path ]))
+
+let test_missing_registry () =
+  let code, err = run_cli [ "fleet"; "status"; "--registry"; "/nonexistent/fleet.efrg" ] in
+  expect_clean_failure "missing registry" (code, err);
+  let rec contains i =
+    let m = "does not exist" in
+    i + String.length m <= String.length err
+    && (String.sub err i (String.length m) = m || contains (i + 1))
+  in
+  check Alcotest.bool "message says what to do" true (contains 0)
+
+let test_garbage_package () =
+  with_tmp (fun path ->
+      write path (Bytes.of_string "this is not a package");
+      expect_clean_failure "garbage package" (run_cli [ "run"; path ]))
+
+let test_truncated_package () =
+  with_tmp (fun path ->
+      let key = Eric.Target.derived_key (Eric.Target.of_id 808L) in
+      let build =
+        match
+          Eric.Source.build ~mode:Eric.Config.Full ~key
+            "int main() { println_int(1); return 0; }"
+        with
+        | Ok b -> b
+        | Error e -> Alcotest.fail e
+      in
+      let wire = Eric.Package.serialize build.Eric.Source.package in
+      write path (Bytes.sub wire 0 (Bytes.length wire / 2));
+      expect_clean_failure "truncated package" (run_cli [ "run"; path ]))
+
+let () =
+  Alcotest.run "eric_cli"
+    [ ( "malformed-input",
+        [ Alcotest.test_case "truncated registry" `Quick test_truncated_registry;
+          Alcotest.test_case "corrupt registry magic" `Quick test_corrupt_registry_magic;
+          Alcotest.test_case "missing registry" `Quick test_missing_registry;
+          Alcotest.test_case "garbage package" `Quick test_garbage_package;
+          Alcotest.test_case "truncated package" `Quick test_truncated_package ] ) ]

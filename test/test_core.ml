@@ -48,6 +48,25 @@ let test_kmu_context_separation () =
   check Alcotest.bool "epoch rotates key" false (Bytes.equal base epoch2);
   check Alcotest.bool "label scopes key" false (Bytes.equal base label2)
 
+let kmu_derive_prop =
+  (* Deterministic, and distinct contexts — different epoch or different
+     label — must yield distinct keys (prefix-free KDF message). *)
+  qtest ~count:300 "kmu derive separates contexts"
+    QCheck.(
+      triple
+        (string_of_size (Gen.int_range 1 64))
+        (pair small_nat small_printable_string)
+        (pair small_nat small_printable_string))
+    (fun (puf, (e1, l1), (e2, l2)) ->
+      let puf_key = Bytes.of_string puf in
+      let c1 = { Eric.Kmu.epoch = e1; label = l1 } in
+      let c2 = { Eric.Kmu.epoch = e2; label = l2 } in
+      let k1 = Eric.Kmu.derive ~puf_key c1 in
+      let k2 = Eric.Kmu.derive ~puf_key c2 in
+      Bytes.equal k1 (Eric.Kmu.derive ~puf_key c1)
+      && Bytes.length k1 = 32
+      && Bytes.equal k1 k2 = (e1 = e2 && String.equal l1 l2))
+
 let test_kmu_device_key_matches_target () =
   let device = Eric_puf.Device.manufacture 5L in
   let target = Eric.Target.create device in
@@ -432,6 +451,73 @@ let test_protocol_cross_check_diagonal () =
         check Alcotest.bool (Printf.sprintf "%s on %s" bname tname) (bname = tname) ok)
       matrix
 
+let test_build_multi_shares_work () =
+  (* One compile, one signature, one layout — the key-independent work
+     must run once no matter how many devices are personalized, and every
+     build must share the plaintext image *physically*, not by copy. *)
+  let keys =
+    List.map
+      (fun id -> (Printf.sprintf "dev%Ld" id, Eric.Target.derived_key (Eric.Target.of_id id)))
+      [ 501L; 502L; 503L; 504L ]
+  in
+  Eric_telemetry.Snapshot.reset_all ();
+  Eric_telemetry.Control.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Eric_telemetry.Control.disable ();
+      Eric_telemetry.Snapshot.reset_all ())
+    (fun () ->
+      match Eric.Source.build_multi ~mode:Eric.Config.Full ~keys test_source with
+      | Error e -> Alcotest.fail e
+      | Ok builds ->
+        let counter name = Int64.to_int (Eric_telemetry.Registry.counter name) in
+        check Alcotest.int "signature computed once total" 1 (counter "build.signatures_total");
+        check Alcotest.int "one personalization per device" 4
+          (counter "build.personalizations_total");
+        let images = List.map (fun (_, b) -> b.Eric.Source.image) builds in
+        let first = List.hd images in
+        List.iter
+          (fun img -> check Alcotest.bool "plaintext image physically shared" true (img == first))
+          images;
+        (* each personalized build is byte-identical to a direct build *)
+        let name0, key0 = List.hd keys in
+        let direct =
+          match Eric.Source.build ~mode:Eric.Config.Full ~key:key0 test_source with
+          | Ok b -> b
+          | Error e -> Alcotest.fail e
+        in
+        check Alcotest.string "equivalent to Source.build"
+          (Eric_util.Bytesx.to_hex (Eric.Package.serialize direct.Eric.Source.package))
+          (Eric_util.Bytesx.to_hex
+             (Eric.Package.serialize (List.assoc name0 builds).Eric.Source.package)))
+
+let test_protocol_cross_check_fleet () =
+  (* Fleet scale: 31 distinct devices plus one deliberate clone of device
+     16 (same silicon id, so the same PUF and the same derived key). The
+     execute matrix must be exactly the diagonal plus the clone pair —
+     the only off-diagonal entries that may execute. *)
+  let named id name = (name, Eric.Target.of_id id) in
+  let targets =
+    List.init 31 (fun i ->
+        let id = Int64.of_int (i + 1) in
+        named id (Printf.sprintf "dev%Ld" id))
+    @ [ named 16L "clone16" ]
+  in
+  let keys = List.map (fun (n, t) -> (n, Eric.Protocol.provision t)) targets in
+  match Eric.Source.build_multi ~mode:Eric.Config.Full ~keys test_source with
+  | Error e -> Alcotest.fail e
+  | Ok builds ->
+    let matrix = Eric.Protocol.cross_check ~builds ~targets in
+    check Alcotest.int "full matrix" (32 * 32) (List.length matrix);
+    List.iter
+      (fun (bname, tname, ok) ->
+        let clone_pair =
+          (bname = "dev16" && tname = "clone16") || (bname = "clone16" && tname = "dev16")
+        in
+        check Alcotest.bool (Printf.sprintf "%s on %s" bname tname)
+          (bname = tname || clone_pair) ok)
+      matrix
+
 let test_epoch_rotation_revokes () =
   (* A package built for epoch 1 must not run after the device rotates its
      KMU context to epoch 2. *)
@@ -617,7 +703,8 @@ let () =
     [ ( "kmu",
         [ Alcotest.test_case "deterministic" `Quick test_kmu_deterministic;
           Alcotest.test_case "context separation" `Quick test_kmu_context_separation;
-          Alcotest.test_case "device key" `Quick test_kmu_device_key_matches_target ] );
+          Alcotest.test_case "device key" `Quick test_kmu_device_key_matches_target;
+          kmu_derive_prop ] );
       ( "package",
         [ Alcotest.test_case "roundtrip all modes" `Quick test_package_roundtrip_all_modes;
           Alcotest.test_case "parse rejects" `Quick test_package_parse_rejects;
@@ -643,6 +730,8 @@ let () =
           Alcotest.test_case "attacks refused" `Quick test_protocol_attacks_refused;
           Alcotest.test_case "populates telemetry" `Quick test_protocol_populates_telemetry;
           Alcotest.test_case "cross-check diagonal" `Quick test_protocol_cross_check_diagonal;
+          Alcotest.test_case "build_multi shares work" `Quick test_build_multi_shares_work;
+          Alcotest.test_case "cross-check fleet + clone" `Slow test_protocol_cross_check_fleet;
           Alcotest.test_case "epoch rotation revokes" `Quick test_epoch_rotation_revokes;
           Alcotest.test_case "RSA in-band provisioning" `Slow test_provision_over_network ] );
       ( "envbind",

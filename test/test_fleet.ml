@@ -1,0 +1,542 @@
+(* Tests for the fleet subsystem: registry wire format (round-trip
+   property + strict rejection), content-addressed artifact cache,
+   retry/backoff shipping, deployment campaigns over hostile channels
+   (nobody silently dropped), and key-rotation campaigns. *)
+
+let check = Alcotest.check
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let test_source =
+  {|
+int main() {
+  int s = 0;
+  for (int i = 1; i <= 16; i = i + 1) { s = s + i; }
+  println_int(s);
+  return 0;
+}
+|}
+
+let enroll_fleet ?(start = 9_100) n =
+  let reg = Eric_fleet.Registry.create () in
+  for i = 0 to n - 1 do
+    match Eric_fleet.Registry.enroll reg (Int64.of_int (start + i)) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  reg
+
+(* ------------------------------------------------------------------ *)
+(* Backoff                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_schedule () =
+  let p = Eric_fleet.Backoff.default in
+  check Alcotest.int64 "retry 1 = base" p.Eric_fleet.Backoff.base_delay_ns
+    (Eric_fleet.Backoff.delay_ns p ~retry:1);
+  check Alcotest.int64 "retry 2 doubles"
+    (Int64.mul 2L p.Eric_fleet.Backoff.base_delay_ns)
+    (Eric_fleet.Backoff.delay_ns p ~retry:2);
+  check Alcotest.int64 "far retry hits the cap" p.Eric_fleet.Backoff.max_delay_ns
+    (Eric_fleet.Backoff.delay_ns p ~retry:40);
+  check Alcotest.int64 "total = sum of delays"
+    (Int64.add (Eric_fleet.Backoff.delay_ns p ~retry:1) (Eric_fleet.Backoff.delay_ns p ~retry:2))
+    (Eric_fleet.Backoff.total_backoff_ns p ~retries:2)
+
+let test_backoff_validate () =
+  let bad p what =
+    match Eric_fleet.Backoff.validate p with
+    | Ok _ -> Alcotest.fail (what ^ " accepted")
+    | Error _ -> ()
+  in
+  (match Eric_fleet.Backoff.validate Eric_fleet.Backoff.default with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  bad { Eric_fleet.Backoff.default with Eric_fleet.Backoff.max_attempts = 0 } "0 attempts";
+  bad { Eric_fleet.Backoff.default with Eric_fleet.Backoff.multiplier = 0 } "0 multiplier";
+  bad { Eric_fleet.Backoff.default with Eric_fleet.Backoff.base_delay_ns = -1L } "negative delay";
+  bad
+    { Eric_fleet.Backoff.default with Eric_fleet.Backoff.quarantine_refusals = 0 }
+    "0 quarantine threshold"
+
+(* ------------------------------------------------------------------ *)
+(* Channels                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_channel_plans () =
+  let ch = Eric_fleet.Channel.drop_first 2 in
+  (match Eric_fleet.Channel.attack ch ~device:1L ~attempt:1 with
+  | Eric.Protocol.Bit_flips _ -> ()
+  | _ -> Alcotest.fail "attempt 1 should be corrupted");
+  (match Eric_fleet.Channel.attack ch ~device:1L ~attempt:3 with
+  | Eric.Protocol.No_attack -> ()
+  | _ -> Alcotest.fail "attempt 3 should be clean");
+  (* flaky draws are a pure function of (seed, device, attempt) *)
+  let f1 = Eric_fleet.Channel.flaky ~probability:0.5 ~seed:9L () in
+  let f2 = Eric_fleet.Channel.flaky ~probability:0.5 ~seed:9L () in
+  for device = 1 to 5 do
+    for attempt = 1 to 5 do
+      let device = Int64.of_int device in
+      check Alcotest.bool "same plan" true
+        (Eric_fleet.Channel.attack f1 ~device ~attempt
+        = Eric_fleet.Channel.attack f2 ~device ~attempt)
+    done
+  done
+
+let test_channel_of_string () =
+  let ok s = match Eric_fleet.Channel.of_string s with Ok c -> c | Error e -> Alcotest.fail e in
+  check Alcotest.string "clean" "clean" (Eric_fleet.Channel.name (ok "clean"));
+  ignore (ok "drop-first:3");
+  ignore (ok "flaky:0.4");
+  ignore (ok "flaky:0.4:7");
+  List.iter
+    (fun s ->
+      match Eric_fleet.Channel.of_string s with
+      | Ok _ -> Alcotest.fail (s ^ " accepted")
+      | Error _ -> ())
+    [ "bogus"; "flaky:2.0"; "flaky:-1"; "drop-first:x"; "drop-first:-1"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry wire format                                                *)
+(* ------------------------------------------------------------------ *)
+
+let entry_eq (a : Eric_fleet.Registry.entry) (b : Eric_fleet.Registry.entry) =
+  Int64.equal a.Eric_fleet.Registry.device_id b.Eric_fleet.Registry.device_id
+  && a.Eric_fleet.Registry.epoch = b.Eric_fleet.Registry.epoch
+  && a.Eric_fleet.Registry.label = b.Eric_fleet.Registry.label
+  && Bytes.equal a.Eric_fleet.Registry.key b.Eric_fleet.Registry.key
+  && a.Eric_fleet.Registry.firmware_epoch = b.Eric_fleet.Registry.firmware_epoch
+  && a.Eric_fleet.Registry.status = b.Eric_fleet.Registry.status
+
+let registry_roundtrip_prop =
+  (* Arbitrary entries (device id = index, so ids never collide) survive
+     serialize/parse byte-for-byte. *)
+  let entry_gen =
+    QCheck.(
+      list_of_size (Gen.int_range 0 8)
+        (triple
+           (pair small_nat small_printable_string)
+           (pair (string_of_size (Gen.return 32)) small_nat)
+           (option small_printable_string)))
+  in
+  qtest ~count:200 "registry round-trips" entry_gen (fun specs ->
+      let reg = Eric_fleet.Registry.create () in
+      List.iteri
+        (fun i ((epoch, label), (key, firmware_epoch), quarantine) ->
+          let entry =
+            {
+              Eric_fleet.Registry.device_id = Int64.of_int i;
+              epoch;
+              label;
+              key = Bytes.of_string key;
+              firmware_epoch;
+              status =
+                (match quarantine with
+                | None -> Eric_fleet.Registry.Active
+                | Some reason -> Eric_fleet.Registry.Quarantined reason);
+            }
+          in
+          match Eric_fleet.Registry.add reg entry with
+          | Ok _ -> ()
+          | Error e -> failwith e)
+        specs;
+      match Eric_fleet.Registry.parse (Eric_fleet.Registry.serialize reg) with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok reg' ->
+        List.length (Eric_fleet.Registry.entries reg') = List.length specs
+        && List.for_all2 entry_eq (Eric_fleet.Registry.entries reg)
+             (Eric_fleet.Registry.entries reg'))
+
+let test_registry_parse_rejects () =
+  let reg = enroll_fleet 3 in
+  let good = Eric_fleet.Registry.serialize reg in
+  let expect_error what bytes =
+    match Eric_fleet.Registry.parse bytes with
+    | Ok _ -> Alcotest.fail (what ^ " parsed")
+    | Error _ -> ()
+  in
+  (match Eric_fleet.Registry.parse good with
+  | Ok r -> check Alcotest.int "baseline parses" 3 (Eric_fleet.Registry.count r)
+  | Error e -> Alcotest.fail e);
+  (* truncation at every prefix length must fail, never crash *)
+  for len = 0 to Bytes.length good - 1 do
+    expect_error (Printf.sprintf "truncated to %d" len) (Bytes.sub good 0 len)
+  done;
+  let flip pos =
+    let b = Bytes.copy good in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xFF));
+    b
+  in
+  expect_error "bad magic" (flip 0);
+  expect_error "bad version" (flip 4);
+  expect_error "reserved set" (flip 6);
+  expect_error "trailing byte" (Bytes.cat good (Bytes.of_string "x"));
+  (* duplicate ids: double the first record and patch the count *)
+  let one = Eric_fleet.Registry.create () in
+  (match Eric_fleet.Registry.enroll one 42L with Ok _ -> () | Error e -> Alcotest.fail e);
+  let b = Eric_fleet.Registry.serialize one in
+  let record = Bytes.sub b 12 (Bytes.length b - 12) in
+  let doubled = Bytes.cat b record in
+  Eric_util.Bytesx.set_u32 doubled 8 2l;
+  expect_error "duplicate device id" doubled
+
+let test_registry_save_load () =
+  let reg = enroll_fleet 4 in
+  (match Eric_fleet.Registry.enroll reg 4242L with
+  | Ok e ->
+    Eric_fleet.Registry.update reg
+      { e with Eric_fleet.Registry.status = Eric_fleet.Registry.Quarantined "test reason" }
+  | Error e -> Alcotest.fail e);
+  let path = Filename.temp_file "eric_fleet" ".efrg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Eric_fleet.Registry.save reg path;
+      match Eric_fleet.Registry.load path with
+      | Error e -> Alcotest.fail e
+      | Ok reg' ->
+        check Alcotest.int "count survives" 5 (Eric_fleet.Registry.count reg');
+        check Alcotest.bool "entries survive" true
+          (List.for_all2 entry_eq (Eric_fleet.Registry.entries reg)
+             (Eric_fleet.Registry.entries reg'));
+        check Alcotest.int "quarantine survives" 1
+          (List.length (Eric_fleet.Registry.quarantined reg')));
+  match Eric_fleet.Registry.load "/nonexistent/registry.efrg" with
+  | Ok _ -> Alcotest.fail "missing file loaded"
+  | Error _ -> ()
+
+let test_registry_enroll_rejects_duplicates () =
+  let reg = enroll_fleet 2 in
+  match Eric_fleet.Registry.enroll reg 9_100L with
+  | Ok _ -> Alcotest.fail "duplicate enrolled"
+  | Error _ -> check Alcotest.int "count unchanged" 2 (Eric_fleet.Registry.count reg)
+
+(* ------------------------------------------------------------------ *)
+(* Artifact cache                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_memory_tier () =
+  let cache = Eric_fleet.Artifact_cache.create () in
+  let get () =
+    match Eric_fleet.Artifact_cache.get_or_compile cache ~mode:Eric.Config.Full test_source with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let p1, o1 = get () in
+  check Alcotest.bool "first is a miss" true (o1 = Eric_fleet.Artifact_cache.Miss);
+  let p2, o2 = get () in
+  check Alcotest.bool "second is a hit" true (o2 = Eric_fleet.Artifact_cache.Memory_hit);
+  check Alcotest.bool "hit returns the same prepared build" true (p1 == p2);
+  check Alcotest.int "hit count" 1 (Eric_fleet.Artifact_cache.hits cache);
+  check Alcotest.int "miss count" 1 (Eric_fleet.Artifact_cache.misses cache)
+
+let test_cache_disk_tier () =
+  let dir = Filename.temp_file "eric_cache" "" in
+  Sys.remove dir;
+  let get cache =
+    match Eric_fleet.Artifact_cache.get_or_compile cache ~mode:Eric.Config.Full test_source with
+    | Ok (_, o) -> o
+    | Error e -> Alcotest.fail e
+  in
+  let c1 = Eric_fleet.Artifact_cache.create ~dir () in
+  check Alcotest.bool "cold process misses" true (get c1 = Eric_fleet.Artifact_cache.Miss);
+  (* a second process (fresh memory tier) finds the compiled image on disk *)
+  let c2 = Eric_fleet.Artifact_cache.create ~dir () in
+  check Alcotest.bool "warm process hits disk" true (get c2 = Eric_fleet.Artifact_cache.Disk_hit);
+  check Alcotest.bool "then memory" true (get c2 = Eric_fleet.Artifact_cache.Memory_hit);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_cache_key_sensitivity () =
+  let d ?(options = Eric_cc.Driver.default_options) ?(mode = Eric.Config.Full) src =
+    Eric_fleet.Artifact_cache.digest ~options ~mode src
+  in
+  let base = d test_source in
+  check Alcotest.string "deterministic" base (d test_source);
+  check Alcotest.bool "source text in key" true (base <> d (test_source ^ " "));
+  check Alcotest.bool "options in key" true
+    (base
+    <> d ~options:{ Eric_cc.Driver.default_options with Eric_cc.Driver.optimize = false }
+         test_source);
+  check Alcotest.bool "mode in key" true
+    (base <> d ~mode:(Eric.Config.Partial Eric.Config.Select_all) test_source);
+  check Alcotest.bool "selection seed in key" true
+    (d ~mode:(Eric.Config.Partial (Eric.Config.Select_fraction { fraction = 0.5; seed = 1L }))
+       test_source
+    <> d
+         ~mode:(Eric.Config.Partial (Eric.Config.Select_fraction { fraction = 0.5; seed = 2L }))
+         test_source)
+
+(* ------------------------------------------------------------------ *)
+(* Personalize = build                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_personalize_equals_build () =
+  (* The split pipeline (prepare once, personalize per key) must produce
+     byte-identical packages to the monolithic Source.build. *)
+  let key = Eric.Target.derived_key (Eric.Target.of_id 5005L) in
+  List.iter
+    (fun mode ->
+      let direct =
+        match Eric.Source.build ~mode ~key test_source with
+        | Ok b -> b
+        | Error e -> Alcotest.fail e
+      in
+      let split =
+        match Eric.Source.prepare ~mode test_source with
+        | Ok p -> Eric.Source.personalize ~key p
+        | Error e -> Alcotest.fail e
+      in
+      check Alcotest.string "identical package bytes"
+        (Eric_util.Bytesx.to_hex (Eric.Package.serialize direct.Eric.Source.package))
+        (Eric_util.Bytesx.to_hex (Eric.Package.serialize split.Eric.Source.package)))
+    [ Eric.Config.Full;
+      Eric.Config.Partial (Eric.Config.Select_fraction { fraction = 0.5; seed = 3L });
+      Eric.Config.Field (Eric.Config.Imm_fields, Eric.Config.Select_all) ]
+
+(* ------------------------------------------------------------------ *)
+(* Shipper                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ship_one ?policy ?channel reg =
+  let entry = List.hd (Eric_fleet.Registry.entries reg) in
+  let build =
+    match Eric.Source.prepare ~mode:Eric.Config.Full test_source with
+    | Ok p -> Eric.Source.personalize ~key:entry.Eric_fleet.Registry.key p
+    | Error e -> Alcotest.fail e
+  in
+  Eric_fleet.Shipper.ship ?policy ?channel ~build ~target:(Eric_fleet.Registry.target reg entry) ()
+
+let test_shipper_clean_delivery () =
+  let d = ship_one (enroll_fleet 1) in
+  check Alcotest.bool "delivered" true (Eric_fleet.Shipper.delivered d);
+  check Alcotest.bool "not retried" false (Eric_fleet.Shipper.retried d);
+  check Alcotest.int "one attempt" 1 d.Eric_fleet.Shipper.attempts;
+  check Alcotest.int64 "no backoff" 0L d.Eric_fleet.Shipper.backoff_ns
+
+let test_shipper_retry_recovers () =
+  let d = ship_one ~channel:(Eric_fleet.Channel.drop_first 2) (enroll_fleet 1) in
+  check Alcotest.bool "delivered" true (Eric_fleet.Shipper.delivered d);
+  check Alcotest.bool "retried" true (Eric_fleet.Shipper.retried d);
+  check Alcotest.int "three attempts" 3 d.Eric_fleet.Shipper.attempts;
+  check Alcotest.int "two refusals" 2 (List.length d.Eric_fleet.Shipper.refusals);
+  check Alcotest.int64 "backoff = delay(1)+delay(2)"
+    (Eric_fleet.Backoff.total_backoff_ns Eric_fleet.Backoff.default ~retries:2)
+    d.Eric_fleet.Shipper.backoff_ns
+
+let test_shipper_exhaustion_quarantines () =
+  let d =
+    ship_one ~channel:(Eric_fleet.Channel.always (Eric.Protocol.Truncate 10)) (enroll_fleet 1)
+  in
+  (match d.Eric_fleet.Shipper.outcome with
+  | Eric_fleet.Shipper.Quarantined _ -> ()
+  | Eric_fleet.Shipper.Delivered _ -> Alcotest.fail "truncated channel delivered");
+  check Alcotest.int "used every attempt"
+    Eric_fleet.Backoff.default.Eric_fleet.Backoff.max_attempts d.Eric_fleet.Shipper.attempts
+
+let test_shipper_signature_refusals_quarantine () =
+  (* A package whose embedded signature is corrupted decrypts and frames
+     fine but fails HDE validation every time; the shipper must trip the
+     quarantine threshold instead of burning every attempt. *)
+  let reg = enroll_fleet 1 in
+  let entry = List.hd (Eric_fleet.Registry.entries reg) in
+  let build =
+    match Eric.Source.prepare ~mode:Eric.Config.Full test_source with
+    | Ok p ->
+      let b = Eric.Source.personalize ~key:entry.Eric_fleet.Registry.key p in
+      let pkg = b.Eric.Source.package in
+      let sig' = Bytes.copy pkg.Eric.Package.enc_signature in
+      Bytes.set sig' 0 (Char.chr (Char.code (Bytes.get sig' 0) lxor 1));
+      { b with Eric.Source.package = { pkg with Eric.Package.enc_signature = sig' } }
+    | Error e -> Alcotest.fail e
+  in
+  let policy = { Eric_fleet.Backoff.default with Eric_fleet.Backoff.max_attempts = 10 } in
+  let d =
+    Eric_fleet.Shipper.ship ~policy ~build ~target:(Eric_fleet.Registry.target reg entry) ()
+  in
+  match d.Eric_fleet.Shipper.outcome with
+  | Eric_fleet.Shipper.Quarantined { reason } ->
+    check Alcotest.int "stopped at the refusal threshold"
+      policy.Eric_fleet.Backoff.quarantine_refusals d.Eric_fleet.Shipper.attempts;
+    let contains hay needle =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    check Alcotest.bool "reason names signatures" true (contains reason "signature")
+  | Eric_fleet.Shipper.Delivered _ -> Alcotest.fail "foreign-keyed package delivered"
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let deploy ?config ~cache reg =
+  match Eric_fleet.Campaign.deploy ?config ~cache ~registry:reg test_source with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_campaign_happy_path () =
+  let reg = enroll_fleet 6 in
+  let cache = Eric_fleet.Artifact_cache.create () in
+  let r = deploy ~cache reg in
+  check Alcotest.int "all delivered" 6 r.Eric_fleet.Campaign.delivered;
+  check Alcotest.int "none quarantined" 0 r.Eric_fleet.Campaign.quarantined;
+  check Alcotest.bool "all accounted" true (Eric_fleet.Campaign.all_accounted r);
+  check Alcotest.bool "compiled fresh" true
+    (r.Eric_fleet.Campaign.cache = Eric_fleet.Artifact_cache.Miss);
+  List.iter
+    (fun e -> check Alcotest.int "firmware stamped" 1 e.Eric_fleet.Registry.firmware_epoch)
+    (Eric_fleet.Registry.entries reg);
+  (* second campaign: cache hit, firmware bumps again *)
+  let r2 = deploy ~cache reg in
+  check Alcotest.bool "second campaign hits cache" true
+    (r2.Eric_fleet.Campaign.cache = Eric_fleet.Artifact_cache.Memory_hit);
+  check Alcotest.int "fresh epoch" 2 r2.Eric_fleet.Campaign.firmware_epoch
+
+let test_campaign_executes_when_asked () =
+  let reg = enroll_fleet 2 in
+  let cache = Eric_fleet.Artifact_cache.create () in
+  let config = { Eric_fleet.Campaign.default_config with Eric_fleet.Campaign.execute = true } in
+  let r = deploy ~config ~cache reg in
+  check Alcotest.int "all delivered" 2 r.Eric_fleet.Campaign.delivered;
+  List.iter
+    (fun (_, result) ->
+      match result with
+      | Eric_fleet.Campaign.Shipped
+          { Eric_fleet.Shipper.outcome = Eric_fleet.Shipper.Delivered { exec = Some res; _ }; _ }
+        ->
+        check Alcotest.string "program ran" "136\n" res.Eric_sim.Soc.output
+      | _ -> Alcotest.fail "expected an executed delivery")
+    r.Eric_fleet.Campaign.devices
+
+let test_campaign_hostile_channel_no_silent_drops () =
+  let reg = enroll_fleet 5 in
+  let cache = Eric_fleet.Artifact_cache.create () in
+  let config =
+    { Eric_fleet.Campaign.default_config with
+      Eric_fleet.Campaign.channel = Eric_fleet.Channel.always (Eric.Protocol.Truncate 16) }
+  in
+  let r = deploy ~config ~cache reg in
+  check Alcotest.int "nothing delivered" 0 r.Eric_fleet.Campaign.delivered;
+  check Alcotest.int "everyone explicitly quarantined" 5 r.Eric_fleet.Campaign.quarantined;
+  check Alcotest.bool "all accounted" true (Eric_fleet.Campaign.all_accounted r);
+  check Alcotest.int "registry flags them" 5
+    (List.length (Eric_fleet.Registry.quarantined reg));
+  (* the next campaign skips quarantined devices but still reports them *)
+  let r2 = deploy ~cache reg in
+  check Alcotest.int "skipped, not dropped" 5 r2.Eric_fleet.Campaign.skipped;
+  check Alcotest.bool "still all accounted" true (Eric_fleet.Campaign.all_accounted r2)
+
+let test_campaign_retry_recovers_everyone () =
+  let reg = enroll_fleet 8 in
+  let cache = Eric_fleet.Artifact_cache.create () in
+  let config =
+    { Eric_fleet.Campaign.default_config with
+      Eric_fleet.Campaign.channel = Eric_fleet.Channel.drop_first 1 }
+  in
+  let r = deploy ~config ~cache reg in
+  check Alcotest.int "all delivered" 8 r.Eric_fleet.Campaign.delivered;
+  check Alcotest.int "all after retry" 8 r.Eric_fleet.Campaign.retried;
+  check Alcotest.bool "backoff accounted" true (r.Eric_fleet.Campaign.backoff_ns > 0L)
+
+(* ------------------------------------------------------------------ *)
+(* Rotation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_rotation_rekeys_and_reactivates () =
+  let reg = enroll_fleet 4 in
+  let cache = Eric_fleet.Artifact_cache.create () in
+  let old_keys =
+    List.map (fun e -> Bytes.copy e.Eric_fleet.Registry.key) (Eric_fleet.Registry.entries reg)
+  in
+  (* quarantine one device, then rotate *)
+  (let e = List.hd (Eric_fleet.Registry.entries reg) in
+   Eric_fleet.Registry.update reg
+     { e with Eric_fleet.Registry.status = Eric_fleet.Registry.Quarantined "flaky link" });
+  let report = Eric_fleet.Rotation.rotate ~epoch:7 reg in
+  check Alcotest.int "all rotated" 4 report.Eric_fleet.Rotation.rotated;
+  check Alcotest.int "quarantined reactivated" 1 report.Eric_fleet.Rotation.reactivated;
+  check Alcotest.int "none failed" 0 (List.length report.Eric_fleet.Rotation.failed);
+  List.iter2
+    (fun old e ->
+      check Alcotest.int "epoch bumped" 7 e.Eric_fleet.Registry.epoch;
+      check Alcotest.bool "key changed" false (Bytes.equal old e.Eric_fleet.Registry.key);
+      check Alcotest.bool "active again" true
+        (e.Eric_fleet.Registry.status = Eric_fleet.Registry.Active))
+    old_keys (Eric_fleet.Registry.entries reg);
+  (* redeploy after rotation: same plaintext, so the artifact cache still
+     hits — re-encryption without recompilation *)
+  let r1 = deploy ~cache reg in
+  check Alcotest.int "redeploy delivers" 4 r1.Eric_fleet.Campaign.delivered;
+  let r2 = deploy ~cache reg in
+  check Alcotest.bool "no recompile after rotation" true
+    (r2.Eric_fleet.Campaign.cache = Eric_fleet.Artifact_cache.Memory_hit)
+
+let test_rotation_revokes_old_packages () =
+  let reg = enroll_fleet 1 in
+  let entry = List.hd (Eric_fleet.Registry.entries reg) in
+  let old_build =
+    match Eric.Source.prepare ~mode:Eric.Config.Full test_source with
+    | Ok p -> Eric.Source.personalize ~key:entry.Eric_fleet.Registry.key p
+    | Error e -> Alcotest.fail e
+  in
+  ignore (Eric_fleet.Rotation.rotate ~epoch:2 reg);
+  let entry' = List.hd (Eric_fleet.Registry.entries reg) in
+  let d =
+    Eric_fleet.Shipper.ship ~build:old_build ~target:(Eric_fleet.Registry.target reg entry') ()
+  in
+  match d.Eric_fleet.Shipper.outcome with
+  | Eric_fleet.Shipper.Quarantined _ -> ()
+  | Eric_fleet.Shipper.Delivered _ -> Alcotest.fail "pre-rotation package still accepted"
+
+let test_rotation_rsa_in_band () =
+  let reg = enroll_fleet 2 in
+  let report =
+    Eric_fleet.Rotation.rotate
+      ~method_:(Eric_fleet.Rotation.Rsa { bits = 384; seed = 404L })
+      ~epoch:3 reg
+  in
+  check Alcotest.int "all rotated over RSA" 2 report.Eric_fleet.Rotation.rotated;
+  check Alcotest.int "none failed" 0 (List.length report.Eric_fleet.Rotation.failed);
+  (* the in-band recovered keys must actually work *)
+  let cache = Eric_fleet.Artifact_cache.create () in
+  let r = deploy ~cache reg in
+  check Alcotest.int "campaign under RSA-provisioned keys" 2 r.Eric_fleet.Campaign.delivered
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "eric_fleet"
+    [ ( "backoff",
+        [ Alcotest.test_case "schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "validate" `Quick test_backoff_validate ] );
+      ( "channel",
+        [ Alcotest.test_case "plans" `Quick test_channel_plans;
+          Alcotest.test_case "of_string" `Quick test_channel_of_string ] );
+      ( "registry",
+        [ registry_roundtrip_prop;
+          Alcotest.test_case "parse rejects" `Quick test_registry_parse_rejects;
+          Alcotest.test_case "save/load" `Quick test_registry_save_load;
+          Alcotest.test_case "duplicate enroll" `Quick test_registry_enroll_rejects_duplicates ] );
+      ( "cache",
+        [ Alcotest.test_case "memory tier" `Quick test_cache_memory_tier;
+          Alcotest.test_case "disk tier" `Quick test_cache_disk_tier;
+          Alcotest.test_case "key sensitivity" `Quick test_cache_key_sensitivity ] );
+      ( "pipeline",
+        [ Alcotest.test_case "personalize = build" `Quick test_personalize_equals_build ] );
+      ( "shipper",
+        [ Alcotest.test_case "clean delivery" `Quick test_shipper_clean_delivery;
+          Alcotest.test_case "retry recovers" `Quick test_shipper_retry_recovers;
+          Alcotest.test_case "exhaustion quarantines" `Quick test_shipper_exhaustion_quarantines;
+          Alcotest.test_case "signature refusals quarantine" `Quick
+            test_shipper_signature_refusals_quarantine ] );
+      ( "campaign",
+        [ Alcotest.test_case "happy path" `Quick test_campaign_happy_path;
+          Alcotest.test_case "execute" `Quick test_campaign_executes_when_asked;
+          Alcotest.test_case "hostile channel" `Quick test_campaign_hostile_channel_no_silent_drops;
+          Alcotest.test_case "retry recovers everyone" `Quick test_campaign_retry_recovers_everyone ] );
+      ( "rotation",
+        [ Alcotest.test_case "rekeys + reactivates" `Quick test_rotation_rekeys_and_reactivates;
+          Alcotest.test_case "revokes old packages" `Quick test_rotation_revokes_old_packages;
+          Alcotest.test_case "RSA in-band" `Slow test_rotation_rsa_in_band ] ) ]
