@@ -628,3 +628,72 @@ let ablations () =
   ablation_core_timing ();
   ablation_runtime_side_channel ();
   ablation_branch_predictor ()
+
+(* ------------------------------------------------------------------ *)
+(* Verification campaigns: differential fuzzing throughput and         *)
+(* fault-injection detection coverage                                  *)
+(* ------------------------------------------------------------------ *)
+
+let verif_source =
+  "int g0[4] = {3, 1, 4, 1};\n\
+   int main() {\n\
+  \  int acc = 0;\n\
+  \  for (int i = 0; i < 4; i++) { acc += g0[i] * (i + 1); }\n\
+  \  print_str(\"acc=\");\n\
+  \  println_int(acc);\n\
+  \  return acc & 255;\n\
+   }\n"
+
+let verif () =
+  Report.heading "Verification: differential fuzzing + fault-injection coverage";
+  (* 10k generated programs through all three execution paths; the
+     acceptance bar is zero divergences at fixed seeds. *)
+  let config = { Eric_verif.Fuzz.default_config with Eric_verif.Fuzz.count = 10_000 } in
+  let outcome = Eric_verif.Fuzz.run ~config () in
+  let stats = outcome.Eric_verif.Fuzz.stats in
+  let secs = Int64.to_float stats.Eric_verif.Fuzz.wall_ns /. 1e9 in
+  let rate = float_of_int stats.Eric_verif.Fuzz.programs /. secs in
+  Printf.printf "fuzz: %d programs (%d mutated), %d divergences, %d compile errors, %.1f exec/s\n"
+    stats.Eric_verif.Fuzz.programs stats.Eric_verif.Fuzz.mutated
+    stats.Eric_verif.Fuzz.divergences stats.Eric_verif.Fuzz.compile_errors rate;
+  Report.record ~suite:"verif" ~metric:"fuzz_programs" ~unit_:"count"
+    (float_of_int stats.Eric_verif.Fuzz.programs);
+  Report.record ~suite:"verif" ~metric:"fuzz_divergences" ~unit_:"count"
+    (float_of_int stats.Eric_verif.Fuzz.divergences);
+  Report.record ~suite:"verif" ~metric:"fuzz_compile_errors" ~unit_:"count"
+    (float_of_int stats.Eric_verif.Fuzz.compile_errors);
+  Report.record ~suite:"verif" ~metric:"fuzz_programs_per_sec" ~unit_:"1/s" rate;
+  (* Single-bit fault injections per region group.  Wire regions are
+     signed: detection must be total.  Dram (post-validation) measures
+     the residual exposure the paper accepts; Key measures the KMU path. *)
+  let inject regions count =
+    let config =
+      { Eric_verif.Inject.default_config with Eric_verif.Inject.count; regions }
+    in
+    match Eric_verif.Inject.campaign ~config verif_source with
+    | Error e -> failwith ("inject: " ^ e)
+    | Ok r -> r
+  in
+  let wire = inject Eric_verif.Inject.wire_regions 2_000 in
+  let dram = inject [ Eric_verif.Inject.Dram ] 1_000 in
+  let key = inject [ Eric_verif.Inject.Key ] 1_000 in
+  let rows =
+    List.map
+      (fun (r : Eric_verif.Inject.row) ->
+        [ Eric_verif.Inject.region_name r.Eric_verif.Inject.region;
+          Report.i r.Eric_verif.Inject.injections;
+          Report.i r.Eric_verif.Inject.detected;
+          Report.i r.Eric_verif.Inject.masked;
+          Report.i r.Eric_verif.Inject.silent;
+          Report.f1 (100.0 *. Eric_verif.Inject.coverage r) ])
+      (wire.Eric_verif.Inject.rows @ dram.Eric_verif.Inject.rows @ key.Eric_verif.Inject.rows)
+  in
+  Report.table ~header:[ "region"; "inj"; "detected"; "masked"; "silent"; "coverage %" ] rows;
+  Report.record ~suite:"verif" ~metric:"inject_wire_coverage_pct" ~unit_:"%"
+    (100.0 *. Eric_verif.Inject.detection_coverage wire);
+  Report.record ~suite:"verif" ~metric:"inject_wire_silent" ~unit_:"count"
+    (float_of_int (Eric_verif.Inject.silent_total wire));
+  Report.record ~suite:"verif" ~metric:"inject_key_coverage_pct" ~unit_:"%"
+    (100.0 *. Eric_verif.Inject.detection_coverage key);
+  Report.record ~suite:"verif" ~metric:"inject_dram_coverage_pct" ~unit_:"%"
+    (100.0 *. Eric_verif.Inject.detection_coverage dram)

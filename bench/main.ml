@@ -2,7 +2,7 @@
    the paper's evaluation (see DESIGN.md's experiment index), the ablation
    studies, and the bechamel microbenchmarks.
 
-   Usage: main.exe [table1|table2|fig5|fig6|fig7|ablations|lint|fleet|micro|all]... *)
+   Usage: main.exe [table1|table2|fig5|fig6|fig7|ablations|lint|fleet|verif|micro|all]... *)
 
 let experiments =
   [ ("table1", Experiments.table1);
@@ -13,13 +13,56 @@ let experiments =
     ("ablations", Experiments.ablations);
     ("lint", Experiments.lint);
     ("fleet", Experiments.fleet);
+    ("verif", Experiments.verif);
     ("micro", Micro.run) ]
 
 let run_all () = List.iter (fun (_, f) -> f ()) experiments
 
 (* Dump every bench.result{suite,metric,unit} gauge the run recorded
-   (see Report.record) as machine-readable JSON, one row per metric. *)
+   (see Report.record) as machine-readable JSON, one row per metric.
+   Suites not exercised by this run keep their rows from the existing
+   file, so a partial run (e.g. `main.exe verif`) refreshes its own
+   numbers without discarding everyone else's. *)
 let results_file = "BENCH_results.json"
+
+(* The file is our own output, so its shape is exact:
+   [{"suite":"...",...},{...}].  Recover (suite, raw object) pairs with
+   plain string surgery rather than a JSON parser. *)
+let existing_rows () =
+  if not (Sys.file_exists results_file) then []
+  else begin
+    let text = String.trim (In_channel.with_open_bin results_file In_channel.input_all) in
+    (* split "[{..},{..},{..}]" into "{..}" pieces: no nesting, and no
+       string value can contain braces (suite/metric/unit names only) *)
+    let objects = ref [] and depth = ref 0 and start = ref 0 in
+    String.iteri
+      (fun i c ->
+        match c with
+        | '{' ->
+          if !depth = 0 then start := i;
+          incr depth
+        | '}' ->
+          decr depth;
+          if !depth = 0 then objects := String.sub text !start (i - !start + 1) :: !objects
+        | _ -> ())
+      text;
+    List.filter_map
+      (fun obj ->
+        let marker = {|"suite":"|} in
+        let mlen = String.length marker in
+        let rec find i =
+          if i + mlen > String.length obj then None
+          else if String.sub obj i mlen = marker then Some (i + mlen)
+          else find (i + 1)
+        in
+        match find 0 with
+        | None -> None
+        | Some start -> (
+          match String.index_from_opt obj start '"' with
+          | None -> None
+          | Some stop -> Some (String.sub obj start (stop - start), obj)))
+      (List.rev !objects)
+  end
 
 let write_results () =
   let snapshot = Eric_telemetry.Snapshot.capture () in
@@ -30,21 +73,29 @@ let write_results () =
         else
           let label key = Option.value ~default:"" (List.assoc_opt key labels) in
           Some
-            (Eric_telemetry.Json.Obj
-               [ ("suite", Eric_telemetry.Json.Str (label "suite"));
-                 ("metric", Eric_telemetry.Json.Str (label "metric"));
-                 ("value", Eric_telemetry.Json.Num value);
-                 ("unit", Eric_telemetry.Json.Str (label "unit")) ]))
+            ( label "suite",
+              Eric_telemetry.Json.to_string
+                (Eric_telemetry.Json.Obj
+                   [ ("suite", Eric_telemetry.Json.Str (label "suite"));
+                     ("metric", Eric_telemetry.Json.Str (label "metric"));
+                     ("value", Eric_telemetry.Json.Num value);
+                     ("unit", Eric_telemetry.Json.Str (label "unit")) ]) ))
       snapshot.Eric_telemetry.Snapshot.gauges
   in
   if rows <> [] then begin
+    let fresh_suites = List.map fst rows in
+    let kept =
+      List.filter (fun (suite, _) -> not (List.mem suite fresh_suites)) (existing_rows ())
+    in
+    let all = List.map snd kept @ List.map snd rows in
     let oc = open_out results_file in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
-        output_string oc (Eric_telemetry.Json.to_string (Eric_telemetry.Json.List rows));
+        output_string oc ("[" ^ String.concat "," all ^ "]");
         output_char oc '\n');
-    Printf.printf "\n%d results -> %s\n" (List.length rows) results_file
+    Printf.printf "\n%d results -> %s (%d kept from previous runs)\n" (List.length rows)
+      results_file (List.length kept)
   end
 
 let () =

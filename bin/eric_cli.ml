@@ -8,7 +8,18 @@
      analyze   static-analysis metrics of an image or package text
      run       execute a plain image, or a package on its device
      puf       show a device's PUF identity and derived key
-     fleet     enroll devices, run deployment campaigns, rotate keys *)
+     fleet     enroll devices, run deployment campaigns, rotate keys
+     verif     differential fuzzing and fault-injection campaigns
+
+   Exit codes are uniform across subcommands:
+     0    success
+     1    internal error (compilation failure, I/O, ...)
+     2    command-line usage error (cmdliner)
+     3    campaign found failures or did not complete
+     4    malformed input (unparseable package or image)
+     5    the device's validation unit refused a package
+     124  the executed program faulted
+     125  the executed program ran out of fuel *)
 
 open Cmdliner
 
@@ -22,11 +33,42 @@ let write_file path data =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc data)
 
-let or_die = function
-  | Ok v -> v
-  | Error msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
+(* Exit codes, as documented in every subcommand's EXIT STATUS section. *)
+let exit_internal = 1
+let exit_failures = 3
+let exit_malformed = 4
+let exit_refused = 5
+
+let die ?(code = exit_internal) msg =
+  Printf.eprintf "error: %s\n" msg;
+  exit code
+
+let or_die = function Ok v -> v | Error msg -> die msg
+
+let or_die_malformed = function Ok v -> v | Error msg -> die ~code:exit_malformed msg
+
+let load_error_code = function
+  | Eric.Target.Malformed _ -> exit_malformed
+  | Eric.Target.Rejected _ -> exit_refused
+
+let campaign_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info exit_internal ~doc:"on internal errors (compilation failure, I/O).";
+    Cmd.Exit.info exit_failures ~doc:"when the campaign found failures or did not complete.";
+    Cmd.Exit.info exit_malformed ~doc:"when an input file is malformed.";
+  ]
+
+let run_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success (the program's own exit code otherwise).";
+    Cmd.Exit.info exit_malformed
+      ~doc:"when the input is neither a well-formed package nor a plain image.";
+    Cmd.Exit.info exit_refused
+      ~doc:"when the device's validation unit refused the package (framing or signature).";
+    Cmd.Exit.info 124 ~doc:"when the program faulted.";
+    Cmd.Exit.info 125 ~doc:"when the program ran out of fuel.";
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -67,11 +109,13 @@ let mode_conv =
   in
   Arg.conv (parse, fun fmt m -> Eric.Config.pp_mode fmt m)
 
-let mode_arg =
+let mode_arg_with default =
   Arg.(
     value
-    & opt mode_conv Eric.Config.Full
+    & opt mode_conv default
     & info [ "mode" ] ~docv:"MODE" ~doc:"Encryption mode: full, partial[:frac], field-imm, field-all.")
+
+let mode_arg = mode_arg_with Eric.Config.Full
 
 let options_of ~no_compress ~no_optimize =
   { Eric_cc.Driver.default_options with
@@ -376,14 +420,14 @@ let inspect_cmd =
     match Eric.Package.parse data with
     | Ok pkg -> Format.printf "%a@." Eric.Package.pp_summary pkg
     | Error _ ->
-      let image = or_die (Eric_rv.Program.of_binary data) in
+      let image = or_die_malformed (Eric_rv.Program.of_binary data) in
       Format.printf "%a@." Eric_rv.Program.pp_summary image
   in
   Cmd.v (Cmd.info "inspect" ~doc:"Describe an image or package.") Term.(const run $ file_arg)
 
 let disasm_cmd =
   let run path =
-    let image = or_die (Eric_rv.Program.of_binary (Bytes.of_string (read_file path))) in
+    let image = or_die_malformed (Eric_rv.Program.of_binary (Bytes.of_string (read_file path))) in
     let lines = Eric_rv.Disasm.disassemble_stream (Eric_rv.Program.text_bytes image) in
     match image.Eric_rv.Program.symbols with
     | [] -> Format.printf "%a" Eric_rv.Disasm.pp_listing lines
@@ -401,7 +445,7 @@ let analyze_cmd =
       match Eric.Package.parse data with
       | Ok pkg -> (pkg.Eric.Package.enc_text, None)
       | Error _ ->
-        let image = or_die (Eric_rv.Program.of_binary data) in
+        let image = or_die_malformed (Eric_rv.Program.of_binary data) in
         (Eric_rv.Program.text_bytes image, Some image)
     in
     Format.printf "%a@." Eric.Analysis.pp_static_report (Eric.Analysis.static_analysis text);
@@ -463,13 +507,13 @@ let run_cmd =
         match Eric.Target.receive target pkg with
         | Error e ->
           Printf.eprintf "error: %s\n" (Format.asprintf "%a" Eric.Target.pp_load_error e);
-          exit 1
+          exit (load_error_code e)
         | Ok loaded ->
           let image = loaded.Eric.Target.image in
           with_trace image (Eric_sim.Soc.load image)
             loaded.Eric.Target.load.Eric_hw.Hde.total_cycles)
       | Error _ ->
-        let image = or_die (Eric_rv.Program.of_binary data) in
+        let image = or_die_malformed (Eric_rv.Program.of_binary data) in
         with_trace image (Eric_sim.Soc.load image) (Eric_sim.Soc.plain_load_cycles image)
     in
     print_string result.Eric_sim.Soc.output;
@@ -495,7 +539,7 @@ let run_cmd =
       & info [ "trace" ] ~docv:"N" ~doc:"Print the first N executed instructions to stderr.")
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run an image, or a package on its device.")
+    (Cmd.info "run" ~exits:run_exits ~doc:"Run an image, or a package on its device.")
     Term.(const run $ file_arg $ device_id_arg $ fuel_arg $ trace_arg $ telemetry_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -689,6 +733,318 @@ let fleet_cmd =
           the registry.")
     [ fleet_enroll_cmd; fleet_campaign_cmd; fleet_rotate_cmd; fleet_status_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* Verification: differential fuzzing and fault injection              *)
+(* ------------------------------------------------------------------ *)
+
+(* A small workload with both string data and computed output, so every
+   package region (map, payload, data) is non-empty for injections. *)
+let verif_default_source =
+  "int g0[4] = {3, 1, 4, 1};\n\
+   int main() {\n\
+  \  int acc = 0;\n\
+  \  for (int i = 0; i < 4; i++) { acc += g0[i] * (i + 1); }\n\
+  \  print_str(\"acc=\");\n\
+  \  println_int(acc);\n\
+  \  return acc & 255;\n\
+   }\n"
+
+let verif_seed_arg ~default =
+  Arg.(value & opt int64 default & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign PRNG seed.")
+
+let verif_count_arg ~default ~doc =
+  Arg.(value & opt int default & info [ "count" ] ~docv:"N" ~doc)
+
+let verif_fuel_arg =
+  Arg.(
+    value
+    & opt int Eric_verif.Oracle.default_fuel
+    & info [ "fuel" ] ~docv:"N" ~doc:"Instruction budget per execution.")
+
+let regions_conv =
+  let parse s =
+    match s with
+    | "wire" -> Ok Eric_verif.Inject.wire_regions
+    | "all" -> Ok Eric_verif.Inject.all_regions
+    | s -> (
+      let rec build acc = function
+        | [] -> Ok (List.rev acc)
+        | name :: rest -> (
+          match Eric_verif.Inject.region_of_string name with
+          | Ok r -> build (r :: acc) rest
+          | Error e -> Error (`Msg e))
+      in
+      build [] (String.split_on_char ',' s))
+  in
+  let print fmt regions =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map Eric_verif.Inject.region_name regions))
+  in
+  Arg.conv (parse, print)
+
+let verif_fuzz_cmd =
+  let run count seed size mode device_id fuel corpus mutate_pct shrink_budget max_failures
+      quiet telemetry trace_out =
+    setup_telemetry telemetry trace_out;
+    let config =
+      {
+        Eric_verif.Fuzz.count;
+        seed;
+        size;
+        mode;
+        device_id;
+        fuel;
+        corpus_dir = corpus;
+        mutate_pct;
+        shrink_budget;
+        max_failures;
+      }
+    in
+    let on_progress n =
+      if not quiet then Format.eprintf "... %d/%d programs@." n count
+    in
+    let outcome = Eric_verif.Fuzz.run ~config ~on_progress () in
+    Format.printf "%a@." Eric_verif.Fuzz.pp_stats outcome.Eric_verif.Fuzz.stats;
+    List.iter
+      (fun f -> Format.printf "@.%a@." Eric_verif.Fuzz.pp_failure f)
+      outcome.Eric_verif.Fuzz.failures;
+    if outcome.Eric_verif.Fuzz.failures <> [] then exit exit_failures
+  in
+  let size_arg =
+    Arg.(
+      value & opt int Eric_verif.Fuzz.default_config.Eric_verif.Fuzz.size
+      & info [ "size" ] ~docv:"N" ~doc:"Generator size budget (statements per program).")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Persist minimised reproducers to DIR.")
+  in
+  let mutate_pct_arg =
+    Arg.(
+      value & opt int Eric_verif.Fuzz.default_config.Eric_verif.Fuzz.mutate_pct
+      & info [ "mutate-pct" ] ~docv:"PCT"
+          ~doc:"Percentage of programs produced by trace mutation instead of fresh generation.")
+  in
+  let shrink_budget_arg =
+    Arg.(
+      value & opt int Eric_verif.Fuzz.default_config.Eric_verif.Fuzz.shrink_budget
+      & info [ "shrink-budget" ] ~docv:"N" ~doc:"Maximum oracle runs per finding while shrinking.")
+  in
+  let max_failures_arg =
+    Arg.(
+      value & opt int Eric_verif.Fuzz.default_config.Eric_verif.Fuzz.max_failures
+      & info [ "max-failures" ] ~docv:"N" ~doc:"Stop the campaign after N findings.")
+  in
+  let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"No progress output.") in
+  Cmd.v
+    (Cmd.info "fuzz" ~exits:campaign_exits
+       ~doc:
+         "Differential fuzzing: generate MiniC programs and compare the IR interpreter, the \
+          plain compiled image and the full encrypt-ship-decrypt-validate path.  Any \
+          divergence is shrunk to a minimal reproducer.  Exits 3 if anything diverged.")
+    Term.(
+      const run
+      $ verif_count_arg ~default:1000 ~doc:"Programs to generate and run."
+      $ verif_seed_arg ~default:0xF22DL $ size_arg
+      $ mode_arg $ device_id_arg $ verif_fuel_arg $ corpus_arg $ mutate_pct_arg
+      $ shrink_budget_arg $ max_failures_arg $ quiet_arg $ telemetry_arg $ trace_out_arg)
+
+let verif_inject_cmd =
+  let run source_opt regions count seed mode device_id fuel corpus telemetry trace_out =
+    setup_telemetry telemetry trace_out;
+    let source =
+      match source_opt with Some path -> read_file path | None -> verif_default_source
+    in
+    let config =
+      { Eric_verif.Inject.fuel; mode; device_id; seed; count; regions }
+    in
+    match Eric_verif.Inject.campaign ~config source with
+    | Error msg -> die msg
+    | Ok report ->
+      Format.printf "%a@." Eric_verif.Inject.pp_report report;
+      let escaped_protected =
+        List.filter
+          (fun e -> e.Eric_verif.Inject.e_region <> Eric_verif.Inject.Dram)
+          report.Eric_verif.Inject.escapes
+      in
+      (match corpus with
+      | None -> ()
+      | Some dir ->
+        List.iter
+          (fun e ->
+            let entry =
+              {
+                Eric_verif.Corpus.kind =
+                  Eric_verif.Corpus.Injection_escape
+                    {
+                      region = Eric_verif.Inject.region_name e.Eric_verif.Inject.e_region;
+                      bit = e.Eric_verif.Inject.e_bit;
+                    };
+                seed;
+                trace = [||];
+                source;
+                note = "single-bit flip escaped detection";
+              }
+            in
+            match Eric_verif.Corpus.save ~dir entry with
+            | Ok path -> Format.eprintf "escape saved: %s@." path
+            | Error msg -> Format.eprintf "warning: could not save escape: %s@." msg)
+          escaped_protected);
+      if escaped_protected <> [] then
+        die ~code:exit_failures
+          (Printf.sprintf "%d silent corruption(s) escaped detection in protected regions"
+             (List.length escaped_protected))
+  in
+  let source_arg =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"SOURCE.mc" ~doc:"MiniC workload (default: a built-in workload).")
+  in
+  let regions_arg =
+    Arg.(
+      value
+      & opt regions_conv Eric_verif.Inject.wire_regions
+      & info [ "region"; "regions" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated injection regions (header, map, payload, data, signature, dram, \
+             key), or the aliases 'wire' and 'all'.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Persist escape reproducers to DIR.")
+  in
+  Cmd.v
+    (Cmd.info "inject" ~exits:campaign_exits
+       ~doc:
+         "Fault injection: flip single bits in package regions in transit, in DRAM after \
+          validation, or in the device key, and classify each flip as detected, masked or \
+          silent corruption.  Exits 3 on silent corruption anywhere the HDE is supposed to \
+          protect (everywhere but dram).")
+    Term.(
+      const run $ source_arg $ regions_arg
+      $ verif_count_arg ~default:1000 ~doc:"Number of single-bit injections."
+      $ verif_seed_arg ~default:0x1A7EC7L
+      $ mode_arg_with Eric_verif.Inject.default_config.Eric_verif.Inject.mode
+      $ device_id_arg $ verif_fuel_arg $ corpus_arg $ telemetry_arg $ trace_out_arg)
+
+let verif_shrink_cmd =
+  let run file size fuel mode device_id budget =
+    let entry = or_die_malformed (Eric_verif.Corpus.load file) in
+    let oracle source = Eric_verif.Oracle.run ~fuel ~mode ~device_id source in
+    let failing =
+      match entry.Eric_verif.Corpus.kind with
+      | Eric_verif.Corpus.Injection_escape _ ->
+        die "injection-escape reproducers replay a whole campaign and cannot be shrunk"
+      | Eric_verif.Corpus.Divergence ->
+        fun trace ->
+          (match oracle (Eric_verif.Gen.of_trace ~size trace).Eric_verif.Gen.source with
+          | Ok r -> not (Eric_verif.Oracle.agree r)
+          | Error _ -> false)
+      | Eric_verif.Corpus.Compile_error ->
+        fun trace ->
+          (match oracle (Eric_verif.Gen.of_trace ~size trace).Eric_verif.Gen.source with
+          | Error _ -> true
+          | Ok _ -> false)
+    in
+    if not (failing entry.Eric_verif.Corpus.trace) then begin
+      Format.printf "%s no longer reproduces@." file;
+      exit 0
+    end;
+    let min_trace, tests =
+      Eric_verif.Shrink.minimize ~max_tests:budget ~failing entry.Eric_verif.Corpus.trace
+    in
+    let min_prog = Eric_verif.Gen.of_trace ~size min_trace in
+    let entry =
+      { entry with
+        Eric_verif.Corpus.trace = min_prog.Eric_verif.Gen.trace;
+        source = min_prog.Eric_verif.Gen.source }
+    in
+    write_file file (Bytes.of_string (Eric_verif.Corpus.to_string entry));
+    Format.printf "%s: %d draws after %d oracle runs@.%s@." file
+      (Array.length min_prog.Eric_verif.Gen.trace)
+      tests min_prog.Eric_verif.Gen.source;
+    exit exit_failures
+  in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE.repro" ~doc:"Reproducer written by 'verif fuzz --corpus'.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int Eric_verif.Fuzz.default_config.Eric_verif.Fuzz.size
+      & info [ "size" ] ~docv:"N" ~doc:"Generator size budget used by the original campaign.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "budget" ] ~docv:"N" ~doc:"Maximum oracle runs to spend shrinking.")
+  in
+  Cmd.v
+    (Cmd.info "shrink" ~exits:campaign_exits
+       ~doc:
+         "Re-minimise a persisted reproducer in place.  Exits 3 when the reproducer still \
+          fails (i.e. there is still a bug), 0 when it no longer reproduces.")
+    Term.(
+      const run $ file_arg $ size_arg $ verif_fuel_arg $ mode_arg $ device_id_arg $ budget_arg)
+
+let verif_corpus_cmd =
+  let run dir replay fuel mode device_id =
+    let entries = Eric_verif.Corpus.list ~dir in
+    if entries = [] then Format.printf "%s: empty corpus@." dir;
+    let bad = ref 0 and still = ref 0 in
+    List.iter
+      (fun (path, result) ->
+        match result with
+        | Error msg ->
+          incr bad;
+          Format.printf "%s: unreadable: %s@." path msg
+        | Ok entry ->
+          Format.printf "%s: %a@." path Eric_verif.Corpus.pp_entry entry;
+          if replay then (
+            match entry.Eric_verif.Corpus.kind with
+            | Eric_verif.Corpus.Injection_escape _ -> ()
+            | Eric_verif.Corpus.Divergence | Eric_verif.Corpus.Compile_error -> (
+              match Eric_verif.Fuzz.replay ~fuel ~mode ~device_id entry with
+              | Error msg ->
+                incr still;
+                Format.printf "  still fails to compile: %s@." msg
+              | Ok r ->
+                if Eric_verif.Oracle.agree r then Format.printf "  no longer diverges@."
+                else begin
+                  incr still;
+                  Format.printf "  still diverges:@.  %a@." Eric_verif.Oracle.pp_report r
+                end)))
+      entries;
+    if !bad > 0 then exit exit_malformed;
+    if !still > 0 then exit exit_failures
+  in
+  let dir_arg =
+    Arg.(
+      value & pos 0 dir "verif-corpus"
+      & info [] ~docv:"DIR" ~doc:"Corpus directory (default: verif-corpus).")
+  in
+  let replay_arg =
+    Arg.(value & flag & info [ "replay" ] ~doc:"Re-run each reproducer through the oracle.")
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~exits:campaign_exits
+       ~doc:
+         "List a reproducer corpus; with --replay, re-run every entry and exit 3 if any \
+          still fails (4 if any entry is unreadable).")
+    Term.(const run $ dir_arg $ replay_arg $ verif_fuel_arg $ mode_arg $ device_id_arg)
+
+let verif_cmd =
+  Cmd.group
+    (Cmd.info "verif"
+       ~doc:
+         "Verification campaigns: differential fuzzing across the interpreter, plain and \
+          encrypted execution paths, fault-injection coverage measurement, and reproducer \
+          corpus maintenance.")
+    [ verif_fuzz_cmd; verif_inject_cmd; verif_shrink_cmd; verif_corpus_cmd ]
+
 let puf_cmd =
   let run device_id =
     let device = Eric_puf.Device.manufacture device_id in
@@ -710,4 +1066,4 @@ let puf_cmd =
 
 let () =
   let doc = "ERIC: PUF-keyed software obfuscation and trusted execution" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "eric" ~doc) [ compile_cmd; emit_asm_cmd; asm_cmd; build_cmd; inspect_cmd; disasm_cmd; analyze_cmd; lint_cmd; run_cmd; puf_cmd; fleet_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "eric" ~doc) [ compile_cmd; emit_asm_cmd; asm_cmd; build_cmd; inspect_cmd; disasm_cmd; analyze_cmd; lint_cmd; run_cmd; puf_cmd; fleet_cmd; verif_cmd ]))

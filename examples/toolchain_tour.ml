@@ -99,6 +99,21 @@ let () =
         (Eric_fleet.Artifact_cache.outcome_label wave2.Eric_fleet.Campaign.cache)
         wave2.Eric_fleet.Campaign.delivered));
 
-  (* 7. what the instrumentation saw: per-stage spans and SoC gauges *)
+  (* 7. a short differential-fuzz burst: generated MiniC programs run
+     through the IR interpreter, the plain compiled image and the full
+     encrypt-ship-decrypt-validate path; any disagreement would be a
+     toolchain bug, shrunk to a minimal reproducer *)
+  print_endline "\n=== differential fuzz (60 generated programs) ===";
+  let outcome =
+    Eric_verif.Fuzz.run
+      ~config:{ Eric_verif.Fuzz.default_config with Eric_verif.Fuzz.count = 60; seed = 0x70FFL }
+      ()
+  in
+  Format.printf "%a@." Eric_verif.Fuzz.pp_stats outcome.Eric_verif.Fuzz.stats;
+  List.iter
+    (fun f -> Format.printf "%a@." Eric_verif.Fuzz.pp_failure f)
+    outcome.Eric_verif.Fuzz.failures;
+
+  (* 8. what the instrumentation saw: per-stage spans and SoC gauges *)
   print_endline "\n=== telemetry ===";
   Format.printf "%a@." Eric_telemetry.Export.pp_table (Eric_telemetry.Snapshot.capture ())

@@ -87,11 +87,21 @@ let parse b =
     if Bytes.length b = expected then Ok ()
     else Error (Printf.sprintf "package length %d does not match header (%d)" (Bytes.length b) expected)
   in
+  (* Parcels are 2 or 4 bytes, so a consistent header has
+     2*parcel_count <= text_len <= 4*parcel_count.  An attacker shrinking
+     or growing one of the two fields must be caught here, before any
+     keystream or signature work happens. *)
+  let* () =
+    if text_len >= 2 * parcel_count && text_len <= 4 * parcel_count then Ok ()
+    else Error "parcel count inconsistent with text length"
+  in
   let* map =
     match kind with
     | M_full -> if map_len = 0 then Ok None else Error "full-encryption package carries a map"
     | M_partial | M_field _ ->
-      if map_len < (parcel_count + 7) / 8 then Error "encryption map shorter than parcel count"
+      let exact = (parcel_count + 7) / 8 in
+      if map_len < exact then Error "encryption map shorter than parcel count"
+      else if map_len > exact then Error "encryption map longer than parcel count"
       else begin
         let raw = Bytes.sub b header_size map_len in
         let map = Eric_util.Bitvec.of_bytes ~len:parcel_count raw in
@@ -103,6 +113,12 @@ let parse b =
   let off = header_size + map_len in
   let* () =
     if entry_offset >= 0 && entry_offset <= text_len then Ok () else Error "entry out of range"
+  in
+  let* () =
+    if entry_offset land 1 = 0 then Ok () else Error "entry not parcel-aligned"
+  in
+  let* () =
+    if entry_offset = text_len && text_len > 0 then Error "entry out of range" else Ok ()
   in
   Ok
     {

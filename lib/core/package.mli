@@ -50,6 +50,14 @@ val authenticated_header : t -> bytes
     construction). *)
 
 val serialize : t -> bytes
+
 val parse : bytes -> (t, string) result
+(** Strict: every wire bit is either interpreted or rejected.  Beyond
+    framing (magic, version, known mode tag, zero reserved flags, exact
+    total length), the header must be internally consistent — the map is
+    exactly [ceil(parcel_count/8)] bytes with zero padding bits (absent
+    for full encryption), [2*parcel_count <= text_len <= 4*parcel_count]
+    since parcels are 2 or 4 bytes, and the entry offset is
+    parcel-aligned inside the text section. *)
 
 val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(** Persisted reproducer corpus.
+
+    Every fuzz divergence, compile error or injection escape is written to
+    a corpus directory as a small self-contained text file carrying the
+    failure class, the seed, the (minimised) decision trace and the MiniC
+    source it replays to.  CI uploads the directory on failure; a later
+    session reproduces with [eric verif shrink FILE] or by replaying the
+    trace.  Entries double as mutation seeds for the fuzz loop. *)
+
+type kind =
+  | Divergence
+  | Compile_error
+  | Injection_escape of { region : string; bit : int }
+
+type entry = {
+  kind : kind;
+  seed : int64;  (** campaign seed that produced the failure *)
+  trace : int array;  (** replays to [source] via {!Gen.of_trace} *)
+  source : string;
+  note : string;  (** one-line human summary (oracle verdicts, ...) *)
+}
+
+val entry_id : entry -> string
+(** Stable content hash prefix; used as the file-name stem. *)
+
+val file_name : entry -> string
+
+val to_string : entry -> string
+(** The on-disk reproducer format ([ERIC-VERIF-REPRO 1]). *)
+
+val parse : string -> (entry, string) result
+
+val save : dir:string -> entry -> (string, string) result
+(** Write (creating [dir] if needed); returns the path. *)
+
+val load : string -> (entry, string) result
+
+val list : dir:string -> (string * (entry, string) result) list
+(** Every [.repro] file in [dir], sorted by name.  Unreadable entries are
+    reported, not skipped — a corrupt corpus should be visible. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,68 @@
+(** The differential fuzz campaign: generate, run all three paths,
+    compare, shrink what disagrees.
+
+    Each iteration either generates a fresh program from a derived seed
+    or mutates the decision trace of a recent well-behaved program
+    ({!Mutate}), runs it through the {!Oracle}, and treats any
+    disagreement — or any failure to compile, since the generator only
+    emits well-formed MiniC — as a finding.  Findings are minimised with
+    {!Shrink} and persisted as reproducers via {!Corpus} when a corpus
+    directory is configured.
+
+    Determinism: the whole campaign is a pure function of [config]
+    (modulo wall-clock in [stats]), so CI failures replay locally from
+    the seed alone. *)
+
+type config = {
+  count : int;  (** programs to run *)
+  seed : int64;
+  size : int;  (** generator size budget, see {!Gen.generate} *)
+  mode : Eric.Config.mode;
+  device_id : int64;
+  fuel : int;
+  corpus_dir : string option;  (** persist minimised reproducers here *)
+  mutate_pct : int;  (** percentage of iterations that mutate the pool *)
+  shrink_budget : int;  (** max oracle runs per finding during shrinking *)
+  max_failures : int;  (** stop the campaign after this many findings *)
+}
+
+val default_config : config
+
+type failure = {
+  f_kind : Corpus.kind;
+  f_seed : int64;
+  f_trace : int array;  (** minimised decision trace *)
+  f_source : string;  (** minimised program *)
+  f_note : string;  (** one-line description of the disagreement *)
+  f_shrink_tests : int;
+  f_path : string option;  (** where the reproducer was saved, if anywhere *)
+}
+
+type stats = {
+  programs : int;
+  divergences : int;
+  compile_errors : int;
+  exhausted : int;
+      (** programs dropped because some path hit the fuel limit — an
+          incomparable report, neither a pass nor a finding *)
+  mutated : int;  (** how many programs came from the mutation engine *)
+  shrink_tests : int;
+  wall_ns : int64;
+}
+
+type outcome = { stats : stats; failures : failure list }
+
+val run : ?config:config -> ?on_progress:(int -> unit) -> unit -> outcome
+(** [run ()] executes the campaign.  [on_progress] is called with the
+    running program count every 500 programs.  Counters:
+    [verif.programs_total], [verif.divergences_total],
+    [verif.compile_errors_total] (and [verif.shrink_tests_total] via
+    {!Shrink}). *)
+
+val replay : ?fuel:int -> ?mode:Eric.Config.mode -> ?device_id:int64 ->
+  Corpus.entry -> (Oracle.report, string) result
+(** Re-run a persisted reproducer's trace through the oracle (the entry's
+    [source] is informative; the trace is authoritative). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,221 @@
+type region = Header | Map | Payload | Data | Signature | Dram | Key
+
+let region_name = function
+  | Header -> "header"
+  | Map -> "map"
+  | Payload -> "payload"
+  | Data -> "data"
+  | Signature -> "signature"
+  | Dram -> "dram"
+  | Key -> "key"
+
+let region_of_string = function
+  | "header" -> Ok Header
+  | "map" -> Ok Map
+  | "payload" -> Ok Payload
+  | "data" -> Ok Data
+  | "signature" -> Ok Signature
+  | "dram" -> Ok Dram
+  | "key" -> Ok Key
+  | s ->
+    Error
+      (Printf.sprintf "unknown region %S (expected header|map|payload|data|signature|dram|key)" s)
+
+let wire_regions = [ Header; Map; Payload; Data; Signature ]
+let all_regions = wire_regions @ [ Dram; Key ]
+
+type outcome = Detected of string | Masked | Silent
+
+let outcome_label = function Detected _ -> "detected" | Masked -> "masked" | Silent -> "silent"
+
+type row = {
+  region : region;
+  injections : int;
+  detected : int;
+  masked : int;
+  silent : int;
+}
+
+type escape = { e_region : region; e_bit : int }
+
+type report = { rows : row list; escapes : escape list; baseline : Oracle.behaviour }
+
+let coverage row =
+  let consequential = row.detected + row.silent in
+  if consequential = 0 then 1.0 else float_of_int row.detected /. float_of_int consequential
+
+let pooled f report =
+  List.fold_left (fun acc row -> acc + f row) 0 report.rows
+
+let detection_coverage report =
+  let detected = pooled (fun r -> r.detected) report in
+  let silent = pooled (fun r -> r.silent) report in
+  if detected + silent = 0 then 1.0
+  else float_of_int detected /. float_of_int (detected + silent)
+
+let silent_total report = pooled (fun r -> r.silent) report
+
+type config = {
+  fuel : int;
+  mode : Eric.Config.mode;
+  device_id : int64;
+  seed : int64;
+  count : int;
+  regions : region list;
+}
+
+let default_config =
+  {
+    fuel = Oracle.default_fuel;
+    mode = Eric.Config.Partial Eric.Config.Select_all;
+    device_id = 0xD07L;
+    seed = 0x1A7EC7L;
+    count = 1000;
+    regions = wire_regions;
+  }
+
+let flip_bit buf ~bit =
+  let byte = bit / 8 and pos = bit mod 8 in
+  Bytes.set buf byte (Char.chr (Char.code (Bytes.get buf byte) lxor (1 lsl pos)))
+
+let campaign ?(config = default_config) source =
+  let ( let* ) = Result.bind in
+  let* () = if config.regions = [] then Error "no injection regions requested" else Ok () in
+  let* image = Eric_cc.Driver.compile source in
+  let target = Eric.Target.of_id config.device_id in
+  let key = Eric.Protocol.provision target in
+  let build = Eric.Source.package_image ~mode:config.mode ~key image in
+  let pkg = build.Eric.Source.package in
+  let wire = Eric.Package.serialize pkg in
+  let map_len =
+    match pkg.Eric.Package.map with
+    | None -> 0
+    | Some m -> Bytes.length (Eric_util.Bitvec.to_bytes m)
+  in
+  let text_len = Bytes.length pkg.Eric.Package.enc_text in
+  let data_len = Bytes.length pkg.Eric.Package.data in
+  let sig_len = Bytes.length pkg.Eric.Package.enc_signature in
+  let header_len = Eric.Package.header_size in
+  let wire_span = function
+    | Header -> (0, header_len)
+    | Map -> (header_len, map_len)
+    | Payload -> (header_len + map_len, text_len)
+    | Data -> (header_len + map_len + text_len, data_len)
+    | Signature -> (header_len + map_len + text_len + data_len, sig_len)
+    | Dram | Key -> invalid_arg "wire_span"
+  in
+  let region_bits = function
+    | Dram -> (Eric_rv.Program.text_size image + Bytes.length image.Eric_rv.Program.data) * 8
+    | Key -> Bytes.length key * 8
+    | r -> snd (wire_span r) * 8
+  in
+  let* () =
+    match List.find_opt (fun r -> region_bits r = 0) config.regions with
+    | Some r ->
+      Error
+        (Printf.sprintf "region %s is empty for this package (mode %s)" (region_name r)
+           (Format.asprintf "%a" Eric.Config.pp_mode config.mode))
+    | None -> Ok ()
+  in
+  (* Baseline: the clean package must validate, and its behaviour anchors
+     the masked/silent classification. *)
+  let* () =
+    match Eric.Target.receive_bytes target wire with
+    | Ok _ -> Ok ()
+    | Error e ->
+      Error (Format.asprintf "clean package refused: %a" Eric.Target.pp_load_error e)
+  in
+  let baseline = Oracle.of_result (Eric_sim.Soc.run_program ~fuel:config.fuel image) in
+  let* () =
+    match baseline with
+    | Oracle.Exhausted -> Error "baseline run exhausted its fuel; raise config.fuel"
+    | _ -> Ok ()
+  in
+  let classify_run behaviour ~trap_is_detection =
+    match behaviour with
+    | (Oracle.Trap _ | Oracle.Exhausted) when trap_is_detection ->
+      (* a fault that wedges or traps the core is caught by the trap
+         handler / watchdog, not silently computed through *)
+      Detected "cpu-trap"
+    | b -> if Oracle.behaviour_equal b baseline then Masked else Silent
+  in
+  let inject_once rng region =
+    let bit = Eric_util.Prng.int rng ~bound:(region_bits region) in
+    let outcome =
+      match region with
+      | Header | Map | Payload | Data | Signature ->
+        let off, _ = wire_span region in
+        let mutated = Bytes.copy wire in
+        flip_bit mutated ~bit:((off * 8) + bit);
+        (match Eric.Target.receive_bytes target mutated with
+        | Error e -> Detected (Eric.Target.refusal_reason e)
+        | Ok loaded ->
+          classify_run ~trap_is_detection:false
+            (Oracle.of_result
+               (Eric_sim.Soc.run_program ~fuel:config.fuel loaded.Eric.Target.image)))
+      | Dram ->
+        (* post-validation soft error in main memory: outside the HDE's
+           protection window by design *)
+        let memory = Eric_sim.Soc.load image in
+        let text_len = Eric_rv.Program.text_size image in
+        let byte = bit / 8 in
+        let addr =
+          if byte < text_len then Eric_rv.Program.Layout.text_base + byte
+          else Eric_rv.Program.Layout.data_base image + (byte - text_len)
+        in
+        Eric_sim.Memory.write_u8 memory addr
+          (Eric_sim.Memory.read_u8 memory addr lxor (1 lsl (bit mod 8)));
+        classify_run ~trap_is_detection:true
+          (Oracle.of_result
+             (Eric_sim.Soc.run_loaded ~fuel:config.fuel ~load_cycles:0L image memory))
+      | Key ->
+        let flipped = Bytes.copy key in
+        flip_bit flipped ~bit;
+        (match Eric.Encrypt.decrypt ~key:flipped pkg with
+        | Error (Eric.Encrypt.Framing_failure _) -> Detected "framing"
+        | Error Eric.Encrypt.Signature_mismatch -> Detected "signature"
+        | Ok (img, _) ->
+          classify_run ~trap_is_detection:false
+            (Oracle.of_result (Eric_sim.Soc.run_program ~fuel:config.fuel img)))
+    in
+    Eric_telemetry.Registry.inc "verif.injections_total"
+      ~labels:[ ("region", region_name region); ("outcome", outcome_label outcome) ];
+    (bit, outcome)
+  in
+  let rng = Eric_util.Prng.create ~seed:config.seed in
+  let counts =
+    List.map (fun r -> (r, ref { region = r; injections = 0; detected = 0; masked = 0; silent = 0 }))
+      config.regions
+  in
+  let escapes = ref [] in
+  let nregions = List.length config.regions in
+  for _ = 1 to config.count do
+    let region = List.nth config.regions (Eric_util.Prng.int rng ~bound:nregions) in
+    let bit, outcome = inject_once rng region in
+    let cell = List.assoc region counts in
+    let row = !cell in
+    cell :=
+      {
+        row with
+        injections = row.injections + 1;
+        detected = (row.detected + match outcome with Detected _ -> 1 | _ -> 0);
+        masked = (row.masked + match outcome with Masked -> 1 | _ -> 0);
+        silent = (row.silent + match outcome with Silent -> 1 | _ -> 0);
+      };
+    match outcome with
+    | Silent -> escapes := { e_region = region; e_bit = bit } :: !escapes
+    | Detected _ | Masked -> ()
+  done;
+  Ok { rows = List.map (fun (_, cell) -> !cell) counts; escapes = List.rev !escapes; baseline }
+
+let pp_report fmt report =
+  Format.fprintf fmt "@[<v>%-10s %10s %9s %7s %7s %9s@," "region" "injections" "detected"
+    "masked" "silent" "coverage";
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "%-10s %10d %9d %7d %7d %8.1f%%@," (region_name row.region)
+        row.injections row.detected row.masked row.silent (100.0 *. coverage row))
+    report.rows;
+  Format.fprintf fmt "overall detection coverage: %.2f%% (%d silent escapes)@]"
+    (100.0 *. detection_coverage report)
+    (silent_total report)

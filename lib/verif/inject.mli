@@ -1,0 +1,85 @@
+(** Fault-injection campaigns: flip bits, see who notices.
+
+    DESIGN §5 makes failure injection a first-class obligation: the
+    signature must detect tampering and soft errors in transit, and
+    wrong-key decryptions must never validate.  This engine turns those
+    claims into measured coverage.  Each injection flips one bit in a
+    chosen region and classifies the result:
+
+    - {b wire regions} ([Header], [Map], [Payload], [Data], [Signature]):
+      the flip happens to the serialized package between source and
+      device, i.e. in transit.  Everything here is covered by the
+      signature (the signature itself travels encrypted), so single-bit
+      detection must be 100%.
+    - {b Dram}: the flip happens in simulated main memory {e after} the
+      HDE validated the load — the paper's protection explicitly ends
+      here, so this region measures the residual exposure window, not a
+      requirement.  A CPU trap counts as detected.
+    - {b Key}: the flip happens in the device's KMU-derived key (HDE/KMU
+      state upset).  A wrong key must never produce a validating
+      decryption.
+
+    Classification: {e detected} (refused, or trapped for [Dram]),
+    {e masked} (accepted, behaviour identical to baseline) and
+    {e silent} (accepted, behaviour differs) — a silent corruption in a
+    signed region is a security bug and ships with its seed as an
+    escape. *)
+
+type region = Header | Map | Payload | Data | Signature | Dram | Key
+
+val region_name : region -> string
+val region_of_string : string -> (region, string) result
+
+val wire_regions : region list
+(** The signed, in-transit regions (no [Dram]/[Key]). *)
+
+val all_regions : region list
+
+type outcome = Detected of string | Masked | Silent
+
+type row = {
+  region : region;
+  injections : int;
+  detected : int;
+  masked : int;
+  silent : int;
+}
+
+type escape = { e_region : region; e_bit : int  (** bit offset within the region *) }
+
+type report = {
+  rows : row list;  (** one per requested region, in request order *)
+  escapes : escape list;
+  baseline : Oracle.behaviour;  (** the uninjected program's behaviour *)
+}
+
+val coverage : row -> float
+(** detected / (detected + silent): the fraction of consequential faults
+    that were caught.  1.0 when every fault was detected or masked. *)
+
+val detection_coverage : report -> float
+(** Coverage over all rows pooled. *)
+
+val silent_total : report -> int
+
+type config = {
+  fuel : int;
+  mode : Eric.Config.mode;  (** default partial/select-all, so a map exists *)
+  device_id : int64;
+  seed : int64;
+  count : int;
+  regions : region list;
+}
+
+val default_config : config
+
+val campaign : ?config:config -> string -> (report, string) result
+(** [campaign source] compiles, packages and baselines [source] once,
+    then runs [config.count] single-bit injections spread uniformly over
+    [config.regions].  [Error] on a source that does not compile, a
+    clean package that does not validate, or a requested region that is
+    empty for this package (e.g. [Map] under full encryption).
+    Each injection lands on the [verif.injections_total{region,outcome}]
+    telemetry family. *)
+
+val pp_report : Format.formatter -> report -> unit

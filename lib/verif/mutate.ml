@@ -1,0 +1,68 @@
+let value rng = Eric_util.Prng.int rng ~bound:1024
+
+let point rng t =
+  if Array.length t = 0 then [| value rng |]
+  else begin
+    let t = Array.copy t in
+    t.(Eric_util.Prng.int rng ~bound:(Array.length t)) <- value rng;
+    t
+  end
+
+let chunk rng t =
+  let n = Array.length t in
+  let start = Eric_util.Prng.int rng ~bound:(max 1 n) in
+  let len = 1 + Eric_util.Prng.int rng ~bound:(max 1 (n / 4 + 1)) in
+  (start, min len (n - start))
+
+let delete rng t =
+  let n = Array.length t in
+  if n <= 1 then t
+  else
+    let start, len = chunk rng t in
+    if len <= 0 || len >= n then t
+    else Array.append (Array.sub t 0 start) (Array.sub t (start + len) (n - start - len))
+
+let duplicate rng t =
+  let n = Array.length t in
+  if n = 0 then t
+  else
+    let start, len = chunk rng t in
+    if len <= 0 then t
+    else
+      Array.concat [ Array.sub t 0 (start + len); Array.sub t start len;
+                     Array.sub t (start + len) (n - start - len) ]
+
+let swap rng t =
+  let n = Array.length t in
+  if n < 2 then t
+  else begin
+    let t = Array.copy t in
+    let i = Eric_util.Prng.int rng ~bound:n and j = Eric_util.Prng.int rng ~bound:n in
+    let tmp = t.(i) in
+    t.(i) <- t.(j);
+    t.(j) <- tmp;
+    t
+  end
+
+let extend rng t =
+  let extra = Array.init (1 + Eric_util.Prng.int rng ~bound:8) (fun _ -> value rng) in
+  Array.append t extra
+
+let mutate ~rng t =
+  let edits = 1 + Eric_util.Prng.int rng ~bound:3 in
+  let t = ref t in
+  for _ = 1 to edits do
+    t :=
+      (match Eric_util.Prng.int rng ~bound:5 with
+      | 0 -> point rng !t
+      | 1 -> delete rng !t
+      | 2 -> duplicate rng !t
+      | 3 -> swap rng !t
+      | _ -> extend rng !t)
+  done;
+  !t
+
+let crossover ~rng a b =
+  let cut_a = Eric_util.Prng.int rng ~bound:(Array.length a + 1) in
+  let cut_b = Eric_util.Prng.int rng ~bound:(Array.length b + 1) in
+  Array.append (Array.sub a 0 cut_a) (Array.sub b cut_b (Array.length b - cut_b))

@@ -1,0 +1,14 @@
+(** Mutation engine over decision traces.
+
+    Because the generator is total over traces ({!Gen.of_trace} accepts
+    any integer array), mutation works on the trace, not on source text:
+    chop, splice, perturb and extend the decision sequence and replay it.
+    Every mutant is a well-formed, terminating program by construction —
+    there is no "parse the mutant and hope" step. *)
+
+val mutate : rng:Eric_util.Prng.t -> int array -> int array
+(** One mutant: 1-3 random edits (point perturbation, chunk deletion,
+    chunk duplication, chunk swap, tail extension) of the input trace. *)
+
+val crossover : rng:Eric_util.Prng.t -> int array -> int array -> int array
+(** Head of one trace spliced onto the tail of another. *)

@@ -1,0 +1,56 @@
+let remove t start len =
+  let n = Array.length t in
+  Array.append (Array.sub t 0 start) (Array.sub t (start + len) (n - start - len))
+
+let minimize ?(max_tests = 400) ~failing trace =
+  let tests = ref 0 in
+  let check t =
+    if !tests >= max_tests then false
+    else begin
+      incr tests;
+      if Eric_telemetry.Control.is_enabled () then
+        Eric_telemetry.Registry.inc "verif.shrink_tests_total";
+      failing t
+    end
+  in
+  if not (check trace) then (trace, !tests)
+  else begin
+    let cur = ref trace in
+    let progress = ref true in
+    while !progress && !tests < max_tests do
+      progress := false;
+      (* pass 1: chunk deletion, halving granularity *)
+      let chunk = ref (max 1 (Array.length !cur / 2)) in
+      while !chunk >= 1 do
+        let i = ref 0 in
+        while !i < Array.length !cur do
+          let len = min !chunk (Array.length !cur - !i) in
+          let candidate = remove !cur !i len in
+          if len > 0 && Array.length candidate < Array.length !cur && check candidate then begin
+            cur := candidate;
+            progress := true
+            (* retry the same index: the next chunk slid into place *)
+          end
+          else i := !i + !chunk
+        done;
+        chunk := !chunk / 2
+      done;
+      (* pass 2: value lowering (smaller draws = smaller grammar alternatives) *)
+      Array.iteri
+        (fun i v ->
+          if v > 0 then
+            List.iter
+              (fun candidate_v ->
+                if candidate_v < !cur.(i) then begin
+                  let candidate = Array.copy !cur in
+                  candidate.(i) <- candidate_v;
+                  if check candidate then begin
+                    cur := candidate;
+                    progress := true
+                  end
+                end)
+              [ 0; v / 2; v - 1 ])
+        (Array.copy !cur)
+    done;
+    (!cur, !tests)
+  end

@@ -1,0 +1,19 @@
+(** Delta debugging over decision traces.
+
+    Minimises a failing trace while a caller-supplied predicate keeps
+    holding.  Two alternating passes run to fixpoint (or budget):
+    chunk deletion at halving granularity (classic ddmin), then per-value
+    lowering (0, v/2, v-1) — lower decision values select syntactically
+    smaller alternatives in {!Gen}'s grammar, so value lowering shrinks
+    the program even when no draw can be removed.  Soundness needs
+    nothing from the predicate: the generator is total over traces, so
+    every candidate is a valid program. *)
+
+val minimize :
+  ?max_tests:int -> failing:(int array -> bool) -> int array -> int array * int
+(** [minimize ~failing trace] returns the smallest trace found still
+    satisfying [failing], and the number of predicate evaluations spent
+    (also counted on the [verif.shrink_tests_total] telemetry counter).
+    If [trace] itself does not satisfy [failing] it is returned
+    unchanged with 1 test. [max_tests] defaults to 400 — predicates that
+    re-run the differential oracle are expensive. *)

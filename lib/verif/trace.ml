@@ -1,0 +1,30 @@
+type src = Record of Eric_util.Prng.t | Replay of int array
+
+type t = {
+  src : src;
+  mutable rev : int list;  (* effective choices, newest first *)
+  mutable pos : int;
+}
+
+let recording ~seed = { src = Record (Eric_util.Prng.create ~seed); rev = []; pos = 0 }
+let replaying choices = { src = Replay choices; rev = []; pos = 0 }
+
+let draw t ~bound =
+  if bound < 1 then invalid_arg "Trace.draw: bound must be positive";
+  let v =
+    match t.src with
+    | Record rng -> Eric_util.Prng.int rng ~bound
+    | Replay arr ->
+      if t.pos < Array.length arr then
+        let raw = arr.(t.pos) in
+        (* clamp, don't reject: any array must replay to a valid program *)
+        let raw = if raw < 0 then -(raw + 1) else raw in
+        raw mod bound
+      else 0
+  in
+  t.pos <- t.pos + 1;
+  t.rev <- v :: t.rev;
+  v
+
+let recorded t = Array.of_list (List.rev t.rev)
+let draws t = t.pos

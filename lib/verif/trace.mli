@@ -1,0 +1,31 @@
+(** Decision traces: the choice source behind the program generator.
+
+    Every random decision the generator makes goes through {!draw}, so a
+    generated program is a pure function of the sequence of drawn values.
+    A [recording] trace draws fresh choices from a seeded PRNG and
+    remembers them; a [replaying] trace feeds back a previously recorded
+    (or mutated, or shrunk) sequence, substituting 0 once it runs dry.
+    Because [draw] clamps every replayed value into range, {e any} integer
+    array replays to {e some} valid program — which is what makes
+    delta-debugging over traces sound: the shrinker can chop and zero
+    freely and never has to know the generator's grammar. *)
+
+type t
+
+val recording : seed:int64 -> t
+(** Fresh choices from a PRNG; the whole stream is a function of [seed]. *)
+
+val replaying : int array -> t
+(** Replay [choices]; draws beyond the end return 0 (the generator's
+    "smallest" alternative by construction). *)
+
+val draw : t -> bound:int -> int
+(** Next decision, uniform (or replayed) in [\[0, bound)].  [bound >= 1]. *)
+
+val recorded : t -> int array
+(** The effective choices made so far, in draw order.  For a replaying
+    trace this is the {e canonical} form of the input: clamped into range
+    and truncated/extended to what the generator actually consumed. *)
+
+val draws : t -> int
+(** Number of [draw] calls so far. *)

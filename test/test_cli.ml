@@ -115,6 +115,82 @@ let test_truncated_package () =
       write path (Bytes.sub wire 0 (Bytes.length wire / 2));
       expect_clean_failure "truncated package" (run_cli [ "run"; path ]))
 
+(* ------------------------------------------------------------------ *)
+(* Exit codes: each failure class maps to its documented code          *)
+(*   1 internal, 3 failures found, 4 malformed input, 5 refused        *)
+(* ------------------------------------------------------------------ *)
+
+let expect_code what expected (code, err) =
+  expect_clean_failure what (code, err);
+  check Alcotest.int (what ^ ": exit code") expected code
+
+let test_exit_code_malformed () =
+  with_tmp (fun path ->
+      write path (Bytes.of_string "this is not a package");
+      expect_code "garbage run" 4 (run_cli [ "run"; path ]);
+      expect_code "garbage inspect" 4 (run_cli [ "inspect"; path ]);
+      expect_code "garbage disasm" 4 (run_cli [ "disasm"; path ]))
+
+let build_package ~device_id source =
+  let key = Eric.Target.derived_key (Eric.Target.of_id device_id) in
+  match Eric.Source.build ~mode:Eric.Config.Full ~key source with
+  | Ok b -> Eric.Package.serialize b.Eric.Source.package
+  | Error e -> Alcotest.fail e
+
+let test_exit_code_refused () =
+  with_tmp (fun path ->
+      (* valid package, wrong device: the HDE refuses the signature -> 5 *)
+      write path (build_package ~device_id:808L "int main() { println_int(1); return 0; }");
+      expect_code "wrong device" 5 (run_cli [ "run"; path; "--device-id"; "809" ]))
+
+let test_exit_code_truncated_is_malformed () =
+  with_tmp (fun path ->
+      let wire = build_package ~device_id:808L "int main() { println_int(1); return 0; }" in
+      write path (Bytes.sub wire 0 (Bytes.length wire / 2));
+      expect_code "truncated package" 4 (run_cli [ "run"; path; "--device-id"; "808" ]))
+
+let test_exit_code_program_exit_passthrough () =
+  with_tmp (fun path ->
+      write path (build_package ~device_id:808L "int main() { return 42; }");
+      let code, _ = run_cli [ "run"; path; "--device-id"; "808" ] in
+      check Alcotest.int "program exit code passes through" 42 code)
+
+let test_exit_code_internal () =
+  with_tmp (fun path ->
+      write path (Bytes.of_string "int main() { return syntax error here; }");
+      (* compile failure is an internal-error class, not malformed input *)
+      let path_mc = path ^ ".mc" in
+      Sys.rename path path_mc;
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists path_mc then Sys.remove path_mc)
+        (fun () -> expect_code "compile error" 1 (run_cli [ "compile"; path_mc ])))
+
+(* ------------------------------------------------------------------ *)
+(* verif subcommands through the real binary                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_verif_fuzz_smoke () =
+  let code, err = run_cli [ "verif"; "fuzz"; "--count"; "15"; "--quiet" ] in
+  check Alcotest.int "verif fuzz clean run" 0 code;
+  check Alcotest.bool "no error output" false
+    (String.length err >= 6 && String.sub err 0 6 = "error:")
+
+let test_verif_inject_smoke () =
+  let code, _ =
+    run_cli [ "verif"; "inject"; "--region"; "signature,payload,map"; "--count"; "60" ]
+  in
+  check Alcotest.int "wire injections all detected" 0 code
+
+let test_verif_corpus_empty () =
+  let dir = Filename.temp_file "eric_corpus" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then Sys.rmdir dir)
+    (fun () ->
+      let code, _ = run_cli [ "verif"; "corpus"; dir ] in
+      check Alcotest.int "empty corpus is fine" 0 code)
+
 let () =
   Alcotest.run "eric_cli"
     [ ( "malformed-input",
@@ -122,4 +198,15 @@ let () =
           Alcotest.test_case "corrupt registry magic" `Quick test_corrupt_registry_magic;
           Alcotest.test_case "missing registry" `Quick test_missing_registry;
           Alcotest.test_case "garbage package" `Quick test_garbage_package;
-          Alcotest.test_case "truncated package" `Quick test_truncated_package ] ) ]
+          Alcotest.test_case "truncated package" `Quick test_truncated_package ] );
+      ( "exit-codes",
+        [ Alcotest.test_case "malformed input is 4" `Quick test_exit_code_malformed;
+          Alcotest.test_case "validation refusal is 5" `Quick test_exit_code_refused;
+          Alcotest.test_case "truncated package is 4" `Quick test_exit_code_truncated_is_malformed;
+          Alcotest.test_case "program exit passes through" `Quick
+            test_exit_code_program_exit_passthrough;
+          Alcotest.test_case "internal error is 1" `Quick test_exit_code_internal ] );
+      ( "verif",
+        [ Alcotest.test_case "fuzz smoke" `Quick test_verif_fuzz_smoke;
+          Alcotest.test_case "inject smoke" `Quick test_verif_inject_smoke;
+          Alcotest.test_case "empty corpus" `Quick test_verif_corpus_empty ] ) ]

@@ -119,6 +119,78 @@ let test_package_parse_rejects () =
   check Alcotest.bool "mode tag" true (is_err bad_mode);
   check Alcotest.bool "empty" true (is_err Bytes.empty)
 
+(* One regression test per malformed-package class: each must come back
+   as a clean [Error] with a stable, distinct message — never an
+   exception, never a misclassification. *)
+let test_package_parse_malformed_classes () =
+  let expect name expected b =
+    match Eric.Package.parse b with
+    | Ok _ -> Alcotest.failf "%s: expected parse error %S" name expected
+    | Error msg -> check Alcotest.string name expected msg
+  in
+  let splice b ~at ~delete ~insert =
+    Eric_util.Bytesx.concat
+      [ Bytes.sub b 0 at; insert; Bytes.sub b (at + delete) (Bytes.length b - at - delete) ]
+  in
+  let with_u32 b off v =
+    let c = Bytes.copy b in
+    Eric_util.Bytesx.set_u32 c off (Int32.of_int v);
+    c
+  in
+  let full_pkg = build Eric.Config.Full in
+  let full = Eric.Package.serialize full_pkg in
+  let partial = Eric.Package.serialize (build (Eric.Config.Partial Eric.Config.Select_all)) in
+  let map_len = Int32.to_int (Eric_util.Bytesx.get_u32 partial 28) in
+  let text_len = Int32.to_int (Eric_util.Bytesx.get_u32 partial 12) in
+  let parcel_count = Int32.to_int (Eric_util.Bytesx.get_u32 partial 24) in
+  check Alcotest.bool "fixture has a real map" true (map_len > 0);
+  (* map one byte shorter than the parcel count needs *)
+  expect "truncated map" "encryption map shorter than parcel count"
+    (splice (with_u32 partial 28 (map_len - 1)) ~at:32 ~delete:1 ~insert:Bytes.empty);
+  (* map one byte longer: the spare byte is zero, so only the length
+     check can catch it *)
+  expect "overlong map" "encryption map longer than parcel count"
+    (splice
+       (with_u32 partial 28 (map_len + 1))
+       ~at:(32 + map_len) ~delete:0 ~insert:(Bytes.make 1 '\000'));
+  (* a set bit in the map's padding (only exists when the parcel count
+     is not a byte multiple) *)
+  if parcel_count mod 8 <> 0 then begin
+    let c = Bytes.copy partial in
+    let last = 32 + map_len - 1 in
+    Bytes.set c last (Char.chr (Char.code (Bytes.get c last) lor 0x80));
+    expect "map padding bit" "encryption map has padding bits set" c
+  end;
+  (* a full-encryption package must not carry a map at all *)
+  expect "full with map" "full-encryption package carries a map"
+    (splice (with_u32 full 28 1) ~at:32 ~delete:0 ~insert:(Bytes.make 1 '\000'));
+  (* parcel count no longer consistent with the text length *)
+  expect "parcel count too large" "parcel count inconsistent with text length"
+    (with_u32 full 24 (text_len + 1));
+  expect "parcel count too small" "parcel count inconsistent with text length"
+    (with_u32 full 24 ((text_len / 4) - 1));
+  (* entry offset: odd (inside a parcel), or at/after the end of text *)
+  expect "entry misaligned" "entry not parcel-aligned" (with_u32 full 8 1);
+  expect "entry at text end" "entry out of range" (with_u32 full 8 text_len);
+  expect "entry past text end" "entry out of range" (with_u32 full 8 (text_len + 2));
+  (* u32 fields with the sign bit set *)
+  expect "negative text length" "negative section length" (with_u32 full 12 (-4));
+  (* reserved flag byte *)
+  let flags = Bytes.copy full in
+  Bytes.set flags 7 '\x01';
+  expect "reserved flags" "reserved flags set" flags;
+  (* truncated / overlong signature section: the total length no longer
+     matches the header *)
+  let starts_with_length_error b =
+    match Eric.Package.parse b with
+    | Error msg -> String.length msg >= 14 && String.sub msg 0 14 = "package length"
+    | Ok _ -> false
+  in
+  check Alcotest.bool "truncated signature" true
+    (starts_with_length_error (Bytes.sub full 0 (Bytes.length full - 5)));
+  check Alcotest.bool "overlong signature" true
+    (starts_with_length_error (Eric_util.Bytesx.append full (Bytes.make 3 '\000')))
+
 let test_package_sizes_match_paper_accounting () =
   let img = Lazy.force image in
   let plain = Bytes.length (Eric_rv.Program.to_binary img) in
@@ -708,6 +780,7 @@ let () =
       ( "package",
         [ Alcotest.test_case "roundtrip all modes" `Quick test_package_roundtrip_all_modes;
           Alcotest.test_case "parse rejects" `Quick test_package_parse_rejects;
+          Alcotest.test_case "malformed classes" `Quick test_package_parse_malformed_classes;
           Alcotest.test_case "size accounting" `Quick test_package_sizes_match_paper_accounting;
           package_parser_fuzz;
           package_parser_fuzz_mutated ] );

@@ -166,6 +166,108 @@ let test_rvc_known_parcels () =
     cases;
   check Alcotest.bool "0x0000 illegal" true (Rvc.expand 0x0000 = None)
 
+(* Pinned corner cases: reserved RVC encodings must refuse to expand,
+   and the immediate edges of the trickiest formats (c.addi16sp, c.lui,
+   c.addi4spn, c.j, c.beqz, the sp-relative loads) encode to exactly
+   these parcels.  Golden values guard against silent en/decoding
+   regressions the roundtrip properties cannot see. *)
+let test_rvc_reserved_encodings () =
+  let reserved =
+    [ (0x0000, "all-zero illegal parcel");
+      (0x0004, "c.addi4spn with imm=0");
+      (0x0281, "c.addi hint (rd!=0, imm=0)");
+      (0x2005, "c.addiw with rd=0");
+      (0x4005, "c.li with rd=0");
+      (0x6101, "c.addi16sp with imm=0");
+      (0x6281, "c.lui with imm=0");
+      (0x6005, "c.lui with rd=0");
+      (0x8001, "c.srli with shamt=0");
+      (0x9c41, "q1 CA reserved funct2 (w=1, 0b10)");
+      (0x0282, "c.slli with shamt=0");
+      (0x0006, "c.slli with rd=0");
+      (0x4012, "c.lwsp with rd=0");
+      (0x6012, "c.ldsp with rd=0");
+      (0x8002, "c.jr with rs1=0");
+      (0x802a, "c.mv with rd=0");
+      (0x2000, "q0 funct3=001 (c.fld, unsupported)");
+      (0x2002, "q2 funct3=001 (c.fldsp, unsupported)") ]
+  in
+  List.iter
+    (fun (parcel, why) ->
+      match Rvc.expand parcel with
+      | None -> ()
+      | Some inst ->
+        Alcotest.failf "reserved parcel %04x (%s) expanded to %s" parcel why
+          (Disasm.inst_to_string inst))
+    reserved
+
+let test_rvc_immediate_edges () =
+  let golden =
+    [ (* c.addi16sp: 10-bit immediate, multiples of 16, zero excluded *)
+      (Inst.I (Addi, Reg.sp, Reg.sp, 496), Some 0x617d);
+      (Inst.I (Addi, Reg.sp, Reg.sp, -512), Some 0x7101);
+      (Inst.I (Addi, Reg.sp, Reg.sp, 504), None) (* not a multiple of 16 *);
+      (Inst.I (Addi, Reg.sp, Reg.sp, 512), None) (* out of range *);
+      (* c.lui: 6-bit immediate, rd not x0/sp, zero excluded *)
+      (Inst.U (Lui, Reg.a 0, 31), Some 0x657d);
+      (Inst.U (Lui, Reg.a 0, -32), Some 0x7501);
+      (Inst.U (Lui, Reg.a 0, 32), None);
+      (Inst.U (Lui, Reg.sp, 1), None);
+      (Inst.U (Lui, Reg.x0, 1), None);
+      (* c.addi4spn: zero-extended, multiples of 4, < 1024 *)
+      (Inst.I (Addi, Reg.of_int 8, Reg.sp, 1020), Some 0x1fe0);
+      (Inst.I (Addi, Reg.of_int 8, Reg.sp, 1024), None);
+      (* c.j: 12-bit signed, even *)
+      (Inst.Jal (Reg.x0, 2046), Some 0xaffd);
+      (Inst.Jal (Reg.x0, -2048), Some 0xb001);
+      (Inst.Jal (Reg.x0, 2048), None);
+      (Inst.Jal (Reg.x0, 3), None) (* odd *);
+      (* c.beqz: 9-bit signed, even, compressed register *)
+      (Inst.Branch (Beq, Reg.of_int 8, Reg.x0, 254), Some 0xcc7d);
+      (Inst.Branch (Beq, Reg.of_int 8, Reg.x0, -256), Some 0xd001);
+      (Inst.Branch (Beq, Reg.of_int 8, Reg.x0, 256), None);
+      (Inst.Branch (Beq, Reg.a 0, Reg.x0, 255), None) (* odd *);
+      (* sp-relative loads: scaled, zero-extended offsets *)
+      (Inst.Load (Lw, Reg.a 0, Reg.sp, 252), Some 0x557e);
+      (Inst.Load (Lw, Reg.a 0, Reg.sp, 256), None);
+      (Inst.Load (Ld, Reg.a 0, Reg.sp, 504), Some 0x757e);
+      (Inst.Load (Ld, Reg.a 0, Reg.sp, 512), None);
+      (* shifts: 6-bit shamt, max 63 *)
+      (Inst.Shift (Slli, Reg.a 0, Reg.a 0, 63), Some 0x157e);
+      (Inst.Shift (Srai, Reg.of_int 8, Reg.of_int 8, 63), Some 0x947d) ]
+  in
+  List.iter
+    (fun (inst, expected) ->
+      let name = Disasm.inst_to_string inst in
+      match (Rvc.compress inst, expected) with
+      | None, None -> ()
+      | Some p, Some e ->
+        if p <> e then Alcotest.failf "%s: compressed to %04x, expected %04x" name p e;
+        (* the pinned parcel must also expand back to the instruction *)
+        (match Rvc.expand p with
+        | Some back when Inst.equal back inst -> ()
+        | Some back -> Alcotest.failf "%s: %04x expands to %s" name p (Disasm.inst_to_string back)
+        | None -> Alcotest.failf "%s: golden parcel %04x does not expand" name p)
+      | Some p, None -> Alcotest.failf "%s: unexpectedly compressed to %04x" name p
+      | None, Some e -> Alcotest.failf "%s: failed to compress (expected %04x)" name e)
+    golden
+
+let test_rvc_expand_compress_coherent () =
+  (* Exhaustive 16-bit sweep: expansion and validity must agree, and no
+     expanded instruction may be something the compressor considers
+     un-compressible (that would make decode-then-reencode lossy). *)
+  for p = 0 to 0xFFFF do
+    (match (Rvc.expand p, Rvc.is_valid p) with
+    | Some _, true | None, false -> ()
+    | Some _, false -> Alcotest.failf "parcel %04x expands but is_valid says no" p
+    | None, true -> Alcotest.failf "parcel %04x is_valid but does not expand" p);
+    match Rvc.expand p with
+    | None -> ()
+    | Some inst ->
+      if Rvc.compress inst = None then
+        Alcotest.failf "parcel %04x expands to uncompressible %s" p (Disasm.inst_to_string inst)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Inst helpers                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -768,6 +870,9 @@ let () =
       ( "rvc",
         [ Alcotest.test_case "exhaustive" `Quick test_rvc_exhaustive;
           Alcotest.test_case "known parcels" `Quick test_rvc_known_parcels;
+          Alcotest.test_case "reserved encodings" `Quick test_rvc_reserved_encodings;
+          Alcotest.test_case "immediate edges" `Quick test_rvc_immediate_edges;
+          Alcotest.test_case "expand/compress coherent" `Quick test_rvc_expand_compress_coherent;
           compress_expand_roundtrip ] );
       ( "inst",
         [ Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
