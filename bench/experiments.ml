@@ -630,6 +630,46 @@ let ablations () =
   ablation_branch_predictor ()
 
 (* ------------------------------------------------------------------ *)
+(* PUF reliability: environmental sweep of the key path                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The robustness claim, measured: per-corner key failure rate of the
+   legacy majority-vote boot vs the fuzzy-extractor boot, over a small
+   enrolled population.  At the >= 10x-noise stress corners the plain
+   path must fail measurably while the extractor stays within its 1e-3
+   budget with zero wrong keys — the rows land in BENCH_results.json so
+   a PR that degrades either path is caught by the numbers. *)
+let pufrel () =
+  Report.heading "PUF reliability: key failure rate per operating corner (plain vs fuzzy)";
+  let config =
+    { Eric_verif.Envsweep.default_config with Eric_verif.Envsweep.devices = 8; boots = 40 }
+  in
+  match Eric_verif.Envsweep.campaign ~config () with
+  | Error e -> failwith ("pufrel: " ^ e)
+  | Ok report ->
+    Format.printf "%a@." Eric_verif.Envsweep.pp_report report;
+    let suite = "puf_reliability" in
+    List.iter
+      (fun (row : Eric_verif.Envsweep.corner_row) ->
+        let m fmt = Printf.sprintf fmt row.Eric_verif.Envsweep.corner in
+        Report.record ~suite ~metric:(m "plain_kfr_%s") ~unit_:"fraction"
+          (Eric_verif.Envsweep.plain_kfr row);
+        Report.record ~suite ~metric:(m "fuzzy_kfr_%s") ~unit_:"fraction"
+          (Eric_verif.Envsweep.fuzzy_kfr row);
+        Report.record ~suite ~metric:(m "wrong_keys_%s") ~unit_:"count"
+          (float_of_int row.Eric_verif.Envsweep.wrong_keys))
+      report.Eric_verif.Envsweep.rows;
+    let stress_row =
+      List.find
+        (fun (r : Eric_verif.Envsweep.corner_row) -> r.Eric_verif.Envsweep.corner = "cold-lowv")
+        report.Eric_verif.Envsweep.rows
+    in
+    Report.record ~suite ~metric:"stress_noise_scale" ~unit_:"x"
+      (Eric_puf.Env.noise_scale stress_row.Eric_verif.Envsweep.env);
+    Report.record ~suite ~metric:"passed" ~unit_:"bool"
+      (if Eric_verif.Envsweep.passed report then 1.0 else 0.0)
+
+(* ------------------------------------------------------------------ *)
 (* Verification campaigns: differential fuzzing throughput and         *)
 (* fault-injection detection coverage                                  *)
 (* ------------------------------------------------------------------ *)

@@ -50,6 +50,7 @@ let or_die_malformed = function Ok v -> v | Error msg -> die ~code:exit_malforme
 let load_error_code = function
   | Eric.Target.Malformed _ -> exit_malformed
   | Eric.Target.Rejected _ -> exit_refused
+  | Eric.Target.Key_unavailable _ -> exit_refused
 
 let campaign_exits =
   [
@@ -80,11 +81,26 @@ let source_arg =
 let output_arg ~default =
   Arg.(value & opt string default & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
 
+(* Device ids travel as strings and are parsed in the term body, not by an
+   Arg.conv: a malformed id is malformed *input* (exit 4, like a garbage
+   package), not a command-line usage error (exit 2). *)
+let device_id_of_string s =
+  match Int64.of_string_opt s with
+  | Some id -> id
+  | None ->
+    die ~code:exit_malformed
+      (Printf.sprintf "malformed device id %S (expected decimal or 0x-prefixed hex)" s)
+
 let device_id_arg =
-  Arg.(
-    value
-    & opt int64 1L
-    & info [ "device-id" ] ~docv:"ID" ~doc:"Target device identity (simulated silicon seed).")
+  Term.(
+    const device_id_of_string
+    $ Arg.(
+        value
+        & opt string "1"
+        & info [ "device-id" ] ~docv:"ID"
+            ~doc:
+              "Target device identity (simulated silicon seed), decimal or 0x-prefixed \
+               hex."))
 
 let no_compress_arg =
   Arg.(value & flag & info [ "no-compress" ] ~doc:"Disable RVC compression.")
@@ -542,6 +558,27 @@ let run_cmd =
     (Cmd.info "run" ~exits:run_exits ~doc:"Run an image, or a package on its device.")
     Term.(const run $ file_arg $ device_id_arg $ fuel_arg $ trace_arg $ telemetry_arg $ trace_out_arg)
 
+let corner_conv =
+  let parse s =
+    match Eric_puf.Env.of_name s with
+    | Some env -> Ok env
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown corner %S (expected %s)" s
+             (String.concat ", " (List.map fst Eric_puf.Env.corners))))
+  in
+  Arg.conv (parse, Eric_puf.Env.pp)
+
+let corner_arg =
+  Arg.(
+    value
+    & opt corner_conv Eric_puf.Env.nominal
+    & info [ "corner" ] ~docv:"NAME"
+        ~doc:
+          "Operating corner: nominal, cold, hot, low-voltage, cold-lowv, hot-lowv, aged, \
+           aged-hot-lowv.")
+
 (* ------------------------------------------------------------------ *)
 (* Fleet                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -596,9 +633,12 @@ let fleet_enroll_cmd =
     Arg.(value & opt int 1 & info [ "count" ] ~docv:"N" ~doc:"Number of devices to enroll.")
   in
   let start_id_arg =
-    Arg.(
-      value & opt int64 1L
-      & info [ "start-id" ] ~docv:"ID" ~doc:"First device id; ids are consecutive.")
+    Term.(
+      const device_id_of_string
+      $ Arg.(
+          value & opt string "1"
+          & info [ "start-id" ] ~docv:"ID"
+              ~doc:"First device id (decimal or 0x-prefixed hex); ids are consecutive."))
   in
   Cmd.v
     (Cmd.info "enroll" ~doc:"Manufacture, provision and register devices.")
@@ -709,6 +749,53 @@ let fleet_rotate_cmd =
       const run $ registry_arg $ epoch_arg ~default:1 $ label_arg $ rsa_arg $ seed_arg
       $ telemetry_arg $ trace_out_arg)
 
+let fleet_reenroll_cmd =
+  let run registry threshold votes env telemetry trace_out =
+    setup_telemetry telemetry trace_out;
+    let reg = load_registry registry in
+    let config =
+      {
+        Eric_fleet.Reenroll.default_config with
+        Eric_fleet.Reenroll.threshold_ppm = threshold;
+        survey_votes = votes;
+        survey_env = env;
+      }
+    in
+    let report = Eric_fleet.Reenroll.run ~config reg in
+    Format.printf "%a@." Eric_fleet.Reenroll.pp_report report;
+    Eric_fleet.Registry.save reg registry;
+    if report.Eric_fleet.Reenroll.failed <> [] then exit exit_failures
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt int Eric_fleet.Reenroll.default_config.Eric_fleet.Reenroll.threshold_ppm
+      & info [ "threshold" ] ~docv:"PPM"
+          ~doc:"Re-enroll devices whose surveyed worst-bit instability exceeds PPM.")
+  in
+  let votes_arg =
+    Arg.(
+      value
+      & opt int Eric_fleet.Reenroll.default_config.Eric_fleet.Reenroll.survey_votes
+      & info [ "votes" ] ~docv:"N" ~doc:"Reads per enrolled challenge during the survey.")
+  in
+  let survey_corner_arg =
+    Arg.(
+      value
+      & opt corner_conv Eric_puf.Env.stress
+      & info [ "corner" ] ~docv:"NAME"
+          ~doc:"Survey operating corner (default: the cold-lowv stress corner).")
+  in
+  Cmd.v
+    (Cmd.info "reenroll" ~exits:campaign_exits
+       ~doc:
+         "Survey every device's helper data at a stress corner and re-enroll drifting \
+          devices, upgrade legacy entries to the fuzzy-extractor boot path and reactivate \
+          key-reconstruction quarantines.  Exits 3 if any device failed re-enrollment.")
+    Term.(
+      const run $ registry_arg $ threshold_arg $ votes_arg $ survey_corner_arg $ telemetry_arg
+      $ trace_out_arg)
+
 let fleet_status_cmd =
   let run registry devices =
     let reg = load_registry registry in
@@ -729,9 +816,10 @@ let fleet_cmd =
   Cmd.group
     (Cmd.info "fleet"
        ~doc:
-         "Fleet management: enroll devices, run deployment campaigns, rotate keys, inspect \
-          the registry.")
-    [ fleet_enroll_cmd; fleet_campaign_cmd; fleet_rotate_cmd; fleet_status_cmd ]
+         "Fleet management: enroll devices, run deployment campaigns, rotate keys, re-enroll \
+          drifting PUFs, inspect the registry.")
+    [ fleet_enroll_cmd; fleet_campaign_cmd; fleet_rotate_cmd; fleet_reenroll_cmd;
+      fleet_status_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* Verification: differential fuzzing and fault injection              *)
@@ -1036,16 +1124,75 @@ let verif_corpus_cmd =
           still fails (4 if any entry is unreadable).")
     Term.(const run $ dir_arg $ replay_arg $ verif_fuel_arg $ mode_arg $ device_id_arg)
 
+let verif_env_cmd =
+  let run devices boots seed max_kfr out telemetry trace_out =
+    setup_telemetry telemetry trace_out;
+    let config =
+      {
+        Eric_verif.Envsweep.default_config with
+        Eric_verif.Envsweep.devices;
+        boots;
+        seed;
+        max_kfr;
+      }
+    in
+    match Eric_verif.Envsweep.campaign ~config () with
+    | Error msg -> die msg
+    | Ok report ->
+      Format.printf "%a@." Eric_verif.Envsweep.pp_report report;
+      (match out with
+      | None -> ()
+      | Some path ->
+        write_file path
+          (Bytes.of_string
+             (Eric_telemetry.Json.to_string (Eric_verif.Envsweep.to_json report))));
+      if not (Eric_verif.Envsweep.passed report) then exit exit_failures
+  in
+  let devices_arg =
+    Arg.(
+      value
+      & opt int Eric_verif.Envsweep.default_config.Eric_verif.Envsweep.devices
+      & info [ "devices" ] ~docv:"N" ~doc:"Population size.")
+  in
+  let boots_arg =
+    Arg.(
+      value
+      & opt int Eric_verif.Envsweep.default_config.Eric_verif.Envsweep.boots
+      & info [ "boots" ] ~docv:"N" ~doc:"Boots per device per corner.")
+  in
+  let max_kfr_arg =
+    Arg.(
+      value
+      & opt float Eric_verif.Envsweep.default_config.Eric_verif.Envsweep.max_kfr
+      & info [ "max-kfr" ] ~docv:"RATE"
+          ~doc:"Per-corner post-extractor key-failure-rate budget.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the per-corner report as JSON to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "env" ~exits:campaign_exits
+       ~doc:
+         "Environmental sweep: enroll a population, boot every device at every operating \
+          corner and report key failure rate with and without the fuzzy extractor.  Exits 3 \
+          if any corner exceeds the post-extractor budget or a verified reconstruction \
+          produced a wrong key.")
+    Term.(
+      const run $ devices_arg $ boots_arg $ verif_seed_arg ~default:0xE57EEDL $ max_kfr_arg
+      $ out_arg $ telemetry_arg $ trace_out_arg)
+
 let verif_cmd =
   Cmd.group
     (Cmd.info "verif"
        ~doc:
          "Verification campaigns: differential fuzzing across the interpreter, plain and \
-          encrypted execution paths, fault-injection coverage measurement, and reproducer \
-          corpus maintenance.")
-    [ verif_fuzz_cmd; verif_inject_cmd; verif_shrink_cmd; verif_corpus_cmd ]
+          encrypted execution paths, fault-injection coverage measurement, environmental \
+          sweeps of the PUF key path, and reproducer corpus maintenance.")
+    [ verif_fuzz_cmd; verif_inject_cmd; verif_shrink_cmd; verif_corpus_cmd; verif_env_cmd ]
 
-let puf_cmd =
+let puf_show_term =
   let run device_id =
     let device = Eric_puf.Device.manufacture device_id in
     let target = Eric.Target.create device in
@@ -1058,11 +1205,62 @@ let puf_cmd =
       (Eric_util.Bytesx.to_hex (Eric.Target.derived_key target));
     Printf.printf "challenge set : %s\n"
       (String.concat " "
-         (Array.to_list (Array.map string_of_int (Eric_puf.Device.challenge_set device))))
+         (Array.to_list (Array.map string_of_int (Eric_puf.Device.challenge_set device))));
+    match Eric_puf.Enroll.enroll device with
+    | Error e -> Printf.printf "enrollment    : refused (%s)\n" e
+    | Ok e ->
+      Printf.printf "enrollment    : %d/%d chains kept, worst instability %.1f%%, helper %d B\n"
+        (Eric_puf.Enroll.kept_chains e.Eric_puf.Enroll.helper)
+        (Eric_puf.Device.chains device)
+        (100.0 *. e.Eric_puf.Enroll.worst_instability)
+        (Bytes.length (Eric_puf.Enroll.serialize e.Eric_puf.Enroll.helper))
+  in
+  Term.(const run $ device_id_arg)
+
+let puf_show_cmd =
+  Cmd.v
+    (Cmd.info "show" ~doc:"Show a device's PUF identity, derived key and enrollment.")
+    puf_show_term
+
+let puf_metrics_cmd =
+  let run devices challenges reeval seed env =
+    let report =
+      Eric_puf.Metrics.evaluate ~devices ~challenges_per_device:challenges ~reeval ~env ~seed
+        ()
+    in
+    Format.printf "corner %a@." Eric_puf.Env.pp env;
+    Format.printf "%a@." Eric_puf.Metrics.pp_report report
+  in
+  let devices_arg =
+    Arg.(value & opt int 32 & info [ "devices" ] ~docv:"N" ~doc:"Population size.")
+  in
+  let challenges_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "challenges" ] ~docv:"N" ~doc:"Random challenges per device.")
+  in
+  let reeval_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "reeval" ] ~docv:"N" ~doc:"Noisy re-evaluations per challenge.")
+  in
+  let seed_arg =
+    Arg.(value & opt int64 0x3E721C5L & info [ "seed" ] ~docv:"SEED" ~doc:"Population PRNG seed.")
   in
   Cmd.v
-    (Cmd.info "puf" ~doc:"Show a device's PUF identity and derived key.")
-    Term.(const run $ device_id_arg)
+    (Cmd.info "metrics"
+       ~doc:
+         "Monte-Carlo PUF quality metrics (uniformity, uniqueness, reliability, key failure \
+          rate) over a simulated population, at any operating corner.")
+    Term.(const run $ devices_arg $ challenges_arg $ reeval_arg $ seed_arg $ corner_arg)
+
+let puf_cmd =
+  Cmd.group ~default:puf_show_term
+    (Cmd.info "puf"
+       ~doc:
+         "PUF device identity, enrollment and population metrics (default: show one \
+          device).")
+    [ puf_show_cmd; puf_metrics_cmd ]
 
 let () =
   let doc = "ERIC: PUF-keyed software obfuscation and trusted execution" in

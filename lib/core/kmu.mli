@@ -19,6 +19,23 @@ val derive : puf_key:bytes -> context -> bytes
 (** 32-byte PUF-based key. *)
 
 val device_key : ?context:context -> Eric_puf.Device.t -> bytes
-(** Convenience: read the device's PUF key (majority-voted) and derive. *)
+(** Convenience: read the device's PUF key (majority-voted) and derive.
+    Assumes nominal conditions; production boots should prefer
+    {!boot_key}, which survives environmental corners. *)
+
+type boot =
+  | Key_ready of bytes  (** derived working key, reconstruction verified *)
+  | Key_reconstruction_failed of Eric_puf.Fuzzy.failure
+      (** the extractor refused; the HDE must refuse to load, never run
+          with a guessed key *)
+
+val boot_key :
+  ?context:context -> ?fuzzy:Eric_puf.Fuzzy.config -> ?env:Eric_puf.Env.t ->
+  Eric_puf.Device.t -> Eric_puf.Enroll.helper -> boot
+(** Boot-time key derivation through the fuzzy extractor: reconstruct the
+    PUF key from helper data at the current operating point, then derive.
+    Every failure is explicit — there is no wrong-key success path. *)
+
+val pp_boot : Format.formatter -> boot -> unit
 
 val pp_context : Format.formatter -> context -> unit

@@ -2,22 +2,57 @@ type t = {
   device_ : Eric_puf.Device.t;
   context : Kmu.context;
   hde : Eric_hw.Hde.config;
-  key : bytes;  (** cached derived key; the silicon recomputes it at boot *)
+  key : (bytes, Eric_puf.Fuzzy.failure) result;
+      (** cached boot outcome; the silicon recomputes it at boot.  The
+          plain [create] path always lands in [Ok]; helper-data boots can
+          land in [Error], and such a target refuses every load. *)
 }
 
 let create ?(context = Kmu.default_context) ?(hde = Eric_hw.Hde.default_config) device_ =
-  { device_; context; hde; key = Kmu.device_key ~context device_ }
+  { device_; context; hde; key = Ok (Kmu.device_key ~context device_) }
 
 let of_id ?context ?hde id = create ?context ?hde (Eric_puf.Device.manufacture id)
 
-let device t = t.device_
-let derived_key t = t.key
+let create_with_helper ?(context = Kmu.default_context)
+    ?(hde = Eric_hw.Hde.default_config) ?(fuzzy = Eric_puf.Fuzzy.default_config)
+    ?env device_ helper =
+  let votes = if fuzzy.Eric_puf.Fuzzy.votes mod 2 = 0 then fuzzy.votes + 1 else fuzzy.votes in
+  let reads =
+    Eric_puf.Enroll.kept_chains helper * helper.Eric_puf.Enroll.rep * votes
+  in
+  match Eric_puf.Fuzzy.reconstruct ~config:fuzzy ?env device_ helper with
+  | Ok r ->
+    (* Fuzzy boot replaces the majority-vote challenge sequencing in the
+       key-setup budget; the SHA block for derivation stays. *)
+    let setup =
+      Eric_hw.Hde.reconstruction_cycles hde ~reads ~attempts:r.Eric_puf.Fuzzy.attempts_used
+      + hde.Eric_hw.Hde.sha_block_cycles
+    in
+    let hde = { hde with Eric_hw.Hde.key_setup_cycles = setup } in
+    { device_; context; hde; key = Ok (Kmu.derive ~puf_key:r.Eric_puf.Fuzzy.key context) }
+  | Error f -> { device_; context; hde; key = Error f }
 
-type load_error = Malformed of string | Rejected of Encrypt.error
+let device t = t.device_
+let key_state t = t.key
+
+let derived_key t =
+  match t.key with
+  | Ok key -> key
+  | Error f ->
+    invalid_arg
+      (Printf.sprintf "Target.derived_key: no key (%s)"
+         (Eric_puf.Fuzzy.failure_to_string f))
+
+type load_error =
+  | Malformed of string
+  | Rejected of Encrypt.error
+  | Key_unavailable of Eric_puf.Fuzzy.failure
 
 let pp_load_error fmt = function
   | Malformed msg -> Format.fprintf fmt "malformed package: %s" msg
   | Rejected e -> Format.fprintf fmt "validation failed: %a" Encrypt.pp_error e
+  | Key_unavailable f ->
+    Format.fprintf fmt "key unavailable: %a" Eric_puf.Fuzzy.pp_failure f
 
 type loaded = {
   image : Eric_rv.Program.t;
@@ -29,6 +64,7 @@ let refusal_reason = function
   | Malformed _ -> "malformed"
   | Rejected (Encrypt.Framing_failure _) -> "framing"
   | Rejected Encrypt.Signature_mismatch -> "signature"
+  | Key_unavailable _ -> "key-reconstruction"
 
 let count_refusal e =
   if Eric_telemetry.Control.is_enabled () then
@@ -38,7 +74,15 @@ let receive t pkg =
   Eric_telemetry.Span.with_ ~cat:"core" ~name:"ingest.receive" (fun () ->
       if Eric_telemetry.Control.is_enabled () then
         Eric_telemetry.Registry.inc ~by:(Int64.of_int (Package.size pkg)) "ingest.bytes_in";
-      match Encrypt.decrypt ~key:t.key pkg with
+      match t.key with
+      | Error f ->
+        (* No key, no decrypt: the HDE refuses outright rather than ever
+           running the validation path with a guessed key. *)
+        let e = Key_unavailable f in
+        count_refusal e;
+        Error e
+      | Ok key ->
+      match Encrypt.decrypt ~key pkg with
       | Error e ->
         let e = Rejected e in
         count_refusal e;

@@ -12,26 +12,54 @@ type t
 
 val create :
   ?context:Kmu.context -> ?hde:Eric_hw.Hde.config -> Eric_puf.Device.t -> t
+(** Plain majority-vote key path (assumes nominal conditions; always
+    yields a key). *)
 
 val of_id : ?context:Kmu.context -> ?hde:Eric_hw.Hde.config -> Eric_puf.Device.id -> t
 (** Manufacture the device on the fly. *)
 
+val create_with_helper :
+  ?context:Kmu.context ->
+  ?hde:Eric_hw.Hde.config ->
+  ?fuzzy:Eric_puf.Fuzzy.config ->
+  ?env:Eric_puf.Env.t ->
+  Eric_puf.Device.t ->
+  Eric_puf.Enroll.helper ->
+  t
+(** Production boot: reconstruct the PUF key through the fuzzy extractor
+    at the given operating point and derive the working key.  The HDE
+    key-setup budget is re-costed from the actual challenge reads and
+    attempts ({!Eric_hw.Hde.reconstruction_cycles}).  On reconstruction
+    failure the target is still built, but {!key_state} is [Error] and
+    every load refuses with {!Key_unavailable} — graceful degradation,
+    never a wrong key. *)
+
 val device : t -> Eric_puf.Device.t
+
+val key_state : t -> (bytes, Eric_puf.Fuzzy.failure) result
+(** The boot outcome: the derived working key, or the typed
+    reconstruction failure this target is refusing loads with. *)
 
 val derived_key : t -> bytes
 (** The device's PUF-based key for its current KMU context (what
-    provisioning would hand to a trusted software source). *)
+    provisioning would hand to a trusted software source).
+    @raise Invalid_argument when {!key_state} is [Error] — provisioning
+    flows should check {!key_state} on helper-booted targets. *)
 
 type load_error =
   | Malformed of string  (** the bytes are not a well-formed package *)
   | Rejected of Encrypt.error  (** the Validation Unit said no *)
+  | Key_unavailable of Eric_puf.Fuzzy.failure
+      (** key reconstruction failed at boot; the HDE refuses every load
+          (distinct from a validation refusal: the package may be fine,
+          the silicon could not rebuild its key) *)
 
 val pp_load_error : Format.formatter -> load_error -> unit
 
 val refusal_reason : load_error -> string
 (** Stable label for the telemetry family
-    [ingest.refused_total{reason=...}]: ["malformed"], ["framing"] or
-    ["signature"]. *)
+    [ingest.refused_total{reason=...}]: ["malformed"], ["framing"],
+    ["signature"] or ["key-reconstruction"]. *)
 
 val count_refusal : load_error -> unit
 (** Increment [ingest.refused_total{reason=...}] (no-op when telemetry

@@ -1,0 +1,160 @@
+(* Field re-enrollment: the maintenance campaign that keeps a fleet's
+   helper data ahead of silicon drift.  Survey every device's enrolled
+   challenges at a stress corner; devices whose instability exceeds the
+   threshold — and devices already quarantined for key-reconstruction
+   failure — get a fresh enrollment pass (new helper data, new derived
+   key under their existing KMU context).  Legacy entries without helper
+   data are upgraded to the fuzzy-extractor boot path. *)
+
+type config = {
+  threshold_ppm : int;
+  survey_votes : int;
+  survey_env : Eric_puf.Env.t;
+  enroll : Eric_puf.Enroll.config;
+  reactivate : bool;
+}
+
+let default_config =
+  {
+    threshold_ppm = 50_000 (* 5 % worst-bit instability *);
+    survey_votes = 15;
+    survey_env = Eric_puf.Env.stress;
+    enroll = Eric_puf.Enroll.default_config;
+    reactivate = true;
+  }
+
+type outcome =
+  | Healthy of { ppm : int }
+  | Reenrolled of { before_ppm : int; after_ppm : int }
+  | Upgraded of { ppm : int }  (* legacy entry given helper data *)
+  | Failed of string
+
+type report = {
+  surveyed : int;
+  healthy : int;
+  reenrolled : int;
+  upgraded : int;
+  reactivated : int;
+  failed : (Eric_puf.Device.id * string) list;
+  devices : (Eric_puf.Device.id * outcome) list;
+}
+
+let count ?labels name =
+  if Eric_telemetry.Control.is_enabled () then Eric_telemetry.Registry.inc ?labels name
+
+let key_reconstruction_quarantine = function
+  | Registry.Quarantined "key reconstruction failed" -> true
+  | Registry.Quarantined _ | Registry.Active -> false
+
+let survey_ppm config registry (entry : Registry.entry) helper =
+  let worst =
+    Eric_puf.Enroll.survey ~votes:config.survey_votes ~env:config.survey_env
+      (Registry.device registry entry.Registry.device_id)
+      helper
+  in
+  int_of_float (Float.round (worst *. 1_000_000.0))
+
+let reenroll_entry config registry (entry : Registry.entry) ~was_quarantined =
+  let device = Registry.device registry entry.Registry.device_id in
+  match Eric_puf.Enroll.enroll ~config:config.enroll device with
+  | Error e -> Error e
+  | Ok e ->
+    let key = Eric.Kmu.derive ~puf_key:e.Eric_puf.Enroll.key (Registry.context entry) in
+    let status =
+      if was_quarantined && config.reactivate then Registry.Active
+      else entry.Registry.status
+    in
+    let after_ppm =
+      int_of_float (Float.round (e.Eric_puf.Enroll.worst_instability *. 1_000_000.0))
+    in
+    Registry.update registry
+      {
+        entry with
+        Registry.key;
+        helper = Some e.Eric_puf.Enroll.helper;
+        instability_ppm = after_ppm;
+        status;
+      };
+    Ok after_ppm
+
+let run ?(config = default_config) registry =
+  Eric_telemetry.Span.with_ ~cat:"fleet" ~name:"fleet.reenroll" (fun () ->
+      count "fleet.reenroll.runs_total";
+      let healthy = ref 0 and reenrolled = ref 0 and upgraded = ref 0 in
+      let reactivated = ref 0 and failed = ref [] in
+      let devices =
+        List.map
+          (fun (entry : Registry.entry) ->
+            count "fleet.reenroll.surveyed_total";
+            let id = entry.Registry.device_id in
+            let was_quarantined = key_reconstruction_quarantine entry.Registry.status in
+            let outcome =
+              match entry.Registry.helper with
+              | None -> begin
+                match reenroll_entry config registry entry ~was_quarantined with
+                | Ok ppm ->
+                  incr upgraded;
+                  count "fleet.reenroll.upgraded_total";
+                  Upgraded { ppm }
+                | Error e ->
+                  count "fleet.reenroll.failed_total";
+                  failed := (id, e) :: !failed;
+                  Failed e
+              end
+              | Some helper ->
+                let before_ppm = survey_ppm config registry entry helper in
+                if before_ppm <= config.threshold_ppm && not was_quarantined then begin
+                  incr healthy;
+                  count "fleet.reenroll.healthy_total";
+                  (* Keep the registry's health figure current even when no
+                     action is needed. *)
+                  Registry.update registry
+                    { entry with Registry.instability_ppm = before_ppm };
+                  Healthy { ppm = before_ppm }
+                end
+                else begin
+                  match reenroll_entry config registry entry ~was_quarantined with
+                  | Ok after_ppm ->
+                    incr reenrolled;
+                    count "fleet.reenroll.reenrolled_total";
+                    if was_quarantined && config.reactivate then begin
+                      incr reactivated;
+                      count "fleet.reenroll.reactivated_total"
+                    end;
+                    Reenrolled { before_ppm; after_ppm }
+                  | Error e ->
+                    count "fleet.reenroll.failed_total";
+                    failed := (id, e) :: !failed;
+                    Failed e
+                end
+            in
+            (id, outcome))
+          (Registry.entries registry)
+      in
+      {
+        surveyed = List.length devices;
+        healthy = !healthy;
+        reenrolled = !reenrolled;
+        upgraded = !upgraded;
+        reactivated = !reactivated;
+        failed = List.rev !failed;
+        devices;
+      })
+
+let all_accounted r =
+  r.healthy + r.reenrolled + r.upgraded + List.length r.failed = r.surveyed
+
+let pp_outcome fmt = function
+  | Healthy { ppm } -> Format.fprintf fmt "healthy (%d ppm)" ppm
+  | Reenrolled { before_ppm; after_ppm } ->
+    Format.fprintf fmt "re-enrolled (%d -> %d ppm)" before_ppm after_ppm
+  | Upgraded { ppm } -> Format.fprintf fmt "upgraded to helper boot (%d ppm)" ppm
+  | Failed e -> Format.fprintf fmt "failed: %s" e
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "re-enrollment: %d surveyed, %d healthy, %d re-enrolled, %d upgraded, %d reactivated, %d failed"
+    r.surveyed r.healthy r.reenrolled r.upgraded r.reactivated (List.length r.failed);
+  List.iter
+    (fun (id, outcome) -> Format.fprintf fmt "@\n  device %Ld: %a" id pp_outcome outcome)
+    r.devices

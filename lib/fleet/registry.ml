@@ -7,6 +7,12 @@ type entry = {
   key : bytes;
   firmware_epoch : int;
   status : status;
+  helper : Eric_puf.Enroll.helper option;
+      (* fuzzy-extractor helper data from reliability-aware enrollment;
+         None for legacy (v1) entries, which boot by plain majority vote *)
+  instability_ppm : int;
+      (* worst per-bit instability seen at enrollment or the last field
+         survey, in parts per million (0 for legacy entries) *)
 }
 
 type t = {
@@ -21,7 +27,8 @@ type t = {
 }
 
 let magic = "EFRG"
-let version = 1
+let version = 2
+let min_version = 1
 
 let create () = { items = []; devices = Hashtbl.create 64; targets = Hashtbl.create 64 }
 let entries t = t.items
@@ -41,16 +48,32 @@ let device t id =
     Hashtbl.add t.devices id d;
     d
 
-let target_for t ~context:(c : Eric.Kmu.context) id =
+let target_for ?env t ~context:(c : Eric.Kmu.context) id =
   let k = (id, c.Eric.Kmu.epoch, c.Eric.Kmu.label) in
   match Hashtbl.find_opt t.targets k with
   | Some tg -> tg
   | None ->
-    let tg = Eric.Target.create ~context:c (device t id) in
+    (* An enrolled helper makes the fuzzy extractor the boot path for
+       every context this device is addressed under (rotation included);
+       legacy entries keep the plain majority-vote boot. *)
+    let tg =
+      match find t id with
+      | Some { helper = Some h; _ } ->
+        Eric.Target.create_with_helper ~context:c ?env (device t id) h
+      | Some { helper = None; _ } | None -> Eric.Target.create ~context:c (device t id)
+    in
     Hashtbl.add t.targets k tg;
     tg
 
-let target t (e : entry) = target_for t ~context:(context e) e.device_id
+let target ?env t (e : entry) = target_for ?env t ~context:(context e) e.device_id
+
+let invalidate_targets t id =
+  let stale =
+    Hashtbl.fold
+      (fun ((id', _, _) as k) _ acc -> if Int64.equal id' id then k :: acc else acc)
+      t.targets []
+  in
+  List.iter (Hashtbl.remove t.targets) stale
 
 let add t entry =
   if mem t entry.device_id then
@@ -60,14 +83,38 @@ let add t entry =
     Ok entry
   end
 
+let instability_to_ppm worst =
+  int_of_float (Float.round (worst *. 1_000_000.0))
+
 let enroll ?(epoch = Eric.Kmu.default_context.Eric.Kmu.epoch)
-    ?(label = Eric.Kmu.default_context.Eric.Kmu.label) t device_id =
+    ?(label = Eric.Kmu.default_context.Eric.Kmu.label) ?enrollment t device_id =
   if epoch < 0 then Error "epoch must be non-negative"
   else if String.length label > 0xFFFF then Error "label too long"
   else begin
+    let ( let* ) = Result.bind in
     let context = { Eric.Kmu.epoch; label } in
-    let key = Eric.Protocol.provision (target_for t ~context device_id) in
-    let r = add t { device_id; epoch; label; key; firmware_epoch = 0; status = Active } in
+    let* e =
+      match enrollment with
+      | Some e -> Ok e
+      | None ->
+        Result.map_error
+          (fun msg -> Printf.sprintf "device %Ld: %s" device_id msg)
+          (Eric_puf.Enroll.enroll (device t device_id))
+    in
+    let key = Eric.Kmu.derive ~puf_key:e.Eric_puf.Enroll.key context in
+    let r =
+      add t
+        {
+          device_id;
+          epoch;
+          label;
+          key;
+          firmware_epoch = 0;
+          status = Active;
+          helper = Some e.Eric_puf.Enroll.helper;
+          instability_ppm = instability_to_ppm e.Eric_puf.Enroll.worst_instability;
+        }
+    in
     if Result.is_ok r && Eric_telemetry.Control.is_enabled () then
       Eric_telemetry.Registry.inc "fleet.registry.enrolled_total";
     r
@@ -77,10 +124,13 @@ let update t entry =
   if not (mem t entry.device_id) then
     invalid_arg (Printf.sprintf "Registry.update: device %Ld not enrolled" entry.device_id);
   t.items <-
-    List.map (fun e -> if Int64.equal e.device_id entry.device_id then entry else e) t.items
+    List.map (fun e -> if Int64.equal e.device_id entry.device_id then entry else e) t.items;
+  (* The entry's helper or context may have changed; let the next
+     addressing re-boot the target. *)
+  invalidate_targets t entry.device_id
 
 (* ------------------------------------------------------------------ *)
-(* Wire format (version 1)                                             *)
+(* Wire format (version 2; version 1 still parses)                     *)
 (*                                                                     *)
 (*   off  size  field                                                  *)
 (*   0    4     magic "EFRG"                                           *)
@@ -95,11 +145,21 @@ let update t entry =
 (*          u16 key length, key bytes                                  *)
 (*          u8  status (0 = active, 1 = quarantined)                   *)
 (*          if quarantined: u16 reason length, reason bytes            *)
+(*          -- version >= 2 only --                                    *)
+(*          u8  has_helper (0/1)                                       *)
+(*          if has_helper: u32 helper length, helper blob ("EHLP")     *)
+(*          u32 instability, parts per million                         *)
+(*                                                                     *)
+(* Version-1 files parse with [helper = None] and zero instability, so *)
+(* fleets enrolled before the fuzzy extractor keep loading (and keep   *)
+(* the plain majority-vote boot path).  Serialization always writes    *)
+(* version 2.                                                          *)
 (*                                                                     *)
 (* Parsing is strict, like Package: reserved bytes must be zero, every  *)
 (* declared length must land inside the buffer, duplicate device ids   *)
-(* are rejected, and trailing bytes fail the parse — a corrupt registry *)
-(* is refused loudly rather than half-loaded.                           *)
+(* are rejected, helper blobs must themselves parse, and trailing bytes *)
+(* fail the parse — a corrupt registry is refused loudly rather than    *)
+(* half-loaded.                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let buf_add_u16 buf v =
@@ -131,12 +191,20 @@ let serialize t =
       Buffer.add_string buf e.label;
       buf_add_u16 buf (Bytes.length e.key);
       Buffer.add_bytes buf e.key;
-      match e.status with
+      (match e.status with
       | Active -> Buffer.add_char buf '\000'
       | Quarantined reason ->
         Buffer.add_char buf '\001';
         buf_add_u16 buf (String.length reason);
-        Buffer.add_string buf reason)
+        Buffer.add_string buf reason);
+      (match e.helper with
+      | None -> Buffer.add_char buf '\000'
+      | Some h ->
+        Buffer.add_char buf '\001';
+        let blob = Eric_puf.Enroll.serialize h in
+        buf_add_u32 buf (Bytes.length blob);
+        Buffer.add_bytes buf blob);
+      buf_add_u32 buf e.instability_ppm)
     t.items;
   Buffer.to_bytes buf
 
@@ -180,7 +248,8 @@ let parse b =
   pos := 4;
   let* v = u16 "version" in
   let* () =
-    if v = version then Ok () else Error (Printf.sprintf "unsupported registry version %d" v)
+    if v >= min_version && v <= version then Ok ()
+    else Error (Printf.sprintf "unsupported registry version %d" v)
   in
   let* reserved = u16 "reserved" in
   let* () = if reserved = 0 then Ok () else Error "reserved bytes set" in
@@ -205,6 +274,31 @@ let parse b =
           Ok (Quarantined reason)
         | _ -> Error (Printf.sprintf "unknown status tag %d" tag)
       in
+      let* helper, instability_ppm =
+        if v < 2 then Ok (None, 0)
+        else
+          let* () = need 1 "helper flag" in
+          let flag = Char.code (Bytes.get b !pos) in
+          pos := !pos + 1;
+          let* helper =
+            match flag with
+            | 0 -> Ok None
+            | 1 ->
+              let* blob_len = u32 "helper length" in
+              let* () = need blob_len "helper blob" in
+              let blob = Bytes.sub b !pos blob_len in
+              pos := !pos + blob_len;
+              let* h =
+                Result.map_error
+                  (fun e -> Printf.sprintf "device %Ld: %s" device_id e)
+                  (Eric_puf.Enroll.parse blob)
+              in
+              Ok (Some h)
+            | _ -> Error (Printf.sprintf "unknown helper flag %d" flag)
+          in
+          let* ppm = u32 "instability" in
+          Ok (helper, ppm)
+      in
       let* _ =
         Result.map_error
           (fun e -> "duplicate entry: " ^ e)
@@ -216,6 +310,8 @@ let parse b =
                label;
                key = Bytes.of_string key;
                status;
+               helper;
+               instability_ppm;
              })
       in
       loop (i + 1)
@@ -247,8 +343,13 @@ let pp_status fmt = function
   | Quarantined reason -> Format.fprintf fmt "quarantined (%s)" reason
 
 let pp_entry fmt e =
-  Format.fprintf fmt "device %Ld  epoch %d  label %S  firmware %d  %a" e.device_id e.epoch
-    e.label e.firmware_epoch pp_status e.status
+  Format.fprintf fmt "device %Ld  epoch %d  label %S  firmware %d  %a  %s" e.device_id
+    e.epoch e.label e.firmware_epoch pp_status e.status
+    (match e.helper with
+    | None -> "legacy boot"
+    | Some h ->
+      Printf.sprintf "helper v%d (%d/%d chains, %d ppm)" h.Eric_puf.Enroll.version
+        (Eric_puf.Enroll.kept_chains h) h.Eric_puf.Enroll.chains e.instability_ppm)
 
 let pp_summary fmt t =
   Format.fprintf fmt "%d device(s), %d active, %d quarantined" (count t)

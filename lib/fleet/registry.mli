@@ -7,9 +7,10 @@
     device repeatedly refuses validly signed packages.
 
     The registry serialises to a strict, versioned binary format
-    (magic ["EFRG"], version 1) documented in [docs/fleet.md]; parsing
-    rejects truncation, reserved bytes, duplicate ids and trailing
-    garbage, so a corrupt file is refused rather than half-loaded. *)
+    (magic ["EFRG"], version 2; version-1 files still parse) documented
+    in [docs/fleet.md]; parsing rejects truncation, reserved bytes,
+    duplicate ids and trailing garbage, so a corrupt file is refused
+    rather than half-loaded. *)
 
 type status = Active | Quarantined of string  (** reason *)
 
@@ -20,6 +21,12 @@ type entry = {
   key : bytes;  (** provisioned PUF-based key for that context *)
   firmware_epoch : int;  (** last campaign successfully deployed (0 = never) *)
   status : status;
+  helper : Eric_puf.Enroll.helper option;
+      (** fuzzy-extractor helper data (public) from reliability-aware
+          enrollment; [None] on legacy v1 entries, which keep the plain
+          majority-vote boot *)
+  instability_ppm : int;
+      (** worst per-bit instability at enrollment or last survey, ppm *)
 }
 
 type t
@@ -40,19 +47,33 @@ val device : t -> Eric_puf.Device.id -> Eric_puf.Device.t
 (** The simulated silicon, manufactured once per registry and memoized —
     the stand-in for the hardware simply existing in the field. *)
 
-val target : t -> entry -> Eric.Target.t
-(** Address the device under its enrolled KMU context.  Memoized per
+val target : ?env:Eric_puf.Env.t -> t -> entry -> Eric.Target.t
+(** Address the device under its enrolled KMU context.  When the entry
+    carries helper data the target boots through the fuzzy extractor
+    (at [env], default nominal) — a boot that can {e fail}, leaving the
+    target refusing every load with [Key_unavailable].  Memoized per
     (device, context): the PUF key derivation happens once per boot on
     real silicon, so the model pays it once per registry, not per packet. *)
 
-val target_for : t -> context:Eric.Kmu.context -> Eric_puf.Device.id -> Eric.Target.t
+val target_for :
+  ?env:Eric_puf.Env.t -> t -> context:Eric.Kmu.context -> Eric_puf.Device.id ->
+  Eric.Target.t
 (** Same memoized addressing under an arbitrary context (key rotation). *)
 
+val invalidate_targets : t -> Eric_puf.Device.id -> unit
+(** Drop the memoized boots of one device (all contexts); the next
+    addressing re-runs key reconstruction.  {!update} calls this itself —
+    exposed for campaigns that want a fresh boot at a new operating point
+    without touching the entry. *)
+
 val enroll :
-  ?epoch:int -> ?label:string -> t -> Eric_puf.Device.id -> (entry, string) result
-(** Manufacture the device, run the provisioning handshake
-    ({!Eric.Protocol.provision}) and record the entry.  Fails on a
-    duplicate id. *)
+  ?epoch:int -> ?label:string -> ?enrollment:Eric_puf.Enroll.enrollment ->
+  t -> Eric_puf.Device.id -> (entry, string) result
+(** Manufacture the device, run reliability-aware enrollment
+    ({!Eric_puf.Enroll.enroll}) and record the entry — helper data, the
+    context-derived key and the measured instability included.  Pass
+    [enrollment] to record a factory enrollment already performed.  Fails
+    on a duplicate id or a die that cannot field enough stable chains. *)
 
 val add : t -> entry -> (entry, string) result
 (** Record an externally provisioned entry verbatim. *)

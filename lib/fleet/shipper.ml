@@ -62,7 +62,13 @@ let ship ?(policy = Backoff.default) ?(channel = Channel.clean) ?(execute = fals
       count ~labels:[ ("reason", reason) ] "fleet.ship.refused_total";
       let refusals = (attempt, reason) :: refusals in
       let sig_refusals = sig_refusals + if reason = "signature" then 1 else 0 in
-      if sig_refusals >= policy.Backoff.quarantine_refusals then
+      if reason = "key-reconstruction" then
+        (* The device could not rebuild its own key at boot: no retry or
+           re-signing can help, and it must not be lumped in with
+           signature refusals — re-enrollment, not re-shipping, fixes it. *)
+        finish ~attempts:attempt ~refusals ~backoff_ns
+          (Quarantined { reason = "key reconstruction failed" })
+      else if sig_refusals >= policy.Backoff.quarantine_refusals then
         finish ~attempts:attempt ~refusals ~backoff_ns
           (Quarantined
              { reason = Printf.sprintf "%d signature refusals" sig_refusals })

@@ -3,8 +3,12 @@
 
     Every shipment terminates in exactly one of two states — [Delivered]
     (the Validation Unit accepted an attempt) or [Quarantined] (attempts
-    exhausted, or the device hit the policy's signature-refusal threshold)
-    — so a campaign can never silently drop a device.
+    exhausted, the device hit the policy's signature-refusal threshold,
+    or its key reconstruction failed at boot) — so a campaign can never
+    silently drop a device.  A ["key reconstruction failed"] quarantine
+    is immediate and distinct from the signature-refusal one: the package
+    may be fine, but the silicon could not rebuild its key, so the cure
+    is re-enrollment ({!Reenroll}), not re-shipping.
 
     Telemetry: [fleet.ship.attempts_total], [fleet.ship.retries_total],
     [fleet.ship.refused_total{reason}], [fleet.ship.delivered_total],

@@ -68,6 +68,15 @@ let load_encrypted cfg ~image_bytes ~hashed_bytes ~encrypted_bytes =
   end;
   b
 
+let reconstruction_cycles cfg ~reads ~attempts =
+  if reads < 0 then invalid_arg "Hde.reconstruction_cycles: negative read count";
+  if attempts < 1 then invalid_arg "Hde.reconstruction_cycles: attempts must be positive";
+  (* Challenge sequencing runs at the same one-read-per-cycle rate the
+     majority-vote key setup is budgeted at; each attempt ends with a tag
+     check — two HMAC-SHA-256 passes over the short helper prefix, six
+     compression blocks between them. *)
+  (reads * attempts) + (attempts * 6 * cfg.sha_block_cycles)
+
 let load_plain cfg ~image_bytes =
   if image_bytes < 0 then invalid_arg "Hde.load_plain: negative byte count";
   Int64.of_int (ceil_div image_bytes cfg.dma_bytes_per_cycle)

@@ -60,4 +60,11 @@ val load_encrypted :
 val load_plain : config -> image_bytes:int -> int64
 (** Baseline: DMA only. *)
 
+val reconstruction_cycles : config -> reads:int -> attempts:int -> int
+(** Key-setup cost of fuzzy-extractor boot instead of plain majority
+    voting: [reads] PUF challenge reads per attempt at one read per
+    sequencing cycle, plus a per-attempt helper-tag check (two
+    HMAC-SHA-256 passes on the shared SHA core).  Replaces the majority
+    part of [key_setup_cycles] when a target boots from helper data. *)
+
 val pp_breakdown : Format.formatter -> breakdown -> unit

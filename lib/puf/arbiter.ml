@@ -5,7 +5,12 @@ type stage = {
   cross_bot : float; (* top input -> bottom output *)
 }
 
-type t = { stages_ : stage array; arbiter_skew : float; noise_sigma : float }
+type t = {
+  stages_ : stage array;
+  drift_ : stage array;  (* unit aging-drift direction per delay element *)
+  arbiter_skew : float;
+  noise_sigma : float;
+}
 
 type params = {
   stages : int;
@@ -17,36 +22,53 @@ type params = {
 let default_params =
   { stages = 8; nominal_delay_ps = 100.0; variation_sigma_ps = 3.0; noise_sigma_ps = 0.12 }
 
-let manufacture p rng =
+let zero_stage = { straight_top = 0.0; straight_bot = 0.0; cross_top = 0.0; cross_bot = 0.0 }
+
+let manufacture ?drift_rng p rng =
   if p.stages <= 0 then invalid_arg "Arbiter.manufacture: stages must be positive";
   let draw () = Eric_util.Prng.gaussian rng ~mu:p.nominal_delay_ps ~sigma:p.variation_sigma_ps in
   let make_stage _ =
     { straight_top = draw (); straight_bot = draw (); cross_top = draw (); cross_bot = draw () }
   in
+  (* Aging drift directions come from their own stream so existing silicon
+     draws (and therefore every enrolled key) are unchanged by the model. *)
+  let drift_ =
+    match drift_rng with
+    | None -> Array.make p.stages zero_stage
+    | Some rng ->
+      let d () = Eric_util.Prng.gaussian rng ~mu:0.0 ~sigma:1.0 in
+      Array.init p.stages (fun _ ->
+          { straight_top = d (); straight_bot = d (); cross_top = d (); cross_bot = d () })
+  in
   {
     stages_ = Array.init p.stages make_stage;
+    drift_;
     arbiter_skew = Eric_util.Prng.gaussian rng ~mu:0.0 ~sigma:(p.variation_sigma_ps /. 4.0);
     noise_sigma = p.noise_sigma_ps;
   }
 
 let stages t = Array.length t.stages_
 
-let race ?noise t ~challenge =
-  let perturb d =
+let race ?noise ?(env = Env.nominal) t ~challenge =
+  let age = Env.age_shift_ps env in
+  let sigma = t.noise_sigma *. Env.noise_scale env in
+  let perturb d drift =
+    let d = d +. (age *. drift) in
     match noise with
     | None -> d
-    | Some rng -> d +. Eric_util.Prng.gaussian rng ~mu:0.0 ~sigma:t.noise_sigma
+    | Some rng -> d +. Eric_util.Prng.gaussian rng ~mu:0.0 ~sigma
   in
   let top = ref 0.0 and bot = ref 0.0 in
   Array.iteri
     (fun i st ->
+      let dr = t.drift_.(i) in
       if (challenge lsr i) land 1 = 0 then begin
-        top := !top +. perturb st.straight_top;
-        bot := !bot +. perturb st.straight_bot
+        top := !top +. perturb st.straight_top dr.straight_top;
+        bot := !bot +. perturb st.straight_bot dr.straight_bot
       end
       else begin
-        let new_top = !bot +. perturb st.cross_top in
-        let new_bot = !top +. perturb st.cross_bot in
+        let new_top = !bot +. perturb st.cross_top dr.cross_top in
+        let new_bot = !top +. perturb st.cross_bot dr.cross_bot in
         top := new_top;
         bot := new_bot
       end)
@@ -54,5 +76,5 @@ let race ?noise t ~challenge =
   !top -. !bot +. t.arbiter_skew
 
 let noise_sigma t = t.noise_sigma
-let eval ?noise t ~challenge = race ?noise t ~challenge < 0.0
-let delay_difference t ~challenge = race t ~challenge
+let eval ?noise ?env t ~challenge = race ?noise ?env t ~challenge < 0.0
+let delay_difference ?env t ~challenge = race ?env t ~challenge

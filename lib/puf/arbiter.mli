@@ -26,20 +26,28 @@ val default_params : params
     variation to keep responses balanced, noise two orders below variation
     (typical silicon Arbiter-PUF regime: a few % unstable bits). *)
 
-val manufacture : params -> Eric_util.Prng.t -> t
-(** Draw one chain's delays from the process-variation distribution. *)
+val manufacture : ?drift_rng:Eric_util.Prng.t -> params -> Eric_util.Prng.t -> t
+(** Draw one chain's delays from the process-variation distribution.
+    [drift_rng], when given, draws a fixed unit aging-drift direction for
+    every delay element from its own stream (so silicon draws — and hence
+    all enrolled keys — are independent of whether aging is modelled);
+    without it the chain does not age. *)
 
 val stages : t -> int
 
-val eval : ?noise:Eric_util.Prng.t -> t -> challenge:int -> bool
+val eval : ?noise:Eric_util.Prng.t -> ?env:Env.t -> t -> challenge:int -> bool
 (** [eval t ~challenge] races the two edges for the given challenge (low
     [stages t] bits used) and returns the arbiter decision.  Without [noise]
     the evaluation is the chain's noiseless ideal response; with [noise],
-    each delay is perturbed for this evaluation only. *)
+    each delay is perturbed for this evaluation only.  [env] (default
+    {!Env.nominal}) scales the noise sigma by {!Env.noise_scale} and shifts
+    each delay along its drift direction by {!Env.age_shift_ps}. *)
 
 val noise_sigma : t -> float
-(** Per-delay evaluation-noise std-dev this chain was manufactured with. *)
+(** Per-delay evaluation-noise std-dev this chain was manufactured with
+    (at nominal conditions, before {!Env.noise_scale}). *)
 
-val delay_difference : t -> challenge:int -> float
+val delay_difference : ?env:Env.t -> t -> challenge:int -> float
 (** Signed top-minus-bottom arrival-time difference in ps for a noiseless
-    evaluation; exposes how marginal a challenge is (near 0 = unstable). *)
+    evaluation; exposes how marginal a challenge is (near 0 = unstable).
+    With [env], includes the operating point's aging drift. *)

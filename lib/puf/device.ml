@@ -9,12 +9,15 @@ type t = {
 
 let manufacture ?(params = Arbiter.default_params) ?(chains = 32) id =
   if chains <= 0 then invalid_arg "Device.manufacture: chains must be positive";
-  (* Distinct derivation domains: silicon draw vs runtime noise. *)
+  (* Distinct derivation domains: silicon draw vs runtime noise vs aging
+     drift.  Drift uses its own stream so the silicon draws — and hence
+     every key enrolled before the aging model existed — are unchanged. *)
   let silicon = Eric_util.Prng.create ~seed:(Int64.add 0x5111C0DEL id) in
   let noise = Eric_util.Prng.create ~seed:(Int64.add 0x4015EL id) in
+  let drift = Eric_util.Prng.create ~seed:(Int64.add 0xD21F7L id) in
   {
     id;
-    chains_ = Array.init chains (fun _ -> Arbiter.manufacture params silicon);
+    chains_ = Array.init chains (fun _ -> Arbiter.manufacture ~drift_rng:drift params silicon);
     challenge_width = params.Arbiter.stages;
     noise_rng = noise;
   }
@@ -22,6 +25,7 @@ let manufacture ?(params = Arbiter.default_params) ?(chains = 32) id =
 let id t = t.id
 let chains t = Array.length t.chains_
 let key_bits = chains
+let challenge_width t = t.challenge_width
 
 let challenge_set t =
   (* Enrolment challenges are public; derive them from the device id so the
@@ -50,24 +54,40 @@ let challenge_set t =
       pick 0)
     t.chains_
 
-let respond ?(noisy = true) t challenges =
+let respond ?(noisy = true) ?env t challenges =
   if Array.length challenges <> chains t then
     invalid_arg "Device.respond: one challenge per chain expected";
   let bits =
     Array.mapi
       (fun i challenge ->
-        if noisy then Arbiter.eval ~noise:t.noise_rng t.chains_.(i) ~challenge
-        else Arbiter.eval t.chains_.(i) ~challenge)
+        if noisy then Arbiter.eval ~noise:t.noise_rng ?env t.chains_.(i) ~challenge
+        else Arbiter.eval ?env t.chains_.(i) ~challenge)
       challenges
   in
   Eric_util.Bitvec.of_bool_array bits
 
-let puf_key ?(votes = 15) t =
+let eval_chain ?(noisy = true) ?env t ~chain ~challenge =
+  if chain < 0 || chain >= chains t then invalid_arg "Device.eval_chain: chain out of range";
+  if noisy then Arbiter.eval ~noise:t.noise_rng ?env t.chains_.(chain) ~challenge
+  else Arbiter.eval ?env t.chains_.(chain) ~challenge
+
+let accumulated_noise_sigma ?(env = Env.nominal) t =
+  (* Noise on each of ~2*stages delays accumulates as sqrt; all chains share
+     the manufacture params, so chain 0 is representative. *)
+  let chain = t.chains_.(0) in
+  sqrt (float_of_int (2 * Arbiter.stages chain))
+  *. Arbiter.noise_sigma chain *. Env.noise_scale env
+
+let chain_margin ?env t ~chain ~challenge =
+  if chain < 0 || chain >= chains t then invalid_arg "Device.chain_margin: chain out of range";
+  Arbiter.delay_difference ?env t.chains_.(chain) ~challenge
+
+let puf_key ?(votes = 15) ?env t =
   let votes = if votes mod 2 = 0 then votes + 1 else votes in
   let challenges = challenge_set t in
   let counts = Array.make (chains t) 0 in
   for _ = 1 to votes do
-    let r = respond t challenges in
+    let r = respond ?env t challenges in
     for i = 0 to chains t - 1 do
       if Eric_util.Bitvec.get r i then counts.(i) <- counts.(i) + 1
     done

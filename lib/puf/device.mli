@@ -19,21 +19,42 @@ val manufacture : ?params:Arbiter.params -> ?chains:int -> id -> t
 val id : t -> id
 val chains : t -> int
 
+val challenge_width : t -> int
+(** Challenge bits per chain (the arbiter stage count). *)
+
 val challenge_set : t -> int array
 (** The enrolled challenge vector (one challenge per chain), derived from a
     public per-device enrolment seed.  Every element fits the chain's
     challenge width. *)
 
-val respond : ?noisy:bool -> t -> int array -> Eric_util.Bitvec.t
+val respond : ?noisy:bool -> ?env:Env.t -> t -> int array -> Eric_util.Bitvec.t
 (** Raw single-shot responses, one bit per chain.  [noisy] (default true)
     applies per-evaluation delay noise; pass [false] for the ideal
-    response. *)
+    response.  [env] (default {!Env.nominal}) sets the operating point
+    (noise scaling, aging drift). *)
 
-val puf_key : ?votes:int -> t -> bytes
+val eval_chain : ?noisy:bool -> ?env:Env.t -> t -> chain:int -> challenge:int -> bool
+(** One chain's response to one challenge — what enrollment oversampling
+    and fuzzy-extractor reconstruction read, since they use challenge
+    pools wider than one challenge per chain.
+    @raise Invalid_argument when [chain] is out of range. *)
+
+val chain_margin : ?env:Env.t -> t -> chain:int -> challenge:int -> float
+(** Noiseless race margin (ps) of one chain on one challenge at an
+    operating point; enrollment screens candidates on its magnitude. *)
+
+val accumulated_noise_sigma : ?env:Env.t -> t -> float
+(** Std-dev (ps) of the total race-time noise at an operating point
+    (per-delay sigma accumulated over the ~2x stages delays a race sums).
+    Enrollment sizes its margin floor in multiples of this. *)
+
+val puf_key : ?votes:int -> ?env:Env.t -> t -> bytes
 (** The device's PUF key: majority vote over [votes] (default 15, forced
     odd) noisy evaluations of the enrolled challenge set, packed LSB-first
     into bytes (4 bytes for the default 32 chains).  This is the immutable
-    hardware identity the Key Management Unit derives working keys from. *)
+    hardware identity the Key Management Unit derives working keys from.
+    At a harsh [env] the vote can flip — the failure mode the fuzzy
+    extractor ({!Fuzzy}) exists to absorb. *)
 
 val key_bits : t -> int
 (** Number of key bits = number of chains. *)

@@ -1,0 +1,53 @@
+type t = { temperature_c : float; voltage_v : float; age_years : float }
+
+let nominal = { temperature_c = 25.0; voltage_v = 1.0; age_years = 0.0 }
+
+let nominal_temperature_c = 25.0
+let nominal_voltage_v = 1.0
+
+(* Noise grows roughly linearly in |ΔT| (thermal jitter) and sharply with
+   supply droop (reduced gate overdrive).  The coefficients are calibrated
+   so the harshest automotive corner (-40 °C at 0.9 V) lands a bit above
+   12x the nominal evaluation-noise sigma — comfortably past the 10x
+   regime where plain majority voting starts dropping keys. *)
+let temp_coeff_per_c = 0.08
+let voltage_coeff = 10.0
+
+let noise_scale env =
+  let dt = Float.abs (env.temperature_c -. nominal_temperature_c) in
+  let dv = Float.abs (env.voltage_v -. nominal_voltage_v) in
+  (1.0 +. (temp_coeff_per_c *. dt)) *. (1.0 +. (voltage_coeff *. dv))
+
+(* Slow NBTI/HCI-style aging: each delay element drifts along a fixed
+   per-device direction (drawn at manufacture) at this rate.  Ten years
+   shifts every delay by about one process-variation sigma third — enough
+   to walk marginal bits across the decision threshold. *)
+let aging_rate_ps_per_year = 0.1
+
+let age_shift_ps env = aging_rate_ps_per_year *. env.age_years
+
+let corners =
+  [ ("nominal", nominal);
+    ("cold", { temperature_c = -40.0; voltage_v = 1.0; age_years = 0.0 });
+    ("hot", { temperature_c = 85.0; voltage_v = 1.0; age_years = 0.0 });
+    ("low-voltage", { temperature_c = 25.0; voltage_v = 0.9; age_years = 0.0 });
+    ("cold-lowv", { temperature_c = -40.0; voltage_v = 0.9; age_years = 0.0 });
+    ("hot-lowv", { temperature_c = 85.0; voltage_v = 0.9; age_years = 0.0 });
+    ("aged", { temperature_c = 25.0; voltage_v = 1.0; age_years = 10.0 });
+    ("aged-hot-lowv", { temperature_c = 85.0; voltage_v = 0.9; age_years = 10.0 }) ]
+
+let stress = { temperature_c = -40.0; voltage_v = 0.9; age_years = 0.0 }
+
+let of_name name = List.assoc_opt name corners
+
+let name env =
+  List.find_map (fun (n, e) -> if e = env then Some n else None) corners
+
+let pp fmt env =
+  match name env with
+  | Some n ->
+    Format.fprintf fmt "%s (%.0f C, %.2f V, %gy, %.1fx noise)" n env.temperature_c env.voltage_v
+      env.age_years (noise_scale env)
+  | None ->
+    Format.fprintf fmt "%.0f C, %.2f V, %gy (%.1fx noise)" env.temperature_c env.voltage_v
+      env.age_years (noise_scale env)

@@ -1,0 +1,44 @@
+(** Environmental operating points for the PUF silicon model.
+
+    The paper takes Arbiter-PUF stability as a given; real arbiter chains
+    do not cooperate.  Evaluation noise scales with temperature excursion
+    and supply droop, and slow aging (NBTI/HCI) drifts the stage delays
+    themselves.  An operating point bundles the three knobs; every PUF
+    evaluation can be taken at a point, so campaigns can sweep the
+    automotive corners (-40 °C … +85 °C, ±10 % supply, years of aging)
+    and measure what survives. *)
+
+type t = {
+  temperature_c : float;  (** junction temperature *)
+  voltage_v : float;  (** core supply; nominal 1.0 V *)
+  age_years : float;  (** accumulated field aging *)
+}
+
+val nominal : t
+(** 25 °C, 1.0 V, age zero: [noise_scale nominal = 1.0], no drift. *)
+
+val noise_scale : t -> float
+(** Multiplier applied to every chain's per-evaluation noise sigma at this
+    operating point.  1.0 at nominal; a bit above 12x at the harshest
+    corner (cold-lowv), which is the regime the fuzzy extractor is sized
+    for. *)
+
+val age_shift_ps : t -> float
+(** Magnitude (ps) of the aging drift applied along each delay element's
+    fixed drift direction. *)
+
+val corners : (string * t) list
+(** Named sweep points: nominal, cold, hot, low-voltage, cold-lowv,
+    hot-lowv, aged, aged-hot-lowv. *)
+
+val stress : t
+(** The screening corner enrollment defaults to (cold-lowv, ≥ 10x noise):
+    a challenge that looks stable here is stable everywhere milder. *)
+
+val of_name : string -> t option
+(** Look up a named corner. *)
+
+val name : t -> string option
+(** Inverse of {!of_name} for exactly the named corners. *)
+
+val pp : Format.formatter -> t -> unit

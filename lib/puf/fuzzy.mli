@@ -1,0 +1,39 @@
+(** Fuzzy-extractor key reconstruction (the boot-time half of {!Enroll}).
+
+    Reads every enrolled challenge a few times at the current operating
+    point, majority-decodes through the repetition-code sketch, and
+    accepts the candidate key only if it reproduces the helper blob's
+    keyed tag.  Retries are bounded; when they run out the caller gets a
+    typed {!failure}, never a wrong key — the KMU and HDE refuse to load
+    rather than decrypt with garbage. *)
+
+type failure =
+  | Helper_mismatch of string
+      (** Helper data structurally wrong for this device (other device id,
+          chain-count disagreement).  Retrying cannot help. *)
+  | Exhausted of { attempts : int }
+      (** Every bounded attempt decoded to a key that failed tag
+          verification: either the environment is beyond what enrollment
+          screened for, or the helper blob was tampered with.  Either way
+          the device must refuse to boot the protected program. *)
+
+type config = {
+  attempts : int;  (** bounded re-read retries per boot (default 3) *)
+  votes : int;  (** noisy reads per challenge per attempt (default 3, forced odd) *)
+}
+
+val default_config : config
+
+type reconstruction = {
+  key : bytes;  (** the enrolled key, tag-verified *)
+  attempts_used : int;  (** 1-based attempt that verified *)
+}
+
+val reconstruct :
+  ?config:config -> ?env:Env.t -> Device.t -> Enroll.helper ->
+  (reconstruction, failure) result
+(** Reconstruct the enrolled key on a device at an operating point.
+    Emits [puf.reconstruct.*] telemetry counters. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val failure_to_string : failure -> string

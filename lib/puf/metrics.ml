@@ -13,7 +13,7 @@ let hamming a b =
   done;
   !d
 
-let evaluate ?(devices = 32) ?(challenges_per_device = 128) ?(reeval = 32) ~seed () =
+let evaluate ?(devices = 32) ?(challenges_per_device = 128) ?(reeval = 32) ?env ~seed () =
   if devices < 2 then invalid_arg "Metrics.evaluate: need at least two devices";
   let rng = Eric_util.Prng.create ~seed in
   let population = Array.init devices (fun i -> Device.manufacture (Int64.of_int (i + 1001))) in
@@ -52,7 +52,7 @@ let evaluate ?(devices = 32) ?(challenges_per_device = 128) ?(reeval = 32) ~seed
       Array.iteri
         (fun t c ->
           for _ = 1 to reeval do
-            let r = Device.respond ~noisy:true d c in
+            let r = Device.respond ~noisy:true ?env d c in
             intra := !intra +. (float_of_int (hamming ideal.(i).(t) r) /. float_of_int chains);
             incr samples
           done)
@@ -65,7 +65,7 @@ let evaluate ?(devices = 32) ?(challenges_per_device = 128) ?(reeval = 32) ~seed
     (fun d ->
       let enrolled = Device.puf_key d in
       for _ = 1 to regens do
-        if not (Bytes.equal (Device.puf_key d) enrolled) then incr failures
+        if not (Bytes.equal (Device.puf_key ?env d) enrolled) then incr failures
       done)
     population;
   {

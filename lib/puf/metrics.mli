@@ -16,9 +16,13 @@ type report = {
 }
 
 val evaluate :
-  ?devices:int -> ?challenges_per_device:int -> ?reeval:int -> seed:int64 -> unit -> report
+  ?devices:int -> ?challenges_per_device:int -> ?reeval:int -> ?env:Env.t ->
+  seed:int64 -> unit -> report
 (** Monte-Carlo evaluation over a fresh population ([devices] default 32,
     [challenges_per_device] default 128 random challenges, [reeval] default
-    32 noisy re-evaluations per challenge). *)
+    32 noisy re-evaluations per challenge).  [env] (default {!Env.nominal})
+    sets the operating point for the noisy evaluations and key
+    regenerations; enrollment (ideal responses, enrolled keys) stays
+    nominal, as in the factory. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -191,6 +191,72 @@ let test_verif_corpus_empty () =
       let code, _ = run_cli [ "verif"; "corpus"; dir ] in
       check Alcotest.int "empty corpus is fine" 0 code)
 
+(* ------------------------------------------------------------------ *)
+(* puf subcommands: device-id parsing and metrics                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_puf_hex_device_id () =
+  (* decimal and 0x-prefixed hex must name the same device *)
+  let dec, _ = run_cli [ "puf"; "--device-id"; "42" ] in
+  let hex, _ = run_cli [ "puf"; "--device-id"; "0x2A" ] in
+  check Alcotest.int "decimal id accepted" 0 dec;
+  check Alcotest.int "hex id accepted" 0 hex
+
+let test_puf_malformed_device_id () =
+  expect_code "garbage device id" 4 (run_cli [ "puf"; "--device-id"; "not-a-number" ]);
+  expect_code "trailing junk" 4 (run_cli [ "puf"; "--device-id"; "12abc" ]);
+  expect_code "run with bad id" 4
+    (run_cli [ "run"; "/dev/null"; "--device-id"; "0xZZ" ])
+
+let test_puf_metrics_smoke () =
+  let code, err =
+    run_cli
+      [ "puf"; "metrics"; "--devices"; "4"; "--challenges"; "16"; "--reeval"; "4";
+        "--corner"; "cold-lowv" ]
+  in
+  check Alcotest.int "metrics at a corner" 0 code;
+  check Alcotest.bool "no error output" false
+    (String.length err >= 6 && String.sub err 0 6 = "error:")
+
+let test_puf_unknown_corner () =
+  let code, _ = run_cli [ "puf"; "metrics"; "--corner"; "volcano" ] in
+  (* cmdliner usage errors exit 124 by its convention for conv failures *)
+  check Alcotest.bool "unknown corner refused" true (code <> 0)
+
+(* ------------------------------------------------------------------ *)
+(* fleet reenroll + verif env through the real binary                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_fleet_reenroll_smoke () =
+  with_tmp (fun path ->
+      ignore (make_registry path 2);
+      let code, err = run_cli [ "fleet"; "reenroll"; "--registry"; path ] in
+      check Alcotest.int "reenroll clean run" 0 code;
+      check Alcotest.bool "no error output" false
+        (String.length err >= 6 && String.sub err 0 6 = "error:");
+      (* the surveyed registry must still load *)
+      match Eric_fleet.Registry.load path with
+      | Ok reg -> check Alcotest.int "registry intact" 2 (Eric_fleet.Registry.count reg)
+      | Error e -> Alcotest.fail e)
+
+let test_verif_env_smoke () =
+  with_tmp (fun out ->
+      let code, _ =
+        run_cli
+          [ "verif"; "env"; "--devices"; "2"; "--boots"; "3"; "--out"; out ]
+      in
+      check Alcotest.int "sweep passes" 0 code;
+      let json = In_channel.with_open_bin out In_channel.input_all in
+      let contains needle =
+        let n = String.length needle and h = String.length json in
+        let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool "report written" true (String.length json > 0);
+      check Alcotest.bool "names the suite" true (contains {|"suite":"env_sweep"|});
+      check Alcotest.bool "covers the stress corner" true (contains {|"corner":"cold-lowv"|});
+      check Alcotest.bool "reports pass/fail" true (contains {|"passed":true|}))
+
 let () =
   Alcotest.run "eric_cli"
     [ ( "malformed-input",
@@ -206,7 +272,15 @@ let () =
           Alcotest.test_case "program exit passes through" `Quick
             test_exit_code_program_exit_passthrough;
           Alcotest.test_case "internal error is 1" `Quick test_exit_code_internal ] );
+      ( "puf",
+        [ Alcotest.test_case "hex device id" `Quick test_puf_hex_device_id;
+          Alcotest.test_case "malformed device id is 4" `Quick test_puf_malformed_device_id;
+          Alcotest.test_case "metrics smoke" `Quick test_puf_metrics_smoke;
+          Alcotest.test_case "unknown corner refused" `Quick test_puf_unknown_corner ] );
+      ( "fleet",
+        [ Alcotest.test_case "reenroll smoke" `Quick test_fleet_reenroll_smoke ] );
       ( "verif",
         [ Alcotest.test_case "fuzz smoke" `Quick test_verif_fuzz_smoke;
           Alcotest.test_case "inject smoke" `Quick test_verif_inject_smoke;
-          Alcotest.test_case "empty corpus" `Quick test_verif_corpus_empty ] ) ]
+          Alcotest.test_case "empty corpus" `Quick test_verif_corpus_empty;
+          Alcotest.test_case "env sweep smoke" `Quick test_verif_env_smoke ] ) ]

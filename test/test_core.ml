@@ -724,6 +724,106 @@ let test_envbind_end_to_end () =
 (* Analysis                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Fuzzy-extractor boot path                                           *)
+(* ------------------------------------------------------------------ *)
+
+let enrolled_device id =
+  let device = Eric_puf.Device.manufacture id in
+  match Eric_puf.Enroll.enroll device with
+  | Ok e -> (device, e)
+  | Error e -> Alcotest.fail (Printf.sprintf "device %Ld refused enrollment: %s" id e)
+
+let tampered_helper (e : Eric_puf.Enroll.enrollment) =
+  let tag = Bytes.copy e.Eric_puf.Enroll.helper.Eric_puf.Enroll.tag in
+  Bytes.set tag 0 (Char.chr (Char.code (Bytes.get tag 0) lxor 1));
+  { e.Eric_puf.Enroll.helper with Eric_puf.Enroll.tag = tag }
+
+let test_kmu_boot_key () =
+  let device, e = enrolled_device 7100L in
+  (match Eric.Kmu.boot_key device e.Eric_puf.Enroll.helper with
+  | Eric.Kmu.Key_ready key ->
+    (* the booted key is derive(enrolled puf key, context) *)
+    check Alcotest.string "boot key = derived enrolled key"
+      (Eric_util.Bytesx.to_hex
+         (Eric.Kmu.derive ~puf_key:e.Eric_puf.Enroll.key Eric.Kmu.default_context))
+      (Eric_util.Bytesx.to_hex key)
+  | Eric.Kmu.Key_reconstruction_failed f ->
+    Alcotest.fail (Eric_puf.Fuzzy.failure_to_string f));
+  match Eric.Kmu.boot_key device (tampered_helper e) with
+  | Eric.Kmu.Key_ready _ -> Alcotest.fail "tampered helper booted a key"
+  | Eric.Kmu.Key_reconstruction_failed (Eric_puf.Fuzzy.Exhausted _) -> ()
+  | Eric.Kmu.Key_reconstruction_failed f ->
+    Alcotest.fail ("expected exhaustion, got " ^ Eric_puf.Fuzzy.failure_to_string f)
+
+let test_target_helper_boot_end_to_end () =
+  (* The production path: enroll, boot through the extractor, ship a
+     package personalized to the reconstructed key, run it. *)
+  let device, e = enrolled_device 7101L in
+  let t = Eric.Target.create_with_helper device e.Eric_puf.Enroll.helper in
+  let key = match Eric.Target.key_state t with
+    | Ok key -> key
+    | Error f -> Alcotest.fail (Eric_puf.Fuzzy.failure_to_string f)
+  in
+  check Alcotest.string "key_state = derived_key" (Eric_util.Bytesx.to_hex key)
+    (Eric_util.Bytesx.to_hex (Eric.Target.derived_key t));
+  let build =
+    match Eric.Source.build ~mode:Eric.Config.Full ~key test_source with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  (match Eric.Target.execute t build.Eric.Source.package with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Eric.Target.pp_load_error e)
+  | Ok r -> check Alcotest.string "program output" expected_output r.Eric_sim.Soc.output);
+  (* a helper boot pays reconstruction (reads + tag hashing) in its
+     key-setup accounting, which dominates the legacy majority vote *)
+  let fixed target build =
+    match Eric.Target.receive target build.Eric.Source.package with
+    | Error e -> Alcotest.fail (Format.asprintf "%a" Eric.Target.pp_load_error e)
+    | Ok loaded -> loaded.Eric.Target.load.Eric_hw.Hde.fixed_cycles
+  in
+  let plain_target = Eric.Target.create device in
+  let plain_build =
+    match
+      Eric.Source.build ~mode:Eric.Config.Full
+        ~key:(Eric.Target.derived_key plain_target) test_source
+    with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  check Alcotest.bool "reconstruction costs more than a majority vote" true
+    (fixed t build > fixed plain_target plain_build)
+
+let test_target_key_unavailable_refuses () =
+  let device, e = enrolled_device 7102L in
+  let t = Eric.Target.create_with_helper device (tampered_helper e) in
+  (match Eric.Target.key_state t with
+  | Ok _ -> Alcotest.fail "tampered helper produced a key"
+  | Error _ -> ());
+  (* derived_key is the provisioning-path accessor; on a failed boot it
+     must raise, not return garbage *)
+  (match Eric.Target.derived_key t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "derived_key returned despite failed reconstruction");
+  (* every load refuses with the typed error and a distinct refusal
+     reason, never executes *)
+  let key =
+    Eric.Kmu.derive ~puf_key:e.Eric_puf.Enroll.key Eric.Kmu.default_context
+  in
+  let build =
+    match Eric.Source.build ~mode:Eric.Config.Full ~key test_source with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  match Eric.Target.receive t build.Eric.Source.package with
+  | Ok _ -> Alcotest.fail "keyless target accepted a load"
+  | Error (Eric.Target.Key_unavailable _ as err) ->
+    check Alcotest.string "refusal reason" "key-reconstruction"
+      (Eric.Target.refusal_reason err)
+  | Error err ->
+    Alcotest.fail
+      (Format.asprintf "expected Key_unavailable, got %a" Eric.Target.pp_load_error err)
+
 let test_static_analysis_contrast () =
   let img = Lazy.force image in
   let plain = Eric_rv.Program.text_bytes img in
@@ -807,6 +907,11 @@ let () =
           Alcotest.test_case "cross-check fleet + clone" `Slow test_protocol_cross_check_fleet;
           Alcotest.test_case "epoch rotation revokes" `Quick test_epoch_rotation_revokes;
           Alcotest.test_case "RSA in-band provisioning" `Slow test_provision_over_network ] );
+      ( "boot",
+        [ Alcotest.test_case "kmu boot_key" `Quick test_kmu_boot_key;
+          Alcotest.test_case "helper boot end to end" `Quick test_target_helper_boot_end_to_end;
+          Alcotest.test_case "key unavailable refuses" `Quick
+            test_target_key_unavailable_refuses ] );
       ( "envbind",
         [ Alcotest.test_case "unconstrained = base" `Quick test_envbind_unconstrained_is_base;
           Alcotest.test_case "window/band/frequency" `Quick test_envbind_same_window_same_key;

@@ -101,6 +101,13 @@ let test_channel_of_string () =
 (* Registry wire format                                                *)
 (* ------------------------------------------------------------------ *)
 
+let helper_eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some h, Some h' ->
+    Bytes.equal (Eric_puf.Enroll.serialize h) (Eric_puf.Enroll.serialize h')
+  | _ -> false
+
 let entry_eq (a : Eric_fleet.Registry.entry) (b : Eric_fleet.Registry.entry) =
   Int64.equal a.Eric_fleet.Registry.device_id b.Eric_fleet.Registry.device_id
   && a.Eric_fleet.Registry.epoch = b.Eric_fleet.Registry.epoch
@@ -108,6 +115,8 @@ let entry_eq (a : Eric_fleet.Registry.entry) (b : Eric_fleet.Registry.entry) =
   && Bytes.equal a.Eric_fleet.Registry.key b.Eric_fleet.Registry.key
   && a.Eric_fleet.Registry.firmware_epoch = b.Eric_fleet.Registry.firmware_epoch
   && a.Eric_fleet.Registry.status = b.Eric_fleet.Registry.status
+  && helper_eq a.Eric_fleet.Registry.helper b.Eric_fleet.Registry.helper
+  && a.Eric_fleet.Registry.instability_ppm = b.Eric_fleet.Registry.instability_ppm
 
 let registry_roundtrip_prop =
   (* Arbitrary entries (device id = index, so ids never collide) survive
@@ -118,12 +127,12 @@ let registry_roundtrip_prop =
         (triple
            (pair small_nat small_printable_string)
            (pair (string_of_size (Gen.return 32)) small_nat)
-           (option small_printable_string)))
+           (pair (option small_printable_string) small_nat)))
   in
   qtest ~count:200 "registry round-trips" entry_gen (fun specs ->
       let reg = Eric_fleet.Registry.create () in
       List.iteri
-        (fun i ((epoch, label), (key, firmware_epoch), quarantine) ->
+        (fun i ((epoch, label), (key, firmware_epoch), (quarantine, instability_ppm)) ->
           let entry =
             {
               Eric_fleet.Registry.device_id = Int64.of_int i;
@@ -135,6 +144,8 @@ let registry_roundtrip_prop =
                 (match quarantine with
                 | None -> Eric_fleet.Registry.Active
                 | Some reason -> Eric_fleet.Registry.Quarantined reason);
+              helper = None;
+              instability_ppm;
             }
           in
           match Eric_fleet.Registry.add reg entry with
@@ -211,6 +222,60 @@ let test_registry_enroll_rejects_duplicates () =
   match Eric_fleet.Registry.enroll reg 9_100L with
   | Ok _ -> Alcotest.fail "duplicate enrolled"
   | Error _ -> check Alcotest.int "count unchanged" 2 (Eric_fleet.Registry.count reg)
+
+let test_registry_helper_roundtrip () =
+  (* Reliability-aware enrollment attaches helper data; the v2 wire
+     format must carry it byte-for-byte, extractor tag included. *)
+  let reg = enroll_fleet 2 in
+  List.iter
+    (fun (e : Eric_fleet.Registry.entry) ->
+      check Alcotest.bool "enrollment produced helper data" true
+        (e.Eric_fleet.Registry.helper <> None))
+    (Eric_fleet.Registry.entries reg);
+  match Eric_fleet.Registry.parse (Eric_fleet.Registry.serialize reg) with
+  | Error e -> Alcotest.fail e
+  | Ok reg' ->
+    check Alcotest.bool "helpers survive the round-trip" true
+      (List.for_all2 entry_eq (Eric_fleet.Registry.entries reg)
+         (Eric_fleet.Registry.entries reg'))
+
+let test_registry_v1_compat () =
+  (* A hand-built version-1 file (no helper section) must still parse,
+     landing as a legacy entry: no helper, zero instability. *)
+  let buf = Buffer.create 64 in
+  let u16 v =
+    Buffer.add_char buf (Char.chr (v land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+  in
+  let u32 v = u16 (v land 0xFFFF); u16 ((v lsr 16) land 0xFFFF) in
+  Buffer.add_string buf "EFRG";
+  u16 1 (* version *);
+  u16 0 (* reserved *);
+  u32 1 (* count *);
+  Buffer.add_string buf "\x2A\x00\x00\x00\x00\x00\x00\x00" (* device id 42 *);
+  u32 3 (* epoch *);
+  u32 7 (* firmware epoch *);
+  u16 4;
+  Buffer.add_string buf "eric" (* label *);
+  u16 4;
+  Buffer.add_string buf "KEY!" (* key *);
+  Buffer.add_char buf '\000' (* active *);
+  match Eric_fleet.Registry.parse (Buffer.to_bytes buf) with
+  | Error e -> Alcotest.fail ("v1 registry refused: " ^ e)
+  | Ok reg ->
+    let e = List.hd (Eric_fleet.Registry.entries reg) in
+    check Alcotest.int64 "device id" 42L e.Eric_fleet.Registry.device_id;
+    check Alcotest.int "epoch" 3 e.Eric_fleet.Registry.epoch;
+    check Alcotest.bool "legacy entry has no helper" true
+      (e.Eric_fleet.Registry.helper = None);
+    check Alcotest.int "legacy instability is zero" 0 e.Eric_fleet.Registry.instability_ppm;
+    (* re-serializing writes version 2; the upgrade must round-trip *)
+    (match Eric_fleet.Registry.parse (Eric_fleet.Registry.serialize reg) with
+    | Error e -> Alcotest.fail ("re-serialized v1 refused: " ^ e)
+    | Ok reg' ->
+      check Alcotest.bool "v1 -> v2 rewrite round-trips" true
+        (List.for_all2 entry_eq (Eric_fleet.Registry.entries reg)
+           (Eric_fleet.Registry.entries reg')))
 
 (* ------------------------------------------------------------------ *)
 (* Artifact cache                                                      *)
@@ -505,6 +570,95 @@ let test_rotation_rsa_in_band () =
   check Alcotest.int "campaign under RSA-provisioned keys" 2 r.Eric_fleet.Campaign.delivered
 
 (* ------------------------------------------------------------------ *)
+(* Key-reconstruction failure and re-enrollment                        *)
+(* ------------------------------------------------------------------ *)
+
+let tamper_helper (h : Eric_puf.Enroll.helper) =
+  (* Flip one tag byte: reconstruction decodes the right key but the
+     integrity check refuses it, so every boot fails explicitly. *)
+  let tag = Bytes.copy h.Eric_puf.Enroll.tag in
+  Bytes.set tag 0 (Char.chr (Char.code (Bytes.get tag 0) lxor 1));
+  { h with Eric_puf.Enroll.tag }
+
+let tamper_entry reg (entry : Eric_fleet.Registry.entry) =
+  match entry.Eric_fleet.Registry.helper with
+  | None -> Alcotest.fail "expected helper data"
+  | Some h ->
+    let entry' =
+      { entry with Eric_fleet.Registry.helper = Some (tamper_helper h) }
+    in
+    Eric_fleet.Registry.update reg entry';
+    entry'
+
+let test_shipper_key_reconstruction_quarantine () =
+  (* A device whose helper data no longer reconstructs a key must be
+     quarantined immediately and with a reason distinct from repeated
+     signature refusals: no signed package can ever land, so burning
+     attempts is pointless. *)
+  let reg = enroll_fleet 1 in
+  let entry = tamper_entry reg (List.hd (Eric_fleet.Registry.entries reg)) in
+  let build =
+    match Eric.Source.prepare ~mode:Eric.Config.Full test_source with
+    | Ok p -> Eric.Source.personalize ~key:entry.Eric_fleet.Registry.key p
+    | Error e -> Alcotest.fail e
+  in
+  let d =
+    Eric_fleet.Shipper.ship ~build ~target:(Eric_fleet.Registry.target reg entry) ()
+  in
+  match d.Eric_fleet.Shipper.outcome with
+  | Eric_fleet.Shipper.Quarantined { reason } ->
+    check Alcotest.string "distinct quarantine reason" "key reconstruction failed" reason;
+    check Alcotest.int "no attempts wasted" 1 d.Eric_fleet.Shipper.attempts
+  | Eric_fleet.Shipper.Delivered _ -> Alcotest.fail "keyless target accepted a package"
+
+let test_reenroll_campaign () =
+  let reg = enroll_fleet 3 in
+  (* device 1: healthy.  device 2: tampered helper + the quarantine the
+     shipper would have applied.  device 3 stays healthy; plus one legacy
+     entry without helper data that must be upgraded. *)
+  let victim = List.nth (Eric_fleet.Registry.entries reg) 1 in
+  let victim' = tamper_entry reg victim in
+  Eric_fleet.Registry.update reg
+    { victim' with
+      Eric_fleet.Registry.status =
+        Eric_fleet.Registry.Quarantined "key reconstruction failed" };
+  (match
+     Eric_fleet.Registry.add reg
+       {
+         Eric_fleet.Registry.device_id = 9_300L;
+         epoch = 0;
+         label = "eric";
+         key = Bytes.make 32 'x';
+         firmware_epoch = 0;
+         status = Eric_fleet.Registry.Active;
+         helper = None;
+         instability_ppm = 0;
+       }
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let report = Eric_fleet.Reenroll.run reg in
+  check Alcotest.int "surveyed everyone" 4 report.Eric_fleet.Reenroll.surveyed;
+  check Alcotest.int "two healthy" 2 report.Eric_fleet.Reenroll.healthy;
+  check Alcotest.int "quarantined device re-enrolled" 1
+    report.Eric_fleet.Reenroll.reenrolled;
+  check Alcotest.int "legacy entry upgraded" 1 report.Eric_fleet.Reenroll.upgraded;
+  check Alcotest.int "quarantine lifted" 1 report.Eric_fleet.Reenroll.reactivated;
+  check Alcotest.int "nobody failed" 0 (List.length report.Eric_fleet.Reenroll.failed);
+  check Alcotest.bool "all accounted" true (Eric_fleet.Reenroll.all_accounted report);
+  List.iter
+    (fun (e : Eric_fleet.Registry.entry) ->
+      check Alcotest.bool "every entry now boots via helper" true
+        (e.Eric_fleet.Registry.helper <> None);
+      check Alcotest.bool "every entry active" true
+        (e.Eric_fleet.Registry.status = Eric_fleet.Registry.Active))
+    (Eric_fleet.Registry.entries reg);
+  (* the repaired fleet must actually take a deployment *)
+  let cache = Eric_fleet.Artifact_cache.create () in
+  let r = deploy ~cache reg in
+  check Alcotest.int "repaired fleet takes a campaign" 4 r.Eric_fleet.Campaign.delivered
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "eric_fleet"
@@ -518,7 +672,9 @@ let () =
         [ registry_roundtrip_prop;
           Alcotest.test_case "parse rejects" `Quick test_registry_parse_rejects;
           Alcotest.test_case "save/load" `Quick test_registry_save_load;
-          Alcotest.test_case "duplicate enroll" `Quick test_registry_enroll_rejects_duplicates ] );
+          Alcotest.test_case "duplicate enroll" `Quick test_registry_enroll_rejects_duplicates;
+          Alcotest.test_case "helper round-trip" `Quick test_registry_helper_roundtrip;
+          Alcotest.test_case "v1 compatibility" `Quick test_registry_v1_compat ] );
       ( "cache",
         [ Alcotest.test_case "memory tier" `Quick test_cache_memory_tier;
           Alcotest.test_case "disk tier" `Quick test_cache_disk_tier;
@@ -539,4 +695,8 @@ let () =
       ( "rotation",
         [ Alcotest.test_case "rekeys + reactivates" `Quick test_rotation_rekeys_and_reactivates;
           Alcotest.test_case "revokes old packages" `Quick test_rotation_revokes_old_packages;
-          Alcotest.test_case "RSA in-band" `Slow test_rotation_rsa_in_band ] ) ]
+          Alcotest.test_case "RSA in-band" `Slow test_rotation_rsa_in_band ] );
+      ( "reenroll",
+        [ Alcotest.test_case "key-reconstruction quarantine" `Quick
+            test_shipper_key_reconstruction_quarantine;
+          Alcotest.test_case "campaign" `Quick test_reenroll_campaign ] ) ]

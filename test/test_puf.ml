@@ -89,6 +89,211 @@ let test_device_respond_arity () =
   Alcotest.check_raises "arity" (Invalid_argument "Device.respond: one challenge per chain expected")
     (fun () -> ignore (Device.respond d [| 1; 2; 3 |]))
 
+(* ------------------------------------------------------------------ *)
+(* Environment model                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_env_nominal_identity () =
+  check (Alcotest.float 1e-9) "nominal scale is 1" 1.0 (Env.noise_scale Env.nominal);
+  check (Alcotest.float 1e-9) "nominal drift is 0" 0.0 (Env.age_shift_ps Env.nominal)
+
+let test_env_noise_grows_with_stress () =
+  let scale name =
+    match Env.of_name name with
+    | Some env -> Env.noise_scale env
+    | None -> Alcotest.fail ("unknown corner " ^ name)
+  in
+  check Alcotest.bool "cold > nominal" true (scale "cold" > scale "nominal");
+  check Alcotest.bool "low voltage > nominal" true (scale "low-voltage" > scale "nominal");
+  check Alcotest.bool "stress combines both" true
+    (scale "cold-lowv" > scale "cold" && scale "cold-lowv" > scale "low-voltage");
+  (* the acceptance criterion's >= 10x corner exists *)
+  check Alcotest.bool "stress corner is >= 10x nominal" true
+    (Env.noise_scale Env.stress >= 10.0)
+
+let test_env_of_name_total () =
+  List.iter
+    (fun (name, env) ->
+      match Env.of_name name with
+      | Some env' ->
+        check Alcotest.string "round-trips"
+          (Format.asprintf "%a" Env.pp env)
+          (Format.asprintf "%a" Env.pp env');
+        check Alcotest.bool "name recovered" true (Env.name env' = Some name)
+      | None -> Alcotest.fail ("corner list name not parsed: " ^ name))
+    Env.corners;
+  check Alcotest.bool "garbage refused" true (Env.of_name "volcano" = None)
+
+let test_env_aging_shifts_responses () =
+  (* Aging drifts delays, so an aged device must eventually disagree with
+     its nominal self on some noiseless response; the same device queried
+     twice at the same age must agree with itself. *)
+  let d = Device.manufacture 321L in
+  let aged = { Env.nominal with Env.age_years = 10.0 } in
+  let ch = Device.challenge_set d in
+  let later = Device.respond ~noisy:false ~env:aged d ch in
+  let later' = Device.respond ~noisy:false ~env:aged d ch in
+  check Alcotest.bool "aged responses deterministic" true (Eric_util.Bitvec.equal later later');
+  (* Scan the full challenge space: a decade of drift must move at least
+     one marginal response somewhere on the die.  Determinism makes this
+     a fixed fact of device 321, not flaky. *)
+  let disagreements = ref 0 in
+  for chain = 0 to Device.chains d - 1 do
+    for challenge = 0 to 255 do
+      if
+        Device.eval_chain ~noisy:false d ~chain ~challenge
+        <> Device.eval_chain ~noisy:false ~env:aged d ~chain ~challenge
+      then incr disagreements
+    done
+  done;
+  check Alcotest.bool "a decade moves some marginal bit" true (!disagreements > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Enrollment + helper data                                            *)
+(* ------------------------------------------------------------------ *)
+
+let enroll_ok ?config id =
+  match Enroll.enroll ?config (Device.manufacture id) with
+  | Ok e -> e
+  | Error e -> Alcotest.fail (Printf.sprintf "device %Ld refused enrollment: %s" id e)
+
+let test_enroll_deterministic () =
+  let a = enroll_ok 900L and b = enroll_ok 900L in
+  check Alcotest.string "same helper blob"
+    (Eric_util.Bytesx.to_hex (Enroll.serialize a.Enroll.helper))
+    (Eric_util.Bytesx.to_hex (Enroll.serialize b.Enroll.helper));
+  check Alcotest.string "same key" (Eric_util.Bytesx.to_hex a.Enroll.key)
+    (Eric_util.Bytesx.to_hex b.Enroll.key);
+  check Alcotest.bool "enough chains kept" true
+    (Enroll.kept_chains a.Enroll.helper >= Enroll.default_config.Enroll.min_chains)
+
+let test_helper_serialize_roundtrip () =
+  let e = enroll_ok 901L in
+  let blob = Enroll.serialize e.Enroll.helper in
+  match Enroll.parse blob with
+  | Error err -> Alcotest.fail err
+  | Ok h ->
+    check Alcotest.string "round-trips byte-for-byte"
+      (Eric_util.Bytesx.to_hex blob)
+      (Eric_util.Bytesx.to_hex (Enroll.serialize h))
+
+let test_helper_parse_rejects () =
+  let e = enroll_ok 902L in
+  let good = Enroll.serialize e.Enroll.helper in
+  let expect_error what bytes =
+    match Enroll.parse bytes with
+    | Ok _ -> Alcotest.fail (what ^ " parsed")
+    | Error _ -> ()
+  in
+  for len = 0 to min 64 (Bytes.length good - 1) do
+    expect_error (Printf.sprintf "truncated to %d" len) (Bytes.sub good 0 len)
+  done;
+  let flip pos =
+    let b = Bytes.copy good in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xFF));
+    b
+  in
+  expect_error "bad magic" (flip 0);
+  expect_error "bad version" (flip 4);
+  expect_error "trailing garbage" (Bytes.cat good (Bytes.of_string "z"))
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzy extractor                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let reconstruction_deterministic_prop =
+  (* For any device, reconstruction at nominal returns exactly the
+     enrolled key — never a different key, never a refusal. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25 ~name:"nominal reconstruction yields the enrolled key"
+       QCheck.(int_range 1 10_000)
+       (fun n ->
+         let id = Int64.of_int (100_000 + n) in
+         match Enroll.enroll (Device.manufacture id) with
+         | Error _ -> QCheck.assume_fail () (* scrapped die: out of scope *)
+         | Ok e -> (
+           match Fuzzy.reconstruct (Device.manufacture id) e.Enroll.helper with
+           | Error f -> QCheck.Test.fail_report (Fuzzy.failure_to_string f)
+           | Ok r -> Bytes.equal r.Fuzzy.key e.Enroll.key)))
+
+let test_fuzzy_wrong_device_refuses () =
+  let e = enroll_ok 903L in
+  match Fuzzy.reconstruct (Device.manufacture 904L) e.Enroll.helper with
+  | Error (Fuzzy.Helper_mismatch _) -> ()
+  | Error (Fuzzy.Exhausted _) -> Alcotest.fail "expected a structural mismatch"
+  | Ok _ -> Alcotest.fail "another device's helper reconstructed a key"
+
+let test_helper_tamper_never_yields_wrong_key () =
+  (* The regression the tag exists for: flip any byte of the sketch or
+     tag and reconstruction must either refuse (typed failure) or — if
+     the flipped bit lands outside the decode path — still produce the
+     one enrolled key.  A different key must never verify. *)
+  let e = enroll_ok 905L in
+  let d = Device.manufacture 905L in
+  let h = e.Enroll.helper in
+  let tampered_sketch =
+    let s = Eric_util.Bitvec.to_bytes h.Enroll.sketch in
+    Bytes.set s 0 (Char.chr (Char.code (Bytes.get s 0) lxor 0x0F));
+    { h with Enroll.sketch = Eric_util.Bitvec.of_bytes ~len:(Eric_util.Bitvec.length h.Enroll.sketch) s }
+  in
+  let tampered_tag =
+    let t = Bytes.copy h.Enroll.tag in
+    Bytes.set t 5 (Char.chr (Char.code (Bytes.get t 5) lxor 0x80));
+    { h with Enroll.tag = t }
+  in
+  List.iter
+    (fun (what, h') ->
+      match Fuzzy.reconstruct d h' with
+      | Error (Fuzzy.Exhausted _) -> () (* explicit refusal: the safe outcome *)
+      | Error (Fuzzy.Helper_mismatch _) -> ()
+      | Ok r ->
+        check Alcotest.string (what ^ ": only the enrolled key may verify")
+          (Eric_util.Bytesx.to_hex e.Enroll.key)
+          (Eric_util.Bytesx.to_hex r.Fuzzy.key))
+    [ ("sketch bits flipped", tampered_sketch); ("tag byte flipped", tampered_tag) ];
+  (* the tag flip specifically must refuse: the decoded key is right but
+     cannot reproduce a corrupted tag *)
+  match Fuzzy.reconstruct d tampered_tag with
+  | Error (Fuzzy.Exhausted { attempts }) ->
+    check Alcotest.int "used every bounded attempt" Fuzzy.default_config.Fuzzy.attempts attempts
+  | Error (Fuzzy.Helper_mismatch _) -> Alcotest.fail "tag flip is not structural"
+  | Ok _ -> Alcotest.fail "corrupted tag verified"
+
+let test_corner_sweep_kfr () =
+  (* Nominal corner: both boot paths are error-free.  Stress corner
+     (>= 10x noise): the fuzzy extractor still reconstructs every boot
+     while the plain majority vote measurably fails — checked over a
+     fixed population so the numbers are deterministic. *)
+  let boots = 20 in
+  let ids = List.init 4 (fun i -> Int64.of_int (950 + i)) in
+  let run env =
+    List.fold_left
+      (fun (plain_fails, fuzzy_fails, wrong) id ->
+        let d = Device.manufacture id in
+        let e = enroll_ok id in
+        let reference = Device.puf_key d in
+        let rec go n ((p, f, w) as acc) =
+          if n = 0 then acc
+          else
+            let p = if Bytes.equal (Device.puf_key ~env d) reference then p else p + 1 in
+            let f, w =
+              match Fuzzy.reconstruct ~env d e.Enroll.helper with
+              | Ok r -> (f, if Bytes.equal r.Fuzzy.key e.Enroll.key then w else w + 1)
+              | Error _ -> (f + 1, w)
+            in
+            go (n - 1) (p, f, w)
+        in
+        go boots (plain_fails, fuzzy_fails, wrong))
+      (0, 0, 0) ids
+  in
+  let plain_nom, fuzzy_nom, wrong_nom = run Env.nominal in
+  check Alcotest.int "nominal: plain kfr = 0" 0 plain_nom;
+  check Alcotest.int "nominal: fuzzy kfr = 0" 0 fuzzy_nom;
+  let plain_stress, fuzzy_stress, wrong_stress = run Env.stress in
+  check Alcotest.bool "stress: plain majority measurably fails" true (plain_stress > 0);
+  check Alcotest.int "stress: fuzzy extractor survives every boot" 0 fuzzy_stress;
+  check Alcotest.int "no wrong key anywhere" 0 (wrong_nom + wrong_stress)
+
 let test_metrics_quality () =
   let r = Metrics.evaluate ~devices:12 ~challenges_per_device:48 ~reeval:8 ~seed:2024L () in
   check Alcotest.bool "uniformity near 50%" true
@@ -118,6 +323,21 @@ let () =
           Alcotest.test_case "ideal response deterministic" `Quick
             test_device_noiseless_response_deterministic;
           Alcotest.test_case "respond arity" `Quick test_device_respond_arity ] );
+      ( "env",
+        [ Alcotest.test_case "nominal identity" `Quick test_env_nominal_identity;
+          Alcotest.test_case "noise grows with stress" `Quick test_env_noise_grows_with_stress;
+          Alcotest.test_case "of_name total" `Quick test_env_of_name_total;
+          Alcotest.test_case "aging shifts responses" `Quick test_env_aging_shifts_responses ] );
+      ( "enroll",
+        [ Alcotest.test_case "deterministic" `Quick test_enroll_deterministic;
+          Alcotest.test_case "helper round-trip" `Quick test_helper_serialize_roundtrip;
+          Alcotest.test_case "parse rejects" `Quick test_helper_parse_rejects ] );
+      ( "fuzzy",
+        [ reconstruction_deterministic_prop;
+          Alcotest.test_case "wrong device refuses" `Quick test_fuzzy_wrong_device_refuses;
+          Alcotest.test_case "tamper never yields wrong key" `Quick
+            test_helper_tamper_never_yields_wrong_key;
+          Alcotest.test_case "corner sweep kfr" `Slow test_corner_sweep_kfr ] );
       ( "metrics",
         [ Alcotest.test_case "population quality" `Slow test_metrics_quality;
           Alcotest.test_case "validation" `Quick test_metrics_validation ] ) ]
