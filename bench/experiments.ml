@@ -737,3 +737,70 @@ let verif () =
     (100.0 *. Eric_verif.Inject.detection_coverage key);
   Report.record ~suite:"verif" ~metric:"inject_dram_coverage_pct" ~unit_:"%"
     (100.0 *. Eric_verif.Inject.detection_coverage dram)
+
+(* ------------------------------------------------------------------ *)
+(* OTA update service scenarios                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The serve subsystem's SLO numbers, per scenario preset, on the
+   simulated clock — fully deterministic, so these rows are stable
+   across machines.  The final section re-runs flash-crowd scaled to
+   >= 10^4 requests to demonstrate the Zipf cache economics: a handful
+   of corpus-wide compiles absorb the entire request stream. *)
+let serve () =
+  Report.heading "OTA update service: per-scenario SLOs (simulated time)";
+  let module S = Eric_serve.Slo in
+  let seed = 42L in
+  let suite = "serve" in
+  let rows =
+    List.map
+      (fun (sc : Eric_serve.Scenario.t) ->
+        let r = Eric_serve.Service.run ~seed ~scenario:sc () in
+        let name = sc.Eric_serve.Scenario.name in
+        let m fmt = Printf.sprintf fmt name in
+        Report.record ~suite ~metric:(m "%s_requests") ~unit_:"count"
+          (float_of_int r.S.requests);
+        Report.record ~suite ~metric:(m "%s_p50_ms") ~unit_:"ms" r.S.latency.S.p50_ms;
+        Report.record ~suite ~metric:(m "%s_p99_ms") ~unit_:"ms" r.S.latency.S.p99_ms;
+        Report.record ~suite ~metric:(m "%s_refusal_rate") ~unit_:"ratio" r.S.refusal_rate;
+        Report.record ~suite ~metric:(m "%s_quarantine_rate") ~unit_:"ratio"
+          r.S.quarantine_rate;
+        Report.record ~suite ~metric:(m "%s_cache_hit_rate") ~unit_:"ratio"
+          r.S.cache_hit_rate;
+        if not (S.passed r) then
+          failwith
+            (Printf.sprintf "serve bench: scenario %s blew its SLO budget: %s" name
+               (String.concat "; " r.S.violations));
+        [ name;
+          Report.i r.S.requests;
+          Report.f1 r.S.latency.S.p50_ms;
+          Report.f1 r.S.latency.S.p99_ms;
+          Printf.sprintf "%.2f" (100.0 *. r.S.refusal_rate);
+          Printf.sprintf "%.2f" (100.0 *. r.S.quarantine_rate);
+          Printf.sprintf "%.2f" (100.0 *. r.S.cache_hit_rate) ])
+      Eric_serve.Scenario.presets
+  in
+  Report.table
+    ~header:[ "scenario"; "requests"; "p50 ms"; "p99 ms"; "refused %"; "quar %"; "cache %" ]
+    rows;
+  (* Zipf cache economics at scale: the acceptance bar is a >90% hit
+     rate over at least 10^4 requests. *)
+  let sc =
+    Eric_serve.Scenario.with_rate_scale Eric_serve.Scenario.flash_crowd ~factor:2.0
+  in
+  let big = Eric_serve.Service.run ~seed:7L ~scenario:sc () in
+  if big.S.requests < 10_000 then
+    failwith
+      (Printf.sprintf "serve bench: wanted >= 10^4 requests, generated %d" big.S.requests);
+  if big.S.cache_hit_rate <= 0.9 then
+    failwith
+      (Printf.sprintf "serve bench: Zipf cache hit rate %.4f is not > 0.9"
+         big.S.cache_hit_rate);
+  Printf.printf "zipf at scale: %d requests, cache hit rate %.2f%% (%d compiles)\n"
+    big.S.requests
+    (100.0 *. big.S.cache_hit_rate)
+    big.S.cache_misses;
+  Report.record ~suite ~metric:"zipf_requests" ~unit_:"count" (float_of_int big.S.requests);
+  Report.record ~suite ~metric:"zipf_cache_hit_rate" ~unit_:"ratio" big.S.cache_hit_rate;
+  Report.record ~suite ~metric:"zipf_cache_misses" ~unit_:"count"
+    (float_of_int big.S.cache_misses)

@@ -10,6 +10,7 @@
      puf       show a device's PUF identity and derived key
      fleet     enroll devices, run deployment campaigns, rotate keys
      verif     differential fuzzing and fault-injection campaigns
+     serve     simulated OTA update service with SLO accounting
 
    Exit codes are uniform across subcommands:
      0    success
@@ -1262,6 +1263,118 @@ let puf_cmd =
           device).")
     [ puf_show_cmd; puf_metrics_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* Serve: simulated OTA update service                                 *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Eric_serve.Scenario.by_name s) in
+  Arg.conv (parse, fun fmt sc -> Format.pp_print_string fmt sc.Eric_serve.Scenario.name)
+
+let serve_run_cmd =
+  let run scenario seed duration rate_scale cache_dir out json slo_error telemetry
+      trace_out =
+    setup_telemetry telemetry trace_out;
+    let scenario =
+      match duration with
+      | None -> scenario
+      | Some seconds -> Eric_serve.Scenario.with_duration scenario ~seconds
+    in
+    let scenario =
+      match rate_scale with
+      | None -> scenario
+      | Some factor -> Eric_serve.Scenario.with_rate_scale scenario ~factor
+    in
+    let report = Eric_serve.Service.run ~seed ?cache_dir ~scenario () in
+    let rendered =
+      Eric_telemetry.Json.to_string (Eric_serve.Slo.to_json report) ^ "\n"
+    in
+    Option.iter (fun path -> write_file path (Bytes.of_string rendered)) out;
+    if json then print_string rendered
+    else Format.printf "%a@." Eric_serve.Slo.pp report;
+    if slo_error && not (Eric_serve.Slo.passed report) then exit exit_failures
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt scenario_conv Eric_serve.Scenario.steady
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Scenario preset to run: %s."
+               (String.concat ", " Eric_serve.Scenario.names)))
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 1L
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "PRNG seed for traffic and channel draws.  The same (scenario, seed) pair \
+             produces a byte-identical report on any machine.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Override the scenario's simulated traffic horizon.")
+  in
+  let rate_scale_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate-scale" ] ~docv:"FACTOR"
+          ~doc:"Scale the scenario's request rates (CI smoke runs shrink both).")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Enable the artifact cache's on-disk tier in DIR.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report to FILE.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the JSON report to stdout instead of the summary.")
+  in
+  let slo_error_arg =
+    Arg.(
+      value & flag
+      & info [ "slo-error" ]
+          ~doc:"Exit 3 when the run blows any of the scenario's SLO budgets.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~exits:campaign_exits
+       ~doc:
+         "Run one scenario of the simulated OTA update service: Zipf-popular workloads \
+          over the corpus, Poisson/burst device arrivals, a bounded admission queue with \
+          shed-on-full backpressure, per-tenant fleets and key rotations — all on a \
+          simulated clock, reporting p50/p99 latency, refusal rate, quarantine rate and \
+          cache hit rate against the scenario's SLO budgets.")
+    Term.(
+      const run $ scenario_arg $ seed_arg $ duration_arg $ rate_scale_arg $ cache_dir_arg
+      $ out_arg $ json_arg $ slo_error_arg $ telemetry_arg $ trace_out_arg)
+
+let serve_scenarios_cmd =
+  let run () =
+    List.iter
+      (fun sc -> Format.printf "%a@." Eric_serve.Scenario.pp sc)
+      Eric_serve.Scenario.presets
+  in
+  Cmd.v
+    (Cmd.info "scenarios" ~doc:"List the scenario presets and their shapes.")
+    Term.(const run $ const ())
+
+let serve_cmd =
+  Cmd.group
+    (Cmd.info "serve"
+       ~doc:
+         "Simulated OTA update service: deterministic traffic scenarios through the fleet \
+          pipeline with bounded queues, backpressure and SLO accounting.")
+    [ serve_run_cmd; serve_scenarios_cmd ]
+
 let () =
   let doc = "ERIC: PUF-keyed software obfuscation and trusted execution" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "eric" ~doc) [ compile_cmd; emit_asm_cmd; asm_cmd; build_cmd; inspect_cmd; disasm_cmd; analyze_cmd; lint_cmd; run_cmd; puf_cmd; fleet_cmd; verif_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "eric" ~doc) [ compile_cmd; emit_asm_cmd; asm_cmd; build_cmd; inspect_cmd; disasm_cmd; analyze_cmd; lint_cmd; run_cmd; puf_cmd; fleet_cmd; verif_cmd; serve_cmd ]))

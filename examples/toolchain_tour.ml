@@ -114,6 +114,15 @@ let () =
     (fun f -> Format.printf "%a@." Eric_verif.Fuzz.pp_failure f)
     outcome.Eric_verif.Fuzz.failures;
 
-  (* 8. what the instrumentation saw: per-stage spans and SoC gauges *)
+  (* 8. the update service under load: 30 simulated seconds of flash-crowd
+     traffic — Zipf-popular workloads, a 25x arrival burst, a bounded
+     admission queue shedding what two servers cannot absorb — and the
+     SLO report the scenario's budgets grade it against.  Deterministic:
+     the same seed reprints this block byte-for-byte. *)
+  print_endline "\n=== serve: flash-crowd scenario (30 simulated seconds) ===";
+  let slo = Eric_serve.Service.run ~seed:7L ~scenario:Eric_serve.Scenario.flash_crowd () in
+  Format.printf "%a@." Eric_serve.Slo.pp slo;
+
+  (* 9. what the instrumentation saw: per-stage spans and SoC gauges *)
   print_endline "\n=== telemetry ===";
   Format.printf "%a@." Eric_telemetry.Export.pp_table (Eric_telemetry.Snapshot.capture ())

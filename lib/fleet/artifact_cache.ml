@@ -17,6 +17,11 @@ let create ?dir () =
 let hits t = t.hits
 let disk_hits t = t.disk_hits
 let misses t = t.misses
+let lookups t = t.hits + t.disk_hits + t.misses
+
+let hit_rate t =
+  let n = lookups t in
+  if n = 0 then 0.0 else float_of_int (t.hits + t.disk_hits) /. float_of_int n
 
 (* The cache key must change whenever the compiler would emit different
    bytes (options) or the package layout/selection would differ (mode,

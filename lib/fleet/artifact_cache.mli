@@ -36,3 +36,10 @@ val get_or_compile :
 val hits : t -> int
 val disk_hits : t -> int
 val misses : t -> int
+
+val lookups : t -> int
+(** Total [get_or_compile] calls. *)
+
+val hit_rate : t -> float
+(** (memory + disk hits) / lookups — 0.0 before any lookup.  The number
+    a long-running update service reports as its cache hit rate. *)

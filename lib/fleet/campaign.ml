@@ -86,7 +86,9 @@ let deploy ?(config = default_config) ~cache ~registry source =
                   Registry.update registry { entry with Registry.firmware_epoch }
                 | Shipper.Quarantined { reason } ->
                   Registry.update registry
-                    { entry with Registry.status = Registry.Quarantined reason });
+                    { entry with
+                      Registry.status =
+                        Registry.Quarantined (Shipper.quarantine_label reason) });
                 (entry, Shipped delivery))
             (Registry.entries registry)
         in

@@ -43,8 +43,9 @@ let count ?labels name =
   if Eric_telemetry.Control.is_enabled () then Eric_telemetry.Registry.inc ?labels name
 
 let key_reconstruction_quarantine = function
-  | Registry.Quarantined "key reconstruction failed" -> true
-  | Registry.Quarantined _ | Registry.Active -> false
+  | Registry.Quarantined reason ->
+    reason = Shipper.quarantine_label Shipper.Key_reconstruction_failed
+  | Registry.Active -> false
 
 let survey_ppm config registry (entry : Registry.entry) helper =
   let worst =

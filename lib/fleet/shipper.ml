@@ -1,11 +1,21 @@
+type quarantine_reason =
+  | Key_reconstruction_failed
+  | Signature_refusals of int
+  | Exhausted of int
+
+let quarantine_label = function
+  | Key_reconstruction_failed -> "key reconstruction failed"
+  | Signature_refusals n -> Printf.sprintf "%d signature refusals" n
+  | Exhausted n -> Printf.sprintf "undeliverable after %d attempts" n
+
 type outcome =
   | Delivered of { load_cycles : int64; exec : Eric_sim.Soc.result option }
-  | Quarantined of { reason : string }
+  | Quarantined of { reason : quarantine_reason }
 
 type delivery = {
   device_id : Eric_puf.Device.id;
   attempts : int;
-  refusals : (int * string) list;
+  refusals : (int * Eric.Target.load_error) list;
   backoff_ns : int64;
   wire_bytes : int;
   outcome : outcome;
@@ -18,7 +28,7 @@ let count ?labels name =
   if Eric_telemetry.Control.is_enabled () then Eric_telemetry.Registry.inc ?labels name
 
 let ship ?(policy = Backoff.default) ?(channel = Channel.clean) ?(execute = false) ?fuel
-    ~(build : Eric.Source.build) ~target () =
+    ?clock ~(build : Eric.Source.build) ~target () =
   let device = Eric_puf.Device.id (Eric.Target.device target) in
   let wire = Eric.Package.serialize build.Eric.Source.package in
   let wire_bytes = Bytes.length wire in
@@ -58,28 +68,31 @@ let ship ?(policy = Backoff.default) ?(channel = Channel.clean) ?(execute = fals
         (Delivered
            { load_cycles = loaded.Eric.Target.load.Eric_hw.Hde.total_cycles; exec })
     | Error e ->
-      let reason = Eric.Target.refusal_reason e in
-      count ~labels:[ ("reason", reason) ] "fleet.ship.refused_total";
-      let refusals = (attempt, reason) :: refusals in
-      let sig_refusals = sig_refusals + if reason = "signature" then 1 else 0 in
-      if reason = "key-reconstruction" then
+      count ~labels:[ ("reason", Eric.Target.refusal_reason e) ] "fleet.ship.refused_total";
+      let refusals = (attempt, e) :: refusals in
+      let sig_refusals =
+        sig_refusals
+        + match e with Eric.Target.Rejected Eric.Encrypt.Signature_mismatch -> 1 | _ -> 0
+      in
+      (match e with
+      | Eric.Target.Key_unavailable _ ->
         (* The device could not rebuild its own key at boot: no retry or
            re-signing can help, and it must not be lumped in with
            signature refusals — re-enrollment, not re-shipping, fixes it. *)
         finish ~attempts:attempt ~refusals ~backoff_ns
-          (Quarantined { reason = "key reconstruction failed" })
-      else if sig_refusals >= policy.Backoff.quarantine_refusals then
-        finish ~attempts:attempt ~refusals ~backoff_ns
-          (Quarantined
-             { reason = Printf.sprintf "%d signature refusals" sig_refusals })
-      else if attempt >= policy.Backoff.max_attempts then
-        finish ~attempts:attempt ~refusals ~backoff_ns
-          (Quarantined
-             { reason = Printf.sprintf "undeliverable after %d attempts" attempt })
-      else begin
-        let delay = Backoff.delay_ns policy ~retry:attempt in
-        attempt_loop (attempt + 1) refusals sig_refusals (Int64.add backoff_ns delay)
-      end
+          (Quarantined { reason = Key_reconstruction_failed })
+      | _ ->
+        if sig_refusals >= policy.Backoff.quarantine_refusals then
+          finish ~attempts:attempt ~refusals ~backoff_ns
+            (Quarantined { reason = Signature_refusals sig_refusals })
+        else if attempt >= policy.Backoff.max_attempts then
+          finish ~attempts:attempt ~refusals ~backoff_ns
+            (Quarantined { reason = Exhausted attempt })
+        else begin
+          let delay = Backoff.delay_ns policy ~retry:attempt in
+          Option.iter (fun c -> Eric_util.Sim_clock.advance c delay) clock;
+          attempt_loop (attempt + 1) refusals sig_refusals (Int64.add backoff_ns delay)
+        end)
   in
   let d = attempt_loop 1 [] 0 0L in
   if Eric_telemetry.Control.is_enabled () then begin
@@ -94,7 +107,7 @@ let pp_outcome fmt = function
   | Delivered { load_cycles; exec = Some r } ->
     Format.fprintf fmt "delivered (%Ld load + %Ld exec cycles)" load_cycles
       r.Eric_sim.Soc.exec_cycles
-  | Quarantined { reason } -> Format.fprintf fmt "quarantined: %s" reason
+  | Quarantined { reason } -> Format.fprintf fmt "quarantined: %s" (quarantine_label reason)
 
 let pp_delivery fmt d =
   Format.fprintf fmt "device %Ld: %a after %d attempt(s), %d refusal(s), %.3f ms backoff"

@@ -1,0 +1,42 @@
+(* Bounded FIFO admission queue with explicit refusal.
+
+   A request either enters the queue ([Accepted]) or is refused on the
+   spot ([Shed]) — there is no blocking and no silent drop, so the SLO
+   report's refusal count is exactly the number of [Shed] results.
+   Capacity 0 is a valid policy ("never queue"): every offer sheds. *)
+
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  mutable accepted : int;
+  mutable shed : int;
+  mutable peak : int;
+}
+
+type verdict = Accepted | Shed
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Admit.create: negative capacity";
+  { capacity; q = Queue.create (); accepted = 0; shed = 0; peak = 0 }
+
+let capacity t = t.capacity
+let length t = Queue.length t.q
+let accepted t = t.accepted
+let shed t = t.shed
+let peak t = t.peak
+
+let offer t x =
+  if Queue.length t.q >= t.capacity then begin
+    t.shed <- t.shed + 1;
+    Eric_telemetry.Registry.inc ~labels:[ ("result", "shed") ] "serve.queue.offers_total";
+    Shed
+  end
+  else begin
+    Queue.push x t.q;
+    t.accepted <- t.accepted + 1;
+    if Queue.length t.q > t.peak then t.peak <- Queue.length t.q;
+    Eric_telemetry.Registry.inc ~labels:[ ("result", "accepted") ] "serve.queue.offers_total";
+    Accepted
+  end
+
+let pop t = Queue.take_opt t.q

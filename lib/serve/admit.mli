@@ -1,0 +1,24 @@
+(** Bounded FIFO admission queue — the backpressure point of the serve
+    loop.  An offer is decided immediately: [Accepted] enqueues in
+    arrival order, [Shed] refuses and bumps the shed counter exactly
+    once.  Capacity 0 means "never queue" and sheds every offer.
+
+    Telemetry: [serve.queue.offers_total{result=accepted|shed}]. *)
+
+type 'a t
+
+type verdict = Accepted | Shed
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument on negative capacity. *)
+
+val offer : 'a t -> 'a -> verdict
+val pop : 'a t -> 'a option
+(** FIFO: the oldest accepted element still queued. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val accepted : 'a t -> int
+val shed : 'a t -> int
+val peak : 'a t -> int
+(** High-water mark of queue depth over the run. *)

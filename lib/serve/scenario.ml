@@ -1,0 +1,160 @@
+type profile =
+  | Constant of float
+  | Burst of { base : float; peak : float; from_s : float; until_s : float }
+
+type channel = Clean | Flaky of { probability : float }
+
+type costs = {
+  overhead_ns : int64;
+  prepare_ns : int64;
+  disk_hit_ns : int64;
+  mem_hit_ns : int64;
+  personalize_ns_per_byte : float;
+  wire_ns_per_byte : float;
+  rotate_ns : int64;
+  cycle_ns : float;
+}
+
+type budgets = {
+  p99_budget_ms : float;
+  refusal_budget : float;
+  quarantine_budget : float;
+}
+
+type t = {
+  name : string;
+  description : string;
+  profile : profile;
+  duration_ns : int64;
+  tenants : int;
+  devices_per_tenant : int;
+  zipf_exponent : float;
+  rotate_fraction : float;
+  queue_capacity : int;
+  servers : int;
+  channel : channel;
+  costs : costs;
+  budgets : budgets;
+}
+
+let rate t s =
+  match t.profile with
+  | Constant r -> r
+  | Burst { base; peak; from_s; until_s } ->
+      if s >= from_s && s < until_s then peak else base
+
+let max_rate t =
+  match t.profile with
+  | Constant r -> r
+  | Burst { base; peak; _ } -> Float.max base peak
+
+(* One shared cost model, calibrated so a cache-hit update costs a few
+   simulated milliseconds: fixed handling overhead, compile-on-miss two
+   orders slower than a memory hit, byte-proportional personalize/wire
+   costs and the HDE ingest billed at 25 MHz (40 ns per cycle). *)
+let default_costs =
+  {
+    overhead_ns = 2_000_000L;
+    prepare_ns = 120_000_000L;
+    disk_hit_ns = 8_000_000L;
+    mem_hit_ns = 200_000L;
+    personalize_ns_per_byte = 40.0;
+    wire_ns_per_byte = 25.0;
+    rotate_ns = 3_000_000L;
+    cycle_ns = 40.0;
+  }
+
+let steady =
+  {
+    name = "steady";
+    description = "constant 60 req/s, clean channel, light rotation";
+    profile = Constant 60.0;
+    duration_ns = 30_000_000_000L;
+    tenants = 3;
+    devices_per_tenant = 16;
+    zipf_exponent = 1.0;
+    rotate_fraction = 0.02;
+    queue_capacity = 256;
+    servers = 2;
+    channel = Clean;
+    costs = default_costs;
+    budgets = { p99_budget_ms = 250.0; refusal_budget = 0.01; quarantine_budget = 0.01 };
+  }
+
+let flash_crowd =
+  {
+    name = "flash-crowd";
+    description = "40 req/s background with a 25x burst from t=10s to t=15s";
+    profile = Burst { base = 40.0; peak = 1000.0; from_s = 10.0; until_s = 15.0 };
+    duration_ns = 30_000_000_000L;
+    tenants = 3;
+    devices_per_tenant = 16;
+    zipf_exponent = 1.0;
+    rotate_fraction = 0.01;
+    queue_capacity = 256;
+    servers = 2;
+    channel = Clean;
+    costs = default_costs;
+    budgets = { p99_budget_ms = 1_000.0; refusal_budget = 0.35; quarantine_budget = 0.01 };
+  }
+
+let rotation_storm =
+  {
+    name = "rotation-storm";
+    description = "half of all requests rotate keys, over a noisy channel";
+    profile = Constant 50.0;
+    duration_ns = 30_000_000_000L;
+    tenants = 3;
+    devices_per_tenant = 16;
+    zipf_exponent = 1.0;
+    rotate_fraction = 0.5;
+    queue_capacity = 256;
+    servers = 2;
+    channel = Flaky { probability = 0.25 };
+    costs = default_costs;
+    budgets = { p99_budget_ms = 400.0; refusal_budget = 0.01; quarantine_budget = 0.05 };
+  }
+
+let presets = [ steady; flash_crowd; rotation_storm ]
+let names = List.map (fun t -> t.name) presets
+
+let by_name name =
+  match List.find_opt (fun t -> t.name = name) presets with
+  | Some t -> Ok t
+  | None ->
+      Error
+        (Printf.sprintf "unknown scenario %S (expected one of: %s)" name
+           (String.concat ", " names))
+
+let with_duration t ~seconds =
+  if not (Float.is_finite seconds) || seconds <= 0.0 then
+    invalid_arg "Scenario.with_duration: need a positive duration";
+  { t with duration_ns = Eric_util.Sim_clock.of_s seconds }
+
+let with_rate_scale t ~factor =
+  if not (Float.is_finite factor) || factor <= 0.0 then
+    invalid_arg "Scenario.with_rate_scale: need a positive factor";
+  let profile =
+    match t.profile with
+    | Constant r -> Constant (r *. factor)
+    | Burst b -> Burst { b with base = b.base *. factor; peak = b.peak *. factor }
+  in
+  { t with profile }
+
+let channel_of t ~seed ~seq =
+  match t.channel with
+  | Clean -> Eric_fleet.Channel.clean
+  | Flaky { probability } ->
+      (* Salt by request sequence: a fleet channel's draw is a pure
+         function of (seed, device, attempt), so one fixed seed would
+         corrupt the same attempts of every ship to a device, run-long.
+         Per-request salting keeps transit noise independent across
+         requests and still a pure function of the run seed. *)
+      let seed = Int64.add (Int64.add seed 0x5EEDL) (Int64.of_int seq) in
+      Eric_fleet.Channel.flaky ~probability ~seed ()
+
+let pp ppf t =
+  Fmt.pf ppf "%-16s %s (%.0fs, %d tenants x %d devices, queue %d, %d servers)"
+    t.name t.description
+    (Eric_util.Sim_clock.to_s t.duration_ns)
+    t.tenants t.devices_per_tenant t.queue_capacity t.servers

@@ -1,0 +1,70 @@
+(** Scenario presets: named, fully-specified serve configurations.
+
+    A scenario fixes everything but the seed — traffic shape, population,
+    queue capacity, server count, channel quality, the simulated cost
+    model and the SLO budgets — so [(scenario, seed)] names exactly one
+    run and its JSON report. *)
+
+type profile =
+  | Constant of float  (** req/s for the whole run *)
+  | Burst of { base : float; peak : float; from_s : float; until_s : float }
+      (** [base] req/s, stepping to [peak] inside [[from_s, until_s)] *)
+
+type channel = Clean | Flaky of { probability : float }
+
+type costs = {
+  overhead_ns : int64;  (** fixed handling cost per served request *)
+  prepare_ns : int64;  (** compile+prepare on an artifact-cache miss *)
+  disk_hit_ns : int64;  (** re-prepare from a cached compiled image *)
+  mem_hit_ns : int64;  (** prepared build already in memory *)
+  personalize_ns_per_byte : float;  (** keystream XOR over the image *)
+  wire_ns_per_byte : float;  (** serialized package transmission *)
+  rotate_ns : int64;  (** KMU re-provisioning round-trip *)
+  cycle_ns : float;  (** one HDE ingest cycle (40 ns = 25 MHz) *)
+}
+
+type budgets = {
+  p99_budget_ms : float;  (** blown when served p99 latency exceeds this *)
+  refusal_budget : float;  (** max refused/total (queue shed) *)
+  quarantine_budget : float;  (** max quarantined/total *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  profile : profile;
+  duration_ns : int64;
+  tenants : int;
+  devices_per_tenant : int;
+  zipf_exponent : float;
+  rotate_fraction : float;
+  queue_capacity : int;
+  servers : int;
+  channel : channel;
+  costs : costs;
+  budgets : budgets;
+}
+
+val steady : t
+val flash_crowd : t
+val rotation_storm : t
+
+val presets : t list
+val names : string list
+val by_name : string -> (t, string) result
+
+val rate : t -> float -> float
+(** Target req/s at simulated second [s]. *)
+
+val max_rate : t -> float
+
+val with_duration : t -> seconds:float -> t
+val with_rate_scale : t -> factor:float -> t
+(** Scale the profile's rates (CI smoke runs shrink both). *)
+
+val channel_of : t -> seed:int64 -> seq:int -> Eric_fleet.Channel.t
+(** Materialize the channel spec for one request; flaky draws are salted
+    by (run seed, request sequence) so transit noise is independent
+    across requests yet a pure function of the run seed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,149 @@
+type latency = { p50_ms : float; p99_ms : float; max_ms : float; mean_ms : float }
+
+type report = {
+  scenario : string;
+  seed : int64;
+  duration_s : float;
+  completed_s : float;
+  requests : int;
+  served : int;
+  refused : int;
+  quarantined : int;
+  rotations : int;
+  retried : int;
+  queue_peak : int;
+  cache_hits : int;
+  cache_disk_hits : int;
+  cache_misses : int;
+  cache_hit_rate : float;
+  latency : latency;
+  refusal_rate : float;
+  quarantine_rate : float;
+  budgets : Scenario.budgets;
+  violations : string list;
+}
+
+let passed r = r.violations = []
+
+let rate ~total n = if total = 0 then 0.0 else float_of_int n /. float_of_int total
+
+let violations ~(budgets : Scenario.budgets) ~latency ~refusal_rate ~quarantine_rate =
+  let v = ref [] in
+  if latency.p99_ms > budgets.p99_budget_ms then
+    v :=
+      Printf.sprintf "p99 latency %.1f ms exceeds budget %.1f ms" latency.p99_ms
+        budgets.p99_budget_ms
+      :: !v;
+  if refusal_rate > budgets.refusal_budget then
+    v :=
+      Printf.sprintf "refusal rate %.4f exceeds budget %.4f" refusal_rate
+        budgets.refusal_budget
+      :: !v;
+  if quarantine_rate > budgets.quarantine_budget then
+    v :=
+      Printf.sprintf "quarantine rate %.4f exceeds budget %.4f" quarantine_rate
+        budgets.quarantine_budget
+      :: !v;
+  List.rev !v
+
+let make ~(scenario : Scenario.t) ~seed ~completed_ns ~requests ~served ~refused
+    ~quarantined ~rotations ~retried ~queue_peak ~cache ~latency_hist =
+  let h = latency_hist in
+  let ms ns = ns /. 1e6 in
+  let latency =
+    {
+      p50_ms = ms (Eric_telemetry.Histogram.quantile h 0.5);
+      p99_ms = ms (Eric_telemetry.Histogram.quantile h 0.99);
+      max_ms = ms (Eric_telemetry.Histogram.max_value h);
+      mean_ms = ms (Eric_telemetry.Histogram.mean h);
+    }
+  in
+  let refusal_rate = rate ~total:requests refused in
+  let quarantine_rate = rate ~total:requests quarantined in
+  {
+    scenario = scenario.Scenario.name;
+    seed;
+    duration_s = Eric_util.Sim_clock.to_s scenario.Scenario.duration_ns;
+    completed_s = Eric_util.Sim_clock.to_s completed_ns;
+    requests;
+    served;
+    refused;
+    quarantined;
+    rotations;
+    retried;
+    queue_peak;
+    cache_hits = Eric_fleet.Artifact_cache.hits cache;
+    cache_disk_hits = Eric_fleet.Artifact_cache.disk_hits cache;
+    cache_misses = Eric_fleet.Artifact_cache.misses cache;
+    cache_hit_rate = Eric_fleet.Artifact_cache.hit_rate cache;
+    latency;
+    refusal_rate;
+    quarantine_rate;
+    budgets = scenario.Scenario.budgets;
+    violations =
+      violations ~budgets:scenario.Scenario.budgets ~latency ~refusal_rate
+        ~quarantine_rate;
+  }
+
+let to_json r =
+  let open Eric_telemetry.Json in
+  Obj
+    [
+      ("scenario", Str r.scenario);
+      ("seed", Num (Int64.to_float r.seed));
+      ("duration_s", Num r.duration_s);
+      ("completed_s", Num r.completed_s);
+      ("requests", Num (float_of_int r.requests));
+      ("served", Num (float_of_int r.served));
+      ("refused", Num (float_of_int r.refused));
+      ("quarantined", Num (float_of_int r.quarantined));
+      ("rotations", Num (float_of_int r.rotations));
+      ("retried", Num (float_of_int r.retried));
+      ("queue_peak", Num (float_of_int r.queue_peak));
+      ( "cache",
+        Obj
+          [
+            ("hits", Num (float_of_int r.cache_hits));
+            ("disk_hits", Num (float_of_int r.cache_disk_hits));
+            ("misses", Num (float_of_int r.cache_misses));
+            ("hit_rate", Num r.cache_hit_rate);
+          ] );
+      ( "latency_ms",
+        Obj
+          [
+            ("p50", Num r.latency.p50_ms);
+            ("p99", Num r.latency.p99_ms);
+            ("max", Num r.latency.max_ms);
+            ("mean", Num r.latency.mean_ms);
+          ] );
+      ("refusal_rate", Num r.refusal_rate);
+      ("quarantine_rate", Num r.quarantine_rate);
+      ( "budgets",
+        Obj
+          [
+            ("p99_ms", Num r.budgets.Scenario.p99_budget_ms);
+            ("refusal_rate", Num r.budgets.Scenario.refusal_budget);
+            ("quarantine_rate", Num r.budgets.Scenario.quarantine_budget);
+          ] );
+      ("violations", List (List.map (fun v -> Str v) r.violations));
+      ("passed", Bool (passed r));
+    ]
+
+let pp ppf r =
+  Fmt.pf ppf
+    "@[<v>scenario %s (seed %Ld): %d requests over %.1fs simulated@,\
+     served %d, refused %d (%.2f%%), quarantined %d (%.2f%%), rotations %d, \
+     retried %d@,\
+     latency p50 %.2f ms, p99 %.2f ms (budget %.0f ms), max %.2f ms@,\
+     cache hit rate %.2f%% (%d mem / %d disk / %d miss), queue peak %d@,\
+     SLO %s%a@]"
+    r.scenario r.seed r.requests r.completed_s r.served r.refused
+    (100.0 *. r.refusal_rate) r.quarantined
+    (100.0 *. r.quarantine_rate)
+    r.rotations r.retried r.latency.p50_ms r.latency.p99_ms
+    r.budgets.Scenario.p99_budget_ms r.latency.max_ms
+    (100.0 *. r.cache_hit_rate)
+    r.cache_hits r.cache_disk_hits r.cache_misses r.queue_peak
+    (if passed r then "PASSED" else "VIOLATED")
+    Fmt.(list ~sep:nop (any "@,  - " ++ string))
+    r.violations

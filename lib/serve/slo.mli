@@ -1,0 +1,60 @@
+(** SLO accounting for one serve run.
+
+    Every number is simulated: latencies are completion minus arrival on
+    the run's {!Eric_util.Sim_clock}, so the report is identical across
+    machines and across runs with the same (scenario, seed).
+
+    Definitions: [refusal_rate] = queue-shed requests / generated
+    requests; [quarantine_rate] = requests whose device was (or already
+    had been) quarantined / generated requests; latency quantiles come
+    from {!Eric_telemetry.Histogram.quantile} (upper bucket edge, [<=]
+    ~19% above the true value) over {e served} requests only. *)
+
+type latency = { p50_ms : float; p99_ms : float; max_ms : float; mean_ms : float }
+
+type report = {
+  scenario : string;
+  seed : int64;
+  duration_s : float;  (** configured traffic horizon *)
+  completed_s : float;  (** simulated instant the last request finished *)
+  requests : int;  (** generated arrivals *)
+  served : int;  (** delivered to the device *)
+  refused : int;  (** shed at the admission queue *)
+  quarantined : int;  (** quarantined during service, or skipped because
+                          the device was already quarantined *)
+  rotations : int;  (** key rotations performed *)
+  retried : int;  (** served, but only after channel retries *)
+  queue_peak : int;
+  cache_hits : int;
+  cache_disk_hits : int;
+  cache_misses : int;
+  cache_hit_rate : float;
+  latency : latency;
+  refusal_rate : float;
+  quarantine_rate : float;
+  budgets : Scenario.budgets;
+  violations : string list;  (** empty iff every budget held *)
+}
+
+val passed : report -> bool
+
+val make :
+  scenario:Scenario.t ->
+  seed:int64 ->
+  completed_ns:int64 ->
+  requests:int ->
+  served:int ->
+  refused:int ->
+  quarantined:int ->
+  rotations:int ->
+  retried:int ->
+  queue_peak:int ->
+  cache:Eric_fleet.Artifact_cache.t ->
+  latency_hist:Eric_telemetry.Histogram.t ->
+  report
+(** Assemble the report and check it against the scenario's budgets. *)
+
+val to_json : report -> Eric_telemetry.Json.t
+(** The stable JSON schema documented in [docs/serve.md]. *)
+
+val pp : Format.formatter -> report -> unit

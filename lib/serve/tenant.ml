@@ -1,0 +1,50 @@
+(* A tenant = one fleet registry plus an indexable device population.
+
+   Provisioning enrolls [count] devices starting at [first_id], skipping
+   the occasional die that cannot field enough stable chains — the same
+   id always fails (or succeeds) enrollment, so the surviving population
+   is deterministic.  Devices live in an array because the serve loop
+   picks them by uniform index millions of times per run. *)
+
+type t = {
+  t_label : string;
+  t_registry : Eric_fleet.Registry.t;
+  t_devices : Eric_puf.Device.id array;
+}
+
+let provision ~label ~first_id ~count =
+  if count < 1 then invalid_arg "Tenant.provision: need at least one device";
+  let registry = Eric_fleet.Registry.create () in
+  let ids = ref [] in
+  let enrolled = ref 0 in
+  let candidate = ref first_id in
+  let tried = ref 0 in
+  let budget = (count * 8) + 64 in
+  while !enrolled < count do
+    if !tried >= budget then
+      failwith
+        (Printf.sprintf "Tenant.provision %s: %d/%d dies enrolled after %d tries"
+           label !enrolled count !tried);
+    (match Eric_fleet.Registry.enroll ~label registry !candidate with
+    | Ok e ->
+        ids := e.Eric_fleet.Registry.device_id :: !ids;
+        incr enrolled
+    | Error _ -> ());
+    candidate := Int64.add !candidate 1L;
+    incr tried
+  done;
+  { t_label = label; t_registry = registry; t_devices = Array.of_list (List.rev !ids) }
+
+let label t = t.t_label
+let registry t = t.t_registry
+let device_count t = Array.length t.t_devices
+
+let device_id t i =
+  if i < 0 || i >= Array.length t.t_devices then
+    invalid_arg "Tenant.device_id: index out of range";
+  t.t_devices.(i)
+
+let entry t i =
+  match Eric_fleet.Registry.find t.t_registry (device_id t i) with
+  | Some e -> e
+  | None -> assert false (* enrolled above; registry never forgets *)

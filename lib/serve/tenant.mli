@@ -1,0 +1,21 @@
+(** One tenant of the update service: its own fleet registry (multi-source
+    isolation — tenants share no keys, because each enrollment derives its
+    key under the tenant's KMU label) plus an array of enrolled device ids
+    for O(1) uniform picks by the traffic model. *)
+
+type t
+
+val provision : label:string -> first_id:Eric_puf.Device.id -> count:int -> t
+(** Enroll [count] devices starting at [first_id] (unenrollable dies are
+    skipped deterministically) under KMU label [label].
+    @raise Failure when too many consecutive dies fail enrollment. *)
+
+val label : t -> string
+val registry : t -> Eric_fleet.Registry.t
+val device_count : t -> int
+
+val device_id : t -> int -> Eric_puf.Device.id
+(** @raise Invalid_argument when the index is out of range. *)
+
+val entry : t -> int -> Eric_fleet.Registry.entry
+(** The registry entry of the [i]th device (always present). *)

@@ -1,0 +1,61 @@
+(* Request-stream generation.
+
+   Arrivals are an inhomogeneous Poisson process sampled by thinning: we
+   draw candidate arrivals at the scenario's peak rate and keep each with
+   probability rate(t)/max_rate.  Everything — arrival instants, tenant,
+   device, program rank, update-vs-rotate — is drawn from the one PRNG
+   handed in, so a (scenario, seed) pair names exactly one stream. *)
+
+type kind = Update | Rotate
+
+let kind_label = function Update -> "update" | Rotate -> "rotate"
+
+type request = {
+  r_seq : int;
+  r_arrival_ns : int64;
+  r_tenant : int;
+  r_device : int;
+  r_program : int;
+  r_kind : kind;
+}
+
+let ns_per_s = 1_000_000_000.0
+
+(* Exp(rate) inter-arrival, guarding log 0. *)
+let exp_draw rng ~rate =
+  let u = Eric_util.Prng.float rng in
+  let u = if u >= 1.0 then Float.pred 1.0 else u in
+  -.Float.log (1.0 -. u) /. rate
+
+let generate ~rng ~rate ~max_rate ~duration_ns ~tenants ~devices_per_tenant
+    ~programs ~rotate_fraction () =
+  if max_rate <= 0.0 then invalid_arg "Traffic.generate: max_rate must be positive";
+  if tenants < 1 || devices_per_tenant < 1 then
+    invalid_arg "Traffic.generate: need at least one tenant and one device";
+  if rotate_fraction < 0.0 || rotate_fraction > 1.0 then
+    invalid_arg "Traffic.generate: rotate_fraction outside [0,1]";
+  let horizon_s = Int64.to_float duration_ns /. ns_per_s in
+  let out = ref [] in
+  let seq = ref 0 in
+  let t = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    t := !t +. exp_draw rng ~rate:max_rate;
+    if !t >= horizon_s then continue := false
+    else begin
+      let lambda = rate !t in
+      let keep = Eric_util.Prng.float rng < lambda /. max_rate in
+      if keep then begin
+        let r_tenant = Eric_util.Prng.int rng ~bound:tenants in
+        let r_device = Eric_util.Prng.int rng ~bound:devices_per_tenant in
+        let r_program = Zipf.sample programs rng in
+        let r_kind =
+          if Eric_util.Prng.float rng < rotate_fraction then Rotate else Update
+        in
+        let r_arrival_ns = Int64.of_float (!t *. ns_per_s) in
+        out := { r_seq = !seq; r_arrival_ns; r_tenant; r_device; r_program; r_kind } :: !out;
+        incr seq
+      end
+    end
+  done;
+  List.rev !out

@@ -1,0 +1,37 @@
+(** Deterministic request streams for the serve loop.
+
+    Arrivals follow an inhomogeneous Poisson process (thinning against
+    the scenario's peak rate), program popularity is Zipf, and a
+    configurable fraction of requests ask for a key rotation instead of
+    a plain update.  The whole stream is a pure function of the PRNG. *)
+
+type kind =
+  | Update  (** ship the device its personalized image at the current epoch *)
+  | Rotate  (** bump the device's key epoch, then ship at the new epoch *)
+
+val kind_label : kind -> string
+
+type request = {
+  r_seq : int;  (** 0-based arrival order *)
+  r_arrival_ns : int64;  (** simulated arrival instant *)
+  r_tenant : int;
+  r_device : int;  (** index within the tenant's device population *)
+  r_program : int;  (** Zipf rank into the workloads corpus *)
+  r_kind : kind;
+}
+
+val generate :
+  rng:Eric_util.Prng.t ->
+  rate:(float -> float) ->
+  max_rate:float ->
+  duration_ns:int64 ->
+  tenants:int ->
+  devices_per_tenant:int ->
+  programs:Zipf.t ->
+  rotate_fraction:float ->
+  unit ->
+  request list
+(** [rate t] is the target request rate (req/s) at simulated second [t];
+    it must never exceed [max_rate].  Returns requests sorted by arrival
+    time.  @raise Invalid_argument on non-positive [max_rate], empty
+    populations or a rotate fraction outside [0,1]. *)

@@ -1,0 +1,42 @@
+(* Zipf(s) popularity over n ranks: weight of rank r is r^-s.
+
+   The CDF is precomputed once; sampling is CDF inversion by binary
+   search on a uniform draw, so a stream of program picks is a pure
+   function of the PRNG state — the property every serve scenario's
+   determinism rests on. *)
+
+type t = { exponent : float; cdf : float array }
+
+let create ?(exponent = 1.0) ~n () =
+  if n < 1 then invalid_arg "Zipf.create: need at least one rank";
+  if not (Float.is_finite exponent) || exponent < 0.0 then
+    invalid_arg "Zipf.create: exponent must be finite and non-negative";
+  let weights = Array.init n (fun i -> Float.pow (float_of_int (i + 1)) (-.exponent)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  (* the running sum can land at 0.999...; the last bucket owns the rest *)
+  cdf.(n - 1) <- 1.0;
+  { exponent; cdf }
+
+let size t = Array.length t.cdf
+let exponent t = t.exponent
+
+let pmf t rank =
+  if rank < 0 || rank >= size t then invalid_arg "Zipf.pmf: rank out of range";
+  if rank = 0 then t.cdf.(0) else t.cdf.(rank) -. t.cdf.(rank - 1)
+
+(* Smallest rank whose cumulative probability covers u. *)
+let sample t rng =
+  let u = Eric_util.Prng.float rng in
+  let lo = ref 0 and hi = ref (size t - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo

@@ -1,0 +1,19 @@
+(** Zipf-distributed popularity: rank [r] (0-based) of [n] is drawn with
+    probability proportional to [(r+1)^-exponent].  Exponent 0 degrades
+    to uniform; ~1 is the classic web-traffic skew that makes a small
+    artifact cache absorb most of an update service's load. *)
+
+type t
+
+val create : ?exponent:float -> n:int -> unit -> t
+(** Precompute the CDF for [n] ranks (default exponent 1.0).
+    @raise Invalid_argument when [n < 1] or the exponent is negative. *)
+
+val size : t -> int
+val exponent : t -> float
+
+val pmf : t -> int -> float
+(** Probability of one rank; the whole family sums to 1. *)
+
+val sample : t -> Eric_util.Prng.t -> int
+(** One draw by CDF inversion — deterministic given the PRNG state. *)

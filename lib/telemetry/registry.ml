@@ -68,6 +68,11 @@ let gauge ?(labels = []) name =
 let histogram ?(labels = []) name =
   match Hashtbl.find_opt table (key name labels) with Some (Hist h) -> Some h | _ -> None
 
+let quantile ?(labels = []) name p =
+  match Hashtbl.find_opt table (key name labels) with
+  | Some (Hist h) when Histogram.count h > 0 -> Some (Histogram.quantile h p)
+  | _ -> None
+
 (* Sum of a counter family across all label sets. *)
 let counter_family_total name =
   Hashtbl.fold

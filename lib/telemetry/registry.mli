@@ -24,6 +24,11 @@ val counter : ?labels:(string * string) list -> string -> int64
 val gauge : ?labels:(string * string) list -> string -> float option
 val histogram : ?labels:(string * string) list -> string -> Histogram.t option
 
+val quantile : ?labels:(string * string) list -> string -> float -> float option
+(** [quantile name p] reads {!Histogram.quantile} off a recorded
+    histogram instance: [None] when the instance is absent, empty or not
+    a histogram — so SLO reports never invent a latency from nothing. *)
+
 val counter_family_total : string -> int64
 (** Sum of a counter family across every label set. *)
 

@@ -1,0 +1,28 @@
+(* Deterministic simulated-time clock.
+
+   One mutable nanosecond counter shared by everything that accounts
+   simulated time — the fleet shipper's retry backoff and the serve
+   subsystem's event loop advance the same instance, so a scenario has a
+   single coherent timeline instead of per-module private accumulators.
+   Nothing here ever reads the wall clock. *)
+
+type t = { mutable now_ns : int64 }
+
+let create ?(now_ns = 0L) () =
+  if Int64.compare now_ns 0L < 0 then invalid_arg "Sim_clock.create: negative start";
+  { now_ns }
+
+let now_ns t = t.now_ns
+
+let advance t ns =
+  if Int64.compare ns 0L < 0 then invalid_arg "Sim_clock.advance: negative delta";
+  t.now_ns <- Int64.add t.now_ns ns
+
+let advance_to t ns = if Int64.compare ns t.now_ns > 0 then t.now_ns <- ns
+
+let of_s s =
+  if s < 0.0 || Float.is_nan s then invalid_arg "Sim_clock.of_s: negative seconds";
+  Int64.of_float (s *. 1e9)
+
+let to_s ns = Int64.to_float ns /. 1e9
+let to_ms ns = Int64.to_float ns /. 1e6

@@ -1,0 +1,28 @@
+(** Deterministic simulated-time clock: a mutable nanosecond counter with
+    no connection to the wall clock.
+
+    The fleet shipper accounts retry backoff into it and the serve
+    subsystem's event loop drives it forward, so both subsystems advance
+    {e the same} timeline rather than keeping private copies.  All
+    movement is monotone: time never goes backwards. *)
+
+type t
+
+val create : ?now_ns:int64 -> unit -> t
+(** Fresh clock, at [now_ns] (default 0).
+    @raise Invalid_argument on a negative start. *)
+
+val now_ns : t -> int64
+
+val advance : t -> int64 -> unit
+(** Move forward by a delta.
+    @raise Invalid_argument on a negative delta. *)
+
+val advance_to : t -> int64 -> unit
+(** Move forward to an absolute time; a no-op when already past it. *)
+
+val of_s : float -> int64
+(** Seconds to nanoseconds.  @raise Invalid_argument on negatives/NaN. *)
+
+val to_s : int64 -> float
+val to_ms : int64 -> float

@@ -257,6 +257,54 @@ let test_verif_env_smoke () =
       check Alcotest.bool "covers the stress corner" true (contains {|"corner":"cold-lowv"|});
       check Alcotest.bool "reports pass/fail" true (contains {|"passed":true|}))
 
+let contains_str haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_serve_scenarios_lists_presets () =
+  let code, err = run_cli [ "serve"; "scenarios" ] in
+  check Alcotest.int "clean exit" 0 code;
+  check Alcotest.bool "no error output" false (contains_str err "error:")
+
+let test_serve_run_smoke_deterministic () =
+  (* two short flash-crowd runs with one seed must write byte-identical
+     JSON reports — the CLI-level acceptance criterion *)
+  let report seed_out =
+    let code, err =
+      run_cli
+        [ "serve"; "run"; "--scenario"; "flash-crowd"; "--seed"; "123"; "--duration";
+          "2"; "--out"; seed_out ]
+    in
+    check Alcotest.int "clean exit" 0 code;
+    check Alcotest.bool "no error output" false (contains_str err "error:");
+    In_channel.with_open_bin seed_out In_channel.input_all
+  in
+  with_tmp (fun out1 ->
+      with_tmp (fun out2 ->
+          let a = report out1 and b = report out2 in
+          check Alcotest.bool "report non-empty" true (String.length a > 0);
+          check Alcotest.string "identical reports across runs" a b;
+          check Alcotest.bool "json has scenario field" true
+            (contains_str a "\"scenario\":\"flash-crowd\"");
+          check Alcotest.bool "json has latency family" true
+            (contains_str a "\"latency_ms\"")))
+
+let test_serve_slo_error_exit_code () =
+  (* 20x the steady rate swamps two servers: the refusal budget blows
+     and --slo-error must turn that into exit 3 *)
+  let code, _ =
+    run_cli
+      [ "serve"; "run"; "--scenario"; "steady"; "--seed"; "1"; "--duration"; "2";
+        "--rate-scale"; "20"; "--slo-error" ]
+  in
+  check Alcotest.int "blown SLO exits 3" 3 code
+
+let test_serve_unknown_scenario_usage_error () =
+  let code, err = run_cli [ "serve"; "run"; "--scenario"; "nope" ] in
+  check Alcotest.bool "non-zero exit" true (code <> 0);
+  check Alcotest.bool "error names the candidates" true (contains_str err "steady")
+
 let () =
   Alcotest.run "eric_cli"
     [ ( "malformed-input",
@@ -279,6 +327,13 @@ let () =
           Alcotest.test_case "unknown corner refused" `Quick test_puf_unknown_corner ] );
       ( "fleet",
         [ Alcotest.test_case "reenroll smoke" `Quick test_fleet_reenroll_smoke ] );
+      ( "serve",
+        [ Alcotest.test_case "scenarios lists presets" `Quick test_serve_scenarios_lists_presets;
+          Alcotest.test_case "run smoke is deterministic" `Quick
+            test_serve_run_smoke_deterministic;
+          Alcotest.test_case "slo-error exits 3" `Quick test_serve_slo_error_exit_code;
+          Alcotest.test_case "unknown scenario refused" `Quick
+            test_serve_unknown_scenario_usage_error ] );
       ( "verif",
         [ Alcotest.test_case "fuzz smoke" `Quick test_verif_fuzz_smoke;
           Alcotest.test_case "inject smoke" `Quick test_verif_inject_smoke;

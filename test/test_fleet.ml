@@ -424,12 +424,12 @@ let test_shipper_signature_refusals_quarantine () =
   | Eric_fleet.Shipper.Quarantined { reason } ->
     check Alcotest.int "stopped at the refusal threshold"
       policy.Eric_fleet.Backoff.quarantine_refusals d.Eric_fleet.Shipper.attempts;
-    let contains hay needle =
-      let n = String.length needle and h = String.length hay in
-      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
-      go 0
-    in
-    check Alcotest.bool "reason names signatures" true (contains reason "signature")
+    (match reason with
+    | Eric_fleet.Shipper.Signature_refusals n ->
+      check Alcotest.int "typed reason counts the refusals"
+        policy.Eric_fleet.Backoff.quarantine_refusals n
+    | Eric_fleet.Shipper.Key_reconstruction_failed | Eric_fleet.Shipper.Exhausted _ ->
+      Alcotest.fail "wrong quarantine reason")
   | Eric_fleet.Shipper.Delivered _ -> Alcotest.fail "foreign-keyed package delivered"
 
 (* ------------------------------------------------------------------ *)
@@ -607,7 +607,12 @@ let test_shipper_key_reconstruction_quarantine () =
   in
   match d.Eric_fleet.Shipper.outcome with
   | Eric_fleet.Shipper.Quarantined { reason } ->
-    check Alcotest.string "distinct quarantine reason" "key reconstruction failed" reason;
+    (match reason with
+    | Eric_fleet.Shipper.Key_reconstruction_failed -> ()
+    | Eric_fleet.Shipper.Signature_refusals _ | Eric_fleet.Shipper.Exhausted _ ->
+      Alcotest.fail "expected the key-reconstruction quarantine reason");
+    check Alcotest.string "stable registry label" "key reconstruction failed"
+      (Eric_fleet.Shipper.quarantine_label reason);
     check Alcotest.int "no attempts wasted" 1 d.Eric_fleet.Shipper.attempts
   | Eric_fleet.Shipper.Delivered _ -> Alcotest.fail "keyless target accepted a package"
 

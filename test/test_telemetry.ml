@@ -103,6 +103,49 @@ let histogram_quantile_fuzz =
       let values = List.map Float.abs values in
       quantile_bound_ok values p)
 
+(* Deterministic exact-bucket cases of the quantile contract, pinning
+   behaviour the fuzz test only samples: single-bucket populations are
+   exact up to the bucket edge, the overflow bucket reports the observed
+   max exactly, and an empty histogram reports 0. *)
+let test_histogram_quantile_exact_buckets () =
+  let h = Histogram.create () in
+  check (Alcotest.float 0.0) "empty histogram" 0.0 (Histogram.quantile h 0.5);
+  (* all mass in one bucket: every quantile lands on that bucket's edge *)
+  Histogram.observe h 10.0;
+  Histogram.observe h 10.0;
+  Histogram.observe h 10.0;
+  let edge = Histogram.quantile h 0.5 in
+  check Alcotest.bool "edge covers value" true (edge >= 10.0 && edge < 10.0 *. Histogram.ratio);
+  check (Alcotest.float 0.0) "p0 same bucket" edge (Histogram.quantile h 0.0);
+  check (Alcotest.float 0.0) "p1 same bucket" edge (Histogram.quantile h 1.0);
+  (* bimodal: median stays in the low bucket, the tail finds the high one *)
+  let h = Histogram.create () in
+  for _ = 1 to 90 do Histogram.observe h 10.0 done;
+  for _ = 1 to 10 do Histogram.observe h 1000.0 done;
+  let p50 = Histogram.quantile h 0.5 and p95 = Histogram.quantile h 0.95 in
+  check Alcotest.bool "p50 in low bucket" true (p50 >= 10.0 && p50 < 10.0 *. Histogram.ratio);
+  check Alcotest.bool "p95 in high bucket" true (p95 >= 1000.0 && p95 < 1000.0 *. Histogram.ratio);
+  (* overflow bucket: reports the exact observed maximum *)
+  let h = Histogram.create () in
+  Histogram.observe h 1e300;
+  check (Alcotest.float 0.0) "overflow reports max" 1e300 (Histogram.quantile h 1.0)
+
+let test_registry_quantile_accessor () =
+  with_fresh @@ fun () ->
+  check (Alcotest.option (Alcotest.float 0.0)) "absent instance" None
+    (Registry.quantile "nope" 0.5);
+  Registry.inc "a_counter";
+  check (Alcotest.option (Alcotest.float 0.0)) "not a histogram" None
+    (Registry.quantile "a_counter" 0.5);
+  Registry.observe ~labels:[ ("scenario", "steady") ] "serve.latency_ns" 50.0;
+  Registry.observe ~labels:[ ("scenario", "steady") ] "serve.latency_ns" 50.0;
+  (match Registry.quantile ~labels:[ ("scenario", "steady") ] "serve.latency_ns" 0.5 with
+  | None -> Alcotest.fail "recorded histogram not found"
+  | Some q -> check Alcotest.bool "quantile covers observation" true
+                (q >= 50.0 && q < 50.0 *. Histogram.ratio));
+  check (Alcotest.option (Alcotest.float 0.0)) "label mismatch is absent" None
+    (Registry.quantile "serve.latency_ns" 0.5)
+
 let test_histogram_summary () =
   let h = Histogram.create () in
   for i = 1 to 100 do
@@ -295,6 +338,10 @@ let () =
           Alcotest.test_case "aggregate" `Quick test_span_aggregate ] );
       ( "histogram",
         [ histogram_quantile_fuzz;
+          Alcotest.test_case "quantile exact buckets" `Quick
+            test_histogram_quantile_exact_buckets;
+          Alcotest.test_case "registry quantile accessor" `Quick
+            test_registry_quantile_accessor;
           Alcotest.test_case "summary" `Quick test_histogram_summary;
           Alcotest.test_case "merge" `Quick test_histogram_merge ] );
       ( "registry",
