@@ -230,6 +230,35 @@ let checks_arg =
 let lint_flag_arg =
   Arg.(value & flag & info [ "lint" ] ~doc:"Run the machine-code and leakage linters and report.")
 
+let attacker_conv =
+  let parse s =
+    match Eric_lint.Leakage.attacker_of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown attacker %S (expected linear or recursive)" s))
+  in
+  Arg.conv
+    (parse, fun fmt a -> Format.pp_print_string fmt (Eric_lint.Leakage.attacker_to_string a))
+
+let attacker_arg =
+  Arg.(
+    value
+    & opt (some attacker_conv) None
+    & info [ "attacker" ] ~docv:"MODEL"
+        ~doc:
+          "Simulate an attacker against the policy's plaintext bits and score the program \
+           structure it recovers: 'linear' (sweep classification) or 'recursive' \
+           (recursive descent from the entry point with value-set resolution of computed \
+           jumps).  The score participates in the --max-leakage gate.")
+
+let taint_arg =
+  Arg.(
+    value & flag
+    & info [ "taint" ]
+        ~doc:
+          "Check the secret-taint obligation over the build pipeline: KMU-derived key \
+           material must never reach a plaintext package field or telemetry output.  Any \
+           finding is an error.")
+
 let lint_error_arg =
   Arg.(
     value & flag
@@ -238,12 +267,20 @@ let lint_error_arg =
 
 (* Machine-code verification plus leakage prediction for one policy on one
    plain image — what build/analyze/lint all share. *)
-let lint_image ?max_leakage ~mode image =
+let lint_image ?max_leakage ?attacker ~mode image =
   let mc = Eric_lint.Mc_verify.verify image in
   let report, leak = Eric.Policy_lint.lint ?max_leakage ~mode image in
-  (mc @ leak, report)
+  let structure =
+    Option.map (fun a -> Eric.Policy_lint.recover ~mode ~attacker:a image) attacker
+  in
+  let struct_diags =
+    match structure with
+    | Some s -> Eric_lint.Leakage.structure_diags ?max_leakage s
+    | None -> []
+  in
+  (mc @ leak @ struct_diags, report, structure)
 
-let lint_source ?max_leakage ~mode ~options source =
+let lint_source ?max_leakage ?attacker ~mode ~options source =
   (* Compile without the driver's verify-abort so IR findings are listed
      rather than turned into an internal error, then verify the image. *)
   let ( let* ) = Result.bind in
@@ -252,11 +289,11 @@ let lint_source ?max_leakage ~mode ~options source =
   in
   let ir_diags = Eric_cc.Ir_verify.verify ir in
   match Eric_cc.Ir_verify.errors ir_diags with
-  | _ :: _ -> Ok (ir_diags, None)
+  | _ :: _ -> Ok (ir_diags, None, None)
   | [] ->
     let* image = Eric_cc.Driver.compile ~options source in
-    let mc_leak, report = lint_image ?max_leakage ~mode image in
-    Ok (ir_diags @ mc_leak, Some report)
+    let mc_leak, report, structure = lint_image ?max_leakage ?attacker ~mode image in
+    Ok (ir_diags @ mc_leak, Some report, structure)
 
 let pp_leakage_report fmt (r : Eric_lint.Leakage.report) =
   Format.fprintf fmt
@@ -278,24 +315,46 @@ let render_diags ~format ~checks diags =
   Eric_lint.Engine.render format Format.std_formatter (Eric_lint.Diag.sort diags);
   diags
 
+let pp_structure fmt (s : Eric_lint.Leakage.structure) =
+  Format.fprintf fmt
+    "structure (%s): score %.2f, code %d/%d, functions %d/%d, branch targets %d/%d, call \
+     edges %d/%d, indirect resolved %d/%d@."
+    (Eric_lint.Leakage.attacker_to_string s.Eric_lint.Leakage.s_attacker)
+    s.Eric_lint.Leakage.structure_score s.Eric_lint.Leakage.code_found
+    s.Eric_lint.Leakage.code_total s.Eric_lint.Leakage.functions_found
+    s.Eric_lint.Leakage.functions_total s.Eric_lint.Leakage.branch_targets_found
+    s.Eric_lint.Leakage.branch_targets_total s.Eric_lint.Leakage.call_edges_found
+    s.Eric_lint.Leakage.call_edges_total s.Eric_lint.Leakage.indirect_resolved
+    s.Eric_lint.Leakage.indirect_total
+
 let lint_cmd =
-  let run path workloads mode max_leakage format checks lint_error no_compress no_optimize
-      telemetry trace_out =
+  let run path workloads mode max_leakage attacker taint format checks lint_error no_compress
+      no_optimize telemetry trace_out =
     setup_telemetry telemetry trace_out;
     let options = options_of ~no_compress ~no_optimize in
-    let lint_one label (diags, report) =
+    let lint_one label (diags, report, structure) =
       if workloads <> [] || path = None then Format.printf "== %s ==@." label;
       let diags = render_diags ~format ~checks diags in
       (match (report, format) with
       | Some r, Eric_lint.Engine.Table -> pp_leakage_report Format.std_formatter r
       | _ -> ());
+      (match (structure, format) with
+      | Some s, Eric_lint.Engine.Table -> pp_structure Format.std_formatter s
+      | Some s, Eric_lint.Engine.Jsonl ->
+        print_endline
+          (Eric_telemetry.Json.to_string
+             (Eric_telemetry.Json.Obj
+                [ ("structure", Eric_lint.Leakage.structure_to_json s);
+                  ("label", Eric_telemetry.Json.Str label) ]))
+      | None, _ -> ());
       diags
     in
     let inputs =
       match (workloads, path) with
-      | [], None ->
+      | [], None when not taint ->
         Printf.eprintf "error: give a FILE or --workloads\n";
         exit 2
+      | [], None -> []
       | [], Some path ->
         let data = read_file path in
         let result =
@@ -303,8 +362,9 @@ let lint_cmd =
           | Ok _ -> Error "cannot lint an encrypted package; lint runs before packaging"
           | Error _ -> (
             match Eric_rv.Program.of_binary (Bytes.of_string data) with
-            | Ok image -> Ok (lint_image ?max_leakage ~mode image |> fun (d, r) -> (d, Some r))
-            | Error _ -> lint_source ?max_leakage ~mode ~options data)
+            | Ok image ->
+              Ok (lint_image ?max_leakage ?attacker ~mode image |> fun (d, r, s) -> (d, Some r, s))
+            | Error _ -> lint_source ?max_leakage ?attacker ~mode ~options data)
         in
         [ (path, result) ]
       | names, _ ->
@@ -313,12 +373,27 @@ let lint_cmd =
             match Eric_workloads.Workloads.by_name name with
             | None -> (name, Error (Printf.sprintf "unknown workload %s" name))
             | Some w ->
-              (name, lint_source ?max_leakage ~mode ~options w.Eric_workloads.Workloads.source))
+              ( name,
+                lint_source ?max_leakage ?attacker ~mode ~options
+                  w.Eric_workloads.Workloads.source ))
           (if names = [ "all" ] then Eric_workloads.Workloads.names else names)
     in
     let all_diags =
       List.concat_map (fun (label, result) -> lint_one label (or_die result)) inputs
     in
+    let taint_diags =
+      if not taint then []
+      else begin
+        let result, diags = Eric.Pipeline_taint.lint () in
+        if workloads <> [] || path = None then Format.printf "== pipeline taint ==@.";
+        let diags = render_diags ~format ~checks diags in
+        (if diags = [] && format = Eric_lint.Engine.Table then
+           Format.printf "taint: obligation holds (%d values tainted, 0 reach a sink)@."
+             (List.length result.Eric_lint.Taint.tainted));
+        diags
+      end
+    in
+    let all_diags = all_diags @ taint_diags in
     let fail_on = if lint_error then Eric_lint.Diag.Warning else Eric_lint.Diag.Error in
     exit (Eric_lint.Engine.exit_code ~fail_on all_diags)
   in
@@ -340,9 +415,9 @@ let lint_cmd =
          "Verify IR (for sources), machine code and encryption-policy leakage; exit 1 on \
           errors (with --lint-error, also on warnings).")
     Term.(
-      const run $ path_arg $ workloads_arg $ mode_arg $ max_leakage_arg $ lint_format_arg
-      $ checks_arg $ lint_error_arg $ no_compress_arg $ no_optimize_arg $ telemetry_arg
-      $ trace_out_arg)
+      const run $ path_arg $ workloads_arg $ mode_arg $ max_leakage_arg $ attacker_arg
+      $ taint_arg $ lint_format_arg $ checks_arg $ lint_error_arg $ no_compress_arg
+      $ no_optimize_arg $ telemetry_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -368,7 +443,7 @@ let build_cmd =
     let key = Eric.Protocol.provision target in
     let build = or_die (Eric.Source.build ~options ~mode ~key (read_file source)) in
     if lint || lint_error then begin
-      let diags, report = lint_image ?max_leakage ~mode build.Eric.Source.image in
+      let diags, report, _ = lint_image ?max_leakage ~mode build.Eric.Source.image in
       let diags = render_diags ~format ~checks diags in
       if format = Eric_lint.Engine.Table then pp_leakage_report Format.std_formatter report;
       if lint_error && Eric_lint.Engine.fails ~fail_on:Eric_lint.Diag.Warning diags then begin
@@ -473,7 +548,7 @@ let analyze_cmd =
         Printf.eprintf "error: cannot lint an encrypted package; lint runs before packaging\n";
         exit 1
       | Some image ->
-        let diags, report = lint_image ?max_leakage ~mode image in
+        let diags, report, _ = lint_image ?max_leakage ~mode image in
         let diags = render_diags ~format ~checks diags in
         if format = Eric_lint.Engine.Table then pp_leakage_report Format.std_formatter report;
         if lint_error && Eric_lint.Engine.fails ~fail_on:Eric_lint.Diag.Warning diags then

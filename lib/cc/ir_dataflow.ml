@@ -1,0 +1,92 @@
+(* The IR-level instance of the linter's generic dataflow framework:
+   Eric_lint.Dataflow knows nothing about Eric_cc (the dependency points
+   the other way), so this module adapts an Ir.func's block CFG to the
+   solver's graph shape and defines the lattices IR analyses run on. *)
+
+module Dataflow = Eric_lint.Dataflow
+module Iset = Set.Make (Int)
+
+(* Must-define analysis lattice: which temps are written on *every* path.
+   Join is set intersection, so the identity element ("no path constrains
+   this yet") is the whole universe, [All]. *)
+module Must_define = struct
+  type t = All | Defined of Iset.t
+
+  let bottom = All
+
+  let join a b =
+    match (a, b) with
+    | All, x | x, All -> x
+    | Defined u, Defined v -> Defined (Iset.inter u v)
+
+  let equal a b =
+    match (a, b) with
+    | All, All -> true
+    | Defined u, Defined v -> Iset.equal u v
+    | _ -> false
+
+  let pp fmt = function
+    | All -> Format.pp_print_string fmt "all"
+    | Defined s ->
+      Format.fprintf fmt "{%s}"
+        (String.concat "," (List.map string_of_int (Iset.elements s)))
+end
+
+type func_graph = {
+  fg_graph : Dataflow.graph;
+  fg_blocks : Ir.block array;  (** node index -> block *)
+  fg_index : (Ir.label, int) Hashtbl.t;
+}
+
+let graph_of_func (f : Ir.func) =
+  let fg_blocks = Array.of_list f.Ir.f_blocks in
+  let fg_index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i b ->
+      if not (Hashtbl.mem fg_index b.Ir.b_label) then Hashtbl.replace fg_index b.Ir.b_label i)
+    fg_blocks;
+  let entry_label =
+    match f.Ir.f_blocks with b :: _ -> Some b.Ir.b_label | [] -> None
+  in
+  let edges =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i b ->
+              List.filter_map
+                (fun l ->
+                  match Hashtbl.find_opt fg_index l with
+                  (* The entry has no CFG predecessor: its dataflow input
+                     is the boundary fact (parameters), never a join with
+                     a loop edge back to the first label. *)
+                  | Some j when entry_label <> Some l -> Some (i, j)
+                  | _ -> None)
+                (Ir.successors b.Ir.term))
+            fg_blocks))
+  in
+  { fg_graph = Dataflow.graph_of_edges ~node_count:(Array.length fg_blocks) edges;
+    fg_blocks;
+    fg_index }
+
+module Must_solver = Dataflow.Make (Must_define)
+
+let block_defs (b : Ir.block) =
+  List.fold_left
+    (fun acc i -> match Ir.def_of i with Some d -> Iset.add d acc | None -> acc)
+    Iset.empty b.Ir.body
+
+let must_define (f : Ir.func) =
+  (* Forward solve: in(b) = ∩ out(preds), out(b) = in(b) ∪ defs(b);
+     the entry starts from the parameter set. *)
+  let fg = graph_of_func f in
+  let params = Iset.of_list f.Ir.f_params in
+  let transfer i v =
+    match v with
+    | Must_define.All -> Must_define.All
+    | Must_define.Defined s -> Must_define.Defined (Iset.union s (block_defs fg.fg_blocks.(i)))
+  in
+  let boundary =
+    if Array.length fg.fg_blocks = 0 then [] else [ (0, Must_define.Defined params) ]
+  in
+  let solved = Must_solver.solve ~boundary ~graph:fg.fg_graph ~transfer () in
+  (fg, solved)

@@ -128,7 +128,8 @@ let local_checks (p : program) (f : func) =
    when every path from the entry writes it first.  Reads of temps that
    are written somewhere but not on every incoming path are warnings
    (MiniC, like C, allows reading an uninitialised local); reads of temps
-   no instruction ever writes are errors. *)
+   no instruction ever writes are errors.  The fixpoint itself is the
+   {!Ir_dataflow.Must_define} instance of the shared worklist solver. *)
 let dataflow_checks (f : func) =
   match f.f_blocks with
   | [] -> []
@@ -142,55 +143,18 @@ let dataflow_checks (f : func) =
             acc b.body)
         (Iset.of_list f.f_params) f.f_blocks
     in
-    let labels = Hashtbl.create 16 in
-    List.iter (fun b -> Hashtbl.replace labels b.b_label b) f.f_blocks;
-    let preds = Hashtbl.create 16 in
-    List.iter
-      (fun b ->
-        List.iter
-          (fun s ->
-            if Hashtbl.mem labels s then
-              Hashtbl.replace preds s (b.b_label :: Option.value (Hashtbl.find_opt preds s) ~default:[]))
-          (successors b.term))
-      f.f_blocks;
-    let block_defs b =
-      List.fold_left
-        (fun acc i -> match def_of i with Some d -> Iset.add d acc | None -> acc)
-        Iset.empty b.body
+    let fg, solved = Ir_dataflow.must_define f in
+    let in_of i =
+      match solved.Ir_dataflow.Must_solver.input.(i) with
+      | Ir_dataflow.Must_define.Defined s ->
+        Iset.of_list (Ir_dataflow.Iset.elements s)
+      | Ir_dataflow.Must_define.All -> defined_anywhere (* unreachable: unconstrained *)
     in
-    (* out[b] per label; absent = not yet computed (top). *)
-    let out : (label, Iset.t) Hashtbl.t = Hashtbl.create 16 in
-    let in_of b =
-      if b.b_label = entry.b_label then Iset.of_list f.f_params
-      else
-        match Option.value (Hashtbl.find_opt preds b.b_label) ~default:[] with
-        | [] -> Iset.of_list f.f_params (* unreachable: no path constrains it *)
-        | ps ->
-          List.fold_left
-            (fun acc p ->
-              match (acc, Hashtbl.find_opt out p) with
-              | None, v -> v
-              | Some acc, Some v -> Some (Iset.inter acc v)
-              | Some acc, None -> Some acc (* unprocessed pred = top *))
-            None ps
-          |> Option.value ~default:(Iset.of_list f.f_params)
-    in
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      List.iter
-        (fun b ->
-          let o = Iset.union (in_of b) (block_defs b) in
-          match Hashtbl.find_opt out b.b_label with
-          | Some prev when Iset.equal prev o -> ()
-          | _ ->
-            Hashtbl.replace out b.b_label o;
-            changed := true)
-        f.f_blocks
-    done;
     (* Use-checks cover only reachable blocks: lowering's dead join blocks
        (already noted by [ir.cfg.unreachable-block]) have no incoming path
        to constrain what is defined, so checking them would be noise. *)
+    let labels = Hashtbl.create 16 in
+    List.iter (fun b -> Hashtbl.replace labels b.b_label b) f.f_blocks;
     let reachable = Hashtbl.create 16 in
     let rec visit l =
       if not (Hashtbl.mem reachable l) then begin
@@ -217,23 +181,23 @@ let dataflow_checks (f : func) =
             :: !diags
       end
     in
-    List.iter
-      (fun b ->
+    Array.iteri
+      (fun i b ->
         if Hashtbl.mem reachable b.b_label then begin
-        let defined = ref (in_of b) in
-        List.iteri
-          (fun i instr ->
-            let at = loc ~func:fn ~block:b.b_label ~index:i () in
-            List.iter (fun t -> check_use ~loc_:at t !defined) (uses_of instr);
-            match def_of instr with
-            | Some d -> defined := Iset.add d !defined
-            | None -> ())
-          b.body;
-        List.iter
-          (fun t -> check_use ~loc_:(loc ~func:fn ~block:b.b_label ()) t !defined)
-          (term_uses b.term)
+          let defined = ref (in_of i) in
+          List.iteri
+            (fun j instr ->
+              let at = loc ~func:fn ~block:b.b_label ~index:j () in
+              List.iter (fun t -> check_use ~loc_:at t !defined) (uses_of instr);
+              match def_of instr with
+              | Some d -> defined := Iset.add d !defined
+              | None -> ())
+            b.body;
+          List.iter
+            (fun t -> check_use ~loc_:(loc ~func:fn ~block:b.b_label ()) t !defined)
+            (term_uses b.term)
         end)
-      f.f_blocks;
+      fg.Ir_dataflow.fg_blocks;
     List.rev !diags
 
 let verify_func p f = Diag.sort (cfg_checks f @ local_checks p f @ dataflow_checks f)

@@ -1,0 +1,38 @@
+(* Compiler-side ground-truth export for attacker scoring.  The leakage
+   lint derives the same structural facts from the image (Eric_lint owns
+   the derivation; this module cannot be its dependency), but tooling —
+   bench, tests, external scripts — wants them with symbol names
+   attached and serialisable, which only the compiler layer can promise:
+   it is the producer of the symbol table the derivation reads. *)
+
+module Leakage = Eric_lint.Leakage
+
+type t = {
+  functions : (string * int) list;  (** non-local text symbols, by offset *)
+  truth : Leakage.truth;
+}
+
+let of_image (p : Eric_rv.Program.t) =
+  let truth = Leakage.truth_of p in
+  let functions =
+    p.Eric_rv.Program.symbols
+    |> List.filter (fun (_, off) -> Leakage.Iset.mem off truth.Leakage.t_functions)
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  { functions; truth }
+
+let to_json t =
+  let module J = Eric_telemetry.Json in
+  let int v = J.Num (float_of_int v) in
+  let iset s = J.List (List.map int (Leakage.Iset.elements s)) in
+  J.Obj
+    [ ( "functions",
+        J.Obj (List.map (fun (name, off) -> (name, int off)) t.functions) );
+      ("code_parcels", int (Leakage.Iset.cardinal t.truth.Leakage.t_code));
+      ("branch_targets", iset t.truth.Leakage.t_branch_targets);
+      ( "call_edges",
+        J.List
+          (List.map
+             (fun (s, d) -> J.List [ int s; int d ])
+             (Leakage.Eset.elements t.truth.Leakage.t_call_edges)) );
+      ("indirect_sites", iset t.truth.Leakage.t_indirect) ]

@@ -1,0 +1,16 @@
+(** Compiler ground truth for attacker scoring, exported with symbol
+    names attached.  The structural facts themselves (code parcels,
+    function entries, branch targets, call edges, indirect sites) are
+    {!Eric_lint.Leakage.truth_of} applied to the compiled image; this
+    module pairs them with the function symbol table the compiler
+    emitted and serialises the bundle for bench records and external
+    tooling. *)
+
+type t = {
+  functions : (string * int) list;
+      (** function symbols sorted by text offset; locals ([.L*]) excluded *)
+  truth : Eric_lint.Leakage.truth;
+}
+
+val of_image : Eric_rv.Program.t -> t
+val to_json : t -> Eric_telemetry.Json.t

@@ -1,0 +1,80 @@
+module Taint = Eric_lint.Taint
+
+(* The declared model of ERIC's build/personalize pipeline, mirroring
+   the real modules value for value:
+
+   - [Eric_puf] silicon emits the raw PUF response; [Kmu.derive] turns
+     it into the working device key (HMAC, so still key material);
+     [Eric_crypto.Keystream] expands the device key.
+   - [Encrypt.prepare] lays out the package skeleton from the plaintext
+     image: header fields, parcel map, text, data, and the plaintext
+     SHA-256 signature — none of which sees the key.
+   - [Encrypt.personalize] XORs text and signature against the
+     keystream.  XOR with a fresh keystream is the sanitizing step: the
+     ciphertext reveals nothing about the key.
+   - Telemetry observes counts (parcels, bytes, validations), never key
+     bytes.
+
+   The obligation gated in CI: no KMU-derived value may reach a
+   plaintext package field or telemetry output.  Every package field is
+   a sink; [enc_text] and [enc_signature] reach the package only
+   through the sanitizing XOR. *)
+
+let field_check = "taint.key.plaintext-field"
+let telemetry_check = "taint.key.telemetry"
+
+let model =
+  {
+    Taint.nodes =
+      [ ("puf_response", Taint.Source);
+        ("kmu_context", Taint.Internal);
+        ("device_key", Taint.Internal);
+        ("keystream", Taint.Internal);
+        ("plaintext_image", Taint.Internal);
+        ("parcel_selection", Taint.Internal);
+        ("signature", Taint.Internal);
+        ("enc_text", Taint.Internal);
+        ("enc_signature", Taint.Internal);
+        ("package_header", Taint.Sink field_check);
+        ("package_map", Taint.Sink field_check);
+        ("package_enc_text", Taint.Sink field_check);
+        ("package_data", Taint.Sink field_check);
+        ("package_enc_signature", Taint.Sink field_check);
+        ("telemetry_counters", Taint.Sink telemetry_check) ];
+    edges =
+      [ (* Kmu.derive: HMAC(puf_key, context) — derived keys are key
+           material; the context is public. *)
+        ("puf_response", Taint.Derive, "device_key");
+        ("kmu_context", Taint.Copy, "device_key");
+        (* Eric_crypto.Keystream.create ~key *)
+        ("device_key", Taint.Derive, "keystream");
+        (* Encrypt.prepare: key-independent layout and plaintext
+           signature. *)
+        ("plaintext_image", Taint.Copy, "parcel_selection");
+        ("plaintext_image", Taint.Derive, "signature");
+        ("parcel_selection", Taint.Copy, "package_map");
+        ("plaintext_image", Taint.Copy, "package_header");
+        ("plaintext_image", Taint.Copy, "package_data");
+        (* Encrypt.personalize: the XOR. *)
+        ("keystream", Taint.Sanitize, "enc_text");
+        ("plaintext_image", Taint.Copy, "enc_text");
+        ("keystream", Taint.Sanitize, "enc_signature");
+        ("signature", Taint.Copy, "enc_signature");
+        ("enc_text", Taint.Copy, "package_enc_text");
+        ("enc_signature", Taint.Copy, "package_enc_signature");
+        (* build.parcels_total, build.bytes_encrypted, ...: counts of
+           the selection, not of any keyed value. *)
+        ("parcel_selection", Taint.Copy, "telemetry_counters") ];
+  }
+
+let check () = Taint.analyze model
+
+let lint () =
+  let result = check () in
+  (result, Taint.diags result)
+
+(* A deliberately broken variant for tests and docs: leak the derived
+   key into the package header (as a debug fingerprint would). *)
+let defective_model =
+  { model with
+    Taint.edges = ("device_key", Taint.Copy, "package_header") :: model.Taint.edges }

@@ -1,0 +1,25 @@
+(** The secret-taint obligation over ERIC's build/personalize pipeline.
+
+    A declared {!Eric_lint.Taint} model of the real dataflow — PUF
+    response, KMU derivation, keystream expansion, package layout,
+    personalizing XOR, telemetry — proving that KMU-derived key material
+    never reaches a plaintext package field ([taint.key.plaintext-field])
+    or telemetry output ([taint.key.telemetry]).  Gated in CI in error
+    mode: any finding fails the lint. *)
+
+val field_check : string
+val telemetry_check : string
+
+val model : Eric_lint.Taint.spec
+(** The faithful model; see the implementation for the value-by-value
+    correspondence with [Kmu]/[Encrypt]/[Package]. *)
+
+val check : unit -> Eric_lint.Taint.result
+
+val lint : unit -> Eric_lint.Taint.result * Eric_lint.Diag.t list
+(** [check] plus error diagnostics for every tainted sink. *)
+
+val defective_model : Eric_lint.Taint.spec
+(** [model] with a seeded defect (derived key copied into the package
+    header); must produce a [taint.key.plaintext-field] error.  Used by
+    tests and docs to demonstrate the obligation has teeth. *)

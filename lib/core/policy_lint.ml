@@ -18,3 +18,4 @@ let coverage ~mode (p : Program.t) =
 
 let analyze ~mode p = Leakage.analyze p (coverage ~mode p)
 let lint ?max_leakage ~mode p = Leakage.lint ?max_leakage p (coverage ~mode p)
+let recover ~mode ~attacker p = Leakage.recover attacker p (coverage ~mode p)

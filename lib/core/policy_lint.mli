@@ -19,3 +19,11 @@ val lint :
   Eric_rv.Program.t ->
   Eric_lint.Leakage.report * Eric_lint.Diag.t list
 (** See {!Eric_lint.Leakage.lint} for the gate semantics. *)
+
+val recover :
+  mode:Config.mode ->
+  attacker:Eric_lint.Leakage.attacker ->
+  Eric_rv.Program.t ->
+  Eric_lint.Leakage.structure
+(** Simulate an attacker against the bits the policy ships in the clear;
+    see {!Eric_lint.Leakage.recover}. *)

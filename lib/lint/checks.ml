@@ -1,6 +1,10 @@
-type family = Ir | Machine | Leakage
+type family = Ir | Machine | Leakage | Taint
 
-let family_name = function Ir -> "ir" | Machine -> "machine-code" | Leakage -> "leakage"
+let family_name = function
+  | Ir -> "ir"
+  | Machine -> "machine-code"
+  | Leakage -> "leakage"
+  | Taint -> "taint"
 
 type info = {
   id : string;
@@ -66,7 +70,16 @@ let all =
     { id = "leak.call.edges"; family = Leakage; severity = Diag.Warning;
       summary = "jal ra sites with plaintext offsets: call graph recoverable" };
     { id = "leak.func.prologues"; family = Leakage; severity = Diag.Warning;
-      summary = "addi sp,sp,-N prologues plaintext: function boundaries recoverable" } ]
+      summary = "addi sp,sp,-N prologues plaintext: function boundaries recoverable" };
+    { id = "leak.struct.recovered"; family = Leakage; severity = Diag.Warning;
+      summary = "attacker recovers program structure above threshold (--attacker model)" };
+    { id = "leak.struct.indirect"; family = Leakage; severity = Diag.Note;
+      summary = "indirect control transfers statically resolved by the recursive attacker" };
+    (* Secret-taint obligation (Taint / Eric.Pipeline_taint) *)
+    { id = "taint.key.plaintext-field"; family = Taint; severity = Diag.Error;
+      summary = "KMU-derived key material reaches a plaintext package field" };
+    { id = "taint.key.telemetry"; family = Taint; severity = Diag.Error;
+      summary = "KMU-derived key material reaches telemetry output" } ]
 
 let find id = List.find_opt (fun i -> i.id = id) all
 

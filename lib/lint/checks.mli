@@ -1,9 +1,9 @@
-(** The catalogue of lint check ids: one entry per diagnostic the three
+(** The catalogue of lint check ids: one entry per diagnostic the
     checker families can emit, with its family, default severity and a
     one-line summary.  docs/static-analysis.md is the prose rendering of
     this table; [eric_cli lint --checks] prints it. *)
 
-type family = Ir | Machine | Leakage
+type family = Ir | Machine | Leakage | Taint
 
 val family_name : family -> string
 
@@ -16,7 +16,7 @@ type info = {
 }
 
 val all : info list
-(** Stable order: IR checks, then machine-code, then leakage. *)
+(** Stable order: IR checks, then machine-code, then leakage, then taint. *)
 
 val find : string -> info option
 

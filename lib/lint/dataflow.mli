@@ -1,0 +1,104 @@
+(** Generic worklist dataflow solver — the fixpoint engine every static
+    analysis in the linter runs on.
+
+    An analysis supplies a join-semilattice of abstract facts
+    ({!module-type:LATTICE}), a {!graph} of numbered nodes (machine-code
+    basic blocks, IR blocks, pipeline values — the solver does not care),
+    a monotone transfer function, and a {!direction}.  The solver iterates
+    to the least fixpoint of
+
+    {v in(n)  = boundary(n) ⊔ ⊔ {out(p) | p predecessor of n}
+   out(n) = transfer n (in n) v}
+
+    (successors instead of predecessors when the direction is
+    {!Backward}), i.e. the meet-over-paths solution for distributive
+    transfer functions and a sound over-approximation otherwise.
+
+    Termination is guaranteed when [transfer] is monotone and the lattice
+    has finite height on the values the program generates — both are
+    checked as qcheck properties for every lattice instance shipped in
+    this repository.  Each solve bumps the [lint.dataflow.solves],
+    [lint.dataflow.blocks_solved] and [lint.dataflow.iterations]
+    telemetry counters. *)
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Identity of {!join}: the "no information / unreached" element. *)
+
+  val join : t -> t -> t
+  (** Least upper bound.  Must be commutative, associative and
+      idempotent with [bottom] as identity (qcheck-enforced). *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+type graph = {
+  node_count : int;
+  succs : int -> int list;
+  preds : int -> int list;
+}
+(** Nodes are [0 .. node_count-1]; edge lists may mention a node more
+    than once (duplicates are harmless — join is idempotent). *)
+
+val graph_of_edges : node_count:int -> (int * int) list -> graph
+(** Build both adjacency directions from an edge list.  Edges naming a
+    node outside [0 .. node_count-1] are rejected with
+    [Invalid_argument]. *)
+
+(** {1 Stock lattices}
+
+    Shared by several analyses and exercised by the lattice-law tests. *)
+
+module Bitset : sig
+  include LATTICE with type t = int
+  (** Finite sets as bit masks: [join = lor], [bottom = 0].  Used by the
+      machine-code liveness analysis (bit [r] = register [r] live). *)
+end
+
+module Flat (V : sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  type t = Bot | Known of V.t | Top
+
+  include LATTICE with type t := t
+
+  val known : V.t -> t
+  val get : t -> V.t option
+  (** [Some v] only for [Known v]. *)
+end
+(** The three-level constant-propagation lattice over an arbitrary value
+    type: unequal known values join to [Top]. *)
+
+(** {1 The solver} *)
+
+module Make (L : LATTICE) : sig
+  type result = {
+    input : L.t array;
+    (** [input.(n)]: fact at the analysis entry of node [n] — before the
+        node's effect in a {!Forward} analysis, after it (the "out" set,
+        e.g. live-out) in a {!Backward} one. *)
+    output : L.t array;  (** [transfer n input.(n)] at the fixpoint. *)
+    iterations : int;  (** transfer applications until convergence *)
+  }
+
+  val solve :
+    ?direction:direction ->
+    ?boundary:(int * L.t) list ->
+    graph:graph ->
+    transfer:(int -> L.t -> L.t) ->
+    unit ->
+    result
+  (** Least-fixpoint solve.  [boundary] seeds facts that hold regardless
+      of incoming edges (typically the entry node in a forward analysis);
+      all other inputs start at [L.bottom], so nodes unreachable from any
+      boundary or edge keep [bottom].  [direction] defaults to
+      [Forward]. *)
+end

@@ -137,6 +137,312 @@ let report_to_json r =
       ("prologues", int r.prologues);
       ("prologues_plaintext", int r.prologues_plaintext) ]
 
+(* ------------------------------------------------------------------ *)
+(* Attacker hierarchy: recovered-structure scoring                      *)
+(* ------------------------------------------------------------------ *)
+
+module Iset = Set.Make (Int)
+
+module Eset = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type attacker = Linear | Recursive
+
+let attacker_to_string = function Linear -> "linear" | Recursive -> "recursive"
+
+let attacker_of_string = function
+  | "linear" -> Some Linear
+  | "recursive" -> Some Recursive
+  | _ -> None
+
+type truth = {
+  t_code : Iset.t;
+  t_functions : Iset.t;
+  t_branch_targets : Iset.t;
+  t_call_edges : Eset.t;
+  t_indirect : Iset.t;
+}
+
+(* Assembler convention: labels starting with '.' are local (block
+   labels), everything else names a function entry. *)
+let is_local_symbol name = String.length name > 0 && name.[0] = '.'
+
+let truth_of_cfg (p : Program.t) (cfg : Mc_cfg.t) =
+  let code = ref Iset.empty and targets = ref Iset.empty in
+  let edges = ref Eset.empty and indirect = ref Iset.empty in
+  Array.iter
+    (fun (n : Mc_cfg.node) ->
+      (match n.Mc_cfg.n_inst with
+      | Some _ -> code := Iset.add n.Mc_cfg.n_offset !code
+      | None -> ());
+      match Mc_cfg.flow_of n with
+      | Mc_cfg.Jump t | Mc_cfg.Cond t ->
+        if Mc_cfg.node_at cfg t <> None then targets := Iset.add t !targets
+      | Mc_cfg.Call t ->
+        if Mc_cfg.node_at cfg t <> None then begin
+          targets := Iset.add t !targets;
+          edges := Eset.add (n.Mc_cfg.n_offset, t) !edges
+        end
+      | Mc_cfg.Return | Mc_cfg.Indirect | Mc_cfg.Indirect_call ->
+        indirect := Iset.add n.Mc_cfg.n_offset !indirect
+      | Mc_cfg.Next -> ())
+    cfg.Mc_cfg.nodes;
+  let functions =
+    List.fold_left
+      (fun acc (name, off) ->
+        if is_local_symbol name || Mc_cfg.node_at cfg off = None then acc
+        else Iset.add off acc)
+      (Iset.singleton p.Program.entry_offset)
+      p.Program.symbols
+  in
+  { t_code = !code;
+    t_functions = functions;
+    t_branch_targets = !targets;
+    t_call_edges = !edges;
+    t_indirect = !indirect }
+
+let truth_of (p : Program.t) = truth_of_cfg p (Mc_cfg.build p)
+
+type structure = {
+  s_attacker : attacker;
+  code_found : int;
+  code_total : int;
+  functions_found : int;
+  functions_total : int;
+  branch_targets_found : int;
+  branch_targets_total : int;
+  call_edges_found : int;
+  call_edges_total : int;
+  indirect_resolved : int;
+  indirect_total : int;
+  structure_score : float;
+}
+
+type recovered = {
+  mutable r_code : Iset.t;
+  mutable r_functions : Iset.t;
+  mutable r_targets : Iset.t;
+  mutable r_edges : Eset.t;
+  mutable r_resolved : Iset.t;
+}
+
+(* Can the attacker read this parcel's control-flow displacement?  The
+   same condition the linear report uses for branch_offsets_plaintext:
+   opcode bits and the offset field both ship in the clear. *)
+let flow_visible parcel inst cov =
+  match offset_field parcel inst with
+  | Some field -> (not (opcode_hidden parcel cov)) && not (field_hidden cov field)
+  | None -> false
+
+(* What a linear sweep classifies without following any edge: legible
+   parcels are code, legible displacements give targets and call edges
+   (a revealed call target is a known function entry), visible
+   [addi sp,sp,-N] prologues mark function starts. *)
+let scan_linear (p : Program.t) (cfg : Mc_cfg.t) coverage =
+  let r =
+    { r_code = Iset.empty;
+      r_functions = Iset.empty;
+      r_targets = Iset.empty;
+      r_edges = Eset.empty;
+      r_resolved = Iset.empty }
+  in
+  Array.iteri
+    (fun i (n : Mc_cfg.node) ->
+      let cov = coverage.(i) in
+      let parcel = p.Program.text.(i) in
+      let inst = n.Mc_cfg.n_inst in
+      let full = fully_plaintext cov && inst <> None in
+      let flow_vis = flow_visible parcel inst cov in
+      if full || flow_vis then r.r_code <- Iset.add n.Mc_cfg.n_offset r.r_code;
+      if flow_vis then begin
+        match Mc_cfg.flow_of n with
+        | Mc_cfg.Jump t | Mc_cfg.Cond t ->
+          if Mc_cfg.node_at cfg t <> None then r.r_targets <- Iset.add t r.r_targets
+        | Mc_cfg.Call t ->
+          if Mc_cfg.node_at cfg t <> None then begin
+            r.r_targets <- Iset.add t r.r_targets;
+            r.r_functions <- Iset.add t r.r_functions;
+            r.r_edges <- Eset.add (n.Mc_cfg.n_offset, t) r.r_edges
+          end
+        | _ -> ()
+      end;
+      if is_prologue inst && not (prologue_hidden parcel cov) then
+        r.r_functions <- Iset.add n.Mc_cfg.n_offset r.r_functions)
+    cfg.Mc_cfg.nodes;
+  r
+
+(* Recursive descent: start from the entry offset (plaintext in the
+   package header), follow every legible edge, link returns back to the
+   fallthrough of discovered call sites, and run the value-set analysis
+   over the legible parcels to resolve computed [jalr] targets.  The
+   linear sweep runs first as the fallback classification of parcels the
+   traversal never reaches, so every component is a superset of the
+   linear attacker's. *)
+let scan_recursive (p : Program.t) (cfg : Mc_cfg.t) coverage =
+  let r = scan_linear p cfg coverage in
+  let visited = Array.make (Array.length cfg.Mc_cfg.nodes) false in
+  let queue = Queue.create () in
+  let callers : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let push off =
+    match Mc_cfg.node_at cfg off with
+    | Some n when not visited.(n.Mc_cfg.n_index) -> Queue.add n queue
+    | _ -> ()
+  in
+  r.r_functions <- Iset.add p.Program.entry_offset r.r_functions;
+  push p.Program.entry_offset;
+  let step (n : Mc_cfg.node) =
+    if not visited.(n.Mc_cfg.n_index) then begin
+      visited.(n.Mc_cfg.n_index) <- true;
+      let cov = coverage.(n.Mc_cfg.n_index) in
+      let parcel = p.Program.text.(n.Mc_cfg.n_index) in
+      let inst = n.Mc_cfg.n_inst in
+      let full = fully_plaintext cov && inst <> None in
+      let flow_vis = flow_visible parcel inst cov in
+      if full || flow_vis then begin
+        r.r_code <- Iset.add n.Mc_cfg.n_offset r.r_code;
+        let fallthrough () = Option.iter push (Mc_cfg.fallthrough cfg n) in
+        match Mc_cfg.flow_of n with
+        | Mc_cfg.Next -> if full then fallthrough ()
+        | Mc_cfg.Jump t ->
+          if Mc_cfg.node_at cfg t <> None then r.r_targets <- Iset.add t r.r_targets;
+          push t
+        | Mc_cfg.Cond t ->
+          if Mc_cfg.node_at cfg t <> None then r.r_targets <- Iset.add t r.r_targets;
+          push t;
+          fallthrough ()
+        | Mc_cfg.Call t ->
+          if Mc_cfg.node_at cfg t <> None then begin
+            r.r_targets <- Iset.add t r.r_targets;
+            r.r_functions <- Iset.add t r.r_functions;
+            r.r_edges <- Eset.add (n.Mc_cfg.n_offset, t) r.r_edges;
+            Hashtbl.replace callers t ()
+          end;
+          push t;
+          fallthrough ()
+        | Mc_cfg.Return | Mc_cfg.Indirect -> ()
+        | Mc_cfg.Indirect_call -> if full then fallthrough ()
+      end
+      (* An opaque parcel ends the traversal: the attacker cannot even
+         frame what follows it with confidence. *)
+    end
+  in
+  let drain () =
+    while not (Queue.is_empty queue) do
+      step (Queue.take queue)
+    done
+  in
+  drain ();
+  (* Value-set rounds: resolving a computed jump may expose new code,
+     which may in turn make more sites resolvable. *)
+  let visible i = fully_plaintext coverage.(i) in
+  let continue = ref true and rounds = ref 0 in
+  while !continue && !rounds < 3 do
+    incr rounds;
+    continue := false;
+    let entries = Iset.elements r.r_functions in
+    let res = Mc_dataflow.analyze ~visible cfg ~entries in
+    List.iter
+      (fun { Mc_dataflow.site_offset; targets } ->
+        match Mc_cfg.node_at cfg site_offset with
+        | Some n when visited.(n.Mc_cfg.n_index) && targets <> [] ->
+          if not (Iset.mem site_offset r.r_resolved) then begin
+            r.r_resolved <- Iset.add site_offset r.r_resolved;
+            List.iter
+              (fun t ->
+                r.r_targets <- Iset.add t r.r_targets;
+                push t)
+              targets;
+            continue := true
+          end
+        | _ -> ())
+      res.Mc_dataflow.resolutions;
+    if !continue then drain ()
+  done;
+  (* Return linking: a visited [ret] inside a function with a discovered
+     call site resumes at that call's fallthrough — resolved. *)
+  Array.iter
+    (fun (n : Mc_cfg.node) ->
+      if visited.(n.Mc_cfg.n_index) && Mc_cfg.flow_of n = Mc_cfg.Return then
+        match Iset.find_last_opt (fun f -> f <= n.Mc_cfg.n_offset) r.r_functions with
+        | Some entry when Hashtbl.mem callers entry ->
+          r.r_resolved <- Iset.add n.Mc_cfg.n_offset r.r_resolved
+        | _ -> ())
+    cfg.Mc_cfg.nodes;
+  r
+
+let score_against attacker truth r =
+  let icard = Iset.cardinal in
+  let inter a b = icard (Iset.inter a b) in
+  let code_found = inter r.r_code truth.t_code in
+  let functions_found = inter r.r_functions truth.t_functions in
+  let branch_targets_found = inter r.r_targets truth.t_branch_targets in
+  let call_edges_found = Eset.cardinal (Eset.inter r.r_edges truth.t_call_edges) in
+  let indirect_resolved = inter r.r_resolved truth.t_indirect in
+  let code_total = icard truth.t_code in
+  let functions_total = icard truth.t_functions in
+  let branch_targets_total = icard truth.t_branch_targets in
+  let call_edges_total = Eset.cardinal truth.t_call_edges in
+  let indirect_total = icard truth.t_indirect in
+  let comp found total = if total = 0 then None else Some (frac found total) in
+  let comps =
+    List.filter_map Fun.id
+      [ comp code_found code_total;
+        comp functions_found functions_total;
+        comp branch_targets_found branch_targets_total;
+        comp call_edges_found call_edges_total;
+        comp indirect_resolved indirect_total ]
+  in
+  let structure_score =
+    match comps with
+    | [] -> 0.0
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  { s_attacker = attacker;
+    code_found;
+    code_total;
+    functions_found;
+    functions_total;
+    branch_targets_found;
+    branch_targets_total;
+    call_edges_found;
+    call_edges_total;
+    indirect_resolved;
+    indirect_total;
+    structure_score }
+
+let recover attacker (p : Program.t) coverage =
+  if Array.length coverage <> Array.length p.Program.text then
+    invalid_arg "Leakage.recover: coverage length <> parcel count";
+  Eric_telemetry.Span.with_ ~cat:"lint" ~name:"lint.attacker" @@ fun () ->
+  let cfg = Mc_cfg.build p in
+  let truth = truth_of_cfg p cfg in
+  let r =
+    match attacker with
+    | Linear -> scan_linear p cfg coverage
+    | Recursive -> scan_recursive p cfg coverage
+  in
+  score_against attacker truth r
+
+let structure_to_json s =
+  let module J = Eric_telemetry.Json in
+  let int v = J.Num (float_of_int v) in
+  J.Obj
+    [ ("attacker", J.Str (attacker_to_string s.s_attacker));
+      ("code_found", int s.code_found);
+      ("code_total", int s.code_total);
+      ("functions_found", int s.functions_found);
+      ("functions_total", int s.functions_total);
+      ("branch_targets_found", int s.branch_targets_found);
+      ("branch_targets_total", int s.branch_targets_total);
+      ("call_edges_found", int s.call_edges_found);
+      ("call_edges_total", int s.call_edges_total);
+      ("indirect_resolved", int s.indirect_resolved);
+      ("indirect_total", int s.indirect_total);
+      ("score", J.Num s.structure_score) ]
+
 let advisory = 0.25
 
 let lint ?(max_leakage = 1.0) p coverage =
@@ -190,3 +496,27 @@ let lint ?(max_leakage = 1.0) p coverage =
     end
   end;
   (r, Diag.sort !diags)
+
+let structure_diags ?(max_leakage = 1.0) s =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let f = s.structure_score in
+  let who = attacker_to_string s.s_attacker in
+  if f > max_leakage then
+    emit
+      (Diag.errorf ~check:"leak.struct.recovered"
+         "%s attacker recovers %.0f%% of program structure; exceeds --max-leakage %.0f%%" who
+         (100. *. f) (100. *. max_leakage))
+  else if f > advisory then
+    emit
+      (Diag.warningf ~check:"leak.struct.recovered"
+         "%s attacker recovers %.0f%% of program structure (code %d/%d, functions %d/%d, \
+          branch targets %d/%d, call edges %d/%d)"
+         who (100. *. f) s.code_found s.code_total s.functions_found s.functions_total
+         s.branch_targets_found s.branch_targets_total s.call_edges_found s.call_edges_total);
+  if s.indirect_resolved > 0 then
+    emit
+      (Diag.notef ~check:"leak.struct.indirect"
+         "%d of %d indirect control transfers resolved statically (%s attacker)"
+         s.indirect_resolved s.indirect_total who);
+  Diag.sort !diags

@@ -39,3 +39,69 @@ val lint : ?max_leakage:float -> Eric_rv.Program.t -> coverage array -> report *
     (default [1.0], i.e. never) escalates to an error; above the fixed
     advisory threshold of 0.25 it warns.  A policy that encrypts nothing
     is always [leak.policy.empty] at error severity. *)
+
+(** {1 Attacker hierarchy}
+
+    Beyond the per-parcel leakage counters, the lint can simulate a
+    concrete attacker and score the program structure it recovers
+    against the compiler's ground truth (symbols, decoded CFG).  The
+    {!Recursive} attacker strictly dominates {!Linear}: it runs the
+    linear sweep as its fallback classification, then additionally
+    follows legible control-flow edges from the (plaintext) entry point,
+    links returns to discovered call sites, and resolves computed [jalr]
+    targets with the {!Mc_dataflow} value-set analysis restricted to
+    legible parcels. *)
+
+module Iset : Set.S with type elt = int
+
+module Eset : Set.S with type elt = int * int
+
+type attacker = Linear | Recursive
+
+val attacker_to_string : attacker -> string
+val attacker_of_string : string -> attacker option
+
+(** Compiler ground truth, derived from the plaintext image: decodable
+    parcel offsets, function entries (non-local symbols plus the entry
+    point), branch/jump targets, [jal ra] call edges, and indirect
+    control-transfer sites ([ret]/[jalr]). *)
+type truth = {
+  t_code : Iset.t;
+  t_functions : Iset.t;
+  t_branch_targets : Iset.t;
+  t_call_edges : Eset.t;
+  t_indirect : Iset.t;
+}
+
+val truth_of : Eric_rv.Program.t -> truth
+
+(** Recovered-structure scorecard: per-component found/total counts and
+    their mean recall in [0,1] (components with an empty ground truth are
+    skipped).  For the same program and coverage, every [Recursive]
+    component is a superset of the [Linear] one, so
+    [structure_score Recursive >= structure_score Linear]. *)
+type structure = {
+  s_attacker : attacker;
+  code_found : int;
+  code_total : int;
+  functions_found : int;
+  functions_total : int;
+  branch_targets_found : int;
+  branch_targets_total : int;
+  call_edges_found : int;
+  call_edges_total : int;
+  indirect_resolved : int;
+  indirect_total : int;
+  structure_score : float;
+}
+
+val recover : attacker -> Eric_rv.Program.t -> coverage array -> structure
+(** Run the attacker against a coverage assignment.  Raises
+    [Invalid_argument] on a coverage/parcel length mismatch. *)
+
+val structure_to_json : structure -> Eric_telemetry.Json.t
+
+val structure_diags : ?max_leakage:float -> structure -> Diag.t list
+(** [leak.struct.recovered] warns above the advisory threshold and
+    errors above [max_leakage]; [leak.struct.indirect] notes statically
+    resolved indirect transfers. *)

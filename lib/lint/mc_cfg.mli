@@ -1,5 +1,6 @@
 (** Control-flow reconstruction over a decoded RV64GC text section — the
-    substrate of the machine-code verifier.
+    substrate of the machine-code verifier and of the recursive-descent
+    attack model.
 
     The text is cut at parcel boundaries (the framing an attacker must
     also discover); each parcel becomes a {!node} with its decoded
@@ -33,7 +34,11 @@ type flow =
   | Cond of int  (** conditional branch: target, plus fallthrough *)
   | Call of int  (** [jal] with a link register: target, resumes after *)
   | Return  (** [jalr x0, ra, 0] *)
-  | Indirect  (** [jalr] whose target is not statically known *)
+  | Indirect  (** [jalr x0] tail-jump: leaves, target not statically known *)
+  | Indirect_call
+      (** [jalr] with a link register ([c.jalr] in compressed form):
+          target unknown, but control {e resumes at the next parcel} —
+          2 bytes later for the compressed encoding *)
 
 val flow_of : node -> flow
 (** Classification of the node's instruction.  Undecodable parcels and
@@ -42,8 +47,47 @@ val flow_of : node -> flow
 
 val targets_of_flow : flow -> int list
 (** The absolute byte offsets a flow names (empty for
-    [Next]/[Return]/[Indirect]). *)
+    [Next]/[Return]/[Indirect]/[Indirect_call]). *)
+
+val falls_through : flow -> bool
+(** Whether control can continue at the next parcel boundary:
+    [Next], [Cond], [Call] and [Indirect_call] do; [Jump], [Return] and
+    [Indirect] never do. *)
+
+val fallthrough : t -> node -> int option
+(** The in-section fallthrough offset — [n_offset + n_size], honouring
+    the parcel's real 2- or 4-byte width — or [None] when the flow does
+    not fall through or the next boundary is past the section end. *)
+
+val succ_offsets : t -> node -> int list
+(** Every in-section, parcel-aligned successor offset: the fallthrough
+    (first, when present) plus the named targets.  Misaligned or
+    out-of-section targets are omitted (the verifier flags them). *)
 
 val call_sites : t -> (int * int) list
 (** [(site offset, target offset)] for every [jal ra, _] — the call edges
     a linear-sweep attacker recovers from plaintext. *)
+
+(** {1 Basic blocks}
+
+    Maximal straight-line parcel runs: a block ends at the first
+    control-transfer parcel, and starts at offset 0, at any branch/jump
+    target, or right after a control transfer (again [n_size]-exact, so a
+    compressed terminator is followed 2 bytes later, not 4).  This is the
+    node space the {!Dataflow} solver instances for machine code run
+    over. *)
+
+type block = {
+  bb_index : int;
+  bb_first : int;  (** first member node index *)
+  bb_last : int;  (** last member node index (inclusive) *)
+  bb_succs : int list;
+      (** successor block indices: the fallthrough and/or branch targets
+          of the last member.  [Call] blocks list only the fallthrough —
+          callee entries are boundary nodes of an interprocedural
+          analysis, not intra-CFG successors. *)
+}
+
+type blocks = { blocks : block array; block_of_node : int array }
+
+val basic_blocks : t -> blocks

@@ -1,0 +1,227 @@
+open Eric_rv
+
+module Value = struct
+  type t = Bot | Vals of int64 list | Top
+
+  let max_width = 8
+  let bottom = Bot
+
+  let normalize vs =
+    let vs = List.sort_uniq Int64.compare vs in
+    if List.length vs > max_width then Top else Vals vs
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | Top, _ | _, Top -> Top
+    | Vals u, Vals v -> normalize (u @ v)
+
+  let equal a b =
+    match (a, b) with
+    | Bot, Bot | Top, Top -> true
+    | Vals u, Vals v -> u = v
+    | _ -> false
+
+  let pp fmt = function
+    | Bot -> Format.pp_print_string fmt "⊥"
+    | Top -> Format.pp_print_string fmt "⊤"
+    | Vals vs ->
+      Format.fprintf fmt "{%s}" (String.concat "," (List.map Int64.to_string vs))
+
+  let const v = Vals [ v ]
+  let to_list = function Bot -> Some [] | Vals vs -> Some vs | Top -> None
+
+  (* Abstract lifts of concrete arithmetic; cross products are capped by
+     [normalize], which widens to Top past [max_width]. *)
+  let map1 f = function
+    | Bot -> Bot
+    | Top -> Top
+    | Vals vs -> normalize (List.map f vs)
+
+  let map2 f a b =
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | Top, _ | _, Top -> Top
+    | Vals u, Vals v ->
+      if List.length u * List.length v > max_width * max_width then Top
+      else normalize (List.concat_map (fun x -> List.map (f x) v) u)
+end
+
+module State = struct
+  type t = Unreached | Regs of Value.t array
+
+  let bottom = Unreached
+
+  let join a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | Regs u, Regs v -> Regs (Array.init 32 (fun i -> Value.join u.(i) v.(i)))
+
+  let equal a b =
+    match (a, b) with
+    | Unreached, Unreached -> true
+    | Regs u, Regs v ->
+      let ok = ref true in
+      for i = 0 to 31 do
+        if not (Value.equal u.(i) v.(i)) then ok := false
+      done;
+      !ok
+    | _ -> false
+
+  let pp fmt = function
+    | Unreached -> Format.pp_print_string fmt "unreached"
+    | Regs rs ->
+      Array.iteri
+        (fun i v ->
+          if v <> Value.Top && i <> 0 then
+            Format.fprintf fmt "%s=%a " (Reg.abi_name (Reg.of_int i)) Value.pp v)
+        rs
+
+  let unknown () = Regs (Array.make 32 Value.Top)
+
+  let value_of st r =
+    if Reg.equal r Reg.x0 then Value.const 0L
+    else match st with Unreached -> Value.Bot | Regs rs -> rs.(Reg.to_int r)
+end
+
+let sext32 v = Int64.of_int32 (Int64.to_int32 v)
+
+let set st r v =
+  match st with
+  | State.Unreached -> st
+  | State.Regs rs ->
+    if Reg.equal r Reg.x0 then st
+    else begin
+      let rs = Array.copy rs in
+      rs.(Reg.to_int r) <- v;
+      State.Regs rs
+    end
+
+let havoc_caller_saved st =
+  let st = set st Reg.ra Value.Top in
+  let st = List.fold_left (fun st i -> set st (Reg.t_ i) Value.Top) st [ 0; 1; 2; 3; 4; 5; 6 ] in
+  List.fold_left (fun st i -> set st (Reg.a i) Value.Top) st [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let transfer ~text_base (node : Mc_cfg.node) st =
+  match st with
+  | State.Unreached -> st
+  | State.Regs _ -> (
+    let pc = Int64.of_int (text_base + node.Mc_cfg.n_offset) in
+    let v = State.value_of st in
+    match node.Mc_cfg.n_inst with
+    | None -> State.unknown () (* undecodable: assume nothing survives *)
+    | Some inst -> (
+      match inst with
+      | Inst.I (Addi, rd, rs1, imm) ->
+        set st rd (Value.map1 (Int64.add (Int64.of_int imm)) (v rs1))
+      | Inst.I (Addiw, rd, rs1, imm) ->
+        set st rd (Value.map1 (fun x -> sext32 (Int64.add x (Int64.of_int imm))) (v rs1))
+      | Inst.U (Lui, rd, imm) -> set st rd (Value.const (Int64.of_int (imm lsl 12)))
+      | Inst.U (Auipc, rd, imm) ->
+        set st rd (Value.const (Int64.add pc (Int64.of_int (imm lsl 12))))
+      | Inst.Shift (Slli, rd, rs1, sh) ->
+        set st rd (Value.map1 (fun x -> Int64.shift_left x sh) (v rs1))
+      | Inst.Shift (Srli, rd, rs1, sh) ->
+        set st rd (Value.map1 (fun x -> Int64.shift_right_logical x sh) (v rs1))
+      | Inst.R (Add, rd, rs1, rs2) -> set st rd (Value.map2 Int64.add (v rs1) (v rs2))
+      | Inst.R (Sub, rd, rs1, rs2) ->
+        set st rd (Value.map2 (fun a b -> Int64.sub a b) (v rs1) (v rs2))
+      | Inst.Jal (rd, _) when not (Reg.equal rd Reg.x0) ->
+        (* The call havocs caller-saved state; on resumption ra holds
+           whatever the callee left there. *)
+        havoc_caller_saved st
+      | Inst.Jalr (rd, _, _) when not (Reg.equal rd Reg.x0) -> havoc_caller_saved st
+      | Inst.Ecall -> set st (Reg.a 0) Value.Top
+      | _ -> (
+        match Inst.defines inst with Some rd -> set st rd Value.Top | None -> st)))
+
+type resolution = { site_offset : int; targets : int list }
+
+type result = {
+  resolutions : resolution list;
+  resolved_sites : int;
+  blocks : int;
+  iterations : int;
+}
+
+module Solver = Dataflow.Make (State)
+
+let analyze ?(text_base = Program.Layout.text_base) ?visible (cfg : Mc_cfg.t) ~entries =
+  let visible = Option.value visible ~default:(fun _ -> true) in
+  let step node st =
+    if visible node.Mc_cfg.n_index then transfer ~text_base node st
+    else if st = State.Unreached then st
+    else State.unknown ()
+  in
+  let { Mc_cfg.blocks; block_of_node } = Mc_cfg.basic_blocks cfg in
+  let graph =
+    { Dataflow.node_count = Array.length blocks;
+      succs = (fun b -> blocks.(b).Mc_cfg.bb_succs);
+      preds =
+        (let preds = Array.make (Array.length blocks) [] in
+         Array.iter
+           (fun (b : Mc_cfg.block) ->
+             List.iter (fun s -> preds.(s) <- b.Mc_cfg.bb_index :: preds.(s)) b.Mc_cfg.bb_succs)
+           blocks;
+         fun b -> preds.(b)) }
+  in
+  let boundary =
+    List.filter_map
+      (fun offset ->
+        match Mc_cfg.node_at cfg offset with
+        | Some n -> Some (block_of_node.(n.Mc_cfg.n_index), State.unknown ())
+        | None -> None)
+      entries
+  in
+  let block_transfer b st =
+    let blk = blocks.(b) in
+    let st = ref st in
+    for i = blk.Mc_cfg.bb_first to blk.Mc_cfg.bb_last do
+      st := step cfg.Mc_cfg.nodes.(i) !st
+    done;
+    !st
+  in
+  let solved = Solver.solve ~boundary ~graph ~transfer:block_transfer () in
+  (* Replay each block from its solved input to read the state in front
+     of every indirect site. *)
+  let resolutions = ref [] in
+  Array.iter
+    (fun (blk : Mc_cfg.block) ->
+      let st = ref solved.Solver.input.(blk.Mc_cfg.bb_index) in
+      for i = blk.Mc_cfg.bb_first to blk.Mc_cfg.bb_last do
+        let node = cfg.Mc_cfg.nodes.(i) in
+        (match (node.Mc_cfg.n_inst, Mc_cfg.flow_of node) with
+        | Some (Inst.Jalr (_, rs1, imm)), (Mc_cfg.Indirect | Mc_cfg.Indirect_call)
+          when visible node.Mc_cfg.n_index ->
+          let targets =
+            match Value.to_list (State.value_of !st rs1) with
+            | None -> []
+            | Some vs ->
+              List.filter_map
+                (fun v ->
+                  (* jalr clears bit 0 of the computed address. *)
+                  let addr =
+                    Int64.to_int (Int64.logand (Int64.add v (Int64.of_int imm)) (-2L))
+                  in
+                  let off = addr - text_base in
+                  if off >= 0 && off < cfg.Mc_cfg.text_size
+                     && Hashtbl.mem cfg.Mc_cfg.index_of_offset off
+                  then Some off
+                  else None)
+                vs
+              |> List.sort_uniq compare
+          in
+          resolutions := { site_offset = node.Mc_cfg.n_offset; targets } :: !resolutions
+        | _ -> ());
+        st := step node !st
+      done)
+    blocks;
+  let resolutions = List.rev !resolutions in
+  let resolved_sites = List.length (List.filter (fun r -> r.targets <> []) resolutions) in
+  Eric_telemetry.Registry.inc
+    ~by:(Int64.of_int resolved_sites)
+    "lint.dataflow.resolved_indirect";
+  { resolutions;
+    resolved_sites;
+    blocks = Array.length blocks;
+    iterations = solved.Solver.iterations }

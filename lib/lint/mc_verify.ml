@@ -19,40 +19,38 @@ let caller_saved_watch_mask =
 (* and a7 into ecall numbers)                                           *)
 (* ------------------------------------------------------------------ *)
 
-type state = { delta : int; consts : int64 option array (* per register *) }
-
-let fresh_state () = { delta = 0; consts = Array.make 32 None }
-let copy_state s = { s with consts = Array.copy s.consts }
-
-let const_of s r = if Reg.equal r Reg.x0 then Some 0L else s.consts.(Reg.to_int r)
-let set_const s r v = if not (Reg.equal r Reg.x0) then s.consts.(Reg.to_int r) <- v
+let const_of consts r = if Reg.equal r Reg.x0 then Some 0L else consts.(Reg.to_int r)
+let set_const consts r v = if not (Reg.equal r Reg.x0) then consts.(Reg.to_int r) <- v
 
 let sext32 v = Int64.of_int32 (Int64.to_int32 v)
 
-(* Apply a non-sp-writing instruction to the constant map. *)
-let apply_consts s (inst : Inst.t) =
+(* Apply an instruction to a mutable constant map. *)
+let apply_consts consts (inst : Inst.t) =
   match inst with
   | Inst.I (Addi, rd, rs1, imm) ->
-    set_const s rd
-      (Option.map (fun v -> Int64.add v (Int64.of_int imm)) (const_of s rs1))
+    set_const consts rd
+      (Option.map (fun v -> Int64.add v (Int64.of_int imm)) (const_of consts rs1))
   | Inst.I (Addiw, rd, rs1, imm) ->
-    set_const s rd
-      (Option.map (fun v -> sext32 (Int64.add v (Int64.of_int imm))) (const_of s rs1))
-  | Inst.U (Lui, rd, imm) -> set_const s rd (Some (Int64.of_int (imm lsl 12)))
+    set_const consts rd
+      (Option.map (fun v -> sext32 (Int64.add v (Int64.of_int imm))) (const_of consts rs1))
+  | Inst.U (Lui, rd, imm) -> set_const consts rd (Some (Int64.of_int (imm lsl 12)))
   | Inst.Shift (Slli, rd, rs1, sh) ->
-    set_const s rd (Option.map (fun v -> Int64.shift_left v sh) (const_of s rs1))
+    set_const consts rd (Option.map (fun v -> Int64.shift_left v sh) (const_of consts rs1))
   | Inst.R (Add, rd, rs1, rs2) -> (
-    match (const_of s rs1, const_of s rs2) with
-    | Some a, Some b -> set_const s rd (Some (Int64.add a b))
-    | _ -> set_const s rd None)
-  | Inst.Ecall -> set_const s (Reg.a 0) None
+    match (const_of consts rs1, const_of consts rs2) with
+    | Some a, Some b -> set_const consts rd (Some (Int64.add a b))
+    | _ -> set_const consts rd None)
+  | Inst.Ecall -> set_const consts (Reg.a 0) None
   | _ -> (
-    match Inst.defines inst with Some rd -> set_const s rd None | None -> ())
+    match Inst.defines inst with Some rd -> set_const consts rd None | None -> ())
 
-let clobber_caller_saved s =
-  set_const s Reg.ra None;
-  for i = 0 to 6 do set_const s (Reg.t_ i) None done;
-  for i = 0 to 7 do set_const s (Reg.a i) None done
+let clobber_caller_saved consts =
+  set_const consts Reg.ra None;
+  for i = 0 to 6 do set_const consts (Reg.t_ i) None done;
+  for i = 0 to 7 do set_const consts (Reg.a i) None done
+
+let is_exit_ecall consts (inst : Inst.t) =
+  inst = Inst.Ecall && const_of consts (Reg.a 7) = Some 93L
 
 (* ------------------------------------------------------------------ *)
 (* Global structural checks                                             *)
@@ -88,73 +86,48 @@ let target_checks (cfg : Mc_cfg.t) =
     cfg.Mc_cfg.nodes []
 
 (* ------------------------------------------------------------------ *)
-(* Per-function walk: reachability, stack discipline, saved registers   *)
+(* Region discovery: reachable body + intra-region edges per function   *)
 (* ------------------------------------------------------------------ *)
 
+(* One discovery walk per function start.  The walk only builds the
+   region's shape — member nodes, intra-region edges, call sites,
+   prologue saves — and flags flow that leaves the section; the stack
+   and liveness *fixpoints* run afterwards on the {!Dataflow} solver
+   over this subgraph.  Constant tracking here exists solely to tell an
+   [exit] ecall (no fallthrough) from any other; it is first-visit-wins
+   on purpose, like the framing an attacker discovers. *)
 type region = {
   r_start : int;  (** byte offset of the function's first parcel *)
-  r_visited : (int, int) Hashtbl.t;  (** node index -> sp delta at entry *)
-  mutable r_untracked : bool;
+  r_members : int list;  (** node indices, in discovery order *)
+  r_edges : (int * int) list;  (** intra-region edges between node indices *)
   mutable r_saved : int;  (** mask of callee-saved regs (and ra) stored *)
   mutable r_callee_defs : (int * Reg.t) list;  (** offset, reg *)
   mutable r_call_offsets : int list;
   mutable r_diags : Diag.t list;
 }
 
-let is_exit_ecall st (inst : Inst.t) =
-  inst = Inst.Ecall && const_of st (Reg.a 7) = Some 93L
-
 let walk_region (cfg : Mc_cfg.t) ~start ~register_call =
+  let visited = Hashtbl.create 64 in
+  let members = ref [] and edges = ref [] in
   let region =
-    { r_start = start; r_visited = Hashtbl.create 64; r_untracked = false; r_saved = 0;
+    { r_start = start; r_members = []; r_edges = []; r_saved = 0;
       r_callee_defs = []; r_call_offsets = []; r_diags = [] }
   in
   let emit d = region.r_diags <- d :: region.r_diags in
-  let inconsistent_reported = Hashtbl.create 4 in
   let work = Queue.create () in
   (match Mc_cfg.node_at cfg start with
   | Some n ->
-    Hashtbl.replace region.r_visited n.Mc_cfg.n_index 0;
-    Queue.add (n.Mc_cfg.n_index, fresh_state ()) work
+    Hashtbl.replace visited n.Mc_cfg.n_index ();
+    members := [ n.Mc_cfg.n_index ];
+    Queue.add (n.Mc_cfg.n_index, Array.make 32 None) work
   | None -> () (* target checks already flagged the bad region start *));
   while not (Queue.is_empty work) do
-    let idx, st = Queue.pop work in
+    let idx, consts = Queue.pop work in
     let node = cfg.Mc_cfg.nodes.(idx) in
     let offset = node.Mc_cfg.n_offset in
     match node.Mc_cfg.n_inst with
     | None -> () (* decode check already flagged it; cannot follow flow *)
     | Some inst ->
-      (* Stack-pointer effects before generic constant tracking. *)
-      let st =
-        match inst with
-        | Inst.I (Addi, rd, rs1, imm) when Reg.equal rd Reg.sp && Reg.equal rs1 Reg.sp ->
-          { st with delta = st.delta + imm }
-        | Inst.R (Add, rd, rs1, rs2) when Reg.equal rd Reg.sp -> (
-          let other =
-            if Reg.equal rs1 Reg.sp then Some rs2
-            else if Reg.equal rs2 Reg.sp then Some rs1
-            else None
-          in
-          match Option.map (const_of st) other with
-          | Some (Some v) -> { st with delta = st.delta + Int64.to_int v }
-          | _ ->
-            if not region.r_untracked then begin
-              region.r_untracked <- true;
-              emit
-                (Diag.notef ~loc:(mc_loc offset) ~check:"mc.stack.untracked"
-                   "sp modified by an untracked value; stack checks skipped for this function")
-            end;
-            st)
-        | _ when Inst.defines inst = Some Reg.sp ->
-          if not region.r_untracked then begin
-            region.r_untracked <- true;
-            emit
-              (Diag.notef ~loc:(mc_loc offset) ~check:"mc.stack.untracked"
-                 "sp modified by an untracked value; stack checks skipped for this function")
-          end;
-          st
-        | _ -> st
-      in
       (* Saved-register bookkeeping: an sd of a callee-saved register (or
          ra) to an sp-derived address counts as its prologue save. *)
       (match inst with
@@ -167,32 +140,33 @@ let walk_region (cfg : Mc_cfg.t) ~start ~register_call =
       | Some rd when bit rd land callee_saved_mask <> 0 ->
         region.r_callee_defs <- (offset, rd) :: region.r_callee_defs
       | _ -> ());
-      let exit_ecall = is_exit_ecall st inst in
-      apply_consts st inst;
+      let exit_ecall = is_exit_ecall consts inst in
+      apply_consts consts inst;
       let flow = Mc_cfg.flow_of node in
       (* Successors carry whether they are a fallthrough edge: falling
          past the last parcel is an error, while a jump target past the
          section was already flagged by the global target checks. *)
       let successors =
         match flow with
-        | Mc_cfg.Return ->
-          if (not region.r_untracked) && st.delta <> 0 then
-            emit
-              (Diag.errorf ~loc:(mc_loc offset) ~check:"mc.stack.unbalanced"
-                 "returns with sp offset %+d (prologue/epilogue adjustments do not balance)"
-                 st.delta);
-          []
+        | Mc_cfg.Return -> []
         | Mc_cfg.Indirect ->
           emit
             (Diag.notef ~loc:(mc_loc offset) ~check:"mc.jalr.indirect"
                "indirect jump: target not statically checkable");
           []
+        | Mc_cfg.Indirect_call ->
+          emit
+            (Diag.notef ~loc:(mc_loc offset) ~check:"mc.jalr.indirect"
+               "indirect call: target not statically checkable");
+          region.r_call_offsets <- offset :: region.r_call_offsets;
+          clobber_caller_saved consts;
+          [ (`Fall, offset + node.Mc_cfg.n_size) ]
         | Mc_cfg.Jump target -> [ (`Jump, target) ]
         | Mc_cfg.Cond target -> [ (`Fall, offset + node.Mc_cfg.n_size); (`Jump, target) ]
         | Mc_cfg.Call target ->
           register_call target;
           region.r_call_offsets <- offset :: region.r_call_offsets;
-          clobber_caller_saved st;
+          clobber_caller_saved consts;
           [ (`Fall, offset + node.Mc_cfg.n_size) ]
         | Mc_cfg.Next ->
           if exit_ecall || inst = Inst.Ebreak then []
@@ -210,26 +184,174 @@ let walk_region (cfg : Mc_cfg.t) ~start ~register_call =
           else
             match Mc_cfg.node_at cfg succ with
             | None -> () (* only jump targets can miss a boundary; flagged globally *)
-            | Some next -> (
-              match Hashtbl.find_opt region.r_visited next.Mc_cfg.n_index with
-              | Some seen_delta ->
-                if
-                  (not region.r_untracked)
-                  && seen_delta <> st.delta
-                  && not (Hashtbl.mem inconsistent_reported next.Mc_cfg.n_index)
-                then begin
-                  Hashtbl.replace inconsistent_reported next.Mc_cfg.n_index ();
-                  emit
-                    (Diag.errorf ~loc:(mc_loc succ) ~check:"mc.stack.inconsistent"
-                       "reached with sp offset %+d from one path and %+d from another"
-                       seen_delta st.delta)
-                end
-              | None ->
-                Hashtbl.replace region.r_visited next.Mc_cfg.n_index st.delta;
-                Queue.add (next.Mc_cfg.n_index, copy_state st) work))
+            | Some next ->
+              edges := (idx, next.Mc_cfg.n_index) :: !edges;
+              if not (Hashtbl.mem visited next.Mc_cfg.n_index) then begin
+                Hashtbl.replace visited next.Mc_cfg.n_index ();
+                members := next.Mc_cfg.n_index :: !members;
+                Queue.add (next.Mc_cfg.n_index, Array.copy consts) work
+              end)
         successors
   done;
-  region
+  { region with r_members = List.rev !members; r_edges = List.rev !edges }
+
+(* ------------------------------------------------------------------ *)
+(* Stack discipline as a forward dataflow over the region subgraph      *)
+(* ------------------------------------------------------------------ *)
+
+(* sp offset from function entry x constant map, as a product lattice:
+   join keeps a delta only when every path agrees, a constant only when
+   every path computed the same value. *)
+module Sp_state = struct
+  type delta = Delta of int | Unknown
+
+  type t = Unreached | St of { delta : delta; consts : int64 option array }
+
+  let bottom = Unreached
+
+  let join_delta a b =
+    match (a, b) with Delta x, Delta y when x = y -> a | _ -> Unknown
+
+  let join a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | St a, St b ->
+      St
+        { delta = join_delta a.delta b.delta;
+          consts =
+            Array.init 32 (fun i ->
+                match (a.consts.(i), b.consts.(i)) with
+                | Some x, Some y when Int64.equal x y -> Some x
+                | _ -> None) }
+
+  let equal a b =
+    match (a, b) with
+    | Unreached, Unreached -> true
+    | St a, St b -> a.delta = b.delta && a.consts = b.consts
+    | _ -> false
+
+  let pp fmt = function
+    | Unreached -> Format.pp_print_string fmt "unreached"
+    | St { delta; _ } -> (
+      match delta with
+      | Delta d -> Format.fprintf fmt "sp%+d" d
+      | Unknown -> Format.pp_print_string fmt "sp?")
+
+  let entry () = St { delta = Delta 0; consts = Array.make 32 None }
+end
+
+(* The sp effect of one instruction, given the incoming constant map:
+   [`Adjust] for tracked adjustments, [`Untracked] for writes the
+   verifier cannot follow, [`None] otherwise. *)
+let sp_effect consts (inst : Inst.t) =
+  match inst with
+  | Inst.I (Addi, rd, rs1, imm) when Reg.equal rd Reg.sp && Reg.equal rs1 Reg.sp ->
+    `Adjust imm
+  | Inst.R (Add, rd, rs1, rs2) when Reg.equal rd Reg.sp -> (
+    let other =
+      if Reg.equal rs1 Reg.sp then Some rs2
+      else if Reg.equal rs2 Reg.sp then Some rs1
+      else None
+    in
+    match Option.map (const_of consts) other with
+    | Some (Some v) -> `Adjust (Int64.to_int v)
+    | _ -> `Untracked)
+  | _ when Inst.defines inst = Some Reg.sp -> `Untracked
+  | _ -> `None
+
+let sp_transfer (cfg : Mc_cfg.t) idx (st : Sp_state.t) =
+  match st with
+  | Sp_state.Unreached -> st
+  | Sp_state.St { delta; consts } -> (
+    match cfg.Mc_cfg.nodes.(idx).Mc_cfg.n_inst with
+    | None -> st
+    | Some inst ->
+      let delta =
+        match (sp_effect consts inst, delta) with
+        | `Adjust imm, Sp_state.Delta d -> Sp_state.Delta (d + imm)
+        | `Adjust _, Sp_state.Unknown | `Untracked, _ -> Sp_state.Unknown
+        | `None, d -> d
+      in
+      let consts = Array.copy consts in
+      apply_consts consts inst;
+      (match Mc_cfg.flow_of cfg.Mc_cfg.nodes.(idx) with
+      | Mc_cfg.Call _ | Mc_cfg.Indirect_call -> clobber_caller_saved consts
+      | _ -> ());
+      Sp_state.St { delta; consts })
+
+module Sp_solver = Dataflow.Make (Sp_state)
+
+let stack_checks (cfg : Mc_cfg.t) (region : region) =
+  match region.r_members with
+  | [] -> []
+  | members ->
+    let members = Array.of_list members in
+    let local = Hashtbl.create (Array.length members) in
+    Array.iteri (fun i idx -> Hashtbl.replace local idx i) members;
+    let edges =
+      List.map (fun (a, b) -> (Hashtbl.find local a, Hashtbl.find local b)) region.r_edges
+    in
+    let graph = Dataflow.graph_of_edges ~node_count:(Array.length members) edges in
+    let transfer i st = sp_transfer cfg members.(i) st in
+    let solved =
+      Sp_solver.solve ~boundary:[ (0, Sp_state.entry ()) ] ~graph ~transfer ()
+    in
+    let offset_of i = cfg.Mc_cfg.nodes.(members.(i)).Mc_cfg.n_offset in
+    (* An untracked sp write anywhere in the region voids its stack
+       checks: report the first such site as a note and stop there. *)
+    let untracked =
+      let sites = ref [] in
+      Array.iteri
+        (fun i idx ->
+          match (solved.Sp_solver.input.(i), cfg.Mc_cfg.nodes.(idx).Mc_cfg.n_inst) with
+          | Sp_state.St { consts; _ }, Some inst ->
+            if sp_effect consts inst = `Untracked then sites := offset_of i :: !sites
+          | _ -> ())
+        members;
+      List.sort compare !sites
+    in
+    match untracked with
+    | first :: _ ->
+      [ Diag.notef ~loc:(mc_loc first) ~check:"mc.stack.untracked"
+          "sp modified by an untracked value; stack checks skipped for this function" ]
+    | [] ->
+      let delta_out i =
+        match solved.Sp_solver.output.(i) with
+        | Sp_state.St { delta = Sp_state.Delta d; _ } -> Some d
+        | _ -> None
+      in
+      let incoming = Array.make (Array.length members) [] in
+      List.iter (fun (a, b) -> incoming.(b) <- a :: incoming.(b)) edges;
+      let diags = ref [] in
+      Array.iteri
+        (fun i idx ->
+          let node = cfg.Mc_cfg.nodes.(idx) in
+          (* Joins reached with disagreeing sp offsets. *)
+          let seen =
+            let boundary = if i = 0 then [ 0 ] else [] in
+            boundary @ List.filter_map delta_out (List.rev incoming.(i))
+          in
+          (match List.sort_uniq compare seen with
+          | d1 :: d2 :: _ ->
+            diags :=
+              Diag.errorf ~loc:(mc_loc node.Mc_cfg.n_offset) ~check:"mc.stack.inconsistent"
+                "reached with sp offset %+d from one path and %+d from another" d1 d2
+              :: !diags
+          | _ -> ());
+          (* Returns with a non-zero frame still open. *)
+          match (Mc_cfg.flow_of node, solved.Sp_solver.input.(i)) with
+          | Mc_cfg.Return, Sp_state.St { delta = Sp_state.Delta d; _ } when d <> 0 ->
+            diags :=
+              Diag.errorf ~loc:(mc_loc node.Mc_cfg.n_offset) ~check:"mc.stack.unbalanced"
+                "returns with sp offset %+d (prologue/epilogue adjustments do not balance)" d
+              :: !diags
+          | _ -> ())
+        members;
+      List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Saved-register and liveness checks                                   *)
+(* ------------------------------------------------------------------ *)
 
 let saved_checks ~is_entry region =
   if is_entry then []
@@ -254,90 +376,78 @@ let saved_checks ~is_entry region =
     clobbers @ ra_check
   end
 
-(* ------------------------------------------------------------------ *)
-(* Liveness: caller-saved values read across a call                     *)
-(* ------------------------------------------------------------------ *)
+(* Backward liveness over the region subgraph: live-out of every call
+   must not contain a caller-saved register.  [Dataflow.Bitset] facts,
+   bit r = register r live. *)
+module Live_solver = Dataflow.Make (Dataflow.Bitset)
 
-let liveness_checks (cfg : Mc_cfg.t) region =
-  let members = Hashtbl.fold (fun idx _ acc -> idx :: acc) region.r_visited [] in
-  let members = List.sort compare members in
-  let member idx = Hashtbl.mem region.r_visited idx in
-  let use_def idx =
-    let node = cfg.Mc_cfg.nodes.(idx) in
-    match node.Mc_cfg.n_inst with
-    | None -> (0, 0)
-    | Some inst -> (
-      match Mc_cfg.flow_of node with
-      | Mc_cfg.Call _ ->
-        (* The callee's arity is unknown, so claim no uses (arguments are
-           re-materialised before each call site anyway) and define every
-           caller-saved register: the call clobbers them all, which also
-           keeps one stale value from being flagged at several calls. *)
-        (0, caller_saved_watch_mask lor bit (Reg.a 0) lor bit Reg.ra)
-      | _ when inst = Inst.Ecall ->
-        (* Without constant a7 here we cannot tell exit from write; claim
-           only the registers every relevant syscall reads (a0, a7) so a
-           write's a1/a2 — always materialised right before the ecall —
-           are not reported live across an earlier call. *)
-        (bit (Reg.a 0) lor bit (Reg.a 7), bit (Reg.a 0))
-      | _ ->
-        ( List.fold_left (fun m r -> m lor bit r) 0 (Inst.uses inst),
-          match Inst.defines inst with Some r -> bit r | None -> 0 ))
-  in
-  let succs idx =
-    let node = cfg.Mc_cfg.nodes.(idx) in
-    let offsets =
-      match Mc_cfg.flow_of node with
-      | Mc_cfg.Return | Mc_cfg.Indirect -> []
-      | Mc_cfg.Jump t -> [ t ]
-      | Mc_cfg.Cond t -> [ node.Mc_cfg.n_offset + node.Mc_cfg.n_size; t ]
-      | Mc_cfg.Call _ | Mc_cfg.Next -> [ node.Mc_cfg.n_offset + node.Mc_cfg.n_size ]
+let use_def (cfg : Mc_cfg.t) idx =
+  let node = cfg.Mc_cfg.nodes.(idx) in
+  match node.Mc_cfg.n_inst with
+  | None -> (0, 0)
+  | Some inst -> (
+    match Mc_cfg.flow_of node with
+    | Mc_cfg.Call _ ->
+      (* The callee's arity is unknown, so claim no uses (arguments are
+         re-materialised before each call site anyway) and define every
+         caller-saved register: the call clobbers them all, which also
+         keeps one stale value from being flagged at several calls. *)
+      (0, caller_saved_watch_mask lor bit (Reg.a 0) lor bit Reg.ra)
+    | Mc_cfg.Indirect_call ->
+      (* Same clobber story, but the target register itself is read. *)
+      ( List.fold_left (fun m r -> m lor bit r) 0 (Inst.uses inst),
+        caller_saved_watch_mask lor bit (Reg.a 0) lor bit Reg.ra )
+    | _ when inst = Inst.Ecall ->
+      (* Without constant a7 here we cannot tell exit from write; claim
+         only the registers every relevant syscall reads (a0, a7) so a
+         write's a1/a2 — always materialised right before the ecall —
+         are not reported live across an earlier call. *)
+      (bit (Reg.a 0) lor bit (Reg.a 7), bit (Reg.a 0))
+    | _ ->
+      ( List.fold_left (fun m r -> m lor bit r) 0 (Inst.uses inst),
+        match Inst.defines inst with Some r -> bit r | None -> 0 ))
+
+let liveness_checks (cfg : Mc_cfg.t) (region : region) =
+  match region.r_members with
+  | [] -> []
+  | members ->
+    let members = Array.of_list members in
+    let local = Hashtbl.create (Array.length members) in
+    Array.iteri (fun i idx -> Hashtbl.replace local idx i) members;
+    let edges =
+      List.map (fun (a, b) -> (Hashtbl.find local a, Hashtbl.find local b)) region.r_edges
     in
+    let graph = Dataflow.graph_of_edges ~node_count:(Array.length members) edges in
+    let transfer i out =
+      let uses, defs = use_def cfg members.(i) in
+      uses lor (out land lnot defs)
+    in
+    let solved = Live_solver.solve ~direction:Dataflow.Backward ~graph ~transfer () in
     List.filter_map
-      (fun o ->
-        match Mc_cfg.node_at cfg o with
-        | Some n when member n.Mc_cfg.n_index -> Some n.Mc_cfg.n_index
+      (fun (idx : int) ->
+        let i = Hashtbl.find local idx in
+        let node = cfg.Mc_cfg.nodes.(idx) in
+        match Mc_cfg.flow_of node with
+        | Mc_cfg.Call _ | Mc_cfg.Indirect_call ->
+          (* In a backward solve, [input] is the join over successors —
+             the live-out set at this call. *)
+          let across = solved.Live_solver.input.(i) land caller_saved_watch_mask in
+          if across <> 0 then begin
+            let regs =
+              List.filter_map
+                (fun b ->
+                  if across land (1 lsl b) <> 0 then Some (Reg.abi_name (Reg.of_int b))
+                  else None)
+                (List.init 32 Fun.id)
+            in
+            Some
+              (Diag.errorf ~loc:(mc_loc node.Mc_cfg.n_offset)
+                 ~check:"mc.reg.caller-live-across-call"
+                 "caller-saved %s read after this call clobbers it" (String.concat ", " regs))
+          end
+          else None
         | _ -> None)
-      offsets
-  in
-  let live_out = Hashtbl.create 64 in
-  let get tbl idx = Option.value (Hashtbl.find_opt tbl idx) ~default:0 in
-  let live_in idx =
-    let uses, defs = use_def idx in
-    uses lor (get live_out idx land lnot defs)
-  in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun idx ->
-        let out = List.fold_left (fun acc s -> acc lor live_in s) 0 (succs idx) in
-        if out <> get live_out idx then begin
-          Hashtbl.replace live_out idx out;
-          changed := true
-        end)
-      (List.rev members)
-  done;
-  List.filter_map
-    (fun idx ->
-      let node = cfg.Mc_cfg.nodes.(idx) in
-      match Mc_cfg.flow_of node with
-      | Mc_cfg.Call _ ->
-        let across = get live_out idx land caller_saved_watch_mask in
-        if across <> 0 then begin
-          let regs =
-            List.filter_map
-              (fun i -> if across land (1 lsl i) <> 0 then Some (Reg.abi_name (Reg.of_int i)) else None)
-              (List.init 32 Fun.id)
-          in
-          Some
-            (Diag.errorf ~loc:(mc_loc node.Mc_cfg.n_offset)
-               ~check:"mc.reg.caller-live-across-call"
-               "caller-saved %s read after this call clobbers it" (String.concat ", " regs))
-        end
-        else None
-      | _ -> None)
-    members
+      (List.sort compare (Array.to_list members))
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
@@ -374,6 +484,7 @@ let verify (p : Program.t) =
     region_diags :=
       !region_diags
       @ List.rev region.r_diags
+      @ stack_checks cfg region
       @ saved_checks ~is_entry region
       @ liveness_checks cfg region
   done;

@@ -1,0 +1,137 @@
+(* Secret-taint propagation over a declared dataflow model.
+
+   The subject is not machine code but a pipeline: named values (a PUF
+   response, a derived key, a keystream, package fields, telemetry
+   counters) connected by edges describing how each is computed from the
+   others.  Taint starts at sources, flows along Copy and Derive edges —
+   a value derived from key material is itself key material — and stops
+   at Sanitize edges, which model operations whose output is useless
+   without the secret (XOR against a fresh keystream, for ERIC).  A
+   tainted sink is a violated obligation.
+
+   The fixpoint is the boolean-lattice instance of {!Dataflow}: sanitize
+   edges simply do not appear in the solver graph, so solving forward
+   from the sources is exactly reachability along propagating edges. *)
+
+module Lattice = struct
+  type t = Clean | Tainted
+
+  let bottom = Clean
+  let join a b = if a = Tainted || b = Tainted then Tainted else Clean
+  let equal (a : t) b = a = b
+
+  let pp fmt = function
+    | Clean -> Format.pp_print_string fmt "clean"
+    | Tainted -> Format.pp_print_string fmt "tainted"
+end
+
+type kind = Copy | Derive | Sanitize
+
+let kind_to_string = function
+  | Copy -> "copy"
+  | Derive -> "derive"
+  | Sanitize -> "sanitize"
+
+type role = Source | Sink of string | Internal
+
+type spec = {
+  nodes : (string * role) list;
+  edges : (string * kind * string) list;
+}
+
+type finding = { sink : string; check : string; path : string list }
+
+type result = {
+  tainted : string list;  (** every tainted node, in declaration order *)
+  findings : finding list;  (** tainted sinks, with a witness path *)
+}
+
+let index_of spec =
+  let tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i (name, _) ->
+      if Hashtbl.mem tbl name then
+        invalid_arg (Printf.sprintf "Taint.analyze: duplicate node %s" name);
+      Hashtbl.replace tbl name i)
+    spec.nodes;
+  tbl
+
+module Solver = Dataflow.Make (Lattice)
+
+let analyze spec =
+  let idx = index_of spec in
+  let node_count = List.length spec.nodes in
+  let resolve ctx name =
+    match Hashtbl.find_opt idx name with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Taint.analyze: %s edge names unknown node %s" ctx name)
+  in
+  let propagating =
+    List.filter_map
+      (fun (src, kind, dst) ->
+        let s = resolve (kind_to_string kind) src
+        and d = resolve (kind_to_string kind) dst in
+        match kind with Copy | Derive -> Some (s, d) | Sanitize -> None)
+      spec.edges
+  in
+  let graph = Dataflow.graph_of_edges ~node_count propagating in
+  let names = Array.of_list (List.map fst spec.nodes) in
+  let roles = Array.of_list (List.map snd spec.nodes) in
+  let boundary =
+    List.filteri (fun i _ -> roles.(i) = Source) (Array.to_list names)
+    |> List.map (fun n -> (Hashtbl.find idx n, Lattice.Tainted))
+  in
+  let transfer i v = if roles.(i) = Source then Lattice.Tainted else v in
+  let solved = Solver.solve ~boundary ~graph ~transfer () in
+  let tainted =
+    List.filteri (fun i _ -> solved.Solver.output.(i) = Lattice.Tainted) (Array.to_list names)
+  in
+  (* Witness path for a tainted sink: BFS backwards along propagating
+     edges to the nearest source. *)
+  let preds = Array.make node_count [] in
+  List.iter (fun (s, d) -> preds.(d) <- s :: preds.(d)) propagating;
+  let witness sink_i =
+    let parent = Array.make node_count (-1) in
+    let seen = Array.make node_count false in
+    let q = Queue.create () in
+    seen.(sink_i) <- true;
+    Queue.add sink_i q;
+    let found = ref None in
+    while !found = None && not (Queue.is_empty q) do
+      let i = Queue.take q in
+      if roles.(i) = Source then found := Some i
+      else
+        List.iter
+          (fun p ->
+            if not seen.(p) then begin
+              seen.(p) <- true;
+              parent.(p) <- i;
+              Queue.add p q
+            end)
+          preds.(i)
+    done;
+    match !found with
+    | None -> [ names.(sink_i) ]
+    | Some src ->
+      let rec follow i acc = if i = -1 then acc else follow parent.(i) (names.(i) :: acc) in
+      List.rev (follow src [])
+  in
+  let findings =
+    List.concat
+      (List.mapi
+         (fun i _ ->
+           match roles.(i) with
+           | Sink check when solved.Solver.output.(i) = Lattice.Tainted ->
+             [ { sink = names.(i); check; path = witness i } ]
+           | _ -> [])
+         (Array.to_list names))
+  in
+  { tainted; findings }
+
+let diags result =
+  List.map
+    (fun f ->
+      Diag.errorf ~check:f.check "key material reaches %s (%s)" f.sink
+        (String.concat " -> " f.path))
+    result.findings
+  |> Diag.sort

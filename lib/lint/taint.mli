@@ -1,0 +1,48 @@
+(** Secret-taint propagation over a declared pipeline model.
+
+    Callers describe a pipeline as named values and edges: [Copy] and
+    [Derive] edges propagate taint (key material derived from key
+    material is key material), [Sanitize] edges stop it (XOR against a
+    keystream yields ciphertext that is useless without the secret).
+    Taint starts at [Source] nodes; a tainted [Sink] is a violated
+    obligation, reported with its check id and a witness path.
+
+    The fixpoint is the boolean-lattice instance of {!Dataflow}:
+    solving forward from the sources is reachability along propagating
+    edges. *)
+
+module Lattice : sig
+  type t = Clean | Tainted
+
+  include Dataflow.LATTICE with type t := t
+end
+
+type kind = Copy | Derive | Sanitize
+
+type role =
+  | Source  (** origin of secret material *)
+  | Sink of string  (** must stay clean; payload is the check id *)
+  | Internal
+
+type spec = {
+  nodes : (string * role) list;
+  edges : (string * kind * string) list;  (** (from, kind, to) *)
+}
+
+type finding = {
+  sink : string;
+  check : string;
+  path : string list;  (** witness, source first, sink last *)
+}
+
+type result = {
+  tainted : string list;
+  findings : finding list;
+}
+
+val analyze : spec -> result
+(** Raises [Invalid_argument] on duplicate node names or edges naming
+    undeclared nodes. *)
+
+val diags : result -> Diag.t list
+(** One error per finding, under the sink's check id. *)

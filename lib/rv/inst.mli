@@ -50,6 +50,14 @@ val defines : t -> Reg.t option
 
 val is_control_flow : t -> bool
 
+val is_call : t -> bool
+(** [jal]/[jalr] writing a link register: control transfers that resume
+    at the following parcel.  Used by CFG reconstruction and the
+    call-graph-recovery attack model. *)
+
+val is_return : t -> bool
+(** [jalr x0, ra, 0] — the canonical (and [c.jr ra] compressed) return. *)
+
 val mnemonic : t -> string
 (** Just the operation name, e.g. ["addi"]; used by the static-analysis
     attack model's opcode histograms. *)
