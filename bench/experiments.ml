@@ -661,6 +661,222 @@ let fleet () =
     Report.record ~suite:"fleet" ~metric:"backoff_ms_n100" ~unit_:"ms"
       (Int64.to_float r.Eric_fleet.Campaign.backoff_ns /. 1e6))
 
+(* ------------------------------------------------------------------ *)
+(* Campaign engine at fleet scale                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine + sharded-registry economics: campaign throughput at
+   N = 10^3..10^5 real devices under both schedulers, registry-open cost
+   (whole file vs manifest-only) as the fleet grows, quarantine behaviour
+   over a lossy channel, raw engine overhead on 10^6 synthetic jobs, and
+   the personalize hot path in MiB/s.
+
+   Throughput numbers are honest for this machine: the worker count and
+   whether domains actually ran are recorded alongside them.  On a
+   single-core box the domain scheduler cannot beat the deterministic
+   one — the point of the comparison is that it never has to: outcomes
+   are identical, so deployments can pick per machine. *)
+let engine () =
+  Report.heading "Campaign engine: fleet-scale work queue + sharded registry";
+  let module Engine = Eric_engine.Engine in
+  let module Job = Eric_engine.Job in
+  let module Shard = Eric_fleet.Registry_shard in
+  let suite = "engine" in
+  let cores = Eric_engine.Pool.recommended () in
+  Printf.printf "domains available: %b, recommended workers: %d\n"
+    Eric_engine.Pool.available cores;
+  Report.record ~suite ~metric:"pool_available" ~unit_:"bool"
+    (if Eric_engine.Pool.available then 1.0 else 0.0);
+  Report.record ~suite ~metric:"recommended_workers" ~unit_:"count" (float_of_int cores);
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  let w = List.nth Eric_workloads.Workloads.all 4 (* crc32 *) in
+  let source = w.Eric_workloads.Workloads.source in
+
+  (* personalize hot path: pure keystream XOR over the prepared image *)
+  (match Eric.Source.prepare ~mode:Eric.Config.Full source with
+  | Error e -> failwith e
+  | Ok prepared ->
+    let key = Eric.Target.derived_key (Eric.Target.of_id 77_000L) in
+    let reps = 400 in
+    let (), ns =
+      wall (fun () ->
+          for _ = 1 to reps do
+            ignore (Eric.Source.personalize ~key prepared)
+          done)
+    in
+    let bytes = float_of_int (prepared.Eric.Source.p_plain_size * reps) in
+    let mib_s = bytes /. (ns /. 1e9) /. (1024.0 *. 1024.0) in
+    Printf.printf "personalize: %.1f MiB/s (%.1f us per %d-byte image)\n" mib_s
+      (ns /. float_of_int reps /. 1e3)
+      prepared.Eric.Source.p_plain_size;
+    Report.record ~suite ~metric:"personalize_mib_s" ~unit_:"MiB/s" mib_s);
+
+  (* fleet-scale campaign sweep; factory (legacy) enrollment keeps the
+     setup affordable at 10^5 devices *)
+  let enroll_legacy n =
+    let reg = Eric_fleet.Registry.create () in
+    for i = 0 to n - 1 do
+      match Eric_fleet.Registry.enroll_legacy reg (Int64.of_int (1_000_000 + i)) with
+      | Ok _ -> ()
+      | Error e -> failwith e
+    done;
+    reg
+  in
+  let deploy ?channel ~scheduler ~cache reg =
+    let config =
+      {
+        Eric_fleet.Campaign.default_config with
+        Eric_fleet.Campaign.channel =
+          (match channel with Some c -> c | None -> Eric_fleet.Channel.clean);
+        engine = { Engine.default_config with Engine.scheduler };
+      }
+    in
+    match Eric_fleet.Campaign.deploy ~config ~cache ~registry:reg source with
+    | Error e -> failwith e
+    | Ok r -> r
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let reg, enroll_ns = wall (fun () -> enroll_legacy n) in
+        let cache = Eric_fleet.Artifact_cache.create () in
+        (* cold run boots every device and compiles once; both warm runs
+           personalize + ship only, so the scheduler comparison isolates
+           the engine *)
+        let cold, cold_ns = wall (fun () -> deploy ~scheduler:Engine.Deterministic ~cache reg) in
+        let det, det_ns = wall (fun () -> deploy ~scheduler:Engine.Deterministic ~cache reg) in
+        let dom, dom_ns = wall (fun () -> deploy ~scheduler:(Engine.Domains 0) ~cache reg) in
+        if det.Eric_fleet.Campaign.delivered <> n || dom.Eric_fleet.Campaign.delivered <> n
+        then failwith "fleet-scale campaign left devices behind";
+        let per_s ns = float_of_int n /. (ns /. 1e9) in
+        (* registry-open cost: parsing the whole file is O(devices);
+           opening the sharded manifest is O(shards) *)
+        let file = Filename.temp_file "eric_bench_reg" ".efrg" in
+        Eric_fleet.Registry.save reg file;
+        let open_file =
+          match wall (fun () -> Eric_fleet.Registry.load file) with
+          | Ok _, ns -> ns
+          | Error e, _ -> failwith e
+        in
+        let dir = Filename.temp_file "eric_bench_shards" "" in
+        Sys.remove dir;
+        (match Shard.of_registry ~dir ~shards:64 reg with
+        | Ok _ -> ()
+        | Error e -> failwith e);
+        let open_manifest =
+          match wall (fun () -> Shard.load dir) with
+          | Ok _, ns -> ns
+          | Error e, _ -> failwith e
+        in
+        Sys.remove file;
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir;
+        let m fmt = Printf.sprintf fmt n in
+        Report.record ~suite ~metric:(m "enroll_legacy_per_device_ns_n%d") ~unit_:"ns"
+          (enroll_ns /. float_of_int n);
+        Report.record ~suite ~metric:(m "campaign_cold_jobs_per_s_n%d") ~unit_:"jobs/s"
+          (per_s cold_ns);
+        Report.record ~suite ~metric:(m "campaign_det_jobs_per_s_n%d") ~unit_:"jobs/s"
+          (per_s det_ns);
+        Report.record ~suite ~metric:(m "campaign_domains_jobs_per_s_n%d") ~unit_:"jobs/s"
+          (per_s dom_ns);
+        Report.record ~suite ~metric:(m "campaign_quarantined_n%d") ~unit_:"count"
+          (float_of_int (cold.Eric_fleet.Campaign.quarantined
+                         + det.Eric_fleet.Campaign.quarantined
+                         + dom.Eric_fleet.Campaign.quarantined));
+        Report.record ~suite ~metric:(m "cache_hits_n%d") ~unit_:"count"
+          (float_of_int (Eric_fleet.Artifact_cache.hits cache));
+        Report.record ~suite ~metric:(m "registry_open_file_ns_n%d") ~unit_:"ns" open_file;
+        Report.record ~suite ~metric:(m "registry_open_manifest_ns_n%d") ~unit_:"ns"
+          open_manifest;
+        [ string_of_int n;
+          Printf.sprintf "%.0f" (per_s cold_ns);
+          Printf.sprintf "%.0f" (per_s det_ns);
+          Printf.sprintf "%.0f" (per_s dom_ns);
+          dom.Eric_fleet.Campaign.scheduler_used;
+          Printf.sprintf "%.2f" (open_file /. 1e6);
+          Printf.sprintf "%.3f" (open_manifest /. 1e6) ])
+      [ 1_000; 10_000; 100_000 ]
+  in
+  Report.table
+    ~header:
+      [ "devices"; "cold jobs/s"; "warm det jobs/s"; "warm dom jobs/s"; "dom sched";
+        "open file ms"; "open manifest ms" ]
+    rows;
+
+  (* sharded campaign: same fleet walked shard by shard at one-shard
+     memory cost *)
+  let n = 10_000 in
+  let reg = enroll_legacy n in
+  let dir = Filename.temp_file "eric_bench_shards" "" in
+  Sys.remove dir;
+  let sh =
+    match Shard.of_registry ~dir ~shards:16 reg with Ok s -> s | Error e -> failwith e
+  in
+  let cache = Eric_fleet.Artifact_cache.create () in
+  let r, ns =
+    wall (fun () ->
+        match Eric_fleet.Campaign.deploy_sharded ~cache ~shards:sh source with
+        | Ok r -> r
+        | Error e -> failwith e)
+  in
+  if r.Eric_fleet.Campaign.delivered <> n then failwith "sharded campaign left devices behind";
+  Printf.printf "sharded campaign (%d devices, 16 shards): %.0f jobs/s\n" n
+    (float_of_int n /. (ns /. 1e9));
+  Report.record ~suite ~metric:"campaign_sharded_jobs_per_s_n10000" ~unit_:"jobs/s"
+    (float_of_int n /. (ns /. 1e9));
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir;
+
+  (* quarantine economics over a lossy channel: half the sends fail, the
+     backoff policy retries, the refusal threshold quarantines the rest *)
+  let n = 1_000 in
+  let reg = enroll_legacy n in
+  let cache = Eric_fleet.Artifact_cache.create () in
+  let lossy = Eric_fleet.Channel.flaky ~probability:0.5 ~seed:11L () in
+  let r =
+    deploy ~channel:lossy ~scheduler:Engine.Deterministic ~cache reg
+  in
+  let rate v = float_of_int v /. float_of_int n in
+  Printf.printf
+    "lossy channel (flaky:0.5, %d devices): %d delivered, %d retried, %d quarantined\n" n
+    r.Eric_fleet.Campaign.delivered r.Eric_fleet.Campaign.retried
+    r.Eric_fleet.Campaign.quarantined;
+  Report.record ~suite ~metric:"lossy_delivered_rate_n1000" ~unit_:"fraction"
+    (rate r.Eric_fleet.Campaign.delivered);
+  Report.record ~suite ~metric:"lossy_quarantined_rate_n1000" ~unit_:"fraction"
+    (rate r.Eric_fleet.Campaign.quarantined);
+
+  (* raw engine overhead: 10^6 synthetic jobs through the full stage +
+     completion machinery *)
+  let n = 1_000_000 in
+  let spec =
+    {
+      Job.admit = Job.always_admit;
+      prepare = (fun i -> Ok (i * 0x9E3779B1));
+      personalize = (fun x -> Ok (x lxor (x lsr 16)));
+      ship = (fun x -> Ok (x + 1));
+      verify = (fun x -> Ok x);
+    }
+  in
+  let items = Array.init n (fun i -> i) in
+  let smoke scheduler =
+    let config = { Engine.default_config with Engine.scheduler; window = 65_536 } in
+    let r = Engine.run ~config ~name:"bench.engine.smoke" spec items in
+    if r.Engine.jobs_done <> n then failwith "synthetic smoke lost jobs";
+    (Engine.throughput_per_s r, r.Engine.scheduler_used)
+  in
+  let det_tp, _ = smoke Engine.Deterministic in
+  let dom_tp, dom_used = smoke (Engine.Domains 0) in
+  Printf.printf "synthetic 10^6 jobs: %.2f M/s deterministic, %.2f M/s %s\n"
+    (det_tp /. 1e6) (dom_tp /. 1e6) dom_used;
+  Report.record ~suite ~metric:"synthetic_det_jobs_per_s_n1e6" ~unit_:"jobs/s" det_tp;
+  Report.record ~suite ~metric:"synthetic_domains_jobs_per_s_n1e6" ~unit_:"jobs/s" dom_tp
+
 let ablations () =
   Report.heading "Ablations and security evaluations (beyond the paper's figures)";
   ablation_puf ();

@@ -662,7 +662,8 @@ let corner_arg =
 let registry_arg =
   Arg.(
     value & opt string "fleet.efrg"
-    & info [ "registry" ] ~docv:"FILE" ~doc:"Device registry file (EFRG format).")
+    & info [ "registry" ] ~docv:"PATH"
+        ~doc:"Device registry: an EFRG file or a sharded registry directory.")
 
 let load_registry path =
   if not (Sys.file_exists path) then begin
@@ -670,6 +671,45 @@ let load_registry path =
     exit 1
   end;
   or_die (Eric_fleet.Registry.load path)
+
+(* A registry path is either a single EFRG file or a sharded directory;
+   every fleet command detects which transparently. *)
+type registry_handle =
+  | Reg_file of Eric_fleet.Registry.t
+  | Reg_sharded of Eric_fleet.Registry_shard.t
+
+let load_any_registry path =
+  if Eric_fleet.Registry_shard.is_sharded path then
+    Reg_sharded (or_die (Eric_fleet.Registry_shard.load path))
+  else Reg_file (load_registry path)
+
+let save_any_registry path = function
+  | Reg_file reg -> Eric_fleet.Registry.save reg path
+  | Reg_sharded sh -> Eric_fleet.Registry_shard.save sh
+
+let scheduler_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Eric_engine.Engine.scheduler_of_string s)
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Eric_engine.Engine.scheduler_label s))
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt scheduler_conv Eric_engine.Engine.default_config.Eric_engine.Engine.scheduler
+    & info [ "scheduler" ] ~docv:"SCHED"
+        ~doc:
+          "Work-queue scheduler: deterministic (reference, index order) or domains[:N] \
+           (OCaml-5 domain pool; identical outcomes, only timing differs).")
+
+let window_arg =
+  Arg.(
+    value
+    & opt int Eric_engine.Engine.default_config.Eric_engine.Engine.window
+    & info [ "window" ] ~docv:"N" ~doc:"Max in-flight jobs before their results commit.")
+
+let engine_config_of scheduler window =
+  { Eric_engine.Engine.default_config with Eric_engine.Engine.scheduler; window }
 
 let channel_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Eric_fleet.Channel.of_string s) in
@@ -691,19 +731,30 @@ let label_arg =
     & info [ "label" ] ~docv:"LABEL" ~doc:"KMU deployment-scope label.")
 
 let fleet_enroll_cmd =
-  let run registry count start_id epoch label telemetry trace_out =
+  let run registry count start_id epoch label factory shards quiet telemetry trace_out =
     setup_telemetry telemetry trace_out;
-    let reg =
-      if Sys.file_exists registry then or_die (Eric_fleet.Registry.load registry)
-      else Eric_fleet.Registry.create ()
+    let handle =
+      if Sys.file_exists registry then load_any_registry registry
+      else if shards > 0 then
+        Reg_sharded (or_die (Eric_fleet.Registry_shard.create ~dir:registry ~shards))
+      else Reg_file (Eric_fleet.Registry.create ())
+    in
+    let enroll_one id =
+      match handle, factory with
+      | Reg_file reg, false -> Eric_fleet.Registry.enroll ~epoch ?label reg id
+      | Reg_file reg, true -> Eric_fleet.Registry.enroll_legacy ~epoch ?label reg id
+      | Reg_sharded sh, false -> Eric_fleet.Registry_shard.enroll ~epoch ?label sh id
+      | Reg_sharded sh, true -> Eric_fleet.Registry_shard.enroll_legacy ~epoch ?label sh id
     in
     for i = 0 to count - 1 do
       let id = Int64.add start_id (Int64.of_int i) in
-      let entry = or_die (Eric_fleet.Registry.enroll ~epoch ?label reg id) in
-      Format.printf "%a@." Eric_fleet.Registry.pp_entry entry
+      let entry = or_die (enroll_one id) in
+      if not quiet then Format.printf "%a@." Eric_fleet.Registry.pp_entry entry
     done;
-    Eric_fleet.Registry.save reg registry;
-    Format.printf "%s: %a@." registry Eric_fleet.Registry.pp_summary reg
+    save_any_registry registry handle;
+    match handle with
+    | Reg_file reg -> Format.printf "%s: %a@." registry Eric_fleet.Registry.pp_summary reg
+    | Reg_sharded sh -> Format.printf "%s: %a@." registry Eric_fleet.Registry_shard.pp_summary sh
   in
   let count_arg =
     Arg.(value & opt int 1 & info [ "count" ] ~docv:"N" ~doc:"Number of devices to enroll.")
@@ -716,17 +767,103 @@ let fleet_enroll_cmd =
           & info [ "start-id" ] ~docv:"ID"
               ~doc:"First device id (decimal or 0x-prefixed hex); ids are consecutive."))
   in
+  let factory_arg =
+    Arg.(
+      value & flag
+      & info [ "factory" ]
+          ~doc:
+            "Fast factory path: plain majority-vote key at nominal conditions, no helper \
+             data (the legacy v1 flow) — about 5x faster per device than full reliability \
+             screening.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "When creating a new registry, make it a sharded directory with N shards \
+             instead of a single EFRG file.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Do not print one line per device.")
+  in
   Cmd.v
     (Cmd.info "enroll" ~doc:"Manufacture, provision and register devices.")
     Term.(
       const run $ registry_arg $ count_arg $ start_id_arg $ epoch_arg ~default:0 $ label_arg
-      $ telemetry_arg $ trace_out_arg)
+      $ factory_arg $ shards_arg $ quiet_arg $ telemetry_arg $ trace_out_arg)
+
+(* Canonical campaign report as JSON, for the determinism gate: only
+   simulation-deterministic fields — no wall-clock timings, no scheduler
+   name — so reports from the deterministic and domain schedulers (and
+   from sharded vs single-file registries of the same fleet) compare
+   byte-for-byte with cmp(1). *)
+let campaign_report_json (r : Eric_fleet.Campaign.report) =
+  let buf = Buffer.create 4096 in
+  let escape s =
+    String.to_seq s
+    |> Seq.iter (fun c ->
+           match c with
+           | '"' -> Buffer.add_string buf "\\\""
+           | '\\' -> Buffer.add_string buf "\\\\"
+           | '\n' -> Buffer.add_string buf "\\n"
+           | c when Char.code c < 0x20 ->
+             Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+           | c -> Buffer.add_char buf c)
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"digest\": \"%s\",\n" r.Eric_fleet.Campaign.digest);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"firmware_epoch\": %d,\n" r.Eric_fleet.Campaign.firmware_epoch);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"delivered\": %d,\n" r.Eric_fleet.Campaign.delivered);
+  Buffer.add_string buf (Printf.sprintf "  \"retried\": %d,\n" r.Eric_fleet.Campaign.retried);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quarantined\": %d,\n" r.Eric_fleet.Campaign.quarantined);
+  Buffer.add_string buf (Printf.sprintf "  \"skipped\": %d,\n" r.Eric_fleet.Campaign.skipped);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"wire_bytes\": %d,\n" r.Eric_fleet.Campaign.wire_bytes);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"load_cycles\": %Ld,\n" r.Eric_fleet.Campaign.load_cycles);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"backoff_ns\": %Ld,\n" r.Eric_fleet.Campaign.backoff_ns);
+  Buffer.add_string buf "  \"devices\": [\n";
+  let n = List.length r.Eric_fleet.Campaign.devices in
+  List.iteri
+    (fun i ((entry : Eric_fleet.Registry.entry), result) ->
+      Buffer.add_string buf (Printf.sprintf "    {\"id\": %Ld, " entry.Eric_fleet.Registry.device_id);
+      (match result with
+      | Eric_fleet.Campaign.Skipped reason ->
+        Buffer.add_string buf "\"result\": \"skipped\", \"reason\": \"";
+        escape reason;
+        Buffer.add_string buf "\"}"
+      | Eric_fleet.Campaign.Shipped d ->
+        let outcome, reason =
+          match d.Eric_fleet.Shipper.outcome with
+          | Eric_fleet.Shipper.Delivered _ -> ("delivered", None)
+          | Eric_fleet.Shipper.Quarantined { reason } ->
+            ("quarantined", Some (Eric_fleet.Shipper.quarantine_label reason))
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "\"result\": \"%s\", \"attempts\": %d, \"wire_bytes\": %d" outcome
+             d.Eric_fleet.Shipper.attempts d.Eric_fleet.Shipper.wire_bytes);
+        (match reason with
+        | None -> ()
+        | Some reason ->
+          Buffer.add_string buf ", \"reason\": \"";
+          escape reason;
+          Buffer.add_string buf "\"");
+        Buffer.add_string buf "}");
+      Buffer.add_string buf (if i = n - 1 then "\n" else ",\n"))
+    r.Eric_fleet.Campaign.devices;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
 
 let fleet_campaign_cmd =
   let run source registry mode channel max_attempts execute fuel cache_dir firmware devices
-      no_compress no_optimize telemetry trace_out =
+      scheduler window report_out no_compress no_optimize telemetry trace_out =
     setup_telemetry telemetry trace_out;
-    let reg = load_registry registry in
+    let handle = load_any_registry registry in
     let policy =
       or_die
         (Eric_fleet.Backoff.validate
@@ -740,14 +877,26 @@ let fleet_campaign_cmd =
         channel;
         execute;
         fuel;
-        firmware_epoch = firmware }
+        firmware_epoch = firmware;
+        engine = engine_config_of scheduler window }
     in
+    let source = read_file source in
     let report =
-      or_die (Eric_fleet.Campaign.deploy ~config ~cache ~registry:reg (read_file source))
+      match handle with
+      | Reg_file reg -> or_die (Eric_fleet.Campaign.deploy ~config ~cache ~registry:reg source)
+      | Reg_sharded sh ->
+        or_die (Eric_fleet.Campaign.deploy_sharded ~config ~cache ~shards:sh source)
     in
     if devices then Format.printf "%a" Eric_fleet.Campaign.pp_devices report;
     Format.printf "%a@." Eric_fleet.Campaign.pp_report report;
-    Eric_fleet.Registry.save reg registry;
+    save_any_registry registry handle;
+    (match report_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (campaign_report_json report)));
     if report.Eric_fleet.Campaign.delivered = List.length report.Eric_fleet.Campaign.devices
     then exit 0
     else exit 3
@@ -780,6 +929,14 @@ let fleet_campaign_cmd =
   let devices_arg =
     Arg.(value & flag & info [ "devices" ] ~doc:"Print one line per device delivery.")
   in
+  let report_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the campaign report as canonical JSON (simulation-deterministic fields \
+             only — byte-identical across schedulers).")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
@@ -787,22 +944,40 @@ let fleet_campaign_cmd =
           with retry/backoff.  Exits 3 unless every device was delivered.")
     Term.(
       const run $ source_arg $ registry_arg $ mode_arg $ channel_arg $ max_attempts_arg
-      $ execute_arg $ fuel_arg $ cache_dir_arg $ firmware_arg $ devices_arg $ no_compress_arg
-      $ no_optimize_arg $ telemetry_arg $ trace_out_arg)
+      $ execute_arg $ fuel_arg $ cache_dir_arg $ firmware_arg $ devices_arg $ scheduler_arg
+      $ window_arg $ report_out_arg $ no_compress_arg $ no_optimize_arg $ telemetry_arg
+      $ trace_out_arg)
 
 let fleet_rotate_cmd =
-  let run registry epoch label rsa_bits seed telemetry trace_out =
+  let run registry epoch label rsa_bits seed scheduler window telemetry trace_out =
     setup_telemetry telemetry trace_out;
-    let reg = load_registry registry in
+    let handle = load_any_registry registry in
     let method_ =
       match rsa_bits with
       | None -> Eric_fleet.Rotation.Local
       | Some bits -> Eric_fleet.Rotation.Rsa { bits; seed }
     in
-    let report = Eric_fleet.Rotation.rotate ~method_ ?label ~epoch reg in
-    Format.printf "%a@." Eric_fleet.Rotation.pp_report report;
-    Eric_fleet.Registry.save reg registry;
-    if report.Eric_fleet.Rotation.failed <> [] then exit 3
+    let engine = engine_config_of scheduler window in
+    let failed = ref false in
+    (match handle with
+    | Reg_file reg ->
+      let report = Eric_fleet.Rotation.rotate ~engine ~method_ ?label ~epoch reg in
+      Format.printf "%a@." Eric_fleet.Rotation.pp_report report;
+      failed := report.Eric_fleet.Rotation.failed <> []
+    | Reg_sharded sh ->
+      (* shard-by-shard: one shard resident at a time *)
+      for i = 0 to Eric_fleet.Registry_shard.shards sh - 1 do
+        if Eric_fleet.Registry_shard.shard_count sh i > 0 then begin
+          let reg = Eric_fleet.Registry_shard.shard sh i in
+          let report = Eric_fleet.Rotation.rotate ~engine ~method_ ?label ~epoch reg in
+          Format.printf "shard %04d: %a@." i Eric_fleet.Rotation.pp_report report;
+          if report.Eric_fleet.Rotation.failed <> [] then failed := true;
+          Eric_fleet.Registry_shard.mark_dirty sh i;
+          Eric_fleet.Registry_shard.release sh i
+        end
+      done);
+    save_any_registry registry handle;
+    if !failed then exit 3
   in
   let rsa_arg =
     Arg.(
@@ -823,12 +998,12 @@ let fleet_rotate_cmd =
           quarantined devices.")
     Term.(
       const run $ registry_arg $ epoch_arg ~default:1 $ label_arg $ rsa_arg $ seed_arg
-      $ telemetry_arg $ trace_out_arg)
+      $ scheduler_arg $ window_arg $ telemetry_arg $ trace_out_arg)
 
 let fleet_reenroll_cmd =
-  let run registry threshold votes env telemetry trace_out =
+  let run registry threshold votes env scheduler window telemetry trace_out =
     setup_telemetry telemetry trace_out;
-    let reg = load_registry registry in
+    let handle = load_any_registry registry in
     let config =
       {
         Eric_fleet.Reenroll.default_config with
@@ -837,10 +1012,26 @@ let fleet_reenroll_cmd =
         survey_env = env;
       }
     in
-    let report = Eric_fleet.Reenroll.run ~config reg in
-    Format.printf "%a@." Eric_fleet.Reenroll.pp_report report;
-    Eric_fleet.Registry.save reg registry;
-    if report.Eric_fleet.Reenroll.failed <> [] then exit exit_failures
+    let engine = engine_config_of scheduler window in
+    let failed = ref false in
+    (match handle with
+    | Reg_file reg ->
+      let report = Eric_fleet.Reenroll.run ~engine ~config reg in
+      Format.printf "%a@." Eric_fleet.Reenroll.pp_report report;
+      failed := report.Eric_fleet.Reenroll.failed <> []
+    | Reg_sharded sh ->
+      for i = 0 to Eric_fleet.Registry_shard.shards sh - 1 do
+        if Eric_fleet.Registry_shard.shard_count sh i > 0 then begin
+          let reg = Eric_fleet.Registry_shard.shard sh i in
+          let report = Eric_fleet.Reenroll.run ~engine ~config reg in
+          Format.printf "shard %04d: %a@." i Eric_fleet.Reenroll.pp_report report;
+          if report.Eric_fleet.Reenroll.failed <> [] then failed := true;
+          Eric_fleet.Registry_shard.mark_dirty sh i;
+          Eric_fleet.Registry_shard.release sh i
+        end
+      done);
+    save_any_registry registry handle;
+    if !failed then exit exit_failures
   in
   let threshold_arg =
     Arg.(
@@ -869,24 +1060,65 @@ let fleet_reenroll_cmd =
           devices, upgrade legacy entries to the fuzzy-extractor boot path and reactivate \
           key-reconstruction quarantines.  Exits 3 if any device failed re-enrollment.")
     Term.(
-      const run $ registry_arg $ threshold_arg $ votes_arg $ survey_corner_arg $ telemetry_arg
-      $ trace_out_arg)
+      const run $ registry_arg $ threshold_arg $ votes_arg $ survey_corner_arg $ scheduler_arg
+      $ window_arg $ telemetry_arg $ trace_out_arg)
 
 let fleet_status_cmd =
   let run registry devices =
-    let reg = load_registry registry in
-    if devices then
-      List.iter
-        (fun e -> Format.printf "%a@." Eric_fleet.Registry.pp_entry e)
-        (Eric_fleet.Registry.entries reg);
-    Format.printf "%s: %a@." registry Eric_fleet.Registry.pp_summary reg
+    match load_any_registry registry with
+    | Reg_file reg ->
+      if devices then
+        List.iter
+          (fun e -> Format.printf "%a@." Eric_fleet.Registry.pp_entry e)
+          (Eric_fleet.Registry.entries reg);
+      Format.printf "%s: %a@." registry Eric_fleet.Registry.pp_summary reg
+    | Reg_sharded sh ->
+      if devices then
+        Eric_fleet.Registry_shard.fold_entries sh ~init:() ~f:(fun () e ->
+            Format.printf "%a@." Eric_fleet.Registry.pp_entry e);
+      Format.printf "%s: %a@." registry Eric_fleet.Registry_shard.pp_summary sh
   in
   let devices_arg =
     Arg.(value & flag & info [ "devices" ] ~doc:"Print one line per enrolled device.")
   in
   Cmd.v
-    (Cmd.info "status" ~doc:"Summarise a device registry.")
+    (Cmd.info "status" ~doc:"Summarise a device registry (single-file or sharded).")
     Term.(const run $ registry_arg $ devices_arg)
+
+let fleet_shard_migrate_cmd =
+  let run registry dir shards telemetry trace_out =
+    setup_telemetry telemetry trace_out;
+    if Eric_fleet.Registry_shard.is_sharded registry then begin
+      Printf.eprintf "error: %s is already a sharded registry\n" registry;
+      exit 1
+    end;
+    if not (Sys.file_exists registry) then begin
+      Printf.eprintf "error: registry %s does not exist\n" registry;
+      exit 1
+    end;
+    let sh = or_die (Eric_fleet.Registry_shard.migrate ~file:registry ~dir ~shards) in
+    Format.printf "%s -> %s: %a@." registry dir Eric_fleet.Registry_shard.pp_summary sh
+  in
+  let dir_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Destination directory for the sharded registry.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 16 & info [ "shards" ] ~docv:"N" ~doc:"Number of shards (1-65535).")
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:
+         "Stream a single-file EFRG registry into a hash-partitioned sharded directory.  The \
+          source file is decoded one entry at a time and never fully resident, so fleets \
+          larger than memory migrate fine.")
+    Term.(const run $ registry_arg $ dir_arg $ shards_arg $ telemetry_arg $ trace_out_arg)
+
+let fleet_shard_cmd =
+  Cmd.group
+    (Cmd.info "shard" ~doc:"Sharded registry maintenance.")
+    [ fleet_shard_migrate_cmd ]
 
 let fleet_cmd =
   Cmd.group
@@ -895,7 +1127,7 @@ let fleet_cmd =
          "Fleet management: enroll devices, run deployment campaigns, rotate keys, re-enroll \
           drifting PUFs, inspect the registry.")
     [ fleet_enroll_cmd; fleet_campaign_cmd; fleet_rotate_cmd; fleet_reenroll_cmd;
-      fleet_status_cmd ]
+      fleet_status_cmd; fleet_shard_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* Verification: differential fuzzing and fault injection              *)

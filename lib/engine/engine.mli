@@ -1,0 +1,101 @@
+(** Generic parallel work-queue campaign engine.
+
+    Pushes an array of items through a typed {!Job.spec} (prepare /
+    personalize / ship / verify) under a bounded in-flight window, with
+    shipper-style retry/quarantine handling of stage faults, and records
+    [engine.*] telemetry.
+
+    {2 Schedulers}
+
+    Two schedulers share one signature and — under the determinism
+    contract below — one observable behaviour:
+
+    - {!Deterministic} runs jobs in index order on the calling thread.
+      Works identically on OCaml 4.14 and 5.x; the reference semantics.
+    - {!Domains} runs jobs on an OCaml-5 domain pool with chunked work
+      stealing.  On a runtime without domains it degrades to sequential
+      execution and the report's [scheduler_used] says
+      ["domains-fallback"].
+
+    {2 Determinism contract}
+
+    A job's outcome may depend only on its own item and state owned by
+    that item (one device's PRNG stream, say) — never on the order jobs
+    execute in.  Completions land in an array slot keyed by job index
+    and the [commit] callback replays them in index order, so both
+    schedulers produce identical completion arrays and identical
+    committed state; only wall-clock timing may differ.  Shared-state
+    reads inside jobs must be thread-safe (the fleet registry's
+    device/target memo tables are). *)
+
+type scheduler = Deterministic | Domains of int  (** 0 = runtime's recommendation *)
+
+val scheduler_of_string : string -> (scheduler, string) result
+(** ["deterministic"]/["det"], ["domains"] or ["domains:N"]. *)
+
+val scheduler_label : scheduler -> string
+
+type config = {
+  scheduler : scheduler;
+  window : int;
+      (** max jobs in flight before their completions are committed;
+          batches run back to back *)
+  retries : int;  (** extra attempts granted to retryable faults *)
+  retry_delay_ns : int64;  (** simulated backoff before the first retry *)
+  max_delay_ns : int64;  (** cap for the doubling backoff *)
+}
+
+val default_config : config
+(** Deterministic scheduler, window 1024, no retries, 1 ms base / 1 s
+    cap backoff. *)
+
+val delay_ns : config -> retry:int -> int64
+(** Simulated backoff before retry [retry] (1-based): doubling from
+    [retry_delay_ns], saturating at [max_delay_ns]. *)
+
+type 'r completion = {
+  c_index : int;  (** index of the item in the input array *)
+  c_outcome : 'r Job.outcome;
+  c_attempts : int;  (** 0 for skipped items, else >= 1 *)
+  c_backoff_ns : int64;  (** simulated retry backoff accrued *)
+  c_ns : int64;  (** wall time inside the stages, all attempts *)
+}
+
+type worker = { w_jobs : int; w_busy_ns : int64; w_steals : int }
+
+type 'r report = {
+  name : string;
+  scheduler_used : string;
+      (** ["deterministic"], ["domains:N"] or ["domains-fallback"] *)
+  queued : int;
+  completions : 'r completion array;  (** by job index *)
+  jobs_done : int;
+  quarantined : int;  (** jobs that ended {!Job.Faulted} *)
+  skipped : int;
+  retried_jobs : int;
+  backoff_ns : int64;
+  workers : worker array;
+  wall_ns : int64;
+  utilization : float;  (** busy / (wall x workers); 0 when idle *)
+}
+
+val run :
+  ?config:config ->
+  ?commit:('r completion -> unit) ->
+  name:string ->
+  ('i, 'a, 'b, 'c, 'r) Job.spec ->
+  'i array ->
+  'r report
+(** Execute every item.  [commit] is invoked exactly once per item in
+    item-index order (windowed: after each batch of [window] jobs), on
+    the calling thread — the place to apply registry updates and other
+    order-sensitive effects.  Telemetry: [engine.runs_total],
+    [engine.jobs.{queued,done,quarantined,skipped,retried}_total],
+    [engine.steals_total], [engine.worker.busy_ns{worker=i}],
+    [engine.utilization{sched=...}], [engine.wall_ns], span
+    [engine.run]. *)
+
+val throughput_per_s : 'r report -> float
+(** Queued jobs per wall-clock second (0 for an empty or instant run). *)
+
+val pp_report : Format.formatter -> 'r report -> unit

@@ -1,0 +1,60 @@
+(* The engine's unit of work: one item pushed through the four fixed
+   stages every fleet flow shares.
+
+     prepare      resolve inputs for this item (cache lookups, skips)
+     personalize  the per-item transform (keystream XOR, re-keying, ...)
+     ship         move the result somewhere that can refuse it
+     verify       post-delivery obligations
+
+   A stage either advances the item or raises a {!fault}; faults carry
+   the stage they happened at and whether a retry can plausibly change
+   the answer.  The engine — not the stages — owns the retry loop, so a
+   stage implementation never sleeps or loops itself. *)
+
+type stage = Prepare | Personalize | Ship | Verify
+
+let stage_label = function
+  | Prepare -> "prepare"
+  | Personalize -> "personalize"
+  | Ship -> "ship"
+  | Verify -> "verify"
+
+type fault = { f_stage : stage; f_reason : string; f_retryable : bool }
+
+let fault ?(retryable = false) stage reason =
+  { f_stage = stage; f_reason = reason; f_retryable = retryable }
+
+(* A typed pipeline over per-item state: ['i] the queued item, ['a]/['b]/['c]
+   the intermediate states, ['r] the finished result.  [admit] runs first
+   and can drop the item from the run entirely (e.g. an already-quarantined
+   device) — a skip is bookkeeping, not a failure. *)
+type ('i, 'a, 'b, 'c, 'r) spec = {
+  admit : 'i -> string option;  (* Some reason = skip *)
+  prepare : 'i -> ('a, fault) result;
+  personalize : 'a -> ('b, fault) result;
+  ship : 'b -> ('c, fault) result;
+  verify : 'c -> ('r, fault) result;
+}
+
+let always_admit _ = None
+
+type 'r outcome =
+  | Done of 'r
+  | Faulted of fault  (* quarantined by the engine's fault hook *)
+  | Skipped of string
+
+let run_once spec item =
+  let ( let* ) = Result.bind in
+  let* a = spec.prepare item in
+  let* b = spec.personalize a in
+  let* c = spec.ship b in
+  spec.verify c
+
+let pp_fault fmt f =
+  Format.fprintf fmt "%s: %s%s" (stage_label f.f_stage) f.f_reason
+    (if f.f_retryable then " (retryable)" else "")
+
+let pp_outcome pp_r fmt = function
+  | Done r -> pp_r fmt r
+  | Faulted f -> Format.fprintf fmt "faulted at %a" pp_fault f
+  | Skipped reason -> Format.fprintf fmt "skipped (%s)" reason

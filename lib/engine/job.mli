@@ -1,0 +1,45 @@
+(** The engine's unit of work: one item pushed through four fixed,
+    typed stages — prepare, personalize, ship, verify — the shape every
+    ERIC fleet flow shares (deployment, key rotation, re-enrollment).
+
+    Stages never retry or sleep themselves; they report a {!fault} and
+    the engine's retry/quarantine hooks (lifted from the fleet shipper)
+    decide what happens next. *)
+
+type stage = Prepare | Personalize | Ship | Verify
+
+val stage_label : stage -> string
+(** ["prepare"], ["personalize"], ["ship"], ["verify"] — telemetry label
+    values. *)
+
+type fault = { f_stage : stage; f_reason : string; f_retryable : bool }
+
+val fault : ?retryable:bool -> stage -> string -> fault
+(** A stage failure; [retryable] (default false) marks faults a re-run
+    could plausibly clear (transient channel loss, not a bad signature). *)
+
+type ('i, 'a, 'b, 'c, 'r) spec = {
+  admit : 'i -> string option;
+      (** [Some reason] drops the item from the run as {!Skipped} before
+          any stage runs — bookkeeping, not failure. *)
+  prepare : 'i -> ('a, fault) result;
+  personalize : 'a -> ('b, fault) result;
+  ship : 'b -> ('c, fault) result;
+  verify : 'c -> ('r, fault) result;
+}
+
+val always_admit : 'i -> string option
+(** Admits everything. *)
+
+type 'r outcome =
+  | Done of 'r
+  | Faulted of fault  (** gave up: fault not retryable or retries exhausted *)
+  | Skipped of string
+
+val run_once : ('i, 'a, 'b, 'c, 'r) spec -> 'i -> ('r, fault) result
+(** One pass through the four stages, stopping at the first fault.
+    [admit] is {e not} consulted — the engine handles skips. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+val pp_outcome :
+  (Format.formatter -> 'r -> unit) -> Format.formatter -> 'r outcome -> unit

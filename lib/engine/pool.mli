@@ -1,0 +1,27 @@
+(** Parallel index-space executor behind the engine's domain scheduler.
+
+    The implementation is selected at build time: on OCaml >= 5.0 a real
+    [Domain]-based pool ([pool_domains.ml]); on 4.14 a sequential
+    fallback ([pool_fallback.ml]) with the same signature, so every
+    caller compiles and runs everywhere and [available] tells the truth
+    about what actually executed. *)
+
+val available : bool
+(** Whether spawning domains is supported by this build.  When [false],
+    {!run} executes sequentially on the calling thread (worker 0). *)
+
+val recommended : unit -> int
+(** The runtime's recommended worker count (1 on the fallback). *)
+
+type stat = {
+  s_jobs : int;  (** indices this worker executed *)
+  s_busy_ns : int64;  (** time spent inside [f] *)
+  s_steals : int;  (** indices taken from another worker's chunk *)
+}
+
+val run : workers:int -> n:int -> f:(worker:int -> int -> unit) -> stat array
+(** [run ~workers ~n ~f] calls [f ~worker i] exactly once for every
+    [i] in [0, n), partitioned into [workers] contiguous chunks; a
+    worker that drains its own chunk steals from the fullest remaining
+    one.  Returns one {!stat} per worker.  The first exception raised by
+    [f] is re-raised after every worker has stopped. *)

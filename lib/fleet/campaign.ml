@@ -1,3 +1,6 @@
+module Engine = Eric_engine.Engine
+module Job = Eric_engine.Job
+
 type config = {
   options : Eric_cc.Driver.options;
   mode : Eric.Config.mode;
@@ -6,6 +9,7 @@ type config = {
   execute : bool;
   fuel : int option;
   firmware_epoch : int option;
+  engine : Engine.config;
 }
 
 let default_config =
@@ -17,6 +21,7 @@ let default_config =
     execute = false;
     fuel = None;
     firmware_epoch = None;
+    engine = Engine.default_config;
   }
 
 type device_result =
@@ -27,6 +32,7 @@ type report = {
   digest : string;
   cache : Artifact_cache.outcome;
   firmware_epoch : int;
+  scheduler_used : string;
   devices : (Registry.entry * device_result) list;
   delivered : int;
   retried : int;
@@ -45,6 +51,37 @@ let count ?by name =
 let next_firmware_epoch registry =
   1 + List.fold_left (fun m e -> max m e.Registry.firmware_epoch) 0 (Registry.entries registry)
 
+(* One device's trip through the engine: boot (prepare), keystream
+   personalization (personalize), shipping with the shipper's own
+   retry/quarantine handling (ship).  Stages are pure per-device — the
+   only shared state they touch is the registry's mutex-guarded memo
+   tables — so the domain scheduler commutes with the deterministic one.
+   Registry updates happen in [commit], on the engine's thread, in
+   device-index order. *)
+let device_spec ~config ~registry ~prepared =
+  {
+    Job.admit =
+      (fun (entry : Registry.entry) ->
+        match entry.Registry.status with
+        | Registry.Quarantined reason -> Some reason
+        | Registry.Active -> None);
+    prepare = (fun entry -> Ok (entry, Registry.target registry entry));
+    personalize =
+      (fun ((entry : Registry.entry), target) ->
+        let t0 = Eric_telemetry.Clock.now_ns () in
+        let build = Eric.Source.personalize ~key:entry.Registry.key prepared in
+        let dt = Int64.sub (Eric_telemetry.Clock.now_ns ()) t0 in
+        Ok (entry, target, build, dt));
+    ship =
+      (fun (entry, target, build, dt) ->
+        let delivery =
+          Shipper.ship ~policy:config.policy ~channel:config.channel ~execute:config.execute
+            ?fuel:config.fuel ~build ~target ()
+        in
+        Ok (entry, delivery, dt));
+    verify = (fun r -> Ok r);
+  }
+
 let deploy ?(config = default_config) ~cache ~registry source =
   Eric_telemetry.Span.with_ ~cat:"fleet" ~name:"fleet.campaign" (fun () ->
       let t_start = Eric_telemetry.Clock.now_ns () in
@@ -59,39 +96,37 @@ let deploy ?(config = default_config) ~cache ~registry source =
           | None -> next_firmware_epoch registry
         in
         count "fleet.campaign.runs_total";
+        let items = Array.of_list (Registry.entries registry) in
+        let spec = device_spec ~config ~registry ~prepared in
         let personalize_ns = ref 0L in
-        let devices =
-          List.map
-            (fun (entry : Registry.entry) ->
-              count "fleet.campaign.devices_total";
-              match entry.Registry.status with
-              | Registry.Quarantined reason ->
-                count "fleet.campaign.skipped_total";
-                (entry, Skipped reason)
-              | Registry.Active ->
-                let t0 = Eric_telemetry.Clock.now_ns () in
-                let build = Eric.Source.personalize ~key:entry.Registry.key prepared in
-                let dt = Int64.sub (Eric_telemetry.Clock.now_ns ()) t0 in
-                personalize_ns := Int64.add !personalize_ns dt;
-                if Eric_telemetry.Control.is_enabled () then
-                  Eric_telemetry.Registry.observe "fleet.campaign.personalize_ns"
-                    (Int64.to_float dt);
-                let delivery =
-                  Shipper.ship ~policy:config.policy ~channel:config.channel
-                    ~execute:config.execute ?fuel:config.fuel ~build
-                    ~target:(Registry.target registry entry) ()
-                in
-                (match delivery.Shipper.outcome with
-                | Shipper.Delivered _ ->
-                  Registry.update registry { entry with Registry.firmware_epoch }
-                | Shipper.Quarantined { reason } ->
-                  Registry.update registry
-                    { entry with
-                      Registry.status =
-                        Registry.Quarantined (Shipper.quarantine_label reason) });
-                (entry, Shipped delivery))
-            (Registry.entries registry)
+        let rev_devices = ref [] in
+        let commit (c : _ Engine.completion) =
+          let entry = items.(c.Engine.c_index) in
+          count "fleet.campaign.devices_total";
+          match c.Engine.c_outcome with
+          | Job.Skipped reason ->
+            count "fleet.campaign.skipped_total";
+            rev_devices := (entry, Skipped reason) :: !rev_devices
+          | Job.Faulted f ->
+            (* campaign stages never fault — the shipper owns failure
+               handling — but account a surprise rather than drop it *)
+            rev_devices := (entry, Skipped (Format.asprintf "%a" Job.pp_fault f)) :: !rev_devices
+          | Job.Done (entry, delivery, dt) ->
+            personalize_ns := Int64.add !personalize_ns dt;
+            if Eric_telemetry.Control.is_enabled () then
+              Eric_telemetry.Registry.observe "fleet.campaign.personalize_ns"
+                (Int64.to_float dt);
+            (match delivery.Shipper.outcome with
+            | Shipper.Delivered _ ->
+              Registry.update registry { entry with Registry.firmware_epoch }
+            | Shipper.Quarantined { reason } ->
+              Registry.update registry
+                { entry with
+                  Registry.status = Registry.Quarantined (Shipper.quarantine_label reason) });
+            rev_devices := (entry, Shipped delivery) :: !rev_devices
         in
+        let er = Engine.run ~config:config.engine ~commit ~name:"fleet.campaign" spec items in
+        let devices = List.rev !rev_devices in
         let fold f init = List.fold_left f init devices in
         let delivered =
           fold (fun n -> function _, Shipped d when Shipper.delivered d -> n + 1 | _ -> n) 0
@@ -131,6 +166,7 @@ let deploy ?(config = default_config) ~cache ~registry source =
             digest = Artifact_cache.digest ~options:config.options ~mode:config.mode source;
             cache = cache_outcome;
             firmware_epoch;
+            scheduler_used = er.Engine.scheduler_used;
             devices;
             delivered;
             retried;
@@ -143,19 +179,74 @@ let deploy ?(config = default_config) ~cache ~registry source =
             campaign_ns = Int64.sub (Eric_telemetry.Clock.now_ns ()) t_start;
           })
 
+let deploy_sharded ?(config = default_config) ~cache ~shards source =
+  Eric_telemetry.Span.with_ ~cat:"fleet" ~name:"fleet.campaign.sharded" (fun () ->
+      let t_start = Eric_telemetry.Clock.now_ns () in
+      (* Fix the epoch up front: each shard only sees its own slice, so
+         letting [deploy] derive it per shard would skew. *)
+      let firmware_epoch =
+        match config.firmware_epoch with
+        | Some e -> e
+        | None ->
+          1
+          + Registry_shard.fold_entries shards ~init:0 ~f:(fun m e ->
+                max m e.Registry.firmware_epoch)
+      in
+      let config = { config with firmware_epoch = Some firmware_epoch } in
+      let n_shards = Registry_shard.shards shards in
+      let rec loop i acc =
+        if i = n_shards then Ok (List.rev acc)
+        else if Registry_shard.shard_count shards i = 0 then loop (i + 1) acc
+        else begin
+          let reg = Registry_shard.shard shards i in
+          match deploy ~config ~cache ~registry:reg source with
+          | Error _ as e -> e
+          | Ok r ->
+            (* campaigns stamp epochs / quarantine in place; write the
+               shard back and drop it so memory stays one-shard bounded *)
+            Registry_shard.mark_dirty shards i;
+            Registry_shard.release shards i;
+            loop (i + 1) (r :: acc)
+        end
+      in
+      match loop 0 [] with
+      | Error _ as e -> e
+      | Ok [] -> deploy ~config ~cache ~registry:(Registry.create ()) source
+      | Ok (first :: _ as reports) ->
+        let sum f = List.fold_left (fun n r -> n + f r) 0 reports in
+        let sum64 f = List.fold_left (fun n r -> Int64.add n (f r)) 0L reports in
+        Ok
+          {
+            digest = first.digest;
+            cache = first.cache;
+            firmware_epoch;
+            scheduler_used = first.scheduler_used;
+            devices = List.concat_map (fun r -> r.devices) reports;
+            delivered = sum (fun r -> r.delivered);
+            retried = sum (fun r -> r.retried);
+            quarantined = sum (fun r -> r.quarantined);
+            skipped = sum (fun r -> r.skipped);
+            wire_bytes = sum (fun r -> r.wire_bytes);
+            load_cycles = sum64 (fun r -> r.load_cycles);
+            backoff_ns = sum64 (fun r -> r.backoff_ns);
+            personalize_ns = sum64 (fun r -> r.personalize_ns);
+            campaign_ns = Int64.sub (Eric_telemetry.Clock.now_ns ()) t_start;
+          })
+
 let all_accounted report =
   report.delivered + report.quarantined + report.skipped = List.length report.devices
 
 let pp_report fmt r =
   let n = List.length r.devices in
   Format.fprintf fmt
-    "campaign %s (firmware epoch %d, cache %s):@\n\
+    "campaign %s (firmware epoch %d, cache %s, scheduler %s):@\n\
     \  %d device(s): %d delivered (%d after retry), %d quarantined, %d skipped@\n\
     \  %d wire bytes, %Ld HDE load cycles, %.3f ms simulated backoff@\n\
     \  personalize %.3f ms total (%.1f us/device), campaign wall %.3f ms"
     (String.sub r.digest 0 12) r.firmware_epoch
     (Artifact_cache.outcome_label r.cache)
-    n r.delivered r.retried r.quarantined r.skipped r.wire_bytes r.load_cycles
+    r.scheduler_used n r.delivered r.retried r.quarantined r.skipped r.wire_bytes
+    r.load_cycles
     (Int64.to_float r.backoff_ns /. 1e6)
     (Int64.to_float r.personalize_ns /. 1e6)
     (if n = r.skipped then 0.0

@@ -11,11 +11,17 @@
 
     Successful devices have their [firmware_epoch] stamped.
 
+    Per-device work runs on the {!Eric_engine.Engine} work queue
+    ([config.engine] picks the scheduler and in-flight window); registry
+    updates are committed in device order on the engine's thread, so the
+    deterministic and domain schedulers produce identical reports.
+
     Telemetry: [fleet.campaign.runs_total], [fleet.campaign.devices_total],
     [fleet.campaign.delivered_total], [fleet.campaign.retried_total],
     [fleet.campaign.quarantined_total], [fleet.campaign.skipped_total] and
     the [fleet.campaign.personalize_ns] histogram, on top of the
-    [fleet.cache.*] and [fleet.ship.*] families recorded by the stages. *)
+    [fleet.cache.*], [fleet.ship.*] and [engine.*] families recorded by
+    the stages. *)
 
 type config = {
   options : Eric_cc.Driver.options;
@@ -27,6 +33,8 @@ type config = {
   firmware_epoch : int option;
       (** epoch stamped on delivered devices; default: 1 + the registry's
           highest firmware epoch *)
+  engine : Eric_engine.Engine.config;
+      (** scheduler and window for the per-device work queue *)
 }
 
 val default_config : config
@@ -39,6 +47,7 @@ type report = {
   digest : string;  (** artifact-cache key of the campaign input *)
   cache : Artifact_cache.outcome;
   firmware_epoch : int;
+  scheduler_used : string;  (** {!Eric_engine.Engine.report}'s [scheduler_used] *)
   devices : (Registry.entry * device_result) list;  (** entry state {e before} the campaign *)
   delivered : int;
   retried : int;  (** delivered, but needing at least one retry *)
@@ -59,6 +68,18 @@ val deploy :
   (report, string) result
 (** [Error] only for compilation failure of the source; per-device
     failures land in the report, not in [Error]. *)
+
+val deploy_sharded :
+  ?config:config ->
+  cache:Artifact_cache.t ->
+  shards:Registry_shard.t ->
+  string ->
+  (report, string) result
+(** The same campaign over a sharded registry, shard by shard: each
+    shard is opened lazily, deployed, written back and released before
+    the next opens, so peak memory is one shard regardless of fleet
+    size.  The firmware epoch is fixed across shards up front; the
+    merged report lists devices in shard-major order. *)
 
 val all_accounted : report -> bool
 (** delivered + quarantined + skipped = every device in the registry. *)

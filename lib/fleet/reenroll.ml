@@ -4,7 +4,15 @@
    threshold — and devices already quarantined for key-reconstruction
    failure — get a fresh enrollment pass (new helper data, new derived
    key under their existing KMU context).  Legacy entries without helper
-   data are upgraded to the fuzzy-extractor boot path. *)
+   data are upgraded to the fuzzy-extractor boot path.
+
+   Surveys and enrollment passes run as engine jobs (each touches only
+   its own device's PUF noise stream); registry writes and counters are
+   committed in device order, so the deterministic and domain schedulers
+   report identically. *)
+
+module Engine = Eric_engine.Engine
+module Job = Eric_engine.Job
 
 type config = {
   threshold_ppm : int;
@@ -55,6 +63,8 @@ let survey_ppm config registry (entry : Registry.entry) helper =
   in
   int_of_float (Float.round (worst *. 1_000_000.0))
 
+(* Compute the re-enrolled entry without writing it — the commit phase
+   owns registry mutation. *)
 let reenroll_entry config registry (entry : Registry.entry) ~was_quarantined =
   let device = Registry.device registry entry.Registry.device_id in
   match Eric_puf.Enroll.enroll ~config:config.enroll device with
@@ -68,70 +78,99 @@ let reenroll_entry config registry (entry : Registry.entry) ~was_quarantined =
     let after_ppm =
       int_of_float (Float.round (e.Eric_puf.Enroll.worst_instability *. 1_000_000.0))
     in
-    Registry.update registry
-      {
-        entry with
-        Registry.key;
-        helper = Some e.Eric_puf.Enroll.helper;
-        instability_ppm = after_ppm;
-        status;
-      };
-    Ok after_ppm
+    Ok
+      ( {
+          entry with
+          Registry.key;
+          helper = Some e.Eric_puf.Enroll.helper;
+          instability_ppm = after_ppm;
+          status;
+        },
+        after_ppm )
 
-let run ?(config = default_config) registry =
+(* What the commit phase applies for one device. *)
+type action =
+  | Keep_healthy of { ppm : int }
+  | Apply of {
+      entry' : Registry.entry;
+      before_ppm : int option;  (* None = legacy upgrade *)
+      after_ppm : int;
+      was_quarantined : bool;
+    }
+
+let run ?(engine = Engine.default_config) ?(config = default_config) registry =
   Eric_telemetry.Span.with_ ~cat:"fleet" ~name:"fleet.reenroll" (fun () ->
       count "fleet.reenroll.runs_total";
-      let healthy = ref 0 and reenrolled = ref 0 and upgraded = ref 0 in
-      let reactivated = ref 0 and failed = ref [] in
-      let devices =
-        List.map
-          (fun (entry : Registry.entry) ->
-            count "fleet.reenroll.surveyed_total";
-            let id = entry.Registry.device_id in
-            let was_quarantined = key_reconstruction_quarantine entry.Registry.status in
-            let outcome =
+      let items = Array.of_list (Registry.entries registry) in
+      let spec =
+        {
+          Job.admit = Job.always_admit;
+          prepare =
+            (fun (entry : Registry.entry) ->
+              Ok (entry, key_reconstruction_quarantine entry.Registry.status));
+          (* survey the enrolled challenges (helper entries only) *)
+          personalize =
+            (fun ((entry : Registry.entry), was_quarantined) ->
               match entry.Registry.helper with
-              | None -> begin
-                match reenroll_entry config registry entry ~was_quarantined with
-                | Ok ppm ->
-                  incr upgraded;
-                  count "fleet.reenroll.upgraded_total";
-                  Upgraded { ppm }
-                | Error e ->
-                  count "fleet.reenroll.failed_total";
-                  failed := (id, e) :: !failed;
-                  Failed e
-              end
+              | None -> Ok (entry, was_quarantined, None)
               | Some helper ->
-                let before_ppm = survey_ppm config registry entry helper in
-                if before_ppm <= config.threshold_ppm && not was_quarantined then begin
-                  incr healthy;
-                  count "fleet.reenroll.healthy_total";
-                  (* Keep the registry's health figure current even when no
-                     action is needed. *)
-                  Registry.update registry
-                    { entry with Registry.instability_ppm = before_ppm };
-                  Healthy { ppm = before_ppm }
-                end
-                else begin
-                  match reenroll_entry config registry entry ~was_quarantined with
-                  | Ok after_ppm ->
-                    incr reenrolled;
-                    count "fleet.reenroll.reenrolled_total";
-                    if was_quarantined && config.reactivate then begin
-                      incr reactivated;
-                      count "fleet.reenroll.reactivated_total"
-                    end;
-                    Reenrolled { before_ppm; after_ppm }
-                  | Error e ->
-                    count "fleet.reenroll.failed_total";
-                    failed := (id, e) :: !failed;
-                    Failed e
-                end
-            in
-            (id, outcome))
-          (Registry.entries registry)
+                Ok (entry, was_quarantined, Some (survey_ppm config registry entry helper)));
+          (* re-enroll when the survey (or a standing quarantine) says so *)
+          ship =
+            (fun ((entry : Registry.entry), was_quarantined, before_ppm) ->
+              match before_ppm with
+              | Some ppm when ppm <= config.threshold_ppm && not was_quarantined ->
+                Ok (Keep_healthy { ppm })
+              | _ -> (
+                match reenroll_entry config registry entry ~was_quarantined with
+                | Error e -> Error (Job.fault Job.Ship e)
+                | Ok (entry', after_ppm) ->
+                  Ok (Apply { entry'; before_ppm; after_ppm; was_quarantined })));
+          verify = (fun r -> Ok r);
+        }
       in
+      let healthy = ref 0 and reenrolled = ref 0 and upgraded = ref 0 in
+      let reactivated = ref 0 and failed = ref [] and rev_devices = ref [] in
+      let commit (c : _ Engine.completion) =
+        let entry = items.(c.Engine.c_index) in
+        let id = entry.Registry.device_id in
+        count "fleet.reenroll.surveyed_total";
+        let outcome =
+          match c.Engine.c_outcome with
+          | Job.Done (Keep_healthy { ppm }) ->
+            incr healthy;
+            count "fleet.reenroll.healthy_total";
+            (* Keep the registry's health figure current even when no
+               action is needed. *)
+            Registry.update registry { entry with Registry.instability_ppm = ppm };
+            Healthy { ppm }
+          | Job.Done (Apply { entry'; before_ppm = None; after_ppm; _ }) ->
+            Registry.update registry entry';
+            incr upgraded;
+            count "fleet.reenroll.upgraded_total";
+            Upgraded { ppm = after_ppm }
+          | Job.Done (Apply { entry'; before_ppm = Some before_ppm; after_ppm; was_quarantined })
+            ->
+            Registry.update registry entry';
+            incr reenrolled;
+            count "fleet.reenroll.reenrolled_total";
+            if was_quarantined && config.reactivate then begin
+              incr reactivated;
+              count "fleet.reenroll.reactivated_total"
+            end;
+            Reenrolled { before_ppm; after_ppm }
+          | Job.Faulted f ->
+            count "fleet.reenroll.failed_total";
+            failed := (id, f.Job.f_reason) :: !failed;
+            Failed f.Job.f_reason
+          | Job.Skipped reason -> Failed ("skipped: " ^ reason)
+        in
+        rev_devices := (id, outcome) :: !rev_devices
+      in
+      let (_ : _ Engine.report) =
+        Engine.run ~config:engine ~commit ~name:"fleet.reenroll" spec items
+      in
+      let devices = List.rev !rev_devices in
       {
         surveyed = List.length devices;
         healthy = !healthy;

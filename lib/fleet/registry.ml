@@ -16,7 +16,8 @@ type entry = {
 }
 
 type t = {
-  mutable items : entry list; (* newest last *)
+  mutable rev_order : Eric_puf.Device.id list; (* newest first *)
+  byid : (Eric_puf.Device.id, entry) Hashtbl.t;
   devices : (Eric_puf.Device.id, Eric_puf.Device.t) Hashtbl.t;
       (* simulated silicon is manufactured once per registry, not once per
          shipment — the stand-in for the hardware simply existing *)
@@ -24,110 +25,186 @@ type t = {
       (* per (device, KMU context): Target.create replays the PUF
          majority-vote key derivation, which real silicon does once per
          boot, not once per packet *)
+  lock : Mutex.t;
+      (* guards the three tables and [rev_order] so engine workers can
+         address targets concurrently.  Boots themselves run outside the
+         lock: a boot consumes the device's private noise stream, so
+         concurrent boots must be for *distinct* devices — the engine's
+         one-job-per-device partitioning guarantees that. *)
 }
 
 let magic = "EFRG"
 let version = 2
 let min_version = 1
+let header_size = 12
 
-let create () = { items = []; devices = Hashtbl.create 64; targets = Hashtbl.create 64 }
-let entries t = t.items
-let count t = List.length t.items
-let find t id = List.find_opt (fun e -> Int64.equal e.device_id id) t.items
+let create () =
+  {
+    rev_order = [];
+    byid = Hashtbl.create 64;
+    devices = Hashtbl.create 64;
+    targets = Hashtbl.create 64;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let entries t = locked t (fun () -> List.rev_map (fun id -> Hashtbl.find t.byid id) t.rev_order)
+let count t = locked t (fun () -> Hashtbl.length t.byid)
+let find t id = locked t (fun () -> Hashtbl.find_opt t.byid id)
 let mem t id = Option.is_some (find t id)
-let active t = List.filter (fun e -> e.status = Active) t.items
-let quarantined t = List.filter (fun e -> e.status <> Active) t.items
+let active t = List.filter (fun e -> e.status = Active) (entries t)
+let quarantined t = List.filter (fun e -> e.status <> Active) (entries t)
 
 let context (e : entry) = { Eric.Kmu.epoch = e.epoch; label = e.label }
 
 let device t id =
-  match Hashtbl.find_opt t.devices id with
+  match locked t (fun () -> Hashtbl.find_opt t.devices id) with
   | Some d -> d
   | None ->
+    (* Manufacture is deterministic in [id], so a racing duplicate is
+       identical; keep the first inserted instance as the one silicon. *)
     let d = Eric_puf.Device.manufacture id in
-    Hashtbl.add t.devices id d;
-    d
+    locked t (fun () ->
+        match Hashtbl.find_opt t.devices id with
+        | Some d' -> d'
+        | None ->
+          Hashtbl.add t.devices id d;
+          d)
 
 let target_for ?env t ~context:(c : Eric.Kmu.context) id =
   let k = (id, c.Eric.Kmu.epoch, c.Eric.Kmu.label) in
-  match Hashtbl.find_opt t.targets k with
+  match locked t (fun () -> Hashtbl.find_opt t.targets k) with
   | Some tg -> tg
   | None ->
     (* An enrolled helper makes the fuzzy extractor the boot path for
        every context this device is addressed under (rotation included);
-       legacy entries keep the plain majority-vote boot. *)
+       legacy entries keep the plain majority-vote boot.  The boot runs
+       outside the lock — see the [lock] invariant above. *)
     let tg =
       match find t id with
       | Some { helper = Some h; _ } ->
         Eric.Target.create_with_helper ~context:c ?env (device t id) h
       | Some { helper = None; _ } | None -> Eric.Target.create ~context:c (device t id)
     in
-    Hashtbl.add t.targets k tg;
-    tg
+    locked t (fun () ->
+        match Hashtbl.find_opt t.targets k with
+        | Some tg' -> tg'
+        | None ->
+          Hashtbl.add t.targets k tg;
+          tg)
 
 let target ?env t (e : entry) = target_for ?env t ~context:(context e) e.device_id
 
 let invalidate_targets t id =
-  let stale =
-    Hashtbl.fold
-      (fun ((id', _, _) as k) _ acc -> if Int64.equal id' id then k :: acc else acc)
-      t.targets []
-  in
-  List.iter (Hashtbl.remove t.targets) stale
+  locked t (fun () ->
+      let stale =
+        Hashtbl.fold
+          (fun ((id', _, _) as k) _ acc -> if Int64.equal id' id then k :: acc else acc)
+          t.targets []
+      in
+      List.iter (Hashtbl.remove t.targets) stale)
 
 let add t entry =
-  if mem t entry.device_id then
-    Error (Printf.sprintf "device %Ld is already enrolled" entry.device_id)
-  else begin
-    t.items <- t.items @ [ entry ];
-    Ok entry
-  end
+  locked t (fun () ->
+      if Hashtbl.mem t.byid entry.device_id then
+        Error (Printf.sprintf "device %Ld is already enrolled" entry.device_id)
+      else begin
+        Hashtbl.replace t.byid entry.device_id entry;
+        t.rev_order <- entry.device_id :: t.rev_order;
+        Ok entry
+      end)
 
-let instability_to_ppm worst =
-  int_of_float (Float.round (worst *. 1_000_000.0))
+let instability_to_ppm worst = int_of_float (Float.round (worst *. 1_000_000.0))
+
+let validate_context ~epoch ~label =
+  if epoch < 0 then Error "epoch must be non-negative"
+  else if String.length label > 0xFFFF then Error "label too long"
+  else Ok { Eric.Kmu.epoch; label }
 
 let enroll ?(epoch = Eric.Kmu.default_context.Eric.Kmu.epoch)
     ?(label = Eric.Kmu.default_context.Eric.Kmu.label) ?enrollment t device_id =
-  if epoch < 0 then Error "epoch must be non-negative"
-  else if String.length label > 0xFFFF then Error "label too long"
-  else begin
-    let ( let* ) = Result.bind in
-    let context = { Eric.Kmu.epoch; label } in
-    let* e =
-      match enrollment with
-      | Some e -> Ok e
-      | None ->
-        Result.map_error
-          (fun msg -> Printf.sprintf "device %Ld: %s" device_id msg)
-          (Eric_puf.Enroll.enroll (device t device_id))
-    in
-    let key = Eric.Kmu.derive ~puf_key:e.Eric_puf.Enroll.key context in
-    let r =
-      add t
-        {
-          device_id;
-          epoch;
-          label;
-          key;
-          firmware_epoch = 0;
-          status = Active;
-          helper = Some e.Eric_puf.Enroll.helper;
-          instability_ppm = instability_to_ppm e.Eric_puf.Enroll.worst_instability;
-        }
-    in
-    if Result.is_ok r && Eric_telemetry.Control.is_enabled () then
-      Eric_telemetry.Registry.inc "fleet.registry.enrolled_total";
-    r
-  end
+  let ( let* ) = Result.bind in
+  let* context = validate_context ~epoch ~label in
+  let* e =
+    match enrollment with
+    | Some e -> Ok e
+    | None ->
+      Result.map_error
+        (fun msg -> Printf.sprintf "device %Ld: %s" device_id msg)
+        (Eric_puf.Enroll.enroll (device t device_id))
+  in
+  let key = Eric.Kmu.derive ~puf_key:e.Eric_puf.Enroll.key context in
+  let r =
+    add t
+      {
+        device_id;
+        epoch;
+        label;
+        key;
+        firmware_epoch = 0;
+        status = Active;
+        helper = Some e.Eric_puf.Enroll.helper;
+        instability_ppm = instability_to_ppm e.Eric_puf.Enroll.worst_instability;
+      }
+  in
+  if Result.is_ok r && Eric_telemetry.Control.is_enabled () then
+    Eric_telemetry.Registry.inc "fleet.registry.enrolled_total";
+  r
+
+let enroll_legacy ?(epoch = Eric.Kmu.default_context.Eric.Kmu.epoch)
+    ?(label = Eric.Kmu.default_context.Eric.Kmu.label) t device_id =
+  let ( let* ) = Result.bind in
+  let* context = validate_context ~epoch ~label in
+  (* The fast factory path: majority-vote PUF read at nominal conditions
+     and no helper data.  The 8-sigma dark-bit mask makes the plain vote
+     stable at nominal, which is exactly the pre-fuzzy-extractor (v1)
+     provisioning flow — and roughly 5x cheaper than full reliability
+     screening, which matters when enrolling 10^5-device benches. *)
+  let key = Eric.Kmu.device_key ~context (device t device_id) in
+  let r =
+    add t
+      {
+        device_id;
+        epoch;
+        label;
+        key;
+        firmware_epoch = 0;
+        status = Active;
+        helper = None;
+        instability_ppm = 0;
+      }
+  in
+  if Result.is_ok r && Eric_telemetry.Control.is_enabled () then
+    Eric_telemetry.Registry.inc ~labels:[ ("path", "legacy") ]
+      "fleet.registry.enrolled_total";
+  r
+
+(* A replaced entry only needs a fresh boot when a field the boot reads
+   changed: KMU context (epoch, label), provisioned key, or helper data.
+   Campaign bookkeeping (firmware_epoch) and quarantine flips leave the
+   memoized target valid — re-booting every device because its firmware
+   epoch advanced made warm redeployments pay a full PUF key
+   reconstruction per device per campaign. *)
+let boot_relevant_change old entry =
+  old.epoch <> entry.epoch || old.label <> entry.label
+  || not (Bytes.equal old.key entry.key)
+  || old.helper <> entry.helper
 
 let update t entry =
-  if not (mem t entry.device_id) then
-    invalid_arg (Printf.sprintf "Registry.update: device %Ld not enrolled" entry.device_id);
-  t.items <-
-    List.map (fun e -> if Int64.equal e.device_id entry.device_id then entry else e) t.items;
-  (* The entry's helper or context may have changed; let the next
-     addressing re-boot the target. *)
-  invalidate_targets t entry.device_id
+  let old =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.byid entry.device_id with
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Registry.update: device %Ld not enrolled" entry.device_id)
+        | Some old ->
+          Hashtbl.replace t.byid entry.device_id entry;
+          old)
+  in
+  if boot_relevant_change old entry then invalidate_targets t entry.device_id
 
 (* ------------------------------------------------------------------ *)
 (* Wire format (version 2; version 1 still parses)                     *)
@@ -160,7 +237,13 @@ let update t entry =
 (* are rejected, helper blobs must themselves parse, and trailing bytes *)
 (* fail the parse — a corrupt registry is refused loudly rather than    *)
 (* half-loaded.                                                         *)
+(*                                                                     *)
+(* The entry decoder runs against a [Reader], a cursor abstract over an *)
+(* in-memory buffer and a buffered channel, so shard files stream one   *)
+(* entry at a time without ever materializing the whole shard.          *)
 (* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
 
 let buf_add_u16 buf v =
   Buffer.add_char buf (Char.chr (v land 0xFF));
@@ -176,167 +259,229 @@ let buf_add_u64 buf v =
   Eric_util.Bytesx.set_u64 b 0 v;
   Buffer.add_bytes buf b
 
-let serialize t =
-  let buf = Buffer.create (64 * (1 + count t)) in
+let add_header buf ~count =
   Buffer.add_string buf magic;
   buf_add_u16 buf version;
   buf_add_u16 buf 0;
-  buf_add_u32 buf (count t);
-  List.iter
-    (fun e ->
-      buf_add_u64 buf e.device_id;
-      buf_add_u32 buf e.epoch;
-      buf_add_u32 buf e.firmware_epoch;
-      buf_add_u16 buf (String.length e.label);
-      Buffer.add_string buf e.label;
-      buf_add_u16 buf (Bytes.length e.key);
-      Buffer.add_bytes buf e.key;
-      (match e.status with
-      | Active -> Buffer.add_char buf '\000'
-      | Quarantined reason ->
-        Buffer.add_char buf '\001';
-        buf_add_u16 buf (String.length reason);
-        Buffer.add_string buf reason);
-      (match e.helper with
-      | None -> Buffer.add_char buf '\000'
-      | Some h ->
-        Buffer.add_char buf '\001';
-        let blob = Eric_puf.Enroll.serialize h in
-        buf_add_u32 buf (Bytes.length blob);
-        Buffer.add_bytes buf blob);
-      buf_add_u32 buf e.instability_ppm)
-    t.items;
+  buf_add_u32 buf count
+
+let header ~count =
+  let buf = Buffer.create header_size in
+  add_header buf ~count;
   Buffer.to_bytes buf
 
-let parse b =
-  let ( let* ) = Result.bind in
-  let len = Bytes.length b in
-  let pos = ref 0 in
-  let need n what =
-    if !pos + n <= len then Ok ()
-    else Error (Printf.sprintf "registry truncated reading %s (at byte %d)" what !pos)
-  in
-  let u16 what =
-    let* () = need 2 what in
-    let v = Eric_util.Bytesx.get_u16 b !pos in
-    pos := !pos + 2;
-    Ok v
-  in
-  let u32 what =
-    let* () = need 4 what in
-    let v = Int32.to_int (Eric_util.Bytesx.get_u32 b !pos) in
-    pos := !pos + 4;
+let serialize_entry buf e =
+  buf_add_u64 buf e.device_id;
+  buf_add_u32 buf e.epoch;
+  buf_add_u32 buf e.firmware_epoch;
+  buf_add_u16 buf (String.length e.label);
+  Buffer.add_string buf e.label;
+  buf_add_u16 buf (Bytes.length e.key);
+  Buffer.add_bytes buf e.key;
+  (match e.status with
+  | Active -> Buffer.add_char buf '\000'
+  | Quarantined reason ->
+    Buffer.add_char buf '\001';
+    buf_add_u16 buf (String.length reason);
+    Buffer.add_string buf reason);
+  (match e.helper with
+  | None -> Buffer.add_char buf '\000'
+  | Some h ->
+    Buffer.add_char buf '\001';
+    let blob = Eric_puf.Enroll.serialize h in
+    buf_add_u32 buf (Bytes.length blob);
+    Buffer.add_bytes buf blob);
+  buf_add_u32 buf e.instability_ppm
+
+let serialize t =
+  let es = entries t in
+  let buf = Buffer.create (64 * (1 + List.length es)) in
+  add_header buf ~count:(List.length es);
+  List.iter (serialize_entry buf) es;
+  Buffer.to_bytes buf
+
+module Reader = struct
+  type src = Buf of bytes | Chan of in_channel
+
+  type t = { src : src; mutable pos : int }
+
+  let of_bytes b = { src = Buf b; pos = 0 }
+  let of_channel ic = { src = Chan ic; pos = 0 }
+
+  let take r n what =
+    let truncated () =
+      Error (Printf.sprintf "registry truncated reading %s (at byte %d)" what r.pos)
+    in
+    match r.src with
+    | Buf b ->
+      if n >= 0 && r.pos + n <= Bytes.length b then begin
+        let s = Bytes.sub b r.pos n in
+        r.pos <- r.pos + n;
+        Ok s
+      end
+      else truncated ()
+    | Chan ic -> (
+      if n < 0 then truncated ()
+      else
+        let b = Bytes.create n in
+        match really_input ic b 0 n with
+        | () ->
+          r.pos <- r.pos + n;
+          Ok b
+        | exception End_of_file -> truncated ())
+
+  let u8 r what =
+    let* b = take r 1 what in
+    Ok (Char.code (Bytes.get b 0))
+
+  let u16 r what =
+    let* b = take r 2 what in
+    Ok (Eric_util.Bytesx.get_u16 b 0)
+
+  let u32 r what =
+    let* b = take r 4 what in
+    let v = Int32.to_int (Eric_util.Bytesx.get_u32 b 0) in
     if v < 0 then Error (Printf.sprintf "negative %s" what) else Ok v
-  in
-  let u64 what =
-    let* () = need 8 what in
-    let v = Eric_util.Bytesx.get_u64 b !pos in
-    pos := !pos + 8;
-    Ok v
-  in
-  let str what =
-    let* n = u16 (what ^ " length") in
-    let* () = need n what in
-    let s = Bytes.sub_string b !pos n in
-    pos := !pos + n;
-    Ok s
-  in
-  let* () = need 4 "magic" in
+
+  let u64 r what =
+    let* b = take r 8 what in
+    Ok (Eric_util.Bytesx.get_u64 b 0)
+
+  let str r what =
+    let* n = u16 r (what ^ " length") in
+    let* b = take r n what in
+    Ok (Bytes.to_string b)
+
+  (* Bytes remaining past the cursor (0 = cleanly consumed).  Used for
+     the trailing-garbage strictness check; for a channel source it may
+     consume, so only call it after the last entry. *)
+  let excess r =
+    match r.src with
+    | Buf b -> Bytes.length b - r.pos
+    | Chan ic -> (
+      match input_char ic with
+      | exception End_of_file -> 0
+      | _ -> in_channel_length ic - pos_in ic + 1)
+end
+
+let read_header r =
+  let* m = Reader.take r 4 "magic" in
   let* () =
-    if Bytes.sub_string b 0 4 = magic then Ok () else Error "bad magic (not an ERIC registry)"
+    if Bytes.to_string m = magic then Ok () else Error "bad magic (not an ERIC registry)"
   in
-  pos := 4;
-  let* v = u16 "version" in
+  let* v = Reader.u16 r "version" in
   let* () =
     if v >= min_version && v <= version then Ok ()
     else Error (Printf.sprintf "unsupported registry version %d" v)
   in
-  let* reserved = u16 "reserved" in
+  let* reserved = Reader.u16 r "reserved" in
   let* () = if reserved = 0 then Ok () else Error "reserved bytes set" in
-  let* n = u32 "entry count" in
+  let* n = Reader.u32 r "entry count" in
+  Ok (v, n)
+
+let read_entry r ~version:v =
+  let* device_id = Reader.u64 r "device id" in
+  let* epoch = Reader.u32 r "epoch" in
+  let* firmware_epoch = Reader.u32 r "firmware epoch" in
+  let* label = Reader.str r "label" in
+  let* key = Reader.str r "key" in
+  let* tag = Reader.u8 r "status" in
+  let* status =
+    match tag with
+    | 0 -> Ok Active
+    | 1 ->
+      let* reason = Reader.str r "quarantine reason" in
+      Ok (Quarantined reason)
+    | _ -> Error (Printf.sprintf "unknown status tag %d" tag)
+  in
+  let* helper, instability_ppm =
+    if v < 2 then Ok (None, 0)
+    else
+      let* flag = Reader.u8 r "helper flag" in
+      let* helper =
+        match flag with
+        | 0 -> Ok None
+        | 1 ->
+          let* blob_len = Reader.u32 r "helper length" in
+          let* blob = Reader.take r blob_len "helper blob" in
+          let* h =
+            Result.map_error
+              (fun e -> Printf.sprintf "device %Ld: %s" device_id e)
+              (Eric_puf.Enroll.parse blob)
+          in
+          Ok (Some h)
+        | _ -> Error (Printf.sprintf "unknown helper flag %d" flag)
+      in
+      let* ppm = Reader.u32 r "instability" in
+      Ok (helper, ppm)
+  in
+  Ok { device_id; epoch; firmware_epoch; label; key = Bytes.of_string key; status; helper; instability_ppm }
+
+let parse_reader r =
+  let* v, n = read_header r in
   let t = create () in
   let rec loop i =
     if i = n then Ok ()
     else
-      let* device_id = u64 "device id" in
-      let* epoch = u32 "epoch" in
-      let* firmware_epoch = u32 "firmware epoch" in
-      let* label = str "label" in
-      let* key = str "key" in
-      let* () = need 1 "status" in
-      let tag = Char.code (Bytes.get b !pos) in
-      pos := !pos + 1;
-      let* status =
-        match tag with
-        | 0 -> Ok Active
-        | 1 ->
-          let* reason = str "quarantine reason" in
-          Ok (Quarantined reason)
-        | _ -> Error (Printf.sprintf "unknown status tag %d" tag)
-      in
-      let* helper, instability_ppm =
-        if v < 2 then Ok (None, 0)
-        else
-          let* () = need 1 "helper flag" in
-          let flag = Char.code (Bytes.get b !pos) in
-          pos := !pos + 1;
-          let* helper =
-            match flag with
-            | 0 -> Ok None
-            | 1 ->
-              let* blob_len = u32 "helper length" in
-              let* () = need blob_len "helper blob" in
-              let blob = Bytes.sub b !pos blob_len in
-              pos := !pos + blob_len;
-              let* h =
-                Result.map_error
-                  (fun e -> Printf.sprintf "device %Ld: %s" device_id e)
-                  (Eric_puf.Enroll.parse blob)
-              in
-              Ok (Some h)
-            | _ -> Error (Printf.sprintf "unknown helper flag %d" flag)
-          in
-          let* ppm = u32 "instability" in
-          Ok (helper, ppm)
-      in
-      let* _ =
-        Result.map_error
-          (fun e -> "duplicate entry: " ^ e)
-          (add t
-             {
-               device_id;
-               epoch;
-               firmware_epoch;
-               label;
-               key = Bytes.of_string key;
-               status;
-               helper;
-               instability_ppm;
-             })
-      in
+      let* e = read_entry r ~version:v in
+      let* _ = Result.map_error (fun m -> "duplicate entry: " ^ m) (add t e) in
       loop (i + 1)
   in
   let* () = loop 0 in
-  let* () =
-    if !pos = len then Ok ()
-    else Error (Printf.sprintf "%d trailing bytes after the last entry" (len - !pos))
-  in
-  Ok t
+  match Reader.excess r with
+  | 0 -> Ok t
+  | k -> Error (Printf.sprintf "%d trailing bytes after the last entry" k)
+
+let parse b = parse_reader (Reader.of_bytes b)
+
+let fold_file path ~init ~f =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let r = Reader.of_channel ic in
+        let* v, n = read_header r in
+        let rec loop i acc =
+          if i = n then Ok acc
+          else
+            let* e = read_entry r ~version:v in
+            let* acc = f acc e in
+            loop (i + 1) acc
+        in
+        let* acc = loop 0 init in
+        match Reader.excess r with
+        | 0 -> Ok acc
+        | k -> Error (Printf.sprintf "%d trailing bytes after the last entry" k))
+  with
+  | exception Sys_error msg -> Error msg
+  | r -> Result.map_error (fun e -> path ^ ": " ^ e) r
 
 let save t path =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc (serialize t))
 
+let observe_open_ns ~kind start =
+  Eric_telemetry.Registry.observe
+    ~labels:[ ("kind", kind) ]
+    "fleet.registry.open_ns"
+    (Int64.to_float (Int64.sub (Eric_telemetry.Clock.now_ns ()) start))
+
 let load path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | exception Sys_error msg -> Error msg
-  | exception End_of_file -> Error (path ^ ": unexpected end of file")
-  | data -> Result.map_error (fun e -> path ^ ": " ^ e) (parse (Bytes.of_string data))
+  Eric_telemetry.Span.with_ ~cat:"fleet" ~name:"fleet.registry.open" (fun () ->
+      let start = Eric_telemetry.Clock.now_ns () in
+      let result =
+        match
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> parse_reader (Reader.of_channel ic))
+        with
+        | exception Sys_error msg -> Error msg
+        | r -> Result.map_error (fun e -> path ^ ": " ^ e) r
+      in
+      observe_open_ns ~kind:"file" start;
+      result)
 
 let pp_status fmt = function
   | Active -> Format.pp_print_string fmt "active"

@@ -62,9 +62,9 @@ val target_for :
 
 val invalidate_targets : t -> Eric_puf.Device.id -> unit
 (** Drop the memoized boots of one device (all contexts); the next
-    addressing re-runs key reconstruction.  {!update} calls this itself —
-    exposed for campaigns that want a fresh boot at a new operating point
-    without touching the entry. *)
+    addressing re-runs key reconstruction.  {!update} calls this itself
+    when a boot-relevant field changed — exposed for campaigns that want
+    a fresh boot at a new operating point without touching the entry. *)
 
 val enroll :
   ?epoch:int -> ?label:string -> ?enrollment:Eric_puf.Enroll.enrollment ->
@@ -75,20 +75,57 @@ val enroll :
     [enrollment] to record a factory enrollment already performed.  Fails
     on a duplicate id or a die that cannot field enough stable chains. *)
 
+val enroll_legacy : ?epoch:int -> ?label:string -> t -> Eric_puf.Device.id ->
+  (entry, string) result
+(** The fast factory path: derive the context key from a plain
+    majority-vote PUF read at nominal conditions and record the entry
+    with no helper data ([helper = None]) — exactly what a version-1
+    provisioning line produced.  Roughly 5x cheaper per device than
+    {!enroll}'s full reliability screening, which is what makes
+    enrolling 10^5-device fleets for benches and CI tractable.  The
+    device keeps the plain majority-vote boot; {!Reenroll} upgrades
+    legacy entries to helper-data boots in the field. *)
+
 val add : t -> entry -> (entry, string) result
 (** Record an externally provisioned entry verbatim. *)
 
 val update : t -> entry -> unit
-(** Replace the entry with the same [device_id].
+(** Replace the entry with the same [device_id].  The device's memoized
+    boots are invalidated only when a boot-relevant field changed (KMU
+    epoch, label, key, or helper data) — firmware-epoch bookkeeping and
+    quarantine flips keep the booted target, so warm redeployments do
+    not re-pay key reconstruction per device.
     @raise Invalid_argument if the device is not enrolled. *)
 
 val serialize : t -> bytes
 val parse : bytes -> (t, string) result
 
+val serialize_entry : Buffer.t -> entry -> unit
+(** Append one wire-format (version-2) entry record to [buf].  With
+    {!header} this lets shard writers stream entries to disk without
+    building a whole-registry buffer. *)
+
+val header : count:int -> bytes
+(** The 12-byte file header (magic, version, reserved, entry count).
+    Writers that stream entries can emit a [count:0] header first and
+    rewrite it once the true count is known. *)
+
+val fold_file :
+  string -> init:'acc -> f:('acc -> entry -> ('acc, string) result) ->
+  ('acc, string) result
+(** Stream a registry file entry by entry without materializing a
+    registry (or the file) in memory: each entry is decoded from a
+    buffered channel cursor, handed to [f], and dropped.  Strictness
+    matches {!parse} — bad magic, truncation and trailing bytes all fail
+    — except duplicate device ids, which the caller must track if it
+    cares.  [f] can stop the fold by returning [Error]. *)
+
 val save : t -> string -> unit
 val load : string -> (t, string) result
 (** File I/O wrappers; [load] turns I/O failures into [Error] rather than
-    exceptions so front ends can exit cleanly. *)
+    exceptions so front ends can exit cleanly.  [load] parses the file as
+    a stream, records a [fleet.registry.open] span and observes
+    [fleet.registry.open_ns{kind="file"}]. *)
 
 val pp_status : Format.formatter -> status -> unit
 val pp_entry : Format.formatter -> entry -> unit

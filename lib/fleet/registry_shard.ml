@@ -1,0 +1,389 @@
+(* Hash-partitioned sharded registry: a directory of per-shard EFRG
+   files behind a tiny manifest.
+
+   Manifest wire format (strict, like every ERIC container):
+
+     off  size  field
+     0    4     magic "EFRS"
+     4    2     version (1)
+     6    2     reserved (must be zero)
+     8    4     shard count S (1..65535)
+     12   4*S   per-shard entry counts (u32 each)
+
+   Shard i lives in shard-%04d.efrg, a standard version-2 EFRG file; a
+   missing shard file is an empty shard, so creating a sharded registry
+   costs one manifest write regardless of S.  Opening reads the manifest
+   only; shard files parse lazily on first touch and can be released
+   (with write-back) to bound memory during fleet walks. *)
+
+let magic = "EFRS"
+let manifest_version = 1
+let manifest_name = "MANIFEST"
+let max_shards = 0xFFFF
+
+type t = {
+  dir : string;
+  shards : int;
+  counts : int array; (* live entry counts, persisted in the manifest *)
+  opened : (int, Registry.t) Hashtbl.t;
+  dirty : bool array;
+  lock : Mutex.t;
+}
+
+let ( let* ) = Result.bind
+
+(* splitmix64's finalizer: a stable, well-mixed device-id -> shard map
+   so sequential factory ids spread evenly instead of striping. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let shard_of ~shards id =
+  Int64.to_int (Int64.rem (Int64.logand (mix64 id) Int64.max_int) (Int64.of_int shards))
+
+let shard_file dir i = Filename.concat dir (Printf.sprintf "shard-%04d.efrg" i)
+let manifest_file dir = Filename.concat dir manifest_name
+
+let is_sharded path =
+  Sys.file_exists path && Sys.is_directory path && Sys.file_exists (manifest_file path)
+
+let dir t = t.dir
+let shards t = t.shards
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let count t = locked t (fun () -> Array.fold_left ( + ) 0 t.counts)
+
+let check_index t i =
+  if i < 0 || i >= t.shards then
+    invalid_arg (Printf.sprintf "Registry_shard: shard %d out of range (0..%d)" i (t.shards - 1))
+
+let shard_count t i =
+  check_index t i;
+  locked t (fun () -> t.counts.(i))
+
+(* ------------------------------------------------------------------ *)
+(* Manifest I/O                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let manifest_bytes t =
+  let b = Bytes.create (12 + (4 * t.shards)) in
+  Bytes.blit_string magic 0 b 0 4;
+  Eric_util.Bytesx.set_u16 b 4 manifest_version;
+  Eric_util.Bytesx.set_u16 b 6 0;
+  Eric_util.Bytesx.set_u32 b 8 (Int32.of_int t.shards);
+  Array.iteri
+    (fun i c -> Eric_util.Bytesx.set_u32 b (12 + (4 * i)) (Int32.of_int c))
+    t.counts;
+  b
+
+let write_manifest t =
+  let oc = open_out_bin (manifest_file t.dir) in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc (manifest_bytes t))
+
+let parse_manifest ~dir b =
+  let len = Bytes.length b in
+  let* () = if len >= 12 then Ok () else Error "manifest truncated" in
+  let* () =
+    if Bytes.sub_string b 0 4 = magic then Ok ()
+    else Error "bad manifest magic (not a sharded ERIC registry)"
+  in
+  let v = Eric_util.Bytesx.get_u16 b 4 in
+  let* () =
+    if v = manifest_version then Ok ()
+    else Error (Printf.sprintf "unsupported manifest version %d" v)
+  in
+  let* () = if Eric_util.Bytesx.get_u16 b 6 = 0 then Ok () else Error "reserved bytes set" in
+  let s = Int32.to_int (Eric_util.Bytesx.get_u32 b 8) in
+  let* () =
+    if s >= 1 && s <= max_shards then Ok ()
+    else Error (Printf.sprintf "shard count %d out of range" s)
+  in
+  let* () =
+    if len = 12 + (4 * s) then Ok ()
+    else Error (Printf.sprintf "manifest length %d does not match %d shard(s)" len s)
+  in
+  let counts = Array.init s (fun i -> Int32.to_int (Eric_util.Bytesx.get_u32 b (12 + (4 * i)))) in
+  let* () =
+    if Array.for_all (fun c -> c >= 0) counts then Ok () else Error "negative shard count"
+  in
+  Ok
+    {
+      dir;
+      shards = s;
+      counts;
+      opened = Hashtbl.create 16;
+      dirty = Array.make s false;
+      lock = Mutex.create ();
+    }
+
+let create ~dir ~shards =
+  if shards < 1 || shards > max_shards then
+    Error (Printf.sprintf "shard count %d out of range (1..%d)" shards max_shards)
+  else if is_sharded dir then Error (dir ^ ": already a sharded registry")
+  else begin
+    match
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      if not (Sys.is_directory dir) then Error (dir ^ ": not a directory")
+      else begin
+        let t =
+          {
+            dir;
+            shards;
+            counts = Array.make shards 0;
+            opened = Hashtbl.create 16;
+            dirty = Array.make shards false;
+            lock = Mutex.create ();
+          }
+        in
+        write_manifest t;
+        Ok t
+      end
+    with
+    | exception Unix.Unix_error (e, _, _) -> Error (dir ^ ": " ^ Unix.error_message e)
+    | exception Sys_error msg -> Error msg
+    | r -> r
+  end
+
+let observe_open_ns ~kind start =
+  Eric_telemetry.Registry.observe
+    ~labels:[ ("kind", kind) ]
+    "fleet.registry.open_ns"
+    (Int64.to_float (Int64.sub (Eric_telemetry.Clock.now_ns ()) start))
+
+let load path =
+  Eric_telemetry.Span.with_ ~cat:"fleet" ~name:"fleet.registry.open" (fun () ->
+      let start = Eric_telemetry.Clock.now_ns () in
+      let result =
+        match
+          let ic = open_in_bin (manifest_file path) in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with
+        | exception Sys_error msg -> Error msg
+        | data ->
+          Result.map_error
+            (fun e -> manifest_file path ^ ": " ^ e)
+            (parse_manifest ~dir:path (Bytes.of_string data))
+      in
+      observe_open_ns ~kind:"manifest" start;
+      result)
+
+(* ------------------------------------------------------------------ *)
+(* Lazy shard access                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let open_shard t i =
+  let path = shard_file t.dir i in
+  let start = Eric_telemetry.Clock.now_ns () in
+  let reg =
+    if Sys.file_exists path then begin
+      match Registry.load path with
+      | Ok reg -> reg
+      | Error e -> invalid_arg ("Registry_shard.shard: " ^ e)
+    end
+    else Registry.create ()
+  in
+  observe_open_ns ~kind:"shard" start;
+  Eric_telemetry.Registry.inc "fleet.registry.shard.opens_total";
+  reg
+
+let shard t i =
+  check_index t i;
+  match locked t (fun () -> Hashtbl.find_opt t.opened i) with
+  | Some reg ->
+    Eric_telemetry.Registry.inc "fleet.registry.shard.hits_total";
+    reg
+  | None ->
+    let reg = open_shard t i in
+    locked t (fun () ->
+        match Hashtbl.find_opt t.opened i with
+        | Some reg' -> reg'
+        | None ->
+          Hashtbl.add t.opened i reg;
+          t.counts.(i) <- Registry.count reg;
+          reg)
+
+let mark_dirty t i =
+  check_index t i;
+  locked t (fun () ->
+      if not (Hashtbl.mem t.opened i) then
+        invalid_arg (Printf.sprintf "Registry_shard.mark_dirty: shard %d is not open" i);
+      t.dirty.(i) <- true)
+
+let save_shard t i reg =
+  Registry.save reg (shard_file t.dir i);
+  t.counts.(i) <- Registry.count reg;
+  t.dirty.(i) <- false
+
+let save t =
+  locked t (fun () ->
+      Hashtbl.iter
+        (fun i reg ->
+          if t.dirty.(i) then save_shard t i reg
+          else t.counts.(i) <- Registry.count reg)
+        t.opened;
+      write_manifest t)
+
+let release t i =
+  check_index t i;
+  locked t (fun () ->
+      match Hashtbl.find_opt t.opened i with
+      | None -> ()
+      | Some reg ->
+        if t.dirty.(i) then begin
+          save_shard t i reg;
+          write_manifest t
+        end;
+        Hashtbl.remove t.opened i)
+
+(* ------------------------------------------------------------------ *)
+(* Entry operations (route to the owning shard)                        *)
+(* ------------------------------------------------------------------ *)
+
+let owner t id = shard t (shard_of ~shards:t.shards id)
+
+let find t id = Registry.find (owner t id) id
+let mem t id = Registry.mem (owner t id) id
+
+let after_mutation t i r =
+  if Result.is_ok r then
+    locked t (fun () ->
+        t.dirty.(i) <- true;
+        t.counts.(i) <- t.counts.(i) + 1);
+  r
+
+let enroll ?epoch ?label ?enrollment t id =
+  let i = shard_of ~shards:t.shards id in
+  after_mutation t i (Registry.enroll ?epoch ?label ?enrollment (shard t i) id)
+
+let enroll_legacy ?epoch ?label t id =
+  let i = shard_of ~shards:t.shards id in
+  after_mutation t i (Registry.enroll_legacy ?epoch ?label (shard t i) id)
+
+let add t (e : Registry.entry) =
+  let i = shard_of ~shards:t.shards e.Registry.device_id in
+  after_mutation t i (Registry.add (shard t i) e)
+
+let update t (e : Registry.entry) =
+  let i = shard_of ~shards:t.shards e.Registry.device_id in
+  Registry.update (shard t i) e;
+  locked t (fun () -> t.dirty.(i) <- true)
+
+let target ?env t (e : Registry.entry) =
+  Registry.target ?env (owner t e.Registry.device_id) e
+
+(* ------------------------------------------------------------------ *)
+(* Whole-fleet traversal and conversion                                *)
+(* ------------------------------------------------------------------ *)
+
+let fold_entries t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.shards - 1 do
+    match locked t (fun () -> Hashtbl.find_opt t.opened i) with
+    | Some reg -> List.iter (fun e -> acc := f !acc e) (Registry.entries reg)
+    | None ->
+      let path = shard_file t.dir i in
+      if Sys.file_exists path then begin
+        match
+          Registry.fold_file path ~init:() ~f:(fun () e ->
+              acc := f !acc e;
+              Ok ())
+        with
+        | Ok () -> ()
+        | Error e -> invalid_arg ("Registry_shard.fold_entries: " ^ e)
+      end
+  done;
+  !acc
+
+let of_registry ~dir ~shards reg =
+  let* t = create ~dir ~shards in
+  let* () =
+    List.fold_left
+      (fun acc e ->
+        let* () = acc in
+        let* _ = add t e in
+        Ok ())
+      (Ok ()) (Registry.entries reg)
+  in
+  save t;
+  Ok t
+
+let migrate ~file ~dir ~shards =
+  let* t = create ~dir ~shards in
+  (* Stream: route each decoded entry straight to its shard's output
+     channel (header written with count 0, patched at the end), so the
+     single-file fleet is never resident. *)
+  let outs = Array.make shards None in
+  let out i =
+    match outs.(i) with
+    | Some oc -> oc
+    | None ->
+      let oc = open_out_bin (shard_file t.dir i) in
+      output_bytes oc (Registry.header ~count:0);
+      outs.(i) <- Some oc;
+      oc
+  in
+  let close_all () =
+    Array.iter (function Some oc -> close_out_noerr oc | None -> ()) outs
+  in
+  let seen = Hashtbl.create 1024 in
+  let buf = Buffer.create 256 in
+  let result =
+    Fun.protect ~finally:close_all (fun () ->
+        let* () =
+          Registry.fold_file file ~init:() ~f:(fun () e ->
+              if Hashtbl.mem seen e.Registry.device_id then
+                Error
+                  (Printf.sprintf "duplicate entry: device %Ld is already enrolled"
+                     e.Registry.device_id)
+              else begin
+                Hashtbl.add seen e.Registry.device_id ();
+                let i = shard_of ~shards e.Registry.device_id in
+                Buffer.clear buf;
+                Registry.serialize_entry buf e;
+                Buffer.output_buffer (out i) buf;
+                t.counts.(i) <- t.counts.(i) + 1;
+                Ok ()
+              end)
+        in
+        Array.iteri
+          (fun i o ->
+            match o with
+            | None -> ()
+            | Some oc ->
+              seek_out oc 0;
+              output_bytes oc (Registry.header ~count:t.counts.(i)))
+          outs;
+        Ok ())
+  in
+  match result with
+  | Error e -> Error e
+  | Ok () ->
+    write_manifest t;
+    Ok t
+
+let to_registry t =
+  let reg = Registry.create () in
+  match
+    fold_entries t ~init:(Ok ()) ~f:(fun acc e ->
+        let* () = acc in
+        let* _ = Registry.add reg e in
+        Ok ())
+  with
+  | Ok () -> Ok reg
+  | Error e -> Error e
+
+let pp_summary fmt t =
+  let total, active, quarantined =
+    fold_entries t ~init:(0, 0, 0) ~f:(fun (n, a, q) e ->
+        match e.Registry.status with
+        | Registry.Active -> (n + 1, a + 1, q)
+        | Registry.Quarantined _ -> (n + 1, a, q + 1))
+  in
+  Format.fprintf fmt "%d device(s) in %d shard(s), %d active, %d quarantined" total t.shards
+    active quarantined

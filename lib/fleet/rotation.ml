@@ -1,3 +1,6 @@
+module Engine = Eric_engine.Engine
+module Job = Eric_engine.Job
+
 type method_ = Local | Rsa of { bits : int; seed : int64 }
 
 type report = {
@@ -14,38 +17,73 @@ let count ?labels name =
 
 let method_label = function Local -> "local" | Rsa _ -> "rsa"
 
-let rotate ?(method_ = Local) ?label ~epoch registry =
+(* splitmix64's finalizer, used to fold a device id into the rotation
+   seed: every device provisions from its own RNG stream, so domain
+   workers never contend on (or reorder draws from) a shared generator
+   and both schedulers see identical ciphertexts. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rotate ?(engine = Engine.default_config) ?(method_ = Local) ?label ~epoch registry =
   Eric_telemetry.Span.with_ ~cat:"fleet" ~name:"fleet.rotate" (fun () ->
       count "fleet.rotate.runs_total";
       let provision =
         match method_ with
-        | Local -> fun target -> Ok (Eric.Protocol.provision target)
+        | Local -> fun (_ : Registry.entry) target -> Eric.Protocol.provision target
         | Rsa { bits; seed } ->
-          let rng = Eric_util.Prng.create ~seed in
-          let source_key = Eric_crypto.Rsa.generate ~bits rng in
-          fun target -> Eric.Protocol.provision_over_network ~rng ~source_key target
+          (* the source's RSA identity is one key for the whole rotation;
+             only the per-handshake randomness is per-device *)
+          let source_key = Eric_crypto.Rsa.generate ~bits (Eric_util.Prng.create ~seed) in
+          fun (entry : Registry.entry) target ->
+            let rng =
+              Eric_util.Prng.create ~seed:(mix64 (Int64.logxor seed entry.Registry.device_id))
+            in
+            match Eric.Protocol.provision_over_network ~rng ~source_key target with
+            | Ok key -> key
+            | Error e -> raise (Failure e)
+      in
+      let items = Array.of_list (Registry.entries registry) in
+      let spec =
+        {
+          Job.admit = Job.always_admit;
+          prepare =
+            (fun (entry : Registry.entry) ->
+              let label = match label with Some l -> l | None -> entry.Registry.label in
+              let context = { Eric.Kmu.epoch; label } in
+              Ok (entry, label, Registry.target_for registry ~context entry.Registry.device_id));
+          personalize = (fun x -> Ok x);
+          ship =
+            (fun (entry, label, target) ->
+              match provision entry target with
+              | key -> Ok (entry, label, key)
+              | exception Failure e -> Error (Job.fault Job.Ship e));
+          verify = (fun r -> Ok r);
+        }
       in
       let rotated = ref 0 and reactivated = ref 0 and failed = ref [] in
-      List.iter
-        (fun (entry : Registry.entry) ->
-          let label = match label with Some l -> l | None -> entry.Registry.label in
-          let context = { Eric.Kmu.epoch; label } in
-          let target = Registry.target_for registry ~context entry.Registry.device_id in
-          match provision target with
-          | Ok key ->
-            incr rotated;
-            count ~labels:[ ("method", method_label method_) ] "fleet.rotate.rotated_total";
-            (match entry.Registry.status with
-            | Registry.Quarantined _ ->
-              incr reactivated;
-              count "fleet.rotate.reactivated_total"
-            | Registry.Active -> ());
-            Registry.update registry
-              { entry with Registry.epoch; label; key; status = Registry.Active }
-          | Error e ->
-            count "fleet.rotate.failed_total";
-            failed := (entry.Registry.device_id, e) :: !failed)
-        (Registry.entries registry);
+      let commit (c : _ Engine.completion) =
+        let entry = items.(c.Engine.c_index) in
+        match c.Engine.c_outcome with
+        | Job.Done ((entry : Registry.entry), label, key) ->
+          incr rotated;
+          count ~labels:[ ("method", method_label method_) ] "fleet.rotate.rotated_total";
+          (match entry.Registry.status with
+          | Registry.Quarantined _ ->
+            incr reactivated;
+            count "fleet.rotate.reactivated_total"
+          | Registry.Active -> ());
+          Registry.update registry
+            { entry with Registry.epoch; label; key; status = Registry.Active }
+        | Job.Faulted f ->
+          count "fleet.rotate.failed_total";
+          failed := (entry.Registry.device_id, f.Job.f_reason) :: !failed
+        | Job.Skipped _ -> ()
+      in
+      let (_ : _ Engine.report) =
+        Engine.run ~config:engine ~commit ~name:"fleet.rotate" spec items
+      in
       {
         epoch;
         label;

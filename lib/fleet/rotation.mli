@@ -31,8 +31,14 @@ type report = {
   failed : (Eric_puf.Device.id * string) list;
 }
 
-val rotate : ?method_:method_ -> ?label:string -> epoch:int -> Registry.t -> report
-(** Mutates the registry in place; persist with {!Registry.save}. *)
+val rotate :
+  ?engine:Eric_engine.Engine.config -> ?method_:method_ -> ?label:string ->
+  epoch:int -> Registry.t -> report
+(** Mutates the registry in place; persist with {!Registry.save}.
+    Per-device provisioning runs on the {!Eric_engine.Engine} work queue
+    ([engine], default deterministic); under {!Rsa} each device draws
+    handshake randomness from its own seed-and-id-derived stream, so the
+    domain scheduler produces the same keys as the deterministic one. *)
 
 val method_label : method_ -> string
 val pp_report : Format.formatter -> report -> unit

@@ -158,7 +158,7 @@ let run ?(seed = 1L) ?cache_dir ?(policy = Eric_fleet.Backoff.default)
         Tenant.provision
           ~label:(Printf.sprintf "tenant-%d" i)
           ~first_id:(Int64.of_int (0x5E0000 + (i * 0x1000)))
-          ~count:scenario.Scenario.devices_per_tenant)
+          ~count:scenario.Scenario.devices_per_tenant ())
   in
   let st =
     {

@@ -4,7 +4,15 @@
    the occasional die that cannot field enough stable chains — the same
    id always fails (or succeeds) enrollment, so the surviving population
    is deterministic.  Devices live in an array because the serve loop
-   picks them by uniform index millions of times per run. *)
+   picks them by uniform index millions of times per run.
+
+   The reliability screening (the expensive part) runs as engine jobs in
+   waves of consecutive candidate ids; each die's screen depends only on
+   its own PUF noise stream, and registry records commit in id order, so
+   the surviving population is independent of the scheduler. *)
+
+module Engine = Eric_engine.Engine
+module Job = Eric_engine.Job
 
 type t = {
   t_label : string;
@@ -12,26 +20,47 @@ type t = {
   t_devices : Eric_puf.Device.id array;
 }
 
-let provision ~label ~first_id ~count =
+let provision ?(engine = Engine.default_config) ~label ~first_id ~count () =
   if count < 1 then invalid_arg "Tenant.provision: need at least one device";
   let registry = Eric_fleet.Registry.create () in
   let ids = ref [] in
   let enrolled = ref 0 in
-  let candidate = ref first_id in
+  let next = ref first_id in
   let tried = ref 0 in
   let budget = (count * 8) + 64 in
+  let spec =
+    {
+      Job.admit = Job.always_admit;
+      prepare =
+        (fun id -> Ok (id, Eric_puf.Enroll.enroll (Eric_fleet.Registry.device registry id)));
+      personalize = (fun x -> Ok x);
+      ship = (fun x -> Ok x);
+      verify = (fun x -> Ok x);
+    }
+  in
   while !enrolled < count do
-    if !tried >= budget then
+    let wave = min (count - !enrolled) (budget - !tried) in
+    if wave <= 0 then
       failwith
         (Printf.sprintf "Tenant.provision %s: %d/%d dies enrolled after %d tries"
            label !enrolled count !tried);
-    (match Eric_fleet.Registry.enroll ~label registry !candidate with
-    | Ok e ->
-        ids := e.Eric_fleet.Registry.device_id :: !ids;
-        incr enrolled
-    | Error _ -> ());
-    candidate := Int64.add !candidate 1L;
-    incr tried
+    let items = Array.init wave (fun i -> Int64.add !next (Int64.of_int i)) in
+    next := Int64.add !next (Int64.of_int wave);
+    tried := !tried + wave;
+    let commit (c : _ Engine.completion) =
+      match c.Engine.c_outcome with
+      | Job.Done (id, Ok e) -> (
+        match Eric_fleet.Registry.enroll ~label ~enrollment:e registry id with
+        | Ok entry ->
+          ids := entry.Eric_fleet.Registry.device_id :: !ids;
+          incr enrolled
+        | Error _ -> ())
+      | Job.Done (_, Error _) | Job.Faulted _ | Job.Skipped _ -> ()
+    in
+    let (_ : _ Engine.report) =
+      Engine.run ~config:engine ~commit ~name:"serve.tenant.provision" spec items
+    in
+    ()
   done;
   { t_label = label; t_registry = registry; t_devices = Array.of_list (List.rev !ids) }
 

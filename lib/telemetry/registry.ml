@@ -15,6 +15,16 @@ let table : (key, value) Hashtbl.t = Hashtbl.create 64
 (* Registration order, so exporters print deterministically. *)
 let order : key list ref = ref []
 
+(* One process-wide lock makes every writer and reader safe to call from
+   engine worker domains (OCaml 5); under 4.14's single runtime it is
+   uncontended.  Writers are still a single unlocked branch while
+   telemetry is disabled, so instrumented code pays nothing extra. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let key name labels = { k_name = name; k_labels = List.sort compare labels }
 
 let find_or_add k fresh =
@@ -27,60 +37,66 @@ let find_or_add k fresh =
     v
 
 let reset () =
-  Hashtbl.reset table;
-  order := []
+  locked (fun () ->
+      Hashtbl.reset table;
+      order := [])
 
 (* ------------------------------------------------------------------ *)
 (* Writers (no-ops when disabled)                                      *)
 (* ------------------------------------------------------------------ *)
 
 let inc ?(labels = []) ?(by = 1L) name =
-  if !Control.enabled then begin
-    match find_or_add (key name labels) (fun () -> Counter (ref 0L)) with
-    | Counter r -> r := Int64.add !r by
-    | Gauge _ | Hist _ -> invalid_arg ("Registry.inc: " ^ name ^ " is not a counter")
-  end
+  if !Control.enabled then
+    locked (fun () ->
+        match find_or_add (key name labels) (fun () -> Counter (ref 0L)) with
+        | Counter r -> r := Int64.add !r by
+        | Gauge _ | Hist _ -> invalid_arg ("Registry.inc: " ^ name ^ " is not a counter"))
 
 let set ?(labels = []) name v =
-  if !Control.enabled then begin
-    match find_or_add (key name labels) (fun () -> Gauge (ref 0.0)) with
-    | Gauge r -> r := v
-    | Counter _ | Hist _ -> invalid_arg ("Registry.set: " ^ name ^ " is not a gauge")
-  end
+  if !Control.enabled then
+    locked (fun () ->
+        match find_or_add (key name labels) (fun () -> Gauge (ref 0.0)) with
+        | Gauge r -> r := v
+        | Counter _ | Hist _ -> invalid_arg ("Registry.set: " ^ name ^ " is not a gauge"))
 
 let observe ?(labels = []) name v =
-  if !Control.enabled then begin
-    match find_or_add (key name labels) (fun () -> Hist (Histogram.create ())) with
-    | Hist h -> Histogram.observe h v
-    | Counter _ | Gauge _ -> invalid_arg ("Registry.observe: " ^ name ^ " is not a histogram")
-  end
+  if !Control.enabled then
+    locked (fun () ->
+        match find_or_add (key name labels) (fun () -> Hist (Histogram.create ())) with
+        | Hist h -> Histogram.observe h v
+        | Counter _ | Gauge _ -> invalid_arg ("Registry.observe: " ^ name ^ " is not a histogram"))
 
 (* ------------------------------------------------------------------ *)
 (* Readers (always live, so tests can assert after a run)              *)
 (* ------------------------------------------------------------------ *)
 
 let counter ?(labels = []) name =
-  match Hashtbl.find_opt table (key name labels) with Some (Counter r) -> !r | _ -> 0L
+  locked (fun () ->
+      match Hashtbl.find_opt table (key name labels) with Some (Counter r) -> !r | _ -> 0L)
 
 let gauge ?(labels = []) name =
-  match Hashtbl.find_opt table (key name labels) with Some (Gauge r) -> Some !r | _ -> None
+  locked (fun () ->
+      match Hashtbl.find_opt table (key name labels) with Some (Gauge r) -> Some !r | _ -> None)
 
 let histogram ?(labels = []) name =
-  match Hashtbl.find_opt table (key name labels) with Some (Hist h) -> Some h | _ -> None
+  locked (fun () ->
+      match Hashtbl.find_opt table (key name labels) with Some (Hist h) -> Some h | _ -> None)
 
 let quantile ?(labels = []) name p =
-  match Hashtbl.find_opt table (key name labels) with
-  | Some (Hist h) when Histogram.count h > 0 -> Some (Histogram.quantile h p)
-  | _ -> None
+  locked (fun () ->
+      match Hashtbl.find_opt table (key name labels) with
+      | Some (Hist h) when Histogram.count h > 0 -> Some (Histogram.quantile h p)
+      | _ -> None)
 
 (* Sum of a counter family across all label sets. *)
 let counter_family_total name =
-  Hashtbl.fold
-    (fun k v acc ->
-      match v with
-      | Counter r when k.k_name = name -> Int64.add acc !r
-      | _ -> acc)
-    table 0L
+  locked (fun () ->
+      Hashtbl.fold
+        (fun k v acc ->
+          match v with
+          | Counter r when k.k_name = name -> Int64.add acc !r
+          | _ -> acc)
+        table 0L)
 
 type entry = {
   e_name : string;
@@ -89,6 +105,7 @@ type entry = {
 }
 
 let entries () =
-  List.rev_map
-    (fun k -> { e_name = k.k_name; e_labels = k.k_labels; e_value = Hashtbl.find table k })
-    !order
+  locked (fun () ->
+      List.rev_map
+        (fun k -> { e_name = k.k_name; e_labels = k.k_labels; e_value = Hashtbl.find table k })
+        !order)

@@ -16,16 +16,24 @@ type event = {
   depth : int;  (** 0 = top level; children have depth parent+1 *)
 }
 
-(* Completed spans, most recent first. *)
+(* Completed spans, most recent first.  The list push is mutex-guarded
+   so spans recorded from engine worker domains never tear it; [depth]
+   stays a plain global — concurrent workers may observe a sibling's
+   nesting, which skews hierarchy cosmetically but never corrupts it. *)
 let events : event list ref = ref []
 let open_depth = ref 0
+let lock = Mutex.create ()
 
 let reset () =
+  Mutex.lock lock;
   events := [];
-  open_depth := 0
+  open_depth := 0;
+  Mutex.unlock lock
 
 let record ~name ~cat ~start_ns ~dur_ns ~depth =
-  events := { name; cat; start_ns; dur_ns; depth } :: !events
+  Mutex.lock lock;
+  events := { name; cat; start_ns; dur_ns; depth } :: !events;
+  Mutex.unlock lock
 
 let with_ ?(cat = "eric") ~name f =
   if not !Control.enabled then f ()

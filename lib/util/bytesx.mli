@@ -22,7 +22,9 @@ val set_u64 : bytes -> int -> int64 -> unit
 
 val xor_into : src:bytes -> key:bytes -> dst:bytes -> unit
 (** [xor_into ~src ~key ~dst] writes [src XOR key] into [dst]; all three must
-    have equal length. *)
+    have equal length.  Processes 8 bytes per step as little-endian 64-bit
+    words with a scalar tail, so keystream personalization runs at word
+    speed. *)
 
 val append : bytes -> bytes -> bytes
 

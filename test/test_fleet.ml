@@ -664,6 +664,284 @@ let test_reenroll_campaign () =
   check Alcotest.int "repaired fleet takes a campaign" 4 r.Eric_fleet.Campaign.delivered
 
 (* ------------------------------------------------------------------ *)
+(* Sharded registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Shard = Eric_fleet.Registry_shard
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "eric_shards" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let by_id entries =
+  List.sort
+    (fun (a : Eric_fleet.Registry.entry) (b : Eric_fleet.Registry.entry) ->
+      Int64.compare a.Eric_fleet.Registry.device_id b.Eric_fleet.Registry.device_id)
+    entries
+
+let shard_mapping_prop =
+  qtest ~count:500 "shard mapping is pure and in range"
+    QCheck.(pair (int_range 1 64) int64)
+    (fun (shards, id) ->
+      let s = Shard.shard_of ~shards id in
+      s >= 0 && s < shards && s = Shard.shard_of ~shards id)
+
+let shard_equivalence_prop =
+  (* An N-shard registry is observably equivalent to the single-file one
+     it was built from: same count, same entries (merged back), and every
+     id resolves to a byte-identical entry through the sharded view —
+     including after a cold manifest-only reopen from disk. *)
+  let entry_gen =
+    QCheck.(
+      pair (int_range 1 9)
+        (list_of_size (Gen.int_range 0 10)
+           (triple
+              (pair small_nat small_printable_string)
+              (pair (string_of_size (Gen.return 32)) small_nat)
+              (pair (option small_printable_string) small_nat))))
+  in
+  qtest ~count:60 "N shards = one registry" entry_gen (fun (shards, specs) ->
+      let reg = Eric_fleet.Registry.create () in
+      List.iteri
+        (fun i ((epoch, label), (key, firmware_epoch), (quarantine, instability_ppm)) ->
+          let entry =
+            {
+              Eric_fleet.Registry.device_id = Int64.of_int i;
+              epoch;
+              label;
+              key = Bytes.of_string key;
+              firmware_epoch;
+              status =
+                (match quarantine with
+                | None -> Eric_fleet.Registry.Active
+                | Some reason -> Eric_fleet.Registry.Quarantined reason);
+              helper = None;
+              instability_ppm;
+            }
+          in
+          match Eric_fleet.Registry.add reg entry with
+          | Ok _ -> ()
+          | Error e -> failwith e)
+        specs;
+      with_temp_dir (fun dir ->
+          match Shard.of_registry ~dir ~shards reg with
+          | Error e -> QCheck.Test.fail_report e
+          | Ok sh ->
+            let merged_eq sh =
+              match Shard.to_registry sh with
+              | Error e -> QCheck.Test.fail_report e
+              | Ok merged ->
+                Eric_fleet.Registry.count merged = Eric_fleet.Registry.count reg
+                && List.for_all2 entry_eq
+                     (by_id (Eric_fleet.Registry.entries reg))
+                     (by_id (Eric_fleet.Registry.entries merged))
+            in
+            let finds_eq sh =
+              List.for_all
+                (fun (e : Eric_fleet.Registry.entry) ->
+                  match Shard.find sh e.Eric_fleet.Registry.device_id with
+                  | Some e' -> entry_eq e e'
+                  | None -> false)
+                (Eric_fleet.Registry.entries reg)
+            in
+            let reopened =
+              match Shard.load dir with
+              | Error e -> QCheck.Test.fail_report e
+              | Ok sh2 ->
+                Shard.count sh2 = Eric_fleet.Registry.count reg
+                && merged_eq sh2 && finds_eq sh2
+            in
+            Shard.count sh = Eric_fleet.Registry.count reg
+            && merged_eq sh && finds_eq sh && reopened))
+
+let test_shard_migrate_from_file () =
+  let reg = enroll_fleet ~start:9_400 5 in
+  let file = Filename.temp_file "eric_fleet" ".efrg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Eric_fleet.Registry.save reg file;
+      check Alcotest.bool "a plain file is not sharded" false (Shard.is_sharded file);
+      with_temp_dir (fun dir ->
+          match Shard.migrate ~file ~dir ~shards:4 with
+          | Error e -> Alcotest.fail e
+          | Ok sh ->
+            check Alcotest.bool "the directory is sharded" true (Shard.is_sharded dir);
+            check Alcotest.int "count survives" 5 (Shard.count sh);
+            List.iter
+              (fun (e : Eric_fleet.Registry.entry) ->
+                match Shard.find sh e.Eric_fleet.Registry.device_id with
+                | Some e' ->
+                  check Alcotest.bool "entry survives migration, helper included" true
+                    (entry_eq e e')
+                | None -> Alcotest.fail "device lost in migration")
+              (Eric_fleet.Registry.entries reg);
+            let seen = Shard.fold_entries sh ~init:0 ~f:(fun n _ -> n + 1) in
+            check Alcotest.int "streaming scan walks the whole fleet" 5 seen;
+            (* booting through either view reconstructs the same key *)
+            let e = List.hd (Eric_fleet.Registry.entries reg) in
+            let key t =
+              match Eric.Target.key_state t with
+              | Ok k -> Eric_util.Bytesx.to_hex k
+              | Error _ -> Alcotest.fail "key unavailable"
+            in
+            check Alcotest.string "same boot key through either view"
+              (key (Eric_fleet.Registry.target reg e))
+              (key (Shard.target sh e))))
+
+let test_shard_migrate_v1_file () =
+  (* The streaming migration must accept a version-1 single-file registry
+     and land its record as a legacy (helperless) entry. *)
+  let buf = Buffer.create 64 in
+  let u16 v =
+    Buffer.add_char buf (Char.chr (v land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+  in
+  let u32 v = u16 (v land 0xFFFF); u16 ((v lsr 16) land 0xFFFF) in
+  Buffer.add_string buf "EFRG";
+  u16 1 (* version *);
+  u16 0 (* reserved *);
+  u32 1 (* count *);
+  Buffer.add_string buf "\x2A\x00\x00\x00\x00\x00\x00\x00" (* device id 42 *);
+  u32 3 (* epoch *);
+  u32 7 (* firmware epoch *);
+  u16 4;
+  Buffer.add_string buf "eric" (* label *);
+  u16 4;
+  Buffer.add_string buf "KEY!" (* key *);
+  Buffer.add_char buf '\000' (* active *);
+  let file = Filename.temp_file "eric_fleet_v1" ".efrg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out_bin file in
+      Buffer.output_buffer oc buf;
+      close_out oc;
+      with_temp_dir (fun dir ->
+          match Shard.migrate ~file ~dir ~shards:2 with
+          | Error e -> Alcotest.fail ("v1 migration refused: " ^ e)
+          | Ok sh -> (
+            check Alcotest.int "one device" 1 (Shard.count sh);
+            match Shard.find sh 42L with
+            | None -> Alcotest.fail "v1 device lost"
+            | Some e ->
+              check Alcotest.int "epoch" 3 e.Eric_fleet.Registry.epoch;
+              check Alcotest.int "firmware" 7 e.Eric_fleet.Registry.firmware_epoch;
+              check Alcotest.bool "legacy entry has no helper" true
+                (e.Eric_fleet.Registry.helper = None))))
+
+let test_campaign_sharded_deploys_and_persists () =
+  let reg = enroll_fleet ~start:9_600 5 in
+  with_temp_dir (fun dir ->
+      let sh =
+        match Shard.of_registry ~dir ~shards:3 reg with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let cache = Eric_fleet.Artifact_cache.create () in
+      let r =
+        match Eric_fleet.Campaign.deploy_sharded ~cache ~shards:sh test_source with
+        | Ok r -> r
+        | Error e -> Alcotest.fail e
+      in
+      check Alcotest.int "all delivered" 5 r.Eric_fleet.Campaign.delivered;
+      check Alcotest.bool "all accounted" true (Eric_fleet.Campaign.all_accounted r);
+      check Alcotest.int "device list covers the fleet" 5
+        (List.length r.Eric_fleet.Campaign.devices);
+      (* the campaign wrote each shard back on release: a cold reopen
+         sees the stamped firmware without any in-memory state *)
+      match Shard.load dir with
+      | Error e -> Alcotest.fail e
+      | Ok sh2 ->
+        Shard.fold_entries sh2 ~init:() ~f:(fun () e ->
+            check Alcotest.int "firmware stamp persisted"
+              r.Eric_fleet.Campaign.firmware_epoch e.Eric_fleet.Registry.firmware_epoch))
+
+let test_campaign_scheduler_determinism () =
+  (* Same fleet, same source, same hostile channel — the deterministic
+     and domain schedulers must agree on everything but wall clock. *)
+  let run scheduler =
+    let reg = enroll_fleet ~start:9_500 6 in
+    let cache = Eric_fleet.Artifact_cache.create () in
+    let config =
+      {
+        Eric_fleet.Campaign.default_config with
+        Eric_fleet.Campaign.channel = Eric_fleet.Channel.drop_first 1;
+        engine =
+          {
+            Eric_engine.Engine.default_config with
+            Eric_engine.Engine.scheduler;
+            window = 2;
+          };
+      }
+    in
+    (deploy ~config ~cache reg, reg)
+  in
+  let ra, rega = run Eric_engine.Engine.Deterministic in
+  let rb, regb = run (Eric_engine.Engine.Domains 2) in
+  check Alcotest.string "same digest" ra.Eric_fleet.Campaign.digest
+    rb.Eric_fleet.Campaign.digest;
+  check Alcotest.int "same firmware epoch" ra.Eric_fleet.Campaign.firmware_epoch
+    rb.Eric_fleet.Campaign.firmware_epoch;
+  check Alcotest.int "same delivered" ra.Eric_fleet.Campaign.delivered
+    rb.Eric_fleet.Campaign.delivered;
+  check Alcotest.int "same retried" ra.Eric_fleet.Campaign.retried
+    rb.Eric_fleet.Campaign.retried;
+  check Alcotest.int "same quarantined" ra.Eric_fleet.Campaign.quarantined
+    rb.Eric_fleet.Campaign.quarantined;
+  check Alcotest.int "same skipped" ra.Eric_fleet.Campaign.skipped
+    rb.Eric_fleet.Campaign.skipped;
+  check Alcotest.int "same wire bytes" ra.Eric_fleet.Campaign.wire_bytes
+    rb.Eric_fleet.Campaign.wire_bytes;
+  check Alcotest.int64 "same load cycles" ra.Eric_fleet.Campaign.load_cycles
+    rb.Eric_fleet.Campaign.load_cycles;
+  check Alcotest.int64 "same simulated backoff" ra.Eric_fleet.Campaign.backoff_ns
+    rb.Eric_fleet.Campaign.backoff_ns;
+  List.iter2
+    (fun ((ea : Eric_fleet.Registry.entry), da) ((eb : Eric_fleet.Registry.entry), db) ->
+      check Alcotest.int64 "same device order" ea.Eric_fleet.Registry.device_id
+        eb.Eric_fleet.Registry.device_id;
+      match (da, db) with
+      | Eric_fleet.Campaign.Shipped a, Eric_fleet.Campaign.Shipped b ->
+        check Alcotest.bool "same delivery outcome" (Eric_fleet.Shipper.delivered a)
+          (Eric_fleet.Shipper.delivered b);
+        check Alcotest.int "same attempts" a.Eric_fleet.Shipper.attempts
+          b.Eric_fleet.Shipper.attempts;
+        check Alcotest.int "same per-device wire bytes" a.Eric_fleet.Shipper.wire_bytes
+          b.Eric_fleet.Shipper.wire_bytes
+      | Eric_fleet.Campaign.Skipped a, Eric_fleet.Campaign.Skipped b ->
+        check Alcotest.string "same skip reason" a b
+      | _ -> Alcotest.fail "schedulers disagree on a device's outcome class")
+    ra.Eric_fleet.Campaign.devices rb.Eric_fleet.Campaign.devices;
+  check Alcotest.bool "registries end byte-identical" true
+    (List.for_all2 entry_eq
+       (Eric_fleet.Registry.entries rega)
+       (Eric_fleet.Registry.entries regb))
+
+let test_enroll_legacy_boots_and_ships () =
+  let reg = Eric_fleet.Registry.create () in
+  (match Eric_fleet.Registry.enroll_legacy reg 9_700L with
+  | Ok e ->
+    check Alcotest.bool "legacy path records no helper" true
+      (e.Eric_fleet.Registry.helper = None);
+    check Alcotest.int "no instability figure" 0 e.Eric_fleet.Registry.instability_ppm
+  | Error e -> Alcotest.fail e);
+  (match Eric_fleet.Registry.enroll_legacy reg 9_700L with
+  | Ok _ -> Alcotest.fail "duplicate legacy enrollment accepted"
+  | Error _ -> ());
+  (* a legacy device still boots (majority vote) and takes a campaign *)
+  let cache = Eric_fleet.Artifact_cache.create () in
+  let r = deploy ~cache reg in
+  check Alcotest.int "legacy device takes a campaign" 1 r.Eric_fleet.Campaign.delivered
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "eric_fleet"
@@ -679,7 +957,13 @@ let () =
           Alcotest.test_case "save/load" `Quick test_registry_save_load;
           Alcotest.test_case "duplicate enroll" `Quick test_registry_enroll_rejects_duplicates;
           Alcotest.test_case "helper round-trip" `Quick test_registry_helper_roundtrip;
-          Alcotest.test_case "v1 compatibility" `Quick test_registry_v1_compat ] );
+          Alcotest.test_case "v1 compatibility" `Quick test_registry_v1_compat;
+          Alcotest.test_case "legacy enrollment" `Quick test_enroll_legacy_boots_and_ships ] );
+      ( "shard",
+        [ shard_mapping_prop;
+          shard_equivalence_prop;
+          Alcotest.test_case "migrate from file" `Quick test_shard_migrate_from_file;
+          Alcotest.test_case "migrate v1 file" `Quick test_shard_migrate_v1_file ] );
       ( "cache",
         [ Alcotest.test_case "memory tier" `Quick test_cache_memory_tier;
           Alcotest.test_case "disk tier" `Quick test_cache_disk_tier;
@@ -696,7 +980,11 @@ let () =
         [ Alcotest.test_case "happy path" `Quick test_campaign_happy_path;
           Alcotest.test_case "execute" `Quick test_campaign_executes_when_asked;
           Alcotest.test_case "hostile channel" `Quick test_campaign_hostile_channel_no_silent_drops;
-          Alcotest.test_case "retry recovers everyone" `Quick test_campaign_retry_recovers_everyone ] );
+          Alcotest.test_case "retry recovers everyone" `Quick test_campaign_retry_recovers_everyone;
+          Alcotest.test_case "sharded deploy persists" `Quick
+            test_campaign_sharded_deploys_and_persists;
+          Alcotest.test_case "scheduler determinism" `Quick
+            test_campaign_scheduler_determinism ] );
       ( "rotation",
         [ Alcotest.test_case "rekeys + reactivates" `Quick test_rotation_rekeys_and_reactivates;
           Alcotest.test_case "revokes old packages" `Quick test_rotation_revokes_old_packages;
