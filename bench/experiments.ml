@@ -892,6 +892,76 @@ let ablations () =
   ablation_branch_predictor ()
 
 (* ------------------------------------------------------------------ *)
+(* Obfuscation: leakage vs size vs cycles Pareto                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Per workload x pass set: what the recursive attacker still recovers
+   (Jaccard against the decoy-subtracted ground truth — lower is more
+   opaque), against what the obfuscation costs in text bytes and SoC
+   cycles.  The rows land in BENCH_results.json as the Pareto frontier
+   of the pass family; a PR that regresses either axis shows up in the
+   numbers. *)
+let obf () =
+  Report.heading
+    "Obfuscation Pareto: residual structure (recursive attacker) vs size and cycle cost";
+  let sets =
+    [ ("data", [ Eric_obf.Obf.Constants; Eric_obf.Obf.Arith ]);
+      ("decoy", [ Eric_obf.Obf.Opaque; Eric_obf.Obf.Dummy ]);
+      ("flatten", [ Eric_obf.Obf.Flatten ]);
+      ("all", Eric_obf.Obf.all_passes) ]
+  in
+  let rows =
+    List.concat_map
+      (fun ((w : Eric_workloads.Workloads.t), plain) ->
+        let plain_run = Eric_sim.Soc.run_program plain in
+        let plain_bytes = Eric_rv.Program.text_size plain in
+        let plain_cycles = Eric_sim.Soc.total_cycles plain_run in
+        let baseline =
+          let clear = Array.map (fun _ -> Eric_lint.Leakage.Clear) plain.Eric_rv.Program.text in
+          (Eric_lint.Leakage.recover Eric_lint.Leakage.Recursive plain clear)
+            .Eric_lint.Leakage.structure_score
+        in
+        List.map
+          (fun (label, passes) ->
+            let cfg = { Eric_obf.Obf.passes; seed = Eric_obf.Obf.default_seed } in
+            let t, annot = Eric_obf.Obf.hook cfg in
+            let options =
+              { Eric_cc.Driver.default_options with Eric_cc.Driver.transform = Some t }
+            in
+            let image =
+              match Eric_cc.Driver.compile ~options w.source_small with
+              | Ok i -> i
+              | Error e -> failwith (w.name ^ "/" ^ label ^ ": " ^ e)
+            in
+            let s = Eric_obf.Obf.grade ~annot ~attacker:Eric_lint.Leakage.Recursive image in
+            let run = Eric_sim.Soc.run_program image in
+            if run.Eric_sim.Soc.output <> plain_run.Eric_sim.Soc.output then
+              failwith (w.name ^ "/" ^ label ^ ": obfuscated run diverged");
+            let score = s.Eric_lint.Leakage.structure_score in
+            let size_pct =
+              Report.pct64
+                (Int64.of_int (Eric_rv.Program.text_size image - plain_bytes))
+                (Int64.of_int plain_bytes)
+            in
+            let cyc_pct =
+              Report.pct64
+                (Int64.sub (Eric_sim.Soc.total_cycles run) plain_cycles)
+                plain_cycles
+            in
+            let m fmt = Printf.sprintf fmt label w.name in
+            Report.record ~suite:"obf" ~metric:(m "score_%s_%s") ~unit_:"score" score;
+            Report.record ~suite:"obf" ~metric:(m "size_overhead_%s_%s") ~unit_:"%" size_pct;
+            Report.record ~suite:"obf" ~metric:(m "cycle_overhead_%s_%s") ~unit_:"%" cyc_pct;
+            [ w.name; label; Printf.sprintf "%.3f" baseline; Printf.sprintf "%.3f" score;
+              Report.fpct size_pct; Report.fpct cyc_pct ])
+          sets)
+      (Lazy.force compiled_small)
+  in
+  Report.table
+    ~header:[ "workload"; "passes"; "plain score"; "obf score"; "size"; "cycles" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* PUF reliability: environmental sweep of the key path                 *)
 (* ------------------------------------------------------------------ *)
 

@@ -2,7 +2,7 @@
    the paper's evaluation (see DESIGN.md's experiment index), the ablation
    studies, and the bechamel microbenchmarks.
 
-   Usage: main.exe [table1|table2|fig5|fig6|fig7|ablations|lint|fleet|engine|serve|pufrel|verif|micro|all]... *)
+   Usage: main.exe [table1|table2|fig5|fig6|fig7|ablations|lint|fleet|engine|serve|pufrel|obf|verif|micro|all]... *)
 
 let experiments =
   [ ("table1", Experiments.table1);
@@ -16,6 +16,7 @@ let experiments =
     ("engine", Experiments.engine);
     ("serve", Experiments.serve);
     ("pufrel", Experiments.pufrel);
+    ("obf", Experiments.obf);
     ("verif", Experiments.verif);
     ("micro", Micro.run) ]
 

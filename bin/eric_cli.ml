@@ -122,7 +122,9 @@ let mode_conv =
     | [ "field-imm" ] -> Ok (Eric.Config.Field (Eric.Config.Imm_fields, Eric.Config.Select_all))
     | [ "field-all" ] ->
       Ok (Eric.Config.Field (Eric.Config.All_but_opcode, Eric.Config.Select_all))
-    | _ -> Error (`Msg "expected full | partial[:frac] | field-imm | field-all")
+    | [ "field-cf" ] ->
+      Ok (Eric.Config.Field (Eric.Config.Control_flow, Eric.Config.Select_all))
+    | _ -> Error (`Msg "expected full | partial[:frac] | field-imm | field-all | field-cf")
   in
   Arg.conv (parse, fun fmt m -> Eric.Config.pp_mode fmt m)
 
@@ -130,7 +132,8 @@ let mode_arg_with default =
   Arg.(
     value
     & opt mode_conv default
-    & info [ "mode" ] ~docv:"MODE" ~doc:"Encryption mode: full, partial[:frac], field-imm, field-all.")
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Encryption mode: full, partial[:frac], field-imm, field-all, field-cf.")
 
 let mode_arg = mode_arg_with Eric.Config.Full
 
@@ -138,6 +141,35 @@ let options_of ~no_compress ~no_optimize =
   { Eric_cc.Driver.default_options with
     Eric_cc.Driver.compress = not no_compress;
     optimize = not no_optimize }
+
+let obfuscate_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obfuscate" ] ~docv:"PASSES"
+        ~doc:
+          "Comma-separated obfuscation passes applied to the optimised IR: constants, \
+           arith, opaque, dummy, flatten.  Passes always run in that canonical order \
+           regardless of how the list is spelled.")
+
+let obf_seed_arg =
+  Arg.(
+    value
+    & opt int64 Eric_obf.Obf.default_seed
+    & info [ "obf-seed" ] ~docv:"SEED"
+        ~doc:
+          "Obfuscation build seed; all pass randomness derives from it, so equal \
+           seed + source + passes reproduce a byte-identical image.")
+
+(* Parse --obfuscate; an unknown pass name is an input error (exit 4),
+   the same class as a malformed file. *)
+let obf_config_of ~obfuscate ~obf_seed =
+  match obfuscate with
+  | None -> None
+  | Some spec -> (
+    match Eric_obf.Obf.passes_of_string spec with
+    | Error msg -> die ~code:exit_malformed msg
+    | Ok passes -> Some { Eric_obf.Obf.passes; seed = obf_seed })
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry                                                           *)
@@ -280,9 +312,15 @@ let lint_image ?max_leakage ?attacker ~mode image =
   in
   (mc @ leak @ struct_diags, report, structure)
 
-let lint_source ?max_leakage ?attacker ~mode ~options source =
+let lint_source ?max_leakage ?attacker ?obf ~mode ~options source =
   (* Compile without the driver's verify-abort so IR findings are listed
      rather than turned into an internal error, then verify the image. *)
+  let hook = Option.map Eric_obf.Obf.hook obf in
+  let options =
+    match hook with
+    | None -> options
+    | Some (t, _) -> { options with Eric_cc.Driver.transform = Some t }
+  in
   let ( let* ) = Result.bind in
   let* ir =
     Eric_cc.Driver.compile_to_ir ~options:{ options with Eric_cc.Driver.verify_ir = false } source
@@ -290,10 +328,26 @@ let lint_source ?max_leakage ?attacker ~mode ~options source =
   let ir_diags = Eric_cc.Ir_verify.verify ir in
   match Eric_cc.Ir_verify.errors ir_diags with
   | _ :: _ -> Ok (ir_diags, None, None)
-  | [] ->
+  | [] -> (
     let* image = Eric_cc.Driver.compile ~options source in
-    let mc_leak, report, structure = lint_image ?max_leakage ?attacker ~mode image in
-    Ok (ir_diags @ mc_leak, Some report, structure)
+    match hook with
+    | None ->
+      let mc_leak, report, structure = lint_image ?max_leakage ?attacker ~mode image in
+      Ok (ir_diags @ mc_leak, Some report, structure)
+    | Some (_, annot) ->
+      (* Obfuscated build: the attacker is graded Jaccard-style against
+         the decoy-subtracted ground truth, so swallowed decoys *lower*
+         the score and --max-leakage gates the residual leakage. *)
+      let mc_leak, report, _ = lint_image ?max_leakage ~mode image in
+      let structure =
+        Option.map (fun a -> Eric_obf.Obf.grade ~annot ~attacker:a image) attacker
+      in
+      let struct_diags =
+        match structure with
+        | Some s -> Eric_lint.Leakage.structure_diags ?max_leakage s
+        | None -> []
+      in
+      Ok (ir_diags @ mc_leak @ struct_diags, Some report, structure))
 
 let pp_leakage_report fmt (r : Eric_lint.Leakage.report) =
   Format.fprintf fmt
@@ -329,9 +383,10 @@ let pp_structure fmt (s : Eric_lint.Leakage.structure) =
 
 let lint_cmd =
   let run path workloads mode max_leakage attacker taint format checks lint_error no_compress
-      no_optimize telemetry trace_out =
+      no_optimize obfuscate obf_seed telemetry trace_out =
     setup_telemetry telemetry trace_out;
     let options = options_of ~no_compress ~no_optimize in
+    let obf = obf_config_of ~obfuscate ~obf_seed in
     let lint_one label (diags, report, structure) =
       if workloads <> [] || path = None then Format.printf "== %s ==@." label;
       let diags = render_diags ~format ~checks diags in
@@ -359,12 +414,20 @@ let lint_cmd =
         let data = read_file path in
         let result =
           match Eric.Package.parse (Bytes.of_string data) with
-          | Ok _ -> Error "cannot lint an encrypted package; lint runs before packaging"
+          | Ok pkg ->
+            (match pkg.Eric.Package.obf with
+            | Some (mask, seed) ->
+              Format.printf "package obfuscation: passes %s, seed 0x%Lx@."
+                (String.concat ","
+                   (List.map Eric_obf.Obf.pass_name (Eric_obf.Obf.passes_of_mask mask)))
+                seed
+            | None -> Format.printf "package obfuscation: none@.");
+            Error "cannot lint an encrypted package; lint runs before packaging"
           | Error _ -> (
             match Eric_rv.Program.of_binary (Bytes.of_string data) with
             | Ok image ->
               Ok (lint_image ?max_leakage ?attacker ~mode image |> fun (d, r, s) -> (d, Some r, s))
-            | Error _ -> lint_source ?max_leakage ?attacker ~mode ~options data)
+            | Error _ -> lint_source ?max_leakage ?attacker ?obf ~mode ~options data)
         in
         [ (path, result) ]
       | names, _ ->
@@ -374,7 +437,7 @@ let lint_cmd =
             | None -> (name, Error (Printf.sprintf "unknown workload %s" name))
             | Some w ->
               ( name,
-                lint_source ?max_leakage ?attacker ~mode ~options
+                lint_source ?max_leakage ?attacker ?obf ~mode ~options
                   w.Eric_workloads.Workloads.source ))
           (if names = [ "all" ] then Eric_workloads.Workloads.names else names)
     in
@@ -417,7 +480,7 @@ let lint_cmd =
     Term.(
       const run $ path_arg $ workloads_arg $ mode_arg $ max_leakage_arg $ attacker_arg
       $ taint_arg $ lint_format_arg $ checks_arg $ lint_error_arg $ no_compress_arg
-      $ no_optimize_arg $ telemetry_arg $ trace_out_arg)
+      $ no_optimize_arg $ obfuscate_arg $ obf_seed_arg $ telemetry_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -436,12 +499,24 @@ let compile_cmd =
 
 let build_cmd =
   let run source output device_id mode lint lint_error max_leakage format checks no_compress
-      no_optimize telemetry trace_out =
+      no_optimize obfuscate obf_seed telemetry trace_out =
     setup_telemetry telemetry trace_out;
     let options = options_of ~no_compress ~no_optimize in
+    let obf_cfg = obf_config_of ~obfuscate ~obf_seed in
+    let options =
+      match obf_cfg with None -> options | Some cfg -> Eric_obf.Obf.options ~base:options cfg
+    in
+    (* Pass mask + seed ride in the (signed) package header so any later
+       consumer can tell how the image was produced. *)
+    let obf =
+      Option.map
+        (fun cfg ->
+          (Eric_obf.Obf.mask_of_passes cfg.Eric_obf.Obf.passes, cfg.Eric_obf.Obf.seed))
+        obf_cfg
+    in
     let target = Eric.Target.of_id device_id in
     let key = Eric.Protocol.provision target in
-    let build = or_die (Eric.Source.build ~options ~mode ~key (read_file source)) in
+    let build = or_die (Eric.Source.build ~options ?obf ~mode ~key (read_file source)) in
     if lint || lint_error then begin
       let diags, report, _ = lint_image ?max_leakage ~mode build.Eric.Source.image in
       let diags = render_diags ~format ~checks diags in
@@ -466,7 +541,8 @@ let build_cmd =
     Term.(
       const run $ source_arg $ output_arg ~default:"a.epkg" $ device_id_arg $ mode_arg
       $ lint_flag_arg $ lint_error_arg $ max_leakage_arg $ lint_format_arg $ checks_arg
-      $ no_compress_arg $ no_optimize_arg $ telemetry_arg $ trace_out_arg)
+      $ no_compress_arg $ no_optimize_arg $ obfuscate_arg $ obf_seed_arg $ telemetry_arg
+      $ trace_out_arg)
 
 let emit_asm_cmd =
   let run source output no_compress no_optimize =
@@ -1180,8 +1256,13 @@ let regions_conv =
 
 let verif_fuzz_cmd =
   let run count seed size mode device_id fuel corpus mutate_pct shrink_budget max_failures
-      quiet telemetry trace_out =
+      obfuscate obf_seed quiet telemetry trace_out =
     setup_telemetry telemetry trace_out;
+    let options =
+      match obf_config_of ~obfuscate ~obf_seed with
+      | None -> Eric_cc.Driver.default_options
+      | Some cfg -> Eric_obf.Obf.options cfg
+    in
     let config =
       {
         Eric_verif.Fuzz.count;
@@ -1194,6 +1275,7 @@ let verif_fuzz_cmd =
         mutate_pct;
         shrink_budget;
         max_failures;
+        options;
       }
     in
     let on_progress n =
@@ -1237,14 +1319,17 @@ let verif_fuzz_cmd =
     (Cmd.info "fuzz" ~exits:campaign_exits
        ~doc:
          "Differential fuzzing: generate MiniC programs and compare the IR interpreter, the \
-          plain compiled image and the full encrypt-ship-decrypt-validate path.  Any \
+          plain compiled image and the full encrypt-ship-decrypt-validate path.  With \
+          --obfuscate the machine paths run the obfuscated build while the interpreter runs \
+          the pristine IR, so the campaign proves the passes semantics-preserving.  Any \
           divergence is shrunk to a minimal reproducer.  Exits 3 if anything diverged.")
     Term.(
       const run
       $ verif_count_arg ~default:1000 ~doc:"Programs to generate and run."
       $ verif_seed_arg ~default:0xF22DL $ size_arg
       $ mode_arg $ device_id_arg $ verif_fuel_arg $ corpus_arg $ mutate_pct_arg
-      $ shrink_budget_arg $ max_failures_arg $ quiet_arg $ telemetry_arg $ trace_out_arg)
+      $ shrink_budget_arg $ max_failures_arg $ obfuscate_arg $ obf_seed_arg $ quiet_arg
+      $ telemetry_arg $ trace_out_arg)
 
 let verif_inject_cmd =
   let run source_opt regions count seed mode device_id fuel corpus telemetry trace_out =

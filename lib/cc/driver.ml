@@ -1,12 +1,22 @@
+type transform = {
+  t_tag : string;
+  t_apply : Ir.program -> Ir.program;
+}
+
 type options = {
   optimize : bool;
   compress : bool;
   include_prelude : bool;
   verify_ir : bool;
+  transform : transform option;
 }
 
 let default_options =
-  { optimize = true; compress = true; include_prelude = true; verify_ir = true }
+  { optimize = true;
+    compress = true;
+    include_prelude = true;
+    verify_ir = true;
+    transform = None }
 
 let prelude =
   {|
@@ -127,6 +137,18 @@ let compile_to_ir ?(options = default_options) source =
       span "cc.opt" (fun () -> Opt.run ~check ir);
       if options.verify_ir then fail_on_errors ~stage:"optimisation" (Ir_verify.verify ir)
     end;
+    (* Transforms (e.g. the lib/obf obfuscation pipeline) run after the
+       optimiser has converged and are never followed by another Opt.run,
+       so opaque predicates and encoded arithmetic survive to codegen. *)
+    let ir =
+      match options.transform with
+      | None -> ir
+      | Some t ->
+        let ir = t.t_apply ir in
+        if options.verify_ir then
+          fail_on_errors ~stage:("transform " ^ t.t_tag) (Ir_verify.verify ir);
+        ir
+    in
     Ok ir
   with Ir_invalid (stage, errs) -> Error (ir_invalid_message stage errs)
 

@@ -6,6 +6,20 @@
     written in MiniC over the [__write]/[__exit] intrinsics — so workloads
     can produce checkable output. *)
 
+type transform = {
+  t_tag : string;
+      (** stable identity of the transform (passes, seed, ...); build
+          caches fold it into their keys, so two transforms that can
+          produce different code must never share a tag *)
+  t_apply : Ir.program -> Ir.program;
+      (** applied once, after the optimiser has converged; may mutate the
+          argument's functions in place and/or return a program with
+          added functions.  The optimiser never runs again afterwards. *)
+}
+(** A post-optimisation IR-to-IR rewrite hook (the lib/obf obfuscation
+    pipeline plugs in here).  The driver stays ignorant of what the
+    transform does; it only re-verifies the result when [verify_ir]. *)
+
 type options = {
   optimize : bool;  (** run the IR pass pipeline (default true) *)
   compress : bool;  (** RVC compression (default true, as RV64GC implies) *)
@@ -15,6 +29,7 @@ type options = {
           iteration, and after the pipeline converges; error-severity
           findings abort the compilation as an internal-error [Error]
           (default true — verification is cheap relative to parsing) *)
+  transform : transform option;  (** default [None] *)
 }
 
 val default_options : options

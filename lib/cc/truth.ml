@@ -21,6 +21,21 @@ let of_image (p : Eric_rv.Program.t) =
   in
   { functions; truth }
 
+let restrict ~keep t =
+  let iset s = Leakage.Iset.filter keep s in
+  let truth =
+    { Leakage.t_code = iset t.truth.Leakage.t_code;
+      t_functions = iset t.truth.Leakage.t_functions;
+      t_branch_targets = iset t.truth.Leakage.t_branch_targets;
+      t_call_edges =
+        Leakage.Eset.filter
+          (fun (src, dst) -> keep src && keep dst)
+          t.truth.Leakage.t_call_edges;
+      t_indirect = iset t.truth.Leakage.t_indirect }
+  in
+  let functions = List.filter (fun (_, off) -> keep off) t.functions in
+  { functions; truth }
+
 let to_json t =
   let module J = Eric_telemetry.Json in
   let int v = J.Num (float_of_int v) in

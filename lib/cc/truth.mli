@@ -13,4 +13,12 @@ type t = {
 }
 
 val of_image : Eric_rv.Program.t -> t
+
+val restrict : keep:(int -> bool) -> t -> t
+(** Drop every structural fact at a text offset [keep] rejects; a call
+    edge survives only if both endpoints do.  Obfuscating transforms use
+    this to subtract their own decoy code from the ground truth, so an
+    attacker is graded against what the original program actually
+    contains rather than against the planted noise. *)
+
 val to_json : t -> Eric_telemetry.Json.t

@@ -3,7 +3,7 @@ type selection =
   | Select_fraction of { fraction : float; seed : int64 }
   | Select_ranges of (int * int) list
 
-type field_scope = Imm_fields | All_but_opcode
+type field_scope = Imm_fields | All_but_opcode | Control_flow
 
 type mode = Full | Partial of selection | Field of field_scope * selection
 
@@ -12,6 +12,7 @@ let mode_tag = function
   | Partial _ -> 1
   | Field (Imm_fields, _) -> 2
   | Field (All_but_opcode, _) -> 3
+  | Field (Control_flow, _) -> 4
 
 let pp_selection fmt = function
   | Select_all -> Format.pp_print_string fmt "all"
@@ -25,6 +26,7 @@ let pp_mode fmt = function
   | Partial s -> Format.fprintf fmt "partial(%a)" pp_selection s
   | Field (Imm_fields, s) -> Format.fprintf fmt "field(imm, %a)" pp_selection s
   | Field (All_but_opcode, s) -> Format.fprintf fmt "field(all-but-opcode, %a)" pp_selection s
+  | Field (Control_flow, s) -> Format.fprintf fmt "field(control-flow, %a)" pp_selection s
 
 (* Opcode-derived field masks.  The opcode is never part of the mask, so
    the decryptor can re-derive the mask from the ciphertext parcel. *)
@@ -39,11 +41,34 @@ let field_mask32 scope word =
     | 0b1101111 (* jal *) | 0b0110111 (* lui *) | 0b0010111 (* auipc *) ->
       Eric_rv.Encode.Field.imm_u
     | _ -> 0l)
+  | Control_flow -> (
+    (* Branch-offset + call-edge encryption: only the displacement fields
+       of control-transfer instructions.  Hides where branches/calls land
+       (the structural metadata) while every data instruction ships
+       byte-identical to the plain image. *)
+    match opcode with
+    | 0b1100011 (* branches: B-imm shares the S-type bit region *) ->
+      Eric_rv.Encode.Field.imm_s
+    | 0b1101111 (* jal: J-imm shares the U-type bit region *) ->
+      Eric_rv.Encode.Field.imm_u
+    | 0b1100111 (* jalr *) -> Eric_rv.Encode.Field.imm_i
+    | _ -> 0l)
 
-let field_mask16 scope _parcel =
+let field_mask16 scope parcel =
   match scope with
   | Imm_fields -> 0
   | All_but_opcode -> 0x1FFC (* everything except quadrant [1:0] and funct3 [15:13] *)
+  | Control_flow -> (
+    (* Compressed control transfers: c.j carries an 11-bit jump
+       displacement, c.beqz / c.bnez an 8-bit branch displacement woven
+       around the rs1' field (bits [11:10] and [6:2]).  On RV64 the c.jal
+       slot is c.addiw, so quadrant 1 / funct3 1 stays plaintext. *)
+    let quadrant = parcel land 0x3 in
+    let funct3 = (parcel lsr 13) land 0x7 in
+    match (quadrant, funct3) with
+    | 1, 5 (* c.j *) -> 0x1FFC
+    | 1, 6 (* c.beqz *) | 1, 7 (* c.bnez *) -> 0x1C7C
+    | _ -> 0)
 
 let selected selection ~index ~offset ~rng =
   match selection with

@@ -24,6 +24,12 @@ type field_scope =
           U-type instructions (e.g. "only the pointer values of the
           instructions that make memory accesses") *)
   | All_but_opcode  (** everything except the 7-bit opcode *)
+  | Control_flow
+      (** branch-offset + call-edge encryption: only the displacement
+          fields of branches, [jal] and [jalr] (and their compressed
+          forms) are encrypted, hiding where control transfers land —
+          the structural metadata an attacker needs — while every data
+          instruction ships byte-identical to the plain image *)
 
 type mode =
   | Full
@@ -47,5 +53,8 @@ val field_mask32 : field_scope -> int32 -> int32
 
 val field_mask16 : field_scope -> int -> int
 (** Same for a 16-bit compressed parcel; [Imm_fields] leaves compressed
-    parcels alone (their immediates interleave with register fields), and
-    [All_but_opcode] protects everything above the quadrant+funct3 bits. *)
+    parcels alone (their immediates interleave with register fields),
+    [All_but_opcode] protects everything above the quadrant+funct3 bits,
+    and [Control_flow] protects the displacement bits of [c.j] /
+    [c.beqz] / [c.bnez] (quadrant and funct3 stay legible, so the
+    decryptor can re-derive the mask from the ciphertext parcel). *)

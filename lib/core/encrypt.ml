@@ -49,7 +49,7 @@ type prepared = {
 
 let prepared_stats p = p.p_stats
 
-let prepare_unmetered ~mode image =
+let prepare_unmetered ?obf ~mode image =
   let text = Program.text_bytes image in
   let parcels = image.Program.text in
   let offsets = Program.parcel_offsets image in
@@ -62,6 +62,7 @@ let prepare_unmetered ~mode image =
       bss_size = image.Program.bss_size;
       parcel_count = Array.length parcels;
       map = (match kind with Package.M_full -> None | _ -> Some map);
+      obf;
       enc_text = text;
       (* plaintext; personalization works on a copy *)
       data = image.Program.data;
@@ -120,9 +121,9 @@ let personalize_unmetered ~key p =
     ~dst:enc_signature;
   ({ p.p_skeleton with Package.enc_text; enc_signature }, p.p_stats)
 
-let prepare ~mode image =
+let prepare ?obf ~mode image =
   Eric_telemetry.Span.with_ ~cat:"core" ~name:"core.prepare" (fun () ->
-      prepare_unmetered ~mode image)
+      prepare_unmetered ?obf ~mode image)
 
 let personalize ~key p =
   let r =
@@ -133,13 +134,13 @@ let personalize ~key p =
     Eric_telemetry.Registry.inc "build.personalizations_total";
   r
 
-let encrypt_unmetered ~key ~mode image =
-  personalize_unmetered ~key (prepare_unmetered ~mode image)
+let encrypt_unmetered ?obf ~key ~mode image =
+  personalize_unmetered ~key (prepare_unmetered ?obf ~mode image)
 
-let encrypt ~key ~mode image =
+let encrypt ?obf ~key ~mode image =
   let ((_, stats) as r) =
     Eric_telemetry.Span.with_ ~cat:"core" ~name:"core.encrypt" (fun () ->
-        encrypt_unmetered ~key ~mode image)
+        encrypt_unmetered ?obf ~key ~mode image)
   in
   if Eric_telemetry.Control.is_enabled () then begin
     Eric_telemetry.Registry.inc "build.encrypts_total";

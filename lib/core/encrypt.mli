@@ -14,8 +14,11 @@ type stats = {
   encrypted_bytes : int;  (** bytes that needed keystream (for the HDE model) *)
 }
 
-val encrypt : key:bytes -> mode:Config.mode -> Eric_rv.Program.t -> Package.t * stats
-(** Sign (over plaintext) then encrypt per [mode]. *)
+val encrypt :
+  ?obf:int * int64 -> key:bytes -> mode:Config.mode -> Eric_rv.Program.t -> Package.t * stats
+(** Sign (over plaintext) then encrypt per [mode].  [obf] is the
+    obfuscation provenance (pass mask, build seed) to record in the
+    package header; it is authenticated along with the rest. *)
 
 type prepared
 (** The key-independent part of an encryption: parcel selection, package
@@ -25,7 +28,7 @@ type prepared
     fast path.  [encrypt ~key ~mode image] is exactly
     [personalize ~key (prepare ~mode image)]. *)
 
-val prepare : mode:Config.mode -> Eric_rv.Program.t -> prepared
+val prepare : ?obf:int * int64 -> mode:Config.mode -> Eric_rv.Program.t -> prepared
 (** Select parcels, lay the package out, and sign the plaintext (counts
     one [build.signatures_total]). *)
 

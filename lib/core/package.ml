@@ -10,12 +10,14 @@ let tag_of_kind = function
   | M_partial -> 1
   | M_field Config.Imm_fields -> 2
   | M_field Config.All_but_opcode -> 3
+  | M_field Config.Control_flow -> 4
 
 let kind_of_tag = function
   | 0 -> Ok M_full
   | 1 -> Ok M_partial
   | 2 -> Ok (M_field Config.Imm_fields)
   | 3 -> Ok (M_field Config.All_but_opcode)
+  | 4 -> Ok (M_field Config.Control_flow)
   | t -> Error (Printf.sprintf "unknown mode tag %d" t)
 
 type t = {
@@ -24,6 +26,7 @@ type t = {
   bss_size : int;
   parcel_count : int;
   map : Eric_util.Bitvec.t option;
+  obf : (int * int64) option;
   enc_text : bytes;
   data : bytes;
   enc_signature : bytes;
@@ -33,18 +36,36 @@ let magic = "EPKG"
 let version = 1
 let header_size = 32
 
+(* Flags byte (offset 7).  Bit 0 = obfuscation metadata block present;
+   bits 1-7 remain reserved-must-be-zero. *)
+let flag_obf = 0x01
+
+(* Low 5 bits of the pass mask are assigned (lib/obf owns the name <->
+   bit mapping); 5-7 are reserved. *)
+let obf_pass_bits = 0x1F
+let obf_block_size = 9
+
 let map_bytes t = match t.map with None -> Bytes.empty | Some m -> Eric_util.Bitvec.to_bytes m
 
+let obf_bytes t =
+  match t.obf with
+  | None -> Bytes.empty
+  | Some (mask, seed) ->
+    let b = Bytes.create obf_block_size in
+    Bytes.set b 0 (Char.chr (mask land 0xFF));
+    Eric_util.Bytesx.set_u64 b 1 seed;
+    b
+
 let size t =
-  header_size + Bytes.length (map_bytes t) + Bytes.length t.enc_text + Bytes.length t.data
-  + Siggen.signature_size
+  header_size + Bytes.length (map_bytes t) + Bytes.length (obf_bytes t)
+  + Bytes.length t.enc_text + Bytes.length t.data + Siggen.signature_size
 
 let header_bytes t =
   let h = Bytes.create header_size in
   Bytes.blit_string magic 0 h 0 4;
   Eric_util.Bytesx.set_u16 h 4 version;
   Bytes.set h 6 (Char.chr (tag_of_kind t.kind));
-  Bytes.set h 7 '\000';
+  Bytes.set h 7 (Char.chr (match t.obf with None -> 0 | Some _ -> flag_obf));
   Eric_util.Bytesx.set_u32 h 8 (Int32.of_int t.entry_offset);
   Eric_util.Bytesx.set_u32 h 12 (Int32.of_int (Bytes.length t.enc_text));
   Eric_util.Bytesx.set_u32 h 16 (Int32.of_int (Bytes.length t.data));
@@ -53,10 +74,12 @@ let header_bytes t =
   Eric_util.Bytesx.set_u32 h 28 (Int32.of_int (Bytes.length (map_bytes t)));
   h
 
-let authenticated_header t = Eric_util.Bytesx.append (header_bytes t) (map_bytes t)
+let authenticated_header t =
+  Eric_util.Bytesx.concat [ header_bytes t; map_bytes t; obf_bytes t ]
 
 let serialize t =
-  Eric_util.Bytesx.concat [ header_bytes t; map_bytes t; t.enc_text; t.data; t.enc_signature ]
+  Eric_util.Bytesx.concat
+    [ header_bytes t; map_bytes t; obf_bytes t; t.enc_text; t.data; t.enc_signature ]
 
 let parse b =
   let ( let* ) = Result.bind in
@@ -70,7 +93,10 @@ let parse b =
      flags, map padding bits) must be zero, so that every wire bit is
      either interpreted or rejected — a flipped "don't care" bit cannot
      silently pass validation. *)
-  let* () = if Char.code (Bytes.get b 7) = 0 then Ok () else Error "reserved flags set" in
+  let flags = Char.code (Bytes.get b 7) in
+  let* () = if flags land lnot flag_obf = 0 then Ok () else Error "reserved flags set" in
+  let has_obf = flags land flag_obf <> 0 in
+  let obf_len = if has_obf then obf_block_size else 0 in
   let entry_offset = Int32.to_int (Eric_util.Bytesx.get_u32 b 8) in
   let text_len = Int32.to_int (Eric_util.Bytesx.get_u32 b 12) in
   let data_len = Int32.to_int (Eric_util.Bytesx.get_u32 b 16) in
@@ -82,7 +108,7 @@ let parse b =
       Ok ()
     else Error "negative section length"
   in
-  let expected = header_size + map_len + text_len + data_len + Siggen.signature_size in
+  let expected = header_size + map_len + obf_len + text_len + data_len + Siggen.signature_size in
   let* () =
     if Bytes.length b = expected then Ok ()
     else Error (Printf.sprintf "package length %d does not match header (%d)" (Bytes.length b) expected)
@@ -110,7 +136,16 @@ let parse b =
         else Ok (Some map)
       end
   in
-  let off = header_size + map_len in
+  let* obf =
+    if not has_obf then Ok None
+    else begin
+      let mask = Char.code (Bytes.get b (header_size + map_len)) in
+      if mask land lnot obf_pass_bits <> 0 then Error "reserved obfuscation pass bits set"
+      else if mask = 0 then Error "obfuscation metadata without passes"
+      else Ok (Some (mask, Eric_util.Bytesx.get_u64 b (header_size + map_len + 1)))
+    end
+  in
+  let off = header_size + map_len + obf_len in
   let* () =
     if entry_offset >= 0 && entry_offset <= text_len then Ok () else Error "entry out of range"
   in
@@ -127,6 +162,7 @@ let parse b =
       bss_size;
       parcel_count;
       map;
+      obf;
       enc_text = Bytes.sub b off text_len;
       data = Bytes.sub b (off + text_len) data_len;
       enc_signature = Bytes.sub b (off + text_len + data_len) Siggen.signature_size;
@@ -137,9 +173,14 @@ let pp_kind fmt = function
   | M_partial -> Format.pp_print_string fmt "partial"
   | M_field Config.Imm_fields -> Format.pp_print_string fmt "field(imm)"
   | M_field Config.All_but_opcode -> Format.pp_print_string fmt "field(all-but-opcode)"
+  | M_field Config.Control_flow -> Format.pp_print_string fmt "field(control-flow)"
 
 let pp_summary fmt t =
   Format.fprintf fmt "%a package: %d B total (text %d B, %d parcels, map %d B, data %d B)" pp_kind
     t.kind (size t) (Bytes.length t.enc_text) t.parcel_count
     (Bytes.length (map_bytes t))
-    (Bytes.length t.data)
+    (Bytes.length t.data);
+  match t.obf with
+  | None -> ()
+  | Some (mask, seed) ->
+    Format.fprintf fmt ", obfuscated (pass mask 0x%02x, seed 0x%Lx)" mask seed

@@ -6,8 +6,9 @@
     off  size  field
     0    4     magic "EPKG"
     4    2     version
-    6    1     mode tag (0=full, 1=partial, 2=field/imm, 3=field/all-but-opcode)
-    7    1     flags (reserved)
+    6    1     mode tag (0=full, 1=partial, 2=field/imm,
+                         3=field/all-but-opcode, 4=field/control-flow)
+    7    1     flags (bit 0 = obfuscation metadata present; rest reserved)
     8    4     entry offset (bytes into text)
     12   4     text length (bytes)
     16   4     data length (bytes)
@@ -15,6 +16,8 @@
     24   4     parcel count
     28   4     encryption-map length (bytes; 0 for full encryption)
     32   map   encryption map (1 bit per parcel, LSB-first)
+    ..   9     obfuscation metadata, iff flag bit 0: pass mask (1 byte,
+               low 5 bits assigned) + build seed (8 bytes LE)
     ..   text  encrypted text section
     ..   data  data section (plaintext)
     ..   32    encrypted signature
@@ -34,6 +37,11 @@ type t = {
   bss_size : int;
   parcel_count : int;
   map : Eric_util.Bitvec.t option;  (** [None] iff [kind = M_full] *)
+  obf : (int * int64) option;
+      (** obfuscation provenance: (pass mask, build seed).  Recorded so
+          tooling can tell which transforms produced the text it is
+          holding and rebuild it byte-identically; covered by the
+          signature like the rest of the header. *)
   enc_text : bytes;
   data : bytes;
   enc_signature : bytes;  (** 32 bytes, XORed with keystream at offset [text_len] *)
@@ -46,8 +54,8 @@ val size : t -> int
 
 val authenticated_header : t -> bytes
 (** The header bytes covered by the signature (everything up to and
-    including the map, with the signature region excluded by
-    construction). *)
+    including the map and obfuscation metadata, with the signature
+    region excluded by construction). *)
 
 val serialize : t -> bytes
 

@@ -19,8 +19,8 @@ let count_build b =
   end;
   b
 
-let package_image ~mode ~key image =
-  let package, stats = Encrypt.encrypt ~key ~mode image in
+let package_image ?obf ~mode ~key image =
+  let package, stats = Encrypt.encrypt ?obf ~key ~mode image in
   count_build
     {
       image;
@@ -30,11 +30,11 @@ let package_image ~mode ~key image =
       package_size = Package.size package;
     }
 
-let prepare_image ~mode image =
+let prepare_image ?obf ~mode image =
   {
     p_image = image;
     p_plain_size = Bytes.length (Eric_rv.Program.to_binary image);
-    p_prep = Encrypt.prepare ~mode image;
+    p_prep = Encrypt.prepare ?obf ~mode image;
   }
 
 let personalize ~key prepared =
@@ -48,13 +48,13 @@ let personalize ~key prepared =
       package_size = Package.size package;
     }
 
-let prepare ?options ~mode source =
-  Result.map (prepare_image ~mode) (Eric_cc.Driver.compile ?options source)
+let prepare ?options ?obf ~mode source =
+  Result.map (prepare_image ?obf ~mode) (Eric_cc.Driver.compile ?options source)
 
-let build ?options ~mode ~key source =
-  Result.map (package_image ~mode ~key) (Eric_cc.Driver.compile ?options source)
+let build ?options ?obf ~mode ~key source =
+  Result.map (package_image ?obf ~mode ~key) (Eric_cc.Driver.compile ?options source)
 
-let build_multi ?options ~mode ~keys source =
+let build_multi ?options ?obf ~mode ~keys source =
   Result.map
     (fun prepared -> List.map (fun (name, key) -> (name, personalize ~key prepared)) keys)
-    (prepare ?options ~mode source)
+    (prepare ?options ?obf ~mode source)

@@ -16,14 +16,18 @@ type build = {
 
 val build :
   ?options:Eric_cc.Driver.options ->
+  ?obf:int * int64 ->
   mode:Config.mode ->
   key:bytes ->
   string ->
   (build, string) result
-(** Compile MiniC [source] and package it for the holder of [key]. *)
+(** Compile MiniC [source] and package it for the holder of [key].
+    [obf] records obfuscation provenance (pass mask, build seed) in the
+    package header; the caller is responsible for passing a matching
+    transform in [options]. *)
 
 val package_image :
-  mode:Config.mode -> key:bytes -> Eric_rv.Program.t -> build
+  ?obf:int * int64 -> mode:Config.mode -> key:bytes -> Eric_rv.Program.t -> build
 (** Packaging only, for a pre-compiled image. *)
 
 type prepared = {
@@ -38,12 +42,13 @@ type prepared = {
 
 val prepare :
   ?options:Eric_cc.Driver.options ->
+  ?obf:int * int64 ->
   mode:Config.mode ->
   string ->
   (prepared, string) result
 (** Compile, sign and lay out once; personalize per device afterwards. *)
 
-val prepare_image : mode:Config.mode -> Eric_rv.Program.t -> prepared
+val prepare_image : ?obf:int * int64 -> mode:Config.mode -> Eric_rv.Program.t -> prepared
 (** Same, for a pre-compiled image (e.g. one loaded from the artifact
     cache's disk tier). *)
 
@@ -53,6 +58,7 @@ val personalize : key:bytes -> prepared -> build
 
 val build_multi :
   ?options:Eric_cc.Driver.options ->
+  ?obf:int * int64 ->
   mode:Config.mode ->
   keys:(string * bytes) list ->
   string ->

@@ -40,10 +40,16 @@ let mode_fingerprint = function
   | Eric.Config.Field (Eric.Config.Imm_fields, sel) -> "field-imm:" ^ selection_fingerprint sel
   | Eric.Config.Field (Eric.Config.All_but_opcode, sel) ->
     "field-abo:" ^ selection_fingerprint sel
+  | Eric.Config.Field (Eric.Config.Control_flow, sel) ->
+    "field-cf:" ^ selection_fingerprint sel
 
 let options_fingerprint (o : Eric_cc.Driver.options) =
-  Printf.sprintf "optimize=%b,compress=%b,prelude=%b,verify=%b" o.Eric_cc.Driver.optimize
-    o.Eric_cc.Driver.compress o.Eric_cc.Driver.include_prelude o.Eric_cc.Driver.verify_ir
+  Printf.sprintf "optimize=%b,compress=%b,prelude=%b,verify=%b,transform=%s"
+    o.Eric_cc.Driver.optimize o.Eric_cc.Driver.compress o.Eric_cc.Driver.include_prelude
+    o.Eric_cc.Driver.verify_ir
+    (match o.Eric_cc.Driver.transform with
+    | None -> "none"
+    | Some t -> t.Eric_cc.Driver.t_tag)
 
 let digest ~options ~mode source =
   Eric_crypto.Sha256.hex

@@ -426,6 +426,65 @@ let recover attacker (p : Program.t) coverage =
   in
   score_against attacker truth r
 
+(* Jaccard scoring against a caller-supplied truth.  Used to grade
+   obfuscating transforms: on a plain image the attacker reads every
+   byte, so recall against any truth is 1.0 and the honest number is
+   instead how much planted decoy structure it swallowed alongside the
+   real program — per component, found = |R ∩ T| and total = |R ∪ T|,
+   which penalises every recovered fact outside the (real-only) truth. *)
+let jaccard_against attacker truth r =
+  let comp_i rec_ tru =
+    (Iset.cardinal (Iset.inter rec_ tru), Iset.cardinal (Iset.union rec_ tru))
+  in
+  let code_found, code_total = comp_i r.r_code truth.t_code in
+  let functions_found, functions_total = comp_i r.r_functions truth.t_functions in
+  let branch_targets_found, branch_targets_total =
+    comp_i r.r_targets truth.t_branch_targets
+  in
+  let call_edges_found =
+    Eset.cardinal (Eset.inter r.r_edges truth.t_call_edges)
+  in
+  let call_edges_total = Eset.cardinal (Eset.union r.r_edges truth.t_call_edges) in
+  let indirect_resolved, indirect_total = comp_i r.r_resolved truth.t_indirect in
+  let comp found total = if total = 0 then None else Some (frac found total) in
+  let comps =
+    List.filter_map Fun.id
+      [ comp code_found code_total;
+        comp functions_found functions_total;
+        comp branch_targets_found branch_targets_total;
+        comp call_edges_found call_edges_total;
+        comp indirect_resolved indirect_total ]
+  in
+  let structure_score =
+    match comps with
+    | [] -> 0.0
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  { s_attacker = attacker;
+    code_found;
+    code_total;
+    functions_found;
+    functions_total;
+    branch_targets_found;
+    branch_targets_total;
+    call_edges_found;
+    call_edges_total;
+    indirect_resolved;
+    indirect_total;
+    structure_score }
+
+let recover_against attacker ~truth (p : Program.t) coverage =
+  if Array.length coverage <> Array.length p.Program.text then
+    invalid_arg "Leakage.recover_against: coverage length <> parcel count";
+  Eric_telemetry.Span.with_ ~cat:"lint" ~name:"lint.attacker" @@ fun () ->
+  let cfg = Mc_cfg.build p in
+  let r =
+    match attacker with
+    | Linear -> scan_linear p cfg coverage
+    | Recursive -> scan_recursive p cfg coverage
+  in
+  jaccard_against attacker truth r
+
 let structure_to_json s =
   let module J = Eric_telemetry.Json in
   let int v = J.Num (float_of_int v) in

@@ -99,6 +99,17 @@ val recover : attacker -> Eric_rv.Program.t -> coverage array -> structure
 (** Run the attacker against a coverage assignment.  Raises
     [Invalid_argument] on a coverage/parcel length mismatch. *)
 
+val recover_against :
+  attacker -> truth:truth -> Eric_rv.Program.t -> coverage array -> structure
+(** Like {!recover}, but graded against a caller-supplied ground truth
+    with Jaccard component scores: found = |recovered ∩ truth|, total =
+    |recovered ∪ truth|.  This is the honest metric for obfuscated
+    images — on a plain image plain recall is trivially 1.0, whereas the
+    Jaccard score drops for every planted decoy fact the attacker
+    mistakes for real structure (truth should be pre-restricted to the
+    real program, e.g. via [Eric_cc.Truth.restrict]).  Raises
+    [Invalid_argument] on a coverage/parcel length mismatch. *)
+
 val structure_to_json : structure -> Eric_telemetry.Json.t
 
 val structure_diags : ?max_leakage:float -> structure -> Diag.t list

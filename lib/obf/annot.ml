@@ -1,0 +1,53 @@
+(* What the obfuscator planted, reported back so grading can subtract
+   decoys from the compiler ground truth.  Decoy blocks are identified
+   by (function name, IR label) — codegen emits a local symbol
+   [.L_<fname>_<label>] per block, so the pair survives into the image's
+   symbol table and maps to a machine-code byte range. *)
+
+type t = {
+  mutable decoy_funcs : string list;  (* generated dummy functions *)
+  mutable decoy_blocks : (string * int) list;  (* (fname, label) *)
+  mutable blocks_inserted : int;
+  mutable predicates_planted : int;
+  mutable constants_encoded : int;
+  mutable arith_rewrites : int;
+  mutable functions_added : int;
+  mutable functions_flattened : int;
+  mutable passes_run : int;
+}
+
+let create () =
+  { decoy_funcs = [];
+    decoy_blocks = [];
+    blocks_inserted = 0;
+    predicates_planted = 0;
+    constants_encoded = 0;
+    arith_rewrites = 0;
+    functions_added = 0;
+    functions_flattened = 0;
+    passes_run = 0 }
+
+let reset t =
+  t.decoy_funcs <- [];
+  t.decoy_blocks <- [];
+  t.blocks_inserted <- 0;
+  t.predicates_planted <- 0;
+  t.constants_encoded <- 0;
+  t.arith_rewrites <- 0;
+  t.functions_added <- 0;
+  t.functions_flattened <- 0;
+  t.passes_run <- 0
+
+let add_decoy_func t name =
+  t.decoy_funcs <- name :: t.decoy_funcs;
+  t.functions_added <- t.functions_added + 1
+
+let add_decoy_block t fname label =
+  t.decoy_blocks <- (fname, label) :: t.decoy_blocks;
+  t.blocks_inserted <- t.blocks_inserted + 1
+
+(* Labels of the decoy blocks already planted in [fname]; later passes
+   use this to leave decoys alone (no decoys behind decoys, and the
+   flattener keeps their baited edges legible). *)
+let decoy_labels t fname =
+  List.filter_map (fun (f, l) -> if f = fname then Some l else None) t.decoy_blocks

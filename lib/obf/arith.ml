@@ -1,0 +1,57 @@
+(* Arithmetic (MBA) encoding: rewrite adds, subs and xors into
+   mixed boolean-arithmetic forms that are exact on 64-bit two's
+   complement:
+
+     a + b  =  (a xor b) + 2*(a and b)
+     a - b  =  a + (b xor -1) + 1
+     a xor b = (a or b) - (a and b)
+
+   Each rewrite is applied once (the expansions contain fresh Add/Sub
+   instances, but the pass never revisits its own output), and the
+   optimiser has already converged when this runs, so nothing folds the
+   expressions back. *)
+
+open Eric_cc
+
+module Prng = Eric_util.Prng
+
+let salt = 0x20
+
+let rewrite ctx rng ~annot instr =
+  let count () = annot.Annot.arith_rewrites <- annot.Annot.arith_rewrites + 1 in
+  match instr with
+  | Ir.Bin (Ir.Add, d, a, b) when Prng.int rng ~bound:3 < 2 ->
+    count ();
+    let tx = Irb.fresh_temp ctx in
+    let ta = Irb.fresh_temp ctx in
+    let t2 = Irb.fresh_temp ctx in
+    [ Ir.Bin (Ir.Xor, tx, a, b);
+      Ir.Bin (Ir.And, ta, a, b);
+      Ir.Bin (Ir.Add, t2, Ir.Temp ta, Ir.Temp ta);
+      Ir.Bin (Ir.Add, d, Ir.Temp tx, Ir.Temp t2) ]
+  | Ir.Bin (Ir.Sub, d, a, b) when Prng.int rng ~bound:3 < 2 ->
+    count ();
+    let tn = Irb.fresh_temp ctx in
+    let ts = Irb.fresh_temp ctx in
+    [ Ir.Bin (Ir.Xor, tn, b, Ir.Imm (-1L));
+      Ir.Bin (Ir.Add, ts, a, Ir.Temp tn);
+      Ir.Bin (Ir.Add, d, Ir.Temp ts, Ir.Imm 1L) ]
+  | Ir.Bin (Ir.Xor, d, a, b) when Prng.int rng ~bound:3 < 2 ->
+    count ();
+    let to_ = Irb.fresh_temp ctx in
+    let ta = Irb.fresh_temp ctx in
+    [ Ir.Bin (Ir.Or, to_, a, b);
+      Ir.Bin (Ir.And, ta, a, b);
+      Ir.Bin (Ir.Sub, d, Ir.Temp to_, Ir.Temp ta) ]
+  | i -> [ i ]
+
+let encode_func ~rng ~annot (f : Ir.func) =
+  let ctx = Irb.fctx f in
+  List.iter
+    (fun b -> b.Ir.body <- List.concat_map (rewrite ctx rng ~annot) b.Ir.body)
+    f.Ir.f_blocks
+
+let run ~seed ~annot (p : Ir.program) =
+  List.iter
+    (fun f -> encode_func ~rng:(Seed.stream ~seed ~name:f.Ir.f_name ~salt) ~annot f)
+    p.Ir.p_funcs

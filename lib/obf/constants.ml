@@ -1,0 +1,31 @@
+(* Constant/literal encoding: every selected [Move (d, Imm c)] becomes
+   [d = (c xor k); d = d xor k] with a fresh per-site key drawn from the
+   function's stream, so literal values (magic numbers, table sizes,
+   characters) no longer appear verbatim in the text section. *)
+
+open Eric_cc
+
+module Prng = Eric_util.Prng
+
+let salt = 0x10
+
+let encode_func ~rng ~annot (f : Ir.func) =
+  List.iter
+    (fun b ->
+      b.Ir.body <-
+        List.concat_map
+          (fun instr ->
+            match instr with
+            | Ir.Move (d, Ir.Imm c) when Prng.int rng ~bound:4 < 3 ->
+              let k = Prng.bits64 rng in
+              annot.Annot.constants_encoded <- annot.Annot.constants_encoded + 1;
+              [ Ir.Move (d, Ir.Imm (Int64.logxor c k));
+                Ir.Bin (Ir.Xor, d, Ir.Temp d, Ir.Imm k) ]
+            | _ -> [ instr ])
+          b.Ir.body)
+    f.Ir.f_blocks
+
+let run ~seed ~annot (p : Ir.program) =
+  List.iter
+    (fun f -> encode_func ~rng:(Seed.stream ~seed ~name:f.Ir.f_name ~salt) ~annot f)
+    p.Ir.p_funcs

@@ -1,0 +1,111 @@
+(* Dummy-code insertion: generate a population of junk functions that
+   call each other, then plant decoy blocks (behind opaque predicates)
+   in the real functions that statically call into that population.
+   The calls keep the dummies alive through the driver's linker-style
+   GC and hand the attacker a plausible — and entirely fake — call
+   graph to recover. *)
+
+open Eric_cc
+
+module Prng = Eric_util.Prng
+
+let salt = 0x40
+
+(* Per-block decoy-insertion probability, percent. *)
+let insert_pct = 30
+
+let name_of i = Printf.sprintf "obf_dummy_%d" i
+
+(* A dummy function: 2 parameters, 2-4 blocks of junk arithmetic with a
+   data-dependent branch, optionally calling an earlier dummy. *)
+let gen_func ~rng ~name ~callees =
+  let f =
+    { Ir.f_name = name;
+      f_params = [ 0; 1 ];
+      f_blocks = [];
+      f_slots = [];
+      f_temp_count = 2 }
+  in
+  let ctx = Irb.fctx f in
+  let maybe_call body =
+    match callees with
+    | [] -> body
+    | _ when Prng.int rng ~bound:3 = 0 -> body
+    | _ ->
+      let callee = List.nth callees (Prng.int rng ~bound:(List.length callees)) in
+      let t = Irb.fresh_temp ctx in
+      body @ [ Ir.Call (Some t, callee, [ Ir.Imm (Irb.imm rng); Ir.Imm (Irb.imm rng) ]) ]
+  in
+  let tail_junk () = Irb.junk ctx rng ~seeds:f.Ir.f_params ~len:(3 + Prng.int rng ~bound:5) in
+  let three_way = Prng.bool rng in
+  let b0_body, cond = tail_junk () in
+  let b0 =
+    { Ir.b_label = 0;
+      body = b0_body;
+      term = (if three_way then Ir.Br (Ir.Temp cond, 1, 2) else Ir.Jmp 1) }
+  in
+  let mid =
+    if three_way then begin
+      let body, _ = tail_junk () in
+      [ { Ir.b_label = 2; body = maybe_call body; term = Ir.Jmp 1 } ]
+    end
+    else []
+  in
+  let ret_body, ret_val = tail_junk () in
+  let b_ret =
+    { Ir.b_label = 1; body = maybe_call ret_body; term = Ir.Ret (Some (Ir.Temp ret_val)) }
+  in
+  f.Ir.f_blocks <- (b0 :: mid) @ [ b_ret ];
+  f
+
+let insert_decoys ~rng ~annot ~dummies (f : Ir.func) =
+  let ctx = Irb.fctx f in
+  let decoys = Annot.decoy_labels annot f.Ir.f_name in
+  let original = Array.of_list f.Ir.f_blocks in
+  Array.iter
+    (fun b ->
+      if (not (List.mem b.Ir.b_label decoys)) && Prng.int rng ~bound:100 < insert_pct
+      then begin
+        let decoy_label = Irb.fresh_label ctx in
+        let at = Prng.int rng ~bound:(List.length b.Ir.body + 1) in
+        let cont = Irb.split_with_predicate ctx rng b ~at ~decoy_label in
+        let body, _ = Irb.junk ctx rng ~seeds:[] ~len:(2 + Prng.int rng ~bound:3) in
+        let callee = List.nth dummies (Prng.int rng ~bound:(List.length dummies)) in
+        let t = Irb.fresh_temp ctx in
+        let body =
+          body @ [ Ir.Call (Some t, callee, [ Ir.Imm (Irb.imm rng); Ir.Imm (Irb.imm rng) ]) ]
+        in
+        let decoy = { Ir.b_label = decoy_label; body; term = Ir.Jmp cont } in
+        f.Ir.f_blocks <- f.Ir.f_blocks @ [ decoy ];
+        Annot.add_decoy_block annot f.Ir.f_name decoy_label;
+        annot.Annot.predicates_planted <- annot.Annot.predicates_planted + 1
+      end)
+    original
+
+let run ~seed ~annot (p : Ir.program) =
+  let taken = List.map (fun f -> f.Ir.f_name) p.Ir.p_funcs in
+  let count = max 4 (2 * List.length p.Ir.p_funcs / 3) in
+  let rng = Seed.stream ~seed ~name:"<dummy-population>" ~salt in
+  let dummies = ref [] in
+  let p_extra = ref [] in
+  let rec gen i made =
+    if made = count then ()
+    else if List.mem (name_of i) taken then gen (i + 1) made
+    else begin
+      let name = name_of i in
+      let f = gen_func ~rng ~name ~callees:!dummies in
+      dummies := !dummies @ [ name ];
+      Annot.add_decoy_func annot name;
+      p_extra := f :: !p_extra;
+      gen (i + 1) (made + 1)
+    end
+  in
+  gen 0 0;
+  List.iter
+    (fun f ->
+      if not (List.mem f.Ir.f_name annot.Annot.decoy_funcs) then
+        insert_decoys
+          ~rng:(Seed.stream ~seed ~name:f.Ir.f_name ~salt)
+          ~annot ~dummies:!dummies f)
+    p.Ir.p_funcs;
+  { p with Ir.p_funcs = p.Ir.p_funcs @ List.rev !p_extra }

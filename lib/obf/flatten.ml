@@ -1,0 +1,135 @@
+(* Control-flow flattening: every block of a function becomes an entry
+   in a shuffled dispatch table keyed by a random per-block id held in a
+   state temp.  Direct jumps become [st := id; jmp dispatcher]; two-way
+   branches compute the successor id branchlessly
+   ([st := id_false + (cond<>0) * (id_true - id_false)]), so the only
+   statically-legible edges left in the function are the dispatcher's
+   own compare-and-branch chain — the original topology is gone from
+   the text section.  Returns stay in place.
+
+   Every temp the function reads is zero-initialised in the new entry
+   block: the dispatcher merges all paths, which would otherwise turn
+   the compiler's path-sensitive definitions into maybe-undefined
+   reads.  The stores are dead on real executions (the original
+   definition always runs first), so semantics are untouched. *)
+
+open Eric_cc
+
+module Prng = Eric_util.Prng
+module Iset = Set.Make (Int)
+
+let salt = 0x50
+
+let flatten_func ~rng ~annot (f : Ir.func) =
+  let all_blocks = f.Ir.f_blocks in
+  (* Decoy blocks stay out of the dispatch table and keep their direct
+     terminators: the opaque [Br] edges feeding them are bait meant to
+     stay legible, and excluding them keeps the dispatcher (and its
+     register pressure) proportional to the real block count. *)
+  let decoys = Iset.of_list (Annot.decoy_labels annot f.Ir.f_name) in
+  let blocks = List.filter (fun b -> not (Iset.mem b.Ir.b_label decoys)) all_blocks in
+  if List.length blocks >= 2 then begin
+    let ctx = Irb.fctx f in
+    let old_entry = List.hd blocks in
+    (* Upward-exposed uses: temps some block reads before defining them
+       locally.  Only these can become maybe-undefined once the
+       dispatcher merges all paths, so only these get the entry
+       zero-init — block-local temps (e.g. planted junk) cost nothing. *)
+    let reads =
+      List.fold_left
+        (fun acc b ->
+          let exposed, _ =
+            List.fold_left
+              (fun (exposed, defined) i ->
+                let exposed =
+                  List.fold_left
+                    (fun s t -> if Iset.mem t defined then s else Iset.add t s)
+                    exposed (Ir.uses_of i)
+                in
+                let defined =
+                  match Ir.def_of i with Some d -> Iset.add d defined | None -> defined
+                in
+                (exposed, defined))
+              (acc, Iset.empty) b.Ir.body
+          in
+          let defined =
+            List.fold_left
+              (fun s i -> match Ir.def_of i with Some d -> Iset.add d s | None -> s)
+              Iset.empty b.Ir.body
+          in
+          List.fold_left
+            (fun s t -> if Iset.mem t defined then s else Iset.add t s)
+            exposed (Ir.term_uses b.Ir.term))
+        Iset.empty blocks
+    in
+    let reads = Iset.diff reads (Iset.of_list f.Ir.f_params) in
+    (* Distinct random dispatch ids per block. *)
+    let ids = Hashtbl.create 16 in
+    let drawn = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        let rec draw () =
+          let v = 1 + Prng.int rng ~bound:0xFFFFF in
+          if Hashtbl.mem drawn v then draw () else v
+        in
+        let v = draw () in
+        Hashtbl.replace drawn v ();
+        Hashtbl.replace ids b.Ir.b_label (Int64.of_int v))
+      blocks;
+    let id l = Hashtbl.find ids l in
+    let st = Irb.fresh_temp ctx in
+    let order = Array.of_list blocks in
+    Prng.shuffle rng order;
+    let n = Array.length order in
+    let dl = Array.init n (fun _ -> Irb.fresh_label ctx) in
+    let d0 = dl.(0) in
+    List.iter
+      (fun b ->
+        match b.Ir.term with
+        | Ir.Ret _ -> ()
+        | Ir.Br (_, _, b') when Iset.mem b' decoys ->
+          (* A planted opaque branch: its false edge is bait.  Left
+             legible so the attacker keeps finding (and swallowing) it. *)
+          ()
+        | Ir.Jmp l ->
+          b.Ir.body <- b.Ir.body @ [ Ir.Move (st, Ir.Imm (id l)) ];
+          b.Ir.term <- Ir.Jmp d0
+        | Ir.Br (v, a, b') ->
+          let t1 = Irb.fresh_temp ctx in
+          let t2 = Irb.fresh_temp ctx in
+          let t3 = Irb.fresh_temp ctx in
+          b.Ir.body <-
+            b.Ir.body
+            @ [ Ir.Bin (Ir.Sne, t1, v, Ir.Imm 0L);
+                Ir.Bin (Ir.Mul, t2, Ir.Temp t1, Ir.Imm (Int64.sub (id a) (id b')));
+                Ir.Bin (Ir.Add, t3, Ir.Temp t2, Ir.Imm (id b'));
+                Ir.Move (st, Ir.Temp t3) ];
+          b.Ir.term <- Ir.Jmp d0)
+      blocks;
+    let dispatchers =
+      List.init n (fun i ->
+          let target = order.(i).Ir.b_label in
+          if i = n - 1 then { Ir.b_label = dl.(i); body = []; term = Ir.Jmp target }
+          else begin
+            let c = Irb.fresh_temp ctx in
+            { Ir.b_label = dl.(i);
+              body = [ Ir.Bin (Ir.Seq, c, Ir.Temp st, Ir.Imm (id target)) ];
+              term = Ir.Br (Ir.Temp c, target, dl.(i + 1)) }
+          end)
+    in
+    let entry =
+      { Ir.b_label = Irb.fresh_label ctx;
+        body =
+          List.map (fun t -> Ir.Move (t, Ir.Imm 0L)) (Iset.elements reads)
+          @ [ Ir.Move (st, Ir.Imm (id old_entry.Ir.b_label)) ];
+        term = Ir.Jmp d0 }
+    in
+    let decoy_blocks = List.filter (fun b -> Iset.mem b.Ir.b_label decoys) all_blocks in
+    f.Ir.f_blocks <- (entry :: dispatchers) @ Array.to_list order @ decoy_blocks;
+    annot.Annot.functions_flattened <- annot.Annot.functions_flattened + 1
+  end
+
+let run ~seed ~annot (p : Ir.program) =
+  List.iter
+    (fun f -> flatten_func ~rng:(Seed.stream ~seed ~name:f.Ir.f_name ~salt) ~annot f)
+    p.Ir.p_funcs

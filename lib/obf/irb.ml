@@ -1,0 +1,122 @@
+(* Shared IR-building helpers for the obfuscation passes. *)
+
+open Eric_cc
+
+module Prng = Eric_util.Prng
+
+type fctx = {
+  func : Ir.func;
+  mutable next_label : int;
+}
+
+let fctx (f : Ir.func) =
+  { func = f;
+    next_label = 1 + List.fold_left (fun m b -> max m b.Ir.b_label) 0 f.Ir.f_blocks }
+
+let fresh_temp ctx =
+  let t = ctx.func.Ir.f_temp_count in
+  ctx.func.Ir.f_temp_count <- t + 1;
+  t
+
+let fresh_label ctx =
+  let l = ctx.next_label in
+  ctx.next_label <- l + 1;
+  l
+
+(* A small immediate that reads like real code, not like a marker. *)
+let imm rng = Int64.of_int (1 + Prng.int rng ~bound:0xFFFF)
+
+let junk_op rng =
+  match Prng.int rng ~bound:6 with
+  | 0 -> Ir.Add
+  | 1 -> Ir.Sub
+  | 2 -> Ir.Xor
+  | 3 -> Ir.And
+  | 4 -> Ir.Or
+  | _ -> Ir.Mul
+
+(* Straight-line junk: [len] instructions over fresh temps only, so the
+   host block's dataflow is untouched and must-define stays clean (the
+   first instruction is always a constant move; later ones may read any
+   temp the sequence itself defined, or any of [seeds] — temps the
+   caller guarantees are defined on entry, e.g. function parameters).
+   Returns (instructions, temp holding the final value). *)
+let junk ctx rng ~seeds ~len =
+  let t0 = fresh_temp ctx in
+  let defined = ref (t0 :: seeds) in
+  let operand () =
+    let l = !defined in
+    Ir.Temp (List.nth l (Prng.int rng ~bound:(List.length l)))
+  in
+  let rec more acc last n =
+    if n = 0 then (List.rev acc, last)
+    else begin
+      let t = fresh_temp ctx in
+      let i =
+        if Prng.int rng ~bound:4 = 0 then Ir.Bin (junk_op rng, t, operand (), operand ())
+        else Ir.Bin (junk_op rng, t, operand (), Ir.Imm (imm rng))
+      in
+      defined := t :: !defined;
+      more (i :: acc) t (n - 1)
+    end
+  in
+  more [ Ir.Move (t0, Ir.Imm (imm rng)) ] t0 (max 0 (len - 1))
+
+(* An opaque predicate: instructions computing a temp that is provably
+   nonzero, without the fact being visible to a bit-level disassembler.
+   Three algebraic families, chosen and parameterised by the stream:
+     x odd  ->  (x*x) land 7 = 1
+     any x  ->  (x*(x+1)) land 1 = 0
+     any x  ->  (x lor 1) land 1 = 1 *)
+let opaque_predicate ctx rng =
+  let x = Int64.of_int ((2 * Prng.int rng ~bound:0x3FFFFF) + 1) in
+  let t0 = fresh_temp ctx in
+  let t1 = fresh_temp ctx in
+  let t2 = fresh_temp ctx in
+  let p = fresh_temp ctx in
+  let instrs =
+    match Prng.int rng ~bound:3 with
+    | 0 ->
+      [ Ir.Move (t0, Ir.Imm x);
+        Ir.Bin (Ir.Mul, t1, Ir.Temp t0, Ir.Temp t0);
+        Ir.Bin (Ir.And, t2, Ir.Temp t1, Ir.Imm 7L);
+        Ir.Bin (Ir.Seq, p, Ir.Temp t2, Ir.Imm 1L) ]
+    | 1 ->
+      [ Ir.Move (t0, Ir.Imm x);
+        Ir.Bin (Ir.Add, t1, Ir.Temp t0, Ir.Imm 1L);
+        Ir.Bin (Ir.Mul, t2, Ir.Temp t0, Ir.Temp t1);
+        Ir.Bin (Ir.And, t2, Ir.Temp t2, Ir.Imm 1L);
+        Ir.Bin (Ir.Seq, p, Ir.Temp t2, Ir.Imm 0L) ]
+    | _ ->
+      [ Ir.Move (t0, Ir.Imm x);
+        Ir.Bin (Ir.Or, t1, Ir.Temp t0, Ir.Imm 1L);
+        Ir.Bin (Ir.And, t2, Ir.Temp t1, Ir.Imm 1L);
+        Ir.Bin (Ir.Seq, p, Ir.Temp t2, Ir.Imm 1L) ]
+  in
+  (instrs, p)
+
+(* Split block [b] of [f] at body position [at]: the suffix and the
+   original terminator move to a fresh continuation block (inserted
+   right after [b] so real execution falls through), and [b] now ends in
+   [Br (pred, cont, decoy_label)] where [pred] is an always-true opaque
+   predicate — the false edge feeds the caller's decoy block, which must
+   jump back to the returned continuation label. *)
+let split_with_predicate ctx rng b ~at ~decoy_label =
+  let f = ctx.func in
+  let body = b.Ir.body in
+  let n = List.length body in
+  let at = max 0 (min at n) in
+  let prefix = List.filteri (fun i _ -> i < at) body in
+  let suffix = List.filteri (fun i _ -> i >= at) body in
+  let cont_label = fresh_label ctx in
+  let cont = { Ir.b_label = cont_label; body = suffix; term = b.Ir.term } in
+  let pred_instrs, p = opaque_predicate ctx rng in
+  b.Ir.body <- prefix @ pred_instrs;
+  b.Ir.term <- Ir.Br (Ir.Temp p, cont_label, decoy_label);
+  let rec insert_after = function
+    | [] -> []
+    | blk :: rest when blk == b -> blk :: cont :: rest
+    | blk :: rest -> blk :: insert_after rest
+  in
+  f.Ir.f_blocks <- insert_after f.Ir.f_blocks;
+  cont_label

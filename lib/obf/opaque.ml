@@ -1,0 +1,40 @@
+(* Opaque predicates: split blocks behind algebraically-true guards whose
+   false edge feeds a junk decoy block.  Execution always takes the true
+   edge; a disassembler sees two successors and swallows the decoy as
+   reachable code. *)
+
+open Eric_cc
+
+module Prng = Eric_util.Prng
+
+let salt = 0x30
+
+(* Per-block split probability, percent. *)
+let split_pct = 35
+
+let obfuscate_func ~rng ~annot (f : Ir.func) =
+  let ctx = Irb.fctx f in
+  let decoys = Annot.decoy_labels annot f.Ir.f_name in
+  let original = Array.of_list f.Ir.f_blocks in
+  Array.iter
+    (fun b ->
+      if (not (List.mem b.Ir.b_label decoys)) && Prng.int rng ~bound:100 < split_pct
+      then begin
+        let decoy_label = Irb.fresh_label ctx in
+        let at = Prng.int rng ~bound:(List.length b.Ir.body + 1) in
+        let cont = Irb.split_with_predicate ctx rng b ~at ~decoy_label in
+        let len = 2 + Prng.int rng ~bound:3 in
+        let body, _ = Irb.junk ctx rng ~seeds:[] ~len in
+        let decoy = { Ir.b_label = decoy_label; body; term = Ir.Jmp cont } in
+        f.Ir.f_blocks <- f.Ir.f_blocks @ [ decoy ];
+        Annot.add_decoy_block annot f.Ir.f_name decoy_label;
+        annot.Annot.predicates_planted <- annot.Annot.predicates_planted + 1
+      end)
+    original
+
+let run ~seed ~annot (p : Ir.program) =
+  List.iter
+    (fun f ->
+      if not (List.mem f.Ir.f_name annot.Annot.decoy_funcs) then
+        obfuscate_func ~rng:(Seed.stream ~seed ~name:f.Ir.f_name ~salt) ~annot f)
+    p.Ir.p_funcs

@@ -9,6 +9,7 @@ type config = {
   mutate_pct : int;
   shrink_budget : int;
   max_failures : int;
+  options : Eric_cc.Driver.options;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     mutate_pct = 30;
     shrink_budget = 400;
     max_failures = 10;
+    options = Eric_cc.Driver.default_options;
   }
 
 type failure = {
@@ -67,7 +69,8 @@ let run ?(config = default_config) ?(on_progress = fun _ -> ()) () =
     if !pool_len < pool_cap then incr pool_len
   in
   let oracle source =
-    Oracle.run ~fuel:config.fuel ~mode:config.mode ~device_id:config.device_id source
+    Oracle.run ~fuel:config.fuel ~mode:config.mode ~device_id:config.device_id
+      ~options:config.options source
   in
   let divergences = ref 0 and compile_errors = ref 0 and mutated = ref 0 in
   let exhausted = ref 0 in
@@ -166,8 +169,8 @@ let run ?(config = default_config) ?(on_progress = fun _ -> ()) () =
   }
 
 let replay ?(fuel = Oracle.default_fuel) ?(mode = Eric.Config.Full) ?(device_id = 0xE51CL)
-    (entry : Corpus.entry) =
-  Oracle.run ~fuel ~mode ~device_id (Gen.of_trace entry.Corpus.trace).Gen.source
+    ?(options = Eric_cc.Driver.default_options) (entry : Corpus.entry) =
+  Oracle.run ~fuel ~mode ~device_id ~options (Gen.of_trace entry.Corpus.trace).Gen.source
 
 let pp_stats fmt s =
   let secs = Int64.to_float s.wall_ns /. 1e9 in

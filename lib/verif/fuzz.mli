@@ -24,6 +24,10 @@ type config = {
   mutate_pct : int;  (** percentage of iterations that mutate the pool *)
   shrink_budget : int;  (** max oracle runs per finding during shrinking *)
   max_failures : int;  (** stop the campaign after this many findings *)
+  options : Eric_cc.Driver.options;
+      (** driver options for the machine paths of every oracle run —
+          install an {!Eric_obf.Obf} transform here to fuzz obfuscated
+          builds against the untransformed interpreter *)
 }
 
 val default_config : config
@@ -60,7 +64,7 @@ val run : ?config:config -> ?on_progress:(int -> unit) -> unit -> outcome
     {!Shrink}). *)
 
 val replay : ?fuel:int -> ?mode:Eric.Config.mode -> ?device_id:int64 ->
-  Corpus.entry -> (Oracle.report, string) result
+  ?options:Eric_cc.Driver.options -> Corpus.entry -> (Oracle.report, string) result
 (** Re-run a persisted reproducer's trace through the oracle (the entry's
     [source] is informative; the trace is authoritative). *)
 

@@ -50,9 +50,16 @@ let of_result (r : Eric_sim.Soc.result) =
   | Eric_sim.Cpu.Faulted msg -> Trap msg
   | Eric_sim.Cpu.Running -> Exhausted
 
-let run ?(fuel = default_fuel) ?(mode = Eric.Config.Full) ?(device_id = 0xE51CL) source =
+let run ?(fuel = default_fuel) ?(mode = Eric.Config.Full) ?(device_id = 0xE51CL)
+    ?(options = Eric_cc.Driver.default_options) source =
   let ( let* ) = Result.bind in
-  let* ir = Eric_cc.Driver.compile_to_ir source in
+  (* The interpreter path strips any IR transform: it executes the
+     pristine program, while the machine paths run the transformed one.
+     A transform that changes observable behaviour therefore shows up
+     as an interp/plain divergence — this is how obfuscation passes are
+     proven semantics-preserving. *)
+  let interp_options = { options with Eric_cc.Driver.transform = None } in
+  let* ir = Eric_cc.Driver.compile_to_ir ~options:interp_options source in
   let interp =
     match Eric_cc.Ir_interp.run ~max_steps:fuel ir with
     | outcome ->
@@ -62,7 +69,7 @@ let run ?(fuel = default_fuel) ?(mode = Eric.Config.Full) ?(device_id = 0xE51CL)
     | exception Eric_cc.Ir_interp.Runtime_error msg -> Trap msg
   in
   let fuel = fuel * soc_fuel_factor in
-  let* image = Eric_cc.Driver.compile source in
+  let* image = Eric_cc.Driver.compile ~options source in
   let plain = of_result (Eric_sim.Soc.run_program ~fuel image) in
   let target = Eric.Target.of_id device_id in
   let key = Eric.Protocol.provision target in

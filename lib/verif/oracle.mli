@@ -54,10 +54,17 @@ val run :
   ?fuel:int ->
   ?mode:Eric.Config.mode ->
   ?device_id:int64 ->
+  ?options:Eric_cc.Driver.options ->
   string ->
   (report, string) result
 (** [run source] compiles once and drives all three paths ([fuel] is in
     IR steps for the interpreter; see {!soc_fuel_factor}).  [Error] means
     the program did not compile — for generated programs that is a
     generator or compiler-frontend bug and is treated as a finding by the
-    fuzz loop, not silently skipped. *)
+    fuzz loop, not silently skipped.
+
+    [options] applies to the machine paths; the interpreter path runs
+    with [options.transform] stripped, so an IR transform (e.g. an
+    {!Eric_obf.Obf} pass set) that alters observable behaviour registers
+    as an interp/plain divergence rather than being compared against
+    itself. *)

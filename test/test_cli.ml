@@ -300,6 +300,43 @@ let test_serve_slo_error_exit_code () =
   in
   check Alcotest.int "blown SLO exits 3" 3 code
 
+(* Run the CLI capturing stdout as well (the obf-metadata report of
+   `lint <pkg>` goes to stdout, the error to stderr). *)
+let run_cli_capture args =
+  with_tmp (fun out_file ->
+      with_tmp (fun err_file ->
+          let cmd =
+            Printf.sprintf "%s %s > %s 2> %s" (Filename.quote cli)
+              (String.concat " " (List.map Filename.quote args))
+              (Filename.quote out_file) (Filename.quote err_file)
+          in
+          let code = Sys.command cmd in
+          let slurp p = In_channel.with_open_bin p In_channel.input_all in
+          (code, slurp out_file, slurp err_file)))
+
+let test_build_unknown_obf_pass_exit_4 () =
+  with_tmp (fun src ->
+      write src (Bytes.of_string "int main() { return 0; }");
+      let code, err = run_cli [ "build"; src; "--obfuscate"; "flatten,bogus" ] in
+      check Alcotest.int "unknown pass is exit 4" 4 code;
+      check Alcotest.bool "error names the pass" true (contains_str err "bogus"))
+
+let test_lint_package_reports_obf_passes () =
+  with_tmp (fun src ->
+      with_tmp (fun pkg ->
+          write src (Bytes.of_string "int main() { println_int(7); return 0; }");
+          let code, _, _ =
+            run_cli_capture
+              [ "build"; src; "-o"; pkg; "--obfuscate"; "opaque,constants" ]
+          in
+          check Alcotest.int "obfuscated build succeeds" 0 code;
+          let code, out, err = run_cli_capture [ "lint"; pkg ] in
+          check Alcotest.bool "package still refuses lint" true (code <> 0);
+          check Alcotest.bool "stdout names the passes" true
+            (contains_str out "package obfuscation: passes constants,opaque");
+          check Alcotest.bool "stderr explains the refusal" true
+            (contains_str err "cannot lint an encrypted package")))
+
 let test_serve_unknown_scenario_usage_error () =
   let code, err = run_cli [ "serve"; "run"; "--scenario"; "nope" ] in
   check Alcotest.bool "non-zero exit" true (code <> 0);
@@ -327,6 +364,10 @@ let () =
           Alcotest.test_case "unknown corner refused" `Quick test_puf_unknown_corner ] );
       ( "fleet",
         [ Alcotest.test_case "reenroll smoke" `Quick test_fleet_reenroll_smoke ] );
+      ( "obfuscate",
+        [ Alcotest.test_case "unknown pass is 4" `Quick test_build_unknown_obf_pass_exit_4;
+          Alcotest.test_case "lint reports package passes" `Quick
+            test_lint_package_reports_obf_passes ] );
       ( "serve",
         [ Alcotest.test_case "scenarios lists presets" `Quick test_serve_scenarios_lists_presets;
           Alcotest.test_case "run smoke is deterministic" `Quick

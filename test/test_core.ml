@@ -175,9 +175,10 @@ let test_package_parse_malformed_classes () =
   expect "entry past text end" "entry out of range" (with_u32 full 8 (text_len + 2));
   (* u32 fields with the sign bit set *)
   expect "negative text length" "negative section length" (with_u32 full 12 (-4));
-  (* reserved flag byte *)
+  (* reserved flag byte (bit 0 is the obfuscation-metadata flag, so the
+     first *reserved* bit is bit 1) *)
   let flags = Bytes.copy full in
-  Bytes.set flags 7 '\x01';
+  Bytes.set flags 7 '\x02';
   expect "reserved flags" "reserved flags set" flags;
   (* truncated / overlong signature section: the total length no longer
      matches the header *)
