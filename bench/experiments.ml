@@ -1068,7 +1068,68 @@ let verif () =
   Report.record ~suite:"verif" ~metric:"inject_key_coverage_pct" ~unit_:"%"
     (100.0 *. Eric_verif.Inject.detection_coverage key);
   Report.record ~suite:"verif" ~metric:"inject_dram_coverage_pct" ~unit_:"%"
-    (100.0 *. Eric_verif.Inject.detection_coverage dram)
+    (100.0 *. Eric_verif.Inject.detection_coverage dram);
+  (* Runtime integrity guard: the residual-exposure-vs-cycle-overhead
+     curve over the same DRAM flips.  The baseline (guard off) is the
+     paper's accepted exposure; the acceptance bar is total detection at
+     the tightest mechanism. *)
+  Report.subheading "DRAM guard sweep (coverage vs cycle overhead, same flips per point)";
+  let mechanisms =
+    Eric_hw.Guard.
+      [ Off;
+        Scrub { interval_cycles = 4096 };
+        Scrub { interval_cycles = 1024 };
+        Scrub { interval_cycles = 256 };
+        Fetch_check;
+        Fetch_and_scrub { interval_cycles = 1024 };
+        Fetch_and_scrub { interval_cycles = 256 } ]
+  in
+  let sweep =
+    match Eric_verif.Inject.dram_sweep ~mechanisms verif_source with
+    | Error e -> failwith ("dram sweep: " ^ e)
+    | Ok s -> s
+  in
+  Report.table
+    ~header:[ "mechanism"; "inj"; "detected"; "silent"; "coverage %"; "overhead" ]
+    (List.map
+       (fun (p : Eric_verif.Inject.sweep_point) ->
+         [ Eric_hw.Guard.mechanism_name p.Eric_verif.Inject.sp_mechanism;
+           Report.i p.Eric_verif.Inject.sp_injections;
+           Report.i p.Eric_verif.Inject.sp_detected;
+           Report.i p.Eric_verif.Inject.sp_silent;
+           Report.f1 (100.0 *. p.Eric_verif.Inject.sp_coverage);
+           Printf.sprintf "%.3f" p.Eric_verif.Inject.sp_overhead ])
+       sweep);
+  List.iter
+    (fun (p : Eric_verif.Inject.sweep_point) ->
+      let m = Eric_hw.Guard.mechanism_name p.Eric_verif.Inject.sp_mechanism in
+      Report.record ~suite:"verif"
+        ~metric:(Printf.sprintf "guard_%s_coverage_pct" m)
+        ~unit_:"%"
+        (100.0 *. p.Eric_verif.Inject.sp_coverage);
+      Report.record ~suite:"verif"
+        ~metric:(Printf.sprintf "guard_%s_overhead" m)
+        ~unit_:"ratio" p.Eric_verif.Inject.sp_overhead)
+    sweep;
+  let coverage_of mech =
+    match
+      List.find_opt
+        (fun (p : Eric_verif.Inject.sweep_point) ->
+          p.Eric_verif.Inject.sp_mechanism = mech)
+        sweep
+    with
+    | Some p -> p.Eric_verif.Inject.sp_coverage
+    | None -> 0.0
+  in
+  let tightest =
+    coverage_of (Eric_hw.Guard.Fetch_and_scrub { interval_cycles = 256 })
+  in
+  if tightest < 0.99 then
+    failwith
+      (Printf.sprintf "dram sweep: tightest guard detects %.1f%% (< 99%%)"
+         (100.0 *. tightest));
+  if coverage_of Eric_hw.Guard.Off >= 0.99 then
+    failwith "dram sweep: baseline should leave residual exposure"
 
 (* ------------------------------------------------------------------ *)
 (* OTA update service scenarios                                        *)
@@ -1099,6 +1160,23 @@ let serve () =
           r.S.quarantine_rate;
         Report.record ~suite ~metric:(m "%s_cache_hit_rate") ~unit_:"ratio"
           r.S.cache_hit_rate;
+        if r.S.faults_injected > 0 then begin
+          (* The soft-error scenario's acceptance bar: every injected
+             upset caught (guard or trap), faulted devices recovered by
+             re-delivery, nothing silently corrupted. *)
+          Report.record ~suite ~metric:(m "%s_faults_injected") ~unit_:"count"
+            (float_of_int r.S.faults_injected);
+          Report.record ~suite ~metric:(m "%s_fault_detection_rate") ~unit_:"ratio"
+            (float_of_int r.S.faults_detected /. float_of_int r.S.faults_injected);
+          Report.record ~suite ~metric:(m "%s_faults_undetected") ~unit_:"count"
+            (float_of_int r.S.faults_undetected);
+          Report.record ~suite ~metric:(m "%s_fault_recovered") ~unit_:"count"
+            (float_of_int r.S.fault_recovered);
+          if r.S.faults_undetected > 0 then
+            failwith
+              (Printf.sprintf "serve bench: %s let %d corrupted execution(s) pass silently"
+                 name r.S.faults_undetected)
+        end;
         if not (S.passed r) then
           failwith
             (Printf.sprintf "serve bench: scenario %s blew its SLO budget: %s" name

@@ -661,6 +661,7 @@ let run_cmd =
           output = Eric_sim.Cpu.output cpu;
           exec_cycles = Eric_sim.Cpu.cycles cpu;
           load_cycles;
+          guard_cycles = 0L;
           instructions = Eric_sim.Cpu.instructions cpu;
           icache_hit_rate = Eric_sim.Cache.hit_rate (Eric_sim.Cpu.icache cpu);
           dcache_hit_rate = Eric_sim.Cache.hit_rate (Eric_sim.Cpu.dcache cpu) }
@@ -694,6 +695,9 @@ let run_cmd =
     | Eric_sim.Cpu.Faulted msg ->
       Printf.eprintf "fault: %s\n" msg;
       exit 124
+    | Eric_sim.Cpu.Integrity_fault msg ->
+      Printf.eprintf "integrity fault: %s\n" msg;
+      exit 123
     | Eric_sim.Cpu.Running -> exit 125
   in
   let fuel_arg =
@@ -1332,50 +1336,95 @@ let verif_fuzz_cmd =
       $ telemetry_arg $ trace_out_arg)
 
 let verif_inject_cmd =
-  let run source_opt regions count seed mode device_id fuel corpus telemetry trace_out =
+  let run source_opt regions count seed mode device_id fuel corpus guard sweep json out
+      min_coverage telemetry trace_out =
     setup_telemetry telemetry trace_out;
     let source =
       match source_opt with Some path -> read_file path | None -> verif_default_source
     in
+    let guard = Eric_hw.Guard.default guard in
     let config =
-      { Eric_verif.Inject.fuel; mode; device_id; seed; count; regions }
+      { Eric_verif.Inject.fuel; mode; device_id; seed; count; regions; guard }
     in
-    match Eric_verif.Inject.campaign ~config source with
-    | Error msg -> die msg
-    | Ok report ->
-      Format.printf "%a@." Eric_verif.Inject.pp_report report;
-      let escaped_protected =
-        List.filter
-          (fun e -> e.Eric_verif.Inject.e_region <> Eric_verif.Inject.Dram)
-          report.Eric_verif.Inject.escapes
-      in
-      (match corpus with
-      | None -> ()
-      | Some dir ->
-        List.iter
-          (fun e ->
-            let entry =
-              {
-                Eric_verif.Corpus.kind =
-                  Eric_verif.Corpus.Injection_escape
-                    {
-                      region = Eric_verif.Inject.region_name e.Eric_verif.Inject.e_region;
-                      bit = e.Eric_verif.Inject.e_bit;
-                    };
-                seed;
-                trace = [||];
-                source;
-                note = "single-bit flip escaped detection";
-              }
-            in
-            match Eric_verif.Corpus.save ~dir entry with
-            | Ok path -> Format.eprintf "escape saved: %s@." path
-            | Error msg -> Format.eprintf "warning: could not save escape: %s@." msg)
-          escaped_protected);
-      if escaped_protected <> [] then
+    let gate coverage =
+      match min_coverage with
+      | Some floor when coverage *. 100.0 < floor ->
         die ~code:exit_failures
-          (Printf.sprintf "%d silent corruption(s) escaped detection in protected regions"
-             (List.length escaped_protected))
+          (Printf.sprintf "detection coverage %.2f%% below required %.2f%%"
+             (100.0 *. coverage) floor)
+      | _ -> ()
+    in
+    match sweep with
+    | Some mechanisms -> (
+      match Eric_verif.Inject.dram_sweep ~config ~mechanisms source with
+      | Error msg -> die msg
+      | Ok points ->
+        let rendered =
+          Eric_telemetry.Json.to_string (Eric_verif.Inject.sweep_to_json points) ^ "\n"
+        in
+        Option.iter (fun path -> write_file path (Bytes.of_string rendered)) out;
+        if json then print_string rendered
+        else
+          List.iter
+            (fun p ->
+              Format.printf "%-16s %6d injections  %8.2f%% coverage  %6.3f overhead@."
+                (Eric_hw.Guard.mechanism_name p.Eric_verif.Inject.sp_mechanism)
+                p.Eric_verif.Inject.sp_injections
+                (100.0 *. p.Eric_verif.Inject.sp_coverage)
+                p.Eric_verif.Inject.sp_overhead)
+            points;
+        let best =
+          List.fold_left
+            (fun acc p -> Float.max acc p.Eric_verif.Inject.sp_coverage)
+            0.0 points
+        in
+        gate best)
+    | None -> (
+      match Eric_verif.Inject.campaign ~config source with
+      | Error msg -> die msg
+      | Ok report ->
+        let rendered =
+          Eric_telemetry.Json.to_string (Eric_verif.Inject.report_to_json config report)
+          ^ "\n"
+        in
+        Option.iter (fun path -> write_file path (Bytes.of_string rendered)) out;
+        if json then print_string rendered
+        else Format.printf "%a@." Eric_verif.Inject.pp_report report;
+        let escaped_protected =
+          List.filter
+            (fun e -> e.Eric_verif.Inject.e_region <> Eric_verif.Inject.Dram)
+            report.Eric_verif.Inject.escapes
+        in
+        (match corpus with
+        | None -> ()
+        | Some dir ->
+          List.iter
+            (fun e ->
+              let entry =
+                {
+                  Eric_verif.Corpus.kind =
+                    Eric_verif.Corpus.Injection_escape
+                      {
+                        region = Eric_verif.Inject.region_name e.Eric_verif.Inject.e_region;
+                        bit = e.Eric_verif.Inject.e_bit;
+                      };
+                  seed;
+                  trace = [||];
+                  source;
+                  note =
+                    "single-bit flip escaped detection; replay: "
+                    ^ Eric_verif.Inject.replay_command ~regions e;
+                }
+              in
+              match Eric_verif.Corpus.save ~dir entry with
+              | Ok path -> Format.eprintf "escape saved: %s@." path
+              | Error msg -> Format.eprintf "warning: could not save escape: %s@." msg)
+            escaped_protected);
+        gate (Eric_verif.Inject.detection_coverage report);
+        if escaped_protected <> [] then
+          die ~code:exit_failures
+            (Printf.sprintf "%d silent corruption(s) escaped detection in protected regions"
+               (List.length escaped_protected)))
   in
   let source_arg =
     Arg.(
@@ -1396,19 +1445,62 @@ let verif_inject_cmd =
       value & opt (some string) None
       & info [ "corpus" ] ~docv:"DIR" ~doc:"Persist escape reproducers to DIR.")
   in
+  let guard_mech_conv =
+    let parse s = Result.map_error (fun e -> `Msg e) (Eric_hw.Guard.mechanism_of_string s) in
+    Arg.conv (parse, Eric_hw.Guard.pp_mechanism)
+  in
+  let guard_arg =
+    Arg.(
+      value
+      & opt guard_mech_conv Eric_hw.Guard.Off
+      & info [ "guard" ] ~docv:"MECH"
+          ~doc:
+            "Runtime integrity guard active during dram injections: off, fetch, scrub:N or \
+             fetch+scrub:N (N = scrub interval in cycles).")
+  in
+  let sweep_arg =
+    Arg.(
+      value
+      & opt (some (list guard_mech_conv)) None
+      & info [ "guard-sweep" ] ~docv:"MECHS"
+          ~doc:
+            "Run one dram-only campaign per comma-separated guard mechanism and report the \
+             coverage-vs-overhead curve instead of a single campaign.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the JSON report to stdout instead of the table.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report to FILE.")
+  in
+  let min_coverage_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "min-coverage" ] ~docv:"PCT"
+          ~doc:
+            "Exit 3 when pooled detection coverage (best sweep point under --guard-sweep) \
+             falls below PCT percent.")
+  in
   Cmd.v
     (Cmd.info "inject" ~exits:campaign_exits
        ~doc:
          "Fault injection: flip single bits in package regions in transit, in DRAM after \
           validation, or in the device key, and classify each flip as detected, masked or \
-          silent corruption.  Exits 3 on silent corruption anywhere the HDE is supposed to \
-          protect (everywhere but dram).")
+          silent corruption.  With --guard the runtime integrity guard re-checks resident \
+          memory during dram runs.  Exits 3 on silent corruption anywhere the HDE is \
+          supposed to protect (everywhere but dram), or when coverage falls below \
+          --min-coverage.")
     Term.(
       const run $ source_arg $ regions_arg
       $ verif_count_arg ~default:1000 ~doc:"Number of single-bit injections."
       $ verif_seed_arg ~default:0x1A7EC7L
       $ mode_arg_with Eric_verif.Inject.default_config.Eric_verif.Inject.mode
-      $ device_id_arg $ verif_fuel_arg $ corpus_arg $ telemetry_arg $ trace_out_arg)
+      $ device_id_arg $ verif_fuel_arg $ corpus_arg $ guard_arg $ sweep_arg $ json_arg
+      $ out_arg $ min_coverage_arg $ telemetry_arg $ trace_out_arg)
 
 let verif_shrink_cmd =
   let run file size fuel mode device_id budget =

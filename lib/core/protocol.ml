@@ -34,6 +34,7 @@ let pp_outcome fmt = function
         match s with
         | Eric_sim.Cpu.Exited c -> Format.fprintf f "exit %d" c
         | Eric_sim.Cpu.Faulted m -> Format.fprintf f "fault: %s" m
+        | Eric_sim.Cpu.Integrity_fault m -> Format.fprintf f "integrity fault: %s" m
         | Eric_sim.Cpu.Running -> Format.pp_print_string f "running")
       r.Eric_sim.Soc.status
       (Eric_sim.Soc.total_cycles r)

@@ -1,3 +1,5 @@
+type health = Healthy | Integrity_faulted of string
+
 type t = {
   device_ : Eric_puf.Device.t;
   context : Kmu.context;
@@ -6,10 +8,14 @@ type t = {
       (** cached boot outcome; the silicon recomputes it at boot.  The
           plain [create] path always lands in [Ok]; helper-data boots can
           land in [Error], and such a target refuses every load. *)
+  mutable health : health;
+      (** outcome of the last execution: a device whose integrity guard
+          fired stays [Integrity_faulted] until something runs clean on
+          it again (re-shipping the image is the recovery path) *)
 }
 
 let create ?(context = Kmu.default_context) ?(hde = Eric_hw.Hde.default_config) device_ =
-  { device_; context; hde; key = Ok (Kmu.device_key ~context device_) }
+  { device_; context; hde; key = Ok (Kmu.device_key ~context device_); health = Healthy }
 
 let of_id ?context ?hde id = create ?context ?hde (Eric_puf.Device.manufacture id)
 
@@ -29,11 +35,19 @@ let create_with_helper ?(context = Kmu.default_context)
       + hde.Eric_hw.Hde.sha_block_cycles
     in
     let hde = { hde with Eric_hw.Hde.key_setup_cycles = setup } in
-    { device_; context; hde; key = Ok (Kmu.derive ~puf_key:r.Eric_puf.Fuzzy.key context) }
-  | Error f -> { device_; context; hde; key = Error f }
+    {
+      device_;
+      context;
+      hde;
+      key = Ok (Kmu.derive ~puf_key:r.Eric_puf.Fuzzy.key context);
+      health = Healthy;
+    }
+  | Error f -> { device_; context; hde; key = Error f; health = Healthy }
 
 let device t = t.device_
 let key_state t = t.key
+let health t = t.health
+let hde_config t = t.hde
 
 let derived_key t =
   match t.key with
@@ -106,11 +120,20 @@ let receive_bytes t bytes =
     Error e
   | Ok pkg -> receive t pkg
 
+let run ?timing ?fuel ?corrupt t { image; load; _ } =
+  let memory = Eric_sim.Soc.load image in
+  (match corrupt with None -> () | Some f -> f memory image);
+  let result =
+    Eric_sim.Soc.run_loaded ?timing ?fuel ~guard:t.hde.Eric_hw.Hde.guard
+      ~load_cycles:load.Eric_hw.Hde.total_cycles image memory
+  in
+  (t.health <-
+     (match result.Eric_sim.Soc.status with
+     | Eric_sim.Cpu.Integrity_fault msg -> Integrity_faulted msg
+     | _ -> Healthy));
+  result
+
 let execute ?timing ?fuel t pkg =
   match receive t pkg with
   | Error e -> Error e
-  | Ok { image; load; _ } ->
-    let memory = Eric_sim.Soc.load image in
-    Ok
-      (Eric_sim.Soc.run_loaded ?timing ?fuel ~load_cycles:load.Eric_hw.Hde.total_cycles image
-         memory)
+  | Ok loaded -> Ok (run ?timing ?fuel t loaded)

@@ -10,6 +10,8 @@
 
 type t
 
+type health = Healthy | Integrity_faulted of string
+
 val create :
   ?context:Kmu.context -> ?hde:Eric_hw.Hde.config -> Eric_puf.Device.t -> t
 (** Plain majority-vote key path (assumes nominal conditions; always
@@ -39,6 +41,17 @@ val device : t -> Eric_puf.Device.t
 val key_state : t -> (bytes, Eric_puf.Fuzzy.failure) result
 (** The boot outcome: the derived working key, or the typed
     reconstruction failure this target is refusing loads with. *)
+
+val health : t -> health
+(** What the last execution left behind: [Integrity_faulted] when the
+    runtime guard found resident memory diverging from its load-time
+    digests.  A faulted device is recoverable — re-shipping and cleanly
+    re-running the image restores [Healthy] — and distinct from a
+    {!load_error}, which refuses before anything runs. *)
+
+val hde_config : t -> Eric_hw.Hde.config
+(** The device's HDE configuration, including its integrity-guard
+    mechanism. *)
 
 val derived_key : t -> bytes
 (** The device's PUF-based key for its current KMU context (what
@@ -74,6 +87,21 @@ type loaded = {
 
 val receive : t -> Package.t -> (loaded, load_error) result
 val receive_bytes : t -> bytes -> (loaded, load_error) result
+
+val run :
+  ?timing:Eric_sim.Cpu.timing ->
+  ?fuel:int ->
+  ?corrupt:(Eric_sim.Memory.t -> Eric_rv.Program.t -> unit) ->
+  t ->
+  loaded ->
+  Eric_sim.Soc.result
+(** Load a received image into SoC memory and run it under the device's
+    integrity guard ({!Eric_hw.Hde.config.guard}), accounting the HDE's
+    load cycles.  [corrupt], applied after the load and before the first
+    instruction, injects post-validation memory faults (soft-error
+    campaigns); the guard enrolled its reference digests during the HDE
+    load, so such corruption diverges from them.  Updates {!health} from
+    the run's outcome. *)
 
 val execute :
   ?timing:Eric_sim.Cpu.timing ->

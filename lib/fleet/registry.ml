@@ -25,6 +25,10 @@ type t = {
       (* per (device, KMU context): Target.create replays the PUF
          majority-vote key derivation, which real silicon does once per
          boot, not once per packet *)
+  mutable hde : Eric_hw.Hde.config option;
+      (* fleet-wide HDE provisioning override (None = hardware default);
+         the serve layer sets this to enable the runtime integrity guard
+         on every device the registry boots *)
   lock : Mutex.t;
       (* guards the three tables and [rev_order] so engine workers can
          address targets concurrently.  Boots themselves run outside the
@@ -44,6 +48,7 @@ let create () =
     byid = Hashtbl.create 64;
     devices = Hashtbl.create 64;
     targets = Hashtbl.create 64;
+    hde = None;
     lock = Mutex.create ();
   }
 
@@ -83,11 +88,12 @@ let target_for ?env t ~context:(c : Eric.Kmu.context) id =
        every context this device is addressed under (rotation included);
        legacy entries keep the plain majority-vote boot.  The boot runs
        outside the lock — see the [lock] invariant above. *)
+    let hde = t.hde in
     let tg =
       match find t id with
       | Some { helper = Some h; _ } ->
-        Eric.Target.create_with_helper ~context:c ?env (device t id) h
-      | Some { helper = None; _ } | None -> Eric.Target.create ~context:c (device t id)
+        Eric.Target.create_with_helper ~context:c ?hde ?env (device t id) h
+      | Some { helper = None; _ } | None -> Eric.Target.create ~context:c ?hde (device t id)
     in
     locked t (fun () ->
         match Hashtbl.find_opt t.targets k with
@@ -97,6 +103,15 @@ let target_for ?env t ~context:(c : Eric.Kmu.context) id =
           tg)
 
 let target ?env t (e : entry) = target_for ?env t ~context:(context e) e.device_id
+
+let set_hde t config =
+  locked t (fun () ->
+      t.hde <- Some config;
+      (* Already-booted targets were built with the old silicon config;
+         dropping the memo makes the next addressing re-boot under the
+         new one (key reconstruction is re-paid — provisioning a fleet
+         is rare, per-packet addressing is not). *)
+      Hashtbl.reset t.targets)
 
 let invalidate_targets t id =
   locked t (fun () ->

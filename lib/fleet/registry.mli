@@ -60,6 +60,13 @@ val target_for :
   Eric.Target.t
 (** Same memoized addressing under an arbitrary context (key rotation). *)
 
+val set_hde : t -> Eric_hw.Hde.config -> unit
+(** Provision every device this registry boots with the given HDE
+    configuration — how the serve layer turns on the runtime integrity
+    guard ({!Eric_hw.Hde.config.guard}) fleet-wide.  Drops all memoized
+    boots, so already-addressed devices re-boot under the new silicon
+    config on next use. *)
+
 val invalidate_targets : t -> Eric_puf.Device.id -> unit
 (** Drop the memoized boots of one device (all contexts); the next
     addressing re-runs key reconstruction.  {!update} calls this itself

@@ -1,0 +1,95 @@
+type mechanism =
+  | Off
+  | Scrub of { interval_cycles : int }
+  | Fetch_check
+  | Fetch_and_scrub of { interval_cycles : int }
+
+type config = {
+  mechanism : mechanism;
+  granule_bytes : int;
+  hash_granule_cycles : int;
+  compare_cycles : int;
+}
+
+let default mechanism =
+  { mechanism; granule_bytes = 64; hash_granule_cycles = 65; compare_cycles = 4 }
+
+let disabled = default Off
+let scrub ~interval_cycles = default (Scrub { interval_cycles })
+let fetch_check = default Fetch_check
+let fetch_and_scrub ~interval_cycles = default (Fetch_and_scrub { interval_cycles })
+
+let scrub_interval cfg =
+  match cfg.mechanism with
+  | Scrub { interval_cycles } | Fetch_and_scrub { interval_cycles } -> Some interval_cycles
+  | Off | Fetch_check -> None
+
+let validate cfg =
+  if cfg.granule_bytes <= 0 then Error "guard granule_bytes must be positive"
+  else if cfg.hash_granule_cycles < 0 || cfg.compare_cycles < 0 then
+    Error "guard cycle costs must be non-negative"
+  else
+    match scrub_interval cfg with
+    | Some i when i <= 0 -> Error "guard scrub interval must be positive"
+    | Some _ | None -> Ok cfg
+
+let enabled cfg = cfg.mechanism <> Off
+let scrubs cfg = scrub_interval cfg <> None
+
+let fetch_checked cfg =
+  match cfg.mechanism with
+  | Fetch_check | Fetch_and_scrub _ -> true
+  | Off | Scrub _ -> false
+
+let ceil_div a b = (a + b - 1) / b
+
+let granules cfg ~bytes =
+  if bytes < 0 then invalid_arg "Guard.granules: negative byte count";
+  ceil_div bytes cfg.granule_bytes
+
+let enroll_cycles cfg ~resident_bytes =
+  if enabled cfg then granules cfg ~bytes:resident_bytes * cfg.hash_granule_cycles else 0
+
+let scrub_pass_cycles cfg ~resident_bytes =
+  if scrubs cfg then
+    granules cfg ~bytes:resident_bytes * (cfg.hash_granule_cycles + cfg.compare_cycles)
+  else 0
+
+let fetch_check_cycles cfg =
+  if fetch_checked cfg then cfg.hash_granule_cycles + cfg.compare_cycles else 0
+
+let overhead_rate cfg ~resident_bytes =
+  match scrub_interval cfg with
+  | None -> 0.0
+  | Some interval ->
+    float_of_int (scrub_pass_cycles cfg ~resident_bytes) /. float_of_int interval
+
+let mechanism_name = function
+  | Off -> "off"
+  | Scrub { interval_cycles } -> Printf.sprintf "scrub:%d" interval_cycles
+  | Fetch_check -> "fetch"
+  | Fetch_and_scrub { interval_cycles } -> Printf.sprintf "fetch+scrub:%d" interval_cycles
+
+let mechanism_of_string s =
+  let interval_of prefix rest =
+    match int_of_string_opt rest with
+    | Some i when i > 0 -> Ok i
+    | Some _ | None ->
+      Error (Printf.sprintf "%s wants a positive cycle interval, got %S" prefix rest)
+  in
+  match String.split_on_char ':' s with
+  | [ "off" ] -> Ok Off
+  | [ "fetch" ] -> Ok Fetch_check
+  | [ "scrub"; n ] ->
+    Result.map (fun interval_cycles -> Scrub { interval_cycles }) (interval_of "scrub" n)
+  | [ "fetch+scrub"; n ] ->
+    Result.map
+      (fun interval_cycles -> Fetch_and_scrub { interval_cycles })
+      (interval_of "fetch+scrub" n)
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown guard mechanism %S (expected off | scrub:CYCLES | fetch | fetch+scrub:CYCLES)"
+         s)
+
+let pp_mechanism fmt m = Format.pp_print_string fmt (mechanism_name m)

@@ -1,0 +1,96 @@
+(** Cycle model of the runtime integrity guard.
+
+    The HDE validates a package's signature exactly once, at load time:
+    a bit flip in DRAM *after* validation executes silently unless it
+    happens to trap (the fault-injection campaign measures that residual
+    exposure at roughly half).  The guard closes this post-validation
+    window with hardware the HDE already has — the shared SHA core and
+    the DMA path — by keeping per-granule reference digests of the
+    resident image, computed once while the load streams through, and
+    re-checking them while the program runs.
+
+    Two mechanisms, selectable per device:
+
+    - {b periodic scrub}: a background pass re-hashes every resident
+      granule against its reference digest on a configurable cycle
+      interval.  Granules legitimately written by the program since the
+      last pass (data/bss) are re-enrolled instead of checked; text is
+      never legitimately written, so any text mismatch faults.  Cost is
+      one granule hash + compare per granule per pass, so the overhead
+      rate is [scrub_pass_cycles / interval] — the knob the
+      coverage-vs-overhead sweep turns.
+    - {b re-validate on fetch}: the I-side fill path re-hashes the
+      granule containing the missed line before the core may execute
+      from it, amortizing the check into the existing L1I miss penalty.
+      Cheap (pay only on misses) but I-side only: data corruption is
+      not covered.
+
+    [Fetch_and_scrub] combines both.  This module is the pure cost/
+    configuration model; the functional runtime (digest state, dirty
+    tracking, the fault itself) lives in [Eric_sim.Integrity], and the
+    detection coverage it buys is measured by [Eric_verif.Inject]. *)
+
+type mechanism =
+  | Off
+  | Scrub of { interval_cycles : int }
+      (** full re-hash pass every [interval_cycles] cycles *)
+  | Fetch_check  (** granule digest check on every I-cache miss *)
+  | Fetch_and_scrub of { interval_cycles : int }
+
+type config = {
+  mechanism : mechanism;
+  granule_bytes : int;  (** digest granule; default 64 = one SHA block *)
+  hash_granule_cycles : int;
+      (** re-hash one granule on the shared SHA core (default 65,
+          matching {!Hde.config.sha_block_cycles}) *)
+  compare_cycles : int;  (** digest compare + fault sequencing *)
+}
+
+val disabled : config
+(** [mechanism = Off]; every cost function returns 0. *)
+
+val default : mechanism -> config
+(** Default granule/cycle parameters around the given mechanism. *)
+
+val scrub : interval_cycles:int -> config
+val fetch_check : config
+val fetch_and_scrub : interval_cycles:int -> config
+
+val validate : config -> (config, string) result
+(** Positive granule size and interval, non-negative cycle costs. *)
+
+val enabled : config -> bool
+val scrubs : config -> bool
+val fetch_checked : config -> bool
+
+val scrub_interval : config -> int option
+(** [Some interval] for the scrubbing mechanisms. *)
+
+val granules : config -> bytes:int -> int
+(** Granules covering [bytes] (ceiling division). *)
+
+val enroll_cycles : config -> resident_bytes:int -> int
+(** One-time cost, at load, of computing the reference digests over the
+    resident image.  0 when disabled. *)
+
+val scrub_pass_cycles : config -> resident_bytes:int -> int
+(** Cost of one full scrub pass (hash + compare per granule).  0 unless
+    the mechanism scrubs. *)
+
+val fetch_check_cycles : config -> int
+(** Extra cycles added to one I-cache miss (hash + compare of the
+    granule being filled).  0 unless the mechanism fetch-checks. *)
+
+val overhead_rate : config -> resident_bytes:int -> float
+(** Steady-state scrub bandwidth: [scrub_pass_cycles / interval], the
+    fraction of all cycles the shared SHA core spends re-hashing.  0 for
+    non-scrubbing mechanisms (fetch-check cost depends on the miss rate,
+    which only the simulator knows). *)
+
+val mechanism_name : mechanism -> string
+(** Stable spelling: ["off"], ["scrub:N"], ["fetch"], ["fetch+scrub:N"]. *)
+
+val mechanism_of_string : string -> (mechanism, string) result
+(** Inverse of {!mechanism_name}. *)
+
+val pp_mechanism : Format.formatter -> mechanism -> unit

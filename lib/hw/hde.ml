@@ -6,6 +6,7 @@ type config = {
   key_setup_cycles : int;
   validation_cycles : int;
   pipelined : bool;
+  guard : Guard.config;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
        sequencing, plus one SHA block for the derivation *)
     validation_cycles = 40;
     pipelined = false;
+    guard = Guard.disabled;
   }
 
 type breakdown = {
@@ -26,6 +28,7 @@ type breakdown = {
   hash_cycles : int64;
   keystream_cycles : int64;
   xor_cycles : int64;
+  guard_cycles : int64;
   fixed_cycles : int64;
   total_cycles : int64;
 }
@@ -40,10 +43,16 @@ let load_encrypted cfg ~image_bytes ~hashed_bytes ~encrypted_bytes =
   let hash = (ceil_div hashed_bytes 64 + 1) * cfg.sha_block_cycles in
   let keystream = ceil_div encrypted_bytes 32 * cfg.keystream_block_cycles in
   let xor = ceil_div encrypted_bytes cfg.xor_bytes_per_cycle in
+  (* Guard enrollment digests the plaintext resident footprint as it
+     lands in memory — the same bytes the Signature Generator hashes.
+     With the single shared SHA core it serialises with the other
+     stages; a pipelined HDE gives the guard its own digest engine, so
+     enrollment overlaps and only bounds the load from below. *)
+  let guard = Guard.enroll_cycles cfg.guard ~resident_bytes:hashed_bytes in
   let fixed = cfg.key_setup_cycles + cfg.validation_cycles in
   let stage_cycles =
-    if cfg.pipelined then max (max dma hash) (max keystream xor)
-    else dma + hash + keystream + xor
+    if cfg.pipelined then max (max (max dma hash) (max keystream xor)) guard
+    else dma + hash + keystream + xor + guard
   in
   let b =
     {
@@ -51,6 +60,7 @@ let load_encrypted cfg ~image_bytes ~hashed_bytes ~encrypted_bytes =
       hash_cycles = Int64.of_int hash;
       keystream_cycles = Int64.of_int keystream;
       xor_cycles = Int64.of_int xor;
+      guard_cycles = Int64.of_int guard;
       fixed_cycles = Int64.of_int fixed;
       total_cycles = Int64.of_int (stage_cycles + fixed);
     }
@@ -62,6 +72,7 @@ let load_encrypted cfg ~image_bytes ~hashed_bytes ~encrypted_bytes =
     stage "hash" b.hash_cycles;
     stage "keystream" b.keystream_cycles;
     stage "xor" b.xor_cycles;
+    stage "guard" b.guard_cycles;
     stage "fixed" b.fixed_cycles;
     stage "total" b.total_cycles;
     Eric_telemetry.Registry.observe "hde.load_cycles_hist" (Int64.to_float b.total_cycles)
@@ -83,5 +94,6 @@ let load_plain cfg ~image_bytes =
 
 let pp_breakdown fmt b =
   Format.fprintf fmt
-    "total %Ld cycles (dma %Ld, hash %Ld, keystream %Ld, xor %Ld, fixed %Ld)" b.total_cycles
-    b.dma_cycles b.hash_cycles b.keystream_cycles b.xor_cycles b.fixed_cycles
+    "total %Ld cycles (dma %Ld, hash %Ld, keystream %Ld, xor %Ld, guard %Ld, fixed %Ld)"
+    b.total_cycles b.dma_cycles b.hash_cycles b.keystream_cycles b.xor_cycles b.guard_cycles
+    b.fixed_cycles

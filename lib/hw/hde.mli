@@ -37,6 +37,12 @@ type config = {
           keystream stages serialise and the load time is the *sum* of the
           stages.  [true] models a larger HDE with independent cores, where
           load time is bounded by the slowest stage. *)
+  guard : Guard.config;
+      (** runtime integrity guard (default {!Guard.disabled}).  When
+          enabled, the load path additionally enrolls per-granule
+          reference digests of the resident image
+          ({!Guard.enroll_cycles}); the runtime checks are charged by
+          the simulator as the program runs. *)
 }
 
 val default_config : config
@@ -46,6 +52,10 @@ type breakdown = {
   hash_cycles : int64;
   keystream_cycles : int64;
   xor_cycles : int64;
+  guard_cycles : int64;
+      (** guard reference-digest enrollment over the resident bytes;
+          0 when the guard is disabled.  Serialises with the other
+          stages on the shared SHA core; overlaps when [pipelined]. *)
   fixed_cycles : int64;
   total_cycles : int64;  (** max of the pipelined stages + fixed *)
 }

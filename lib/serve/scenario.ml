@@ -4,6 +4,8 @@ type profile =
 
 type channel = Clean | Flaky of { probability : float }
 
+type faults = No_faults | Soft_errors of { per_exec : float }
+
 type costs = {
   overhead_ns : int64;
   prepare_ns : int64;
@@ -33,6 +35,8 @@ type t = {
   queue_capacity : int;
   servers : int;
   channel : channel;
+  faults : faults;
+  guard : Eric_hw.Guard.config;
   costs : costs;
   budgets : budgets;
 }
@@ -77,6 +81,8 @@ let steady =
     queue_capacity = 256;
     servers = 2;
     channel = Clean;
+    faults = No_faults;
+    guard = Eric_hw.Guard.disabled;
     costs = default_costs;
     budgets = { p99_budget_ms = 250.0; refusal_budget = 0.01; quarantine_budget = 0.01 };
   }
@@ -94,6 +100,8 @@ let flash_crowd =
     queue_capacity = 256;
     servers = 2;
     channel = Clean;
+    faults = No_faults;
+    guard = Eric_hw.Guard.disabled;
     costs = default_costs;
     budgets = { p99_budget_ms = 1_000.0; refusal_budget = 0.35; quarantine_budget = 0.01 };
   }
@@ -111,11 +119,41 @@ let rotation_storm =
     queue_capacity = 256;
     servers = 2;
     channel = Flaky { probability = 0.25 };
+    faults = No_faults;
+    guard = Eric_hw.Guard.disabled;
     costs = default_costs;
     budgets = { p99_budget_ms = 400.0; refusal_budget = 0.01; quarantine_budget = 0.05 };
   }
 
-let presets = [ steady; flash_crowd; rotation_storm ]
+let soft_error_storm =
+  {
+    name = "soft-error-storm";
+    description = "DRAM upsets corrupt 30% of executions; the scrub guard re-delivers";
+    (* Guarded on-device execution is billed into service time (the
+       scrub passes alone multiply run time), so this scenario trades
+       throughput for integrity: a quarter of steady's rate on more
+       servers, with a latency budget that absorbs re-delivery. *)
+    profile = Constant 15.0;
+    duration_ns = 20_000_000_000L;
+    tenants = 3;
+    devices_per_tenant = 16;
+    zipf_exponent = 1.0;
+    rotate_fraction = 0.02;
+    queue_capacity = 256;
+    servers = 3;
+    channel = Clean;
+    faults = Soft_errors { per_exec = 0.3 };
+    guard = Eric_hw.Guard.fetch_and_scrub ~interval_cycles:512;
+    costs = default_costs;
+    (* At a 30% upset rate, a device drawing [quarantine_refusals] guard
+       faults across one delivery (~0.3^4) is expected a few times per
+       run, and every later request to it re-counts — the budget admits
+       that; what it must never admit is a silent escape
+       ([faults_undetected], a violation at any count). *)
+    budgets = { p99_budget_ms = 2_000.0; refusal_budget = 0.01; quarantine_budget = 0.10 };
+  }
+
+let presets = [ steady; flash_crowd; rotation_storm; soft_error_storm ]
 let names = List.map (fun t -> t.name) presets
 
 let by_name name =

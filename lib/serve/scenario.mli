@@ -12,6 +12,12 @@ type profile =
 
 type channel = Clean | Flaky of { probability : float }
 
+type faults = No_faults | Soft_errors of { per_exec : float }
+(** [Soft_errors] corrupts resident DRAM (a single text-region bit flip)
+    on that fraction of executions, after HDE validation and before the
+    first instruction — the post-validation exposure window the runtime
+    integrity guard covers. *)
+
 type costs = {
   overhead_ns : int64;  (** fixed handling cost per served request *)
   prepare_ns : int64;  (** compile+prepare on an artifact-cache miss *)
@@ -41,6 +47,11 @@ type t = {
   queue_capacity : int;
   servers : int;
   channel : channel;
+  faults : faults;
+  guard : Eric_hw.Guard.config;
+      (** integrity-guard mechanism provisioned on every device the run
+          addresses; scenarios with [faults] enable one so corrupted
+          executions fault instead of completing silently *)
   costs : costs;
   budgets : budgets;
 }
@@ -48,6 +59,12 @@ type t = {
 val steady : t
 val flash_crowd : t
 val rotation_storm : t
+
+val soft_error_storm : t
+(** DRAM soft errors on 30% of executions under a tight
+    fetch+scrub guard: every corrupted run must integrity-fault and be
+    absorbed by re-delivery (the report's [faults_undetected] must stay
+    0 for the SLO to pass). *)
 
 val presets : t list
 val names : string list

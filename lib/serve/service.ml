@@ -32,6 +32,10 @@ type state = {
   mutable quarantined : int;
   mutable rotations : int;
   mutable retried : int;
+  mutable faults_injected : int;
+  mutable faults_detected : int;
+  mutable faults_undetected : int;
+  mutable fault_recovered : int;
 }
 
 let quarantine ~reason st tenant (r : Traffic.request) =
@@ -117,16 +121,87 @@ let serve_one st (r : Traffic.request) ~start =
                 (float_of_int build.Eric.Source.plain_size
                 *. c.Scenario.personalize_ns_per_byte);
               let channel = Scenario.channel_of st.scenario ~seed:st.seed ~seq:r.r_seq in
-              let delivery =
-                Shipper.ship ~policy:st.policy ~channel ~clock:st.clock ~build ~target ()
+              let fires, soft_errors =
+                match st.scenario.Scenario.faults with
+                | Scenario.No_faults -> (None, None)
+                | Scenario.Soft_errors { per_exec } ->
+                    let fires = ref 0 in
+                    (* One bit flipped in resident text, after HDE
+                       validation and before the first instruction —
+                       salted by (run seed, request, attempt) so a retry
+                       of the same request draws an independent upset. *)
+                    let inject ~attempt memory (image : Eric_rv.Program.t) =
+                      let rng =
+                        Eric_util.Prng.create
+                          ~seed:
+                            (Int64.logxor st.seed
+                               (Int64.of_int ((r.r_seq * 0x10001) + attempt)))
+                      in
+                      if Eric_util.Prng.float rng < per_exec then begin
+                        incr fires;
+                        let text_len = Eric_rv.Program.text_size image in
+                        let bit = Eric_util.Prng.int rng ~bound:(text_len * 8) in
+                        let addr = Eric_rv.Program.Layout.text_base + (bit / 8) in
+                        Eric_sim.Memory.write_u8 memory addr
+                          (Eric_sim.Memory.read_u8 memory addr lxor (1 lsl (bit mod 8)))
+                      end
+                    in
+                    (Some fires, Some inject)
               in
+              let execute = Option.is_some soft_errors in
+              let delivery =
+                Shipper.ship ~policy:st.policy ~channel ~execute
+                  ?fuel:(if execute then Some 2_000_000 else None)
+                  ~clock:st.clock ?soft_errors ~build ~target ()
+              in
+              (match fires with
+              | None -> ()
+              | Some fires ->
+                  let guard_faults = delivery.Shipper.integrity_faults in
+                  (* Same convention as the verif DRAM campaign
+                     (trap_is_detection): a corrupted execution the
+                     machine aborts with its own fault was caught, not
+                     silent — only a run that *completes* on corrupted
+                     memory counts as undetected. *)
+                  let trap_detected =
+                    match delivery.Shipper.outcome with
+                    | Shipper.Delivered
+                        {
+                          exec = Some { Eric_sim.Soc.status = Eric_sim.Cpu.Faulted _; _ };
+                          _;
+                        }
+                      when !fires > guard_faults ->
+                        1
+                    | _ -> 0
+                  in
+                  let detected = guard_faults + trap_detected in
+                  st.faults_injected <- st.faults_injected + !fires;
+                  st.faults_detected <- st.faults_detected + detected;
+                  st.faults_undetected <- st.faults_undetected + max 0 (!fires - detected);
+                  if !fires > 0 then
+                    T.inc ~by:(Int64.of_int !fires) "serve.faults_injected_total";
+                  if detected > 0 then
+                    T.inc ~by:(Int64.of_int detected) "serve.faults_detected_total");
               add_f
                 (float_of_int (delivery.Shipper.wire_bytes * delivery.Shipper.attempts)
                 *. c.Scenario.wire_ns_per_byte);
               add delivery.Shipper.backoff_ns;
               (match delivery.Shipper.outcome with
-              | Shipper.Delivered { load_cycles; _ } ->
+              | Shipper.Delivered { load_cycles; exec } ->
                   add_f (Int64.to_float load_cycles *. c.Scenario.cycle_ns);
+                  (* Executed requests also bill on-device run time; the
+                     guard's scrub/fetch-check cycles are already charged
+                     into [exec_cycles], so its overhead shows up in the
+                     served latency, not a side channel. *)
+                  (match exec with
+                  | Some res ->
+                      add_f
+                        (Int64.to_float res.Eric_sim.Soc.exec_cycles *. c.Scenario.cycle_ns)
+                  | None -> ());
+                  if delivery.Shipper.integrity_faults > 0 then begin
+                    st.fault_recovered <- st.fault_recovered + 1;
+                    T.inc "serve.faults_recovered_total"
+                  end;
                   st.served <- st.served + 1;
                   if Shipper.retried delivery then st.retried <- st.retried + 1;
                   T.inc "serve.served_total";
@@ -175,8 +250,21 @@ let run ?(seed = 1L) ?cache_dir ?(policy = Eric_fleet.Backoff.default)
       quarantined = 0;
       rotations = 0;
       retried = 0;
+      faults_injected = 0;
+      faults_detected = 0;
+      faults_undetected = 0;
+      fault_recovered = 0;
     }
   in
+  (* Fault-injecting scenarios provision every device with the scenario's
+     integrity guard: corrupted executions must fault (and re-deliver)
+     instead of completing silently. *)
+  if Eric_hw.Guard.enabled scenario.Scenario.guard then
+    Array.iter
+      (fun tn ->
+        Registry.set_hde (Tenant.registry tn)
+          { Eric_hw.Hde.default_config with Eric_hw.Hde.guard = scenario.Scenario.guard })
+      tenants;
   let requests =
     Traffic.generate ~rng:traffic_rng ~rate:(Scenario.rate scenario)
       ~max_rate:(Scenario.max_rate scenario)
@@ -218,7 +306,9 @@ let run ?(seed = 1L) ?cache_dir ?(policy = Eric_fleet.Backoff.default)
     requests;
   drain Int64.max_int;
   Slo.make ~scenario ~seed
+    ~faults_injected:st.faults_injected ~faults_detected:st.faults_detected
+    ~faults_undetected:st.faults_undetected ~fault_recovered:st.fault_recovered
     ~completed_ns:(Eric_util.Sim_clock.now_ns st.clock)
     ~requests:(List.length requests) ~served:st.served ~refused:st.refused
     ~quarantined:st.quarantined ~rotations:st.rotations ~retried:st.retried
-    ~queue_peak:(Admit.peak queue) ~cache:st.cache ~latency_hist:st.latency
+    ~queue_peak:(Admit.peak queue) ~cache:st.cache ~latency_hist:st.latency ()

@@ -12,6 +12,10 @@ type report = {
   rotations : int;
   retried : int;
   queue_peak : int;
+  faults_injected : int;
+  faults_detected : int;
+  faults_undetected : int;
+  fault_recovered : int;
   cache_hits : int;
   cache_disk_hits : int;
   cache_misses : int;
@@ -27,8 +31,15 @@ let passed r = r.violations = []
 
 let rate ~total n = if total = 0 then 0.0 else float_of_int n /. float_of_int total
 
-let violations ~(budgets : Scenario.budgets) ~latency ~refusal_rate ~quarantine_rate =
+let violations ~(budgets : Scenario.budgets) ~latency ~refusal_rate ~quarantine_rate
+    ~faults_undetected =
   let v = ref [] in
+  (* Not a rate: one execution completing on corrupted memory is a
+     correctness failure, not a degradation. *)
+  if faults_undetected > 0 then
+    v :=
+      Printf.sprintf "%d execution(s) ran corrupted memory undetected" faults_undetected
+      :: !v;
   if latency.p99_ms > budgets.p99_budget_ms then
     v :=
       Printf.sprintf "p99 latency %.1f ms exceeds budget %.1f ms" latency.p99_ms
@@ -46,8 +57,9 @@ let violations ~(budgets : Scenario.budgets) ~latency ~refusal_rate ~quarantine_
       :: !v;
   List.rev !v
 
-let make ~(scenario : Scenario.t) ~seed ~completed_ns ~requests ~served ~refused
-    ~quarantined ~rotations ~retried ~queue_peak ~cache ~latency_hist =
+let make ?(faults_injected = 0) ?(faults_detected = 0) ?(faults_undetected = 0)
+    ?(fault_recovered = 0) ~(scenario : Scenario.t) ~seed ~completed_ns ~requests ~served
+    ~refused ~quarantined ~rotations ~retried ~queue_peak ~cache ~latency_hist () =
   let h = latency_hist in
   let ms ns = ns /. 1e6 in
   let latency =
@@ -72,6 +84,10 @@ let make ~(scenario : Scenario.t) ~seed ~completed_ns ~requests ~served ~refused
     rotations;
     retried;
     queue_peak;
+    faults_injected;
+    faults_detected;
+    faults_undetected;
+    fault_recovered;
     cache_hits = Eric_fleet.Artifact_cache.hits cache;
     cache_disk_hits = Eric_fleet.Artifact_cache.disk_hits cache;
     cache_misses = Eric_fleet.Artifact_cache.misses cache;
@@ -82,7 +98,7 @@ let make ~(scenario : Scenario.t) ~seed ~completed_ns ~requests ~served ~refused
     budgets = scenario.Scenario.budgets;
     violations =
       violations ~budgets:scenario.Scenario.budgets ~latency ~refusal_rate
-        ~quarantine_rate;
+        ~quarantine_rate ~faults_undetected;
   }
 
 let to_json r =
@@ -100,6 +116,14 @@ let to_json r =
       ("rotations", Num (float_of_int r.rotations));
       ("retried", Num (float_of_int r.retried));
       ("queue_peak", Num (float_of_int r.queue_peak));
+      ( "integrity",
+        Obj
+          [
+            ("faults_injected", Num (float_of_int r.faults_injected));
+            ("faults_detected", Num (float_of_int r.faults_detected));
+            ("faults_undetected", Num (float_of_int r.faults_undetected));
+            ("recovered", Num (float_of_int r.fault_recovered));
+          ] );
       ( "cache",
         Obj
           [
@@ -129,6 +153,11 @@ let to_json r =
       ("passed", Bool (passed r));
     ]
 
+let pp_integrity ppf r =
+  if r.faults_injected > 0 || r.faults_detected > 0 then
+    Fmt.pf ppf "integrity: %d fault(s) injected, %d detected, %d undetected, %d recovered@,"
+      r.faults_injected r.faults_detected r.faults_undetected r.fault_recovered
+
 let pp ppf r =
   Fmt.pf ppf
     "@[<v>scenario %s (seed %Ld): %d requests over %.1fs simulated@,\
@@ -136,7 +165,7 @@ let pp ppf r =
      retried %d@,\
      latency p50 %.2f ms, p99 %.2f ms (budget %.0f ms), max %.2f ms@,\
      cache hit rate %.2f%% (%d mem / %d disk / %d miss), queue peak %d@,\
-     SLO %s%a@]"
+     %aSLO %s%a@]"
     r.scenario r.seed r.requests r.completed_s r.served r.refused
     (100.0 *. r.refusal_rate) r.quarantined
     (100.0 *. r.quarantine_rate)
@@ -144,6 +173,7 @@ let pp ppf r =
     r.budgets.Scenario.p99_budget_ms r.latency.max_ms
     (100.0 *. r.cache_hit_rate)
     r.cache_hits r.cache_disk_hits r.cache_misses r.queue_peak
+    pp_integrity r
     (if passed r then "PASSED" else "VIOLATED")
     Fmt.(list ~sep:nop (any "@,  - " ++ string))
     r.violations

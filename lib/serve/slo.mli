@@ -25,6 +25,20 @@ type report = {
   rotations : int;  (** key rotations performed *)
   retried : int;  (** served, but only after channel retries *)
   queue_peak : int;
+  faults_injected : int;  (** soft errors the scenario injected into DRAM *)
+  faults_detected : int;
+      (** corrupted executions that aborted visibly — by the runtime
+          integrity guard, or by a machine trap the corruption itself
+          caused (the verif campaign's [trap_is_detection] convention);
+          one request can contribute several across its delivery
+          attempts *)
+  faults_undetected : int;
+      (** injected faults whose execution completed without a guard
+          fault — code ran on corrupted memory; any non-zero count is an
+          SLO violation regardless of budgets *)
+  fault_recovered : int;
+      (** requests delivered despite at least one guard fault — the
+          re-delivery path absorbed the upset *)
   cache_hits : int;
   cache_disk_hits : int;
   cache_misses : int;
@@ -39,6 +53,10 @@ type report = {
 val passed : report -> bool
 
 val make :
+  ?faults_injected:int ->
+  ?faults_detected:int ->
+  ?faults_undetected:int ->
+  ?fault_recovered:int ->
   scenario:Scenario.t ->
   seed:int64 ->
   completed_ns:int64 ->
@@ -51,8 +69,11 @@ val make :
   queue_peak:int ->
   cache:Eric_fleet.Artifact_cache.t ->
   latency_hist:Eric_telemetry.Histogram.t ->
+  unit ->
   report
-(** Assemble the report and check it against the scenario's budgets. *)
+(** Assemble the report and check it against the scenario's budgets.
+    The integrity counters (all default 0) come from fault-injecting
+    scenarios; [faults_undetected > 0] is always a violation. *)
 
 val to_json : report -> Eric_telemetry.Json.t
 (** The stable JSON schema documented in [docs/serve.md]. *)

@@ -27,7 +27,9 @@ let default_timing =
 
 type syscall_result = Sys_continue | Sys_exit of int
 
-type status = Running | Exited of int | Faulted of string
+type status = Running | Exited of int | Faulted of string | Integrity_fault of string
+
+exception Integrity_violation of string
 
 type t = {
   regs : int64 array;
@@ -41,6 +43,8 @@ type t = {
   mutable status_ : status;
   mutable last_load_dest : Reg.t option;
   mutable trace : (pc:int -> Inst.t -> unit) option;
+  mutable on_store : (addr:int -> len:int -> unit) option;
+  mutable on_ifetch_miss : (addr:int -> int) option;
   predictor : int array option;  (** bimodal 2-bit counters, pc-indexed *)
   out : Buffer.t;
   decode_cache : (int, Inst.t * int) Hashtbl.t;
@@ -61,6 +65,8 @@ let create ?(timing = default_timing) ?(icache = Cache.table1_config)
       status_ = Running;
       last_load_dest = None;
       trace = None;
+      on_store = None;
+      on_ifetch_miss = None;
       predictor = (if branch_predictor then Some (Array.make 512 1) else None);
       out = Buffer.create 256;
       decode_cache = Hashtbl.create 1024;
@@ -83,8 +89,13 @@ let output t = Buffer.contents t.out
 let status t = t.status_
 
 let set_trace t hook = t.trace <- hook
+let set_store_hook t hook = t.on_store <- hook
+let set_ifetch_miss_hook t hook = t.on_ifetch_miss <- hook
 
 let add_cycles t n = t.cycles_ <- Int64.add t.cycles_ (Int64.of_int n)
+let charge = add_cycles
+
+let fault_integrity t msg = t.status_ <- Integrity_fault msg
 
 let charge_cache t cache ~addr ~write =
   match Cache.access cache ~addr ~write with
@@ -95,6 +106,19 @@ let charge_cache t cache ~addr ~write =
       + if writeback then t.timing.writeback_penalty else 0
     in
     add_cycles t penalty
+
+(* I-side fetch charge: on a miss the line is filled from memory, which
+   is where a fetch-checking integrity guard re-hashes the granule being
+   filled (and may raise {!Integrity_violation}). *)
+let charge_ifetch t ~addr =
+  match Cache.access t.icache_ ~addr ~write:false with
+  | Cache.Hit -> ()
+  | Cache.Miss { writeback } ->
+    add_cycles t
+      (t.timing.icache_miss_penalty + if writeback then t.timing.writeback_penalty else 0);
+    (match t.on_ifetch_miss with
+    | Some hook -> add_cycles t (hook ~addr)
+    | None -> ())
 
 (* ------------------------------------------------------------------ *)
 (* 64-bit arithmetic helpers                                           *)
@@ -292,12 +316,16 @@ let syscall t =
 
 let step t =
   match t.status_ with
-  | Exited _ | Faulted _ -> ()
+  | Exited _ | Faulted _ | Integrity_fault _ -> ()
   | Running -> (
     try
+      (* The line fill precedes decode, as in silicon: a fetch-checking
+         integrity guard must get to refuse the granule before a
+         corrupted encoding can raise its own (less diagnosable) decode
+         fault. *)
+      charge_ifetch t ~addr:t.pc_;
       let inst, size = fetch_decode t in
       (match t.trace with Some hook -> hook ~pc:t.pc_ inst | None -> ());
-      charge_cache t t.icache_ ~addr:t.pc_ ~write:false;
       add_cycles t 1;
       (* Load-use hazard: stalls when an instruction consumes the result of
          the immediately preceding load. *)
@@ -328,7 +356,10 @@ let step t =
         if addr mod store_alignment op <> 0 then
           raise (Fault (Printf.sprintf "misaligned store at 0x%x (pc 0x%x)" addr t.pc_));
         charge_cache t t.dcache_ ~addr ~write:true;
-        store_value t op addr (reg t src)
+        store_value t op addr (reg t src);
+        (match t.on_store with
+        | Some hook -> hook ~addr ~len:(store_alignment op)
+        | None -> ())
       | Inst.Branch (op, rs1, rs2, off) ->
         let taken = branch_taken op (reg t rs1) (reg t rs2) in
         if taken then next_pc := t.pc_ + off;
@@ -369,6 +400,7 @@ let step t =
       if t.status_ = Running then t.pc_ <- !next_pc
     with
     | Fault msg -> t.status_ <- Faulted msg
+    | Integrity_violation msg -> t.status_ <- Integrity_fault msg
     | Memory.Trap msg -> t.status_ <- Faulted (msg ^ Printf.sprintf " (pc 0x%x)" t.pc_))
 
 let run ?(fuel = 50_000_000) t =

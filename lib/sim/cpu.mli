@@ -58,13 +58,39 @@ type status =
   | Running
   | Exited of int
   | Faulted of string  (** invalid instruction, bus error, ... *)
+  | Integrity_fault of string
+      (** the runtime integrity guard found resident code or data that
+          no longer matches its load-time reference digest — distinct
+          from {!Faulted}: the fault is raised by dedicated checking
+          hardware, not by the corrupted program happening to trap *)
 
 val status : t -> status
+
+exception Integrity_violation of string
+(** Raised by guard hooks mid-step; {!step} converts it into the
+    {!Integrity_fault} status. *)
 
 val set_trace : t -> (pc:int -> Eric_rv.Inst.t -> unit) option -> unit
 (** Install (or clear) a per-instruction hook, called after fetch/decode
     and before execution — the basis of the CLI's [--trace] mode and of
     instruction-level debugging. *)
+
+val set_store_hook : t -> (addr:int -> len:int -> unit) option -> unit
+(** Called after every architecturally executed store — how the
+    integrity guard tracks granules the program legitimately wrote. *)
+
+val set_ifetch_miss_hook : t -> (addr:int -> int) option -> unit
+(** Called on every I-cache miss with the fetch address; returns extra
+    fill-path cycles to charge and may raise {!Integrity_violation}
+    (the re-validate-on-fetch guard mechanism). *)
+
+val charge : t -> int -> unit
+(** Charge extra cycles to the core's cycle counter — used by external
+    agents (the scrub engine) that steal memory bandwidth. *)
+
+val fault_integrity : t -> string -> unit
+(** Force the {!Integrity_fault} status from outside {!step} (the
+    periodic scrub engine runs between instructions). *)
 
 val step : t -> unit
 (** Execute one instruction (no-op once not [Running]).

@@ -1,0 +1,173 @@
+module Guard = Eric_hw.Guard
+
+type stats = {
+  mutable scrub_passes : int;
+  mutable granules_checked : int;
+  mutable granules_reenrolled : int;
+  mutable fetch_checks : int;
+  mutable guard_cycles : int64;
+}
+
+type t = {
+  cfg : Guard.config;
+  memory : Memory.t;
+  base : int;  (** text_base *)
+  limit : int;  (** end of the guarded span, granule-aligned *)
+  writable_from : int;  (** data_base: granules below are immutable *)
+  refs : int64 array;
+  dirty : bool array;
+  pass_cycles : int;
+  fetch_cycles : int;
+  mutable next_scrub : int64;
+  stats : stats;
+}
+
+(* FNV-1a 64: cheap, deterministic, and a single flipped bit always
+   changes the digest (the model's stand-in for truncated SHA-256). *)
+let fnv_init = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int b)) fnv_prime
+
+let digest memory ~addr ~len =
+  let h = ref fnv_init in
+  for i = addr to addr + len - 1 do
+    h := fnv_byte !h (Memory.read_u8 memory i)
+  done;
+  !h
+
+let digest_sub buf ~off ~len =
+  let h = ref fnv_init in
+  for i = off to off + len - 1 do
+    h := fnv_byte !h (Char.code (Bytes.get buf i))
+  done;
+  !h
+
+let granule_index t addr = (addr - t.base) / t.cfg.Guard.granule_bytes
+
+let granule_digest t g =
+  digest t.memory ~addr:(t.base + (g * t.cfg.Guard.granule_bytes)) ~len:t.cfg.Guard.granule_bytes
+
+let create ~config ~image memory =
+  (match Guard.validate config with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Integrity.create: " ^ e));
+  let open Eric_rv.Program in
+  let base = Layout.text_base in
+  let resident = Layout.bss_base image + image.bss_size - base in
+  let n = Guard.granules config ~bytes:resident in
+  let limit = base + (n * config.Guard.granule_bytes) in
+  let t =
+    {
+      cfg = config;
+      memory;
+      base;
+      limit;
+      writable_from = Layout.data_base image;
+      refs = Array.make n 0L;
+      dirty = Array.make n false;
+      pass_cycles = Guard.scrub_pass_cycles config ~resident_bytes:resident;
+      fetch_cycles = Guard.fetch_check_cycles config;
+      next_scrub =
+        (match Guard.scrub_interval config with
+        | Some i -> Int64.of_int i
+        | None -> Int64.max_int);
+      stats =
+        {
+          scrub_passes = 0;
+          granules_checked = 0;
+          granules_reenrolled = 0;
+          fetch_checks = 0;
+          guard_cycles = 0L;
+        };
+    }
+  in
+  (* Enroll from the *image*, not from memory: the silicon computes the
+     reference digests while the validated load streams through the HDE,
+     i.e. before any later upset — a flip injected between load and run
+     must diverge from these, not become them. *)
+  let pristine = Bytes.make (n * config.Guard.granule_bytes) '\000' in
+  let text = text_bytes image in
+  Bytes.blit text 0 pristine 0 (Bytes.length text);
+  Bytes.blit image.data 0 pristine (Layout.data_base image - base) (Bytes.length image.data);
+  for g = 0 to n - 1 do
+    t.refs.(g) <-
+      digest_sub pristine ~off:(g * config.Guard.granule_bytes) ~len:config.Guard.granule_bytes
+  done;
+  t
+
+let stats t = t.stats
+
+let mismatch_msg t g =
+  Printf.sprintf "integrity guard: granule at 0x%x (%d bytes) diverges from its load-time digest"
+    (t.base + (g * t.cfg.Guard.granule_bytes))
+    t.cfg.Guard.granule_bytes
+
+let mark_dirty t ~addr ~len =
+  (* Only the data/bss span is legitimately writable; stores below
+     [writable_from] (self-modifying text) stay un-enrolled so the next
+     check faults them. *)
+  if addr + len > t.writable_from && addr < t.limit then begin
+    let lo = max addr t.writable_from and hi = min (addr + len) t.limit in
+    for g = granule_index t lo to granule_index t (hi - 1) do
+      t.dirty.(g) <- true
+    done
+  end
+
+let fetch_check t ~addr =
+  if addr >= t.base && addr < t.limit then begin
+    let g = granule_index t addr in
+    t.stats.fetch_checks <- t.stats.fetch_checks + 1;
+    t.stats.guard_cycles <- Int64.add t.stats.guard_cycles (Int64.of_int t.fetch_cycles);
+    if (not t.dirty.(g)) && granule_digest t g <> t.refs.(g) then
+      raise (Cpu.Integrity_violation (mismatch_msg t g));
+    t.fetch_cycles
+  end
+  else 0
+
+let attach t cpu =
+  Cpu.set_store_hook cpu (Some (fun ~addr ~len -> mark_dirty t ~addr ~len));
+  if Guard.fetch_checked t.cfg then
+    Cpu.set_ifetch_miss_hook cpu (Some (fun ~addr -> fetch_check t ~addr))
+
+let scrub_due t ~now = Int64.compare now t.next_scrub >= 0
+
+let scan t ~on_mismatch =
+  let n = Array.length t.refs in
+  for g = 0 to n - 1 do
+    if t.dirty.(g) then begin
+      t.refs.(g) <- granule_digest t g;
+      t.dirty.(g) <- false;
+      t.stats.granules_reenrolled <- t.stats.granules_reenrolled + 1
+    end
+    else begin
+      t.stats.granules_checked <- t.stats.granules_checked + 1;
+      if granule_digest t g <> t.refs.(g) then on_mismatch g
+    end
+  done
+
+let scrub t cpu =
+  t.stats.scrub_passes <- t.stats.scrub_passes + 1;
+  t.stats.guard_cycles <- Int64.add t.stats.guard_cycles (Int64.of_int t.pass_cycles);
+  Cpu.charge cpu t.pass_cycles;
+  let fault = ref None in
+  scan t ~on_mismatch:(fun g -> if !fault = None then fault := Some g);
+  (match !fault with
+  | Some g -> Cpu.fault_integrity cpu (mismatch_msg t g)
+  | None -> ());
+  (match Guard.scrub_interval t.cfg with
+  | Some i -> t.next_scrub <- Int64.add (Cpu.cycles cpu) (Int64.of_int i)
+  | None -> t.next_scrub <- Int64.max_int)
+
+let verify_all t =
+  let fault = ref None in
+  (* A pure audit: peek without touching stats or dirty state. *)
+  let n = Array.length t.refs in
+  (try
+     for g = 0 to n - 1 do
+       if (not t.dirty.(g)) && granule_digest t g <> t.refs.(g) then begin
+         fault := Some g;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !fault with Some g -> Error (mismatch_msg t g) | None -> Ok ()

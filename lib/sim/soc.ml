@@ -5,6 +5,7 @@ type result = {
   output : string;
   exec_cycles : int64;
   load_cycles : int64;
+  guard_cycles : int64;
   instructions : int64;
   icache_hit_rate : float;
   dcache_hit_rate : float;
@@ -46,13 +47,14 @@ let record_result r =
     set "sim.dcache_hit_rate" r.dcache_hit_rate
   end
 
-let finish ~load_cycles cpu status =
+let finish ?(guard_cycles = 0L) ~load_cycles cpu status =
   let r =
     {
       status;
       output = Cpu.output cpu;
       exec_cycles = Cpu.cycles cpu;
       load_cycles;
+      guard_cycles;
       instructions = Cpu.instructions cpu;
       icache_hit_rate = Cache.hit_rate (Cpu.icache cpu);
       dcache_hit_rate = Cache.hit_rate (Cpu.dcache cpu);
@@ -61,10 +63,32 @@ let finish ~load_cycles cpu status =
   record_result r;
   r
 
-let run_loaded ?timing ?fuel ~load_cycles image memory =
+(* Same stepping contract as [Cpu.run], with the scrub engine interleaved
+   between instructions whenever its interval elapses. *)
+let run_guarded ?(fuel = 50_000_000) guard image cpu memory =
+  let integ = Integrity.create ~config:guard ~image memory in
+  Integrity.attach integ cpu;
+  let remaining = ref fuel in
+  while Cpu.status cpu = Running && !remaining > 0 do
+    if Integrity.scrub_due integ ~now:(Cpu.cycles cpu) then Integrity.scrub integ cpu;
+    if Cpu.status cpu = Running then begin
+      Cpu.step cpu;
+      decr remaining
+    end
+  done;
+  (* [Cpu.run ~fuel:0] applies the same out-of-fuel faulting as the
+     unguarded path without stepping. *)
+  let status = if Cpu.status cpu = Running then Cpu.run ~fuel:0 cpu else Cpu.status cpu in
+  ((Integrity.stats integ).Integrity.guard_cycles, status)
+
+let run_loaded ?timing ?fuel ?(guard = Eric_hw.Guard.disabled) ~load_cycles image memory =
   let cpu = boot ?timing image memory in
-  let status = Eric_telemetry.Span.with_ ~cat:"sim" ~name:"sim.execute" (fun () -> Cpu.run ?fuel cpu) in
-  finish ~load_cycles cpu status
+  let guard_cycles, status =
+    Eric_telemetry.Span.with_ ~cat:"sim" ~name:"sim.execute" (fun () ->
+        if Eric_hw.Guard.enabled guard then run_guarded ?fuel guard image cpu memory
+        else (0L, Cpu.run ?fuel cpu))
+  in
+  finish ~guard_cycles ~load_cycles cpu status
 
 let run_program ?timing ?branch_predictor ?fuel image =
   let cpu = boot ?timing ?branch_predictor image (load image) in

@@ -12,6 +12,11 @@ type result = {
   output : string;
   exec_cycles : int64;  (** core cycles from entry to exit *)
   load_cycles : int64;  (** cycles spent loading the image into memory *)
+  guard_cycles : int64;
+      (** cycles the runtime integrity guard spent re-checking resident
+          granules (scrub passes + fetch checks); 0 when no guard runs.
+          Already included in [exec_cycles] — reported separately so the
+          overhead curve can be read off directly. *)
   instructions : int64;
   icache_hit_rate : float;
   dcache_hit_rate : float;
@@ -46,6 +51,20 @@ val run_program :
 (** Load and run a plaintext image end-to-end. *)
 
 val run_loaded :
-  ?timing:Cpu.timing -> ?fuel:int -> load_cycles:int64 -> Eric_rv.Program.t -> Memory.t -> result
+  ?timing:Cpu.timing ->
+  ?fuel:int ->
+  ?guard:Eric_hw.Guard.config ->
+  load_cycles:int64 ->
+  Eric_rv.Program.t ->
+  Memory.t ->
+  result
 (** Run an image that something else (e.g. the HDE) already placed in
-    memory, accounting its loading cost as [load_cycles]. *)
+    memory, accounting its loading cost as [load_cycles].
+
+    When [guard] (default {!Eric_hw.Guard.disabled}) enables a mechanism,
+    an {!Integrity} runtime is enrolled over the resident image before the
+    first instruction and its checks run as the program executes: scrub
+    passes between instructions whenever the interval elapses, fetch
+    checks on I-cache misses.  A mismatch ends the run with
+    {!Cpu.Integrity_fault}; all checking cycles are charged to
+    [exec_cycles] and reported in [guard_cycles]. *)

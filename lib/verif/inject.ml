@@ -36,9 +36,16 @@ type row = {
   silent : int;
 }
 
-type escape = { e_region : region; e_bit : int }
+type escape = { e_region : region; e_bit : int; e_seed : int64; e_iter : int }
 
-type report = { rows : row list; escapes : escape list; baseline : Oracle.behaviour }
+type report = {
+  rows : row list;
+  escapes : escape list;
+  baseline : Oracle.behaviour;
+  seed : int64;
+  count : int;
+  dram_overhead : float;
+}
 
 let coverage row =
   let consequential = row.detected + row.silent in
@@ -62,6 +69,7 @@ type config = {
   seed : int64;
   count : int;
   regions : region list;
+  guard : Eric_hw.Guard.config;
 }
 
 let default_config =
@@ -72,11 +80,17 @@ let default_config =
     seed = 0x1A7EC7L;
     count = 1000;
     regions = wire_regions;
+    guard = Eric_hw.Guard.disabled;
   }
 
 let flip_bit buf ~bit =
   let byte = bit / 8 and pos = bit mod 8 in
   Bytes.set buf byte (Char.chr (Char.code (Bytes.get buf byte) lxor (1 lsl pos)))
+
+let replay_command ~regions escape =
+  Printf.sprintf "eric verif inject --regions %s --seed 0x%Lx --count %d"
+    (String.concat "," (List.map region_name regions))
+    escape.e_seed escape.e_iter
 
 let campaign ?(config = default_config) source =
   let ( let* ) = Result.bind in
@@ -139,6 +153,7 @@ let campaign ?(config = default_config) source =
       Detected "cpu-trap"
     | b -> if Oracle.behaviour_equal b baseline then Masked else Silent
   in
+  let guard_cycle_sum = ref 0L and exec_cycle_sum = ref 0L in
   let inject_once rng region =
     let bit = Eric_util.Prng.int rng ~bound:(region_bits region) in
     let outcome =
@@ -155,7 +170,8 @@ let campaign ?(config = default_config) source =
                (Eric_sim.Soc.run_program ~fuel:config.fuel loaded.Eric.Target.image)))
       | Dram ->
         (* post-validation soft error in main memory: outside the HDE's
-           protection window by design *)
+           load-time protection window — exactly what the runtime guard
+           exists to cover *)
         let memory = Eric_sim.Soc.load image in
         let text_len = Eric_rv.Program.text_size image in
         let byte = bit / 8 in
@@ -165,9 +181,15 @@ let campaign ?(config = default_config) source =
         in
         Eric_sim.Memory.write_u8 memory addr
           (Eric_sim.Memory.read_u8 memory addr lxor (1 lsl (bit mod 8)));
-        classify_run ~trap_is_detection:true
-          (Oracle.of_result
-             (Eric_sim.Soc.run_loaded ~fuel:config.fuel ~load_cycles:0L image memory))
+        let r =
+          Eric_sim.Soc.run_loaded ~fuel:config.fuel ~guard:config.guard ~load_cycles:0L image
+            memory
+        in
+        guard_cycle_sum := Int64.add !guard_cycle_sum r.Eric_sim.Soc.guard_cycles;
+        exec_cycle_sum := Int64.add !exec_cycle_sum r.Eric_sim.Soc.exec_cycles;
+        (match r.Eric_sim.Soc.status with
+        | Eric_sim.Cpu.Integrity_fault _ -> Detected "integrity-guard"
+        | _ -> classify_run ~trap_is_detection:true (Oracle.of_result r))
       | Key ->
         let flipped = Bytes.copy key in
         flip_bit flipped ~bit;
@@ -183,16 +205,18 @@ let campaign ?(config = default_config) source =
     (bit, outcome)
   in
   let rng = Eric_util.Prng.create ~seed:config.seed in
+  let regions = Array.of_list config.regions in
+  let nregions = Array.length regions in
   let counts =
-    List.map (fun r -> (r, ref { region = r; injections = 0; detected = 0; masked = 0; silent = 0 }))
-      config.regions
+    Array.map (fun r -> ref { region = r; injections = 0; detected = 0; masked = 0; silent = 0 })
+      regions
   in
   let escapes = ref [] in
-  let nregions = List.length config.regions in
-  for _ = 1 to config.count do
-    let region = List.nth config.regions (Eric_util.Prng.int rng ~bound:nregions) in
+  for iter = 1 to config.count do
+    let idx = Eric_util.Prng.int rng ~bound:nregions in
+    let region = regions.(idx) in
     let bit, outcome = inject_once rng region in
-    let cell = List.assoc region counts in
+    let cell = counts.(idx) in
     let row = !cell in
     cell :=
       {
@@ -203,10 +227,110 @@ let campaign ?(config = default_config) source =
         silent = (row.silent + match outcome with Silent -> 1 | _ -> 0);
       };
     match outcome with
-    | Silent -> escapes := { e_region = region; e_bit = bit } :: !escapes
+    | Silent ->
+      escapes :=
+        { e_region = region; e_bit = bit; e_seed = config.seed; e_iter = iter } :: !escapes
     | Detected _ | Masked -> ()
   done;
-  Ok { rows = List.map (fun (_, cell) -> !cell) counts; escapes = List.rev !escapes; baseline }
+  let overhead =
+    if Int64.compare !exec_cycle_sum 0L > 0 then
+      Int64.to_float !guard_cycle_sum /. Int64.to_float !exec_cycle_sum
+    else 0.0
+  in
+  Ok
+    {
+      rows = Array.to_list (Array.map (fun cell -> !cell) counts);
+      escapes = List.rev !escapes;
+      baseline;
+      seed = config.seed;
+      count = config.count;
+      dram_overhead = overhead;
+    }
+
+type sweep_point = {
+  sp_mechanism : Eric_hw.Guard.mechanism;
+  sp_injections : int;
+  sp_detected : int;
+  sp_silent : int;
+  sp_coverage : float;
+  sp_overhead : float;
+}
+
+let dram_sweep ?(config = default_config) ~mechanisms source =
+  let ( let* ) = Result.bind in
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | mechanism :: rest ->
+      let guard = { config.guard with Eric_hw.Guard.mechanism } in
+      let* report = campaign ~config:{ config with regions = [ Dram ]; guard } source in
+      let injections = pooled (fun r -> r.injections) report in
+      let detected = pooled (fun r -> r.detected) report in
+      let point =
+        {
+          sp_mechanism = mechanism;
+          sp_injections = injections;
+          sp_detected = detected;
+          sp_silent = silent_total report;
+          sp_coverage = detection_coverage report;
+          sp_overhead = report.dram_overhead;
+        }
+      in
+      loop (point :: acc) rest
+  in
+  loop [] mechanisms
+
+let report_to_json config (report : report) =
+  let open Eric_telemetry.Json in
+  let row_json row =
+    Obj
+      [
+        ("region", Str (region_name row.region));
+        ("injections", Num (float_of_int row.injections));
+        ("detected", Num (float_of_int row.detected));
+        ("masked", Num (float_of_int row.masked));
+        ("silent", Num (float_of_int row.silent));
+        ("coverage", Num (coverage row));
+      ]
+  in
+  let escape_json e =
+    Obj
+      [
+        ("region", Str (region_name e.e_region));
+        ("bit", Num (float_of_int e.e_bit));
+        ("seed", Str (Printf.sprintf "0x%Lx" e.e_seed));
+        ("iter", Num (float_of_int e.e_iter));
+        ("replay", Str (replay_command ~regions:config.regions e));
+      ]
+  in
+  Obj
+    [
+      ("seed", Str (Printf.sprintf "0x%Lx" report.seed));
+      ("count", Num (float_of_int report.count));
+      ("regions", List (List.map (fun r -> Str (region_name r)) config.regions));
+      ("guard", Str (Eric_hw.Guard.mechanism_name config.guard.Eric_hw.Guard.mechanism));
+      ("baseline", Str (Format.asprintf "%a" Oracle.pp_behaviour report.baseline));
+      ("coverage", Num (detection_coverage report));
+      ("silent_total", Num (float_of_int (silent_total report)));
+      ("dram_overhead", Num report.dram_overhead);
+      ("rows", List (List.map row_json report.rows));
+      ("escapes", List (List.map escape_json report.escapes));
+    ]
+
+let sweep_to_json points =
+  let open Eric_telemetry.Json in
+  List
+    (List.map
+       (fun p ->
+         Obj
+           [
+             ("guard", Str (Eric_hw.Guard.mechanism_name p.sp_mechanism));
+             ("injections", Num (float_of_int p.sp_injections));
+             ("detected", Num (float_of_int p.sp_detected));
+             ("silent", Num (float_of_int p.sp_silent));
+             ("coverage", Num p.sp_coverage);
+             ("overhead", Num p.sp_overhead);
+           ])
+       points)
 
 let pp_report fmt report =
   Format.fprintf fmt "@[<v>%-10s %10s %9s %7s %7s %9s@," "region" "injections" "detected"

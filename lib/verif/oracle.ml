@@ -48,6 +48,9 @@ let of_result (r : Eric_sim.Soc.result) =
   | Eric_sim.Cpu.Exited code -> Exit { code; output = r.Eric_sim.Soc.output }
   | Eric_sim.Cpu.Faulted "out of fuel" -> Exhausted
   | Eric_sim.Cpu.Faulted msg -> Trap msg
+  (* Behaviourally an abort; Inject inspects the raw status before this
+     folding when it needs to credit the guard specifically. *)
+  | Eric_sim.Cpu.Integrity_fault msg -> Trap ("integrity: " ^ msg)
   | Eric_sim.Cpu.Running -> Exhausted
 
 let run ?(fuel = default_fuel) ?(mode = Eric.Config.Full) ?(device_id = 0xE51CL)

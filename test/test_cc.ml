@@ -15,7 +15,8 @@ let compile_run ?options src =
     let r = Eric_sim.Soc.run_program image in
     match r.Eric_sim.Soc.status with
     | Eric_sim.Cpu.Exited code -> (code, r.Eric_sim.Soc.output)
-    | Eric_sim.Cpu.Faulted m -> Alcotest.failf "runtime fault: %s (output %S)" m r.Eric_sim.Soc.output
+    | Eric_sim.Cpu.Faulted m | Eric_sim.Cpu.Integrity_fault m ->
+      Alcotest.failf "runtime fault: %s (output %S)" m r.Eric_sim.Soc.output
     | Eric_sim.Cpu.Running -> Alcotest.fail "still running")
 
 let expect_output ?options src expected =

@@ -181,6 +181,55 @@ let test_verif_inject_smoke () =
   in
   check Alcotest.int "wire injections all detected" 0 code
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_verif_inject_guard_json_out () =
+  (* the CI guard-smoke invocation: guarded dram campaign, JSON artifact
+     written via --out, coverage gated via --min-coverage *)
+  with_tmp (fun out ->
+      let code, err =
+        run_cli
+          [ "verif"; "inject"; "--regions"; "dram"; "--count"; "80";
+            "--guard"; "fetch+scrub:256"; "--json"; "--out"; out;
+            "--min-coverage"; "99" ]
+      in
+      check Alcotest.int "guarded dram campaign passes the gate" 0 code;
+      check Alcotest.bool "no error output" false
+        (String.length err >= 6 && String.sub err 0 6 = "error:");
+      let artifact = read_file out in
+      check Alcotest.bool "artifact written" true (String.length artifact > 0);
+      check Alcotest.bool "artifact is the JSON report" true
+        (String.length artifact > 0 && artifact.[0] = '{'))
+
+let test_verif_inject_min_coverage_gate () =
+  (* unguarded dram leaks silent corruption, so the same gate must trip *)
+  let code, _ =
+    run_cli
+      [ "verif"; "inject"; "--regions"; "dram"; "--count"; "80";
+        "--min-coverage"; "99" ]
+  in
+  check Alcotest.int "unguarded dram fails the gate" 3 code
+
+let test_verif_inject_guard_sweep () =
+  let code, err =
+    run_cli
+      [ "verif"; "inject"; "--regions"; "dram"; "--count"; "40";
+        "--guard-sweep"; "off,scrub:256"; "--json" ]
+  in
+  check Alcotest.int "sweep runs clean" 0 code;
+  check Alcotest.bool "no error output" false
+    (String.length err >= 6 && String.sub err 0 6 = "error:")
+
+let test_verif_inject_bad_guard_mechanism () =
+  let code, _ =
+    run_cli [ "verif"; "inject"; "--guard"; "scrub:banana"; "--count"; "5" ]
+  in
+  check Alcotest.bool "malformed guard mechanism refused" true (code <> 0)
+
 let test_verif_corpus_empty () =
   let dir = Filename.temp_file "eric_corpus" "" in
   Sys.remove dir;
@@ -378,5 +427,11 @@ let () =
       ( "verif",
         [ Alcotest.test_case "fuzz smoke" `Quick test_verif_fuzz_smoke;
           Alcotest.test_case "inject smoke" `Quick test_verif_inject_smoke;
+          Alcotest.test_case "inject guard json/out" `Quick test_verif_inject_guard_json_out;
+          Alcotest.test_case "inject min-coverage gate" `Quick
+            test_verif_inject_min_coverage_gate;
+          Alcotest.test_case "inject guard sweep" `Quick test_verif_inject_guard_sweep;
+          Alcotest.test_case "inject bad guard mechanism" `Quick
+            test_verif_inject_bad_guard_mechanism;
           Alcotest.test_case "empty corpus" `Quick test_verif_corpus_empty;
           Alcotest.test_case "env sweep smoke" `Quick test_verif_env_smoke ] ) ]

@@ -428,9 +428,107 @@ let test_shipper_signature_refusals_quarantine () =
     | Eric_fleet.Shipper.Signature_refusals n ->
       check Alcotest.int "typed reason counts the refusals"
         policy.Eric_fleet.Backoff.quarantine_refusals n
-    | Eric_fleet.Shipper.Key_reconstruction_failed | Eric_fleet.Shipper.Exhausted _ ->
+    | Eric_fleet.Shipper.Key_reconstruction_failed | Eric_fleet.Shipper.Exhausted _
+    | Eric_fleet.Shipper.Integrity_faults _ ->
       Alcotest.fail "wrong quarantine reason")
   | Eric_fleet.Shipper.Delivered _ -> Alcotest.fail "foreign-keyed package delivered"
+
+let guarded_fleet n =
+  let reg = enroll_fleet n in
+  Eric_fleet.Registry.set_hde reg
+    { Eric_hw.Hde.default_config with
+      Eric_hw.Hde.guard = Eric_hw.Guard.fetch_and_scrub ~interval_cycles:256 };
+  reg
+
+(* Flip one text bit between load and run: the resident image diverges
+   from the digests the guard enrolled at HDE load time. *)
+let flip_text ~attempt:_ memory (_ : Eric_rv.Program.t) =
+  let addr = Eric_rv.Program.Layout.text_base + 4 in
+  Eric_sim.Memory.write_u8 memory addr (Eric_sim.Memory.read_u8 memory addr lxor 0x10)
+
+let test_shipper_integrity_retry_recovers () =
+  let reg = guarded_fleet 1 in
+  let entry = List.hd (Eric_fleet.Registry.entries reg) in
+  let build =
+    match Eric.Source.prepare ~mode:Eric.Config.Full test_source with
+    | Ok p -> Eric.Source.personalize ~key:entry.Eric_fleet.Registry.key p
+    | Error e -> Alcotest.fail e
+  in
+  let target = Eric_fleet.Registry.target reg entry in
+  let soft_errors ~attempt memory image =
+    if attempt = 1 then flip_text ~attempt memory image
+  in
+  let d = Eric_fleet.Shipper.ship ~execute:true ~soft_errors ~build ~target () in
+  check Alcotest.bool "re-delivery recovered the device" true
+    (Eric_fleet.Shipper.delivered d);
+  check Alcotest.int "first execution guard-faulted" 1
+    d.Eric_fleet.Shipper.integrity_faults;
+  check Alcotest.int "one retry" 2 d.Eric_fleet.Shipper.attempts;
+  check Alcotest.bool "backoff charged for the integrity retry" true
+    (d.Eric_fleet.Shipper.backoff_ns > 0L);
+  (match d.Eric_fleet.Shipper.outcome with
+  | Eric_fleet.Shipper.Delivered { exec = Some r; _ } ->
+    check Alcotest.bool "clean re-run completed" true
+      (r.Eric_sim.Soc.status = Eric_sim.Cpu.Exited 0)
+  | _ -> Alcotest.fail "expected a Delivered outcome with an execution");
+  check Alcotest.bool "device health restored" true
+    (Eric.Target.health target = Eric.Target.Healthy)
+
+let test_shipper_integrity_quarantine () =
+  (* persistent corruption: every re-delivery faults again, so the
+     shipper must give up with the typed reason, not burn all attempts *)
+  let reg = guarded_fleet 1 in
+  let entry = List.hd (Eric_fleet.Registry.entries reg) in
+  let build =
+    match Eric.Source.prepare ~mode:Eric.Config.Full test_source with
+    | Ok p -> Eric.Source.personalize ~key:entry.Eric_fleet.Registry.key p
+    | Error e -> Alcotest.fail e
+  in
+  let target = Eric_fleet.Registry.target reg entry in
+  let policy = { Eric_fleet.Backoff.default with Eric_fleet.Backoff.max_attempts = 10 } in
+  let d =
+    Eric_fleet.Shipper.ship ~policy ~execute:true ~soft_errors:flip_text ~build ~target ()
+  in
+  (match d.Eric_fleet.Shipper.outcome with
+  | Eric_fleet.Shipper.Quarantined { reason = Eric_fleet.Shipper.Integrity_faults n } ->
+    check Alcotest.int "faulted to the threshold"
+      policy.Eric_fleet.Backoff.quarantine_refusals n;
+    check Alcotest.string "stable registry label"
+      (Printf.sprintf "%d integrity faults" n)
+      (Eric_fleet.Shipper.quarantine_label
+         (Eric_fleet.Shipper.Integrity_faults n))
+  | _ -> Alcotest.fail "expected an Integrity_faults quarantine");
+  check Alcotest.int "counted every faulted run"
+    policy.Eric_fleet.Backoff.quarantine_refusals d.Eric_fleet.Shipper.integrity_faults;
+  match Eric.Target.health target with
+  | Eric.Target.Integrity_faulted _ -> ()
+  | Eric.Target.Healthy -> Alcotest.fail "quarantined device reports Healthy"
+
+let test_shipper_unguarded_executes_corrupted () =
+  (* the negative control: without a guard the same flip runs to
+     completion (or machine-traps) and the shipper sees no integrity
+     fault — this is exactly the exposure the guard exists to close *)
+  let reg = enroll_fleet 1 in
+  let entry = List.hd (Eric_fleet.Registry.entries reg) in
+  let build =
+    match Eric.Source.prepare ~mode:Eric.Config.Full test_source with
+    | Ok p -> Eric.Source.personalize ~key:entry.Eric_fleet.Registry.key p
+    | Error e -> Alcotest.fail e
+  in
+  let d =
+    Eric_fleet.Shipper.ship ~execute:true ~soft_errors:flip_text ~build
+      ~target:(Eric_fleet.Registry.target reg entry) ()
+  in
+  check Alcotest.bool "delivered without noticing" true (Eric_fleet.Shipper.delivered d);
+  check Alcotest.int "no integrity faults recorded" 0
+    d.Eric_fleet.Shipper.integrity_faults;
+  match d.Eric_fleet.Shipper.outcome with
+  | Eric_fleet.Shipper.Delivered { exec = Some r; _ } ->
+    check Alcotest.bool "corrupted run not an Integrity_fault" true
+      (match r.Eric_sim.Soc.status with
+      | Eric_sim.Cpu.Integrity_fault _ -> false
+      | _ -> true)
+  | _ -> Alcotest.fail "expected a Delivered outcome with an execution"
 
 (* ------------------------------------------------------------------ *)
 (* Campaigns                                                           *)
@@ -609,7 +707,8 @@ let test_shipper_key_reconstruction_quarantine () =
   | Eric_fleet.Shipper.Quarantined { reason } ->
     (match reason with
     | Eric_fleet.Shipper.Key_reconstruction_failed -> ()
-    | Eric_fleet.Shipper.Signature_refusals _ | Eric_fleet.Shipper.Exhausted _ ->
+    | Eric_fleet.Shipper.Signature_refusals _ | Eric_fleet.Shipper.Exhausted _
+    | Eric_fleet.Shipper.Integrity_faults _ ->
       Alcotest.fail "expected the key-reconstruction quarantine reason");
     check Alcotest.string "stable registry label" "key reconstruction failed"
       (Eric_fleet.Shipper.quarantine_label reason);
@@ -975,7 +1074,12 @@ let () =
           Alcotest.test_case "retry recovers" `Quick test_shipper_retry_recovers;
           Alcotest.test_case "exhaustion quarantines" `Quick test_shipper_exhaustion_quarantines;
           Alcotest.test_case "signature refusals quarantine" `Quick
-            test_shipper_signature_refusals_quarantine ] );
+            test_shipper_signature_refusals_quarantine;
+          Alcotest.test_case "integrity retry recovers" `Quick
+            test_shipper_integrity_retry_recovers;
+          Alcotest.test_case "integrity quarantine" `Quick test_shipper_integrity_quarantine;
+          Alcotest.test_case "unguarded executes corrupted" `Quick
+            test_shipper_unguarded_executes_corrupted ] );
       ( "campaign",
         [ Alcotest.test_case "happy path" `Quick test_campaign_happy_path;
           Alcotest.test_case "execute" `Quick test_campaign_executes_when_asked;

@@ -127,6 +127,112 @@ let test_rejects_negative () =
   Alcotest.check_raises "negative bytes" (Invalid_argument "Hde.load_plain: negative byte count")
     (fun () -> ignore (Hde.load_plain cfg ~image_bytes:(-1)))
 
+(* ------------------------------------------------------------------ *)
+(* Integrity-guard cost model                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_guard_disabled_zero_cost () =
+  let g = Guard.disabled in
+  check Alcotest.bool "disabled" false (Guard.enabled g);
+  check Alcotest.int "no enroll cost" 0 (Guard.enroll_cycles g ~resident_bytes:65536);
+  check Alcotest.int "no scrub cost" 0 (Guard.scrub_pass_cycles g ~resident_bytes:65536);
+  check Alcotest.int "no fetch cost" 0 (Guard.fetch_check_cycles g);
+  check (Alcotest.float 0.0) "no overhead" 0.0 (Guard.overhead_rate g ~resident_bytes:65536)
+
+let test_guard_cost_arithmetic () =
+  (* Defaults: 64 B granules, 65-cycle hash, 4-cycle compare. *)
+  let g = Guard.scrub ~interval_cycles:1024 in
+  check Alcotest.int "granules ceil" 65 (Guard.granules g ~bytes:(64 * 64 + 1));
+  check Alcotest.int "enroll = granules * hash" (64 * 65)
+    (Guard.enroll_cycles g ~resident_bytes:4096);
+  check Alcotest.int "scrub pass = granules * (hash + compare)" (64 * 69)
+    (Guard.scrub_pass_cycles g ~resident_bytes:4096);
+  check Alcotest.int "scrub has no fetch cost" 0 (Guard.fetch_check_cycles g);
+  check Alcotest.int "fetch check = hash + compare" 69
+    (Guard.fetch_check_cycles Guard.fetch_check);
+  check Alcotest.int "fetch-only has no scrub pass" 0
+    (Guard.scrub_pass_cycles Guard.fetch_check ~resident_bytes:4096)
+
+let test_guard_mechanism_names () =
+  List.iter
+    (fun m ->
+      let name = Guard.mechanism_name m in
+      match Guard.mechanism_of_string name with
+      | Ok m' -> check Alcotest.string ("roundtrip " ^ name) name (Guard.mechanism_name m')
+      | Error e -> Alcotest.failf "%s did not parse back: %s" name e)
+    [ Guard.Off;
+      Guard.Scrub { interval_cycles = 512 };
+      Guard.Fetch_check;
+      Guard.Fetch_and_scrub { interval_cycles = 4096 } ];
+  check Alcotest.bool "garbage refused" true
+    (Result.is_error (Guard.mechanism_of_string "scrub:banana"))
+
+let test_guard_validate () =
+  check Alcotest.bool "zero interval refused" true
+    (Result.is_error (Guard.validate (Guard.scrub ~interval_cycles:0)));
+  check Alcotest.bool "zero granule refused" true
+    (Result.is_error (Guard.validate { Guard.fetch_check with Guard.granule_bytes = 0 }));
+  check Alcotest.bool "default ok" true
+    (Result.is_ok (Guard.validate (Guard.fetch_and_scrub ~interval_cycles:512)))
+
+let guard_overhead_antitone =
+  qtest "scrub overhead antitone in interval"
+    QCheck.(pair (int_range 1 100000) (int_range 1 100000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let rate i =
+        Guard.overhead_rate (Guard.scrub ~interval_cycles:i) ~resident_bytes:8192
+      in
+      rate hi <= rate lo)
+
+let guard_cost_monotone_bytes =
+  qtest "guard costs monotone in resident bytes"
+    QCheck.(pair (int_bound 100000) (int_bound 100000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let g = Guard.fetch_and_scrub ~interval_cycles:512 in
+      Guard.enroll_cycles g ~resident_bytes:lo <= Guard.enroll_cycles g ~resident_bytes:hi
+      && Guard.scrub_pass_cycles g ~resident_bytes:lo
+         <= Guard.scrub_pass_cycles g ~resident_bytes:hi)
+
+let test_guard_in_load_breakdown () =
+  (* Enrollment rides the load: sequential HDEs serialise it with the
+     other stages, a pipelined HDE overlaps it (total = slowest stage). *)
+  let load pipelined guard =
+    Hde.load_encrypted
+      { cfg with Hde.pipelined; guard }
+      ~image_bytes:4096 ~hashed_bytes:4096 ~encrypted_bytes:4096
+  in
+  let off = load false Guard.disabled in
+  let seq = load false (Guard.scrub ~interval_cycles:512) in
+  let pip = load true (Guard.scrub ~interval_cycles:512) in
+  check Alcotest.int64 "no guard, no enroll cycles" 0L off.Hde.guard_cycles;
+  check Alcotest.int64 "enroll cycles accounted"
+    (Int64.of_int (Guard.enroll_cycles (Guard.scrub ~interval_cycles:512) ~resident_bytes:4096))
+    seq.Hde.guard_cycles;
+  check Alcotest.int64 "sequential pays enrollment on top"
+    (Int64.add off.Hde.total_cycles seq.Hde.guard_cycles)
+    seq.Hde.total_cycles;
+  check Alcotest.bool "pipelined hides enrollment behind the slowest stage" true
+    (Int64.compare pip.Hde.total_cycles seq.Hde.total_cycles <= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzy-extractor key-setup recosting                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_reconstruction_positive () =
+  check Alcotest.bool "one read, one attempt costs cycles" true
+    (Hde.reconstruction_cycles cfg ~reads:1 ~attempts:1 > 0)
+
+let reconstruction_monotone =
+  qtest "reconstruction cycles monotone in reads and attempts"
+    QCheck.(pair (pair (int_range 1 10000) (int_range 1 10000)) (pair (int_range 1 64) (int_range 1 64)))
+    (fun ((r1, r2), (a1, a2)) ->
+      let rlo = min r1 r2 and rhi = max r1 r2 in
+      let alo = min a1 a2 and ahi = max a1 a2 in
+      Hde.reconstruction_cycles cfg ~reads:rlo ~attempts:alo
+      <= Hde.reconstruction_cycles cfg ~reads:rhi ~attempts:ahi)
+
 let () =
   Alcotest.run "eric_hw"
     [ ( "rtl",
@@ -144,4 +250,16 @@ let () =
           Alcotest.test_case "partial cheaper" `Quick test_partial_cheaper_than_full;
           Alcotest.test_case "breakdown consistency" `Quick test_breakdown_consistency;
           hde_monotonic;
-          Alcotest.test_case "rejects negative" `Quick test_rejects_negative ] ) ]
+          Alcotest.test_case "rejects negative" `Quick test_rejects_negative ] );
+      ( "guard",
+        [ Alcotest.test_case "disabled is free" `Quick test_guard_disabled_zero_cost;
+          Alcotest.test_case "cost arithmetic" `Quick test_guard_cost_arithmetic;
+          Alcotest.test_case "mechanism names" `Quick test_guard_mechanism_names;
+          Alcotest.test_case "validate" `Quick test_guard_validate;
+          guard_overhead_antitone;
+          guard_cost_monotone_bytes;
+          Alcotest.test_case "enrollment in load breakdown" `Quick
+            test_guard_in_load_breakdown ] );
+      ( "reconstruction",
+        [ Alcotest.test_case "positive" `Quick test_reconstruction_positive;
+          reconstruction_monotone ] ) ]

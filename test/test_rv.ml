@@ -440,7 +440,7 @@ let run_image image =
   let r = Eric_sim.Soc.run_program image in
   match r.Eric_sim.Soc.status with
   | Eric_sim.Cpu.Exited code -> (code, r.Eric_sim.Soc.output)
-  | Eric_sim.Cpu.Faulted m -> Alcotest.failf "fault: %s" m
+  | Eric_sim.Cpu.Faulted m | Eric_sim.Cpu.Integrity_fault m -> Alcotest.failf "fault: %s" m
   | Eric_sim.Cpu.Running -> Alcotest.fail "still running"
 
 let exit_with_a0 body =

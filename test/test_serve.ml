@@ -246,7 +246,7 @@ let test_scenario_lookup () =
   | Error e -> check Alcotest.bool "error names candidates" true
                  (String.length e > 0));
   check Alcotest.(list string) "preset names"
-    [ "steady"; "flash-crowd"; "rotation-storm" ]
+    [ "steady"; "flash-crowd"; "rotation-storm"; "soft-error-storm" ]
     Scenario.names
 
 let test_scenario_overrides () =
@@ -313,6 +313,44 @@ let test_service_rotation_storm_rotates () =
   check Alcotest.bool "rotations happened" true (r.Slo.rotations > 0);
   check Alcotest.bool "retries happened over noisy channel" true (r.Slo.retried > 0)
 
+let test_service_soft_error_storm () =
+  (* the recovery-path acceptance at test scale: upsets fire, the guard
+     (or a machine trap) detects every one, re-delivery recovers devices,
+     and nothing completes on corrupted memory *)
+  let r = run_short Scenario.soft_error_storm 7L in
+  check Alcotest.bool "faults were injected" true (r.Slo.faults_injected > 0);
+  check Alcotest.int "every fault detected" r.Slo.faults_injected r.Slo.faults_detected;
+  check Alcotest.int "nothing ran corrupted memory undetected" 0 r.Slo.faults_undetected;
+  check Alcotest.bool "re-delivery recovered devices" true (r.Slo.fault_recovered > 0);
+  check Alcotest.int "accounting still exact" r.Slo.requests
+    (r.Slo.served + r.Slo.refused + r.Slo.quarantined);
+  (* determinism holds with the fault injector in the loop *)
+  let r' = run_short Scenario.soft_error_storm 7L in
+  check Alcotest.string "soft-error-storm byte-identical JSON"
+    (Eric_telemetry.Json.to_string (Slo.to_json r))
+    (Eric_telemetry.Json.to_string (Slo.to_json r'));
+  (* the integrity block reaches the JSON report *)
+  match Eric_telemetry.Json.of_string (Eric_telemetry.Json.to_string (Slo.to_json r)) with
+  | Error e -> Alcotest.fail e
+  | Ok json -> (
+    match Eric_telemetry.Json.member "integrity" json with
+    | None -> Alcotest.fail "SLO JSON lacks the integrity block"
+    | Some block ->
+      let field name =
+        match Option.bind (Eric_telemetry.Json.member name block) Eric_telemetry.Json.to_float with
+        | Some v -> int_of_float v
+        | None -> Alcotest.failf "integrity block lacks %s" name
+      in
+      check Alcotest.int "JSON faults_injected" r.Slo.faults_injected
+        (field "faults_injected");
+      check Alcotest.int "JSON faults_undetected" 0 (field "faults_undetected"))
+
+let test_service_clean_scenarios_report_no_faults () =
+  let r = run_short Scenario.steady 5L in
+  check Alcotest.int "no faults injected" 0 r.Slo.faults_injected;
+  check Alcotest.int "none detected" 0 r.Slo.faults_detected;
+  check Alcotest.int "none recovered" 0 r.Slo.fault_recovered
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -352,4 +390,8 @@ let () =
           Alcotest.test_case "backpressure sheds at capacity" `Quick
             test_service_backpressure_sheds;
           Alcotest.test_case "rotation storm rotates and retries" `Quick
-            test_service_rotation_storm_rotates ] ) ]
+            test_service_rotation_storm_rotates;
+          Alcotest.test_case "soft-error storm detects and recovers" `Quick
+            test_service_soft_error_storm;
+          Alcotest.test_case "clean scenarios report no faults" `Quick
+            test_service_clean_scenarios_report_no_faults ] ) ]

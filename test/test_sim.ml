@@ -106,7 +106,8 @@ let exec_r op a b =
   Cpu.step cpu;
   (match Cpu.status cpu with
   | Cpu.Running -> ()
-  | Cpu.Exited _ | Cpu.Faulted _ -> Alcotest.fail "single step should leave CPU running");
+  | Cpu.Exited _ | Cpu.Faulted _ | Cpu.Integrity_fault _ ->
+    Alcotest.fail "single step should leave CPU running");
   Cpu.reg cpu (Reg.a 0)
 
 let test_div_corner_cases () =
@@ -360,6 +361,118 @@ let test_csr_counters () =
     check Alcotest.int64 "instret" 4L (Cpu.reg cpu (a 3))
   | _ -> Alcotest.fail "did not exit")
 
+(* ------------------------------------------------------------------ *)
+(* Integrity guard runtime                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A countdown loop long enough for several scrub passes, with optional
+   preamble instructions and never-executed padding to flip bits in. *)
+let loop_program ?(iters = 1500) ?(extra = []) ?(pad = 0) ?data () =
+  build_program ?data
+    ([ Inst.I (Addi, Reg.t_ 0, Reg.x0, iters) ]
+    @ extra
+    @ [ Inst.I (Addi, Reg.t_ 0, Reg.t_ 0, -1);
+        Inst.Branch (Bne, Reg.t_ 0, Reg.x0, -4);
+        Inst.I (Addi, Reg.a 0, Reg.x0, 0);
+        Inst.I (Addi, Reg.a 7, Reg.x0, 93); Inst.Ecall ]
+    @ List.init pad (fun _ -> Inst.I (Addi, Reg.x0, Reg.x0, 0)))
+
+let run_flipped ~guard ?(flip = fun _ _ -> ()) image =
+  let memory = Soc.load image in
+  flip memory image;
+  Soc.run_loaded ~guard ~load_cycles:0L image memory
+
+let flip_text_byte ~off memory (image : Program.t) =
+  ignore image;
+  let addr = Program.Layout.text_base + off in
+  Memory.write_u8 memory addr (Memory.read_u8 memory addr lxor 0x10)
+
+let test_guard_clean_run_equivalent () =
+  let image = loop_program () in
+  let plain = run_flipped ~guard:Eric_hw.Guard.disabled image in
+  let guarded = run_flipped ~guard:(Eric_hw.Guard.fetch_and_scrub ~interval_cycles:256) image in
+  (match (plain.Soc.status, guarded.Soc.status) with
+  | Cpu.Exited 0, Cpu.Exited 0 -> ()
+  | _ -> Alcotest.fail "clean run did not exit 0 under the guard");
+  check Alcotest.int64 "same instructions" plain.Soc.instructions guarded.Soc.instructions;
+  check Alcotest.int64 "plain charges no guard cycles" 0L plain.Soc.guard_cycles;
+  check Alcotest.bool "guard cycles charged" true
+    (Int64.compare guarded.Soc.guard_cycles 0L > 0);
+  check Alcotest.bool "guard slows the run" true
+    (Int64.compare guarded.Soc.exec_cycles plain.Soc.exec_cycles > 0)
+
+let test_guard_fetch_detects_before_decode () =
+  (* The flipped first instruction would also fail decode; the fetch
+     check must win (check-before-decode in Cpu.step), yielding a typed
+     integrity fault rather than an invalid-instruction trap. *)
+  let image = loop_program () in
+  let r =
+    run_flipped ~guard:Eric_hw.Guard.fetch_check ~flip:(flip_text_byte ~off:0) image
+  in
+  match r.Soc.status with
+  | Cpu.Integrity_fault _ -> ()
+  | Cpu.Faulted m -> Alcotest.failf "machine fault preempted the guard: %s" m
+  | _ -> Alcotest.fail "corrupted fetch not detected"
+
+let test_guard_scrub_detects_dead_code () =
+  (* Flip in padding that is never fetched: I-side checking alone is
+     blind to it, a scrub pass is not. *)
+  let image = loop_program ~pad:32 () in
+  let flip = flip_text_byte ~off:(Program.text_size image - 4) in
+  let scrubbed =
+    run_flipped ~guard:(Eric_hw.Guard.scrub ~interval_cycles:256) ~flip image
+  in
+  (match scrubbed.Soc.status with
+  | Cpu.Integrity_fault _ -> ()
+  | _ -> Alcotest.fail "scrub missed a dead-code flip");
+  let fetch_only = run_flipped ~guard:Eric_hw.Guard.fetch_check ~flip image in
+  match fetch_only.Soc.status with
+  | Cpu.Exited 0 -> ()  (* the honest I-side blind spot *)
+  | _ -> Alcotest.fail "fetch-only guard should not see never-fetched text"
+
+let test_guard_self_modifying_text_faults () =
+  (* A store below the data segment is never re-enrolled, so the next
+     scrub pass faults it. *)
+  let image =
+    loop_program
+      ~extra:[ Inst.U (Lui, Reg.a 1, 0x10); Inst.Store (Sw, Reg.x0, Reg.a 1, 0) ]
+      ()
+  in
+  let r = run_flipped ~guard:(Eric_hw.Guard.scrub ~interval_cycles:256) image in
+  match r.Soc.status with
+  | Cpu.Integrity_fault _ -> ()
+  | _ -> Alcotest.fail "self-modified text not faulted"
+
+let test_guard_reenrolls_dirty_data () =
+  (* Legitimate data writes re-enroll instead of faulting: the guarded
+     run completes, and the stats show the re-enrollment happened. *)
+  let image =
+    loop_program
+      ~extra:[ Inst.U (Lui, Reg.a 1, 0x11); Inst.Store (Sw, Reg.t_ 0, Reg.a 1, 0) ]
+      ~data:(Bytes.make 16 '\x00') ()
+  in
+  let memory = Soc.load image in
+  let cpu = Soc.boot image memory in
+  let config = Eric_hw.Guard.scrub ~interval_cycles:128 in
+  let integ = Integrity.create ~config ~image memory in
+  Integrity.attach integ cpu;
+  let fuel = ref 100_000 in
+  while Cpu.status cpu = Cpu.Running && !fuel > 0 do
+    if Integrity.scrub_due integ ~now:(Cpu.cycles cpu) then Integrity.scrub integ cpu;
+    if Cpu.status cpu = Cpu.Running then begin
+      Cpu.step cpu;
+      decr fuel
+    end
+  done;
+  (match Cpu.status cpu with
+  | Cpu.Exited 0 -> ()
+  | _ -> Alcotest.fail "data write must not integrity-fault");
+  let s = Integrity.stats integ in
+  check Alcotest.bool "scrubs ran" true (s.Integrity.scrub_passes > 1);
+  check Alcotest.bool "dirty granule re-enrolled" true (s.Integrity.granules_reenrolled >= 1);
+  check Alcotest.bool "clean granules checked" true (s.Integrity.granules_checked > 0);
+  check Alcotest.bool "post-run audit clean" true (Result.is_ok (Integrity.verify_all integ))
+
 let () =
   Alcotest.run "eric_sim"
     [ ( "memory",
@@ -395,4 +508,14 @@ let () =
           Alcotest.test_case "icache stats" `Quick test_icache_stats_exposed;
           Alcotest.test_case "plain load cycles" `Quick test_plain_load_cycles;
           Alcotest.test_case "branch predictor" `Quick test_branch_predictor;
-          Alcotest.test_case "csr counters" `Quick test_csr_counters ] ) ]
+          Alcotest.test_case "csr counters" `Quick test_csr_counters ] );
+      ( "integrity",
+        [ Alcotest.test_case "clean run equivalent" `Quick test_guard_clean_run_equivalent;
+          Alcotest.test_case "fetch check beats decode" `Quick
+            test_guard_fetch_detects_before_decode;
+          Alcotest.test_case "scrub finds dead-code flip" `Quick
+            test_guard_scrub_detects_dead_code;
+          Alcotest.test_case "self-modifying text faults" `Quick
+            test_guard_self_modifying_text_faults;
+          Alcotest.test_case "dirty data re-enrolls" `Quick
+            test_guard_reenrolls_dirty_data ] ) ]

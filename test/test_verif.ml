@@ -304,6 +304,121 @@ let test_inject_empty_region_is_error () =
   check Alcotest.bool "empty region refused" true
     (Result.is_error (Eric_verif.Inject.campaign ~config inject_source))
 
+let test_inject_dram_guard_coverage () =
+  (* the tentpole claim at test scale: an unguarded Dram campaign leaks
+     silent corruptions, the same flips under fetch+scrub do not *)
+  let base =
+    { Eric_verif.Inject.default_config with
+      Eric_verif.Inject.count = 120;
+      seed = 0x5C12BL;
+      regions = [ Eric_verif.Inject.Dram ] }
+  in
+  let run config =
+    match Eric_verif.Inject.campaign ~config inject_source with
+    | Error msg -> Alcotest.fail msg
+    | Ok report -> report
+  in
+  let off = run base in
+  let guarded =
+    run
+      { base with
+        Eric_verif.Inject.guard =
+          Eric_hw.Guard.fetch_and_scrub ~interval_cycles:256 }
+  in
+  check Alcotest.bool "unguarded DRAM leaks silent corruption" true
+    (Eric_verif.Inject.silent_total off > 0);
+  check Alcotest.bool "guarded coverage >= 0.99" true
+    (Eric_verif.Inject.detection_coverage guarded >= 0.99);
+  check Alcotest.bool "guard work is billed" true
+    (guarded.Eric_verif.Inject.dram_overhead > 0.0);
+  check (Alcotest.float 1e-9) "no guard, no billed overhead" 0.0
+    off.Eric_verif.Inject.dram_overhead
+
+let test_inject_escape_replay () =
+  (* an escape carries (seed, iter): re-running the campaign with
+     count = e_iter under e_seed makes it the final shot, exactly *)
+  let config =
+    { Eric_verif.Inject.default_config with
+      Eric_verif.Inject.count = 120;
+      seed = 0x5C12BL;
+      regions = [ Eric_verif.Inject.Dram ] }
+  in
+  match Eric_verif.Inject.campaign ~config inject_source with
+  | Error msg -> Alcotest.fail msg
+  | Ok report -> (
+    match report.Eric_verif.Inject.escapes with
+    | [] -> Alcotest.fail "expected at least one unguarded DRAM escape"
+    | e :: _ ->
+      check Alcotest.int64 "escape records the campaign seed"
+        config.Eric_verif.Inject.seed e.Eric_verif.Inject.e_seed;
+      check Alcotest.bool "iteration within campaign" true
+        (e.Eric_verif.Inject.e_iter >= 1
+        && e.Eric_verif.Inject.e_iter <= config.Eric_verif.Inject.count);
+      let replay_config =
+        { config with
+          Eric_verif.Inject.seed = e.Eric_verif.Inject.e_seed;
+          count = e.Eric_verif.Inject.e_iter }
+      in
+      (match Eric_verif.Inject.campaign ~config:replay_config inject_source with
+      | Error msg -> Alcotest.fail msg
+      | Ok replayed ->
+        let last =
+          List.nth replayed.Eric_verif.Inject.escapes
+            (List.length replayed.Eric_verif.Inject.escapes - 1)
+        in
+        check Alcotest.bool "replay reproduces the escape as its final shot"
+          true
+          (last.Eric_verif.Inject.e_region = e.Eric_verif.Inject.e_region
+          && last.Eric_verif.Inject.e_bit = e.Eric_verif.Inject.e_bit
+          && last.Eric_verif.Inject.e_iter = e.Eric_verif.Inject.e_iter));
+      let cmd =
+        Eric_verif.Inject.replay_command
+          ~regions:config.Eric_verif.Inject.regions e
+      in
+      let contains_sub hay needle =
+        let h = String.length hay and n = String.length needle in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool "replay command names the seed" true
+        (contains_sub cmd (Printf.sprintf "0x%Lx" e.Eric_verif.Inject.e_seed));
+      check Alcotest.bool "replay command names the count" true
+        (contains_sub cmd (Printf.sprintf "--count %d" e.Eric_verif.Inject.e_iter)))
+
+let test_inject_json_stable () =
+  let config =
+    { Eric_verif.Inject.default_config with
+      Eric_verif.Inject.count = 40;
+      seed = 0x1A2BL;
+      regions = [ Eric_verif.Inject.Dram ] }
+  in
+  let render () =
+    match Eric_verif.Inject.campaign ~config inject_source with
+    | Error msg -> Alcotest.fail msg
+    | Ok report ->
+      Eric_telemetry.Json.to_string (Eric_verif.Inject.report_to_json config report)
+  in
+  let a = render () in
+  check Alcotest.string "report JSON deterministic" a (render ());
+  (match Eric_telemetry.Json.of_string a with
+  | Error msg -> Alcotest.failf "report JSON does not parse: %s" msg
+  | Ok json ->
+    check Alcotest.bool "report JSON carries escapes" true
+      (Option.is_some (Eric_telemetry.Json.member "escapes" json)));
+  let mechanisms =
+    [ Eric_hw.Guard.Off; Eric_hw.Guard.Scrub { interval_cycles = 256 } ]
+  in
+  match
+    Eric_verif.Inject.dram_sweep ~config ~mechanisms inject_source
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok points ->
+    check Alcotest.int "one sweep point per mechanism" (List.length mechanisms)
+      (List.length points);
+    let sweep = Eric_telemetry.Json.to_string (Eric_verif.Inject.sweep_to_json points) in
+    check Alcotest.bool "sweep JSON parses" true
+      (Result.is_ok (Eric_telemetry.Json.of_string sweep))
+
 let test_inject_region_names () =
   List.iter
     (fun r ->
@@ -372,6 +487,9 @@ let () =
         [ Alcotest.test_case "wire regions fully detected" `Slow test_inject_wire_all_detected;
           Alcotest.test_case "key flips never validate" `Slow test_inject_key_never_validates;
           Alcotest.test_case "empty region is an error" `Quick test_inject_empty_region_is_error;
+          Alcotest.test_case "DRAM guard coverage" `Slow test_inject_dram_guard_coverage;
+          Alcotest.test_case "escape replay" `Slow test_inject_escape_replay;
+          Alcotest.test_case "JSON stable" `Slow test_inject_json_stable;
           Alcotest.test_case "region names round-trip" `Quick test_inject_region_names ] );
       ( "fuzz",
         [ Alcotest.test_case "small clean campaign" `Slow test_fuzz_small_campaign_clean;

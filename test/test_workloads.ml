@@ -26,7 +26,8 @@ let run_workload =
       let result =
         match r.Eric_sim.Soc.status with
         | Eric_sim.Cpu.Exited code -> (image, code, r.Eric_sim.Soc.output)
-        | Eric_sim.Cpu.Faulted m -> Alcotest.failf "%s faulted: %s" name m
+        | Eric_sim.Cpu.Faulted m | Eric_sim.Cpu.Integrity_fault m ->
+          Alcotest.failf "%s faulted: %s" name m
         | Eric_sim.Cpu.Running -> Alcotest.failf "%s did not finish" name
       in
       Hashtbl.replace cache name result;
